@@ -1,0 +1,47 @@
+// Reproduces Fig. 13 of the paper: the Pareto space of the modem graph.
+// The paper plots a small staircase of trade-offs between the minimal
+// deadlock-free size and the size attaining the maximal throughput.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "buffer/dse.hpp"
+#include "models/models.hpp"
+
+using namespace buffy;
+
+int main() {
+  const sdf::Graph g = models::modem();
+  const sdf::ActorId target = models::reported_actor(g);
+
+  std::printf("=== Fig. 13: Pareto space of the modem ===\n\n");
+  const auto inc = buffer::explore(
+      g, buffer::DseOptions{.target = target,
+                            .engine = buffer::DseEngine::Incremental});
+  const auto exh = buffer::explore(
+      g, buffer::DseOptions{.target = target,
+                            .engine = buffer::DseEngine::Exhaustive});
+
+  std::printf("incremental engine: %llu distributions, %.3f s\n",
+              static_cast<unsigned long long>(inc.distributions_explored),
+              inc.seconds);
+  std::printf("exhaustive engine:  %llu distributions, %.3f s\n\n",
+              static_cast<unsigned long long>(exh.distributions_explored),
+              exh.seconds);
+
+  bench::print_pareto_table(inc.pareto);
+  std::printf("\n");
+  bench::print_pareto_staircase(inc.pareto);
+
+  bool ok = !inc.pareto.empty() &&
+            inc.pareto.points().back().throughput == inc.bounds.max_throughput;
+  ok = ok && inc.pareto.size() == exh.pareto.size();
+  for (std::size_t i = 0; ok && i < inc.pareto.size(); ++i) {
+    ok = inc.pareto.points()[i].size() == exh.pareto.points()[i].size() &&
+         inc.pareto.points()[i].throughput ==
+             exh.pareto.points()[i].throughput;
+  }
+  std::printf("\nengines agree and the curve reaches the maximal throughput "
+              "%s: %s\n",
+              inc.bounds.max_throughput.str().c_str(), ok ? "OK" : "MISMATCH");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,57 @@
+// Reproduces Fig. 7 of the paper: the bounds that frame the design space —
+// per-channel capacity lower bounds for positive throughput ([ALP97],
+// [Mur96]), their sum lb, and an upper-bound distribution ub realising the
+// maximal throughput ([GGD02] role) — for every benchmark model.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "buffer/bounds.hpp"
+#include "models/models.hpp"
+
+using namespace buffy;
+
+int main() {
+  std::printf("=== Fig. 7: design-space bounds per benchmark graph ===\n\n");
+  const std::vector<int> widths{15, 8, 8, 14, 22};
+  bench::print_row({"graph", "lb", "ub", "max tput", "per-channel lb"},
+                   widths);
+  bench::print_rule(widths);
+
+  bool ok = true;
+  for (const auto& m : models::table2_models()) {
+    const sdf::ActorId target = models::reported_actor(m.graph);
+    const auto b = buffer::design_space_bounds(m.graph, target);
+    if (b.deadlock) {
+      std::printf("%-15s deadlocks under every distribution\n",
+                  m.display_name);
+      ok = false;
+      continue;
+    }
+    std::string lbs = b.per_channel_lb.str();
+    if (lbs.size() > 40) lbs = lbs.substr(0, 37) + "...";
+    std::printf("%-15s %-8lld %-8lld %-14s %s\n", m.display_name,
+                static_cast<long long>(b.lb_size),
+                static_cast<long long>(b.ub_size),
+                b.max_throughput.str().c_str(), lbs.c_str());
+  }
+
+  std::printf("\nexample check (paper: lb_alpha=4, lb_beta=2, lb=6, max "
+              "throughput 1/4 reachable at size 10):\n");
+  {
+    const sdf::Graph g = models::paper_example();
+    const auto b = buffer::design_space_bounds(g, *g.find_actor("c"));
+    const bool example_ok = b.per_channel_lb[std::size_t{0}] == 4 &&
+                            b.per_channel_lb[std::size_t{1}] == 2 &&
+                            b.lb_size == 6 &&
+                            b.max_throughput == Rational(1, 4) &&
+                            b.ub_size >= 10;
+    std::printf("  lb = %s (size %lld), ub distribution %s (size %lld): %s\n",
+                b.per_channel_lb.str().c_str(),
+                static_cast<long long>(b.lb_size),
+                b.max_throughput_distribution.str().c_str(),
+                static_cast<long long>(b.ub_size),
+                example_ok ? "OK" : "MISMATCH");
+    ok = ok && example_ok;
+  }
+  return ok ? 0 : 1;
+}

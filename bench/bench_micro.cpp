@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) of the machinery behind the paper's
+// numbers: state-space execution rate, throughput computation per model,
+// state hashing, MCM, repetition vectors and the exploration engines.
+#include <benchmark/benchmark.h>
+
+#include "analysis/hsdf.hpp"
+#include "analysis/max_throughput.hpp"
+#include "analysis/mcm.hpp"
+#include "analysis/repetition_vector.hpp"
+#include "buffer/bounds.hpp"
+#include "buffer/dse.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "state/engine.hpp"
+#include "state/throughput.hpp"
+
+namespace {
+
+using namespace buffy;
+
+const sdf::Graph& model(int index) {
+  static const auto models = models::table2_models();
+  return models[static_cast<std::size_t>(index)].graph;
+}
+
+const char* model_name(int index) {
+  static const auto models = models::table2_models();
+  return models[static_cast<std::size_t>(index)].display_name;
+}
+
+std::vector<i64> generous_caps(const sdf::Graph& g) {
+  std::vector<i64> caps;
+  for (const sdf::ChannelId c : g.channel_ids()) {
+    const sdf::Channel& ch = g.channel(c);
+    caps.push_back(ch.initial_tokens + 2 * (ch.production + ch.consumption));
+  }
+  return caps;
+}
+
+void BM_EngineSteps(benchmark::State& state) {
+  const sdf::Graph& g = model(static_cast<int>(state.range(0)));
+  state::Engine engine(g, state::Capacities::bounded(generous_caps(g)));
+  engine.reset();
+  i64 events = 0;
+  for (auto _ : state) {
+    if (!engine.advance()) engine.reset();
+    ++events;
+  }
+  state.SetItemsProcessed(events);
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_EngineSteps)->DenseRange(0, 4);
+
+void BM_ThroughputComputation(benchmark::State& state) {
+  const sdf::Graph& g = model(static_cast<int>(state.range(0)));
+  const auto caps = state::Capacities::bounded(generous_caps(g));
+  const sdf::ActorId target = models::reported_actor(g);
+  for (auto _ : state) {
+    const auto r = state::compute_throughput(
+        g, caps, state::ThroughputOptions{.target = target});
+    benchmark::DoNotOptimize(r.throughput);
+  }
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_ThroughputComputation)->DenseRange(0, 4);
+
+void BM_StateHash(benchmark::State& state) {
+  const sdf::Graph& g = model(3);  // satellite: 22 actors + 26 channels
+  state::Engine engine(g, state::Capacities::bounded(generous_caps(g)));
+  engine.reset();
+  const state::TimedState snapshot = engine.snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(snapshot.hash());
+  }
+}
+BENCHMARK(BM_StateHash);
+
+void BM_RepetitionVector(benchmark::State& state) {
+  const sdf::Graph& g = model(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::repetition_vector(g).sum());
+  }
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_RepetitionVector)->DenseRange(0, 4);
+
+void BM_HsdfConversion(benchmark::State& state) {
+  const sdf::Graph& g = model(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::to_hsdf(g).graph.num_actors());
+  }
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_HsdfConversion)->DenseRange(0, 4);
+
+void BM_MaxCycleRatio(benchmark::State& state) {
+  const auto hsdf = analysis::to_hsdf(model(static_cast<int>(state.range(0))));
+  const auto problem = analysis::ratio_problem_from_hsdf(hsdf.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::max_cycle_ratio(problem).ratio);
+  }
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_MaxCycleRatio)->DenseRange(0, 4);
+
+void BM_MaxCycleRatioKarp(benchmark::State& state) {
+  const auto hsdf = analysis::to_hsdf(model(static_cast<int>(state.range(0))));
+  const auto problem = analysis::ratio_problem_from_hsdf(hsdf.graph);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::max_cycle_ratio_karp(problem).ratio);
+  }
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_MaxCycleRatioKarp)->DenseRange(0, 3);  // H.263's H is large
+
+void BM_DesignSpaceBounds(benchmark::State& state) {
+  const sdf::Graph& g = model(static_cast<int>(state.range(0)));
+  const sdf::ActorId target = models::reported_actor(g);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer::design_space_bounds(g, target).ub_size);
+  }
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_DesignSpaceBounds)->DenseRange(0, 4);
+
+void BM_IncrementalDse(benchmark::State& state) {
+  const sdf::Graph& g = model(static_cast<int>(state.range(0)));
+  const buffer::DseOptions opts{.target = models::reported_actor(g),
+                                .engine = buffer::DseEngine::Incremental};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(buffer::explore(g, opts).pareto.size());
+  }
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_IncrementalDse)->DenseRange(0, 3);  // H.263 covered elsewhere
+
+void BM_RandomGraphGeneration(benchmark::State& state) {
+  u64 seed = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gen::random_graph(
+            gen::RandomGraphOptions{.num_actors = 16, .seed = seed++})
+            .num_channels());
+  }
+}
+BENCHMARK(BM_RandomGraphGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Reproduces the Sec. 11 observation on the H.263 decoder: the Pareto space
+// contains very many points whose throughputs are close together, and
+// quantising the throughput dimension drastically reduces both the number
+// of Pareto points and the exploration time.
+#include <cstdio>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "buffer/dse.hpp"
+#include "models/models.hpp"
+
+using namespace buffy;
+
+int main() {
+  const sdf::Graph g = models::h263_decoder();
+  const sdf::ActorId target = models::reported_actor(g);
+
+  std::printf("=== Quantisation ablation on the H.263 decoder (Sec. 11) "
+              "===\n\n");
+  const std::vector<int> widths{16, 9, 15, 10};
+  bench::print_row({"quantisation", "pareto", "distributions", "time"},
+                   widths);
+  bench::print_rule(widths);
+
+  struct Config {
+    const char* label;
+    std::optional<i64> levels;
+  };
+  const Config configs[] = {
+      {"exact", std::nullopt}, {"64 levels", 64}, {"16 levels", 16},
+      {"8 levels", 8},         {"4 levels", 4},
+  };
+
+  std::size_t exact_points = 0;
+  u64 exact_probes = 0;
+  double exact_time = 0;
+  std::size_t coarse_points = 0;
+  u64 coarse_probes = 0;
+  double coarse_time = 0;
+  for (const Config& cfg : configs) {
+    buffer::DseOptions opts{.target = target,
+                            .engine = buffer::DseEngine::Incremental};
+    opts.quantization_levels = cfg.levels;
+    const auto r = buffer::explore(g, opts);
+    std::printf("%-16s %-9zu %-15llu %.3fs\n", cfg.label, r.pareto.size(),
+                static_cast<unsigned long long>(r.distributions_explored),
+                r.seconds);
+    if (!cfg.levels.has_value()) {
+      exact_points = r.pareto.size();
+      exact_probes = r.distributions_explored;
+      exact_time = r.seconds;
+    }
+    if (cfg.levels == 4) {
+      coarse_points = r.pareto.size();
+      coarse_probes = r.distributions_explored;
+      coarse_time = r.seconds;
+    }
+  }
+
+  const bool ok =
+      exact_points > 10 * coarse_points && coarse_probes < exact_probes;
+  std::printf("\npaper shape check (dense exact front; quantisation collapses "
+              "both the Pareto set and the exploration work): %s\n",
+              ok ? "OK" : "MISMATCH");
+  std::printf("  exact: %zu points, %llu probes, %.3fs; 4 levels: %zu "
+              "points, %llu probes, %.3fs\n",
+              exact_points, static_cast<unsigned long long>(exact_probes),
+              exact_time, coarse_points,
+              static_cast<unsigned long long>(coarse_probes), coarse_time);
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,84 @@
+// Shared formatting helpers for the reproduction benches: fixed-width
+// tables and ASCII staircase plots in the style of the paper's Fig. 5 and
+// Fig. 13 (distribution size on the x-axis, throughput on the y-axis).
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "base/string_util.hpp"
+#include "buffer/pareto.hpp"
+
+namespace buffy::bench {
+
+/// Prints a row of cells, each padded to the matching width.
+inline void print_row(const std::vector<std::string>& cells,
+                      const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    line += pad_right(cells[i],
+                      static_cast<std::size_t>(i < widths.size() ? widths[i]
+                                                                 : 12));
+    line += ' ';
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+inline void print_rule(const std::vector<int>& widths) {
+  std::string line;
+  for (const int w : widths) line += std::string(static_cast<std::size_t>(w), '-') + ' ';
+  std::printf("%s\n", line.c_str());
+}
+
+/// ASCII staircase: one column per size unit between the smallest and
+/// largest Pareto size, '#' marks the achievable throughput level.
+inline void print_pareto_staircase(const buffer::ParetoSet& pareto,
+                                   int height = 12) {
+  if (pareto.empty()) {
+    std::printf("  (empty Pareto space)\n");
+    return;
+  }
+  const auto& pts = pareto.points();
+  const i64 min_size = pts.front().size();
+  const i64 max_size = pts.back().size();
+  const double max_tput = pts.back().throughput.to_double();
+  const i64 span = max_size - min_size + 1;
+  const i64 step = span > 64 ? (span + 63) / 64 : 1;
+
+  for (int row = height; row >= 1; --row) {
+    const double level = max_tput * row / height;
+    std::string line = "  ";
+    for (i64 size = min_size; size <= max_size; size += step) {
+      // Throughput achievable with a budget of `size`.
+      double achieved = 0.0;
+      for (const auto& p : pts) {
+        if (p.size() <= size) achieved = p.throughput.to_double();
+      }
+      line += achieved >= level - 1e-12 ? '#' : ' ';
+    }
+    std::printf("%8.4f |%s\n", level, line.c_str());
+  }
+  std::string axis = "---------+--";
+  for (i64 size = min_size; size <= max_size; size += step) axis += '-';
+  std::printf("%s\n", axis.c_str());
+  std::printf("  size:  %lld .. %lld (one column per %lld token%s)\n",
+              static_cast<long long>(min_size),
+              static_cast<long long>(max_size), static_cast<long long>(step),
+              step == 1 ? "" : "s");
+}
+
+/// Prints the Pareto points as a table.
+inline void print_pareto_table(const buffer::ParetoSet& pareto) {
+  const std::vector<int> widths{6, 14, 12, 28};
+  print_row({"size", "throughput", "(decimal)", "distribution"}, widths);
+  print_rule(widths);
+  for (const auto& p : pareto.points()) {
+    std::printf("%-6lld %-14s %-12.6g %s\n",
+                static_cast<long long>(p.size()), p.throughput.str().c_str(),
+                p.throughput.to_double(), p.distribution.str().c_str());
+  }
+}
+
+}  // namespace buffy::bench

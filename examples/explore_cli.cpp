@@ -1,0 +1,218 @@
+// explore_cli: the buffy tool as a command-line utility (paper Sec. 10).
+//
+// Reads an SDF graph from an SDF3-style XML file or the compact text DSL,
+// explores its storage/throughput design space and reports the Pareto
+// points. Optionally restricts the explored region (as the paper's tool
+// allows), extracts the schedule of a chosen point, exports DOT, or emits
+// the specialised Fig. 8 exploration program.
+//
+// Usage:
+//   explore_cli <graph.{xml,sdf}> [options]
+// Options:
+//   --target <actor>      actor whose throughput is explored (default: last)
+//   --engine <inc|exh>    exploration engine (default: inc)
+//   --levels <n>          quantise to n throughput levels
+//   --max-size <n>        explore distributions up to this size only
+//   --goal <rational>     stop once this throughput is reached (e.g. 1/4)
+//   --min-tput <rational> report only points at or above this throughput
+//   --schedule            print the Gantt chart of every Pareto point
+//   --dot <file>          write DOT annotated with the best distribution
+//   --codegen <file>      write the generated Fig. 8 explorer program
+//   --csdf                treat the input as a cyclo-static (CSDF) graph
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "base/diagnostics.hpp"
+#include "base/string_util.hpp"
+#include "buffer/dse.hpp"
+#include "codegen/codegen.hpp"
+#include "csdf/dse.hpp"
+#include "io/csdf_io.hpp"
+#include "io/dot.hpp"
+#include "io/dsl.hpp"
+#include "io/sdf_xml.hpp"
+#include "sched/extract.hpp"
+#include "sched/render.hpp"
+
+using namespace buffy;
+
+namespace {
+
+void usage() {
+  std::printf(
+      "usage: explore_cli <graph.{xml,sdf}> [--target ACTOR] "
+      "[--engine inc|exh]\n"
+      "                   [--levels N] [--max-size N] [--goal R] "
+      "[--min-tput R]\n"
+      "                   [--schedule] [--dot FILE] [--codegen FILE] "
+      "[--csdf]\n");
+}
+
+// CSDF mode: the cyclo-static design-space exploration (see src/csdf/).
+int explore_csdf(const std::string& path, const std::string& target_name,
+                 std::optional<i64> levels, std::optional<i64> max_size) {
+  const csdf::Graph graph = io::load_csdf_file(path);
+  csdf::DseOptions opts{.target = csdf::ActorId(graph.num_actors() - 1)};
+  if (!target_name.empty()) {
+    const auto id = graph.find_actor(target_name);
+    if (!id) throw Error("no actor named '" + target_name + "'");
+    opts.target = *id;
+  }
+  opts.max_distribution_size = max_size;
+  std::printf("CSDF graph '%s': %zu actors, %zu channels; target '%s'\n",
+              graph.name().c_str(), graph.num_actors(), graph.num_channels(),
+              graph.actor(opts.target).name.c_str());
+  auto result = csdf::explore(graph, opts);
+  if (levels.has_value() && !result.deadlock) {
+    opts.quantization = result.max_throughput / Rational(*levels);
+    result = csdf::explore(graph, opts);
+  }
+  if (result.deadlock) {
+    std::printf("the graph deadlocks under every storage distribution\n");
+    return 1;
+  }
+  std::printf("maximal throughput: %s; explored %llu distributions\n\n",
+              result.max_throughput.str().c_str(),
+              static_cast<unsigned long long>(result.distributions_explored));
+  std::printf("Pareto points:\n%s", result.pareto.str().c_str());
+  return 0;
+}
+
+sdf::Graph load(const std::string& path) {
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".xml") {
+    return io::load_sdf_xml_file(path);
+  }
+  return io::load_dsl_file(path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 0;
+  }
+  try {
+    // CSDF mode is dispatched before the SDF graph is even loaded.
+    bool csdf_mode = false;
+    std::string csdf_target;
+    std::optional<i64> csdf_levels;
+    std::optional<i64> csdf_max_size;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--csdf") csdf_mode = true;
+      if (arg == "--target" && i + 1 < argc) csdf_target = argv[i + 1];
+      if (arg == "--levels" && i + 1 < argc) {
+        csdf_levels = parse_i64(argv[i + 1]);
+      }
+      if (arg == "--max-size" && i + 1 < argc) {
+        csdf_max_size = parse_i64(argv[i + 1]);
+      }
+    }
+    if (csdf_mode) {
+      return explore_csdf(argv[1], csdf_target, csdf_levels, csdf_max_size);
+    }
+
+    const sdf::Graph graph = load(argv[1]);
+
+    buffer::DseOptions opts{.target = sdf::ActorId(graph.num_actors() - 1),
+                            .engine = buffer::DseEngine::Incremental};
+    bool print_schedules = false;
+    std::string dot_path;
+    std::string codegen_path;
+    for (int i = 2; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) throw Error("missing value for " + arg);
+        return argv[++i];
+      };
+      if (arg == "--target") {
+        const std::string name = value();
+        const auto id = graph.find_actor(name);
+        if (!id) throw Error("no actor named '" + name + "'");
+        opts.target = *id;
+      } else if (arg == "--engine") {
+        const std::string engine = value();
+        if (engine == "inc") {
+          opts.engine = buffer::DseEngine::Incremental;
+        } else if (engine == "exh") {
+          opts.engine = buffer::DseEngine::Exhaustive;
+        } else {
+          throw Error("unknown engine '" + engine + "'");
+        }
+      } else if (arg == "--levels") {
+        opts.quantization_levels = parse_i64(value());
+      } else if (arg == "--max-size") {
+        opts.max_distribution_size = parse_i64(value());
+      } else if (arg == "--goal") {
+        opts.throughput_goal = parse_rational(value());
+      } else if (arg == "--min-tput") {
+        opts.min_throughput = parse_rational(value());
+      } else if (arg == "--schedule") {
+        print_schedules = true;
+      } else if (arg == "--dot") {
+        dot_path = value();
+      } else if (arg == "--codegen") {
+        codegen_path = value();
+      } else {
+        usage();
+        throw Error("unknown option '" + arg + "'");
+      }
+    }
+
+    std::printf("graph '%s': %zu actors, %zu channels; target actor '%s'\n",
+                graph.name().c_str(), graph.num_actors(),
+                graph.num_channels(), graph.actor(opts.target).name.c_str());
+
+    const auto result = buffer::explore(graph, opts);
+    if (result.bounds.deadlock) {
+      std::printf("the graph deadlocks under every storage distribution\n");
+      return 1;
+    }
+    std::printf("bounds: lb = %lld tokens, ub = %lld tokens, maximal "
+                "throughput = %s\n",
+                static_cast<long long>(result.bounds.lb_size),
+                static_cast<long long>(result.bounds.ub_size),
+                result.bounds.max_throughput.str().c_str());
+    std::printf("explored %llu distributions in %.3f s (max %llu states per "
+                "run)\n\n",
+                static_cast<unsigned long long>(result.distributions_explored),
+                result.seconds,
+                static_cast<unsigned long long>(result.max_states_stored));
+
+    std::printf("Pareto points:\n%s", result.pareto.str().c_str());
+
+    if (print_schedules) {
+      for (const buffer::ParetoPoint& p : result.pareto.points()) {
+        const auto ex = sched::extract_schedule(
+            graph, state::Capacities::bounded(p.distribution.capacities()),
+            opts.target);
+        std::printf("\nschedule for %s (throughput %s):\n%s",
+                    p.distribution.str().c_str(), p.throughput.str().c_str(),
+                    sched::render_gantt(graph, ex.schedule,
+                                        ex.schedule.cycle_start() +
+                                            2 * ex.schedule.period())
+                        .c_str());
+      }
+    }
+
+    if (!dot_path.empty() && !result.pareto.empty()) {
+      std::ofstream out(dot_path);
+      out << io::write_dot(graph,
+                           result.pareto.points().back().distribution);
+      std::printf("\nwrote %s\n", dot_path.c_str());
+    }
+    if (!codegen_path.empty()) {
+      codegen::write_explorer_source(graph, opts.target, codegen_path);
+      std::printf("wrote %s (build: c++ -std=c++17 -O2 -o explore %s)\n",
+                  codegen_path.c_str(), codegen_path.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

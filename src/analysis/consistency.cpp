@@ -1,0 +1,33 @@
+#include "analysis/consistency.hpp"
+
+#include "analysis/repetition_vector.hpp"
+#include "base/diagnostics.hpp"
+
+namespace buffy::analysis {
+
+bool is_consistent(const sdf::Graph& graph) {
+  if (graph.num_actors() == 0) return true;
+  try {
+    (void)repetition_vector(graph);
+    return true;
+  } catch (const ConsistencyError&) {
+    return false;
+  }
+}
+
+void require_consistent(const sdf::Graph& graph) {
+  if (graph.num_actors() == 0) return;
+  (void)repetition_vector(graph);
+}
+
+std::string explain_inconsistency(const sdf::Graph& graph) {
+  if (graph.num_actors() == 0) return "";
+  try {
+    (void)repetition_vector(graph);
+    return "";
+  } catch (const ConsistencyError& e) {
+    return e.what();
+  }
+}
+
+}  // namespace buffy::analysis

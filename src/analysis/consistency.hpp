@@ -1,0 +1,27 @@
+// Consistency checking (paper Sec. 3, [Lee91]).
+//
+// Consistent graphs are exactly those that admit a deadlock-free execution
+// in bounded memory; the buffer-sizing problem is trivial for inconsistent
+// graphs (throughput is 0 for every finite storage distribution or token
+// counts grow without bound), so every analysis in buffy requires
+// consistency up front.
+#pragma once
+
+#include <string>
+
+#include "sdf/graph.hpp"
+
+namespace buffy::analysis {
+
+/// True when a repetition vector exists.
+[[nodiscard]] bool is_consistent(const sdf::Graph& graph);
+
+/// Throws ConsistencyError (with the offending channel named) when the
+/// graph is inconsistent; no-op otherwise.
+void require_consistent(const sdf::Graph& graph);
+
+/// Human-readable explanation of the inconsistency; empty string when the
+/// graph is consistent.
+[[nodiscard]] std::string explain_inconsistency(const sdf::Graph& graph);
+
+}  // namespace buffy::analysis

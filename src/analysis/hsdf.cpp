@@ -1,0 +1,97 @@
+#include "analysis/hsdf.hpp"
+
+#include <map>
+#include <string>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::analysis {
+
+bool is_homogeneous(const sdf::Graph& graph) {
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    const sdf::Channel& ch = graph.channel(c);
+    if (ch.production != 1 || ch.consumption != 1) return false;
+  }
+  return true;
+}
+
+HsdfResult to_hsdf(const sdf::Graph& graph) {
+  const RepetitionVector q = repetition_vector(graph);
+
+  HsdfResult result{sdf::Graph(graph.name() + "_hsdf"), {}, {}, {}};
+  result.copies.resize(graph.num_actors());
+
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    const sdf::Actor& actor = graph.actor(a);
+    for (i64 k = 0; k < q[a]; ++k) {
+      const sdf::ActorId node = result.graph.add_actor(sdf::Actor{
+          .name = actor.name + "_" + std::to_string(k),
+          .execution_time = actor.execution_time,
+      });
+      result.source_actor.push_back(a);
+      result.copy_index.push_back(k);
+      result.copies[a.index()].push_back(node);
+    }
+  }
+
+  // No-auto-concurrency chain: a_k -> a_{k+1}, wrap-around with one token.
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    const auto& copies = result.copies[a.index()];
+    const i64 count = static_cast<i64>(copies.size());
+    for (i64 k = 0; k < count; ++k) {
+      const i64 next = (k + 1) % count;
+      result.graph.add_channel(sdf::Channel{
+          .name = graph.actor(a).name + "_seq_" + std::to_string(k),
+          .src = copies[k],
+          .dst = copies[next],
+          .production = 1,
+          .consumption = 1,
+          .initial_tokens = next == 0 ? 1 : 0,
+      });
+    }
+  }
+
+  // Data dependencies. For consumer firing J, token l of channel (p, c, d):
+  // the n-th token overall (n = J*c + l) was produced by global firing
+  // F = floor((n - d) / p) of the producer; F < 0 means an initial token
+  // produced "before time". The producing copy is F mod q(src) and the
+  // delay is the iteration distance.
+  for (const sdf::ChannelId cid : graph.channel_ids()) {
+    const sdf::Channel& ch = graph.channel(cid);
+    const i64 q_src = q[ch.src];
+    const i64 q_dst = q[ch.dst];
+    // Tightest (minimum) delay per (producer copy, consumer copy) pair.
+    std::map<std::pair<i64, i64>, i64> min_delay;
+    for (i64 j = 0; j < q_dst; ++j) {
+      for (i64 l = 0; l < ch.consumption; ++l) {
+        const i64 n = checked_add(checked_mul(j, ch.consumption), l);
+        const i64 f = floor_div(checked_sub(n, ch.initial_tokens),
+                                ch.production);
+        const i64 copy = positive_mod(f, q_src);
+        const i64 delay = (copy - f) / q_src;
+        BUFFY_ASSERT(delay >= 0, "negative HSDF delay");
+        const auto key = std::make_pair(copy, j);
+        const auto it = min_delay.find(key);
+        if (it == min_delay.end() || delay < it->second) {
+          min_delay[key] = delay;
+        }
+      }
+    }
+    i64 edge_seq = 0;
+    for (const auto& [key, delay] : min_delay) {
+      const auto [src_copy, dst_copy] = key;
+      result.graph.add_channel(sdf::Channel{
+          .name = ch.name + "_" + std::to_string(edge_seq++),
+          .src = result.copies[ch.src.index()][src_copy],
+          .dst = result.copies[ch.dst.index()][dst_copy],
+          .production = 1,
+          .consumption = 1,
+          .initial_tokens = delay,
+      });
+    }
+  }
+
+  return result;
+}
+
+}  // namespace buffy::analysis

@@ -1,0 +1,41 @@
+// SDF to HSDF (homogeneous SDF) expansion.
+//
+// Each actor a is replaced by q(a) copies, one per firing in an iteration;
+// each token consumption is turned into a single-rate dependency edge whose
+// initial tokens equal the iteration distance between producing and
+// consuming firing. The paper uses this expansion (via [GG93]) to obtain the
+// maximal achievable throughput of a graph, which frames the throughput
+// dimension of the design space (Sec. 8/9).
+//
+// The expansion also encodes the paper's no-auto-concurrency rule: the
+// firings a_0 .. a_{q-1} of an actor are chained, with a wrap-around edge
+// carrying one initial token from the last copy back to the first.
+#pragma once
+
+#include <vector>
+
+#include "analysis/repetition_vector.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::analysis {
+
+/// Result of the expansion. `graph` is single-rate: every port rate is 1 and
+/// the initial tokens of an edge are its iteration delay.
+struct HsdfResult {
+  sdf::Graph graph;
+  /// Original actor for each HSDF node (indexed by HSDF actor index).
+  std::vector<sdf::ActorId> source_actor;
+  /// Firing index within the iteration for each HSDF node.
+  std::vector<i64> copy_index;
+  /// HSDF copies of each original actor (indexed by original actor index).
+  std::vector<std::vector<sdf::ActorId>> copies;
+};
+
+/// Expands a consistent graph; size of the result is sum(q) nodes.
+/// Throws ConsistencyError for inconsistent graphs.
+[[nodiscard]] HsdfResult to_hsdf(const sdf::Graph& graph);
+
+/// True when every rate in the graph is 1 (the graph is homogeneous).
+[[nodiscard]] bool is_homogeneous(const sdf::Graph& graph);
+
+}  // namespace buffy::analysis

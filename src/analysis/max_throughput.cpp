@@ -1,0 +1,28 @@
+#include "analysis/max_throughput.hpp"
+
+#include "analysis/hsdf.hpp"
+#include "base/diagnostics.hpp"
+
+namespace buffy::analysis {
+
+Rational MaxThroughput::actor_throughput(sdf::ActorId a) const {
+  if (deadlock) return Rational(0);
+  return Rational(repetitions[a]) / iteration_period;
+}
+
+MaxThroughput max_throughput(const sdf::Graph& graph) {
+  BUFFY_REQUIRE(graph.num_actors() > 0, "max throughput of an empty graph");
+  const HsdfResult hsdf = to_hsdf(graph);
+  const RatioProblem problem = ratio_problem_from_hsdf(hsdf.graph);
+  const CycleRatioResult mcr = max_cycle_ratio(problem);
+  // The no-auto-concurrency chains guarantee at least one cycle per actor.
+  BUFFY_ASSERT(mcr.has_cycle, "HSDF expansion without cycles");
+  MaxThroughput out{
+      .deadlock = mcr.deadlock,
+      .iteration_period = mcr.deadlock ? Rational(0) : mcr.ratio,
+      .repetitions = repetition_vector(graph),
+  };
+  return out;
+}
+
+}  // namespace buffy::analysis

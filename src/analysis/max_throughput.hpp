@@ -1,0 +1,39 @@
+// Maximal achievable throughput of an SDF graph (paper Sec. 8/9, via the
+// [GG93] route: HSDF expansion + maximum cycle ratio).
+//
+// The result is the throughput the graph attains under self-timed execution
+// with sufficiently large buffers; it is the upper bound of the throughput
+// dimension of the storage/throughput design space.
+#pragma once
+
+#include <optional>
+
+#include "analysis/mcm.hpp"
+#include "analysis/repetition_vector.hpp"
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::analysis {
+
+/// Maximal-throughput summary of a consistent graph.
+struct MaxThroughput {
+  /// True when the graph deadlocks regardless of buffering (a dependency
+  /// cycle without initial tokens).
+  bool deadlock = false;
+  /// Iteration period: time per graph iteration in the periodic phase.
+  /// Meaningful only when !deadlock.
+  Rational iteration_period;
+  /// Repetition vector used for per-actor throughput.
+  RepetitionVector repetitions;
+
+  /// Firings of the given actor per time step: q(a) / iteration_period,
+  /// or 0 on deadlock.
+  [[nodiscard]] Rational actor_throughput(sdf::ActorId a) const;
+};
+
+/// Computes the maximal achievable throughput via HSDF + max cycle ratio.
+/// Intended for graphs whose repetition-vector sum is moderate (the HSDF
+/// expansion has sum(q) nodes). Throws ConsistencyError when inconsistent.
+[[nodiscard]] MaxThroughput max_throughput(const sdf::Graph& graph);
+
+}  // namespace buffy::analysis

@@ -1,0 +1,516 @@
+#include "analysis/mcm.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::analysis {
+
+RatioProblem ratio_problem_from_hsdf(const sdf::Graph& hsdf) {
+  RatioProblem problem;
+  problem.num_nodes = hsdf.num_actors();
+  problem.edges.reserve(hsdf.num_channels());
+  for (const sdf::ChannelId c : hsdf.channel_ids()) {
+    const sdf::Channel& ch = hsdf.channel(c);
+    if (ch.production != 1 || ch.consumption != 1) {
+      throw GraphError("cycle-ratio problem requires a homogeneous graph; "
+                       "channel '" + ch.name + "' is multirate");
+    }
+    problem.edges.push_back(RatioEdge{
+        .src = ch.src.index(),
+        .dst = ch.dst.index(),
+        .weight = hsdf.actor(ch.src).execution_time,
+        .tokens = ch.initial_tokens,
+    });
+  }
+  return problem;
+}
+
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// Detects a directed cycle using only edges satisfying the filter; returns
+// one such cycle (node indices, first node not repeated) or empty.
+template <typename EdgeFilter>
+std::vector<std::size_t> find_cycle(const RatioProblem& problem,
+                                    EdgeFilter include) {
+  // Adjacency restricted to the filtered edges.
+  std::vector<std::vector<std::size_t>> adj(problem.num_nodes);
+  for (std::size_t e = 0; e < problem.edges.size(); ++e) {
+    if (include(problem.edges[e])) {
+      adj[problem.edges[e].src].push_back(problem.edges[e].dst);
+    }
+  }
+  enum class Colour { White, Grey, Black };
+  std::vector<Colour> colour(problem.num_nodes, Colour::White);
+  std::vector<std::size_t> parent(problem.num_nodes, kNone);
+  // Iterative DFS storing (node, next-neighbour position).
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  for (std::size_t root = 0; root < problem.num_nodes; ++root) {
+    if (colour[root] != Colour::White) continue;
+    colour[root] = Colour::Grey;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [node, pos] = stack.back();
+      if (pos == adj[node].size()) {
+        colour[node] = Colour::Black;
+        stack.pop_back();
+        continue;
+      }
+      const std::size_t next = adj[node][pos];
+      ++pos;
+      if (colour[next] == Colour::Grey) {
+        // Back edge node -> next closes a cycle next -> ... -> node.
+        std::vector<std::size_t> cycle{next};
+        for (std::size_t cur = node; cur != next; cur = parent[cur]) {
+          cycle.push_back(cur);
+        }
+        std::reverse(cycle.begin() + 1, cycle.end());
+        return cycle;
+      }
+      if (colour[next] == Colour::White) {
+        colour[next] = Colour::Grey;
+        parent[next] = node;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return {};
+}
+
+struct BellmanFordOutcome {
+  bool positive_cycle = false;
+  // Node sequence of a (simple) cycle whose transformed weight is positive.
+  std::vector<std::size_t> cycle;
+};
+
+// Longest-path Bellman-Ford on edge values w*den - num*t; reports a cycle
+// with strictly positive transformed weight when one exists.
+BellmanFordOutcome positive_cycle(const RatioProblem& problem,
+                                  const Rational& lambda) {
+  const std::size_t n = problem.num_nodes;
+  std::vector<i64> value(problem.edges.size());
+  for (std::size_t e = 0; e < problem.edges.size(); ++e) {
+    value[e] = checked_sub(checked_mul(problem.edges[e].weight, lambda.den()),
+                           checked_mul(lambda.num(), problem.edges[e].tokens));
+  }
+  // Virtual source: every node starts at distance zero.
+  std::vector<i64> dist(n, 0);
+  std::vector<std::size_t> pred(n, kNone);
+  std::size_t last_updated = kNone;
+  for (std::size_t round = 0; round <= n; ++round) {
+    last_updated = kNone;
+    for (std::size_t e = 0; e < problem.edges.size(); ++e) {
+      const RatioEdge& edge = problem.edges[e];
+      const i64 candidate = checked_add(dist[edge.src], value[e]);
+      if (candidate > dist[edge.dst]) {
+        dist[edge.dst] = candidate;
+        pred[edge.dst] = edge.src;
+        last_updated = edge.dst;
+      }
+    }
+    if (last_updated == kNone) return {};
+  }
+  // Still relaxing after n rounds: walk n predecessors to land on a cycle
+  // of the predecessor graph, then collect it.
+  std::size_t cur = last_updated;
+  for (std::size_t i = 0; i < n; ++i) cur = pred[cur];
+  BellmanFordOutcome out;
+  out.positive_cycle = true;
+  std::vector<bool> on_path(n, false);
+  std::vector<std::size_t> path;
+  while (!on_path[cur]) {
+    on_path[cur] = true;
+    path.push_back(cur);
+    cur = pred[cur];
+  }
+  // path holds the walk backwards; the cycle is the suffix starting at cur.
+  const auto start = std::find(path.begin(), path.end(), cur);
+  out.cycle.assign(start, path.end());
+  std::reverse(out.cycle.begin(), out.cycle.end());
+  return out;
+}
+
+// Exact ratio of a cycle given as a node sequence: picks, for each hop, the
+// parallel edge maximising the ratio contribution is ambiguous, so we use
+// the edge maximising weight*den - num*tokens at the current lambda; for
+// ratio computation we instead simply take, per hop, the edge with maximum
+// (weight, -tokens) lexicographically among those connecting the hop. To
+// stay faithful to the cycle found by Bellman-Ford we recompute using the
+// best transformed value at the lambda that discovered it.
+struct CycleRatio {
+  i64 weight = 0;
+  i64 tokens = 0;
+};
+
+CycleRatio cycle_ratio(const RatioProblem& problem,
+                       const std::vector<std::size_t>& cycle,
+                       const Rational& lambda) {
+  CycleRatio total;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    const std::size_t src = cycle[i];
+    const std::size_t dst = cycle[(i + 1) % cycle.size()];
+    bool found = false;
+    i64 best_value = 0;
+    i64 best_weight = 0;
+    i64 best_tokens = 0;
+    for (const RatioEdge& e : problem.edges) {
+      if (e.src != src || e.dst != dst) continue;
+      const i64 v = checked_sub(checked_mul(e.weight, lambda.den()),
+                                checked_mul(lambda.num(), e.tokens));
+      if (!found || v > best_value) {
+        found = true;
+        best_value = v;
+        best_weight = e.weight;
+        best_tokens = e.tokens;
+      }
+    }
+    BUFFY_ASSERT(found, "cycle hop without a connecting edge");
+    total.weight = checked_add(total.weight, best_weight);
+    total.tokens = checked_add(total.tokens, best_tokens);
+  }
+  return total;
+}
+
+}  // namespace
+
+CycleRatioResult max_cycle_ratio(const RatioProblem& problem) {
+  CycleRatioResult result;
+
+  // Deadlock: a cycle using only token-free edges can never make progress.
+  const auto dead = find_cycle(
+      problem, [](const RatioEdge& e) { return e.tokens == 0; });
+  if (!dead.empty()) {
+    result.has_cycle = true;
+    result.deadlock = true;
+    result.critical_cycle = dead;
+    return result;
+  }
+
+  // Cycle-improvement iteration: repeatedly ask Bellman-Ford for a cycle
+  // strictly better than the best ratio seen so far. Every extracted cycle
+  // is simple and strictly improves the bound, so this terminates with the
+  // exact maximum.
+  Rational best(0);
+  while (true) {
+    const BellmanFordOutcome out = positive_cycle(problem, best);
+    if (!out.positive_cycle) break;
+    const CycleRatio cr = cycle_ratio(problem, out.cycle, best);
+    BUFFY_ASSERT(cr.tokens > 0, "token-free cycle escaped deadlock check");
+    const Rational ratio(cr.weight, cr.tokens);
+    BUFFY_ASSERT(ratio > best, "cycle improvement did not improve");
+    best = ratio;
+    result.critical_cycle = out.cycle;
+    result.has_cycle = true;
+  }
+  result.ratio = best;
+  if (!result.has_cycle) {
+    // No cycle with positive transformed weight at lambda = 0 means no cycle
+    // at all (all weights are positive in HSDF problems) -- but for general
+    // problems a zero-weight cycle could exist; report it as ratio 0.
+    const auto any = find_cycle(problem, [](const RatioEdge&) { return true; });
+    if (!any.empty()) {
+      result.has_cycle = true;
+      result.ratio = Rational(0);
+      result.critical_cycle = any;
+    }
+  }
+  return result;
+}
+
+namespace {
+
+// Depth-first enumeration of all simple cycles that only revisit the start
+// node, restricted to nodes >= start (each cycle found exactly once, at its
+// minimal node). Exponential; test-oracle use only.
+void enumerate_cycles(const RatioProblem& problem,
+                      const std::vector<std::vector<std::size_t>>& out_edges,
+                      std::size_t start, std::vector<std::size_t>& path,
+                      std::vector<i64>& weight_stack,
+                      std::vector<i64>& token_stack, std::vector<bool>& on_path,
+                      CycleRatioResult& result) {
+  const std::size_t node = path.back();
+  for (const std::size_t e : out_edges[node]) {
+    const RatioEdge& edge = problem.edges[e];
+    if (edge.dst < start) continue;
+    if (edge.dst == start) {
+      i64 w = edge.weight;
+      i64 t = edge.tokens;
+      for (std::size_t i = 0; i < weight_stack.size(); ++i) {
+        w = checked_add(w, weight_stack[i]);
+        t = checked_add(t, token_stack[i]);
+      }
+      result.has_cycle = true;
+      if (t == 0) {
+        result.deadlock = true;
+        result.critical_cycle = path;
+        continue;
+      }
+      const Rational ratio(w, t);
+      if (result.deadlock) continue;
+      if (result.critical_cycle.empty() || ratio > result.ratio) {
+        result.ratio = ratio;
+        result.critical_cycle = path;
+      }
+      continue;
+    }
+    if (on_path[edge.dst]) continue;
+    on_path[edge.dst] = true;
+    path.push_back(edge.dst);
+    weight_stack.push_back(edge.weight);
+    token_stack.push_back(edge.tokens);
+    enumerate_cycles(problem, out_edges, start, path, weight_stack,
+                     token_stack, on_path, result);
+    token_stack.pop_back();
+    weight_stack.pop_back();
+    path.pop_back();
+    on_path[edge.dst] = false;
+  }
+}
+
+}  // namespace
+
+namespace {
+
+// Kosaraju SCC on the problem graph; returns component index per node.
+std::vector<std::size_t> components_of(const RatioProblem& problem,
+                                       std::size_t& count) {
+  const std::size_t n = problem.num_nodes;
+  std::vector<std::vector<std::size_t>> fwd(n), rev(n);
+  for (const RatioEdge& e : problem.edges) {
+    fwd[e.src].push_back(e.dst);
+    rev[e.dst].push_back(e.src);
+  }
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> order;
+  order.reserve(n);
+  for (std::size_t root = 0; root < n; ++root) {
+    if (seen[root]) continue;
+    // Iterative post-order DFS.
+    std::vector<std::pair<std::size_t, std::size_t>> stack{{root, 0}};
+    seen[root] = true;
+    while (!stack.empty()) {
+      auto& [node, pos] = stack.back();
+      if (pos < fwd[node].size()) {
+        const std::size_t next = fwd[node][pos++];
+        if (!seen[next]) {
+          seen[next] = true;
+          stack.emplace_back(next, 0);
+        }
+      } else {
+        order.push_back(node);
+        stack.pop_back();
+      }
+    }
+  }
+  std::vector<std::size_t> component(n, 0);
+  std::vector<bool> assigned(n, false);
+  count = 0;
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    if (assigned[*it]) continue;
+    std::vector<std::size_t> stack{*it};
+    assigned[*it] = true;
+    while (!stack.empty()) {
+      const std::size_t cur = stack.back();
+      stack.pop_back();
+      component[cur] = count;
+      for (const std::size_t next : rev[cur]) {
+        if (!assigned[next]) {
+          assigned[next] = true;
+          stack.push_back(next);
+        }
+      }
+    }
+    ++count;
+  }
+  return component;
+}
+
+constexpr i64 kNegInf = std::numeric_limits<i64>::min() / 4;
+
+// Classic Karp (unit edge lengths) on one strongly connected component of a
+// unit graph: lambda = max_v min_k (D_n(v) - D_k(v)) / (n - k), with D_k(v)
+// the max weight over walks of exactly k edges from an arbitrary source.
+struct UnitEdge {
+  std::size_t src, dst;
+  i64 weight;
+};
+
+std::optional<Rational> karp_unit_component(
+    const std::vector<UnitEdge>& edges, const std::vector<std::size_t>& nodes,
+    std::size_t num_nodes_global) {
+  std::vector<std::size_t> local(num_nodes_global,
+                                 std::numeric_limits<std::size_t>::max());
+  for (std::size_t i = 0; i < nodes.size(); ++i) local[nodes[i]] = i;
+  const std::size_t n = nodes.size();
+  std::vector<UnitEdge> inside;
+  for (const UnitEdge& e : edges) {
+    if (local[e.src] < n && local[e.dst] < n) {
+      inside.push_back(UnitEdge{local[e.src], local[e.dst], e.weight});
+    }
+  }
+  if (inside.empty()) return std::nullopt;
+
+  std::vector<std::vector<i64>> d(n + 1, std::vector<i64>(n, kNegInf));
+  d[0][0] = 0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    for (const UnitEdge& e : inside) {
+      if (d[k - 1][e.src] == kNegInf) continue;
+      d[k][e.dst] = std::max(d[k][e.dst], d[k - 1][e.src] + e.weight);
+    }
+  }
+  std::optional<Rational> best;
+  for (std::size_t v = 0; v < n; ++v) {
+    if (d[n][v] == kNegInf) continue;
+    std::optional<Rational> worst;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (d[k][v] == kNegInf) continue;
+      const Rational candidate(d[n][v] - d[k][v], static_cast<i64>(n - k));
+      if (!worst.has_value() || candidate < *worst) worst = candidate;
+    }
+    if (worst.has_value() && (!best.has_value() || *worst > *best)) {
+      best = worst;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+CycleRatioResult max_cycle_ratio_karp(const RatioProblem& problem) {
+  CycleRatioResult result;
+  const auto dead = find_cycle(
+      problem, [](const RatioEdge& e) { return e.tokens == 0; });
+  if (!dead.empty()) {
+    result.has_cycle = true;
+    result.deadlock = true;
+    result.critical_cycle = dead;
+    return result;
+  }
+
+  // Step 1: expand every token to one unit edge. An edge with t tokens
+  // becomes a chain u ->(w) i1 ->(0) i2 ... ->(0) v of t unit edges;
+  // zero-token edges stay as weighted epsilon edges for step 2.
+  std::size_t next_node = problem.num_nodes;
+  std::vector<UnitEdge> unit_edges;
+  std::vector<UnitEdge> zero_edges;
+  for (const RatioEdge& e : problem.edges) {
+    if (e.tokens == 0) {
+      zero_edges.push_back(UnitEdge{e.src, e.dst, e.weight});
+      continue;
+    }
+    std::size_t cur = e.src;
+    for (i64 k = 0; k < e.tokens; ++k) {
+      const std::size_t nxt =
+          (k == e.tokens - 1) ? e.dst : next_node++;
+      unit_edges.push_back(
+          UnitEdge{cur, nxt, k == 0 ? e.weight : 0});
+      cur = nxt;
+    }
+  }
+  const std::size_t num_nodes = next_node;
+
+  // Step 2: contract the zero-token edges (a DAG after the deadlock check)
+  // into the unit edges: H-edge (src -> z) with weight w + longest zero
+  // path from the unit edge's head to z. Cycles of H are exactly the
+  // token-carrying cycles, with unit length per token.
+  std::vector<std::vector<UnitEdge>> zero_out(num_nodes);
+  std::vector<std::size_t> indegree(num_nodes, 0);
+  for (const UnitEdge& e : zero_edges) {
+    zero_out[e.src].push_back(e);
+    ++indegree[e.dst];
+  }
+  std::vector<std::size_t> topo;
+  topo.reserve(num_nodes);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    if (indegree[v] == 0) topo.push_back(v);
+  }
+  for (std::size_t i = 0; i < topo.size(); ++i) {
+    for (const UnitEdge& e : zero_out[topo[i]]) {
+      if (--indegree[e.dst] == 0) topo.push_back(e.dst);
+    }
+  }
+  BUFFY_ASSERT(topo.size() == num_nodes,
+               "zero-token cycle escaped deadlock check");
+
+  std::vector<UnitEdge> contracted;
+  std::vector<i64> dist(num_nodes, kNegInf);
+  for (const UnitEdge& ue : unit_edges) {
+    // Longest zero-paths from this unit edge's head.
+    std::fill(dist.begin(), dist.end(), kNegInf);
+    dist[ue.dst] = 0;
+    for (const std::size_t v : topo) {
+      if (dist[v] == kNegInf) continue;
+      for (const UnitEdge& ze : zero_out[v]) {
+        dist[ze.dst] = std::max(dist[ze.dst], dist[v] + ze.weight);
+      }
+    }
+    for (std::size_t z = 0; z < num_nodes; ++z) {
+      if (dist[z] == kNegInf) continue;
+      contracted.push_back(UnitEdge{ue.src, z, ue.weight + dist[z]});
+    }
+  }
+
+  // Step 3: classic Karp per strongly connected component of H.
+  RatioProblem h;
+  h.num_nodes = num_nodes;
+  for (const UnitEdge& e : contracted) {
+    h.edges.push_back(
+        RatioEdge{.src = e.src, .dst = e.dst, .weight = e.weight, .tokens = 1});
+  }
+  std::size_t count = 0;
+  const auto component = components_of(h, count);
+  std::vector<std::vector<std::size_t>> members(count);
+  for (std::size_t v = 0; v < num_nodes; ++v) {
+    members[component[v]].push_back(v);
+  }
+  for (const auto& nodes : members) {
+    if (nodes.size() == 0) continue;
+    std::vector<UnitEdge> comp_edges;
+    for (const UnitEdge& e : contracted) {
+      if (component[e.src] == component[nodes.front()] &&
+          component[e.dst] == component[nodes.front()]) {
+        comp_edges.push_back(e);
+      }
+    }
+    if (comp_edges.empty()) continue;
+    const auto ratio = karp_unit_component(comp_edges, nodes, num_nodes);
+    if (ratio.has_value()) {
+      result.has_cycle = true;
+      if (*ratio > result.ratio) result.ratio = *ratio;
+    }
+  }
+  if (!result.has_cycle) {
+    // Any cycle left after excluding token-free ones carries tokens, so
+    // finding none above means the original graph is acyclic.
+    const auto any = find_cycle(problem, [](const RatioEdge&) { return true; });
+    if (!any.empty()) {
+      result.has_cycle = true;
+      result.critical_cycle = any;
+    }
+  }
+  return result;
+}
+
+CycleRatioResult max_cycle_ratio_bruteforce(const RatioProblem& problem) {
+  CycleRatioResult result;
+  std::vector<std::vector<std::size_t>> out_edges(problem.num_nodes);
+  for (std::size_t e = 0; e < problem.edges.size(); ++e) {
+    out_edges[problem.edges[e].src].push_back(e);
+  }
+  for (std::size_t start = 0; start < problem.num_nodes; ++start) {
+    std::vector<std::size_t> path{start};
+    std::vector<i64> weights;
+    std::vector<i64> tokens;
+    std::vector<bool> on_path(problem.num_nodes, false);
+    on_path[start] = true;
+    enumerate_cycles(problem, out_edges, start, path, weights, tokens, on_path,
+                     result);
+  }
+  return result;
+}
+
+}  // namespace buffy::analysis

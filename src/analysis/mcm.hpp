@@ -1,0 +1,73 @@
+// Maximum cycle ratio analysis (the [GG93] role in the paper).
+//
+// For a homogeneous (single-rate) graph with execution times w and edge
+// token counts t, the iteration period of self-timed execution equals the
+// maximum over all directed cycles of (sum of execution times on the cycle)
+// divided by (sum of tokens on the cycle). A cycle with positive execution
+// time and zero tokens can never fire: deadlock.
+//
+// Two implementations are provided:
+//   * max_cycle_ratio        — cycle-improvement iteration with an exact
+//                              Bellman-Ford certificate (production use);
+//   * max_cycle_ratio_bruteforce — Johnson-style enumeration of all simple
+//                              cycles (exponential; test oracle only).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::analysis {
+
+/// Edge of a cycle-ratio problem.
+struct RatioEdge {
+  std::size_t src = 0;
+  std::size_t dst = 0;
+  /// Numerator contribution (execution time of src in the HSDF reading).
+  i64 weight = 0;
+  /// Denominator contribution (initial tokens / iteration delay).
+  i64 tokens = 0;
+};
+
+/// A directed multigraph with weights and token counts on its edges.
+struct RatioProblem {
+  std::size_t num_nodes = 0;
+  std::vector<RatioEdge> edges;
+};
+
+/// Outcome of a cycle-ratio computation.
+struct CycleRatioResult {
+  /// False when the graph has no directed cycle at all (ratio undefined).
+  bool has_cycle = false;
+  /// True when some cycle has positive weight but zero tokens.
+  bool deadlock = false;
+  /// Max cycle ratio; meaningful only when has_cycle && !deadlock.
+  Rational ratio;
+  /// Node indices of one critical cycle (first node not repeated).
+  std::vector<std::size_t> critical_cycle;
+};
+
+/// Builds the cycle-ratio problem of a homogeneous graph: edge weight is the
+/// execution time of the producing actor, edge tokens are the channel's
+/// initial tokens. Throws GraphError when the graph is not homogeneous.
+[[nodiscard]] RatioProblem ratio_problem_from_hsdf(const sdf::Graph& hsdf);
+
+/// Exact maximum cycle ratio (production algorithm).
+[[nodiscard]] CycleRatioResult max_cycle_ratio(const RatioProblem& problem);
+
+/// Exact maximum cycle ratio by enumerating all simple cycles (test oracle).
+[[nodiscard]] CycleRatioResult max_cycle_ratio_bruteforce(
+    const RatioProblem& problem);
+
+/// Third independent implementation: generalised Karp. Per strongly
+/// connected component, a DP over (token count, node) longest path weights
+/// yields the ratio via Karp's formula; zero-token edges are resolved in
+/// topological order (they form a DAG once deadlock is excluded).
+/// O(T * (n + m)) per component, T = component's token count.
+/// The critical_cycle field is not populated by this implementation.
+[[nodiscard]] CycleRatioResult max_cycle_ratio_karp(
+    const RatioProblem& problem);
+
+}  // namespace buffy::analysis

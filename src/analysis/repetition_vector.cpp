@@ -1,0 +1,105 @@
+#include "analysis/repetition_vector.hpp"
+
+#include <queue>
+
+#include "base/diagnostics.hpp"
+#include "base/rational.hpp"
+
+namespace buffy::analysis {
+
+RepetitionVector::RepetitionVector(std::vector<i64> counts)
+    : counts_(std::move(counts)) {
+  for (const i64 c : counts_) {
+    BUFFY_ASSERT(c > 0, "repetition vector entries must be positive");
+  }
+}
+
+i64 RepetitionVector::operator[](sdf::ActorId a) const {
+  BUFFY_REQUIRE(a.valid() && a.index() < counts_.size(),
+                "actor id outside repetition vector");
+  return counts_[a.index()];
+}
+
+i64 RepetitionVector::sum() const {
+  i64 total = 0;
+  for (const i64 c : counts_) total = checked_add(total, c);
+  return total;
+}
+
+i64 RepetitionVector::tokens_per_iteration(const sdf::Graph& graph,
+                                           sdf::ChannelId c) const {
+  const sdf::Channel& ch = graph.channel(c);
+  return checked_mul(ch.production, (*this)[ch.src]);
+}
+
+RepetitionVector repetition_vector(const sdf::Graph& graph) {
+  const std::size_t n = graph.num_actors();
+  BUFFY_REQUIRE(n > 0, "repetition vector of an empty graph");
+
+  // Firing fractions per actor, propagated over the balance equations
+  // f(dst) = f(src) * production / consumption along every channel.
+  std::vector<Rational> fraction(n);
+  std::vector<bool> assigned(n, false);
+  std::vector<std::size_t> component(n, 0);
+  std::size_t num_components = 0;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (assigned[root]) continue;
+    const std::size_t comp = num_components++;
+    fraction[root] = Rational(1);
+    assigned[root] = true;
+    component[root] = comp;
+    std::queue<std::size_t> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const sdf::ActorId cur(frontier.front());
+      frontier.pop();
+      auto propagate = [&](const sdf::Channel& ch, sdf::ActorId from,
+                           sdf::ActorId to, const Rational& ratio) {
+        const Rational expected = fraction[from.index()] * ratio;
+        if (!assigned[to.index()]) {
+          fraction[to.index()] = expected;
+          assigned[to.index()] = true;
+          component[to.index()] = comp;
+          frontier.push(to.index());
+        } else if (fraction[to.index()] != expected) {
+          throw ConsistencyError(
+              "graph '" + graph.name() + "' is inconsistent: channel '" +
+              ch.name + "' requires firing ratio " + expected.str() +
+              " for actor '" + graph.actor(to).name + "' but " +
+              fraction[to.index()].str() + " is already implied");
+        }
+      };
+      for (const sdf::ChannelId cid : graph.out_channels(cur)) {
+        const sdf::Channel& ch = graph.channel(cid);
+        propagate(ch, ch.src, ch.dst, Rational(ch.production, ch.consumption));
+      }
+      for (const sdf::ChannelId cid : graph.in_channels(cur)) {
+        const sdf::Channel& ch = graph.channel(cid);
+        propagate(ch, ch.dst, ch.src, Rational(ch.consumption, ch.production));
+      }
+    }
+  }
+
+  // Scale each component minimally: multiply by the lcm of denominators,
+  // then divide by the gcd of the resulting integers.
+  std::vector<i64> comp_lcm(num_components, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    comp_lcm[component[i]] = lcm(comp_lcm[component[i]], fraction[i].den());
+  }
+  std::vector<i64> counts(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    counts[i] = checked_mul(fraction[i].num(),
+                            comp_lcm[component[i]] / fraction[i].den());
+  }
+  std::vector<i64> comp_gcd(num_components, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    comp_gcd[component[i]] = gcd(comp_gcd[component[i]], counts[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    counts[i] /= comp_gcd[component[i]];
+  }
+  return RepetitionVector(std::move(counts));
+}
+
+}  // namespace buffy::analysis

@@ -1,0 +1,44 @@
+// Repetition vectors (paper Sec. 5, [Buc93]).
+//
+// A consistent SDF graph has a smallest non-trivial integer vector q such
+// that for every channel c: production(c) * q(src) == consumption(c) * q(dst).
+// One "iteration" of the graph fires every actor a exactly q(a) times and
+// returns every channel to its initial token count.
+#pragma once
+
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::analysis {
+
+/// The repetition vector of a consistent graph.
+class RepetitionVector {
+ public:
+  explicit RepetitionVector(std::vector<i64> counts);
+
+  /// Firings of the given actor per iteration.
+  [[nodiscard]] i64 operator[](sdf::ActorId a) const;
+
+  /// Total firings per iteration (sum of all entries).
+  [[nodiscard]] i64 sum() const;
+
+  /// Tokens crossing the given channel per iteration
+  /// (production * q(src) == consumption * q(dst)).
+  [[nodiscard]] i64 tokens_per_iteration(const sdf::Graph& graph,
+                                         sdf::ChannelId c) const;
+
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] const std::vector<i64>& counts() const { return counts_; }
+
+ private:
+  std::vector<i64> counts_;
+};
+
+/// Computes the repetition vector; throws ConsistencyError when none exists.
+/// Disconnected graphs are handled per weakly-connected component, each
+/// component minimally scaled.
+[[nodiscard]] RepetitionVector repetition_vector(const sdf::Graph& graph);
+
+}  // namespace buffy::analysis

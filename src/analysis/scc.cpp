@@ -1,0 +1,89 @@
+#include "analysis/scc.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace buffy::analysis {
+
+namespace {
+
+constexpr std::size_t kUnvisited = std::numeric_limits<std::size_t>::max();
+
+// Iterative Tarjan: explicit stack of (node, next-out-channel position).
+struct Tarjan {
+  const sdf::Graph& graph;
+  std::vector<std::size_t> index;
+  std::vector<std::size_t> lowlink;
+  std::vector<bool> on_stack;
+  std::vector<std::size_t> stack;
+  std::size_t next_index = 0;
+  SccResult result;
+
+  explicit Tarjan(const sdf::Graph& g)
+      : graph(g),
+        index(g.num_actors(), kUnvisited),
+        lowlink(g.num_actors(), 0),
+        on_stack(g.num_actors(), false) {
+    result.component.resize(g.num_actors(), 0);
+  }
+
+  void run(std::size_t root) {
+    std::vector<std::pair<std::size_t, std::size_t>> work{{root, 0}};
+    index[root] = lowlink[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!work.empty()) {
+      auto& [node, pos] = work.back();
+      const auto outs = graph.out_channels(sdf::ActorId(node));
+      if (pos < outs.size()) {
+        const std::size_t next = graph.channel(outs[pos]).dst.index();
+        ++pos;
+        if (index[next] == kUnvisited) {
+          index[next] = lowlink[next] = next_index++;
+          stack.push_back(next);
+          on_stack[next] = true;
+          work.emplace_back(next, 0);
+        } else if (on_stack[next]) {
+          lowlink[node] = std::min(lowlink[node], index[next]);
+        }
+        continue;
+      }
+      if (lowlink[node] == index[node]) {
+        std::vector<sdf::ActorId> members;
+        for (;;) {
+          const std::size_t top = stack.back();
+          stack.pop_back();
+          on_stack[top] = false;
+          result.component[top] = result.members.size();
+          members.emplace_back(top);
+          if (top == node) break;
+        }
+        std::reverse(members.begin(), members.end());
+        result.members.push_back(std::move(members));
+      }
+      const std::size_t finished = node;
+      work.pop_back();
+      if (!work.empty()) {
+        lowlink[work.back().first] =
+            std::min(lowlink[work.back().first], lowlink[finished]);
+      }
+    }
+  }
+};
+
+}  // namespace
+
+SccResult strongly_connected_components(const sdf::Graph& graph) {
+  Tarjan tarjan(graph);
+  for (std::size_t a = 0; a < graph.num_actors(); ++a) {
+    if (tarjan.index[a] == kUnvisited) tarjan.run(a);
+  }
+  return std::move(tarjan.result);
+}
+
+bool is_strongly_connected(const sdf::Graph& graph) {
+  if (graph.num_actors() == 0) return true;
+  return strongly_connected_components(graph).count() == 1;
+}
+
+}  // namespace buffy::analysis

@@ -1,0 +1,34 @@
+// Strongly connected components (Tarjan).
+//
+// Self-timed execution with unbounded buffers is eventually periodic only
+// for graphs whose actors are all throttled by feedback; SCC structure
+// tells an analysis up front whether a source can run away (tokens grow
+// without bound). The DSE itself never needs this — bounded capacities
+// create back-pressure — but diagnostics and the graph generator do.
+#pragma once
+
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace buffy::analysis {
+
+/// Partition of the actors into strongly connected components.
+struct SccResult {
+  /// Component index per actor (indexed by actor index); components are
+  /// numbered in reverse topological order (an edge u -> v across
+  /// components has component(u) >= component(v)).
+  std::vector<std::size_t> component;
+  /// Actors of each component.
+  std::vector<std::vector<sdf::ActorId>> members;
+
+  [[nodiscard]] std::size_t count() const { return members.size(); }
+};
+
+/// Tarjan's algorithm; linear in actors + channels.
+[[nodiscard]] SccResult strongly_connected_components(const sdf::Graph& graph);
+
+/// True when the whole graph is one strongly connected component.
+[[nodiscard]] bool is_strongly_connected(const sdf::Graph& graph);
+
+}  // namespace buffy::analysis

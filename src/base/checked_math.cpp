@@ -1,0 +1,70 @@
+#include "base/checked_math.hpp"
+
+#include "base/diagnostics.hpp"
+
+namespace buffy {
+
+i64 checked_add(i64 a, i64 b) {
+  i64 r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    throw OverflowError("integer overflow in addition");
+  }
+  return r;
+}
+
+i64 checked_sub(i64 a, i64 b) {
+  i64 r = 0;
+  if (__builtin_sub_overflow(a, b, &r)) {
+    throw OverflowError("integer overflow in subtraction");
+  }
+  return r;
+}
+
+i64 checked_mul(i64 a, i64 b) {
+  i64 r = 0;
+  if (__builtin_mul_overflow(a, b, &r)) {
+    throw OverflowError("integer overflow in multiplication");
+  }
+  return r;
+}
+
+i64 gcd(i64 a, i64 b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const i64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+i64 lcm(i64 a, i64 b) {
+  if (a == 0 || b == 0) return 0;
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  return checked_mul(a / gcd(a, b), b);
+}
+
+i64 floor_div(i64 a, i64 b) {
+  BUFFY_REQUIRE(b != 0, "division by zero");
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
+  return q;
+}
+
+i64 ceil_div(i64 a, i64 b) {
+  BUFFY_REQUIRE(b != 0, "division by zero");
+  i64 q = a / b;
+  if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
+  return q;
+}
+
+i64 positive_mod(i64 a, i64 b) {
+  BUFFY_REQUIRE(b != 0, "modulus by zero");
+  if (b < 0) b = -b;
+  const i64 r = a % b;
+  return r < 0 ? r + b : r;
+}
+
+}  // namespace buffy

@@ -1,0 +1,45 @@
+// Overflow-checked integer arithmetic and number-theoretic helpers.
+//
+// Buffer-sizing analysis multiplies port rates by repetition-vector entries;
+// for multirate graphs (e.g. the H.263 decoder with rates in the thousands)
+// intermediate products can approach the 64-bit range. Every arithmetic
+// operation used on such values goes through this header so that an overflow
+// raises a diagnosable error instead of silently corrupting an analysis
+// result.
+#pragma once
+
+#include <cstdint>
+
+namespace buffy {
+
+/// Signed 64-bit integer used for all token counts, time stamps and rates.
+using i64 = std::int64_t;
+/// Unsigned 64-bit integer used for hashes and state counts.
+using u64 = std::uint64_t;
+
+/// Returns a + b; throws OverflowError when the sum is unrepresentable.
+[[nodiscard]] i64 checked_add(i64 a, i64 b);
+
+/// Returns a - b; throws OverflowError when the difference is unrepresentable.
+[[nodiscard]] i64 checked_sub(i64 a, i64 b);
+
+/// Returns a * b; throws OverflowError when the product is unrepresentable.
+[[nodiscard]] i64 checked_mul(i64 a, i64 b);
+
+/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+[[nodiscard]] i64 gcd(i64 a, i64 b);
+
+/// Least common multiple of |a| and |b|; throws OverflowError when the
+/// result is unrepresentable. lcm(0, x) == 0.
+[[nodiscard]] i64 lcm(i64 a, i64 b);
+
+/// Floor division with the mathematical convention (rounds toward -inf).
+[[nodiscard]] i64 floor_div(i64 a, i64 b);
+
+/// Ceiling division with the mathematical convention (rounds toward +inf).
+[[nodiscard]] i64 ceil_div(i64 a, i64 b);
+
+/// Mathematical modulus: result is always in [0, |b|).
+[[nodiscard]] i64 positive_mod(i64 a, i64 b);
+
+}  // namespace buffy

@@ -1,0 +1,21 @@
+#include "base/diagnostics.hpp"
+
+#include <sstream>
+
+namespace buffy::detail {
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::ostringstream os;
+  os << "internal error: " << message << " [" << expr << " at " << file << ":"
+     << line << "]";
+  throw InternalError(os.str());
+}
+
+void require_fail(const char* file, int line, const std::string& message) {
+  std::ostringstream os;
+  os << message << " [" << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+}  // namespace buffy::detail

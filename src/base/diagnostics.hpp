@@ -1,0 +1,75 @@
+// Error types and internal-consistency checks for the buffy library.
+//
+// All recoverable failures (malformed input, inconsistent graphs, numeric
+// overflow) are reported via exceptions derived from buffy::Error so callers
+// can distinguish library failures from the standard library's. Internal
+// invariant violations use BUFFY_ASSERT, which throws InternalError rather
+// than aborting so that long design-space explorations can report the
+// offending distribution before terminating.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace buffy {
+
+/// Root of the buffy exception hierarchy.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Arithmetic left the representable 64-bit range.
+class OverflowError : public Error {
+ public:
+  explicit OverflowError(const std::string& what) : Error(what) {}
+};
+
+/// Malformed external input (XML, DSL, command line).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// A structurally invalid SDF graph was supplied to an analysis.
+class GraphError : public Error {
+ public:
+  explicit GraphError(const std::string& what) : Error(what) {}
+};
+
+/// The graph is not consistent (no repetition vector exists).
+class ConsistencyError : public GraphError {
+ public:
+  explicit ConsistencyError(const std::string& what) : GraphError(what) {}
+};
+
+/// A library invariant was violated; indicates a bug in buffy itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& message);
+[[noreturn]] void require_fail(const char* file, int line,
+                               const std::string& message);
+}  // namespace detail
+
+/// Internal invariant; failure indicates a buffy bug.
+#define BUFFY_ASSERT(expr, message)                                        \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::buffy::detail::assert_fail(#expr, __FILE__, __LINE__, (message));  \
+    }                                                                      \
+  } while (false)
+
+/// Precondition on caller-supplied data; failure throws buffy::Error.
+#define BUFFY_REQUIRE(expr, message)                                       \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::buffy::detail::require_fail(__FILE__, __LINE__, (message));        \
+    }                                                                      \
+  } while (false)
+
+}  // namespace buffy

@@ -1,0 +1,33 @@
+// Hashing used by the state-space stores.
+//
+// The reduced state space (Sec. 7 of the paper) is a hash map from timed SDF
+// states to visit indices; the quality of this hash directly determines the
+// cycle-detection cost on multi-million-state explorations. We use FNV-1a
+// over the raw state words followed by a 64-bit finaliser (splitmix64).
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "base/checked_math.hpp"
+
+namespace buffy {
+
+/// FNV-1a offset basis; exposed so tests can pin the algorithm down.
+inline constexpr u64 kFnvOffset = 1469598103934665603ULL;
+/// FNV-1a prime.
+inline constexpr u64 kFnvPrime = 1099511628211ULL;
+
+/// splitmix64 finalising mix; bijective on 64-bit words.
+[[nodiscard]] u64 mix64(u64 x);
+
+/// Incorporates one 64-bit word into a running FNV-1a hash.
+[[nodiscard]] u64 hash_step(u64 h, u64 word);
+
+/// Hash of a span of 64-bit words (FNV-1a + final mix).
+[[nodiscard]] u64 hash_words(std::span<const i64> words);
+
+/// Combines two hashes (order-dependent).
+[[nodiscard]] u64 hash_combine(u64 a, u64 b);
+
+}  // namespace buffy

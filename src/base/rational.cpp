@@ -1,0 +1,119 @@
+#include "base/rational.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "base/diagnostics.hpp"
+#include "base/string_util.hpp"
+
+namespace buffy {
+
+Rational::Rational(i64 num, i64 den) : num_(num), den_(den) {
+  BUFFY_REQUIRE(den != 0, "rational with zero denominator");
+  normalise();
+}
+
+void Rational::normalise() {
+  if (den_ < 0) {
+    num_ = checked_sub(0, num_);
+    den_ = checked_sub(0, den_);
+  }
+  const i64 g = gcd(num_, den_);
+  if (g > 1) {
+    num_ /= g;
+    den_ /= g;
+  }
+  if (num_ == 0) den_ = 1;
+}
+
+double Rational::to_double() const {
+  return static_cast<double>(num_) / static_cast<double>(den_);
+}
+
+std::string Rational::str() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+Rational Rational::reciprocal() const {
+  BUFFY_REQUIRE(num_ != 0, "reciprocal of zero");
+  return {den_, num_};
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = checked_sub(0, num_);
+  r.den_ = den_;
+  return r;
+}
+
+Rational& Rational::operator+=(const Rational& o) {
+  // Reduce before cross-multiplying to delay overflow as long as possible.
+  const i64 g = gcd(den_, o.den_);
+  const i64 scale_a = o.den_ / g;
+  const i64 scale_b = den_ / g;
+  num_ = checked_add(checked_mul(num_, scale_a), checked_mul(o.num_, scale_b));
+  den_ = checked_mul(den_, scale_a);
+  normalise();
+  return *this;
+}
+
+Rational& Rational::operator-=(const Rational& o) { return *this += -o; }
+
+Rational& Rational::operator*=(const Rational& o) {
+  // Cross-reduce first: (a/b)*(c/d) with gcd(a,d) and gcd(c,b) divided out.
+  const i64 g1 = gcd(num_, o.den_);
+  const i64 g2 = gcd(o.num_, den_);
+  num_ = checked_mul(num_ / g1, o.num_ / g2);
+  den_ = checked_mul(den_ / g2, o.den_ / g1);
+  normalise();
+  return *this;
+}
+
+Rational& Rational::operator/=(const Rational& o) {
+  return *this *= o.reciprocal();
+}
+
+std::strong_ordering operator<=>(const Rational& a, const Rational& b) {
+  // Denominators are positive, so the sign of a.num*b.den - b.num*a.den
+  // decides. Cross products are overflow-checked.
+  const i64 lhs = checked_mul(a.num_, b.den_);
+  const i64 rhs = checked_mul(b.num_, a.den_);
+  return lhs <=> rhs;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (!r.is_integer()) os << '/' << r.den();
+  return os;
+}
+
+Rational parse_rational(const std::string& text) {
+  const std::string t = trim(text);
+  BUFFY_REQUIRE(!t.empty(), "empty rational literal");
+  const auto slash = t.find('/');
+  if (slash != std::string::npos) {
+    return {parse_i64(t.substr(0, slash)), parse_i64(t.substr(slash + 1))};
+  }
+  const auto dot = t.find('.');
+  if (dot != std::string::npos) {
+    const std::string whole = t.substr(0, dot);
+    const std::string frac = t.substr(dot + 1);
+    BUFFY_REQUIRE(!frac.empty(), "malformed decimal literal: " + text);
+    i64 den = 1;
+    for (std::size_t i = 0; i < frac.size(); ++i) den = checked_mul(den, 10);
+    const bool negative = !whole.empty() && whole[0] == '-';
+    const i64 whole_val = (whole.empty() || whole == "-") ? 0 : parse_i64(whole);
+    const i64 frac_val = parse_i64(frac);
+    BUFFY_REQUIRE(frac_val >= 0, "malformed decimal literal: " + text);
+    i64 num = checked_add(checked_mul(whole_val < 0 ? -whole_val : whole_val,
+                                      den),
+                          frac_val);
+    if (negative) num = checked_sub(0, num);
+    return {num, den};
+  }
+  return {parse_i64(t)};
+}
+
+}  // namespace buffy

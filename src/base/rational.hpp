@@ -1,0 +1,74 @@
+// Exact rational arithmetic.
+//
+// Throughput values are exact rationals (firings per time step, Property 2
+// of the paper): comparing Pareto points with floating point would make the
+// binary search on the throughput dimension unsound whenever two candidate
+// distributions differ by less than an ulp. All throughput bookkeeping in
+// buffy therefore uses this type; conversion to double happens only at the
+// reporting boundary.
+#pragma once
+
+#include <compare>
+#include <iosfwd>
+#include <string>
+
+#include "base/checked_math.hpp"
+
+namespace buffy {
+
+/// An exact rational number num/den with den > 0 and gcd(num, den) == 1.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// The integer value n (denominator 1).
+  constexpr Rational(i64 n) : num_(n) {}  // NOLINT: implicit by design
+
+  /// num/den, normalised; throws Error when den == 0.
+  Rational(i64 num, i64 den);
+
+  [[nodiscard]] i64 num() const { return num_; }
+  [[nodiscard]] i64 den() const { return den_; }
+
+  [[nodiscard]] bool is_zero() const { return num_ == 0; }
+  [[nodiscard]] bool is_integer() const { return den_ == 1; }
+
+  /// Best-effort conversion for reporting; analyses never branch on this.
+  [[nodiscard]] double to_double() const;
+
+  /// "num/den", or just "num" when the value is an integer.
+  [[nodiscard]] std::string str() const;
+
+  /// Multiplicative inverse; throws Error when the value is zero.
+  [[nodiscard]] Rational reciprocal() const;
+
+  Rational operator-() const;
+  Rational& operator+=(const Rational& o);
+  Rational& operator-=(const Rational& o);
+  Rational& operator*=(const Rational& o);
+  Rational& operator/=(const Rational& o);
+
+  friend Rational operator+(Rational a, const Rational& b) { return a += b; }
+  friend Rational operator-(Rational a, const Rational& b) { return a -= b; }
+  friend Rational operator*(Rational a, const Rational& b) { return a *= b; }
+  friend Rational operator/(Rational a, const Rational& b) { return a /= b; }
+
+  friend bool operator==(const Rational& a, const Rational& b) = default;
+  /// Exact order via cross multiplication (overflow-checked).
+  friend std::strong_ordering operator<=>(const Rational& a,
+                                          const Rational& b);
+
+ private:
+  void normalise();
+
+  i64 num_ = 0;
+  i64 den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+/// Parses "a", "a/b" or a simple decimal like "0.25" into an exact rational.
+[[nodiscard]] Rational parse_rational(const std::string& text);
+
+}  // namespace buffy

@@ -1,0 +1,56 @@
+#include "base/rng.hpp"
+
+#include "base/diagnostics.hpp"
+#include "base/hash.hpp"
+
+namespace buffy {
+
+namespace {
+u64 rotl(u64 x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(u64 seed) {
+  // splitmix64 expansion of the seed into the xoshiro state; a state of all
+  // zeros would be a fixed point, and mix64 of distinct inputs avoids it.
+  u64 x = seed;
+  for (auto& s : s_) {
+    x += 0x9e3779b97f4a7c15ULL;
+    s = mix64(x);
+  }
+}
+
+u64 Rng::next() {
+  const u64 result = rotl(s_[1] * 5, 7) * 9;
+  const u64 t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+i64 Rng::uniform(i64 lo, i64 hi) {
+  BUFFY_REQUIRE(lo <= hi, "uniform(lo, hi) with lo > hi");
+  const u64 range = static_cast<u64>(hi) - static_cast<u64>(lo) + 1;
+  if (range == 0) return static_cast<i64>(next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const u64 limit = range * (~0ULL / range);
+  u64 draw = next();
+  while (draw >= limit) draw = next();
+  return static_cast<i64>(static_cast<u64>(lo) + draw % range);
+}
+
+double Rng::uniform01() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) { return uniform01() < p; }
+
+std::size_t Rng::index(std::size_t size) {
+  BUFFY_REQUIRE(size > 0, "index() on empty range");
+  return static_cast<std::size_t>(uniform(0, static_cast<i64>(size) - 1));
+}
+
+}  // namespace buffy

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random generator for the graph generator and the
+// property-test sweeps. xoshiro256** seeded via splitmix64: reproducible
+// across platforms and standard-library versions (std::mt19937 streams are
+// portable but the std distributions are not, so we roll our own bounded
+// draws).
+#pragma once
+
+#include <vector>
+
+#include "base/checked_math.hpp"
+
+namespace buffy {
+
+/// Deterministic 64-bit PRNG (xoshiro256**).
+class Rng {
+ public:
+  explicit Rng(u64 seed);
+
+  /// Next raw 64-bit draw.
+  u64 next();
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  i64 uniform(i64 lo, i64 hi);
+
+  /// Uniform draw from [0, 1).
+  double uniform01();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Uniformly selected index into a container of the given size (> 0).
+  std::size_t index(std::size_t size);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+ private:
+  u64 s_[4];
+};
+
+}  // namespace buffy

@@ -1,0 +1,57 @@
+// Bounds that frame the storage/throughput design space (paper Sec. 8,
+// Fig. 7; the [ALP97]/[Mur96] lower bounds and the [GGD02]-style upper
+// bound).
+//
+// For each channel, a necessary capacity for any positive throughput is
+// computed in closed form; a distribution that attains the graph's maximal
+// throughput is found constructively (geometric capacity growth until the
+// state-space throughput matches the MCM-derived maximum, then trimming to
+// the observed occupancy). Between the summed lower bound and the size of
+// that distribution lie all Pareto points.
+#pragma once
+
+#include <vector>
+
+#include "base/rational.hpp"
+#include "buffer/distribution.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::buffer {
+
+/// Necessary capacity of one channel for positive throughput: with
+/// production rate p, consumption rate c, g = gcd(p, c) and t initial
+/// tokens, a channel needs at least p + c - g + (t mod g) tokens of storage
+/// (and at least t, to hold the initial tokens). Self-loops additionally
+/// keep their consumed tokens while the firing is in flight, so they need
+/// t + p.
+[[nodiscard]] i64 channel_lower_bound(const sdf::Channel& channel);
+
+/// Per-channel lower bounds as a distribution.
+[[nodiscard]] StorageDistribution lower_bound_distribution(
+    const sdf::Graph& graph);
+
+/// Everything Fig. 7 needs.
+struct DesignSpaceBounds {
+  /// Per-channel lower bounds (lb_alpha, lb_beta, ... in Fig. 7).
+  StorageDistribution per_channel_lb;
+  /// Combined lower bound on the distribution size (lb in Fig. 7).
+  i64 lb_size = 0;
+  /// A distribution attaining the maximal throughput (its size is ub).
+  StorageDistribution max_throughput_distribution;
+  /// Combined upper bound on the meaningful distribution size (ub in Fig. 7).
+  i64 ub_size = 0;
+  /// Maximal achievable throughput of the target actor.
+  Rational max_throughput;
+  /// True when the graph deadlocks for every storage distribution
+  /// (a dependency cycle without tokens); all other fields are then void.
+  bool deadlock = false;
+};
+
+/// Computes the design-space bounds for the given target actor.
+/// `max_steps` bounds each state-space run.
+[[nodiscard]] DesignSpaceBounds design_space_bounds(const sdf::Graph& graph,
+                                                    sdf::ActorId target,
+                                                    u64 max_steps =
+                                                        100'000'000);
+
+}  // namespace buffy::buffer

@@ -1,0 +1,61 @@
+#include "buffer/deadlock_free.hpp"
+
+#include <set>
+#include <unordered_set>
+
+#include "analysis/consistency.hpp"
+#include "analysis/max_throughput.hpp"
+#include "base/diagnostics.hpp"
+#include "buffer/bounds.hpp"
+#include "buffer/dse_incremental.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::buffer {
+
+DeadlockFreeResult minimal_deadlock_free_distribution(const sdf::Graph& graph,
+                                                      sdf::ActorId target,
+                                                      u64 max_distributions) {
+  analysis::require_consistent(graph);
+  DeadlockFreeResult result;
+  if (analysis::max_throughput(graph).deadlock) return result;  // infeasible
+
+  std::set<std::pair<i64, std::vector<i64>>> frontier;
+  std::unordered_set<StorageDistribution, StorageDistributionHash> visited;
+  const StorageDistribution lb = lower_bound_distribution(graph);
+  frontier.emplace(lb.size(), lb.capacities());
+  visited.insert(lb);
+
+  while (!frontier.empty()) {
+    const auto [size, caps] = *frontier.begin();
+    frontier.erase(frontier.begin());
+    if (++result.distributions_explored > max_distributions) {
+      throw Error("deadlock-free search exceeded max_distributions");
+    }
+    const state::Capacities capacities = state::Capacities::bounded(caps);
+    const auto run = state::compute_throughput(
+        graph, capacities, state::ThroughputOptions{.target = target});
+    if (!run.deadlocked) {
+      result.feasible = true;
+      result.distribution = StorageDistribution(caps);
+      result.throughput = run.throughput;
+      return result;
+    }
+    // Dependencies are collected over the whole deadlocked run; an empty
+    // set would mean the deadlock is structural, which the max-throughput
+    // preflight above already excluded.
+    const auto deps = storage_dependencies(graph, capacities, 0, 0);
+    BUFFY_ASSERT(!deps.empty(),
+                 "deadlocked run without storage dependencies on a live graph");
+    for (const sdf::ChannelId c : deps) {
+      StorageDistribution child =
+          StorageDistribution(caps).with(c.index(), caps[c.index()] + 1);
+      if (visited.insert(child).second) {
+        frontier.emplace(child.size(), child.capacities());
+      }
+    }
+  }
+  BUFFY_ASSERT(false, "deadlock-free search exhausted an infinite lattice");
+  return result;
+}
+
+}  // namespace buffy::buffer

@@ -1,0 +1,35 @@
+// Minimal deadlock-free storage distributions — the [GBS05] baseline the
+// paper extends.
+//
+// This computes the smallest storage distribution under which the graph can
+// execute at all (throughput > 0), with no constraint on how fast: the
+// leftmost point of the paper's Pareto space. Comparing it with
+// throughput-constrained results quantifies the paper's core message that
+// deadlock-freedom alone under-provisions the buffers.
+#pragma once
+
+#include "base/rational.hpp"
+#include "buffer/distribution.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::buffer {
+
+/// Result of the minimal deadlock-free buffer search.
+struct DeadlockFreeResult {
+  /// False when the graph deadlocks under every distribution.
+  bool feasible = false;
+  /// A smallest distribution with positive throughput.
+  StorageDistribution distribution;
+  /// The (self-timed) throughput that distribution happens to achieve.
+  Rational throughput;
+  /// Distributions whose throughput was computed during the search.
+  u64 distributions_explored = 0;
+};
+
+/// Size-ordered search from the per-channel lower bounds, guided by the
+/// storage dependencies of the deadlocked executions.
+[[nodiscard]] DeadlockFreeResult minimal_deadlock_free_distribution(
+    const sdf::Graph& graph, sdf::ActorId target,
+    u64 max_distributions = 1'000'000);
+
+}  // namespace buffy::buffer

@@ -1,0 +1,53 @@
+#include "buffer/distribution.hpp"
+
+#include <sstream>
+
+#include "base/diagnostics.hpp"
+#include "base/hash.hpp"
+
+namespace buffy::buffer {
+
+StorageDistribution::StorageDistribution(std::vector<i64> capacities)
+    : caps_(std::move(capacities)) {
+  for (const i64 c : caps_) {
+    BUFFY_REQUIRE(c >= 0, "storage distribution with negative capacity");
+  }
+}
+
+i64 StorageDistribution::operator[](std::size_t channel) const {
+  BUFFY_REQUIRE(channel < caps_.size(), "channel index out of range");
+  return caps_[channel];
+}
+
+i64 StorageDistribution::operator[](sdf::ChannelId channel) const {
+  return (*this)[channel.index()];
+}
+
+StorageDistribution StorageDistribution::with(std::size_t channel,
+                                              i64 capacity) const {
+  std::vector<i64> caps = caps_;
+  BUFFY_REQUIRE(channel < caps.size(), "channel index out of range");
+  caps[channel] = capacity;
+  return StorageDistribution(std::move(caps));
+}
+
+i64 StorageDistribution::size() const {
+  i64 total = 0;
+  for (const i64 c : caps_) total = checked_add(total, c);
+  return total;
+}
+
+std::string StorageDistribution::str() const {
+  std::ostringstream os;
+  os << '<';
+  for (std::size_t i = 0; i < caps_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << caps_[i];
+  }
+  os << '>';
+  return os.str();
+}
+
+u64 StorageDistribution::hash() const { return hash_words(caps_); }
+
+}  // namespace buffy::buffer

@@ -1,0 +1,55 @@
+// Storage distributions (paper Def. 1 and 2).
+//
+// A storage distribution assigns every channel a capacity in tokens; its
+// size is the sum of the capacities (channels do not share memory in the
+// paper's model, so total memory is additive).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::buffer {
+
+/// A per-channel capacity assignment, indexed like the graph's channels.
+class StorageDistribution {
+ public:
+  StorageDistribution() = default;
+  explicit StorageDistribution(std::vector<i64> capacities);
+
+  [[nodiscard]] std::size_t num_channels() const { return caps_.size(); }
+
+  [[nodiscard]] i64 operator[](std::size_t channel) const;
+  [[nodiscard]] i64 operator[](sdf::ChannelId channel) const;
+
+  /// Returns a copy with one channel's capacity replaced.
+  [[nodiscard]] StorageDistribution with(std::size_t channel,
+                                         i64 capacity) const;
+
+  /// Distribution size sz(gamma): the sum of all capacities (Def. 2).
+  [[nodiscard]] i64 size() const;
+
+  [[nodiscard]] const std::vector<i64>& capacities() const { return caps_; }
+
+  /// "<4, 2>" — the paper's notation.
+  [[nodiscard]] std::string str() const;
+
+  [[nodiscard]] u64 hash() const;
+
+  friend bool operator==(const StorageDistribution&,
+                         const StorageDistribution&) = default;
+
+ private:
+  std::vector<i64> caps_;
+};
+
+/// Hasher for unordered containers keyed on StorageDistribution.
+struct StorageDistributionHash {
+  std::size_t operator()(const StorageDistribution& d) const noexcept {
+    return static_cast<std::size_t>(d.hash());
+  }
+};
+
+}  // namespace buffy::buffer

@@ -1,0 +1,129 @@
+// Design-space exploration of storage/throughput trade-offs (paper Sec. 9).
+//
+// Two engines compute the Pareto set of minimal storage distributions:
+//
+//  * Exhaustive ("exact"): the algorithm described in the paper — a divide
+//    and conquer over the distribution-size dimension (using monotonicity
+//    of the maximal throughput in the size), where the maximal throughput
+//    of one size is established by enumerating every distribution of that
+//    size between the per-channel lower bounds and the max-throughput
+//    distribution. Exponential but complete; the reference implementation.
+//
+//  * Incremental: the scalable strategy of the published SDF3 tool — start
+//    from the per-channel lower bounds and repeatedly bump only channels
+//    whose lack of space delayed a firing in the periodic phase (storage
+//    dependencies), processing candidate distributions in size order.
+//
+// Both support the paper's throughput quantisation (Sec. 11): with a grid
+// step, throughputs are rounded down to the grid, which collapses nearby
+// Pareto points and drastically shortens dense explorations (H.263).
+#pragma once
+
+#include <optional>
+
+#include "base/rational.hpp"
+#include "buffer/bounds.hpp"
+#include "buffer/pareto.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::buffer {
+
+/// Which exploration engine to run.
+enum class DseEngine {
+  Exhaustive,
+  Incremental,
+};
+
+/// Options for a design-space exploration.
+struct DseOptions {
+  /// Actor whose throughput spans the throughput dimension.
+  sdf::ActorId target;
+  DseEngine engine = DseEngine::Incremental;
+  /// Round throughputs down to multiples of this step (Sec. 11's remedy for
+  /// dense Pareto fronts). Unset = exact throughputs.
+  std::optional<Rational> quantization;
+  /// Convenience alternative to `quantization`: use a step of (maximal
+  /// throughput / levels), i.e. at most `levels` distinct Pareto
+  /// throughputs. Ignored when `quantization` is set.
+  std::optional<i64> quantization_levels;
+  /// Explore no distribution larger than this size (paper Sec. 10: the user
+  /// may restrict the space of interest). Unset = up to the ub of Fig. 7.
+  std::optional<i64> max_distribution_size;
+  /// Stop once this throughput is reached (upper bound of interest).
+  std::optional<Rational> throughput_goal;
+  /// Report only Pareto points with at least this throughput (the paper's
+  /// Sec. 10 lower bound on the space of interest). The search below the
+  /// bound still runs — smaller distributions seed the climb — but the
+  /// returned set is filtered.
+  std::optional<Rational> min_throughput;
+  /// Safety bound on the number of distributions whose throughput is
+  /// computed; exceeding it throws.
+  u64 max_distributions = 5'000'000;
+  /// Safety bound per state-space run.
+  u64 max_steps_per_run = 100'000'000;
+
+  /// Per-channel capacity constraint for distributed-memory mappings
+  /// (paper Sec. 8: non-unique minimal distributions become interesting
+  /// "as extra constraints on the channel capacities").
+  struct ChannelBounds {
+    /// Explore no capacity below this (on top of the analytic lower bound).
+    std::optional<i64> min;
+    /// Explore no capacity above this (the channel's memory is this big).
+    std::optional<i64> max;
+  };
+  /// Empty, or one entry per channel of the graph.
+  std::vector<ChannelBounds> channel_constraints;
+
+  /// Optional processor binding (actor index -> processor): actors sharing
+  /// a processor execute mutually exclusively during every throughput run,
+  /// sizing the buffers for the mapped system (the paper's multiprocessor
+  /// context; see mapping/). Supported by the incremental engine.
+  std::vector<std::size_t> binding;
+
+  /// Worker threads for the incremental engine's throughput runs (each run
+  /// is independent). Candidates of equal size are evaluated in parallel
+  /// and folded in deterministic (lexicographic) order, so the Pareto
+  /// result is identical to the single-threaded exploration;
+  /// `distributions_explored` may count a few extra batch-mates evaluated
+  /// past the stopping point. 1 = sequential.
+  unsigned threads = 1;
+};
+
+/// Result of a design-space exploration.
+struct DseResult {
+  /// The Pareto points, by increasing size / strictly increasing throughput.
+  ParetoSet pareto;
+  /// The Fig. 7 bounds that framed the search.
+  DesignSpaceBounds bounds;
+  /// Some channel's max constraint lies below its analytic lower bound: no
+  /// distribution can satisfy the constraints with positive throughput.
+  bool constraints_infeasible = false;
+  /// Number of storage distributions whose throughput was computed.
+  u64 distributions_explored = 0;
+  /// Largest reduced state space stored in any single run (Table 2 metric).
+  u64 max_states_stored = 0;
+  /// Wall-clock seconds spent exploring.
+  double seconds = 0.0;
+};
+
+/// Explores the design space with the selected engine. Throws
+/// ConsistencyError for inconsistent graphs; returns an empty Pareto set
+/// when the graph deadlocks for every distribution.
+[[nodiscard]] DseResult explore(const sdf::Graph& graph,
+                                const DseOptions& options);
+
+/// Rounds a throughput down to the quantisation grid (no-op when the step
+/// is unset).
+[[nodiscard]] Rational quantize_down(const Rational& value,
+                                     const std::optional<Rational>& step);
+
+/// Per-channel exploration floor: the analytic lower bound raised to any
+/// user minimum. Used by both engines.
+[[nodiscard]] std::vector<i64> constrained_floor(const DseOptions& options,
+                                                 const DesignSpaceBounds& b);
+
+/// Per-channel user ceiling (max constraint), or nullopt per channel.
+[[nodiscard]] std::vector<std::optional<i64>> constrained_ceiling(
+    const DseOptions& options, std::size_t num_channels);
+
+}  // namespace buffy::buffer

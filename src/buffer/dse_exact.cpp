@@ -1,0 +1,224 @@
+#include "buffer/dse_exact.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <map>
+
+#include "base/diagnostics.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::buffer {
+
+namespace {
+
+// Shared state of one exhaustive exploration.
+struct Sweep {
+  const sdf::Graph& graph;
+  const DseOptions& options;
+  const DesignSpaceBounds& bounds;
+  std::vector<i64> lb;  // per-channel enumeration floor
+  std::vector<i64> ub;  // per-channel enumeration ceiling (Fig. 7 box)
+  std::vector<i64> lb_suffix;  // sum of lb over channels >= i
+  std::vector<i64> ub_suffix;  // sum of ub over channels >= i
+  Rational goal;               // stop improving a size beyond this
+  u64 explored = 0;
+  u64 max_states = 0;
+
+  [[nodiscard]] Rational throughput_of(const std::vector<i64>& caps) {
+    if (++explored > options.max_distributions) {
+      throw Error("exhaustive DSE exceeded max_distributions = " +
+                  std::to_string(options.max_distributions));
+    }
+    const auto run = state::compute_throughput(
+        graph, state::Capacities::bounded(caps),
+        state::ThroughputOptions{.target = options.target,
+                                 .max_steps = options.max_steps_per_run});
+    max_states = std::max(max_states, run.states_stored);
+    return run.throughput;
+  }
+};
+
+/// Maximal throughput over all distributions of exactly the given size
+/// within the box, plus a witness distribution. Early-exits at the goal.
+struct SizeOutcome {
+  Rational throughput;  // quantised
+  StorageDistribution witness;
+};
+
+// Visits every distribution of the requested total inside the box; the
+// visitor returns false to abort the sweep.
+template <typename Visitor>
+bool enumerate(Sweep& sweep, std::vector<i64>& caps, std::size_t channel,
+               i64 remaining, Visitor&& visit) {
+  const std::size_t m = sweep.lb.size();
+  if (channel == m) {
+    BUFFY_ASSERT(remaining == 0, "enumeration budget mismatch");
+    const Rational tput =
+        quantize_down(sweep.throughput_of(caps), sweep.options.quantization);
+    return visit(caps, tput);
+  }
+  // Budget window for this channel so the suffix can still hit `remaining`.
+  const i64 rest_lb = sweep.lb_suffix[channel + 1];
+  const i64 rest_ub = sweep.ub_suffix[channel + 1];
+  const i64 lo = std::max(sweep.lb[channel], remaining - rest_ub);
+  const i64 hi = std::min(sweep.ub[channel], remaining - rest_lb);
+  for (i64 cap = lo; cap <= hi; ++cap) {
+    caps[channel] = cap;
+    if (!enumerate(sweep, caps, channel + 1, remaining - cap, visit)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+SizeOutcome max_throughput_for_size(Sweep& sweep, i64 size) {
+  SizeOutcome best{Rational(0), StorageDistribution()};
+  std::vector<i64> caps(sweep.lb.size(), 0);
+  enumerate(sweep, caps, 0, size,
+            [&](const std::vector<i64>& found, const Rational& tput) {
+              if (best.witness.num_channels() == 0 ||
+                  tput > best.throughput) {
+                best.throughput = tput;
+                best.witness = StorageDistribution(found);
+              }
+              return best.throughput < sweep.goal;  // stop at the goal
+            });
+  BUFFY_ASSERT(best.witness.num_channels() != 0,
+               "no distribution of the requested size inside the box");
+  return best;
+}
+
+// Builds the enumeration box shared by explore_exhaustive and
+// equivalent_minimal_distributions.
+void init_box(Sweep& sweep) {
+  const std::size_t m = sweep.graph.num_channels();
+  sweep.lb = constrained_floor(sweep.options, sweep.bounds);
+  const auto ceiling = constrained_ceiling(sweep.options, m);
+  sweep.ub.resize(m);
+  for (std::size_t c = 0; c < m; ++c) {
+    sweep.ub[c] = std::max(sweep.lb[c],
+                           sweep.bounds.max_throughput_distribution[c]);
+    if (ceiling[c].has_value()) {
+      sweep.ub[c] = std::max(sweep.lb[c], std::min(sweep.ub[c], *ceiling[c]));
+    }
+  }
+  sweep.lb_suffix.assign(m + 1, 0);
+  sweep.ub_suffix.assign(m + 1, 0);
+  for (std::size_t c = m; c-- > 0;) {
+    sweep.lb_suffix[c] = checked_add(sweep.lb_suffix[c + 1], sweep.lb[c]);
+    sweep.ub_suffix[c] = checked_add(sweep.ub_suffix[c + 1], sweep.ub[c]);
+  }
+}
+
+}  // namespace
+
+DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
+                             const DesignSpaceBounds& bounds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DseResult result;
+  result.bounds = bounds;
+
+  Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
+  init_box(sweep);
+  sweep.goal = quantize_down(bounds.max_throughput, options.quantization);
+  if (options.throughput_goal.has_value() &&
+      *options.throughput_goal < sweep.goal) {
+    sweep.goal = *options.throughput_goal;
+  }
+
+  // Sizes beyond the max-throughput distribution's cannot improve anything
+  // (Sec. 8), so the meaningful size interval is [lb, sz(mtd)] — unless
+  // user constraints reshape the box, in which case the whole box is
+  // covered.
+  const i64 lo_size = sweep.lb_suffix[0];
+  i64 hi_size = options.channel_constraints.empty()
+                    ? std::max(bounds.ub_size, lo_size)
+                    : sweep.ub_suffix[0];
+  if (options.max_distribution_size.has_value()) {
+    hi_size = std::min(hi_size, *options.max_distribution_size);
+  }
+
+  // Divide and conquer over the size dimension (Sec. 9): throughput is
+  // monotonic in the size, so an interval whose endpoints agree contains no
+  // further Pareto points.
+  std::map<i64, SizeOutcome> evaluated;
+  const auto eval = [&](i64 size) -> const SizeOutcome& {
+    auto it = evaluated.find(size);
+    if (it == evaluated.end()) {
+      it = evaluated.emplace(size, max_throughput_for_size(sweep, size)).first;
+    }
+    return it->second;
+  };
+
+  if (hi_size >= lo_size) {
+    eval(lo_size);
+    eval(hi_size);
+    // Explicit work list of (lo, hi) intervals with both endpoints known.
+    std::vector<std::pair<i64, i64>> intervals{{lo_size, hi_size}};
+    while (!intervals.empty()) {
+      const auto [lo, hi] = intervals.back();
+      intervals.pop_back();
+      if (hi - lo <= 1) continue;
+      if (evaluated.at(lo).throughput == evaluated.at(hi).throughput) continue;
+      if (evaluated.at(lo).throughput >= sweep.goal) continue;
+      const i64 mid = lo + (hi - lo) / 2;
+      eval(mid);
+      intervals.emplace_back(lo, mid);
+      intervals.emplace_back(mid, hi);
+    }
+    for (const auto& [size, outcome] : evaluated) {
+      result.pareto.add(
+          ParetoPoint{outcome.witness, outcome.throughput});
+    }
+  }
+
+  result.distributions_explored = sweep.explored;
+  result.max_states_stored = sweep.max_states;
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+std::vector<StorageDistribution> equivalent_minimal_distributions(
+    const sdf::Graph& graph, const DseOptions& options, i64 size,
+    const Rational& min_throughput) {
+  const DesignSpaceBounds bounds =
+      design_space_bounds(graph, options.target, options.max_steps_per_run);
+  std::vector<StorageDistribution> found;
+  if (bounds.deadlock) return found;
+
+  Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
+  init_box(sweep);
+  sweep.goal = bounds.max_throughput + Rational(1);  // never early-exit
+
+  // Unlike the Pareto search, tie enumeration must see shapes outside the
+  // Fig. 7 box (e.g. Fig. 6's <1,2,3,3> puts 3 tokens where the
+  // max-throughput distribution needs fewer): widen every channel so any
+  // composition of `size` above the floors is reachable, honouring only
+  // the user's ceilings.
+  const std::size_t m = graph.num_channels();
+  const auto ceiling = constrained_ceiling(options, m);
+  const i64 lb_total = sweep.lb_suffix[0];
+  for (std::size_t c = 0; c < m; ++c) {
+    i64 widened = std::max(sweep.ub[c], size - (lb_total - sweep.lb[c]));
+    if (ceiling[c].has_value()) widened = std::min(widened, *ceiling[c]);
+    sweep.ub[c] = std::max(sweep.lb[c], widened);
+  }
+  for (std::size_t c = m; c-- > 0;) {
+    sweep.ub_suffix[c] = checked_add(sweep.ub_suffix[c + 1], sweep.ub[c]);
+  }
+  if (size < sweep.lb_suffix[0] || size > sweep.ub_suffix[0]) return found;
+
+  std::vector<i64> caps(sweep.lb.size(), 0);
+  enumerate(sweep, caps, 0, size,
+            [&](const std::vector<i64>& candidate, const Rational& tput) {
+              if (tput >= min_throughput) {
+                found.emplace_back(candidate);
+              }
+              return true;
+            });
+  return found;
+}
+
+}  // namespace buffy::buffer

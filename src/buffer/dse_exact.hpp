@@ -1,0 +1,23 @@
+// The exhaustive (reference) design-space exploration engine; see dse.hpp.
+#pragma once
+
+#include "buffer/dse.hpp"
+
+namespace buffy::buffer {
+
+/// Divide-and-conquer over distribution sizes with per-size enumeration.
+/// Complete within [lb, ub] (and the user's limits); exponential cost.
+[[nodiscard]] DseResult explore_exhaustive(const sdf::Graph& graph,
+                                           const DseOptions& options,
+                                           const DesignSpaceBounds& bounds);
+
+/// All storage distributions of exactly the given size (inside the Fig. 7
+/// box, clamped by the options' channel constraints) whose throughput is at
+/// least `min_throughput` — the full set of equal minimal distributions the
+/// paper discusses in Sec. 8 (Fig. 6: <1,2,3,3> and <2,1,3,3> tie).
+/// Exhaustive; intended for small graphs / the final Pareto points.
+[[nodiscard]] std::vector<StorageDistribution> equivalent_minimal_distributions(
+    const sdf::Graph& graph, const DseOptions& options, i64 size,
+    const Rational& min_throughput);
+
+}  // namespace buffy::buffer

@@ -1,0 +1,197 @@
+#include "buffer/dse_incremental.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <unordered_set>
+
+#include "base/diagnostics.hpp"
+#include "state/engine.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::buffer {
+
+std::vector<sdf::ChannelId> storage_dependencies(
+    const sdf::Graph& graph, const state::Capacities& capacities,
+    i64 cycle_start, i64 period,
+    const std::vector<std::size_t>& processor_of) {
+  state::Engine engine(graph, capacities);
+  engine.set_binding(processor_of);
+  engine.reset();
+  std::vector<bool> blocked(graph.num_channels(), false);
+  auto absorb = [&]() {
+    for (const sdf::ChannelId c : engine.space_blocked_channels()) {
+      blocked[c.index()] = true;
+    }
+  };
+  if (period == 0) {
+    // Deadlocked execution: collect dependencies over the whole run — a
+    // firing may have been delayed by space long before the final stall.
+    absorb();
+    while (engine.advance()) absorb();
+    absorb();
+  } else {
+    // The states of the periodic phase are those in [cycle_start,
+    // cycle_start + period); between completions the blocked set is
+    // constant, so sampling at every completion inside the window covers
+    // every state on the cycle.
+    while (engine.now() < cycle_start) {
+      BUFFY_ASSERT(engine.advance(), "deadlock before the reported cycle");
+    }
+    absorb();
+    while (engine.now() < cycle_start + period) {
+      BUFFY_ASSERT(engine.advance(), "deadlock inside the reported cycle");
+      absorb();
+    }
+  }
+  std::vector<sdf::ChannelId> result;
+  for (std::size_t c = 0; c < blocked.size(); ++c) {
+    if (blocked[c]) result.emplace_back(c);
+  }
+  return result;
+}
+
+namespace {
+
+// Deterministic size-ordered frontier: (size, capacities) sorted
+// lexicographically so runs are reproducible across platforms.
+using Frontier = std::set<std::pair<i64, std::vector<i64>>>;
+
+}  // namespace
+
+DseResult explore_incremental(const sdf::Graph& graph,
+                              const DseOptions& options,
+                              const DesignSpaceBounds& bounds) {
+  const auto t0 = std::chrono::steady_clock::now();
+  DseResult result;
+  result.bounds = bounds;
+
+  Rational goal = bounds.max_throughput;
+  if (options.throughput_goal.has_value() &&
+      *options.throughput_goal < goal) {
+    goal = *options.throughput_goal;
+  }
+  // With quantisation, reaching the top grid cell is as good as reaching the
+  // maximum: exploring further cannot produce a new quantised Pareto point.
+  const Rational quantized_goal = quantize_down(goal, options.quantization);
+
+  Frontier frontier;
+  std::unordered_set<StorageDistribution, StorageDistributionHash> visited;
+
+  const auto ceiling = constrained_ceiling(options, graph.num_channels());
+  const StorageDistribution lb(constrained_floor(options, bounds));
+  if (!options.max_distribution_size.has_value() ||
+      lb.size() <= *options.max_distribution_size) {
+    frontier.emplace(lb.size(), lb.capacities());
+    visited.insert(lb);
+  }
+
+  Rational best_seen(0);
+  bool goal_reached = false;
+  while (!frontier.empty() && !goal_reached) {
+    // One batch: every frontier entry of the current minimal size. The
+    // sequential algorithm would pop exactly these, in this order, before
+    // any of their (strictly larger) children.
+    const i64 batch_size = frontier.begin()->first;
+    std::vector<std::vector<i64>> batch;
+    while (!frontier.empty() && frontier.begin()->first == batch_size) {
+      batch.push_back(frontier.begin()->second);
+      frontier.erase(frontier.begin());
+    }
+    result.distributions_explored += batch.size();
+    if (result.distributions_explored > options.max_distributions) {
+      throw Error("incremental DSE exceeded max_distributions = " +
+                  std::to_string(options.max_distributions));
+    }
+
+    // Evaluate the batch (throughput + storage dependencies per
+    // distribution); each evaluation is independent, so spread them over
+    // the worker threads when requested.
+    struct Evaluation {
+      state::ThroughputResult run;
+      std::vector<sdf::ChannelId> deps;
+    };
+    std::vector<Evaluation> evals(batch.size());
+    const auto evaluate = [&](std::size_t i) {
+      const state::Capacities capacities =
+          state::Capacities::bounded(batch[i]);
+      state::ThroughputOptions run_opts{
+          .target = options.target, .max_steps = options.max_steps_per_run};
+      run_opts.processor_of = options.binding;
+      evals[i].run = state::compute_throughput(graph, capacities, run_opts);
+      evals[i].deps = storage_dependencies(
+          graph, capacities, evals[i].run.cycle_start_time,
+          evals[i].run.deadlocked ? 0 : evals[i].run.period, options.binding);
+    };
+    const unsigned workers =
+        std::min<unsigned>(std::max(1u, options.threads),
+                           static_cast<unsigned>(batch.size()));
+    if (workers <= 1) {
+      for (std::size_t i = 0; i < batch.size(); ++i) evaluate(i);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (unsigned w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w]() {
+          for (std::size_t i = w; i < batch.size(); i += workers) {
+            evaluate(i);
+          }
+        });
+      }
+      for (std::thread& t : pool) t.join();
+    }
+
+    // Fold sequentially in the deterministic pop order.
+    for (std::size_t i = 0; i < batch.size() && !goal_reached; ++i) {
+      const auto& caps = batch[i];
+      const auto& run = evals[i].run;
+      result.max_states_stored =
+          std::max(result.max_states_stored, run.states_stored);
+
+      const Rational quantized =
+          quantize_down(run.throughput, options.quantization);
+      if (quantized > best_seen) {
+        // Processed in size order, so this is the smallest size reaching
+        // this (quantised) throughput.
+        result.pareto.add(ParetoPoint{StorageDistribution(caps), quantized});
+        best_seen = quantized;
+      }
+      if (!run.throughput.is_zero() && run.throughput >= goal) {
+        goal_reached = true;
+        break;
+      }
+      if (options.quantization.has_value() && !quantized.is_zero() &&
+          quantized >= quantized_goal) {
+        goal_reached = true;
+        break;
+      }
+
+      // No space dependency anywhere in the run: larger buffers reproduce
+      // the identical execution, so this branch is exhausted. (Without a
+      // resource binding this only happens at the maximal throughput.)
+      for (const sdf::ChannelId c : evals[i].deps) {
+        if (ceiling[c.index()].has_value() &&
+            caps[c.index()] + 1 > *ceiling[c.index()]) {
+          continue;  // this memory is full (distributed-memory constraint)
+        }
+        StorageDistribution child =
+            StorageDistribution(caps).with(c.index(), caps[c.index()] + 1);
+        if (options.max_distribution_size.has_value() &&
+            child.size() > *options.max_distribution_size) {
+          continue;
+        }
+        if (visited.insert(child).second) {
+          frontier.emplace(child.size(), child.capacities());
+        }
+      }
+    }
+  }
+
+  result.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return result;
+}
+
+}  // namespace buffy::buffer

@@ -1,0 +1,27 @@
+// The incremental (storage-dependency guided) design-space exploration
+// engine; see dse.hpp.
+#pragma once
+
+#include <vector>
+
+#include "buffer/dse.hpp"
+#include "state/state.hpp"
+
+namespace buffy::buffer {
+
+/// Channels whose lack of space delayed a firing during the periodic phase
+/// of the given bounded execution (or anywhere in a deadlocked run): the
+/// storage dependencies that the incremental engine relieves. `cycle_start`
+/// and `period` come from a completed throughput run; pass period 0 for a
+/// deadlocked run. `processor_of` optionally binds actors to processors.
+[[nodiscard]] std::vector<sdf::ChannelId> storage_dependencies(
+    const sdf::Graph& graph, const state::Capacities& capacities,
+    i64 cycle_start, i64 period,
+    const std::vector<std::size_t>& processor_of = {});
+
+/// Size-ordered exploration bumping only storage-dependency channels.
+[[nodiscard]] DseResult explore_incremental(const sdf::Graph& graph,
+                                            const DseOptions& options,
+                                            const DesignSpaceBounds& bounds);
+
+}  // namespace buffy::buffer

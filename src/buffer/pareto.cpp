@@ -1,0 +1,59 @@
+#include "buffer/pareto.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace buffy::buffer {
+
+void ParetoSet::add(ParetoPoint point) {
+  if (point.throughput.is_zero()) return;  // deadlock is never a trade-off
+  const i64 size = point.size();
+  // Position of the first existing point with size >= the candidate's.
+  const auto pos = std::lower_bound(
+      points_.begin(), points_.end(), size,
+      [](const ParetoPoint& p, i64 s) { return p.size() < s; });
+  // Dominated by a point no larger with throughput no smaller?
+  if (pos != points_.begin() &&
+      std::prev(pos)->throughput >= point.throughput) {
+    return;
+  }
+  if (pos != points_.end() && pos->size() == size &&
+      pos->throughput >= point.throughput) {
+    return;
+  }
+  // Evict points that the candidate dominates (same or larger size, same or
+  // smaller throughput).
+  const auto first_kept = std::find_if(
+      pos, points_.end(), [&](const ParetoPoint& p) {
+        return p.throughput > point.throughput;
+      });
+  const auto insert_at = points_.erase(pos, first_kept);
+  points_.insert(insert_at, std::move(point));
+}
+
+const ParetoPoint* ParetoSet::smallest_for_throughput(
+    const Rational& constraint) const {
+  for (const ParetoPoint& p : points_) {
+    if (p.throughput >= constraint) return &p;
+  }
+  return nullptr;
+}
+
+const ParetoPoint* ParetoSet::best_within_size(i64 budget) const {
+  const ParetoPoint* best = nullptr;
+  for (const ParetoPoint& p : points_) {
+    if (p.size() <= budget) best = &p;
+  }
+  return best;
+}
+
+std::string ParetoSet::str() const {
+  std::ostringstream os;
+  for (const ParetoPoint& p : points_) {
+    os << p.size() << "  " << p.distribution.str() << "  "
+       << p.throughput.str() << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace buffy::buffer

@@ -1,0 +1,56 @@
+// The Pareto space of storage/throughput trade-offs (paper Sec. 8/9,
+// Fig. 5 and Fig. 13).
+//
+// A storage distribution is minimal (a Pareto point) when no smaller
+// distribution achieves at least its throughput. The set is kept sorted by
+// distribution size; along it, throughput strictly increases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "buffer/distribution.hpp"
+
+namespace buffy::buffer {
+
+/// One storage/throughput trade-off.
+struct ParetoPoint {
+  StorageDistribution distribution;
+  Rational throughput;
+
+  [[nodiscard]] i64 size() const { return distribution.size(); }
+};
+
+/// Minimal (Pareto) storage distributions, ordered by increasing size and
+/// strictly increasing throughput.
+class ParetoSet {
+ public:
+  /// Inserts a candidate, dropping it or evicting dominated points so the
+  /// invariant holds. Of equal (size, throughput) candidates the first one
+  /// added is kept (minimal distributions need not be unique, Sec. 8).
+  void add(ParetoPoint point);
+
+  [[nodiscard]] const std::vector<ParetoPoint>& points() const {
+    return points_;
+  }
+  [[nodiscard]] bool empty() const { return points_.empty(); }
+  [[nodiscard]] std::size_t size() const { return points_.size(); }
+
+  /// Smallest distribution with throughput >= the constraint; nullptr when
+  /// the constraint is not achievable within this set.
+  [[nodiscard]] const ParetoPoint* smallest_for_throughput(
+      const Rational& constraint) const;
+
+  /// Highest throughput achievable with size <= the budget; nullptr when
+  /// even the smallest point exceeds the budget.
+  [[nodiscard]] const ParetoPoint* best_within_size(i64 budget) const;
+
+  /// Multi-line "size <dist> throughput" table.
+  [[nodiscard]] std::string str() const;
+
+ private:
+  std::vector<ParetoPoint> points_;
+};
+
+}  // namespace buffy::buffer

@@ -1,0 +1,159 @@
+#include "buffer/shared_memory.hpp"
+
+#include <algorithm>
+
+#include "base/diagnostics.hpp"
+#include "state/engine.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::buffer {
+
+MemoryModelAnalysis analyze_memory_models(const sdf::Graph& graph,
+                                          const StorageDistribution& dist,
+                                          sdf::ActorId target,
+                                          const MemoryGroups& groups,
+                                          u64 max_steps) {
+  BUFFY_REQUIRE(dist.num_channels() == graph.num_channels(),
+                "distribution does not cover the graph's channels");
+  const state::Capacities caps = state::Capacities::bounded(dist.capacities());
+
+  // Locate the periodic phase (or the deadlock) first; the replay below
+  // then covers the transient plus one full period, which visits every
+  // state the infinite execution ever reaches.
+  const auto run = state::compute_throughput(
+      graph, caps,
+      state::ThroughputOptions{.target = target, .max_steps = max_steps});
+
+  MemoryModelAnalysis result;
+  result.deadlocked = run.deadlocked;
+  result.throughput = run.throughput;
+  result.separate = dist.size();
+  result.group_requirements.assign(groups.size(), 0);
+
+  state::Engine engine(graph, caps);
+  engine.reset();
+  const auto sample = [&]() {
+    i64 total = 0;
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      total = checked_add(total, engine.occupancy(c));
+    }
+    result.shared = std::max(result.shared, total);
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      i64 group_total = 0;
+      for (const sdf::ChannelId c : groups[gi]) {
+        group_total = checked_add(group_total, engine.occupancy(c));
+      }
+      result.group_requirements[gi] =
+          std::max(result.group_requirements[gi], group_total);
+    }
+  };
+
+  // Occupancy only changes at events and peaks immediately after a start
+  // phase (completions convert claims to tokens or release input space),
+  // so sampling after reset() and after every advance() is exact.
+  sample();
+  const i64 end_time =
+      run.deadlocked ? run.time_steps : run.cycle_start_time + run.period;
+  while (engine.now() < end_time && engine.advance()) {
+    sample();
+  }
+
+  BUFFY_ASSERT(result.shared <= result.separate,
+               "shared-memory requirement exceeded the allocated capacity");
+  return result;
+}
+
+namespace {
+
+// Per-event occupancy rows covering the transient plus one period (or the
+// whole run to deadlock): every distinct occupancy profile the infinite
+// execution ever shows.
+std::vector<std::vector<i64>> occupancy_trace(const sdf::Graph& graph,
+                                              const StorageDistribution& dist,
+                                              sdf::ActorId target,
+                                              u64 max_steps) {
+  const state::Capacities caps = state::Capacities::bounded(dist.capacities());
+  const auto run = state::compute_throughput(
+      graph, caps,
+      state::ThroughputOptions{.target = target, .max_steps = max_steps});
+  const i64 end_time =
+      run.deadlocked ? run.time_steps : run.cycle_start_time + run.period;
+
+  std::vector<std::vector<i64>> trace;
+  state::Engine engine(graph, caps);
+  engine.reset();
+  const auto sample = [&]() {
+    std::vector<i64> row;
+    row.reserve(graph.num_channels());
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      row.push_back(engine.occupancy(c));
+    }
+    trace.push_back(std::move(row));
+  };
+  sample();
+  while (engine.now() < end_time && engine.advance()) sample();
+  return trace;
+}
+
+// Peak over the trace of the summed occupancy of the group's channels.
+i64 group_peak(const std::vector<std::vector<i64>>& trace,
+               const std::vector<sdf::ChannelId>& group) {
+  i64 peak = 0;
+  for (const auto& row : trace) {
+    i64 total = 0;
+    for (const sdf::ChannelId c : group) {
+      total = checked_add(total, row[c.index()]);
+    }
+    peak = std::max(peak, total);
+  }
+  return peak;
+}
+
+}  // namespace
+
+MemoryPacking pack_into_memories(const sdf::Graph& graph,
+                                 const StorageDistribution& distribution,
+                                 sdf::ActorId target, i64 memory_size,
+                                 u64 max_steps) {
+  BUFFY_REQUIRE(memory_size > 0, "memory size must be positive");
+  BUFFY_REQUIRE(distribution.num_channels() == graph.num_channels(),
+                "distribution does not cover the graph's channels");
+  const auto trace = occupancy_trace(graph, distribution, target, max_steps);
+
+  // First-fit decreasing on the channels' individual peaks.
+  std::vector<std::pair<i64, sdf::ChannelId>> order;
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    order.emplace_back(group_peak(trace, {c}), c);
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    return a.first > b.first ||
+           (a.first == b.first && a.second < b.second);
+  });
+
+  MemoryPacking packing;
+  if (!order.empty() && order.front().first > memory_size) {
+    return packing;  // infeasible: one channel alone does not fit
+  }
+  packing.feasible = true;
+  for (const auto& [peak, channel] : order) {
+    bool placed = false;
+    for (std::size_t g = 0; g < packing.groups.size(); ++g) {
+      auto candidate = packing.groups[g];
+      candidate.push_back(channel);
+      const i64 combined = group_peak(trace, candidate);
+      if (combined <= memory_size) {
+        packing.groups[g] = std::move(candidate);
+        packing.requirements[g] = combined;
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) {
+      packing.groups.push_back({channel});
+      packing.requirements.push_back(peak);
+    }
+  }
+  return packing;
+}
+
+}  // namespace buffy::buffer

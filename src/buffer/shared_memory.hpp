@@ -1,0 +1,70 @@
+// Alternative memory models for channel storage (paper Sec. 3).
+//
+// The paper's DSE assumes every channel owns a private memory, so the cost
+// of a distribution is the sum of the capacities (conservative for any
+// implementation). Sec. 3 discusses two other realisations:
+//  * one memory shared by all channels [MB00]: the requirement is the
+//    maximum number of tokens (plus space claimed by running firings)
+//    stored simultaneously during execution;
+//  * hybrid groups of channels sharing a memory each [GBS05].
+// This module computes those requirements for a given storage distribution
+// by replaying the self-timed execution over its transient phase plus one
+// full period.
+#pragma once
+
+#include <vector>
+
+#include "base/rational.hpp"
+#include "buffer/distribution.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::buffer {
+
+/// A partition (or any grouping) of channels into shared memories.
+using MemoryGroups = std::vector<std::vector<sdf::ChannelId>>;
+
+/// Memory requirements of one (graph, distribution) pair under the three
+/// models of Sec. 3.
+struct MemoryModelAnalysis {
+  /// The distribution deadlocks; the maxima below still cover the stalled
+  /// prefix of the execution.
+  bool deadlocked = false;
+  /// Throughput of the target actor under the distribution.
+  Rational throughput;
+  /// Separate memories: the allocated capacity, sz(gamma) (Def. 2).
+  i64 separate = 0;
+  /// One shared memory: max simultaneous occupancy (tokens + claims) over
+  /// all channels. Never exceeds `separate`.
+  i64 shared = 0;
+  /// Per-group maxima for the requested grouping (empty when none given).
+  std::vector<i64> group_requirements;
+};
+
+/// Replays self-timed execution under the distribution and measures the
+/// memory models. `groups` may be empty, may overlap, and need not cover
+/// every channel.
+[[nodiscard]] MemoryModelAnalysis analyze_memory_models(
+    const sdf::Graph& graph, const StorageDistribution& distribution,
+    sdf::ActorId target, const MemoryGroups& groups = {},
+    u64 max_steps = 100'000'000);
+
+/// Result of packing channels into fixed-size physical memories.
+struct MemoryPacking {
+  /// False when some channel's own peak occupancy exceeds the memory size.
+  bool feasible = false;
+  /// Disjoint groups covering every channel (when feasible).
+  MemoryGroups groups;
+  /// Peak concurrent occupancy of each group; each <= memory_size.
+  std::vector<i64> requirements;
+};
+
+/// Packs the channels of a distribution into as few memories of the given
+/// size as a greedy first-fit-decreasing pass finds, using the observed
+/// occupancy traces (channels whose peaks never coincide share a memory
+/// cheaply). A practical answer to the paper's multi-processor motivation:
+/// memories are per-tile and fixed-size, not a single shared pool.
+[[nodiscard]] MemoryPacking pack_into_memories(
+    const sdf::Graph& graph, const StorageDistribution& distribution,
+    sdf::ActorId target, i64 memory_size, u64 max_steps = 100'000'000);
+
+}  // namespace buffy::buffer

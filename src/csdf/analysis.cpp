@@ -1,0 +1,91 @@
+#include "csdf/analysis.hpp"
+
+#include <queue>
+
+#include "base/diagnostics.hpp"
+#include "base/rational.hpp"
+
+namespace buffy::csdf {
+
+RepetitionVector repetition_vector(const Graph& graph) {
+  const std::size_t n = graph.num_actors();
+  BUFFY_REQUIRE(n > 0, "repetition vector of an empty graph");
+
+  std::vector<Rational> fraction(n);
+  std::vector<bool> assigned(n, false);
+  std::vector<std::size_t> component(n, 0);
+  std::size_t num_components = 0;
+
+  for (std::size_t root = 0; root < n; ++root) {
+    if (assigned[root]) continue;
+    const std::size_t comp = num_components++;
+    fraction[root] = Rational(1);
+    assigned[root] = true;
+    component[root] = comp;
+    std::queue<std::size_t> frontier;
+    frontier.push(root);
+    while (!frontier.empty()) {
+      const ActorId cur(frontier.front());
+      frontier.pop();
+      auto propagate = [&](const Channel& ch, ActorId from, ActorId to,
+                           const Rational& ratio) {
+        const Rational expected = fraction[from.index()] * ratio;
+        if (!assigned[to.index()]) {
+          fraction[to.index()] = expected;
+          assigned[to.index()] = true;
+          component[to.index()] = comp;
+          frontier.push(to.index());
+        } else if (fraction[to.index()] != expected) {
+          throw ConsistencyError("CSDF graph '" + graph.name() +
+                                 "' is inconsistent at channel '" + ch.name +
+                                 "'");
+        }
+      };
+      for (const ChannelId cid : graph.out_channels(cur)) {
+        const Channel& ch = graph.channel(cid);
+        propagate(ch, ch.src, ch.dst,
+                  Rational(ch.total_production(), ch.total_consumption()));
+      }
+      for (const ChannelId cid : graph.in_channels(cur)) {
+        const Channel& ch = graph.channel(cid);
+        propagate(ch, ch.dst, ch.src,
+                  Rational(ch.total_consumption(), ch.total_production()));
+      }
+    }
+  }
+
+  std::vector<i64> comp_lcm(num_components, 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    comp_lcm[component[i]] = lcm(comp_lcm[component[i]], fraction[i].den());
+  }
+  RepetitionVector result;
+  result.cycles.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.cycles[i] = checked_mul(fraction[i].num(),
+                                   comp_lcm[component[i]] / fraction[i].den());
+  }
+  std::vector<i64> comp_gcd(num_components, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    comp_gcd[component[i]] = gcd(comp_gcd[component[i]], result.cycles[i]);
+  }
+  result.firings.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    result.cycles[i] /= comp_gcd[component[i]];
+    result.firings[i] = checked_mul(
+        result.cycles[i],
+        static_cast<i64>(graph.actor(ActorId(i)).num_phases()));
+  }
+  return result;
+}
+
+bool is_consistent(const Graph& graph) {
+  if (graph.num_actors() == 0) return true;
+  try {
+    (void)repetition_vector(graph);
+    return true;
+  } catch (const ConsistencyError&) {
+    return false;
+  }
+}
+
+}  // namespace buffy::csdf

@@ -1,0 +1,192 @@
+#include "csdf/dse.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "base/diagnostics.hpp"
+#include "buffer/dse.hpp"
+#include "csdf/analysis.hpp"
+#include "csdf/engine.hpp"
+#include "csdf/throughput.hpp"
+
+namespace buffy::csdf {
+
+namespace {
+
+// Self-loops keep their consumed tokens while firing, like in the SDF case.
+i64 self_loop_extra(const Channel& ch) {
+  return ch.is_self_loop() ? ch.max_production() : 0;
+}
+
+// Storage dependencies of one bounded run (deadlock state, or the union
+// over one period of the cycle).
+std::vector<ChannelId> storage_dependencies(const Graph& graph,
+                                            const state::Capacities& caps,
+                                            i64 cycle_start, i64 period) {
+  Engine engine(graph, caps);
+  engine.reset();
+  std::vector<bool> blocked(graph.num_channels(), false);
+  auto absorb = [&]() {
+    for (const ChannelId c : engine.space_blocked_channels()) {
+      blocked[c.index()] = true;
+    }
+  };
+  if (period == 0) {
+    // Deadlocked execution: union over the whole run.
+    absorb();
+    while (engine.advance()) absorb();
+    absorb();
+  } else {
+    while (engine.now() < cycle_start) {
+      BUFFY_ASSERT(engine.advance(), "deadlock before the reported cycle");
+    }
+    absorb();
+    while (engine.now() < cycle_start + period) {
+      BUFFY_ASSERT(engine.advance(), "deadlock inside the reported cycle");
+      absorb();
+    }
+  }
+  std::vector<ChannelId> result;
+  for (std::size_t c = 0; c < blocked.size(); ++c) {
+    if (blocked[c]) result.emplace_back(c);
+  }
+  return result;
+}
+
+// Maximal throughput over all finite distributions: grow every capacity
+// geometrically from the floors until the throughput stops improving twice
+// in a row (monotonicity makes a plateau final once the execution no longer
+// ever blocks on space).
+struct MaxTputOutcome {
+  bool deadlock = false;
+  Rational value;
+};
+
+MaxTputOutcome maximal_throughput(const Graph& graph,
+                                  const std::vector<i64>& floors,
+                                  ActorId target, u64 max_steps) {
+  std::vector<i64> caps = floors;
+  for (i64& c : caps) c = std::max<i64>(c * 2, c + 4);
+  MaxTputOutcome out;
+  int plateau = 0;
+  for (int round = 0; round < 24; ++round) {
+    const auto run = compute_throughput(
+        graph, state::Capacities::bounded(caps), target, max_steps);
+    const auto deps = storage_dependencies(
+        graph, state::Capacities::bounded(caps),
+        run.deadlocked ? 0 : run.cycle_start_time,
+        run.deadlocked ? 0 : run.period);
+    if (run.deadlocked && deps.empty()) {
+      // Stuck with no firing waiting for space: the deadlock is structural
+      // and no finite (or infinite) buffering can resolve it.
+      out.deadlock = true;
+      return out;
+    }
+    if (!run.deadlocked && deps.empty()) {
+      // No firing is ever delayed by space: larger buffers change nothing.
+      out.value = run.throughput;
+      return out;
+    }
+    if (!run.deadlocked) {
+      // Sources that outpace their consumers stay space-blocked at every
+      // finite capacity, so the dependency test above never fires; detect
+      // convergence through the (monotone) throughput plateauing instead.
+      if (run.throughput == out.value) {
+        if (++plateau >= 2) return out;
+      } else {
+        out.value = run.throughput;
+        plateau = 0;
+      }
+    }
+    for (i64& c : caps) c = checked_mul(c, 2);
+  }
+  throw Error("CSDF maximal-throughput search did not stabilise");
+}
+
+}  // namespace
+
+i64 channel_floor(const Channel& channel) {
+  return std::max(channel.initial_tokens + self_loop_extra(channel),
+                  channel.max_production());
+}
+
+DseResult explore(const Graph& graph, const DseOptions& options) {
+  BUFFY_REQUIRE(options.target.valid() &&
+                    options.target.index() < graph.num_actors(),
+                "DSE target actor is not part of the graph");
+  validate(graph);
+  (void)repetition_vector(graph);  // throws when inconsistent
+
+  DseResult result;
+  std::vector<i64> floors;
+  for (const ChannelId c : graph.channel_ids()) {
+    floors.push_back(channel_floor(graph.channel(c)));
+  }
+  result.floors = buffer::StorageDistribution(floors);
+
+  // Establish the maximal throughput; a deadlock that survives arbitrarily
+  // large buffers is structural.
+  const MaxTputOutcome max = maximal_throughput(
+      graph, floors, options.target, options.max_steps_per_run);
+  if (max.deadlock) {
+    result.deadlock = true;
+    return result;
+  }
+  result.max_throughput = max.value;
+
+  std::set<std::pair<i64, std::vector<i64>>> frontier;
+  std::unordered_set<buffer::StorageDistribution,
+                     buffer::StorageDistributionHash>
+      visited;
+  const buffer::StorageDistribution start(floors);
+  if (!options.max_distribution_size.has_value() ||
+      start.size() <= *options.max_distribution_size) {
+    frontier.emplace(start.size(), start.capacities());
+    visited.insert(start);
+  }
+
+  Rational best_seen(0);
+  while (!frontier.empty()) {
+    const auto [size, caps] = *frontier.begin();
+    frontier.erase(frontier.begin());
+    if (++result.distributions_explored > options.max_distributions) {
+      throw Error("CSDF DSE exceeded max_distributions");
+    }
+    const state::Capacities capacities = state::Capacities::bounded(caps);
+    const auto run = compute_throughput(graph, capacities, options.target,
+                                        options.max_steps_per_run);
+    result.max_states_stored =
+        std::max(result.max_states_stored, run.states_stored);
+    const Rational quantized =
+        buffer::quantize_down(run.throughput, options.quantization);
+    if (quantized > best_seen) {
+      result.pareto.add(
+          buffer::ParetoPoint{buffer::StorageDistribution(caps), quantized});
+      best_seen = quantized;
+    }
+    if (!run.throughput.is_zero() &&
+        run.throughput >= result.max_throughput) {
+      break;  // size-ordered pop: the front is complete
+    }
+    const auto deps = storage_dependencies(graph, capacities,
+                                           run.cycle_start_time,
+                                           run.deadlocked ? 0 : run.period);
+    // An empty set means larger buffers change nothing: branch exhausted.
+    for (const ChannelId c : deps) {
+      buffer::StorageDistribution child =
+          buffer::StorageDistribution(caps).with(c.index(),
+                                                 caps[c.index()] + 1);
+      if (options.max_distribution_size.has_value() &&
+          child.size() > *options.max_distribution_size) {
+        continue;
+      }
+      if (visited.insert(child).second) {
+        frontier.emplace(child.size(), child.capacities());
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace buffy::csdf

@@ -1,0 +1,154 @@
+#include "csdf/engine.hpp"
+
+#include <algorithm>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::csdf {
+
+Engine::Engine(const Graph& graph, state::Capacities capacities)
+    : graph_(graph), capacities_(std::move(capacities)) {
+  BUFFY_REQUIRE(capacities_.size() == graph.num_channels(),
+                "capacities must cover every channel of the graph");
+  const std::size_t n = graph.num_actors();
+  exec_times_.resize(n);
+  inputs_.resize(n);
+  outputs_.resize(n);
+  for (const ActorId a : graph.actor_ids()) {
+    exec_times_[a.index()] = graph.actor(a).execution_times;
+    for (const ChannelId c : graph.in_channels(a)) {
+      inputs_[a.index()].push_back(
+          PortRef{c.index(), &graph.channel(c).consumption});
+    }
+    for (const ChannelId c : graph.out_channels(a)) {
+      outputs_[a.index()].push_back(
+          PortRef{c.index(), &graph.channel(c).production});
+    }
+  }
+  initial_tokens_.resize(graph.num_channels());
+  for (const ChannelId c : graph.channel_ids()) {
+    initial_tokens_[c.index()] = graph.channel(c).initial_tokens;
+  }
+  reset();
+}
+
+bool Engine::can_start(std::size_t actor) const {
+  if (clocks_[actor] != 0) return false;
+  const std::size_t p = static_cast<std::size_t>(phases_[actor]);
+  for (const PortRef& in : inputs_[actor]) {
+    if (tokens_[in.channel] < (*in.rates)[p]) return false;
+  }
+  for (const PortRef& out : outputs_[actor]) {
+    const i64 rate = (*out.rates)[p];
+    if (rate > 0 && capacities_.is_bounded(out.channel) &&
+        occupied_[out.channel] + rate > capacities_.capacity(out.channel)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::start_phase() {
+  for (std::size_t a = 0; a < clocks_.size(); ++a) {
+    if (!can_start(a)) continue;
+    const std::size_t p = static_cast<std::size_t>(phases_[a]);
+    clocks_[a] = exec_times_[a][p];
+    for (const PortRef& out : outputs_[a]) {
+      occupied_[out.channel] += (*out.rates)[p];
+    }
+    if (recorder_ != nullptr) recorder_->record(ActorId(a), now_);
+  }
+}
+
+void Engine::reset() {
+  clocks_.assign(graph_.num_actors(), 0);
+  phases_.assign(graph_.num_actors(), 0);
+  tokens_ = initial_tokens_;
+  occupied_ = initial_tokens_;
+  completed_.clear();
+  now_ = 0;
+  deadlocked_ = false;
+  for (std::size_t c = 0; c < tokens_.size(); ++c) {
+    if (capacities_.is_bounded(c) && tokens_[c] > capacities_.capacity(c)) {
+      throw GraphError("channel '" + graph_.channel(ChannelId(c)).name +
+                       "' has more initial tokens than its capacity");
+    }
+  }
+  start_phase();
+  deadlocked_ = std::all_of(clocks_.begin(), clocks_.end(),
+                            [](i64 c) { return c == 0; });
+}
+
+bool Engine::advance() {
+  if (deadlocked_) return false;
+  i64 delta = 0;
+  for (const i64 c : clocks_) {
+    if (c > 0 && (delta == 0 || c < delta)) delta = c;
+  }
+  BUFFY_ASSERT(delta > 0, "live CSDF engine without a running firing");
+  now_ += delta;
+  completed_.clear();
+
+  for (std::size_t a = 0; a < clocks_.size(); ++a) {
+    if (clocks_[a] == 0) continue;
+    clocks_[a] -= delta;
+    if (clocks_[a] != 0) continue;
+    const std::size_t p = static_cast<std::size_t>(phases_[a]);
+    for (const PortRef& in : inputs_[a]) {
+      const i64 rate = (*in.rates)[p];
+      tokens_[in.channel] -= rate;
+      occupied_[in.channel] -= rate;
+      BUFFY_ASSERT(tokens_[in.channel] >= 0, "negative channel fill");
+    }
+    for (const PortRef& out : outputs_[a]) {
+      tokens_[out.channel] += (*out.rates)[p];
+    }
+    phases_[a] = (phases_[a] + 1) %
+                 static_cast<i64>(exec_times_[a].size());
+    completed_.emplace_back(a);
+  }
+
+  start_phase();
+  deadlocked_ = std::all_of(clocks_.begin(), clocks_.end(),
+                            [](i64 c) { return c == 0; });
+  return !deadlocked_;
+}
+
+state::TimedState Engine::snapshot() const {
+  std::vector<i64> words;
+  words.reserve(clocks_.size() + phases_.size());
+  words.insert(words.end(), clocks_.begin(), clocks_.end());
+  words.insert(words.end(), phases_.begin(), phases_.end());
+  return state::TimedState(words, tokens_);
+}
+
+std::vector<ChannelId> Engine::space_blocked_channels() const {
+  std::vector<bool> blocked(tokens_.size(), false);
+  for (std::size_t a = 0; a < clocks_.size(); ++a) {
+    if (clocks_[a] != 0) continue;
+    const std::size_t p = static_cast<std::size_t>(phases_[a]);
+    bool tokens_ok = true;
+    for (const PortRef& in : inputs_[a]) {
+      if (tokens_[in.channel] < (*in.rates)[p]) {
+        tokens_ok = false;
+        break;
+      }
+    }
+    if (!tokens_ok) continue;
+    for (const PortRef& out : outputs_[a]) {
+      const i64 rate = (*out.rates)[p];
+      if (rate > 0 && capacities_.is_bounded(out.channel) &&
+          occupied_[out.channel] + rate >
+              capacities_.capacity(out.channel)) {
+        blocked[out.channel] = true;
+      }
+    }
+  }
+  std::vector<ChannelId> result;
+  for (std::size_t c = 0; c < blocked.size(); ++c) {
+    if (blocked[c]) result.emplace_back(c);
+  }
+  return result;
+}
+
+}  // namespace buffy::csdf

@@ -1,0 +1,88 @@
+// Self-timed execution of CSDF graphs under a storage distribution.
+//
+// Identical semantics to state::Engine (claim space at firing start,
+// consume/produce at firing end, no auto-concurrency, every enabled actor
+// fires immediately), generalised with a phase counter per actor: phase p
+// of actor a takes execution_times[p] steps and uses the p-th entry of
+// every connected rate vector; completing a firing advances the phase
+// cyclically. The timed state gains the phase dimensions.
+#pragma once
+
+#include <vector>
+
+#include "csdf/graph.hpp"
+#include "state/state.hpp"
+#include "state/trace.hpp"
+
+namespace buffy::csdf {
+
+/// Deterministic self-timed CSDF executor.
+class Engine {
+ public:
+  Engine(const Graph& graph, state::Capacities capacities);
+
+  /// Back to time 0 (initial tokens, phase 0 everywhere) and runs the
+  /// time-0 start phase.
+  void reset();
+
+  /// Advances to the next firing completion; returns false on deadlock.
+  bool advance();
+
+  [[nodiscard]] i64 now() const { return now_; }
+  [[nodiscard]] bool deadlocked() const { return deadlocked_; }
+
+  /// Actors whose firing completed in the most recent advance.
+  [[nodiscard]] const std::vector<ActorId>& completed() const {
+    return completed_;
+  }
+
+  [[nodiscard]] i64 clock(ActorId a) const { return clocks_[a.index()]; }
+  /// Phase of the next (or currently running) firing.
+  [[nodiscard]] i64 phase(ActorId a) const { return phases_[a.index()]; }
+  [[nodiscard]] i64 tokens(ChannelId c) const { return tokens_[c.index()]; }
+  [[nodiscard]] i64 occupancy(ChannelId c) const {
+    return occupied_[c.index()];
+  }
+
+  /// Timed state including the phase dimensions:
+  /// (clocks..., phases..., tokens...).
+  [[nodiscard]] state::TimedState snapshot() const;
+
+  /// Channels whose space check fails for an idle, token-ready actor in its
+  /// current phase (storage dependencies).
+  [[nodiscard]] std::vector<ChannelId> space_blocked_channels() const;
+
+  /// Optional recorder notified of every firing start (set before reset()
+  /// to capture the time-0 start phase).
+  void set_recorder(state::FiringRecorder* recorder) { recorder_ = recorder; }
+
+  [[nodiscard]] const Graph& graph() const { return graph_; }
+
+ private:
+  struct PortRef {
+    std::size_t channel;
+    const std::vector<i64>* rates;  // per-phase rates of this endpoint
+  };
+
+  [[nodiscard]] bool can_start(std::size_t actor) const;
+  void start_phase();
+
+  const Graph& graph_;
+  state::Capacities capacities_;
+
+  std::vector<std::vector<i64>> exec_times_;
+  std::vector<std::vector<PortRef>> inputs_;
+  std::vector<std::vector<PortRef>> outputs_;
+  std::vector<i64> initial_tokens_;
+
+  std::vector<i64> clocks_;
+  std::vector<i64> phases_;
+  std::vector<i64> tokens_;
+  std::vector<i64> occupied_;
+  std::vector<ActorId> completed_;
+  i64 now_ = 0;
+  bool deadlocked_ = false;
+  state::FiringRecorder* recorder_ = nullptr;
+};
+
+}  // namespace buffy::csdf

@@ -1,0 +1,101 @@
+// Cyclo-static dataflow graphs (CSDF).
+//
+// The paper's conclusion names generalisation to richer dataflow models as
+// future work; CSDF is the canonical first step (and the one the SDF3 tool
+// family took). A CSDF actor cycles deterministically through a fixed
+// sequence of phases; every phase has its own execution time and its own
+// port rates, and rates of 0 are allowed. SDF is the one-phase special
+// case (see from_sdf), which the test-suite exploits as a differential
+// oracle against the SDF engine.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "sdf/graph.hpp"
+#include "sdf/ids.hpp"
+
+namespace buffy::csdf {
+
+/// Identifies actors/channels of a CsdfGraph (same dense-id scheme as SDF).
+using ActorId = sdf::ActorId;
+using ChannelId = sdf::ChannelId;
+
+/// A cyclo-static actor: one execution time per phase.
+struct Actor {
+  std::string name;
+  /// Discrete time steps per firing, one entry per phase; each >= 1.
+  std::vector<i64> execution_times;
+
+  [[nodiscard]] std::size_t num_phases() const {
+    return execution_times.size();
+  }
+};
+
+/// A channel with phase-dependent rates.
+struct Channel {
+  std::string name;
+  ActorId src;
+  ActorId dst;
+  /// Tokens produced in each phase of src; entries >= 0, sum >= 1.
+  std::vector<i64> production;
+  /// Tokens consumed in each phase of dst; entries >= 0, sum >= 1.
+  std::vector<i64> consumption;
+  i64 initial_tokens = 0;
+
+  [[nodiscard]] bool is_self_loop() const { return src == dst; }
+  [[nodiscard]] i64 total_production() const;
+  [[nodiscard]] i64 total_consumption() const;
+  [[nodiscard]] i64 max_production() const;
+  [[nodiscard]] i64 max_consumption() const;
+};
+
+/// A CSDF graph; value type like sdf::Graph.
+class Graph {
+ public:
+  explicit Graph(std::string name = "csdf");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  ActorId add_actor(Actor actor);
+  ChannelId add_channel(Channel channel);
+
+  /// Mutable access (used by IO when properties arrive after the actors).
+  [[nodiscard]] Actor& actor_mutable(ActorId id);
+
+  [[nodiscard]] std::size_t num_actors() const { return actors_.size(); }
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+
+  [[nodiscard]] const Actor& actor(ActorId id) const;
+  [[nodiscard]] const Channel& channel(ChannelId id) const;
+
+  [[nodiscard]] std::span<const ChannelId> out_channels(ActorId id) const;
+  [[nodiscard]] std::span<const ChannelId> in_channels(ActorId id) const;
+
+  [[nodiscard]] std::optional<ActorId> find_actor(
+      const std::string& name) const;
+
+  [[nodiscard]] std::vector<ActorId> actor_ids() const;
+  [[nodiscard]] std::vector<ChannelId> channel_ids() const;
+
+ private:
+  std::string name_;
+  std::vector<Actor> actors_;
+  std::vector<Channel> channels_;
+  std::vector<std::vector<ChannelId>> out_;
+  std::vector<std::vector<ChannelId>> in_;
+};
+
+/// Structural validation: unique non-empty names, phase-vector lengths
+/// matching the endpoint actors, execution times >= 1, rates >= 0 with
+/// positive sums, non-negative initial tokens. Throws GraphError.
+void validate(const Graph& graph);
+
+/// Embeds an SDF graph as single-phase CSDF (exact semantics match).
+[[nodiscard]] Graph from_sdf(const sdf::Graph& graph);
+
+}  // namespace buffy::csdf

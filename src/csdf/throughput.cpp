@@ -1,0 +1,79 @@
+#include "csdf/throughput.hpp"
+
+#include <unordered_map>
+
+#include "base/diagnostics.hpp"
+#include "base/hash.hpp"
+
+namespace buffy::csdf {
+
+namespace {
+
+struct ReducedKey {
+  state::TimedState timed;
+  i64 dist;
+  friend bool operator==(const ReducedKey&, const ReducedKey&) = default;
+};
+
+struct ReducedKeyHash {
+  std::size_t operator()(const ReducedKey& k) const noexcept {
+    return static_cast<std::size_t>(
+        hash_combine(k.timed.hash(), static_cast<u64>(k.dist)));
+  }
+};
+
+}  // namespace
+
+ThroughputResult compute_throughput(const Graph& graph,
+                                    const state::Capacities& capacities,
+                                    ActorId target, u64 max_steps) {
+  BUFFY_REQUIRE(target.valid() && target.index() < graph.num_actors(),
+                "throughput target actor is not part of the graph");
+  Engine engine(graph, capacities);
+  engine.reset();
+
+  ThroughputResult result;
+  struct Entry {
+    i64 firing_index;
+    i64 time;
+  };
+  std::unordered_map<ReducedKey, Entry, ReducedKeyHash> seen;
+  i64 firings = 0;
+  i64 last_completion = 0;
+
+  for (u64 steps = 0; steps < max_steps; ++steps) {
+    const bool alive = engine.advance();
+    bool target_completed = false;
+    for (const ActorId a : engine.completed()) {
+      if (a == target) target_completed = true;
+    }
+    if (target_completed) {
+      ++firings;
+      const i64 dist = engine.now() - last_completion;
+      last_completion = engine.now();
+      const ReducedKey key{engine.snapshot(), dist};
+      const auto it = seen.find(key);
+      if (it != seen.end()) {
+        result.firings_on_cycle = firings - it->second.firing_index;
+        result.period = engine.now() - it->second.time;
+        result.cycle_start_time = it->second.time;
+        result.throughput = Rational(result.firings_on_cycle, result.period);
+        result.states_stored = seen.size();
+        result.time_steps = engine.now();
+        return result;
+      }
+      seen.emplace(key, Entry{firings, engine.now()});
+    }
+    if (!alive) {
+      result.deadlocked = true;
+      result.throughput = Rational(0);
+      result.states_stored = seen.size();
+      result.time_steps = engine.now();
+      return result;
+    }
+  }
+  throw Error("CSDF throughput computation exceeded max_steps on graph '" +
+              graph.name() + "'");
+}
+
+}  // namespace buffy::csdf

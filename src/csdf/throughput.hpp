@@ -1,0 +1,30 @@
+// Throughput of a CSDF graph under a storage distribution, via the same
+// reduced state-space construction as the SDF case (Sec. 7 of the paper,
+// with the actor phases added to the state).
+#pragma once
+
+#include "base/rational.hpp"
+#include "csdf/engine.hpp"
+#include "csdf/graph.hpp"
+
+namespace buffy::csdf {
+
+/// Outcome of a CSDF throughput computation.
+struct ThroughputResult {
+  bool deadlocked = false;
+  /// Firings of the target actor (any phase) per time step.
+  Rational throughput;
+  u64 states_stored = 0;
+  i64 cycle_start_time = 0;
+  i64 period = 0;
+  i64 firings_on_cycle = 0;
+  i64 time_steps = 0;
+};
+
+/// Runs self-timed execution until the reduced state space closes or the
+/// graph deadlocks; throws Error past max_steps events.
+[[nodiscard]] ThroughputResult compute_throughput(
+    const Graph& graph, const state::Capacities& capacities, ActorId target,
+    u64 max_steps = 100'000'000);
+
+}  // namespace buffy::csdf

@@ -1,0 +1,119 @@
+#include "gen/random_graph.hpp"
+
+#include <string>
+#include <vector>
+
+#include "base/diagnostics.hpp"
+#include "base/rng.hpp"
+#include "sdf/validate.hpp"
+
+namespace buffy::gen {
+
+namespace {
+
+// True when `to` is reachable from `from` along existing channels.
+bool reaches(const sdf::Graph& graph, sdf::ActorId from, sdf::ActorId to) {
+  std::vector<bool> seen(graph.num_actors(), false);
+  std::vector<std::size_t> stack{from.index()};
+  seen[from.index()] = true;
+  while (!stack.empty()) {
+    const sdf::ActorId cur(stack.back());
+    stack.pop_back();
+    if (cur == to) return true;
+    for (const sdf::ChannelId c : graph.out_channels(cur)) {
+      const sdf::ActorId next = graph.channel(c).dst;
+      if (!seen[next.index()]) {
+        seen[next.index()] = true;
+        stack.push_back(next.index());
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+sdf::Graph random_graph(const RandomGraphOptions& options) {
+  BUFFY_REQUIRE(options.num_actors >= 1, "need at least one actor");
+  BUFFY_REQUIRE(options.max_repetition >= 1, "max_repetition must be >= 1");
+  Rng rng(options.seed);
+
+  sdf::Graph graph("random_" + std::to_string(options.seed));
+  std::vector<i64> q(options.num_actors);
+  std::vector<sdf::ActorId> actors;
+  for (std::size_t i = 0; i < options.num_actors; ++i) {
+    q[i] = rng.uniform(1, options.max_repetition);
+    actors.push_back(graph.add_actor(sdf::Actor{
+        .name = "a" + std::to_string(i),
+        .execution_time = rng.uniform(1, options.max_execution_time),
+    }));
+  }
+
+  i64 channel_seq = 0;
+  const auto add_channel = [&](sdf::ActorId src, sdf::ActorId dst) {
+    const i64 g = gcd(q[src.index()], q[dst.index()]);
+    const i64 scale = rng.uniform(1, options.max_rate_scale);
+    const i64 production = checked_mul(q[dst.index()] / g, scale);
+    const i64 consumption = checked_mul(q[src.index()] / g, scale);
+    // One full iteration's worth of input for the consumer whenever the
+    // edge closes a cycle: every HSDF dependency derived from the edge then
+    // carries at least one iteration of delay, so no token-free cycle can
+    // arise and the graph stays live.
+    i64 tokens = 0;
+    if (src == dst || reaches(graph, dst, src)) {
+      tokens = checked_mul(consumption, q[dst.index()]);
+    }
+    const std::string name = "c" + std::to_string(channel_seq++);
+    graph.add_channel(sdf::Channel{
+        .name = name,
+        .src = src,
+        .dst = dst,
+        .production = production,
+        .consumption = consumption,
+        .initial_tokens = tokens,
+        .src_port = name + "_out",
+        .dst_port = name + "_in",
+    });
+  };
+
+  if (options.strongly_connected) {
+    // Ring backbone: a_0 -> a_1 -> ... -> a_{n-1} -> a_0; the closing edge
+    // receives an iteration of tokens via the cycle rule in add_channel.
+    for (std::size_t i = 0; i < options.num_actors; ++i) {
+      add_channel(actors[i], actors[(i + 1) % options.num_actors]);
+    }
+  } else {
+    // Spanning tree: each actor beyond the first connects to an earlier
+    // one, in a random direction (forward only for acyclic graphs).
+    for (std::size_t i = 1; i < options.num_actors; ++i) {
+      const std::size_t j = rng.index(i);
+      const bool forward = options.allow_cycles ? rng.chance(0.5) : true;
+      if (forward) {
+        add_channel(actors[j], actors[i]);
+      } else {
+        add_channel(actors[i], actors[j]);
+      }
+    }
+  }
+
+  const auto extra = static_cast<std::size_t>(
+      options.extra_edge_fraction * static_cast<double>(options.num_actors));
+  for (std::size_t e = 0; e < extra; ++e) {
+    const std::size_t u = rng.index(options.num_actors);
+    std::size_t v = rng.index(options.num_actors);
+    if (!options.allow_cycles) {
+      if (u == v) continue;
+      // Keep the graph acyclic: only edges from lower to higher index are
+      // added (the spanning tree used the same orientation).
+      const auto [lo, hi] = std::minmax(u, v);
+      add_channel(actors[lo], actors[hi]);
+      continue;
+    }
+    add_channel(actors[u], actors[v]);
+  }
+
+  sdf::validate(graph);
+  return graph;
+}
+
+}  // namespace buffy::gen

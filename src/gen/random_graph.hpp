@@ -1,0 +1,42 @@
+// Random consistent SDF graph generation (the SDF3 tool family ships a
+// similar generator; here it powers the property-test sweeps and stress
+// benches).
+//
+// Construction is repetition-vector-first: the vector q is drawn, then every
+// channel's rates are derived from q so the balance equations hold by
+// construction. Edges that close a directed cycle receive one iteration's
+// worth of initial tokens for the consumer, which guarantees the graph is
+// deadlock-free under unbounded buffers.
+#pragma once
+
+#include "base/checked_math.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::gen {
+
+/// Parameters of a random graph draw.
+struct RandomGraphOptions {
+  std::size_t num_actors = 5;
+  /// Repetition-vector entries are drawn uniformly from [1, max_repetition].
+  i64 max_repetition = 4;
+  /// Execution times are drawn uniformly from [1, max_execution_time].
+  i64 max_execution_time = 5;
+  /// Rate scale factor drawn from [1, max_rate_scale] per channel
+  /// (multiplies both port rates, preserving consistency).
+  i64 max_rate_scale = 2;
+  /// Extra channels beyond the spanning tree, as a fraction of num_actors.
+  double extra_edge_fraction = 0.6;
+  /// When false, only forward edges are added (the graph is acyclic).
+  bool allow_cycles = true;
+  /// When true, the backbone is a directed ring (tokens on the wrap edge),
+  /// making the graph strongly connected; self-timed execution is then
+  /// eventually periodic even with unbounded buffers. Implies allow_cycles.
+  bool strongly_connected = false;
+  u64 seed = 1;
+};
+
+/// Draws a graph; always consistent, weakly connected, and deadlock-free
+/// under unbounded buffers.
+[[nodiscard]] sdf::Graph random_graph(const RandomGraphOptions& options);
+
+}  // namespace buffy::gen

@@ -1,0 +1,260 @@
+#include "io/csdf_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/diagnostics.hpp"
+#include "base/string_util.hpp"
+#include "io/xml.hpp"
+
+namespace buffy::io {
+
+namespace {
+
+std::vector<i64> parse_phase_list(const std::string& text) {
+  std::vector<i64> out;
+  for (const std::string& item : split(text, ',')) {
+    out.push_back(parse_i64(item));
+  }
+  return out;
+}
+
+std::string format_phase_list(const std::vector<i64>& values) {
+  std::string out;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i != 0) out += ',';
+    out += std::to_string(values[i]);
+  }
+  return out;
+}
+
+struct PortSpec {
+  std::string direction;
+  std::vector<i64> rates;
+};
+
+}  // namespace
+
+csdf::Graph read_csdf_xml(const std::string& xml_text) {
+  const XmlDocument doc = parse_xml(xml_text);
+  const XmlElement& root = *doc.root;
+  if (root.name() != "sdf3") {
+    throw ParseError("expected <sdf3> root element, found <" + root.name() +
+                     ">");
+  }
+  const XmlElement& app = root.required_child("applicationGraph");
+  const XmlElement& csdf_el = app.required_child("csdf");
+  csdf::Graph graph(csdf_el.attribute("name").value_or(
+      app.attribute("name").value_or("csdf")));
+
+  std::unordered_map<std::string, csdf::ActorId> actors;
+  std::unordered_map<std::string, PortSpec> ports;
+  const auto port_key = [](const std::string& actor, const std::string& port) {
+    return actor + "\x1f" + port;
+  };
+  for (const XmlElement* actor_el : csdf_el.children_named("actor")) {
+    const std::string& name = actor_el->required_attribute("name");
+    const csdf::ActorId id = graph.add_actor(
+        csdf::Actor{.name = name, .execution_times = {1}});
+    if (!actors.emplace(name, id).second) {
+      throw ParseError("duplicate actor '" + name + "'");
+    }
+    for (const XmlElement* port_el : actor_el->children_named("port")) {
+      PortSpec spec;
+      spec.direction = port_el->required_attribute("type");
+      if (spec.direction != "in" && spec.direction != "out") {
+        throw ParseError("port of actor '" + name + "' has type '" +
+                         spec.direction + "' (expected in/out)");
+      }
+      spec.rates = parse_phase_list(port_el->required_attribute("rate"));
+      ports[port_key(name, port_el->required_attribute("name"))] = spec;
+    }
+  }
+
+  for (const XmlElement* ch_el : csdf_el.children_named("channel")) {
+    const std::string& name = ch_el->required_attribute("name");
+    const auto src_it = actors.find(ch_el->required_attribute("srcActor"));
+    const auto dst_it = actors.find(ch_el->required_attribute("dstActor"));
+    if (src_it == actors.end() || dst_it == actors.end()) {
+      throw ParseError("channel '" + name + "' references unknown actors");
+    }
+    const auto sp = ports.find(
+        port_key(ch_el->required_attribute("srcActor"),
+                 ch_el->required_attribute("srcPort")));
+    const auto dp = ports.find(
+        port_key(ch_el->required_attribute("dstActor"),
+                 ch_el->required_attribute("dstPort")));
+    if (sp == ports.end() || dp == ports.end()) {
+      throw ParseError("channel '" + name + "' references unknown ports");
+    }
+    if (sp->second.direction != "out" || dp->second.direction != "in") {
+      throw ParseError("channel '" + name +
+                       "' must connect an out port to an in port");
+    }
+    i64 tokens = 0;
+    if (const auto t = ch_el->attribute("initialTokens")) {
+      tokens = parse_i64(*t);
+    }
+    graph.add_channel(csdf::Channel{
+        .name = name,
+        .src = src_it->second,
+        .dst = dst_it->second,
+        .production = sp->second.rates,
+        .consumption = dp->second.rates,
+        .initial_tokens = tokens,
+    });
+  }
+
+  if (const XmlElement* props = app.child("csdfProperties")) {
+    for (const XmlElement* ap : props->children_named("actorProperties")) {
+      const auto it = actors.find(ap->required_attribute("actor"));
+      if (it == actors.end()) {
+        throw ParseError("actorProperties references unknown actor '" +
+                         ap->required_attribute("actor") + "'");
+      }
+      if (const XmlElement* proc = ap->child("processor")) {
+        if (const XmlElement* et = proc->child("executionTime")) {
+          graph.actor_mutable(it->second).execution_times =
+              parse_phase_list(et->required_attribute("time"));
+        }
+      }
+    }
+  }
+
+  csdf::validate(graph);
+  return graph;
+}
+
+std::string write_csdf_xml(const csdf::Graph& graph) {
+  XmlElement root("sdf3");
+  root.set_attribute("type", "csdf");
+  root.set_attribute("version", "1.0");
+  XmlElement& app = root.add_child("applicationGraph");
+  app.set_attribute("name", graph.name());
+  XmlElement& csdf_el = app.add_child("csdf");
+  csdf_el.set_attribute("name", graph.name());
+  csdf_el.set_attribute("type", graph.name());
+
+  for (const csdf::ActorId a : graph.actor_ids()) {
+    XmlElement& actor_el = csdf_el.add_child("actor");
+    actor_el.set_attribute("name", graph.actor(a).name);
+    actor_el.set_attribute("type", graph.actor(a).name);
+    for (const csdf::ChannelId c : graph.out_channels(a)) {
+      const csdf::Channel& ch = graph.channel(c);
+      XmlElement& port = actor_el.add_child("port");
+      port.set_attribute("name", ch.name + "_out");
+      port.set_attribute("type", "out");
+      port.set_attribute("rate", format_phase_list(ch.production));
+    }
+    for (const csdf::ChannelId c : graph.in_channels(a)) {
+      const csdf::Channel& ch = graph.channel(c);
+      XmlElement& port = actor_el.add_child("port");
+      port.set_attribute("name", ch.name + "_in");
+      port.set_attribute("type", "in");
+      port.set_attribute("rate", format_phase_list(ch.consumption));
+    }
+  }
+  for (const csdf::ChannelId c : graph.channel_ids()) {
+    const csdf::Channel& ch = graph.channel(c);
+    XmlElement& ch_el = csdf_el.add_child("channel");
+    ch_el.set_attribute("name", ch.name);
+    ch_el.set_attribute("srcActor", graph.actor(ch.src).name);
+    ch_el.set_attribute("srcPort", ch.name + "_out");
+    ch_el.set_attribute("dstActor", graph.actor(ch.dst).name);
+    ch_el.set_attribute("dstPort", ch.name + "_in");
+    if (ch.initial_tokens != 0) {
+      ch_el.set_attribute("initialTokens", std::to_string(ch.initial_tokens));
+    }
+  }
+  XmlElement& props = app.add_child("csdfProperties");
+  for (const csdf::ActorId a : graph.actor_ids()) {
+    XmlElement& ap = props.add_child("actorProperties");
+    ap.set_attribute("actor", graph.actor(a).name);
+    XmlElement& proc = ap.add_child("processor");
+    proc.set_attribute("type", "default");
+    proc.set_attribute("default", "true");
+    XmlElement& et = proc.add_child("executionTime");
+    et.set_attribute("time",
+                     format_phase_list(graph.actor(a).execution_times));
+  }
+  return write_xml(root);
+}
+
+csdf::Graph read_csdf_dsl(const std::string& text) {
+  csdf::Graph graph("csdf");
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& message) {
+    throw ParseError("line " + std::to_string(line_no) + ": " + message);
+  };
+  // Same structure as the SDF DSL but with comma-separated phase lists.
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::vector<std::string> words = split_whitespace(line);
+    if (words.empty()) continue;
+    if (words[0] == "graph") {
+      if (words.size() != 2) fail("expected: graph <name>");
+      graph.set_name(words[1]);
+    } else if (words[0] == "actor") {
+      if (words.size() != 3) fail("expected: actor <name> <times,per,phase>");
+      graph.add_actor(csdf::Actor{
+          .name = words[1], .execution_times = parse_phase_list(words[2])});
+    } else if (words[0] == "channel") {
+      if (words.size() != 6 && !(words.size() == 8 && words[6] == "tokens")) {
+        fail("expected: channel <name> <src> <prod,..> <dst> <cons,..> "
+             "[tokens <n>]");
+      }
+      const auto src = graph.find_actor(words[2]);
+      const auto dst = graph.find_actor(words[4]);
+      if (!src) fail("unknown source actor '" + words[2] + "'");
+      if (!dst) fail("unknown destination actor '" + words[4] + "'");
+      graph.add_channel(csdf::Channel{
+          .name = words[1],
+          .src = *src,
+          .dst = *dst,
+          .production = parse_phase_list(words[3]),
+          .consumption = parse_phase_list(words[5]),
+          .initial_tokens = words.size() == 8 ? parse_i64(words[7]) : 0,
+      });
+    } else {
+      fail("unknown directive '" + words[0] + "'");
+    }
+  }
+  csdf::validate(graph);
+  return graph;
+}
+
+std::string write_csdf_dsl(const csdf::Graph& graph) {
+  std::ostringstream os;
+  os << "graph " << graph.name() << '\n';
+  for (const csdf::ActorId a : graph.actor_ids()) {
+    os << "actor " << graph.actor(a).name << ' '
+       << format_phase_list(graph.actor(a).execution_times) << '\n';
+  }
+  for (const csdf::ChannelId c : graph.channel_ids()) {
+    const csdf::Channel& ch = graph.channel(c);
+    os << "channel " << ch.name << ' ' << graph.actor(ch.src).name << ' '
+       << format_phase_list(ch.production) << ' ' << graph.actor(ch.dst).name
+       << ' ' << format_phase_list(ch.consumption);
+    if (ch.initial_tokens != 0) os << " tokens " << ch.initial_tokens;
+    os << '\n';
+  }
+  return os.str();
+}
+
+csdf::Graph load_csdf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (path.size() >= 4 && path.substr(path.size() - 4) == ".xml") {
+    return read_csdf_xml(buffer.str());
+  }
+  return read_csdf_dsl(buffer.str());
+}
+
+}  // namespace buffy::io

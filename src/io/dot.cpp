@@ -1,0 +1,43 @@
+#include "io/dot.hpp"
+
+#include <sstream>
+
+namespace buffy::io {
+
+namespace {
+
+std::string dot_impl(const sdf::Graph& graph,
+                     const buffer::StorageDistribution* dist) {
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=circle];\n";
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    const sdf::Actor& actor = graph.actor(a);
+    os << "  \"" << actor.name << "\" [label=\"" << actor.name << "\\n"
+       << actor.execution_time << "\"];\n";
+  }
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    const sdf::Channel& ch = graph.channel(c);
+    os << "  \"" << graph.actor(ch.src).name << "\" -> \""
+       << graph.actor(ch.dst).name << "\" [label=\"" << ch.name << "\\n"
+       << ch.production << " : " << ch.consumption;
+    if (ch.initial_tokens != 0) os << "\\ntokens=" << ch.initial_tokens;
+    if (dist != nullptr) os << "\\ncap=" << (*dist)[c];
+    os << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace
+
+std::string write_dot(const sdf::Graph& graph) {
+  return dot_impl(graph, nullptr);
+}
+
+std::string write_dot(const sdf::Graph& graph,
+                      const buffer::StorageDistribution& dist) {
+  return dot_impl(graph, &dist);
+}
+
+}  // namespace buffy::io

@@ -1,0 +1,21 @@
+// Graphviz DOT export of SDF graphs, with rates, initial tokens and
+// execution times rendered the way the paper draws them (rates as port
+// annotations, execution times above the actors).
+#pragma once
+
+#include <string>
+
+#include "buffer/distribution.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::io {
+
+/// DOT text for the graph alone.
+[[nodiscard]] std::string write_dot(const sdf::Graph& graph);
+
+/// DOT text with channel capacities from a storage distribution annotated
+/// on the edges.
+[[nodiscard]] std::string write_dot(const sdf::Graph& graph,
+                                    const buffer::StorageDistribution& dist);
+
+}  // namespace buffy::io

@@ -1,0 +1,86 @@
+#include "io/dsl.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/diagnostics.hpp"
+#include "base/string_util.hpp"
+#include "sdf/validate.hpp"
+
+namespace buffy::io {
+
+sdf::Graph read_dsl(const std::string& text) {
+  sdf::Graph graph("sdf");
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& message) {
+    throw ParseError("line " + std::to_string(line_no) + ": " + message);
+  };
+  while (std::getline(in, line)) {
+    ++line_no;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    const std::vector<std::string> words = split_whitespace(line);
+    if (words.empty()) continue;
+    const std::string& kind = words[0];
+    if (kind == "graph") {
+      if (words.size() != 2) fail("expected: graph <name>");
+      graph.set_name(words[1]);
+    } else if (kind == "actor") {
+      if (words.size() != 3) fail("expected: actor <name> <execution-time>");
+      graph.add_actor(
+          sdf::Actor{.name = words[1], .execution_time = parse_i64(words[2])});
+    } else if (kind == "channel") {
+      if (words.size() != 6 && !(words.size() == 8 && words[6] == "tokens")) {
+        fail("expected: channel <name> <src> <prod> <dst> <cons> [tokens <n>]");
+      }
+      const auto src = graph.find_actor(words[2]);
+      const auto dst = graph.find_actor(words[4]);
+      if (!src) fail("unknown source actor '" + words[2] + "'");
+      if (!dst) fail("unknown destination actor '" + words[4] + "'");
+      graph.add_channel(sdf::Channel{
+          .name = words[1],
+          .src = *src,
+          .dst = *dst,
+          .production = parse_i64(words[3]),
+          .consumption = parse_i64(words[5]),
+          .initial_tokens = words.size() == 8 ? parse_i64(words[7]) : 0,
+          .src_port = words[1] + "_out",
+          .dst_port = words[1] + "_in",
+      });
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  sdf::validate(graph);
+  return graph;
+}
+
+std::string write_dsl(const sdf::Graph& graph) {
+  std::ostringstream os;
+  os << "graph " << graph.name() << '\n';
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    os << "actor " << graph.actor(a).name << ' '
+       << graph.actor(a).execution_time << '\n';
+  }
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    const sdf::Channel& ch = graph.channel(c);
+    os << "channel " << ch.name << ' ' << graph.actor(ch.src).name << ' '
+       << ch.production << ' ' << graph.actor(ch.dst).name << ' '
+       << ch.consumption;
+    if (ch.initial_tokens != 0) os << " tokens " << ch.initial_tokens;
+    os << '\n';
+  }
+  return os.str();
+}
+
+sdf::Graph load_dsl_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_dsl(buffer.str());
+}
+
+}  // namespace buffy::io

@@ -1,0 +1,30 @@
+// Compact line-oriented text format for SDF graphs.
+//
+//   # CD to DAT rate converter
+//   graph samplerate
+//   actor cd 1
+//   actor fir1 2
+//   channel c1 cd 1 fir1 1
+//   channel c2 fir1 2 up23 3 tokens 4
+//
+// Lines: `graph <name>`, `actor <name> <execution-time>`,
+// `channel <name> <src> <production> <dst> <consumption> [tokens <n>]`.
+// Blank lines and `#` comments are ignored.
+#pragma once
+
+#include <string>
+
+#include "sdf/graph.hpp"
+
+namespace buffy::io {
+
+/// Parses the text format; throws ParseError with a line number on errors.
+[[nodiscard]] sdf::Graph read_dsl(const std::string& text);
+
+/// Serialises a graph; read_dsl(write_dsl(g)) round-trips.
+[[nodiscard]] std::string write_dsl(const sdf::Graph& graph);
+
+/// Reads a file from disk; throws Error when the file cannot be opened.
+[[nodiscard]] sdf::Graph load_dsl_file(const std::string& path);
+
+}  // namespace buffy::io

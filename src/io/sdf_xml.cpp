@@ -1,0 +1,191 @@
+#include "io/sdf_xml.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+
+#include "base/diagnostics.hpp"
+#include "base/string_util.hpp"
+#include "io/xml.hpp"
+#include "sdf/validate.hpp"
+
+namespace buffy::io {
+
+namespace {
+
+struct PortSpec {
+  std::string direction;  // "in" or "out"
+  i64 rate = 1;
+};
+
+}  // namespace
+
+sdf::Graph read_sdf_xml(const std::string& xml_text) {
+  const XmlDocument doc = parse_xml(xml_text);
+  const XmlElement& root = *doc.root;
+  if (root.name() != "sdf3") {
+    throw ParseError("expected <sdf3> root element, found <" + root.name() +
+                     ">");
+  }
+  const XmlElement& app = root.required_child("applicationGraph");
+  const XmlElement& sdf_el = app.required_child("sdf");
+  sdf::Graph graph(sdf_el.attribute("name").value_or(
+      app.attribute("name").value_or("sdf")));
+
+  // Actors and their ports.
+  std::unordered_map<std::string, sdf::ActorId> actors;
+  // (actor, port) -> rate/direction, consulted when wiring channels.
+  std::unordered_map<std::string, PortSpec> ports;
+  const auto port_key = [](const std::string& actor, const std::string& port) {
+    return actor + "\x1f" + port;
+  };
+  for (const XmlElement* actor_el : sdf_el.children_named("actor")) {
+    const std::string& name = actor_el->required_attribute("name");
+    const sdf::ActorId id = graph.add_actor(sdf::Actor{.name = name});
+    if (!actors.emplace(name, id).second) {
+      throw ParseError("duplicate actor '" + name + "'");
+    }
+    for (const XmlElement* port_el : actor_el->children_named("port")) {
+      PortSpec spec;
+      spec.direction = port_el->required_attribute("type");
+      if (spec.direction != "in" && spec.direction != "out") {
+        throw ParseError("port '" + port_el->required_attribute("name") +
+                         "' of actor '" + name +
+                         "' has type '" + spec.direction +
+                         "' (expected in/out)");
+      }
+      spec.rate = parse_i64(port_el->required_attribute("rate"));
+      ports[port_key(name, port_el->required_attribute("name"))] = spec;
+    }
+  }
+
+  // Channels; rates come from the connected ports.
+  for (const XmlElement* ch_el : sdf_el.children_named("channel")) {
+    const std::string& name = ch_el->required_attribute("name");
+    const std::string& src_actor = ch_el->required_attribute("srcActor");
+    const std::string& src_port = ch_el->required_attribute("srcPort");
+    const std::string& dst_actor = ch_el->required_attribute("dstActor");
+    const std::string& dst_port = ch_el->required_attribute("dstPort");
+    const auto src_it = actors.find(src_actor);
+    const auto dst_it = actors.find(dst_actor);
+    if (src_it == actors.end() || dst_it == actors.end()) {
+      throw ParseError("channel '" + name + "' references unknown actors");
+    }
+    const auto sp = ports.find(port_key(src_actor, src_port));
+    const auto dp = ports.find(port_key(dst_actor, dst_port));
+    if (sp == ports.end() || dp == ports.end()) {
+      throw ParseError("channel '" + name + "' references unknown ports");
+    }
+    if (sp->second.direction != "out" || dp->second.direction != "in") {
+      throw ParseError("channel '" + name +
+                       "' must connect an out port to an in port");
+    }
+    i64 tokens = 0;
+    if (const auto t = ch_el->attribute("initialTokens")) {
+      tokens = parse_i64(*t);
+    }
+    graph.add_channel(sdf::Channel{
+        .name = name,
+        .src = src_it->second,
+        .dst = dst_it->second,
+        .production = sp->second.rate,
+        .consumption = dp->second.rate,
+        .initial_tokens = tokens,
+        .src_port = src_port,
+        .dst_port = dst_port,
+    });
+  }
+
+  // Execution times from the properties section (default 1 when absent).
+  if (const XmlElement* props = app.child("sdfProperties")) {
+    for (const XmlElement* ap : props->children_named("actorProperties")) {
+      const std::string& actor_name = ap->required_attribute("actor");
+      const auto it = actors.find(actor_name);
+      if (it == actors.end()) {
+        throw ParseError("actorProperties references unknown actor '" +
+                         actor_name + "'");
+      }
+      if (const XmlElement* proc = ap->child("processor")) {
+        if (const XmlElement* et = proc->child("executionTime")) {
+          graph.actor(it->second).execution_time =
+              parse_i64(et->required_attribute("time"));
+        }
+      }
+    }
+  }
+
+  sdf::validate(graph);
+  return graph;
+}
+
+sdf::Graph load_sdf_xml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw Error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return read_sdf_xml(buffer.str());
+}
+
+std::string write_sdf_xml(const sdf::Graph& graph) {
+  XmlElement root("sdf3");
+  root.set_attribute("type", "sdf");
+  root.set_attribute("version", "1.0");
+  XmlElement& app = root.add_child("applicationGraph");
+  app.set_attribute("name", graph.name());
+  XmlElement& sdf_el = app.add_child("sdf");
+  sdf_el.set_attribute("name", graph.name());
+  sdf_el.set_attribute("type", graph.name());
+
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    XmlElement& actor_el = sdf_el.add_child("actor");
+    actor_el.set_attribute("name", graph.actor(a).name);
+    actor_el.set_attribute("type", graph.actor(a).name);
+    for (const sdf::ChannelId c : graph.out_channels(a)) {
+      const sdf::Channel& ch = graph.channel(c);
+      XmlElement& port = actor_el.add_child("port");
+      port.set_attribute("name", ch.src_port);
+      port.set_attribute("type", "out");
+      port.set_attribute("rate", std::to_string(ch.production));
+    }
+    for (const sdf::ChannelId c : graph.in_channels(a)) {
+      const sdf::Channel& ch = graph.channel(c);
+      XmlElement& port = actor_el.add_child("port");
+      port.set_attribute("name", ch.dst_port);
+      port.set_attribute("type", "in");
+      port.set_attribute("rate", std::to_string(ch.consumption));
+    }
+  }
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    const sdf::Channel& ch = graph.channel(c);
+    XmlElement& ch_el = sdf_el.add_child("channel");
+    ch_el.set_attribute("name", ch.name);
+    ch_el.set_attribute("srcActor", graph.actor(ch.src).name);
+    ch_el.set_attribute("srcPort", ch.src_port);
+    ch_el.set_attribute("dstActor", graph.actor(ch.dst).name);
+    ch_el.set_attribute("dstPort", ch.dst_port);
+    if (ch.initial_tokens != 0) {
+      ch_el.set_attribute("initialTokens", std::to_string(ch.initial_tokens));
+    }
+  }
+
+  XmlElement& props = app.add_child("sdfProperties");
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    XmlElement& ap = props.add_child("actorProperties");
+    ap.set_attribute("actor", graph.actor(a).name);
+    XmlElement& proc = ap.add_child("processor");
+    proc.set_attribute("type", "default");
+    proc.set_attribute("default", "true");
+    XmlElement& et = proc.add_child("executionTime");
+    et.set_attribute("time", std::to_string(graph.actor(a).execution_time));
+  }
+  return write_xml(root);
+}
+
+void save_sdf_xml_file(const sdf::Graph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot open '" + path + "' for writing");
+  out << write_sdf_xml(graph);
+  if (!out) throw Error("failed writing '" + path + "'");
+}
+
+}  // namespace buffy::io

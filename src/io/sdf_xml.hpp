@@ -1,0 +1,43 @@
+// SDF3-compatible XML graph format (the paper's tool input, Sec. 10).
+//
+// Layout:
+//
+//   <sdf3 type="sdf" version="1.0">
+//     <applicationGraph name="example">
+//       <sdf name="example" type="example">
+//         <actor name="a" type="a">
+//           <port name="out0" type="out" rate="2"/>
+//         </actor>
+//         <channel name="alpha" srcActor="a" srcPort="out0"
+//                  dstActor="b" dstPort="in0" initialTokens="0"/>
+//       </sdf>
+//       <sdfProperties>
+//         <actorProperties actor="a">
+//           <processor type="default" default="true">
+//             <executionTime time="1"/>
+//           </processor>
+//         </actorProperties>
+//       </sdfProperties>
+//     </applicationGraph>
+//   </sdf3>
+#pragma once
+
+#include <string>
+
+#include "sdf/graph.hpp"
+
+namespace buffy::io {
+
+/// Parses an sdf3 XML document; throws ParseError / GraphError.
+[[nodiscard]] sdf::Graph read_sdf_xml(const std::string& xml_text);
+
+/// Reads a file from disk; throws Error when the file cannot be opened.
+[[nodiscard]] sdf::Graph load_sdf_xml_file(const std::string& path);
+
+/// Serialises a graph; read_sdf_xml(write_sdf_xml(g)) round-trips.
+[[nodiscard]] std::string write_sdf_xml(const sdf::Graph& graph);
+
+/// Writes to a file; throws Error on IO failure.
+void save_sdf_xml_file(const sdf::Graph& graph, const std::string& path);
+
+}  // namespace buffy::io

@@ -1,0 +1,112 @@
+#include "io/statespace_dot.hpp"
+
+#include <sstream>
+
+#include "base/diagnostics.hpp"
+#include "state/engine.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::io {
+
+namespace {
+
+std::string state_label(const state::Engine& engine) {
+  std::ostringstream os;
+  os << '(';
+  for (const sdf::ActorId a : engine.graph().actor_ids()) {
+    os << engine.clock(a) << ',';
+  }
+  os << " | ";
+  bool first = true;
+  for (const sdf::ChannelId c : engine.graph().channel_ids()) {
+    if (!first) os << ',';
+    first = false;
+    os << engine.tokens(c);
+  }
+  os << ')';
+  return os.str();
+}
+
+}  // namespace
+
+std::string statespace_dot(const sdf::Graph& graph,
+                           const buffer::StorageDistribution& distribution,
+                           sdf::ActorId target, u64 max_steps) {
+  const state::Capacities caps =
+      state::Capacities::bounded(distribution.capacities());
+  const auto run = state::compute_throughput(
+      graph, caps,
+      state::ThroughputOptions{.target = target, .max_steps = max_steps});
+  const i64 end_time =
+      run.deadlocked ? run.time_steps : run.cycle_start_time + run.period;
+  BUFFY_REQUIRE(end_time <= 100'000,
+                "state space too large to render as DOT");
+
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "_states\" {\n"
+     << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  state::Engine engine(graph, caps);
+  engine.reset();
+  i64 cycle_entry_node = -1;
+  for (i64 t = 0;; ++t) {
+    const bool on_cycle = !run.deadlocked && engine.now() >= run.cycle_start_time;
+    if (on_cycle && cycle_entry_node < 0) cycle_entry_node = t;
+    os << "  s" << t << " [label=\"t=" << engine.now() << "\\n"
+       << state_label(engine) << '"';
+    if (on_cycle) os << ", style=filled, fillcolor=lightgrey";
+    os << "];\n";
+    if (t > 0) os << "  s" << t - 1 << " -> s" << t << ";\n";
+    if (engine.now() >= end_time || engine.deadlocked()) break;
+    engine.step();
+  }
+  if (run.deadlocked) {
+    // Deadlock is a self-loop in the state space (Sec. 6).
+    os << "  s" << engine.now() << " -> s" << engine.now()
+       << " [label=\"deadlock\"];\n";
+  } else {
+    BUFFY_ASSERT(cycle_entry_node >= 0, "cycle without an entry state");
+    os << "  s" << end_time << " -> s" << cycle_entry_node
+       << " [label=\"period " << run.period << "\", constraint=false];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string reduced_statespace_dot(
+    const sdf::Graph& graph, const buffer::StorageDistribution& distribution,
+    sdf::ActorId target, u64 max_steps) {
+  state::ThroughputOptions opts{.target = target, .max_steps = max_steps};
+  opts.collect_reduced_states = true;
+  const auto run = state::compute_throughput(
+      graph, state::Capacities::bounded(distribution.capacities()), opts);
+
+  std::ostringstream os;
+  os << "digraph \"" << graph.name() << "_reduced\" {\n"
+     << "  rankdir=LR;\n  node [shape=box, fontname=\"monospace\"];\n";
+  std::size_t first_on_cycle = run.reduced_states.size();
+  for (std::size_t i = 0; i < run.reduced_states.size(); ++i) {
+    const state::ReducedState& s = run.reduced_states[i];
+    os << "  r" << i << " [label=\"(";
+    for (std::size_t a = 0; a < s.timed.num_actors(); ++a) {
+      os << s.timed.clock(a) << ',';
+    }
+    for (std::size_t c = 0; c < s.timed.num_channels(); ++c) {
+      os << s.timed.tokens(c) << ',';
+    }
+    os << "d=" << s.dist << ")\"";
+    if (s.on_cycle) {
+      os << ", style=filled, fillcolor=lightgrey";
+      first_on_cycle = std::min(first_on_cycle, i);
+    }
+    os << "];\n";
+    if (i > 0) os << "  r" << i - 1 << " -> r" << i << ";\n";
+  }
+  if (!run.deadlocked && first_on_cycle < run.reduced_states.size()) {
+    os << "  r" << run.reduced_states.size() - 1 << " -> r" << first_on_cycle
+       << " [constraint=false];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace buffy::io

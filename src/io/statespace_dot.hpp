@@ -1,0 +1,27 @@
+// DOT export of timed state spaces — the pictures of Fig. 3 and Fig. 4.
+//
+// The full space draws one node per time instant with the (clocks | tokens)
+// tuple; the reduced space draws the stored states with their d_a
+// distances. Cycle states are highlighted.
+#pragma once
+
+#include <string>
+
+#include "buffer/distribution.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::io {
+
+/// Fig. 3 style: the full state sequence from time 0 until one full cycle
+/// (or the deadlock state), as a DOT chain with the cycle closed by a back
+/// edge. `target` selects the actor whose completions define the cycle.
+[[nodiscard]] std::string statespace_dot(
+    const sdf::Graph& graph, const buffer::StorageDistribution& distribution,
+    sdf::ActorId target, u64 max_steps = 1'000'000);
+
+/// Fig. 4 style: the reduced state space (stored states with d distances).
+[[nodiscard]] std::string reduced_statespace_dot(
+    const sdf::Graph& graph, const buffer::StorageDistribution& distribution,
+    sdf::ActorId target, u64 max_steps = 100'000'000);
+
+}  // namespace buffy::io

@@ -1,0 +1,325 @@
+#include "io/xml.hpp"
+
+#include <cctype>
+#include <sstream>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::io {
+
+void XmlElement::set_attribute(const std::string& key, std::string value) {
+  for (auto& [k, v] : attributes_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  attributes_.emplace_back(key, std::move(value));
+}
+
+std::optional<std::string> XmlElement::attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  return std::nullopt;
+}
+
+const std::string& XmlElement::required_attribute(const std::string& key) const {
+  for (const auto& [k, v] : attributes_) {
+    if (k == key) return v;
+  }
+  throw ParseError("element <" + name_ + "> is missing attribute '" + key +
+                   "'");
+}
+
+XmlElement& XmlElement::add_child(std::string name) {
+  children_.push_back(std::make_unique<XmlElement>(std::move(name)));
+  return *children_.back();
+}
+
+XmlElement& XmlElement::adopt_child(std::unique_ptr<XmlElement> child) {
+  children_.push_back(std::move(child));
+  return *children_.back();
+}
+
+std::vector<const XmlElement*> XmlElement::children_named(
+    const std::string& name) const {
+  std::vector<const XmlElement*> out;
+  for (const auto& c : children_) {
+    if (c->name() == name) out.push_back(c.get());
+  }
+  return out;
+}
+
+const XmlElement* XmlElement::child(const std::string& name) const {
+  for (const auto& c : children_) {
+    if (c->name() == name) return c.get();
+  }
+  return nullptr;
+}
+
+const XmlElement& XmlElement::required_child(const std::string& name) const {
+  const XmlElement* c = child(name);
+  if (c == nullptr) {
+    throw ParseError("element <" + name_ + "> is missing child <" + name +
+                     ">");
+  }
+  return *c;
+}
+
+namespace {
+
+/// Character-level cursor with position tracking for error messages.
+class Cursor {
+ public:
+  explicit Cursor(const std::string& input) : input_(input) {}
+
+  [[nodiscard]] bool done() const { return pos_ >= input_.size(); }
+  [[nodiscard]] char peek() const { return done() ? '\0' : input_[pos_]; }
+  [[nodiscard]] bool looking_at(const std::string& s) const {
+    return input_.compare(pos_, s.size(), s) == 0;
+  }
+
+  char take() {
+    const char c = peek();
+    advance();
+    return c;
+  }
+
+  void advance(std::size_t n = 1) {
+    for (std::size_t i = 0; i < n && pos_ < input_.size(); ++i) {
+      if (input_[pos_] == '\n') {
+        ++line_;
+        column_ = 1;
+      } else {
+        ++column_;
+      }
+      ++pos_;
+    }
+  }
+
+  void skip_whitespace() {
+    while (!done() && std::isspace(static_cast<unsigned char>(peek()))) {
+      advance();
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& message) const {
+    std::ostringstream os;
+    os << "XML parse error at line " << line_ << ", column " << column_ << ": "
+       << message;
+    throw ParseError(os.str());
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    advance();
+  }
+
+ private:
+  const std::string& input_;
+  std::size_t pos_ = 0;
+  std::size_t line_ = 1;
+  std::size_t column_ = 1;
+};
+
+bool is_name_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+         c == '-' || c == '.' || c == ':';
+}
+
+std::string parse_name(Cursor& cur) {
+  std::string name;
+  while (!cur.done() && is_name_char(cur.peek())) name += cur.take();
+  if (name.empty()) cur.fail("expected a name");
+  return name;
+}
+
+std::string decode_entities(Cursor& cur, const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    if (raw[i] != '&') {
+      out += raw[i];
+      continue;
+    }
+    const std::size_t end = raw.find(';', i);
+    if (end == std::string::npos) cur.fail("unterminated entity reference");
+    const std::string entity = raw.substr(i + 1, end - i - 1);
+    if (entity == "amp") {
+      out += '&';
+    } else if (entity == "lt") {
+      out += '<';
+    } else if (entity == "gt") {
+      out += '>';
+    } else if (entity == "quot") {
+      out += '"';
+    } else if (entity == "apos") {
+      out += '\'';
+    } else if (!entity.empty() && entity[0] == '#') {
+      // Numeric character reference; ASCII only (enough for graph files).
+      const long code = std::strtol(entity.c_str() + 1, nullptr,
+                                    entity.size() > 1 && entity[1] == 'x' ? 0
+                                                                          : 10);
+      if (code <= 0 || code > 127) cur.fail("unsupported character reference");
+      out += static_cast<char>(code);
+    } else {
+      cur.fail("unknown entity '&" + entity + ";'");
+    }
+    i = end;
+  }
+  return out;
+}
+
+void skip_misc(Cursor& cur) {
+  for (;;) {
+    cur.skip_whitespace();
+    if (cur.looking_at("<!--")) {
+      cur.advance(4);
+      while (!cur.done() && !cur.looking_at("-->")) cur.advance();
+      if (cur.done()) cur.fail("unterminated comment");
+      cur.advance(3);
+    } else if (cur.looking_at("<?")) {
+      cur.advance(2);
+      while (!cur.done() && !cur.looking_at("?>")) cur.advance();
+      if (cur.done()) cur.fail("unterminated processing instruction");
+      cur.advance(2);
+    } else if (cur.looking_at("<!DOCTYPE")) {
+      while (!cur.done() && cur.peek() != '>') cur.advance();
+      if (cur.done()) cur.fail("unterminated DOCTYPE");
+      cur.advance();
+    } else {
+      return;
+    }
+  }
+}
+
+std::string parse_attribute_value(Cursor& cur) {
+  const char quote = cur.peek();
+  if (quote != '"' && quote != '\'') cur.fail("expected a quoted value");
+  cur.advance();
+  std::string raw;
+  while (!cur.done() && cur.peek() != quote) raw += cur.take();
+  if (cur.done()) cur.fail("unterminated attribute value");
+  cur.advance();
+  return decode_entities(cur, raw);
+}
+
+std::unique_ptr<XmlElement> parse_element(Cursor& cur, int depth) {
+  if (depth > 200) cur.fail("element nesting too deep");
+  cur.expect('<');
+  auto element = std::make_unique<XmlElement>(parse_name(cur));
+  for (;;) {
+    cur.skip_whitespace();
+    if (cur.looking_at("/>")) {
+      cur.advance(2);
+      return element;
+    }
+    if (cur.peek() == '>') {
+      cur.advance();
+      break;
+    }
+    const std::string key = parse_name(cur);
+    cur.skip_whitespace();
+    cur.expect('=');
+    cur.skip_whitespace();
+    element->set_attribute(key, parse_attribute_value(cur));
+  }
+  // Content: text, children, comments, CDATA, then the closing tag.
+  for (;;) {
+    if (cur.done()) cur.fail("unterminated element <" + element->name() + ">");
+    if (cur.looking_at("<!--")) {
+      skip_misc(cur);
+      continue;
+    }
+    if (cur.looking_at("<![CDATA[")) {
+      cur.advance(9);
+      std::string cdata;
+      while (!cur.done() && !cur.looking_at("]]>")) cdata += cur.take();
+      if (cur.done()) cur.fail("unterminated CDATA section");
+      cur.advance(3);
+      element->append_text(cdata);
+      continue;
+    }
+    if (cur.looking_at("</")) {
+      cur.advance(2);
+      const std::string closing = parse_name(cur);
+      if (closing != element->name()) {
+        cur.fail("mismatched closing tag </" + closing + "> for <" +
+                 element->name() + ">");
+      }
+      cur.skip_whitespace();
+      cur.expect('>');
+      return element;
+    }
+    if (cur.peek() == '<') {
+      element->adopt_child(parse_element(cur, depth + 1));
+      continue;
+    }
+    std::string raw;
+    while (!cur.done() && cur.peek() != '<') raw += cur.take();
+    element->append_text(decode_entities(cur, raw));
+  }
+}
+
+void write_element(const XmlElement& element, std::ostringstream& os,
+                   int depth) {
+  const std::string indent(static_cast<std::size_t>(depth) * 2, ' ');
+  os << indent << '<' << element.name();
+  for (const auto& [k, v] : element.attributes()) {
+    os << ' ' << k << "=\"" << xml_escape(v) << '"';
+  }
+  const std::string text = element.text();
+  if (element.children().empty() && text.empty()) {
+    os << "/>\n";
+    return;
+  }
+  os << '>';
+  if (!text.empty()) os << xml_escape(text);
+  if (!element.children().empty()) {
+    os << '\n';
+    for (const auto& child : element.children()) {
+      write_element(*child, os, depth + 1);
+    }
+    os << indent;
+  }
+  os << "</" << element.name() << ">\n";
+}
+
+}  // namespace
+
+XmlDocument parse_xml(const std::string& input) {
+  Cursor cur(input);
+  skip_misc(cur);
+  if (cur.done() || cur.peek() != '<') cur.fail("expected a root element");
+  XmlDocument doc;
+  doc.root = parse_element(cur, 0);
+  skip_misc(cur);
+  if (!cur.done()) cur.fail("content after the root element");
+  return doc;
+}
+
+std::string write_xml(const XmlElement& root) {
+  std::ostringstream os;
+  os << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  write_element(root, os, 0);
+  return os.str();
+}
+
+std::string xml_escape(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      case '\'': out += "&apos;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+}  // namespace buffy::io

@@ -1,0 +1,74 @@
+// Minimal dependency-free XML reader/writer.
+//
+// Supports the subset needed for SDF3-style graph files: elements,
+// attributes, text content, comments, processing instructions, CDATA and
+// the five predefined entities. No namespaces, DTDs or encodings beyond
+// UTF-8 pass-through. Parse errors carry line/column information.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace buffy::io {
+
+/// One XML element: name, attributes in document order, children and the
+/// concatenated text content.
+class XmlElement {
+ public:
+  explicit XmlElement(std::string name) : name_(std::move(name)) {}
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  void set_attribute(const std::string& key, std::string value);
+  [[nodiscard]] std::optional<std::string> attribute(
+      const std::string& key) const;
+  /// Attribute that must exist; throws ParseError naming the element.
+  [[nodiscard]] const std::string& required_attribute(
+      const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, std::string>>&
+  attributes() const {
+    return attributes_;
+  }
+
+  XmlElement& add_child(std::string name);
+  /// Takes ownership of an already-built child (used by the parser).
+  XmlElement& adopt_child(std::unique_ptr<XmlElement> child);
+  [[nodiscard]] const std::vector<std::unique_ptr<XmlElement>>& children()
+      const {
+    return children_;
+  }
+  /// All direct children with the given element name.
+  [[nodiscard]] std::vector<const XmlElement*> children_named(
+      const std::string& name) const;
+  /// First direct child with the given name, or nullptr.
+  [[nodiscard]] const XmlElement* child(const std::string& name) const;
+  /// First direct child that must exist; throws ParseError.
+  [[nodiscard]] const XmlElement& required_child(const std::string& name) const;
+
+  void append_text(const std::string& text) { text_ += text; }
+  [[nodiscard]] const std::string& text() const { return text_; }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> attributes_;
+  std::vector<std::unique_ptr<XmlElement>> children_;
+  std::string text_;
+};
+
+/// A parsed document owning the root element.
+struct XmlDocument {
+  std::unique_ptr<XmlElement> root;
+};
+
+/// Parses a document; throws ParseError with line/column on malformed input.
+[[nodiscard]] XmlDocument parse_xml(const std::string& input);
+
+/// Serialises with 2-space indentation and an XML declaration.
+[[nodiscard]] std::string write_xml(const XmlElement& root);
+
+/// Escapes &, <, >, ", ' for use in attribute values and text.
+[[nodiscard]] std::string xml_escape(const std::string& raw);
+
+}  // namespace buffy::io

@@ -1,0 +1,109 @@
+#include "mapping/binding.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "analysis/repetition_vector.hpp"
+#include "base/diagnostics.hpp"
+
+namespace buffy::mapping {
+
+std::size_t Binding::num_processors() const {
+  std::size_t max_proc = 0;
+  for (const std::size_t p : processor_of) max_proc = std::max(max_proc, p);
+  return processor_of.empty() ? 0 : max_proc + 1;
+}
+
+std::vector<sdf::ActorId> Binding::actors_on(std::size_t processor) const {
+  std::vector<sdf::ActorId> out;
+  for (std::size_t a = 0; a < processor_of.size(); ++a) {
+    if (processor_of[a] == processor) out.emplace_back(a);
+  }
+  return out;
+}
+
+std::string Binding::str(const sdf::Graph& graph) const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t p = 0; p < num_processors(); ++p) {
+    if (p != 0) os << " | ";
+    os << 'p' << p << ':';
+    for (const sdf::ActorId a : actors_on(p)) {
+      os << ' ' << graph.actor(a).name;
+    }
+  }
+  os << '}';
+  return os.str();
+}
+
+void validate_binding(const sdf::Graph& graph, const Binding& binding) {
+  BUFFY_REQUIRE(binding.processor_of.size() == graph.num_actors(),
+                "binding must assign every actor a processor");
+}
+
+Binding round_robin_binding(const sdf::Graph& graph,
+                            std::size_t num_processors) {
+  BUFFY_REQUIRE(num_processors >= 1, "need at least one processor");
+  Binding binding;
+  binding.processor_of.resize(graph.num_actors());
+  for (std::size_t a = 0; a < graph.num_actors(); ++a) {
+    binding.processor_of[a] = a % num_processors;
+  }
+  return binding;
+}
+
+Binding load_balanced_binding(const sdf::Graph& graph,
+                              std::size_t num_processors) {
+  BUFFY_REQUIRE(num_processors >= 1, "need at least one processor");
+  const auto q = analysis::repetition_vector(graph);
+  // (work per iteration, actor), heaviest first; ties by actor index for
+  // determinism.
+  std::vector<std::pair<i64, std::size_t>> work;
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    work.emplace_back(checked_mul(q[a], graph.actor(a).execution_time),
+                      a.index());
+  }
+  std::sort(work.begin(), work.end(), [](const auto& x, const auto& y) {
+    return x.first > y.first || (x.first == y.first && x.second < y.second);
+  });
+  Binding binding;
+  binding.processor_of.resize(graph.num_actors());
+  std::vector<i64> load(num_processors, 0);
+  for (const auto& [w, actor] : work) {
+    const std::size_t p = static_cast<std::size_t>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    binding.processor_of[actor] = p;
+    load[p] += w;
+  }
+  return binding;
+}
+
+state::ThroughputResult throughput_under_binding(
+    const sdf::Graph& graph, const state::Capacities& capacities,
+    const Binding& binding, sdf::ActorId target, u64 max_steps) {
+  validate_binding(graph, binding);
+  state::ThroughputOptions opts{.target = target, .max_steps = max_steps};
+  opts.processor_of = binding.processor_of;
+  return state::compute_throughput(graph, capacities, opts);
+}
+
+std::vector<SweepPoint> processor_sweep(const sdf::Graph& graph,
+                                        const state::Capacities& capacities,
+                                        sdf::ActorId target,
+                                        std::size_t max_processors,
+                                        u64 max_steps) {
+  std::vector<SweepPoint> out;
+  for (std::size_t p = 1; p <= max_processors; ++p) {
+    SweepPoint point;
+    point.processors = p;
+    point.binding = load_balanced_binding(graph, p);
+    point.throughput =
+        throughput_under_binding(graph, capacities, point.binding, target,
+                                 max_steps)
+            .throughput;
+    out.push_back(std::move(point));
+  }
+  return out;
+}
+
+}  // namespace buffy::mapping

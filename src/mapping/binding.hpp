@@ -1,0 +1,72 @@
+// Processor bindings — the paper's multiprocessor system-on-chip context
+// (Sec. 1/3 and the [PBB+03] design-flow objective in the conclusions).
+//
+// A binding assigns every actor to a processor; actors on the same
+// processor execute mutually exclusively (no preemption), with ties among
+// simultaneously-ready actors broken by actor index (fixed-priority list
+// scheduling). Under a binding, buffer requirements change: serialised
+// producers need less pipelining headroom, while cross-processor channels
+// become the real stores. The incremental DSE sizes buffers for the mapped
+// system by passing the binding through DseOptions::binding.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::mapping {
+
+/// An actor-to-processor assignment.
+struct Binding {
+  /// processor_of[i] is the processor index of actor i; processors are
+  /// numbered 0..num_processors()-1 (gaps allowed but pointless).
+  std::vector<std::size_t> processor_of;
+
+  [[nodiscard]] std::size_t num_processors() const;
+  /// Actors assigned to the given processor, in index order.
+  [[nodiscard]] std::vector<sdf::ActorId> actors_on(
+      std::size_t processor) const;
+  /// "{p0: a c | p1: b}" for reports.
+  [[nodiscard]] std::string str(const sdf::Graph& graph) const;
+};
+
+/// Throws Error unless the binding covers exactly the graph's actors.
+void validate_binding(const sdf::Graph& graph, const Binding& binding);
+
+/// Actors dealt round-robin over the processors in index order.
+[[nodiscard]] Binding round_robin_binding(const sdf::Graph& graph,
+                                          std::size_t num_processors);
+
+/// Longest-processing-time-first load balancing on the per-iteration work
+/// q(a) * execution_time(a): heaviest actors first, each onto the
+/// currently least-loaded processor. A classic makespan heuristic; needs a
+/// consistent graph for q.
+[[nodiscard]] Binding load_balanced_binding(const sdf::Graph& graph,
+                                            std::size_t num_processors);
+
+/// Self-timed throughput of the target actor under capacities + binding.
+[[nodiscard]] state::ThroughputResult throughput_under_binding(
+    const sdf::Graph& graph, const state::Capacities& capacities,
+    const Binding& binding, sdf::ActorId target,
+    u64 max_steps = 100'000'000);
+
+/// One row of a processor-count sweep.
+struct SweepPoint {
+  std::size_t processors = 0;
+  Binding binding;
+  Rational throughput;
+};
+
+/// Throughput as a function of the processor count (1..max_processors)
+/// under load-balanced bindings and fixed capacities: the classic
+/// resource/throughput curve that frames the buffer/throughput trade-off
+/// in a mapped system.
+[[nodiscard]] std::vector<SweepPoint> processor_sweep(
+    const sdf::Graph& graph, const state::Capacities& capacities,
+    sdf::ActorId target, std::size_t max_processors,
+    u64 max_steps = 100'000'000);
+
+}  // namespace buffy::mapping

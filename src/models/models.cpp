@@ -1,0 +1,233 @@
+#include "models/models.hpp"
+
+#include "base/diagnostics.hpp"
+#include "sdf/builder.hpp"
+
+namespace buffy::models {
+
+sdf::Graph paper_example() {
+  sdf::GraphBuilder b("example");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 2);
+  const auto c = b.actor("c", 2);
+  b.channel("alpha", a, 2, bb, 3);
+  b.channel("beta", bb, 1, c, 2);
+  return b.build();
+}
+
+sdf::Graph fig6_diamond() {
+  sdf::GraphBuilder b("fig6");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 1);
+  const auto c = b.actor("c", 1);
+  const auto d = b.actor("d", 1);
+  b.channel("alpha", a, 1, bb, 1);
+  b.channel("beta", a, 1, c, 1);
+  b.channel("gamma", bb, 1, d, 1);
+  b.channel("delta", c, 1, d, 1);
+  return b.build();
+}
+
+sdf::Graph samplerate_converter() {
+  sdf::GraphBuilder b("samplerate");
+  const auto a = b.actor("cd", 1);
+  const auto bb = b.actor("fir1", 2);
+  const auto c = b.actor("up23", 2);
+  const auto d = b.actor("up27", 2);
+  const auto e = b.actor("fir2", 2);
+  const auto f = b.actor("dat", 1);
+  b.channel("c1", a, 1, bb, 1);
+  b.channel("c2", bb, 2, c, 3);
+  b.channel("c3", c, 2, d, 7);
+  b.channel("c4", d, 8, e, 7);
+  b.channel("c5", e, 5, f, 1);
+  return b.build();
+}
+
+sdf::Graph modem() {
+  sdf::GraphBuilder b("modem");
+  const auto in = b.actor("in", 1);
+  const auto filt1 = b.actor("filt1", 2);
+  const auto filt2 = b.actor("filt2", 2);
+  const auto hilbert = b.actor("hilbert", 3);
+  const auto deci = b.actor("deci", 1);
+  const auto demod = b.actor("demod", 2);
+  const auto eq = b.actor("eq", 3);
+  const auto eqfb = b.actor("eqfb", 1);
+  const auto deriv = b.actor("deriv", 1);
+  const auto clockrec = b.actor("clockrec", 2);
+  const auto slicer = b.actor("slicer", 1);
+  const auto descr = b.actor("descr", 1);
+  const auto decoder = b.actor("decoder", 2);
+  const auto sync = b.actor("sync", 1);
+  const auto out = b.actor("out", 1);
+  const auto agc = b.actor("agc", 1);
+
+  b.channel("c01", in, 1, filt1, 1);
+  b.channel("c02", filt1, 1, filt2, 1);
+  b.channel("c03", filt2, 1, hilbert, 1);
+  b.channel("c04", hilbert, 1, deci, 2);  // 2:1 decimation
+  b.channel("c05", deci, 1, demod, 1);
+  b.channel("c06", demod, 1, eq, 1);
+  b.channel("c07", eq, 1, eqfb, 1);
+  b.channel("c08", eqfb, 1, eq, 1, /*initial_tokens=*/1);  // equalizer loop
+  b.channel("c09", eq, 1, deriv, 1);
+  b.channel("c10", deriv, 1, clockrec, 1);
+  b.channel("c11", clockrec, 1, slicer, 1);
+  b.channel("c12", slicer, 1, descr, 1);
+  b.channel("c13", descr, 1, decoder, 1);
+  b.channel("c14", decoder, 1, sync, 1);
+  b.channel("c15", sync, 1, decoder, 1, /*initial_tokens=*/1);  // sync loop
+  b.channel("c16", decoder, 1, out, 1);
+  b.channel("c17", demod, 1, agc, 1);
+  b.channel("c18", agc, 2, filt1, 1, /*initial_tokens=*/2);  // AGC loop
+  b.channel("c19", slicer, 1, clockrec, 1, /*initial_tokens=*/1);  // timing
+  return b.build();
+}
+
+sdf::Graph satellite_receiver() {
+  sdf::GraphBuilder b("satellite");
+  const auto src = b.actor("src", 1);
+  const auto ctrl = b.actor("ctrl", 1);
+  const auto mux = b.actor("mux", 1);
+  const auto snk = b.actor("sink", 1);
+
+  struct Branch {
+    sdf::ActorId filt1, filt2, filt3, dec1, dec2, demod, cr, mf, det;
+  };
+  auto make_branch = [&](const std::string& prefix) {
+    Branch br;
+    br.filt1 = b.actor(prefix + "_filt1", 1);
+    br.filt2 = b.actor(prefix + "_filt2", 2);
+    br.filt3 = b.actor(prefix + "_filt3", 2);
+    br.dec1 = b.actor(prefix + "_dec1", 1);
+    br.dec2 = b.actor(prefix + "_dec2", 1);
+    br.demod = b.actor(prefix + "_demod", 3);
+    br.cr = b.actor(prefix + "_cr", 1);
+    br.mf = b.actor(prefix + "_mf", 2);
+    br.det = b.actor(prefix + "_det", 1);
+    return br;
+  };
+  const Branch a = make_branch("a");
+  const Branch q = make_branch("q");
+
+  // 22 actors total: 4 shared + 2 * 9 branch actors.
+  auto wire_branch = [&](const std::string& prefix, const Branch& br) {
+    b.channel(prefix + "_c1", src, 4, br.filt1, 1);
+    b.channel(prefix + "_c2", br.filt1, 1, br.filt2, 1);
+    b.channel(prefix + "_c3", br.filt2, 1, br.filt3, 1);
+    b.channel(prefix + "_c4", br.filt3, 1, br.dec1, 4);  // 4:1 decimation
+    b.channel(prefix + "_c5", br.dec1, 1, br.dec2, 2);   // 2:1 decimation
+    b.channel(prefix + "_c6", br.dec2, 1, br.demod, 1);
+    b.channel(prefix + "_c7", br.demod, 1, br.cr, 1);
+    b.channel(prefix + "_c8", br.cr, 1, br.demod, 1, /*initial_tokens=*/1);
+    b.channel(prefix + "_c9", br.demod, 1, br.mf, 1);
+    b.channel(prefix + "_c10", br.mf, 1, br.det, 1);
+  };
+  wire_branch("a", a);
+  wire_branch("q", q);
+
+  // 26 channels total: 2 * 10 branch channels + the 6 shared ones below.
+  b.channel("m1", a.det, 1, mux, 1);
+  b.channel("m2", q.det, 1, mux, 1);
+  b.channel("m3", mux, 2, snk, 1);
+  b.channel("m4", snk, 1, ctrl, 2);
+  b.channel("m5", ctrl, 2, src, 1, /*initial_tokens=*/4);  // rate control
+  b.channel("m6", mux, 1, ctrl, 1);
+  return b.build();
+}
+
+sdf::Graph h263_decoder() {
+  sdf::GraphBuilder b("h263");
+  const auto vld = b.actor("vld", 26018);
+  const auto iq = b.actor("iq", 559);
+  const auto idct = b.actor("idct", 486);
+  const auto mc = b.actor("mc", 10958);
+  b.channel("d1", vld, 594, iq, 1);
+  b.channel("d2", iq, 1, idct, 1);
+  b.channel("d3", idct, 1, mc, 594);
+  return b.build();
+}
+
+sdf::Graph mp3_decoder() {
+  sdf::GraphBuilder b("mp3");
+  const auto huff = b.actor("huff", 120);
+  struct Chain {
+    sdf::ActorId req, reorder, antialias, hybrid, freqinv, subband;
+  };
+  auto make_chain = [&](const std::string& prefix) {
+    Chain ch;
+    ch.req = b.actor(prefix + "_req", 60);
+    ch.reorder = b.actor(prefix + "_reorder", 40);
+    ch.antialias = b.actor(prefix + "_antialias", 30);
+    ch.hybrid = b.actor(prefix + "_hybrid", 80);
+    ch.freqinv = b.actor(prefix + "_freqinv", 20);
+    ch.subband = b.actor(prefix + "_subband", 150);
+    return ch;
+  };
+  const Chain left = make_chain("l");
+  const Chain right = make_chain("r");
+  const auto stereo = b.actor("stereo", 35);
+  const auto out = b.actor("out", 10);
+
+  auto wire_chain = [&](const std::string& prefix, const Chain& ch) {
+    b.channel(prefix + "_c1", huff, 1, ch.req, 1);
+    b.channel(prefix + "_c2", ch.req, 1, ch.reorder, 1);
+    b.channel(prefix + "_c3", ch.reorder, 1, stereo, 1);
+    b.channel(prefix + "_c4", stereo, 1, ch.antialias, 1);
+    b.channel(prefix + "_c5", ch.antialias, 1, ch.hybrid, 1);
+    b.channel(prefix + "_c6", ch.hybrid, 1, ch.freqinv, 1);
+    b.channel(prefix + "_c7", ch.freqinv, 1, ch.subband, 1);
+    b.channel(prefix + "_c8", ch.subband, 1, out, 1);
+  };
+  wire_chain("l", left);
+  wire_chain("r", right);
+  return b.build();
+}
+
+sdf::Graph mpeg4_sp_decoder() {
+  sdf::GraphBuilder b("mpeg4sp");
+  const auto fd = b.actor("fd", 55);
+  const auto vld = b.actor("vld", 120);
+  const auto idct = b.actor("idct", 320);
+  const auto rc = b.actor("rc", 1024);
+  const auto mc = b.actor("mc", 390);
+  b.channel("e1", fd, 99, vld, 1);    // one frame = 99 macroblocks (QCIF)
+  b.channel("e2", vld, 1, idct, 1);
+  b.channel("e3", idct, 1, rc, 99);
+  b.channel("e4", fd, 1, mc, 1);
+  b.channel("e5", mc, 1, rc, 1);
+  b.channel("e6", rc, 1, fd, 1, /*initial_tokens=*/1);  // frame feedback
+  return b.build();
+}
+
+sdf::ActorId reported_actor(const sdf::Graph& graph) {
+  // The paper measures the throughput of the sink of each graph; for the
+  // Fig. 1 example this is actor c (Sec. 5).
+  static const char* kSinks[] = {"c",    "d",  "dat", "out",
+                                 "sink", "rc", "mc"};
+  for (const char* name : kSinks) {
+    if (const auto id = graph.find_actor(name)) return *id;
+  }
+  BUFFY_REQUIRE(graph.num_actors() > 0, "empty graph has no reported actor");
+  return sdf::ActorId(graph.num_actors() - 1);
+}
+
+std::vector<NamedModel> extended_models() {
+  std::vector<NamedModel> models;
+  models.push_back(NamedModel{"MP3 decoder", mp3_decoder()});
+  models.push_back(NamedModel{"MPEG-4 SP", mpeg4_sp_decoder()});
+  return models;
+}
+
+std::vector<NamedModel> table2_models() {
+  std::vector<NamedModel> models;
+  models.push_back(NamedModel{"example", paper_example()});
+  models.push_back(NamedModel{"sample-rate", samplerate_converter()});
+  models.push_back(NamedModel{"modem", modem()});
+  models.push_back(NamedModel{"satellite", satellite_receiver()});
+  models.push_back(NamedModel{"H.263 decoder", h263_decoder()});
+  return models;
+}
+
+}  // namespace buffy::models

@@ -1,0 +1,71 @@
+// The benchmark graphs of the paper's experimental section (Sec. 11).
+//
+// The Fig. 1 and Fig. 6 graphs are taken verbatim from the paper. The three
+// [BML99] graphs (sample-rate converter, modem, satellite receiver) and the
+// H.263 decoder are reconstructions with the published structural sizes
+// (see DESIGN.md, "Substitutions"): the scanned paper does not contain their
+// full topologies, so rates/execution times follow the published
+// descriptions of the same applications.
+#pragma once
+
+#include "sdf/graph.hpp"
+
+namespace buffy::models {
+
+/// Fig. 1: a -2-> alpha -3-> b -1-> beta -2-> c, execution times 1/2/2.
+/// Ground truth from the paper: gamma=(4,2) gives throughput(c)=1/7,
+/// gamma=(6,2) gives 1/6, the maximal throughput 1/4 needs size 10, and the
+/// per-channel lower bounds are (4,2).
+[[nodiscard]] sdf::Graph paper_example();
+
+/// Fig. 6: a split-join diamond with four channels alpha..delta where the
+/// storage distributions (1,2,3,3) and (2,1,3,3) realise the same
+/// throughput for actor d (minimal distributions are not unique).
+[[nodiscard]] sdf::Graph fig6_diamond();
+
+/// CD (44.1 kHz) to DAT (48 kHz) sample-rate converter: 6 actors, 5
+/// channels, rates (1,1)(2,3)(2,7)(8,7)(5,1), repetition vector
+/// (147,147,98,28,32,160).
+[[nodiscard]] sdf::Graph samplerate_converter();
+
+/// Modem: 16 actors, 19 channels, three feedback loops (equalizer, decoder
+/// sync, AGC) and a 2:1 decimation stage.
+[[nodiscard]] sdf::Graph modem();
+
+/// Satellite receiver: 22 actors, 26 channels; two parallel branches with
+/// 4:1 and 2:1 decimation stages, carrier-recovery feedback per branch and
+/// a global rate-control loop.
+[[nodiscard]] sdf::Graph satellite_receiver();
+
+/// H.263 decoder (QCIF): vld -594:1-> iq -> idct -1:594-> mc; repetition
+/// vector (1,594,594,1). Execution times are the published cycle counts of
+/// the original model. The 594 blocks per frame (QCIF) keep the default
+/// benches fast; see bench/quantization for the role of the dense Pareto
+/// front.
+[[nodiscard]] sdf::Graph h263_decoder();
+
+/// MP3 decoder (extended set): Huffman decoding followed by two parallel
+/// per-channel chains (requantisation .. subband synthesis) merging into
+/// the output — 15 actors, 16 channels, single-rate with a stereo join.
+/// Reconstruction in the style of the SDF3 example suite.
+[[nodiscard]] sdf::Graph mp3_decoder();
+
+/// MPEG-4 Simple Profile decoder (extended set): frame detector, VLD, IDCT
+/// per macroblock (99 for QCIF), reconstruction and motion compensation
+/// with a frame feedback loop — 5 actors, 6 channels.
+[[nodiscard]] sdf::Graph mpeg4_sp_decoder();
+
+/// The actor whose throughput the paper reports for each model (the sink).
+[[nodiscard]] sdf::ActorId reported_actor(const sdf::Graph& graph);
+
+/// All benchmark models of Table 2, in the paper's order.
+struct NamedModel {
+  const char* display_name;
+  sdf::Graph graph;
+};
+[[nodiscard]] std::vector<NamedModel> table2_models();
+
+/// The extended application set (beyond the paper's Table 2).
+[[nodiscard]] std::vector<NamedModel> extended_models();
+
+}  // namespace buffy::models

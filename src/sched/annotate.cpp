@@ -1,0 +1,31 @@
+#include "sched/annotate.hpp"
+
+namespace buffy::sched {
+
+std::vector<AnnotatedPoint> annotate_latencies(const sdf::Graph& graph,
+                                               const buffer::ParetoSet& pareto,
+                                               sdf::ActorId target,
+                                               u64 max_steps) {
+  std::vector<AnnotatedPoint> out;
+  out.reserve(pareto.size());
+  for (const buffer::ParetoPoint& p : pareto.points()) {
+    out.push_back(AnnotatedPoint{
+        .point = p,
+        .timing = latency(graph,
+                          state::Capacities::bounded(
+                              p.distribution.capacities()),
+                          target, max_steps),
+    });
+  }
+  return out;
+}
+
+const AnnotatedPoint* earliest_within_deadline(
+    const std::vector<AnnotatedPoint>& points, i64 deadline) {
+  for (const AnnotatedPoint& p : points) {
+    if (!p.timing.deadlocked && p.timing.first_output <= deadline) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace buffy::sched

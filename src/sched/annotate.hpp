@@ -1,0 +1,35 @@
+// Latency annotation of Pareto fronts.
+//
+// The paper's Pareto space is two-dimensional (storage, throughput);
+// designers usually also read off the latency of each operating point
+// before choosing one (Sec. 1 names latency as the other common timing
+// constraint). This helper runs each Pareto distribution once and attaches
+// first-output latency and steady-state period.
+#pragma once
+
+#include <vector>
+
+#include "buffer/pareto.hpp"
+#include "sched/latency.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::sched {
+
+/// A Pareto point together with its timing.
+struct AnnotatedPoint {
+  buffer::ParetoPoint point;
+  LatencyResult timing;
+};
+
+/// Runs latency() for every point of the set (cheap: one state-space run
+/// per point).
+[[nodiscard]] std::vector<AnnotatedPoint> annotate_latencies(
+    const sdf::Graph& graph, const buffer::ParetoSet& pareto,
+    sdf::ActorId target, u64 max_steps = 100'000'000);
+
+/// Smallest annotated point whose first output is no later than the
+/// deadline; nullptr when none qualifies.
+[[nodiscard]] const AnnotatedPoint* earliest_within_deadline(
+    const std::vector<AnnotatedPoint>& points, i64 deadline);
+
+}  // namespace buffy::sched

@@ -1,0 +1,30 @@
+// Extraction of the throughput-optimal schedule realised by a storage
+// distribution (paper Sec. 7: "it is straightforward to ... construct the
+// schedule that yields the computed throughput").
+#pragma once
+
+#include "base/rational.hpp"
+#include "sched/schedule.hpp"
+#include "sdf/graph.hpp"
+#include "state/state.hpp"
+
+namespace buffy::sched {
+
+/// A schedule together with the throughput it realises.
+struct ExtractedSchedule {
+  Schedule schedule;
+  /// Throughput of the target actor under this schedule (0 = deadlock; the
+  /// schedule is then finite).
+  Rational throughput;
+  bool deadlocked = false;
+};
+
+/// Runs self-timed execution under the given capacities until the periodic
+/// phase closes (or deadlock) and returns the schedule sigma. Every firing
+/// of the transient phase plus one full period is recorded.
+[[nodiscard]] ExtractedSchedule extract_schedule(const sdf::Graph& graph,
+                                                 const state::Capacities& caps,
+                                                 sdf::ActorId target,
+                                                 u64 max_steps = 100'000'000);
+
+}  // namespace buffy::sched

@@ -1,0 +1,50 @@
+#include "sched/latency.hpp"
+
+#include "base/diagnostics.hpp"
+#include "state/engine.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::sched {
+
+LatencyResult latency(const sdf::Graph& graph,
+                      const state::Capacities& capacities, sdf::ActorId actor,
+                      u64 max_steps) {
+  LatencyResult result;
+
+  // First output: run until the actor completes once (or deadlock).
+  {
+    state::Engine engine(graph, capacities);
+    engine.reset();
+    bool found = false;
+    for (u64 steps = 0; steps < max_steps && !found; ++steps) {
+      const bool alive = engine.advance();
+      for (const sdf::ActorId a : engine.completed()) {
+        if (a == actor) {
+          result.first_output = engine.now();
+          found = true;
+          break;
+        }
+      }
+      if (!alive) break;
+    }
+    if (!found) {
+      result.deadlocked = true;
+      return result;
+    }
+  }
+
+  const auto run = state::compute_throughput(
+      graph, capacities,
+      state::ThroughputOptions{.target = actor, .max_steps = max_steps});
+  if (run.deadlocked) {
+    // The target produced at least one output and the graph then stalled;
+    // report the finite part and flag the deadlock.
+    result.deadlocked = true;
+    return result;
+  }
+  result.period = run.period;
+  result.firings_per_period = run.firings_on_cycle;
+  return result;
+}
+
+}  // namespace buffy::sched

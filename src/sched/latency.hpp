@@ -1,0 +1,34 @@
+// Latency metrics derived from the self-timed execution.
+//
+// The paper focuses on throughput, but mentions latency as the other common
+// timing constraint (Sec. 1). These helpers expose the two quantities a
+// designer reads off the schedule: the time until the first output and the
+// steady-state spacing of outputs.
+#pragma once
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+#include "state/state.hpp"
+
+namespace buffy::sched {
+
+/// Latency summary of one (graph, distribution) pair.
+struct LatencyResult {
+  /// The graph deadlocks before the actor ever completes.
+  bool deadlocked = false;
+  /// Completion time of the actor's first firing.
+  i64 first_output = 0;
+  /// Steady-state period of the schedule (time per state-space cycle).
+  i64 period = 0;
+  /// Firings of the actor per period.
+  i64 firings_per_period = 0;
+};
+
+/// Computes first-output latency and steady-state period of the given actor
+/// under the given capacities.
+[[nodiscard]] LatencyResult latency(const sdf::Graph& graph,
+                                    const state::Capacities& capacities,
+                                    sdf::ActorId actor,
+                                    u64 max_steps = 100'000'000);
+
+}  // namespace buffy::sched

@@ -1,0 +1,150 @@
+#include "sched/render.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "base/diagnostics.hpp"
+#include "base/string_util.hpp"
+
+namespace buffy::sched {
+
+namespace {
+
+// Per-actor occupancy rows: first char of each firing is the actor's
+// initial, continuations are '*'.
+std::vector<std::string> actor_rows(const sdf::Graph& graph,
+                                    const Schedule& schedule, i64 until) {
+  std::vector<std::string> rows(graph.num_actors(),
+                                std::string(static_cast<std::size_t>(until),
+                                            '.'));
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    const i64 exec = graph.actor(a).execution_time;
+    const char initial = graph.actor(a).name.empty()
+                             ? '?'
+                             : graph.actor(a).name[0];
+    for (i64 i = 0;; ++i) {
+      i64 start = 0;
+      try {
+        start = schedule.start_time(a, i);
+      } catch (const Error&) {
+        break;  // finite schedule exhausted
+      }
+      if (start >= until) break;
+      for (i64 t = start; t < std::min(start + exec, until); ++t) {
+        rows[a.index()][static_cast<std::size_t>(t)] =
+            (t == start) ? initial : '*';
+      }
+    }
+  }
+  return rows;
+}
+
+std::string header(const Schedule& schedule, i64 until,
+                   std::size_t label_width) {
+  std::string h(label_width, ' ');
+  for (i64 t = 0; t < until; ++t) {
+    if (!schedule.finite() && t == schedule.cycle_start()) {
+      h += '|';
+    } else {
+      h += (t % 10 == 0) ? ('0' + static_cast<char>((t / 10) % 10)) : ' ';
+    }
+  }
+  return h;
+}
+
+}  // namespace
+
+std::string render_gantt(const sdf::Graph& graph, const Schedule& schedule,
+                         i64 until) {
+  BUFFY_REQUIRE(until >= 0, "negative rendering horizon");
+  std::size_t width = 0;
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    width = std::max(width, graph.actor(a).name.size());
+  }
+  width += 2;
+  std::ostringstream os;
+  os << header(schedule, until, width) << '\n';
+  const auto rows = actor_rows(graph, schedule, until);
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    os << pad_right(graph.actor(a).name, width) << rows[a.index()] << '\n';
+  }
+  return os.str();
+}
+
+std::string render_gantt_with_tokens(const sdf::Graph& graph,
+                                     const Schedule& schedule, i64 until) {
+  std::ostringstream os;
+  os << render_gantt(graph, schedule, until);
+
+  // Replay token counts; matches the engine's semantics (consume/produce at
+  // firing end).
+  std::vector<std::vector<i64>> fill(
+      graph.num_channels(), std::vector<i64>(static_cast<std::size_t>(until),
+                                             0));
+  std::vector<i64> tokens;
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    tokens.push_back(graph.channel(c).initial_tokens);
+  }
+  for (i64 t = 0; t < until; ++t) {
+    for (const sdf::ActorId a : graph.actor_ids()) {
+      const i64 exec = graph.actor(a).execution_time;
+      // A firing of a completes at time t when it started at t - exec.
+      const i64 started =
+          schedule.firings_before(a, t - exec + 1) -
+          schedule.firings_before(a, t - exec);
+      if (t - exec >= 0 && started > 0) {
+        for (const sdf::ChannelId c : graph.in_channels(a)) {
+          tokens[c.index()] -= graph.channel(c).consumption;
+        }
+        for (const sdf::ChannelId c : graph.out_channels(a)) {
+          tokens[c.index()] += graph.channel(c).production;
+        }
+      }
+    }
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      fill[c.index()][static_cast<std::size_t>(t)] = tokens[c.index()];
+    }
+  }
+
+  std::size_t width = 0;
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    width = std::max(width, graph.actor(a).name.size());
+  }
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    width = std::max(width, graph.channel(c).name.size());
+  }
+  width += 2;
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    os << pad_right(graph.channel(c).name, width);
+    for (i64 t = 0; t < until; ++t) {
+      const i64 v = fill[c.index()][static_cast<std::size_t>(t)];
+      os << (v <= 9 ? static_cast<char>('0' + v) : '+');
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string schedule_csv(const sdf::Graph& graph, const Schedule& schedule,
+                         i64 until) {
+  std::ostringstream os;
+  os << "actor,firing,start,end\n";
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    const i64 exec = graph.actor(a).execution_time;
+    for (i64 i = 0;; ++i) {
+      i64 start = 0;
+      try {
+        start = schedule.start_time(a, i);
+      } catch (const Error&) {
+        break;
+      }
+      if (start >= until) break;
+      os << graph.actor(a).name << ',' << i << ',' << start << ','
+         << start + exec << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace buffy::sched

@@ -1,0 +1,29 @@
+// Human-readable schedule rendering (the paper's Table 1).
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::sched {
+
+/// Gantt chart: one row per actor, one column per time step from 0 to
+/// `until` (exclusive). The first character of a firing is the actor's
+/// initial; continuation steps use '*' (the paper's bullet). The periodic
+/// phase is marked in the header row with '|' at its start.
+[[nodiscard]] std::string render_gantt(const sdf::Graph& graph,
+                                       const Schedule& schedule, i64 until);
+
+/// Table-1-style rendering: like render_gantt but with one extra row per
+/// channel showing stored tokens at the end of each time step requires
+/// replaying; provided by render_gantt_with_tokens.
+[[nodiscard]] std::string render_gantt_with_tokens(const sdf::Graph& graph,
+                                                   const Schedule& schedule,
+                                                   i64 until);
+
+/// "actor,firing,start,end" CSV of all firings with start < until.
+[[nodiscard]] std::string schedule_csv(const sdf::Graph& graph,
+                                       const Schedule& schedule, i64 until);
+
+}  // namespace buffy::sched

@@ -1,0 +1,68 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::sched {
+
+Schedule::Schedule(std::vector<ActorStarts> starts, i64 cycle_start,
+                   i64 period)
+    : starts_(std::move(starts)), cycle_start_(cycle_start), period_(period) {
+  BUFFY_REQUIRE(period_ >= 0, "negative schedule period");
+  for (const ActorStarts& a : starts_) {
+    BUFFY_REQUIRE(std::is_sorted(a.transient.begin(), a.transient.end()),
+                  "transient starts must be ascending");
+    BUFFY_REQUIRE(std::is_sorted(a.periodic.begin(), a.periodic.end()),
+                  "periodic starts must be ascending");
+    if (period_ == 0) {
+      BUFFY_REQUIRE(a.periodic.empty(),
+                    "finite schedule with periodic firings");
+    }
+  }
+}
+
+const Schedule::ActorStarts& Schedule::of(sdf::ActorId a) const {
+  BUFFY_REQUIRE(a.valid() && a.index() < starts_.size(),
+                "actor id outside schedule");
+  return starts_[a.index()];
+}
+
+i64 Schedule::firings_per_period(sdf::ActorId a) const {
+  return static_cast<i64>(of(a).periodic.size());
+}
+
+i64 Schedule::firings_before(sdf::ActorId a, i64 t) const {
+  const ActorStarts& s = of(a);
+  i64 count = static_cast<i64>(
+      std::lower_bound(s.transient.begin(), s.transient.end(), t) -
+      s.transient.begin());
+  if (period_ == 0 || s.periodic.empty() || t <= cycle_start_) return count;
+  const i64 laps = (t - cycle_start_) / period_;
+  const i64 rem = cycle_start_ + (t - cycle_start_) % period_;
+  count += laps * static_cast<i64>(s.periodic.size());
+  count += static_cast<i64>(
+      std::lower_bound(s.periodic.begin(), s.periodic.end(), rem) -
+      s.periodic.begin());
+  return count;
+}
+
+Rational Schedule::throughput(sdf::ActorId a) const {
+  if (period_ == 0) return Rational(0);
+  return Rational(firings_per_period(a), period_);
+}
+
+i64 Schedule::start_time(sdf::ActorId a, i64 firing) const {
+  BUFFY_REQUIRE(firing >= 0, "negative firing index");
+  const ActorStarts& s = of(a);
+  const i64 trans = static_cast<i64>(s.transient.size());
+  if (firing < trans) return s.transient[firing];
+  BUFFY_REQUIRE(!s.periodic.empty(),
+                "firing index beyond a finite (deadlocked) schedule");
+  const i64 per = static_cast<i64>(s.periodic.size());
+  const i64 lap = (firing - trans) / per;
+  const i64 pos = (firing - trans) % per;
+  return checked_add(s.periodic[pos], checked_mul(lap, period_));
+}
+
+}  // namespace buffy::sched

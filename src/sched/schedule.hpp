@@ -1,0 +1,62 @@
+// Schedules of timed SDF graphs (paper Def. 3 and Sec. 4).
+//
+// A schedule maps the i-th firing of every actor to its start time. The
+// self-timed schedules produced by the state-space engine consist of a
+// finite transient prefix followed by a periodic phase that repeats forever
+// (Theorem 1), so the whole infinite schedule is represented finitely by
+// the transient starts, one period of starts, and the period length.
+#pragma once
+
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::sched {
+
+/// Periodic schedule: sigma(a, i) for every actor a and firing index i.
+class Schedule {
+ public:
+  /// Starts of one actor, split at the beginning of the periodic phase.
+  struct ActorStarts {
+    /// Start times before cycle_start, ascending.
+    std::vector<i64> transient;
+    /// Start times within [cycle_start, cycle_start + period), ascending.
+    std::vector<i64> periodic;
+  };
+
+  Schedule() = default;
+
+  /// A deadlocked (finite) schedule has period 0 and empty periodic parts.
+  Schedule(std::vector<ActorStarts> starts, i64 cycle_start, i64 period);
+
+  [[nodiscard]] std::size_t num_actors() const { return starts_.size(); }
+  [[nodiscard]] i64 cycle_start() const { return cycle_start_; }
+  [[nodiscard]] i64 period() const { return period_; }
+  [[nodiscard]] bool finite() const { return period_ == 0; }
+
+  [[nodiscard]] const ActorStarts& of(sdf::ActorId a) const;
+
+  /// Firings of the actor in one period (0 for finite schedules).
+  [[nodiscard]] i64 firings_per_period(sdf::ActorId a) const;
+
+  /// Total firings with start time < t.
+  [[nodiscard]] i64 firings_before(sdf::ActorId a, i64 t) const;
+
+  /// sigma(a, i): the start time of the i-th firing (0-indexed), extending
+  /// the periodic phase indefinitely. Throws Error when the schedule is
+  /// finite and i is beyond the recorded firings.
+  [[nodiscard]] i64 start_time(sdf::ActorId a, i64 firing) const;
+
+  /// Long-run throughput of the actor under this schedule: firings per
+  /// period over the period length (Def. 4); zero for finite schedules.
+  [[nodiscard]] Rational throughput(sdf::ActorId a) const;
+
+ private:
+  std::vector<ActorStarts> starts_;
+  i64 cycle_start_ = 0;
+  i64 period_ = 0;
+};
+
+}  // namespace buffy::sched

@@ -1,0 +1,121 @@
+#include "sched/validate_schedule.hpp"
+
+#include <sstream>
+#include <vector>
+
+namespace buffy::sched {
+
+namespace {
+
+struct Replay {
+  const sdf::Graph& graph;
+  const state::Capacities& caps;
+  std::vector<i64> tokens;    // stored tokens per channel
+  std::vector<i64> occupied;  // tokens + space claimed by running firings
+  std::vector<i64> busy_until;  // per actor: end time of the current firing
+  std::vector<i64> next_firing;  // per actor: next firing index to start
+
+  explicit Replay(const sdf::Graph& g, const state::Capacities& c)
+      : graph(g), caps(c) {
+    tokens.reserve(g.num_channels());
+    for (const sdf::ChannelId ch : g.channel_ids()) {
+      tokens.push_back(g.channel(ch).initial_tokens);
+    }
+    occupied = tokens;
+    busy_until.assign(g.num_actors(), 0);
+    next_firing.assign(g.num_actors(), 0);
+  }
+
+  [[nodiscard]] bool enabled(sdf::ActorId a, i64 t) const {
+    if (busy_until[a.index()] > t) return false;
+    for (const sdf::ChannelId ch : graph.in_channels(a)) {
+      if (tokens[ch.index()] < graph.channel(ch).consumption) return false;
+    }
+    for (const sdf::ChannelId ch : graph.out_channels(a)) {
+      const auto& c = graph.channel(ch);
+      if (caps.is_bounded(ch.index()) &&
+          occupied[ch.index()] + c.production > caps.capacity(ch.index())) {
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+}  // namespace
+
+std::optional<std::string> check_schedule(const sdf::Graph& graph,
+                                          const state::Capacities& capacities,
+                                          const Schedule& schedule,
+                                          i64 horizon) {
+  Replay replay(graph, capacities);
+  // Completion events: (time, actor) — processed before starts at each t.
+  std::vector<std::vector<std::size_t>> completions;  // indexed by time
+  completions.resize(static_cast<std::size_t>(horizon) + 1);
+
+  for (i64 t = 0; t < horizon; ++t) {
+    for (const std::size_t a : completions[static_cast<std::size_t>(t)]) {
+      for (const sdf::ChannelId ch : graph.in_channels(sdf::ActorId(a))) {
+        replay.tokens[ch.index()] -= graph.channel(ch).consumption;
+        replay.occupied[ch.index()] -= graph.channel(ch).consumption;
+        if (replay.tokens[ch.index()] < 0) {
+          return "channel '" + graph.channel(ch).name +
+                 "' drops below zero tokens at time " + std::to_string(t);
+        }
+      }
+      for (const sdf::ChannelId ch : graph.out_channels(sdf::ActorId(a))) {
+        replay.tokens[ch.index()] += graph.channel(ch).production;
+      }
+    }
+
+    for (const sdf::ActorId a : graph.actor_ids()) {
+      const bool scheduled =
+          schedule.firings_before(a, t + 1) - schedule.firings_before(a, t) >
+          0;
+      if (scheduled) {
+        if (replay.busy_until[a.index()] > t) {
+          return "actor '" + graph.actor(a).name +
+                 "' starts at time " + std::to_string(t) +
+                 " while its previous firing is still running";
+        }
+        for (const sdf::ChannelId ch : graph.in_channels(a)) {
+          if (replay.tokens[ch.index()] < graph.channel(ch).consumption) {
+            return "actor '" + graph.actor(a).name + "' starts at time " +
+                   std::to_string(t) + " without enough tokens on '" +
+                   graph.channel(ch).name + "'";
+          }
+        }
+        for (const sdf::ChannelId ch : graph.out_channels(a)) {
+          const auto& c = graph.channel(ch);
+          if (capacities.is_bounded(ch.index()) &&
+              replay.occupied[ch.index()] + c.production >
+                  capacities.capacity(ch.index())) {
+            return "actor '" + graph.actor(a).name + "' starts at time " +
+                   std::to_string(t) + " without enough space on '" +
+                   graph.channel(ch).name + "'";
+          }
+        }
+        for (const sdf::ChannelId ch : graph.out_channels(a)) {
+          replay.occupied[ch.index()] += graph.channel(ch).production;
+        }
+        const i64 end = t + graph.actor(a).execution_time;
+        replay.busy_until[a.index()] = end;
+        if (end <= horizon) {
+          completions[static_cast<std::size_t>(end)].push_back(a.index());
+        }
+        ++replay.next_firing[a.index()];
+      } else if (replay.enabled(a, t)) {
+        // Def. 3 requires self-timed behaviour: an enabled actor must fire.
+        // Deadlocked (finite) schedules stop firing an actor only when it
+        // is genuinely disabled, so this check applies there too.
+        std::ostringstream os;
+        os << "actor '" << graph.actor(a).name << "' is enabled at time " << t
+           << " but the schedule does not fire it";
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace buffy::sched

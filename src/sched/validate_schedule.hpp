@@ -1,0 +1,26 @@
+// Independent schedule checker (test oracle for Def. 3).
+//
+// Replays a schedule over a finite horizon with its own bookkeeping
+// (deliberately not sharing code with state::Engine) and checks that every
+// firing is feasible — enough input tokens, enough output space under the
+// claim-at-start model, the previous firing finished — and that the
+// schedule is self-timed: an enabled actor is never left idle.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "sdf/graph.hpp"
+#include "state/state.hpp"
+
+namespace buffy::sched {
+
+/// Replays the schedule up to (and excluding) time `horizon`.
+/// Returns std::nullopt when the schedule is valid over the horizon, or a
+/// description of the first violation found.
+[[nodiscard]] std::optional<std::string> check_schedule(
+    const sdf::Graph& graph, const state::Capacities& capacities,
+    const Schedule& schedule, i64 horizon);
+
+}  // namespace buffy::sched

@@ -1,0 +1,34 @@
+#include "sdf/builder.hpp"
+
+#include "sdf/validate.hpp"
+
+namespace buffy::sdf {
+
+GraphBuilder::GraphBuilder(std::string graph_name)
+    : graph_(std::move(graph_name)) {}
+
+ActorId GraphBuilder::actor(const std::string& name, i64 execution_time) {
+  return graph_.add_actor(Actor{.name = name, .execution_time = execution_time});
+}
+
+ChannelId GraphBuilder::channel(const std::string& name, ActorId src,
+                                i64 production, ActorId dst, i64 consumption,
+                                i64 initial_tokens) {
+  return graph_.add_channel(Channel{
+      .name = name,
+      .src = src,
+      .dst = dst,
+      .production = production,
+      .consumption = consumption,
+      .initial_tokens = initial_tokens,
+      .src_port = name + "_out",
+      .dst_port = name + "_in",
+  });
+}
+
+Graph GraphBuilder::build() {
+  validate(graph_);
+  return std::move(graph_);
+}
+
+}  // namespace buffy::sdf

@@ -1,0 +1,42 @@
+// Fluent construction of SDF graphs.
+//
+//   GraphBuilder b("example");
+//   const auto a = b.actor("a", 1);
+//   const auto bb = b.actor("b", 2);
+//   const auto c = b.actor("c", 2);
+//   b.channel("alpha", a, 2, bb, 3);       // a -2-> alpha -3-> b
+//   b.channel("beta", bb, 1, c, 2);
+//   sdf::Graph g = b.build();              // validated
+#pragma once
+
+#include <string>
+
+#include "sdf/graph.hpp"
+
+namespace buffy::sdf {
+
+/// Builds and validates a Graph.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(std::string graph_name);
+
+  /// Adds an actor with the given execution time (>= 1).
+  ActorId actor(const std::string& name, i64 execution_time);
+
+  /// Adds a channel src -production-> name -consumption-> dst with the given
+  /// number of initial tokens. Port names are auto-generated.
+  ChannelId channel(const std::string& name, ActorId src, i64 production,
+                    ActorId dst, i64 consumption, i64 initial_tokens = 0);
+
+  /// Validates (see sdf::validate) and returns the finished graph.
+  /// The builder is left in a moved-from state.
+  [[nodiscard]] Graph build();
+
+  /// Access to the graph under construction (used by the generator).
+  [[nodiscard]] Graph& graph() { return graph_; }
+
+ private:
+  Graph graph_;
+};
+
+}  // namespace buffy::sdf

@@ -1,0 +1,90 @@
+#include "sdf/graph.hpp"
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::sdf {
+
+Graph::Graph(std::string name) : name_(std::move(name)) {}
+
+ActorId Graph::add_actor(Actor actor) {
+  const ActorId id(actors_.size());
+  actors_.push_back(std::move(actor));
+  out_.emplace_back();
+  in_.emplace_back();
+  return id;
+}
+
+ChannelId Graph::add_channel(Channel channel) {
+  BUFFY_REQUIRE(channel.src.valid() && channel.src.index() < actors_.size(),
+                "channel '" + channel.name + "' has an invalid source actor");
+  BUFFY_REQUIRE(channel.dst.valid() && channel.dst.index() < actors_.size(),
+                "channel '" + channel.name +
+                    "' has an invalid destination actor");
+  const ChannelId id(channels_.size());
+  out_[channel.src.index()].push_back(id);
+  in_[channel.dst.index()].push_back(id);
+  channels_.push_back(std::move(channel));
+  return id;
+}
+
+const Actor& Graph::actor(ActorId id) const {
+  BUFFY_REQUIRE(id.valid() && id.index() < actors_.size(), "invalid actor id");
+  return actors_[id.index()];
+}
+
+const Channel& Graph::channel(ChannelId id) const {
+  BUFFY_REQUIRE(id.valid() && id.index() < channels_.size(),
+                "invalid channel id");
+  return channels_[id.index()];
+}
+
+Actor& Graph::actor(ActorId id) {
+  BUFFY_REQUIRE(id.valid() && id.index() < actors_.size(), "invalid actor id");
+  return actors_[id.index()];
+}
+
+Channel& Graph::channel(ChannelId id) {
+  BUFFY_REQUIRE(id.valid() && id.index() < channels_.size(),
+                "invalid channel id");
+  return channels_[id.index()];
+}
+
+std::span<const ChannelId> Graph::out_channels(ActorId id) const {
+  BUFFY_REQUIRE(id.valid() && id.index() < actors_.size(), "invalid actor id");
+  return out_[id.index()];
+}
+
+std::span<const ChannelId> Graph::in_channels(ActorId id) const {
+  BUFFY_REQUIRE(id.valid() && id.index() < actors_.size(), "invalid actor id");
+  return in_[id.index()];
+}
+
+std::optional<ActorId> Graph::find_actor(const std::string& name) const {
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].name == name) return ActorId(i);
+  }
+  return std::nullopt;
+}
+
+std::optional<ChannelId> Graph::find_channel(const std::string& name) const {
+  for (std::size_t i = 0; i < channels_.size(); ++i) {
+    if (channels_[i].name == name) return ChannelId(i);
+  }
+  return std::nullopt;
+}
+
+std::vector<ActorId> Graph::actor_ids() const {
+  std::vector<ActorId> ids;
+  ids.reserve(actors_.size());
+  for (std::size_t i = 0; i < actors_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+std::vector<ChannelId> Graph::channel_ids() const {
+  std::vector<ChannelId> ids;
+  ids.reserve(channels_.size());
+  for (std::size_t i = 0; i < channels_.size(); ++i) ids.emplace_back(i);
+  return ids;
+}
+
+}  // namespace buffy::sdf

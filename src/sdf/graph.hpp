@@ -1,0 +1,98 @@
+// The timed SDF graph model (paper Sec. 2).
+//
+// An SDF graph is a pair (A, C) of actors and point-to-point channels. Every
+// firing of an actor consumes a fixed number of tokens from each input
+// channel and produces a fixed number on each output channel (the port
+// rates); a firing takes a fixed number of discrete time steps (the
+// execution time). Channels may carry initial tokens.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "sdf/ids.hpp"
+
+namespace buffy::sdf {
+
+/// A node of the graph: a function fired atomically on its token rates.
+struct Actor {
+  /// Unique, non-empty name.
+  std::string name;
+  /// Discrete time steps per firing; >= 1 (see validate()).
+  i64 execution_time = 1;
+};
+
+/// A point-to-point FIFO carrying tokens from src to dst.
+struct Channel {
+  /// Unique, non-empty name.
+  std::string name;
+  ActorId src;
+  ActorId dst;
+  /// Tokens produced per firing of src; >= 1.
+  i64 production = 1;
+  /// Tokens consumed per firing of dst; >= 1.
+  i64 consumption = 1;
+  /// Tokens present before the first firing; >= 0.
+  i64 initial_tokens = 0;
+  /// Name of the producing port on src (informational; kept for IO fidelity).
+  std::string src_port;
+  /// Name of the consuming port on dst (informational; kept for IO fidelity).
+  std::string dst_port;
+
+  [[nodiscard]] bool is_self_loop() const { return src == dst; }
+};
+
+/// An SDF graph: owns actors and channels and their adjacency.
+///
+/// Graph is a regular value type; analyses never mutate it. Construction
+/// normally goes through GraphBuilder, which validates on build().
+class Graph {
+ public:
+  explicit Graph(std::string name = "sdf");
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Appends an actor; the name must not clash (checked by validate()).
+  ActorId add_actor(Actor actor);
+
+  /// Appends a channel; endpoints must already exist.
+  ChannelId add_channel(Channel channel);
+
+  [[nodiscard]] std::size_t num_actors() const { return actors_.size(); }
+  [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
+
+  [[nodiscard]] const Actor& actor(ActorId id) const;
+  [[nodiscard]] const Channel& channel(ChannelId id) const;
+
+  /// Mutable access (used by IO round-tripping and the graph generator).
+  [[nodiscard]] Actor& actor(ActorId id);
+  [[nodiscard]] Channel& channel(ChannelId id);
+
+  /// Channels produced into by the given actor (self-loops included).
+  [[nodiscard]] std::span<const ChannelId> out_channels(ActorId id) const;
+  /// Channels consumed from by the given actor (self-loops included).
+  [[nodiscard]] std::span<const ChannelId> in_channels(ActorId id) const;
+
+  [[nodiscard]] std::optional<ActorId> find_actor(
+      const std::string& name) const;
+  [[nodiscard]] std::optional<ChannelId> find_channel(
+      const std::string& name) const;
+
+  /// All actor ids in index order.
+  [[nodiscard]] std::vector<ActorId> actor_ids() const;
+  /// All channel ids in index order.
+  [[nodiscard]] std::vector<ChannelId> channel_ids() const;
+
+ private:
+  std::string name_;
+  std::vector<Actor> actors_;
+  std::vector<Channel> channels_;
+  std::vector<std::vector<ChannelId>> out_;
+  std::vector<std::vector<ChannelId>> in_;
+};
+
+}  // namespace buffy::sdf

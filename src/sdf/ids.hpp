@@ -1,0 +1,58 @@
+// Typed identifiers for actors and channels.
+//
+// Analyses index many parallel arrays (clocks, token counts, capacities,
+// rates); typed ids prevent an actor index from being used as a channel
+// index. Ids are dense indices into the owning Graph's storage.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace buffy::sdf {
+
+namespace detail {
+
+template <typename Tag>
+class Id {
+ public:
+  /// Default-constructed ids are invalid.
+  constexpr Id() = default;
+
+  constexpr explicit Id(std::size_t index)
+      : value_(static_cast<std::uint32_t>(index)) {}
+
+  [[nodiscard]] constexpr bool valid() const { return value_ != kInvalid; }
+
+  /// Dense index into the owning graph's storage; requires valid().
+  [[nodiscard]] constexpr std::size_t index() const { return value_; }
+
+  friend constexpr auto operator<=>(Id, Id) = default;
+
+ private:
+  static constexpr std::uint32_t kInvalid =
+      std::numeric_limits<std::uint32_t>::max();
+
+  std::uint32_t value_ = kInvalid;
+};
+
+}  // namespace detail
+
+struct ActorTag;
+struct ChannelTag;
+
+/// Identifies an actor within one Graph.
+using ActorId = detail::Id<ActorTag>;
+/// Identifies a channel within one Graph.
+using ChannelId = detail::Id<ChannelTag>;
+
+}  // namespace buffy::sdf
+
+template <typename Tag>
+struct std::hash<buffy::sdf::detail::Id<Tag>> {
+  std::size_t operator()(buffy::sdf::detail::Id<Tag> id) const noexcept {
+    return id.valid() ? id.index() : static_cast<std::size_t>(-1);
+  }
+};

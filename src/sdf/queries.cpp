@@ -1,0 +1,129 @@
+#include "sdf/queries.hpp"
+
+#include <algorithm>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::sdf {
+
+bool is_weakly_connected(const Graph& graph) {
+  const std::size_t n = graph.num_actors();
+  if (n == 0) return true;
+  std::vector<bool> seen(n, false);
+  std::vector<std::size_t> stack{0};
+  seen[0] = true;
+  std::size_t visited = 1;
+  while (!stack.empty()) {
+    const std::size_t cur = stack.back();
+    stack.pop_back();
+    const ActorId id(cur);
+    auto visit = [&](ActorId next) {
+      if (!seen[next.index()]) {
+        seen[next.index()] = true;
+        ++visited;
+        stack.push_back(next.index());
+      }
+    };
+    for (const ChannelId c : graph.out_channels(id)) {
+      visit(graph.channel(c).dst);
+    }
+    for (const ChannelId c : graph.in_channels(id)) {
+      visit(graph.channel(c).src);
+    }
+  }
+  return visited == n;
+}
+
+namespace {
+
+// Iterative three-colour DFS; returns true when a back edge exists.
+bool dfs_finds_cycle(const Graph& graph) {
+  enum class Colour { White, Grey, Black };
+  const std::size_t n = graph.num_actors();
+  std::vector<Colour> colour(n, Colour::White);
+  // Stack holds (actor index, next out-channel position).
+  std::vector<std::pair<std::size_t, std::size_t>> stack;
+  for (std::size_t root = 0; root < n; ++root) {
+    if (colour[root] != Colour::White) continue;
+    colour[root] = Colour::Grey;
+    stack.emplace_back(root, 0);
+    while (!stack.empty()) {
+      auto& [node, pos] = stack.back();
+      const auto outs = graph.out_channels(ActorId(node));
+      if (pos == outs.size()) {
+        colour[node] = Colour::Black;
+        stack.pop_back();
+        continue;
+      }
+      const ActorId next = graph.channel(outs[pos]).dst;
+      ++pos;
+      if (colour[next.index()] == Colour::Grey) return true;
+      if (colour[next.index()] == Colour::White) {
+        colour[next.index()] = Colour::Grey;
+        stack.emplace_back(next.index(), 0);
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool has_directed_cycle(const Graph& graph) { return dfs_finds_cycle(graph); }
+
+std::vector<ActorId> topological_order(const Graph& graph) {
+  const std::size_t n = graph.num_actors();
+  std::vector<std::size_t> indegree(n, 0);
+  for (const ChannelId c : graph.channel_ids()) {
+    ++indegree[graph.channel(c).dst.index()];
+  }
+  std::vector<ActorId> order;
+  order.reserve(n);
+  std::vector<std::size_t> ready;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  while (!ready.empty()) {
+    const std::size_t cur = ready.back();
+    ready.pop_back();
+    order.emplace_back(cur);
+    for (const ChannelId c : graph.out_channels(ActorId(cur))) {
+      const std::size_t next = graph.channel(c).dst.index();
+      if (--indegree[next] == 0) ready.push_back(next);
+    }
+  }
+  if (order.size() != n) {
+    throw GraphError("graph '" + graph.name() +
+                     "' is cyclic; no topological order exists");
+  }
+  return order;
+}
+
+std::vector<ChannelId> channels_between(const Graph& graph, ActorId src,
+                                        ActorId dst) {
+  std::vector<ChannelId> out;
+  for (const ChannelId c : graph.out_channels(src)) {
+    if (graph.channel(c).dst == dst) out.push_back(c);
+  }
+  return out;
+}
+
+i64 total_initial_tokens(const Graph& graph) {
+  i64 total = 0;
+  for (const ChannelId c : graph.channel_ids()) {
+    total = checked_add(total, graph.channel(c).initial_tokens);
+  }
+  return total;
+}
+
+GraphStats stats(const Graph& graph) {
+  return GraphStats{
+      .num_actors = graph.num_actors(),
+      .num_channels = graph.num_channels(),
+      .initial_tokens = total_initial_tokens(graph),
+      .weakly_connected = is_weakly_connected(graph),
+      .cyclic = has_directed_cycle(graph),
+  };
+}
+
+}  // namespace buffy::sdf

@@ -1,0 +1,40 @@
+// Structural queries on SDF graphs used across the analyses.
+#pragma once
+
+#include <vector>
+
+#include "sdf/graph.hpp"
+
+namespace buffy::sdf {
+
+/// True when the graph, viewed as undirected, is connected
+/// (the empty graph counts as connected).
+[[nodiscard]] bool is_weakly_connected(const Graph& graph);
+
+/// True when the directed graph contains a cycle (self-loops count).
+[[nodiscard]] bool has_directed_cycle(const Graph& graph);
+
+/// Actors in a topological order of the directed graph; throws GraphError
+/// when the graph is cyclic.
+[[nodiscard]] std::vector<ActorId> topological_order(const Graph& graph);
+
+/// Channels from src to dst (there can be several parallel ones).
+[[nodiscard]] std::vector<ChannelId> channels_between(const Graph& graph,
+                                                      ActorId src,
+                                                      ActorId dst);
+
+/// Sum of initial tokens over all channels.
+[[nodiscard]] i64 total_initial_tokens(const Graph& graph);
+
+/// Summary used by reports.
+struct GraphStats {
+  std::size_t num_actors = 0;
+  std::size_t num_channels = 0;
+  i64 initial_tokens = 0;
+  bool weakly_connected = false;
+  bool cyclic = false;
+};
+
+[[nodiscard]] GraphStats stats(const Graph& graph);
+
+}  // namespace buffy::sdf

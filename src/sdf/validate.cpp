@@ -1,0 +1,56 @@
+#include "sdf/validate.hpp"
+
+#include <unordered_set>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::sdf {
+
+void validate(const Graph& graph) {
+  std::unordered_set<std::string> actor_names;
+  for (const ActorId id : graph.actor_ids()) {
+    const Actor& a = graph.actor(id);
+    if (a.name.empty()) {
+      throw GraphError("graph '" + graph.name() + "': actor with empty name");
+    }
+    if (!actor_names.insert(a.name).second) {
+      throw GraphError("graph '" + graph.name() + "': duplicate actor name '" +
+                       a.name + "'");
+    }
+    if (a.execution_time < 1) {
+      throw GraphError("actor '" + a.name +
+                       "': execution time must be >= 1 time step");
+    }
+  }
+
+  std::unordered_set<std::string> channel_names;
+  for (const ChannelId id : graph.channel_ids()) {
+    const Channel& c = graph.channel(id);
+    if (c.name.empty()) {
+      throw GraphError("graph '" + graph.name() +
+                       "': channel with empty name");
+    }
+    if (!channel_names.insert(c.name).second) {
+      throw GraphError("graph '" + graph.name() +
+                       "': duplicate channel name '" + c.name + "'");
+    }
+    if (c.production < 1) {
+      throw GraphError("channel '" + c.name + "': production rate must be >= 1");
+    }
+    if (c.consumption < 1) {
+      throw GraphError("channel '" + c.name +
+                       "': consumption rate must be >= 1");
+    }
+    if (c.initial_tokens < 0) {
+      throw GraphError("channel '" + c.name +
+                       "': initial tokens must be >= 0");
+    }
+    if (c.is_self_loop() && c.production != c.consumption) {
+      throw GraphError("channel '" + c.name +
+                       "': self-loop with unbalanced rates can never be "
+                       "consistent");
+    }
+  }
+}
+
+}  // namespace buffy::sdf

@@ -1,0 +1,18 @@
+// Structural validation of SDF graphs.
+//
+// validate() checks everything that can be checked without analysis:
+// non-empty unique names, positive rates, execution times >= 1 (the timed
+// execution model of the paper advances in whole time steps; zero-time
+// firings would admit unbounded same-instant firing cascades), and
+// non-negative initial tokens. Consistency (existence of a repetition
+// vector) is a separate analysis, see analysis/consistency.hpp.
+#pragma once
+
+#include "sdf/graph.hpp"
+
+namespace buffy::sdf {
+
+/// Throws GraphError describing the first problem found; no-op when valid.
+void validate(const Graph& graph);
+
+}  // namespace buffy::sdf

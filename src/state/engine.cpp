@@ -1,0 +1,187 @@
+#include "state/engine.hpp"
+
+#include <algorithm>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::state {
+
+Engine::Engine(const sdf::Graph& graph, Capacities capacities)
+    : graph_(graph), capacities_(std::move(capacities)) {
+  BUFFY_REQUIRE(capacities_.size() == graph.num_channels(),
+                "capacities must cover every channel of the graph");
+  const std::size_t n = graph.num_actors();
+  const std::size_t m = graph.num_channels();
+  exec_time_.resize(n);
+  inputs_.resize(n);
+  outputs_.resize(n);
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    exec_time_[a.index()] = graph.actor(a).execution_time;
+    for (const sdf::ChannelId c : graph.in_channels(a)) {
+      inputs_[a.index()].push_back(
+          PortRef{c.index(), graph.channel(c).consumption});
+    }
+    for (const sdf::ChannelId c : graph.out_channels(a)) {
+      outputs_[a.index()].push_back(
+          PortRef{c.index(), graph.channel(c).production});
+    }
+  }
+  initial_tokens_.resize(m);
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    initial_tokens_[c.index()] = graph.channel(c).initial_tokens;
+  }
+  reset();
+}
+
+void Engine::set_binding(std::vector<std::size_t> processor_of) {
+  if (!processor_of.empty()) {
+    BUFFY_REQUIRE(processor_of.size() == clocks_.size(),
+                  "binding must assign every actor a processor");
+    std::size_t max_proc = 0;
+    for (const std::size_t p : processor_of) max_proc = std::max(max_proc, p);
+    proc_running_.assign(max_proc + 1, 0);
+  } else {
+    proc_running_.clear();
+  }
+  processor_of_ = std::move(processor_of);
+  reset();
+}
+
+bool Engine::can_start(std::size_t actor) const {
+  if (clocks_[actor] != 0) return false;
+  if (!processor_of_.empty() && proc_running_[processor_of_[actor]] != 0) {
+    return false;  // the actor's processor is executing someone else
+  }
+  for (const PortRef& in : inputs_[actor]) {
+    if (tokens_[in.channel] < in.rate) return false;
+  }
+  for (const PortRef& out : outputs_[actor]) {
+    if (capacities_.is_bounded(out.channel) &&
+        occupied_[out.channel] + out.rate >
+            capacities_.capacity(out.channel)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Engine::start_phase() {
+  started_.clear();
+  // A start claims output space but never adds tokens or frees space, so no
+  // start can enable another within the same instant; each channel has a
+  // single producer, so no two starts compete for the same space. A single
+  // pass in actor order is therefore deterministic and complete.
+  for (std::size_t a = 0; a < clocks_.size(); ++a) {
+    if (!can_start(a)) continue;
+    clocks_[a] = exec_time_[a];
+    if (!processor_of_.empty()) ++proc_running_[processor_of_[a]];
+    for (const PortRef& out : outputs_[a]) {
+      occupied_[out.channel] += out.rate;
+      max_occupancy_[out.channel] =
+          std::max(max_occupancy_[out.channel], occupied_[out.channel]);
+    }
+    started_.emplace_back(a);
+    if (recorder_ != nullptr) recorder_->record(sdf::ActorId(a), now_);
+  }
+}
+
+void Engine::reset() {
+  clocks_.assign(exec_time_.size(), 0);
+  std::fill(proc_running_.begin(), proc_running_.end(), 0);
+  tokens_ = initial_tokens_;
+  occupied_ = initial_tokens_;
+  max_occupancy_ = initial_tokens_;
+  completed_.clear();
+  started_.clear();
+  now_ = 0;
+  deadlocked_ = false;
+  // Validate that initial tokens fit the capacities; otherwise the state is
+  // not even representable.
+  for (std::size_t c = 0; c < tokens_.size(); ++c) {
+    if (capacities_.is_bounded(c) && tokens_[c] > capacities_.capacity(c)) {
+      throw GraphError("channel '" +
+                       graph_.channel(sdf::ChannelId(c)).name +
+                       "' has more initial tokens than its capacity");
+    }
+  }
+  start_phase();
+  deadlocked_ = started_.empty();
+}
+
+bool Engine::step() { return advance_by(1); }
+
+bool Engine::advance() {
+  if (deadlocked_) return false;
+  i64 delta = 0;
+  for (const i64 c : clocks_) {
+    if (c > 0 && (delta == 0 || c < delta)) delta = c;
+  }
+  BUFFY_ASSERT(delta > 0, "live engine without a running firing");
+  return advance_by(delta);
+}
+
+bool Engine::advance_by(i64 delta) {
+  if (deadlocked_) return false;
+  now_ += delta;
+  completed_.clear();
+
+  // Completion phase: lower the clocks; firings reaching zero consume their
+  // inputs (releasing that space) and turn their claimed output space into
+  // tokens.
+  for (std::size_t a = 0; a < clocks_.size(); ++a) {
+    if (clocks_[a] == 0) continue;
+    BUFFY_ASSERT(clocks_[a] >= delta, "advance past a completion");
+    clocks_[a] -= delta;
+    if (clocks_[a] != 0) continue;
+    for (const PortRef& in : inputs_[a]) {
+      tokens_[in.channel] -= in.rate;
+      occupied_[in.channel] -= in.rate;
+      BUFFY_ASSERT(tokens_[in.channel] >= 0, "negative channel fill");
+    }
+    for (const PortRef& out : outputs_[a]) {
+      tokens_[out.channel] += out.rate;  // occupancy unchanged: claim -> data
+    }
+    if (!processor_of_.empty()) --proc_running_[processor_of_[a]];
+    completed_.emplace_back(a);
+  }
+
+  start_phase();
+
+  // With no firing in progress and the start phase unable to launch any
+  // actor, the state can never change again: deadlock (self-loop in the
+  // state space, Sec. 6).
+  deadlocked_ = std::all_of(clocks_.begin(), clocks_.end(),
+                            [](i64 c) { return c == 0; });
+  return !deadlocked_;
+}
+
+TimedState Engine::snapshot() const { return TimedState(clocks_, tokens_); }
+
+std::vector<sdf::ChannelId> Engine::space_blocked_channels() const {
+  std::vector<bool> blocked(tokens_.size(), false);
+  for (std::size_t a = 0; a < clocks_.size(); ++a) {
+    if (clocks_[a] != 0) continue;
+    bool tokens_ok = true;
+    for (const PortRef& in : inputs_[a]) {
+      if (tokens_[in.channel] < in.rate) {
+        tokens_ok = false;
+        break;
+      }
+    }
+    if (!tokens_ok) continue;
+    for (const PortRef& out : outputs_[a]) {
+      if (capacities_.is_bounded(out.channel) &&
+          occupied_[out.channel] + out.rate >
+              capacities_.capacity(out.channel)) {
+        blocked[out.channel] = true;
+      }
+    }
+  }
+  std::vector<sdf::ChannelId> result;
+  for (std::size_t c = 0; c < blocked.size(); ++c) {
+    if (blocked[c]) result.emplace_back(c);
+  }
+  return result;
+}
+
+}  // namespace buffy::state

@@ -1,0 +1,120 @@
+#include "state/throughput.hpp"
+
+#include <unordered_map>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::state {
+
+namespace {
+
+// The stored key is the paper's full reduced state: the timed state plus
+// the d_a dimension (time since the previous completion of the target) —
+// see Fig. 4, where (1,0,1,2,2,9) and (1,0,1,2,2,7) are distinct states.
+struct ReducedKey {
+  TimedState timed;
+  i64 dist;
+  friend bool operator==(const ReducedKey&, const ReducedKey&) = default;
+};
+
+struct ReducedKeyHash {
+  std::size_t operator()(const ReducedKey& k) const noexcept {
+    return static_cast<std::size_t>(
+        hash_combine(k.timed.hash(), static_cast<u64>(k.dist)));
+  }
+};
+
+}  // namespace
+
+ThroughputResult compute_throughput(const sdf::Graph& graph,
+                                    const Capacities& capacities,
+                                    const ThroughputOptions& opts) {
+  BUFFY_REQUIRE(opts.target.valid() && opts.target.index() < graph.num_actors(),
+                "throughput target actor is not part of the graph");
+  Engine engine(graph, capacities);
+  engine.set_recorder(opts.recorder);
+  engine.set_binding(opts.processor_of);  // also resets the engine
+
+  ThroughputResult result;
+
+  struct Entry {
+    i64 firing_index;
+    i64 time;
+    std::size_t order;  // position in result.reduced_states
+  };
+  std::unordered_map<ReducedKey, Entry, ReducedKeyHash> seen;
+
+  i64 firings = 0;
+  i64 last_completion_time = 0;
+
+  const auto finish_max_occupancy = [&]() {
+    if (opts.track_max_occupancy) result.max_occupancy = engine.max_occupancy();
+  };
+
+  for (u64 steps = 0; steps < opts.max_steps; ++steps) {
+    const bool alive = engine.advance();
+
+    bool target_completed = false;
+    for (const sdf::ActorId a : engine.completed()) {
+      if (a == opts.target) target_completed = true;
+    }
+
+    if (target_completed) {
+      ++firings;
+      TimedState snapshot = engine.snapshot();
+      const i64 dist = engine.now() - last_completion_time;
+      last_completion_time = engine.now();
+      const ReducedKey key{snapshot, dist};
+      const auto it = seen.find(key);
+      if (it != seen.end()) {
+        // Cycle closed: the periodic phase runs from the earlier visit of
+        // this state to now.
+        result.firings_on_cycle = firings - it->second.firing_index;
+        result.period = engine.now() - it->second.time;
+        result.cycle_start_time = it->second.time;
+        result.throughput = Rational(result.firings_on_cycle, result.period);
+        result.states_stored = seen.size();
+        result.time_steps = engine.now();
+        if (opts.collect_reduced_states) {
+          for (std::size_t i = it->second.order;
+               i < result.reduced_states.size(); ++i) {
+            result.reduced_states[i].on_cycle = true;
+          }
+        }
+        finish_max_occupancy();
+        return result;
+      }
+      seen.emplace(key,
+                   Entry{firings, engine.now(), result.reduced_states.size()});
+      if (opts.collect_reduced_states) {
+        result.reduced_states.push_back(ReducedState{
+            .timed = std::move(snapshot),
+            .dist = dist,
+            .time = engine.now(),
+            .on_cycle = false,
+        });
+      }
+    }
+
+    if (!alive) {
+      result.deadlocked = true;
+      result.throughput = Rational(0);
+      result.states_stored = seen.size();
+      result.time_steps = engine.now();
+      finish_max_occupancy();
+      return result;
+    }
+  }
+  throw Error("throughput computation exceeded max_steps = " +
+              std::to_string(opts.max_steps) + " on graph '" + graph.name() +
+              "' (unbounded token growth or a bound set too low)");
+}
+
+ThroughputResult compute_throughput(const sdf::Graph& graph,
+                                    const std::vector<i64>& caps,
+                                    sdf::ActorId target) {
+  return compute_throughput(graph, Capacities::bounded(caps),
+                            ThroughputOptions{.target = target});
+}
+
+}  // namespace buffy::state

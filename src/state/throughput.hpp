@@ -1,0 +1,86 @@
+// Throughput via reduced state-space exploration (paper Sec. 7).
+//
+// Only the states reached when the firing of a chosen target actor completes
+// are stored, together with the time elapsed since the previous such state
+// (the d_a dimension of the paper). The deterministic execution is a lasso:
+// either it deadlocks (throughput 0) or a stored state recurs, closing the
+// unique cycle; the throughput of the target actor is then the number of
+// its firings on the cycle divided by the cycle's duration (Property 2).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "base/rational.hpp"
+#include "sdf/graph.hpp"
+#include "state/engine.hpp"
+#include "state/state.hpp"
+
+namespace buffy::state {
+
+/// Options for a throughput computation.
+struct ThroughputOptions {
+  /// Actor whose firing rate is measured and whose completions define the
+  /// reduced state space.
+  sdf::ActorId target;
+  /// Safety bound on simulated time steps; exceeding it throws.
+  u64 max_steps = 100'000'000;
+  /// When set, the result carries the reduced state sequence (Fig. 4).
+  bool collect_reduced_states = false;
+  /// When set, the result carries the per-channel maximum occupancy.
+  bool track_max_occupancy = false;
+  /// When set, every firing start is recorded (schedule extraction).
+  FiringRecorder* recorder = nullptr;
+  /// Optional processor binding forwarded to Engine::set_binding (empty =
+  /// unbound execution).
+  std::vector<std::size_t> processor_of;
+};
+
+/// One entry of the reduced state space: the timed state at a completion of
+/// the target actor plus the paper's d_a distance (time since the previous
+/// completion; for the first entry, since time 0).
+struct ReducedState {
+  TimedState timed;
+  i64 dist = 0;
+  /// Absolute time of this completion.
+  i64 time = 0;
+  /// True for states on the detected cycle (periodic phase).
+  bool on_cycle = false;
+};
+
+/// Outcome of a throughput computation.
+struct ThroughputResult {
+  /// Execution reached a state with no firing in progress and none possible.
+  bool deadlocked = false;
+  /// Target firings per time step; 0 exactly when deadlocked.
+  Rational throughput;
+  /// Number of reduced states stored (Table 2's "maximum #states" metric).
+  u64 states_stored = 0;
+  /// Absolute time of the completion that opened the cycle.
+  i64 cycle_start_time = 0;
+  /// Cycle duration in time steps (0 on deadlock).
+  i64 period = 0;
+  /// Target firings on the cycle (0 on deadlock).
+  i64 firings_on_cycle = 0;
+  /// Total time simulated until the cycle closed / deadlock was reached.
+  i64 time_steps = 0;
+  /// Reduced states in visit order (only when requested).
+  std::vector<ReducedState> reduced_states;
+  /// Per-channel max occupancy (only when requested).
+  std::vector<i64> max_occupancy;
+};
+
+/// Runs self-timed execution under the given capacities until the reduced
+/// state space closes its cycle or the graph deadlocks. Throws Error when
+/// max_steps is exceeded (e.g. unbounded token accumulation under unbounded
+/// capacities in a graph that is not back-pressured).
+[[nodiscard]] ThroughputResult compute_throughput(const sdf::Graph& graph,
+                                                  const Capacities& capacities,
+                                                  const ThroughputOptions& opts);
+
+/// Convenience overload: bounded capacities given as a plain vector.
+[[nodiscard]] ThroughputResult compute_throughput(const sdf::Graph& graph,
+                                                  const std::vector<i64>& caps,
+                                                  sdf::ActorId target);
+
+}  // namespace buffy::state

@@ -1,0 +1,2 @@
+// trace.hpp is header-only; this translation unit anchors it in the library.
+#include "state/trace.hpp"

@@ -1,0 +1,36 @@
+// Firing traces recorded during state-space execution.
+//
+// The schedule module turns a trace plus the detected cycle into the
+// schedule sigma(a, i) of Def. 3 (transient prefix + periodic phase).
+#pragma once
+
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "sdf/ids.hpp"
+
+namespace buffy::state {
+
+/// One firing start: actor and the time step at which the firing begins.
+struct Firing {
+  sdf::ActorId actor;
+  i64 start = 0;
+
+  friend bool operator==(const Firing&, const Firing&) = default;
+};
+
+/// Collects firing starts in execution order.
+class FiringRecorder {
+ public:
+  void record(sdf::ActorId actor, i64 start) {
+    firings_.push_back(Firing{actor, start});
+  }
+
+  [[nodiscard]] const std::vector<Firing>& firings() const { return firings_; }
+  void clear() { firings_.clear(); }
+
+ private:
+  std::vector<Firing> firings_;
+};
+
+}  // namespace buffy::state

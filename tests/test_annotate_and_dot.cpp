@@ -1,0 +1,97 @@
+// Tests for the latency-annotation helper and the state-space DOT export.
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+#include "buffer/dse.hpp"
+#include "io/statespace_dot.hpp"
+#include "models/models.hpp"
+#include "sched/annotate.hpp"
+
+namespace buffy {
+namespace {
+
+buffer::DseResult example_dse() {
+  const sdf::Graph g = models::paper_example();
+  return buffer::explore(
+      g, buffer::DseOptions{.target = *g.find_actor("c"),
+                            .engine = buffer::DseEngine::Incremental});
+}
+
+TEST(Annotate, EveryParetoPointGetsItsTiming) {
+  const sdf::Graph g = models::paper_example();
+  const auto dse = example_dse();
+  const auto annotated =
+      sched::annotate_latencies(g, dse.pareto, *g.find_actor("c"));
+  ASSERT_EQ(annotated.size(), dse.pareto.size());
+  // The smallest point (<4,2>) delivers its first output at t=9 with
+  // period 7; timing must be consistent with the point's throughput.
+  EXPECT_EQ(annotated.front().timing.first_output, 9);
+  EXPECT_EQ(annotated.front().timing.period, 7);
+  for (const sched::AnnotatedPoint& p : annotated) {
+    EXPECT_FALSE(p.timing.deadlocked);
+    EXPECT_EQ(Rational(p.timing.firings_per_period, p.timing.period),
+              p.point.throughput)
+        << p.point.distribution.str();
+  }
+}
+
+TEST(Annotate, LatencyNeverIncreasesAlongTheFront) {
+  // Larger buffers can only let firings start earlier (monotonicity), so
+  // first-output latency is non-increasing left to right on this chain.
+  const sdf::Graph g = models::paper_example();
+  const auto dse = example_dse();
+  const auto annotated =
+      sched::annotate_latencies(g, dse.pareto, *g.find_actor("c"));
+  for (std::size_t i = 1; i < annotated.size(); ++i) {
+    EXPECT_LE(annotated[i].timing.first_output,
+              annotated[i - 1].timing.first_output);
+  }
+}
+
+TEST(Annotate, EarliestWithinDeadline) {
+  const sdf::Graph g = models::paper_example();
+  const auto dse = example_dse();
+  const auto annotated =
+      sched::annotate_latencies(g, dse.pareto, *g.find_actor("c"));
+  const auto* pick = sched::earliest_within_deadline(annotated, 9);
+  ASSERT_NE(pick, nullptr);
+  EXPECT_LE(pick->timing.first_output, 9);
+  EXPECT_EQ(sched::earliest_within_deadline(annotated, 3), nullptr);
+}
+
+TEST(StateSpaceDot, FullSpaceShowsCycleAndStates) {
+  const sdf::Graph g = models::paper_example();
+  const std::string dot = io::statespace_dot(
+      g, buffer::StorageDistribution({4, 2}), *g.find_actor("c"));
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("(0,2,0, | 4,0)"), std::string::npos);  // Fig. 3 state
+  EXPECT_NE(dot.find("period 7"), std::string::npos);
+  EXPECT_NE(dot.find("lightgrey"), std::string::npos);  // cycle highlight
+}
+
+TEST(StateSpaceDot, DeadlockDrawsSelfLoop) {
+  const sdf::Graph g = models::paper_example();
+  const std::string dot = io::statespace_dot(
+      g, buffer::StorageDistribution({3, 2}), *g.find_actor("c"));
+  EXPECT_NE(dot.find("deadlock"), std::string::npos);
+}
+
+TEST(StateSpaceDot, ReducedSpaceShowsDistances) {
+  const sdf::Graph g = models::paper_example();
+  const std::string dot = io::reduced_statespace_dot(
+      g, buffer::StorageDistribution({4, 2}), *g.find_actor("c"));
+  EXPECT_NE(dot.find("d=9"), std::string::npos);
+  EXPECT_NE(dot.find("d=7"), std::string::npos);
+  EXPECT_NE(dot.find("constraint=false"), std::string::npos);  // back edge
+}
+
+TEST(StateSpaceDot, OversizedSpaceRejected) {
+  const sdf::Graph g = models::h263_decoder();
+  EXPECT_THROW((void)io::statespace_dot(
+                   g, buffer::StorageDistribution({594, 1, 594}),
+                   *g.find_actor("mc")),
+               Error);
+}
+
+}  // namespace
+}  // namespace buffy

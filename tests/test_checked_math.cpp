@@ -1,0 +1,130 @@
+#include "base/checked_math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy {
+namespace {
+
+constexpr i64 kMax = std::numeric_limits<i64>::max();
+constexpr i64 kMin = std::numeric_limits<i64>::min();
+
+TEST(CheckedMath, AddBasic) {
+  EXPECT_EQ(checked_add(2, 3), 5);
+  EXPECT_EQ(checked_add(-2, 3), 1);
+  EXPECT_EQ(checked_add(kMax - 1, 1), kMax);
+}
+
+TEST(CheckedMath, AddOverflowThrows) {
+  EXPECT_THROW((void)checked_add(kMax, 1), OverflowError);
+  EXPECT_THROW((void)checked_add(kMin, -1), OverflowError);
+}
+
+TEST(CheckedMath, SubBasic) {
+  EXPECT_EQ(checked_sub(2, 3), -1);
+  EXPECT_EQ(checked_sub(kMin + 1, 1), kMin);
+}
+
+TEST(CheckedMath, SubOverflowThrows) {
+  EXPECT_THROW((void)checked_sub(kMin, 1), OverflowError);
+  EXPECT_THROW((void)checked_sub(0, kMin), OverflowError);
+}
+
+TEST(CheckedMath, MulBasic) {
+  EXPECT_EQ(checked_mul(7, -6), -42);
+  EXPECT_EQ(checked_mul(0, kMax), 0);
+}
+
+TEST(CheckedMath, MulOverflowThrows) {
+  EXPECT_THROW((void)checked_mul(kMax, 2), OverflowError);
+  EXPECT_THROW((void)checked_mul(kMin, -1), OverflowError);
+}
+
+TEST(CheckedMath, GcdBasics) {
+  EXPECT_EQ(gcd(12, 18), 6);
+  EXPECT_EQ(gcd(18, 12), 6);
+  EXPECT_EQ(gcd(7, 13), 1);
+  EXPECT_EQ(gcd(0, 5), 5);
+  EXPECT_EQ(gcd(5, 0), 5);
+  EXPECT_EQ(gcd(0, 0), 0);
+}
+
+TEST(CheckedMath, GcdNegativeOperands) {
+  EXPECT_EQ(gcd(-12, 18), 6);
+  EXPECT_EQ(gcd(12, -18), 6);
+  EXPECT_EQ(gcd(-12, -18), 6);
+}
+
+TEST(CheckedMath, LcmBasics) {
+  EXPECT_EQ(lcm(4, 6), 12);
+  EXPECT_EQ(lcm(7, 13), 91);
+  EXPECT_EQ(lcm(0, 5), 0);
+  EXPECT_EQ(lcm(-4, 6), 12);
+}
+
+TEST(CheckedMath, LcmOverflowThrows) {
+  EXPECT_THROW((void)lcm(kMax - 1, kMax - 2), OverflowError);
+}
+
+TEST(CheckedMath, FloorDivRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floor_div(7, 2), 3);
+  EXPECT_EQ(floor_div(-7, 2), -4);
+  EXPECT_EQ(floor_div(7, -2), -4);
+  EXPECT_EQ(floor_div(-7, -2), 3);
+  EXPECT_EQ(floor_div(6, 3), 2);
+  EXPECT_EQ(floor_div(-6, 3), -2);
+}
+
+TEST(CheckedMath, CeilDivRoundsTowardPositiveInfinity) {
+  EXPECT_EQ(ceil_div(7, 2), 4);
+  EXPECT_EQ(ceil_div(-7, 2), -3);
+  EXPECT_EQ(ceil_div(6, 3), 2);
+  EXPECT_EQ(ceil_div(1, 594), 1);
+}
+
+TEST(CheckedMath, DivisionByZeroThrows) {
+  EXPECT_THROW((void)floor_div(1, 0), Error);
+  EXPECT_THROW((void)ceil_div(1, 0), Error);
+  EXPECT_THROW((void)positive_mod(1, 0), Error);
+}
+
+TEST(CheckedMath, PositiveModAlwaysNonNegative) {
+  EXPECT_EQ(positive_mod(7, 3), 1);
+  EXPECT_EQ(positive_mod(-7, 3), 2);
+  EXPECT_EQ(positive_mod(-7, -3), 2);
+  EXPECT_EQ(positive_mod(0, 3), 0);
+}
+
+// floor_div and positive_mod must satisfy the Euclidean identity
+// a == b * floor_div(a, b) + positive_mod(a, b) for positive b.
+class EuclideanIdentity : public ::testing::TestWithParam<i64> {};
+
+TEST_P(EuclideanIdentity, HoldsAcrossSigns) {
+  const i64 b = GetParam();
+  for (i64 a = -25; a <= 25; ++a) {
+    EXPECT_EQ(a, b * floor_div(a, b) + positive_mod(a, b))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Divisors, EuclideanIdentity,
+                         ::testing::Values(1, 2, 3, 5, 7, 12));
+
+// gcd * lcm == |a*b| for small positive values.
+class GcdLcmProduct : public ::testing::TestWithParam<i64> {};
+
+TEST_P(GcdLcmProduct, ProductIdentity) {
+  const i64 a = GetParam();
+  for (i64 b = 1; b <= 30; ++b) {
+    EXPECT_EQ(checked_mul(gcd(a, b), lcm(a, b)), checked_mul(a, b));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, GcdLcmProduct,
+                         ::testing::Values(1, 2, 6, 9, 17, 24, 594));
+
+}  // namespace
+}  // namespace buffy

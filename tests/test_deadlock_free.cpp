@@ -1,0 +1,93 @@
+#include "buffer/deadlock_free.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+#include "buffer/dse.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::buffer {
+namespace {
+
+TEST(DeadlockFree, ExampleMinimumIsThePaperOne) {
+  // [GBS05] baseline: the smallest deadlock-free distribution of the
+  // example is (4, 2) with size 6 (the leftmost point of Fig. 5).
+  const sdf::Graph g = models::paper_example();
+  const auto r = minimal_deadlock_free_distribution(g, *g.find_actor("c"));
+  ASSERT_TRUE(r.feasible);
+  EXPECT_EQ(r.distribution.str(), "<4, 2>");
+  EXPECT_EQ(r.throughput, Rational(1, 7));
+}
+
+TEST(DeadlockFree, InfeasibleGraphReported) {
+  sdf::GraphBuilder b("dead");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 1);
+  b.channel("ab", a, 1, bb, 1);
+  b.channel("ba", bb, 1, a, 1);
+  const auto r = minimal_deadlock_free_distribution(b.build(), a);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(DeadlockFree, BudgetEnforced) {
+  // The per-channel lower bounds of the satellite receiver are already
+  // deadlock-free, so the search succeeds on its very first probe; a budget
+  // of zero must abort even that.
+  const sdf::Graph g = models::satellite_receiver();
+  EXPECT_THROW((void)minimal_deadlock_free_distribution(
+                   g, models::reported_actor(g), /*max_distributions=*/0),
+               Error);
+}
+
+TEST(DeadlockFree, MatchesFirstParetoPointOnModels) {
+  // The minimal deadlock-free size must equal the size of the first Pareto
+  // point of the unconstrained DSE (the lowest positive throughput).
+  for (const auto& m : models::table2_models()) {
+    if (std::string(m.display_name) == "H.263 decoder") continue;  // slow
+    const sdf::ActorId target = models::reported_actor(m.graph);
+    const auto baseline = minimal_deadlock_free_distribution(m.graph, target);
+    ASSERT_TRUE(baseline.feasible) << m.display_name;
+    const auto dse = explore(
+        m.graph, DseOptions{.target = target, .engine = DseEngine::Incremental});
+    ASSERT_FALSE(dse.pareto.empty()) << m.display_name;
+    EXPECT_EQ(baseline.distribution.size(), dse.pareto.points().front().size())
+        << m.display_name;
+  }
+}
+
+// Property: on random graphs the found distribution is deadlock-free and no
+// distribution one token smaller on any single channel is.
+class DeadlockFreeMinimality : public ::testing::TestWithParam<u64> {};
+
+TEST_P(DeadlockFreeMinimality, LocallyMinimal) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 4, .max_repetition = 3, .seed = GetParam()});
+  const sdf::ActorId target(0);
+  const auto r = minimal_deadlock_free_distribution(g, target);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.throughput, Rational(0));
+  // No strictly smaller distribution of the same size - 1 can be
+  // deadlock-free: verify via the exhaustive engine's bounds: every
+  // distribution with size < found is explored by incremental order, so
+  // it suffices that the search popped in size order (checked by
+  // construction); here we check local minimality instead.
+  for (std::size_t c = 0; c < g.num_channels(); ++c) {
+    if (r.distribution[c] == 0) continue;
+    auto smaller = r.distribution.capacities();
+    smaller[c] -= 1;
+    if (smaller[c] < g.channel(sdf::ChannelId(c)).initial_tokens) continue;
+    const auto run = state::compute_throughput(g, smaller, target);
+    EXPECT_TRUE(run.deadlocked)
+        << "seed " << GetParam() << ": shrinking channel " << c
+        << " keeps the graph live, so the result was not minimal";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeadlockFreeMinimality,
+                         ::testing::Range<u64>(1, 25));
+
+}  // namespace
+}  // namespace buffy::buffer

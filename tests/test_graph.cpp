@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+#include "sdf/graph.hpp"
+#include "sdf/queries.hpp"
+#include "sdf/validate.hpp"
+
+namespace buffy::sdf {
+namespace {
+
+Graph chain_graph() {
+  GraphBuilder b("chain");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 2);
+  const auto c = b.actor("c", 3);
+  b.channel("ab", a, 1, bb, 1);
+  b.channel("bc", bb, 1, c, 1);
+  return b.build();
+}
+
+TEST(Graph, BuilderProducesExpectedStructure) {
+  const Graph g = chain_graph();
+  EXPECT_EQ(g.name(), "chain");
+  EXPECT_EQ(g.num_actors(), 3u);
+  EXPECT_EQ(g.num_channels(), 2u);
+  const auto a = g.find_actor("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(g.actor(*a).execution_time, 1);
+  const auto ab = g.find_channel("ab");
+  ASSERT_TRUE(ab.has_value());
+  EXPECT_EQ(g.channel(*ab).production, 1);
+  EXPECT_EQ(g.channel(*ab).dst, g.find_actor("b"));
+}
+
+TEST(Graph, AdjacencyLists) {
+  const Graph g = chain_graph();
+  const auto b = *g.find_actor("b");
+  EXPECT_EQ(g.in_channels(b).size(), 1u);
+  EXPECT_EQ(g.out_channels(b).size(), 1u);
+  EXPECT_EQ(g.channel(g.in_channels(b)[0]).name, "ab");
+  EXPECT_EQ(g.channel(g.out_channels(b)[0]).name, "bc");
+}
+
+TEST(Graph, FindMissingReturnsNullopt) {
+  const Graph g = chain_graph();
+  EXPECT_FALSE(g.find_actor("zz").has_value());
+  EXPECT_FALSE(g.find_channel("zz").has_value());
+}
+
+TEST(Graph, InvalidIdsThrow) {
+  const Graph g = chain_graph();
+  EXPECT_THROW((void)g.actor(ActorId()), Error);
+  EXPECT_THROW((void)g.actor(ActorId(99)), Error);
+  EXPECT_THROW((void)g.channel(ChannelId(99)), Error);
+}
+
+TEST(Graph, ChannelWithUnknownEndpointThrows) {
+  Graph g("bad");
+  g.add_actor(Actor{.name = "a"});
+  EXPECT_THROW(g.add_channel(Channel{.name = "c",
+                                     .src = ActorId(0),
+                                     .dst = ActorId(5)}),
+               Error);
+}
+
+TEST(Validate, AcceptsAllBenchmarkModels) {
+  for (const auto& m : models::table2_models()) {
+    EXPECT_NO_THROW(validate(m.graph)) << m.display_name;
+  }
+}
+
+TEST(Validate, RejectsDuplicateActorNames) {
+  Graph g("dup");
+  g.add_actor(Actor{.name = "a"});
+  g.add_actor(Actor{.name = "a"});
+  EXPECT_THROW(validate(g), GraphError);
+}
+
+TEST(Validate, RejectsEmptyActorName) {
+  Graph g("empty");
+  g.add_actor(Actor{.name = ""});
+  EXPECT_THROW(validate(g), GraphError);
+}
+
+TEST(Validate, RejectsZeroExecutionTime) {
+  Graph g("zero");
+  g.add_actor(Actor{.name = "a", .execution_time = 0});
+  EXPECT_THROW(validate(g), GraphError);
+}
+
+TEST(Validate, RejectsZeroRates) {
+  Graph g("rates");
+  const auto a = g.add_actor(Actor{.name = "a"});
+  const auto b = g.add_actor(Actor{.name = "b"});
+  g.add_channel(Channel{.name = "c", .src = a, .dst = b, .production = 0});
+  EXPECT_THROW(validate(g), GraphError);
+}
+
+TEST(Validate, RejectsNegativeInitialTokens) {
+  Graph g("tokens");
+  const auto a = g.add_actor(Actor{.name = "a"});
+  const auto b = g.add_actor(Actor{.name = "b"});
+  g.add_channel(
+      Channel{.name = "c", .src = a, .dst = b, .initial_tokens = -1});
+  EXPECT_THROW(validate(g), GraphError);
+}
+
+TEST(Validate, RejectsUnbalancedSelfLoop) {
+  Graph g("selfloop");
+  const auto a = g.add_actor(Actor{.name = "a"});
+  g.add_channel(Channel{
+      .name = "c", .src = a, .dst = a, .production = 2, .consumption = 1});
+  EXPECT_THROW(validate(g), GraphError);
+}
+
+TEST(Validate, RejectsDuplicateChannelNames) {
+  Graph g("dupch");
+  const auto a = g.add_actor(Actor{.name = "a"});
+  const auto b = g.add_actor(Actor{.name = "b"});
+  g.add_channel(Channel{.name = "c", .src = a, .dst = b});
+  g.add_channel(Channel{.name = "c", .src = b, .dst = a});
+  EXPECT_THROW(validate(g), GraphError);
+}
+
+TEST(Queries, WeaklyConnected) {
+  EXPECT_TRUE(is_weakly_connected(chain_graph()));
+  Graph g("disc");
+  g.add_actor(Actor{.name = "a"});
+  g.add_actor(Actor{.name = "b"});
+  EXPECT_FALSE(is_weakly_connected(g));
+  Graph empty("empty");
+  EXPECT_TRUE(is_weakly_connected(empty));
+}
+
+TEST(Queries, DirectedCycleDetection) {
+  EXPECT_FALSE(has_directed_cycle(chain_graph()));
+  EXPECT_TRUE(has_directed_cycle(models::modem()));  // equalizer loop
+  Graph g("self");
+  const auto a = g.add_actor(Actor{.name = "a"});
+  g.add_channel(Channel{.name = "c", .src = a, .dst = a, .initial_tokens = 1});
+  EXPECT_TRUE(has_directed_cycle(g));
+}
+
+TEST(Queries, TopologicalOrderOfChain) {
+  const Graph g = chain_graph();
+  const auto order = topological_order(g);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(g.actor(order[0]).name, "a");
+  EXPECT_EQ(g.actor(order[2]).name, "c");
+}
+
+TEST(Queries, TopologicalOrderRejectsCycles) {
+  EXPECT_THROW((void)topological_order(models::modem()), GraphError);
+}
+
+TEST(Queries, ChannelsBetween) {
+  const Graph g = chain_graph();
+  const auto a = *g.find_actor("a");
+  const auto b = *g.find_actor("b");
+  EXPECT_EQ(channels_between(g, a, b).size(), 1u);
+  EXPECT_TRUE(channels_between(g, b, a).empty());
+}
+
+TEST(Queries, TotalInitialTokensAndStats) {
+  const Graph g = models::modem();
+  EXPECT_EQ(total_initial_tokens(g), 5);  // 1 + 1 + 2 + 1 on the loops
+  const GraphStats s = stats(g);
+  EXPECT_EQ(s.num_actors, 16u);
+  EXPECT_EQ(s.num_channels, 19u);
+  EXPECT_TRUE(s.weakly_connected);
+  EXPECT_TRUE(s.cyclic);
+}
+
+}  // namespace
+}  // namespace buffy::sdf

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "base/diagnostics.hpp"
+#include "base/hash.hpp"
+#include "base/rng.hpp"
+
+namespace buffy {
+namespace {
+
+TEST(Hash, DeterministicForEqualInput) {
+  const std::vector<i64> words{1, 0, 2, 0, 7};
+  EXPECT_EQ(hash_words(words), hash_words(words));
+}
+
+TEST(Hash, SensitiveToValueChanges) {
+  const std::vector<i64> a{1, 0, 2, 0, 7};
+  std::vector<i64> b = a;
+  b[3] = 1;
+  EXPECT_NE(hash_words(a), hash_words(b));
+}
+
+TEST(Hash, SensitiveToOrder) {
+  EXPECT_NE(hash_words(std::vector<i64>{1, 2}),
+            hash_words(std::vector<i64>{2, 1}));
+}
+
+TEST(Hash, EmptyInputIsStable) {
+  EXPECT_EQ(hash_words({}), hash_words({}));
+}
+
+TEST(Hash, Mix64IsNotIdentity) {
+  EXPECT_NE(mix64(0), 0u);
+  EXPECT_NE(mix64(1), 1u);
+}
+
+TEST(Hash, CombineDependsOnBothArguments) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(1, 3));
+}
+
+TEST(Hash, FewCollisionsOnDenseStates) {
+  // States like the engine produces: small non-negative words.
+  std::set<u64> seen;
+  int count = 0;
+  for (i64 a = 0; a < 16; ++a) {
+    for (i64 b = 0; b < 16; ++b) {
+      for (i64 c = 0; c < 16; ++c) {
+        seen.insert(hash_words(std::vector<i64>{a, b, c}));
+        ++count;
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(count));
+}
+
+TEST(Rng, DeterministicPerSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    const i64 v = rng.uniform(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformCoversWholeRange) {
+  Rng rng(11);
+  std::set<i64> seen;
+  for (int i = 0; i < 1'000; ++i) seen.insert(rng.uniform(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, UniformSingleValue) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform(5, 5), 5);
+}
+
+TEST(Rng, InvalidRangeThrows) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform(2, 1), Error);
+  EXPECT_THROW((void)rng.index(0), Error);
+}
+
+TEST(Rng, Uniform01InHalfOpenInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10'000; ++i) {
+    const double v = rng.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+}  // namespace
+}  // namespace buffy

@@ -1,0 +1,118 @@
+#include "analysis/hsdf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/repetition_vector.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::analysis {
+namespace {
+
+TEST(Hsdf, IsHomogeneousPredicate) {
+  EXPECT_FALSE(is_homogeneous(models::paper_example()));
+  EXPECT_TRUE(is_homogeneous(models::fig6_diamond()));
+}
+
+TEST(Hsdf, NodeCountIsRepetitionVectorSum) {
+  const sdf::Graph g = models::paper_example();
+  const HsdfResult h = to_hsdf(g);
+  EXPECT_EQ(h.graph.num_actors(), 6u);  // q = (3, 2, 1)
+  EXPECT_EQ(h.copies[0].size(), 3u);
+  EXPECT_EQ(h.copies[1].size(), 2u);
+  EXPECT_EQ(h.copies[2].size(), 1u);
+}
+
+TEST(Hsdf, ResultIsHomogeneous) {
+  const HsdfResult h = to_hsdf(models::samplerate_converter());
+  EXPECT_TRUE(is_homogeneous(h.graph));
+  EXPECT_EQ(h.graph.num_actors(), 612u);
+}
+
+TEST(Hsdf, CopiesInheritExecutionTimes) {
+  const sdf::Graph g = models::paper_example();
+  const HsdfResult h = to_hsdf(g);
+  for (std::size_t node = 0; node < h.graph.num_actors(); ++node) {
+    const sdf::ActorId original = h.source_actor[node];
+    EXPECT_EQ(h.graph.actor(sdf::ActorId(node)).execution_time,
+              g.actor(original).execution_time);
+  }
+}
+
+TEST(Hsdf, AutoConcurrencyChainTokens) {
+  // Each actor's copies are chained with exactly one token on the
+  // wrap-around edge, so an actor can never overlap with itself.
+  const sdf::Graph g = models::paper_example();
+  const HsdfResult h = to_hsdf(g);
+  const RepetitionVector q = repetition_vector(g);
+  for (const sdf::ActorId a : g.actor_ids()) {
+    i64 wrap_tokens = 0;
+    i64 seq_edges = 0;
+    for (const sdf::ChannelId c : h.graph.channel_ids()) {
+      const sdf::Channel& ch = h.graph.channel(c);
+      if (ch.name.find(g.actor(a).name + "_seq_") == 0) {
+        ++seq_edges;
+        wrap_tokens += ch.initial_tokens;
+      }
+    }
+    EXPECT_EQ(seq_edges, q[a]);
+    EXPECT_EQ(wrap_tokens, 1);
+  }
+}
+
+TEST(Hsdf, InitialTokensBecomeDelays) {
+  // One initial token on a 1:1 channel between actors with q = 1 must give
+  // a dependency edge with one token (a one-iteration delay).
+  sdf::GraphBuilder b("tok");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 1);
+  b.channel("ab", a, 1, bb, 1, /*initial_tokens=*/1);
+  const HsdfResult h = to_hsdf(b.build());
+  bool found = false;
+  for (const sdf::ChannelId c : h.graph.channel_ids()) {
+    const sdf::Channel& ch = h.graph.channel(c);
+    if (ch.name.find("ab_") == 0) {
+      found = true;
+      EXPECT_EQ(ch.initial_tokens, 1);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// The expansion preserves timing: the self-timed throughput of an actor in
+// the original graph (with unbounded buffers) equals the summed throughput
+// of its copies in the HSDF graph.
+class HsdfSemantics : public ::testing::TestWithParam<u64> {};
+
+TEST_P(HsdfSemantics, UnboundedThroughputPreserved) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 4,
+      .max_repetition = 3,
+      .extra_edge_fraction = 0.8,
+      .strongly_connected = true,
+      .seed = GetParam()});
+  const RepetitionVector q = repetition_vector(g);
+  if (q.sum() > 24) GTEST_SKIP() << "expansion too large for this sweep";
+  const HsdfResult h = to_hsdf(g);
+
+  const sdf::ActorId target(g.num_actors() - 1);
+  const auto run_sdf = state::compute_throughput(
+      g, state::Capacities::unbounded(g.num_channels()),
+      state::ThroughputOptions{.target = target, .max_steps = 2'000'000});
+  // Throughput of the actor = q[a] * throughput of its first copy.
+  const sdf::ActorId copy0 = h.copies[target.index()].front();
+  const auto run_hsdf = state::compute_throughput(
+      h.graph, state::Capacities::unbounded(h.graph.num_channels()),
+      state::ThroughputOptions{.target = copy0, .max_steps = 2'000'000});
+  EXPECT_EQ(run_sdf.deadlocked, run_hsdf.deadlocked);
+  if (!run_sdf.deadlocked) {
+    EXPECT_EQ(run_sdf.throughput, run_hsdf.throughput * Rational(q[target]));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HsdfSemantics, ::testing::Range<u64>(1, 25));
+
+}  // namespace
+}  // namespace buffy::analysis

@@ -1,0 +1,162 @@
+// Cross-module integration tests: the full pipeline a user of the library
+// walks through — model or parse a graph, explore its design space, pick an
+// operating point, extract and validate its schedule, and export results.
+#include <gtest/gtest.h>
+
+#include "analysis/max_throughput.hpp"
+#include "buffer/deadlock_free.hpp"
+#include "buffer/dse.hpp"
+#include "gen/random_graph.hpp"
+#include "io/dot.hpp"
+#include "io/dsl.hpp"
+#include "io/sdf_xml.hpp"
+#include "models/models.hpp"
+#include "sched/extract.hpp"
+#include "sched/render.hpp"
+#include "sched/validate_schedule.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy {
+namespace {
+
+TEST(Integration, XmlRoundTripPreservesDesignSpace) {
+  // Serialising and re-parsing a graph must not change its Pareto space.
+  const sdf::Graph original = models::paper_example();
+  const sdf::Graph reparsed = io::read_sdf_xml(io::write_sdf_xml(original));
+  const buffer::DseOptions opts{
+      .target = models::reported_actor(reparsed),
+      .engine = buffer::DseEngine::Incremental};
+  const auto a = buffer::explore(original, opts);
+  const auto b = buffer::explore(reparsed, opts);
+  ASSERT_EQ(a.pareto.size(), b.pareto.size());
+  for (std::size_t i = 0; i < a.pareto.size(); ++i) {
+    EXPECT_EQ(a.pareto.points()[i].size(), b.pareto.points()[i].size());
+    EXPECT_EQ(a.pareto.points()[i].throughput,
+              b.pareto.points()[i].throughput);
+  }
+}
+
+TEST(Integration, EveryParetoPointHasAValidSchedule) {
+  const sdf::Graph g = models::paper_example();
+  const auto r = buffer::explore(
+      g, buffer::DseOptions{.target = *g.find_actor("c"),
+                            .engine = buffer::DseEngine::Exhaustive});
+  for (const buffer::ParetoPoint& p : r.pareto.points()) {
+    const auto caps =
+        state::Capacities::bounded(p.distribution.capacities());
+    const auto ex = sched::extract_schedule(g, caps, *g.find_actor("c"));
+    EXPECT_EQ(ex.throughput, p.throughput) << p.distribution.str();
+    const auto violation = sched::check_schedule(
+        g, caps, ex.schedule,
+        ex.schedule.cycle_start() + 2 * ex.schedule.period());
+    EXPECT_FALSE(violation.has_value())
+        << p.distribution.str() << ": " << *violation;
+  }
+}
+
+TEST(Integration, ParetoFrontConsistentWithDirectProbes) {
+  // For every size between lb and ub, the best achievable throughput read
+  // off the Pareto set must dominate any directly probed distribution of
+  // that size.
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId c = *g.find_actor("c");
+  const auto r = buffer::explore(
+      g, buffer::DseOptions{.target = c,
+                            .engine = buffer::DseEngine::Exhaustive});
+  for (i64 alpha = 4; alpha <= 8; ++alpha) {
+    for (i64 beta = 2; beta <= 5; ++beta) {
+      const auto probe = state::compute_throughput(g, {alpha, beta}, c);
+      const auto* best = r.pareto.best_within_size(alpha + beta);
+      if (probe.throughput.is_zero()) continue;
+      ASSERT_NE(best, nullptr);
+      EXPECT_GE(best->throughput, probe.throughput)
+          << "(" << alpha << "," << beta << ")";
+    }
+  }
+}
+
+TEST(Integration, DeadlockFreeBaselineUnderestimatesConstrainedNeeds) {
+  // The paper's core message: sizing for deadlock-freedom alone ([GBS05])
+  // cannot satisfy a real throughput constraint. The minimal deadlock-free
+  // distribution of the example achieves 1/7; a constraint of 1/4 needs
+  // 4 more tokens.
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId c = *g.find_actor("c");
+  const auto baseline = buffer::minimal_deadlock_free_distribution(g, c);
+  ASSERT_TRUE(baseline.feasible);
+  const auto dse = buffer::explore(
+      g, buffer::DseOptions{.target = c,
+                            .engine = buffer::DseEngine::Incremental});
+  const auto* constrained = dse.pareto.smallest_for_throughput(Rational(1, 4));
+  ASSERT_NE(constrained, nullptr);
+  EXPECT_EQ(baseline.distribution.size(), 6);
+  EXPECT_EQ(constrained->size(), 10);
+  EXPECT_LT(baseline.throughput, Rational(1, 4));
+}
+
+TEST(Integration, DslPipelineEndToEnd) {
+  const sdf::Graph g = io::read_dsl(R"(
+graph pipeline
+actor src 1
+actor work 4
+actor snk 1
+channel in src 2 work 1
+channel out work 1 snk 2
+)");
+  const auto mt = analysis::max_throughput(g);
+  ASSERT_FALSE(mt.deadlock);
+  const auto r = buffer::explore(
+      g, buffer::DseOptions{.target = *g.find_actor("snk"),
+                            .engine = buffer::DseEngine::Incremental});
+  ASSERT_FALSE(r.pareto.empty());
+  EXPECT_EQ(r.pareto.points().back().throughput,
+            mt.actor_throughput(*g.find_actor("snk")));
+  const std::string dot =
+      io::write_dot(g, r.pareto.points().back().distribution);
+  EXPECT_NE(dot.find("cap="), std::string::npos);
+}
+
+TEST(Integration, GanttOfBestOperatingPointRenders) {
+  const sdf::Graph g = models::paper_example();
+  const auto r = buffer::explore(
+      g, buffer::DseOptions{.target = *g.find_actor("c"),
+                            .engine = buffer::DseEngine::Incremental});
+  const auto& best = r.pareto.points().back();
+  const auto ex = sched::extract_schedule(
+      g, state::Capacities::bounded(best.distribution.capacities()),
+      *g.find_actor("c"));
+  const std::string gantt = sched::render_gantt_with_tokens(
+      g, ex.schedule, ex.schedule.cycle_start() + 2 * ex.schedule.period());
+  EXPECT_NE(gantt.find("alpha"), std::string::npos);
+  EXPECT_NE(gantt.find('|'), std::string::npos);
+}
+
+// Property: on random graphs, the first Pareto point equals the minimal
+// deadlock-free distribution's size and the last reaches the MCM maximum.
+class EndToEndProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(EndToEndProperty, FrontEndsAnchoredCorrectly) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 4,
+      .max_repetition = 2,
+      .max_rate_scale = 1,
+      .extra_edge_fraction = 0.5,
+      .seed = GetParam()});
+  const sdf::ActorId target(g.num_actors() - 1);
+  const auto dse = buffer::explore(
+      g, buffer::DseOptions{.target = target,
+                            .engine = buffer::DseEngine::Incremental});
+  ASSERT_FALSE(dse.pareto.empty()) << "seed " << GetParam();
+  const auto baseline =
+      buffer::minimal_deadlock_free_distribution(g, target);
+  ASSERT_TRUE(baseline.feasible);
+  EXPECT_EQ(dse.pareto.points().front().size(), baseline.distribution.size())
+      << "seed " << GetParam();
+  EXPECT_EQ(dse.pareto.points().back().throughput, dse.bounds.max_throughput)
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EndToEndProperty, ::testing::Range<u64>(1, 21));
+
+}  // namespace
+}  // namespace buffy

@@ -1,0 +1,108 @@
+#include "analysis/max_throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::analysis {
+namespace {
+
+TEST(MaxThroughput, PaperExampleIsOneFourth) {
+  // Sec. 8: "The throughput of the actor c in the graph can never go above
+  // 0.25, as actor b always has to fire twice (requiring 4 time steps) for
+  // one firing of c."
+  const sdf::Graph g = models::paper_example();
+  const MaxThroughput mt = max_throughput(g);
+  EXPECT_FALSE(mt.deadlock);
+  EXPECT_EQ(mt.iteration_period, Rational(4));
+  EXPECT_EQ(mt.actor_throughput(*g.find_actor("c")), Rational(1, 4));
+  EXPECT_EQ(mt.actor_throughput(*g.find_actor("b")), Rational(1, 2));
+  EXPECT_EQ(mt.actor_throughput(*g.find_actor("a")), Rational(3, 4));
+}
+
+TEST(MaxThroughput, BottleneckIsSlowestActorIteration) {
+  // With no cross-actor cycles, the period is max over actors of
+  // q(a) * execution_time(a).
+  const sdf::Graph g = models::samplerate_converter();
+  const MaxThroughput mt = max_throughput(g);
+  // q = (147,147,98,28,32,160), exec = (1,2,2,2,2,1):
+  // max(147, 294, 196, 56, 64, 160) = 294.
+  EXPECT_EQ(mt.iteration_period, Rational(294));
+  EXPECT_EQ(mt.actor_throughput(*g.find_actor("dat")), Rational(160, 294));
+}
+
+TEST(MaxThroughput, DeadlockedGraphReported) {
+  // A two-actor cycle without initial tokens can never fire.
+  sdf::GraphBuilder b("dead");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 1);
+  b.channel("ab", a, 1, bb, 1);
+  b.channel("ba", bb, 1, a, 1);
+  const MaxThroughput mt = max_throughput(b.build());
+  EXPECT_TRUE(mt.deadlock);
+  EXPECT_EQ(mt.actor_throughput(a), Rational(0));
+}
+
+TEST(MaxThroughput, CycleWithTokensLimitsThroughput) {
+  // a <-> b cycle with one token: firings alternate, period = e(a) + e(b).
+  sdf::GraphBuilder b("ring");
+  const auto a = b.actor("a", 3);
+  const auto bb = b.actor("b", 4);
+  b.channel("ab", a, 1, bb, 1);
+  b.channel("ba", bb, 1, a, 1, /*initial_tokens=*/1);
+  const MaxThroughput mt = max_throughput(b.build());
+  EXPECT_EQ(mt.iteration_period, Rational(7));
+}
+
+TEST(MaxThroughput, MorePipeliningTokensRaiseThroughput) {
+  sdf::GraphBuilder b("ring2");
+  const auto a = b.actor("a", 3);
+  const auto bb = b.actor("b", 4);
+  b.channel("ab", a, 1, bb, 1);
+  b.channel("ba", bb, 1, a, 1, /*initial_tokens=*/2);
+  const MaxThroughput mt = max_throughput(b.build());
+  // Two tokens let a and b overlap; each is then limited by its own
+  // execution time, so the period is max(3, 4) = 4.
+  EXPECT_EQ(mt.iteration_period, Rational(4));
+}
+
+TEST(MaxThroughput, AllBenchmarkModelsAreLive) {
+  for (const auto& m : models::table2_models()) {
+    const MaxThroughput mt = max_throughput(m.graph);
+    EXPECT_FALSE(mt.deadlock) << m.display_name;
+    EXPECT_GT(mt.actor_throughput(models::reported_actor(m.graph)),
+              Rational(0))
+        << m.display_name;
+  }
+}
+
+// Property: the MCM-based maximum equals the state-space throughput under
+// unbounded buffers on strongly connected random graphs.
+class MaxThroughputVsStateSpace : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MaxThroughputVsStateSpace, Agree) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 5,
+      .max_repetition = 3,
+      .extra_edge_fraction = 0.6,
+      .strongly_connected = true,
+      .seed = GetParam()});
+  const MaxThroughput mt = max_throughput(g);
+  ASSERT_FALSE(mt.deadlock);  // generator guarantees liveness
+  const sdf::ActorId target(0);
+  const auto run = state::compute_throughput(
+      g, state::Capacities::unbounded(g.num_channels()),
+      state::ThroughputOptions{.target = target, .max_steps = 5'000'000});
+  EXPECT_FALSE(run.deadlocked);
+  EXPECT_EQ(run.throughput, mt.actor_throughput(target))
+      << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MaxThroughputVsStateSpace,
+                         ::testing::Range<u64>(1, 41));
+
+}  // namespace
+}  // namespace buffy::analysis

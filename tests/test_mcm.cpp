@@ -1,0 +1,176 @@
+#include "analysis/mcm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/hsdf.hpp"
+#include "base/diagnostics.hpp"
+#include "base/rng.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+
+namespace buffy::analysis {
+namespace {
+
+RatioProblem simple_cycle(std::vector<i64> weights, std::vector<i64> tokens) {
+  RatioProblem p;
+  p.num_nodes = weights.size();
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    p.edges.push_back(RatioEdge{
+        .src = i,
+        .dst = (i + 1) % weights.size(),
+        .weight = weights[i],
+        .tokens = tokens[i],
+    });
+  }
+  return p;
+}
+
+TEST(Mcm, SingleCycleRatio) {
+  const auto r = max_cycle_ratio(simple_cycle({2, 3, 4}, {1, 0, 1}));
+  EXPECT_TRUE(r.has_cycle);
+  EXPECT_FALSE(r.deadlock);
+  EXPECT_EQ(r.ratio, Rational(9, 2));
+  EXPECT_EQ(r.critical_cycle.size(), 3u);
+}
+
+TEST(Mcm, SelfLoop) {
+  RatioProblem p;
+  p.num_nodes = 1;
+  p.edges.push_back(RatioEdge{.src = 0, .dst = 0, .weight = 5, .tokens = 2});
+  const auto r = max_cycle_ratio(p);
+  EXPECT_EQ(r.ratio, Rational(5, 2));
+}
+
+TEST(Mcm, PicksWorstOfTwoCycles) {
+  // Cycle A: ratio 3/1; cycle B: ratio 10/2 = 5 -> 5 wins.
+  RatioProblem p;
+  p.num_nodes = 3;
+  p.edges.push_back(RatioEdge{.src = 0, .dst = 0, .weight = 3, .tokens = 1});
+  p.edges.push_back(RatioEdge{.src = 1, .dst = 2, .weight = 6, .tokens = 1});
+  p.edges.push_back(RatioEdge{.src = 2, .dst = 1, .weight = 4, .tokens = 1});
+  const auto r = max_cycle_ratio(p);
+  EXPECT_EQ(r.ratio, Rational(5));
+}
+
+TEST(Mcm, AcyclicGraphHasNoCycle) {
+  RatioProblem p;
+  p.num_nodes = 3;
+  p.edges.push_back(RatioEdge{.src = 0, .dst = 1, .weight = 1, .tokens = 0});
+  p.edges.push_back(RatioEdge{.src = 1, .dst = 2, .weight = 1, .tokens = 1});
+  const auto r = max_cycle_ratio(p);
+  EXPECT_FALSE(r.has_cycle);
+  EXPECT_FALSE(r.deadlock);
+}
+
+TEST(Mcm, TokenFreeCycleIsDeadlock) {
+  const auto r = max_cycle_ratio(simple_cycle({1, 1}, {0, 0}));
+  EXPECT_TRUE(r.has_cycle);
+  EXPECT_TRUE(r.deadlock);
+}
+
+TEST(Mcm, ParallelEdgesKeepTightest) {
+  // Two parallel edges 0->1: (w=1, t=0) and (w=1, t=5); back edge (w=1, t=1).
+  // The tight parallel edge gives ratio 2/1.
+  RatioProblem p;
+  p.num_nodes = 2;
+  p.edges.push_back(RatioEdge{.src = 0, .dst = 1, .weight = 1, .tokens = 0});
+  p.edges.push_back(RatioEdge{.src = 0, .dst = 1, .weight = 1, .tokens = 5});
+  p.edges.push_back(RatioEdge{.src = 1, .dst = 0, .weight = 1, .tokens = 1});
+  const auto r = max_cycle_ratio(p);
+  EXPECT_EQ(r.ratio, Rational(2));
+}
+
+TEST(Mcm, BruteforceMatchesOnKnownProblems) {
+  for (const auto& p :
+       {simple_cycle({2, 3, 4}, {1, 0, 1}), simple_cycle({1, 1}, {1, 1}),
+        simple_cycle({7}, {3})}) {
+    const auto fast = max_cycle_ratio(p);
+    const auto slow = max_cycle_ratio_bruteforce(p);
+    EXPECT_EQ(fast.has_cycle, slow.has_cycle);
+    EXPECT_EQ(fast.deadlock, slow.deadlock);
+    if (fast.has_cycle && !fast.deadlock) EXPECT_EQ(fast.ratio, slow.ratio);
+  }
+}
+
+TEST(Mcm, RatioProblemFromHsdfRejectsMultirate) {
+  EXPECT_THROW((void)ratio_problem_from_hsdf(models::paper_example()),
+               GraphError);
+}
+
+TEST(Mcm, RatioProblemFromHsdfWeightsAreExecTimes) {
+  const HsdfResult h = to_hsdf(models::paper_example());
+  const RatioProblem p = ratio_problem_from_hsdf(h.graph);
+  EXPECT_EQ(p.num_nodes, 6u);
+  for (const RatioEdge& e : p.edges) {
+    EXPECT_EQ(e.weight,
+              h.graph.actor(sdf::ActorId(e.src)).execution_time);
+  }
+}
+
+TEST(Mcm, KarpOnKnownProblems) {
+  {
+    const auto r = max_cycle_ratio_karp(simple_cycle({2, 3, 4}, {1, 0, 1}));
+    EXPECT_TRUE(r.has_cycle);
+    EXPECT_EQ(r.ratio, Rational(9, 2));
+  }
+  {
+    const auto r = max_cycle_ratio_karp(simple_cycle({1, 1}, {0, 0}));
+    EXPECT_TRUE(r.deadlock);
+  }
+  {
+    RatioProblem p;
+    p.num_nodes = 3;
+    p.edges.push_back(RatioEdge{.src = 0, .dst = 1, .weight = 1, .tokens = 0});
+    p.edges.push_back(RatioEdge{.src = 1, .dst = 2, .weight = 1, .tokens = 1});
+    EXPECT_FALSE(max_cycle_ratio_karp(p).has_cycle);  // acyclic
+  }
+}
+
+TEST(Mcm, KarpMatchesOnModelHsdfs) {
+  for (const auto& m : models::table2_models()) {
+    if (std::string(m.display_name) == "H.263 decoder") continue;  // size
+    const HsdfResult h = to_hsdf(m.graph);
+    const RatioProblem p = ratio_problem_from_hsdf(h.graph);
+    const auto iterative = max_cycle_ratio(p);
+    const auto karp = max_cycle_ratio_karp(p);
+    ASSERT_EQ(iterative.deadlock, karp.deadlock) << m.display_name;
+    if (!iterative.deadlock) {
+      EXPECT_EQ(iterative.ratio, karp.ratio) << m.display_name;
+    }
+  }
+}
+
+// Property: all three implementations agree on random dense problems.
+class McmAgainstBruteforce : public ::testing::TestWithParam<u64> {};
+
+TEST_P(McmAgainstBruteforce, Agree) {
+  Rng rng(GetParam());
+  RatioProblem p;
+  p.num_nodes = static_cast<std::size_t>(rng.uniform(2, 7));
+  const i64 edges = rng.uniform(static_cast<i64>(p.num_nodes), 14);
+  for (i64 e = 0; e < edges; ++e) {
+    p.edges.push_back(RatioEdge{
+        .src = rng.index(p.num_nodes),
+        .dst = rng.index(p.num_nodes),
+        .weight = rng.uniform(1, 9),
+        .tokens = rng.uniform(0, 3),
+    });
+  }
+  const auto fast = max_cycle_ratio(p);
+  const auto slow = max_cycle_ratio_bruteforce(p);
+  const auto karp = max_cycle_ratio_karp(p);
+  ASSERT_EQ(fast.has_cycle, slow.has_cycle);
+  ASSERT_EQ(fast.deadlock, slow.deadlock);
+  ASSERT_EQ(karp.has_cycle, slow.has_cycle);
+  ASSERT_EQ(karp.deadlock, slow.deadlock);
+  if (fast.has_cycle && !fast.deadlock) {
+    EXPECT_EQ(fast.ratio, slow.ratio) << "seed " << GetParam();
+    EXPECT_EQ(karp.ratio, slow.ratio) << "seed " << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, McmAgainstBruteforce,
+                         ::testing::Range<u64>(1, 65));
+
+}  // namespace
+}  // namespace buffy::analysis

@@ -1,0 +1,141 @@
+#include "models/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/consistency.hpp"
+#include "analysis/max_throughput.hpp"
+#include "analysis/repetition_vector.hpp"
+#include "sdf/queries.hpp"
+#include "sdf/validate.hpp"
+
+namespace buffy::models {
+namespace {
+
+TEST(Models, Table2StructuralSizes) {
+  // The actor/channel counts of the paper's Table 2 benchmark set.
+  struct Expected {
+    const char* name;
+    std::size_t actors;
+    std::size_t channels;
+  };
+  const Expected expected[] = {
+      {"example", 3, 2},       {"sample-rate", 6, 5}, {"modem", 16, 19},
+      {"satellite", 22, 26},   {"H.263 decoder", 4, 3},
+  };
+  const auto models = table2_models();
+  ASSERT_EQ(models.size(), std::size(expected));
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    EXPECT_STREQ(models[i].display_name, expected[i].name);
+    EXPECT_EQ(models[i].graph.num_actors(), expected[i].actors)
+        << expected[i].name;
+    EXPECT_EQ(models[i].graph.num_channels(), expected[i].channels)
+        << expected[i].name;
+  }
+}
+
+TEST(Models, AllValidConsistentConnectedAndLive) {
+  for (const auto& m : table2_models()) {
+    EXPECT_NO_THROW(sdf::validate(m.graph)) << m.display_name;
+    EXPECT_TRUE(analysis::is_consistent(m.graph)) << m.display_name;
+    EXPECT_TRUE(sdf::is_weakly_connected(m.graph)) << m.display_name;
+    EXPECT_FALSE(analysis::max_throughput(m.graph).deadlock)
+        << m.display_name;
+  }
+}
+
+TEST(Models, PaperExampleRatesAndTimes) {
+  const sdf::Graph g = paper_example();
+  const sdf::Channel& alpha = g.channel(*g.find_channel("alpha"));
+  EXPECT_EQ(alpha.production, 2);
+  EXPECT_EQ(alpha.consumption, 3);
+  const sdf::Channel& beta = g.channel(*g.find_channel("beta"));
+  EXPECT_EQ(beta.production, 1);
+  EXPECT_EQ(beta.consumption, 2);
+  EXPECT_EQ(g.actor(*g.find_actor("a")).execution_time, 1);
+  EXPECT_EQ(g.actor(*g.find_actor("b")).execution_time, 2);
+  EXPECT_EQ(g.actor(*g.find_actor("c")).execution_time, 2);
+}
+
+TEST(Models, Fig6DiamondIsSymmetric) {
+  const sdf::Graph g = fig6_diamond();
+  EXPECT_EQ(g.num_actors(), 4u);
+  EXPECT_EQ(g.num_channels(), 4u);
+  const auto q = analysis::repetition_vector(g);
+  for (const i64 count : q.counts()) EXPECT_EQ(count, 1);
+}
+
+TEST(Models, ModemHasThreeFeedbackLoops) {
+  const sdf::Graph g = modem();
+  EXPECT_TRUE(sdf::has_directed_cycle(g));
+  i64 token_channels = 0;
+  for (const sdf::ChannelId c : g.channel_ids()) {
+    if (g.channel(c).initial_tokens > 0) ++token_channels;
+  }
+  EXPECT_EQ(token_channels, 4);  // eq, sync, agc, timing loops
+}
+
+TEST(Models, SatelliteBranchesAreBalanced) {
+  const sdf::Graph g = satellite_receiver();
+  const auto q = analysis::repetition_vector(g);
+  // The two branches are symmetric: same firing counts per stage.
+  EXPECT_EQ(q[*g.find_actor("a_filt1")], q[*g.find_actor("q_filt1")]);
+  EXPECT_EQ(q[*g.find_actor("a_det")], q[*g.find_actor("q_det")]);
+  // Decimation 4:1 then 2:1: filters fire 8x per detector firing.
+  EXPECT_EQ(q[*g.find_actor("a_filt1")], 8 * q[*g.find_actor("a_det")]);
+}
+
+TEST(Models, H263RatesMatchQcifBlocks) {
+  const sdf::Graph g = h263_decoder();
+  const sdf::Channel& d1 = g.channel(*g.find_channel("d1"));
+  EXPECT_EQ(d1.production, 594);  // QCIF: 99 macroblocks x 6 blocks
+  EXPECT_EQ(d1.consumption, 1);
+  const auto mt = analysis::max_throughput(g);
+  // One frame per vld+mc critical path at best; throughput is tiny but
+  // positive.
+  EXPECT_GT(mt.actor_throughput(*g.find_actor("mc")), Rational(0));
+  EXPECT_LT(mt.actor_throughput(*g.find_actor("mc")), Rational(1, 100000));
+}
+
+TEST(Models, ExtendedSetStructure) {
+  const auto extended = extended_models();
+  ASSERT_EQ(extended.size(), 2u);
+  EXPECT_EQ(extended[0].graph.num_actors(), 15u);   // MP3
+  EXPECT_EQ(extended[0].graph.num_channels(), 16u);
+  EXPECT_EQ(extended[1].graph.num_actors(), 5u);    // MPEG-4 SP
+  EXPECT_EQ(extended[1].graph.num_channels(), 6u);
+  for (const auto& m : extended) {
+    EXPECT_NO_THROW(sdf::validate(m.graph)) << m.display_name;
+    EXPECT_TRUE(analysis::is_consistent(m.graph)) << m.display_name;
+    EXPECT_TRUE(sdf::is_weakly_connected(m.graph)) << m.display_name;
+    EXPECT_FALSE(analysis::max_throughput(m.graph).deadlock)
+        << m.display_name;
+  }
+}
+
+TEST(Models, Mpeg4RepetitionVector) {
+  const sdf::Graph g = mpeg4_sp_decoder();
+  const auto q = analysis::repetition_vector(g);
+  EXPECT_EQ(q[*g.find_actor("fd")], 1);
+  EXPECT_EQ(q[*g.find_actor("vld")], 99);
+  EXPECT_EQ(q[*g.find_actor("idct")], 99);
+  EXPECT_EQ(q[*g.find_actor("rc")], 1);
+  EXPECT_EQ(q[*g.find_actor("mc")], 1);
+  EXPECT_EQ(reported_actor(g), g.find_actor("rc"));
+}
+
+TEST(Models, Mp3ChainsAreBalanced) {
+  const sdf::Graph g = mp3_decoder();
+  const auto q = analysis::repetition_vector(g);
+  for (const i64 count : q.counts()) EXPECT_EQ(count, 1);  // single-rate
+  EXPECT_EQ(reported_actor(g), g.find_actor("out"));
+}
+
+TEST(Models, ReportedActorIsTheSink) {
+  EXPECT_EQ(reported_actor(paper_example()),
+            paper_example().find_actor("c"));
+  EXPECT_EQ(reported_actor(modem()), modem().find_actor("out"));
+  EXPECT_EQ(reported_actor(h263_decoder()), h263_decoder().find_actor("mc"));
+}
+
+}  // namespace
+}  // namespace buffy::models

@@ -1,0 +1,138 @@
+#include "buffer/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::buffer {
+namespace {
+
+ParetoPoint point(std::vector<i64> caps, Rational tput) {
+  return ParetoPoint{StorageDistribution(std::move(caps)), tput};
+}
+
+TEST(StorageDistribution, SizeAndAccess) {
+  const StorageDistribution d({4, 2});
+  EXPECT_EQ(d.size(), 6);
+  EXPECT_EQ(d[std::size_t{0}], 4);
+  EXPECT_EQ(d[sdf::ChannelId(1)], 2);
+  EXPECT_EQ(d.num_channels(), 2u);
+}
+
+TEST(StorageDistribution, PaperNotation) {
+  EXPECT_EQ(StorageDistribution({4, 2}).str(), "<4, 2>");
+  EXPECT_EQ(StorageDistribution({1, 2, 3, 3}).str(), "<1, 2, 3, 3>");
+}
+
+TEST(StorageDistribution, WithReplacesOneChannel) {
+  const StorageDistribution d({4, 2});
+  const StorageDistribution e = d.with(0, 6);
+  EXPECT_EQ(e.capacities(), (std::vector<i64>{6, 2}));
+  EXPECT_EQ(d.capacities(), (std::vector<i64>{4, 2}));  // original untouched
+}
+
+TEST(StorageDistribution, NegativeCapacityRejected) {
+  EXPECT_THROW(StorageDistribution({-1}), Error);
+}
+
+TEST(StorageDistribution, HashDiffersAcrossDistributions) {
+  EXPECT_NE(StorageDistribution({4, 2}).hash(),
+            StorageDistribution({2, 4}).hash());
+}
+
+TEST(ParetoSet, KeepsStrictStaircase) {
+  ParetoSet set;
+  set.add(point({4, 2}, Rational(1, 7)));
+  set.add(point({6, 2}, Rational(1, 6)));
+  set.add(point({7, 3}, Rational(1, 4)));
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.points()[0].size(), 6);
+  EXPECT_EQ(set.points()[2].throughput, Rational(1, 4));
+}
+
+TEST(ParetoSet, DropsDominatedCandidates) {
+  ParetoSet set;
+  set.add(point({4, 2}, Rational(1, 7)));
+  set.add(point({5, 2}, Rational(1, 7)));  // larger, same throughput
+  EXPECT_EQ(set.size(), 1u);
+  set.add(point({4, 3}, Rational(1, 8)));  // larger, worse throughput
+  EXPECT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.points()[0].distribution.str(), "<4, 2>");
+}
+
+TEST(ParetoSet, EvictsNewlyDominatedPoints) {
+  ParetoSet set;
+  set.add(point({5, 3}, Rational(1, 6)));
+  set.add(point({7, 3}, Rational(1, 5)));
+  // A point of size 6 with throughput 1/4 dominates both.
+  set.add(point({4, 2}, Rational(1, 4)));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.points()[0].size(), 6);
+}
+
+TEST(ParetoSet, SameSizeBetterThroughputReplaces) {
+  ParetoSet set;
+  set.add(point({4, 2}, Rational(1, 7)));
+  set.add(point({3, 3}, Rational(1, 6)));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.points()[0].throughput, Rational(1, 6));
+}
+
+TEST(ParetoSet, EqualSizeAndThroughputKeepsFirst) {
+  // Minimal distributions are not unique (paper Sec. 8 / Fig. 6).
+  ParetoSet set;
+  set.add(point({1, 2, 3, 3}, Rational(1, 2)));
+  set.add(point({2, 1, 3, 3}, Rational(1, 2)));
+  ASSERT_EQ(set.size(), 1u);
+  EXPECT_EQ(set.points()[0].distribution.str(), "<1, 2, 3, 3>");
+}
+
+TEST(ParetoSet, ZeroThroughputNeverEnters) {
+  ParetoSet set;
+  set.add(point({1, 1}, Rational(0)));
+  EXPECT_TRUE(set.empty());
+}
+
+TEST(ParetoSet, InsertOutOfOrder) {
+  ParetoSet set;
+  set.add(point({7, 3}, Rational(1, 4)));
+  set.add(point({4, 2}, Rational(1, 7)));
+  set.add(point({6, 2}, Rational(1, 6)));
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_EQ(set.points()[0].size(), 6);
+  EXPECT_EQ(set.points()[1].size(), 8);
+  EXPECT_EQ(set.points()[2].size(), 10);
+}
+
+TEST(ParetoSet, SmallestForThroughput) {
+  ParetoSet set;
+  set.add(point({4, 2}, Rational(1, 7)));
+  set.add(point({6, 2}, Rational(1, 6)));
+  set.add(point({7, 3}, Rational(1, 4)));
+  const ParetoPoint* p = set.smallest_for_throughput(Rational(1, 6));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->size(), 8);
+  EXPECT_EQ(set.smallest_for_throughput(Rational(1, 2)), nullptr);
+  EXPECT_EQ(set.smallest_for_throughput(Rational(1, 100))->size(), 6);
+}
+
+TEST(ParetoSet, BestWithinSize) {
+  ParetoSet set;
+  set.add(point({4, 2}, Rational(1, 7)));
+  set.add(point({6, 2}, Rational(1, 6)));
+  set.add(point({7, 3}, Rational(1, 4)));
+  EXPECT_EQ(set.best_within_size(9)->throughput, Rational(1, 6));
+  EXPECT_EQ(set.best_within_size(100)->throughput, Rational(1, 4));
+  EXPECT_EQ(set.best_within_size(5), nullptr);
+}
+
+TEST(ParetoSet, StrRendersRows) {
+  ParetoSet set;
+  set.add(point({4, 2}, Rational(1, 7)));
+  const std::string s = set.str();
+  EXPECT_NE(s.find("<4, 2>"), std::string::npos);
+  EXPECT_NE(s.find("1/7"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace buffy::buffer

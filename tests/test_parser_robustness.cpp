@@ -1,0 +1,118 @@
+// Robustness sweeps for the parsers: mutated and truncated documents must
+// either parse or raise buffy exceptions — never crash, hang or corrupt
+// state. (The paper's tool reads untrusted XML graph files; Sec. 10.)
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "base/diagnostics.hpp"
+#include "base/rng.hpp"
+#include "io/csdf_io.hpp"
+#include "io/dsl.hpp"
+#include "io/sdf_xml.hpp"
+#include "io/xml.hpp"
+#include "models/models.hpp"
+
+namespace buffy::io {
+namespace {
+
+const std::string& valid_xml() {
+  static const std::string text = write_sdf_xml(models::modem());
+  return text;
+}
+
+const std::string& valid_dsl() {
+  static const std::string text = write_dsl(models::satellite_receiver());
+  return text;
+}
+
+// Every parser call below must either succeed or throw a buffy Error;
+// anything else (std::bad_alloc aside) fails the test.
+template <typename Fn>
+void expect_contained(Fn&& parse, const std::string& input) {
+  try {
+    parse(input);
+  } catch (const Error&) {
+    // fine: diagnosed rejection
+  } catch (const std::exception& e) {
+    FAIL() << "non-buffy exception: " << e.what();
+  }
+}
+
+class MutationSweep : public ::testing::TestWithParam<u64> {};
+
+TEST_P(MutationSweep, XmlByteMutations) {
+  Rng rng(GetParam());
+  std::string text = valid_xml();
+  for (int i = 0; i < 8; ++i) {
+    const std::size_t pos = rng.index(text.size());
+    text[pos] = static_cast<char>(rng.uniform(1, 126));
+  }
+  expect_contained([](const std::string& t) { (void)read_sdf_xml(t); }, text);
+}
+
+TEST_P(MutationSweep, XmlTruncations) {
+  Rng rng(GetParam());
+  const std::string& full = valid_xml();
+  const std::string text = full.substr(0, rng.index(full.size()));
+  expect_contained([](const std::string& t) { (void)read_sdf_xml(t); }, text);
+}
+
+TEST_P(MutationSweep, XmlSplices) {
+  Rng rng(GetParam());
+  const std::string& full = valid_xml();
+  // Duplicate a random slice in place: attribute/tag soup.
+  const std::size_t a = rng.index(full.size());
+  const std::size_t b = a + rng.index(full.size() - a);
+  const std::string text = full.substr(0, b) + full.substr(a);
+  expect_contained([](const std::string& t) { (void)read_sdf_xml(t); }, text);
+}
+
+TEST_P(MutationSweep, DslMutations) {
+  Rng rng(GetParam());
+  std::string text = valid_dsl();
+  for (int i = 0; i < 6; ++i) {
+    const std::size_t pos = rng.index(text.size());
+    text[pos] = static_cast<char>(rng.uniform(1, 126));
+  }
+  expect_contained([](const std::string& t) { (void)read_dsl(t); }, text);
+}
+
+TEST_P(MutationSweep, CsdfDslMutations) {
+  Rng rng(GetParam());
+  std::string text =
+      "graph g\nactor a 1,2\nactor b 2\nchannel ab a 1,0 b 1 tokens 3\n";
+  for (int i = 0; i < 4; ++i) {
+    const std::size_t pos = rng.index(text.size());
+    text[pos] = static_cast<char>(rng.uniform(1, 126));
+  }
+  expect_contained([](const std::string& t) { (void)read_csdf_dsl(t); },
+                   text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationSweep, ::testing::Range<u64>(1, 41));
+
+TEST(ParserRobustness, PathologicalXmlInputs) {
+  for (const char* input : {
+           "", "   ", "<", "<>", "< a/>", "<a b=/>", "<a 'x'/>",
+           "<a><a><a></a></a>", "&amp;", "<a>&#0;</a>", "<a>&#xqq;</a>",
+           "<!DOCTYPE", "<?xml", "<![CDATA[", "<a/><!--",
+       }) {
+    EXPECT_THROW((void)parse_xml(input), ParseError) << '"' << input << '"';
+  }
+}
+
+TEST(ParserRobustness, DeepNestingRejectedNotOverflowed) {
+  std::string text;
+  for (int i = 0; i < 500; ++i) text += "<a>";
+  EXPECT_THROW((void)parse_xml(text), ParseError);
+}
+
+TEST(ParserRobustness, HugeRateValuesDiagnosed) {
+  EXPECT_THROW((void)read_dsl("graph g\nactor a 1\nactor b 1\n"
+                              "channel c a 999999999999999999999 b 1\n"),
+               ParseError);
+}
+
+}  // namespace
+}  // namespace buffy::io

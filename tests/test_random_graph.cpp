@@ -1,0 +1,85 @@
+#include "gen/random_graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/consistency.hpp"
+#include "analysis/max_throughput.hpp"
+#include "base/diagnostics.hpp"
+#include "io/dsl.hpp"
+#include "sdf/queries.hpp"
+#include "sdf/validate.hpp"
+
+namespace buffy::gen {
+namespace {
+
+TEST(RandomGraph, DeterministicPerSeed) {
+  const RandomGraphOptions opts{.num_actors = 6, .seed = 99};
+  const sdf::Graph a = random_graph(opts);
+  const sdf::Graph b = random_graph(opts);
+  EXPECT_EQ(io::write_dsl(a), io::write_dsl(b));
+}
+
+TEST(RandomGraph, DifferentSeedsDiffer) {
+  RandomGraphOptions opts{.num_actors = 6};
+  opts.seed = 1;
+  const std::string a = io::write_dsl(random_graph(opts));
+  opts.seed = 2;
+  const std::string b = io::write_dsl(random_graph(opts));
+  EXPECT_NE(a, b);
+}
+
+TEST(RandomGraph, SingleActorWorks) {
+  const sdf::Graph g = random_graph(RandomGraphOptions{.num_actors = 1});
+  EXPECT_EQ(g.num_actors(), 1u);
+  EXPECT_TRUE(analysis::is_consistent(g));
+}
+
+TEST(RandomGraph, RejectsZeroActors) {
+  EXPECT_THROW((void)random_graph(RandomGraphOptions{.num_actors = 0}), Error);
+}
+
+TEST(RandomGraph, AcyclicOptionProducesAcyclicGraphs) {
+  for (u64 seed = 1; seed <= 10; ++seed) {
+    RandomGraphOptions opts{.num_actors = 7, .seed = seed};
+    opts.allow_cycles = false;
+    opts.extra_edge_fraction = 1.5;
+    const sdf::Graph g = random_graph(opts);
+    EXPECT_FALSE(sdf::has_directed_cycle(g)) << "seed " << seed;
+  }
+}
+
+TEST(RandomGraph, StronglyConnectedOptionAllowsUnboundedExecution) {
+  for (u64 seed = 1; seed <= 5; ++seed) {
+    RandomGraphOptions opts{.num_actors = 5, .seed = seed};
+    opts.strongly_connected = true;
+    const sdf::Graph g = random_graph(opts);
+    // Every actor reaches every other: the ring backbone guarantees it.
+    for (const sdf::ActorId a : g.actor_ids()) {
+      EXPECT_FALSE(g.out_channels(a).empty());
+      EXPECT_FALSE(g.in_channels(a).empty());
+    }
+  }
+}
+
+// Properties over many seeds: structural validity, consistency,
+// connectivity and liveness.
+class RandomGraphProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RandomGraphProperty, AlwaysValidConsistentConnectedLive) {
+  const sdf::Graph g = random_graph(RandomGraphOptions{
+      .num_actors = 7,
+      .max_repetition = 5,
+      .extra_edge_fraction = 0.8,
+      .seed = GetParam()});
+  EXPECT_NO_THROW(sdf::validate(g));
+  EXPECT_TRUE(analysis::is_consistent(g));
+  EXPECT_TRUE(sdf::is_weakly_connected(g));
+  // The token rule on cycle-closing edges guarantees deadlock-freedom.
+  EXPECT_FALSE(analysis::max_throughput(g).deadlock) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Range<u64>(1, 65));
+
+}  // namespace
+}  // namespace buffy::gen

@@ -1,0 +1,136 @@
+#include "base/rational.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+}
+
+TEST(Rational, NormalisesOnConstruction) {
+  const Rational r(4, 6);
+  EXPECT_EQ(r.num(), 2);
+  EXPECT_EQ(r.den(), 3);
+}
+
+TEST(Rational, NormalisesNegativeDenominator) {
+  const Rational r(1, -7);
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 7);
+}
+
+TEST(Rational, ZeroAlwaysCanonical) {
+  EXPECT_EQ(Rational(0, 42), Rational(0));
+  EXPECT_EQ(Rational(0, -3).den(), 1);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW((void)Rational(1, 0), Error);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 7) + Rational(1, 7), Rational(2, 7));
+  EXPECT_EQ(Rational(1, 6) - Rational(1, 7), Rational(1, 42));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 4), Rational(-1, 4));
+}
+
+TEST(Rational, DivisionByZeroThrows) {
+  EXPECT_THROW((void)(Rational(1) / Rational(0)), Error);
+  EXPECT_THROW((void)Rational(0).reciprocal(), Error);
+}
+
+TEST(Rational, ExactComparisonsCloseValues) {
+  // 1/3 vs 333333333/1000000000: a double comparison would need care;
+  // exact rationals must order them correctly.
+  EXPECT_GT(Rational(1, 3), Rational(333333333, 1000000000));
+  EXPECT_LT(Rational(1, 3), Rational(333333334, 1000000000));
+  EXPECT_EQ(Rational(2, 6), Rational(1, 3));
+}
+
+TEST(Rational, OrderingOperators) {
+  EXPECT_LT(Rational(1, 7), Rational(1, 6));
+  EXPECT_LE(Rational(1, 7), Rational(1, 7));
+  EXPECT_GE(Rational(1, 4), Rational(1, 7));
+  EXPECT_NE(Rational(1, 4), Rational(1, 7));
+}
+
+TEST(Rational, CrossReductionAvoidsOverflow) {
+  // (2^40 / 3) * (3 / 2^40) must not overflow despite large intermediates.
+  const i64 big = i64{1} << 40;
+  EXPECT_EQ(Rational(big, 3) * Rational(3, big), Rational(1));
+}
+
+TEST(Rational, AdditionReducesBeforeCrossMultiplying) {
+  const i64 big = i64{1} << 40;
+  EXPECT_EQ(Rational(1, big) + Rational(1, big), Rational(2, big));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 4).to_double(), 0.25);
+  EXPECT_DOUBLE_EQ(Rational(-3, 2).to_double(), -1.5);
+}
+
+TEST(Rational, StreamAndStr) {
+  std::ostringstream os;
+  os << Rational(3, 9);
+  EXPECT_EQ(os.str(), "1/3");
+  EXPECT_EQ(Rational(8, 4).str(), "2");
+  EXPECT_EQ(Rational(0).str(), "0");
+}
+
+TEST(Rational, ParseInteger) { EXPECT_EQ(parse_rational("42"), Rational(42)); }
+
+TEST(Rational, ParseFraction) {
+  EXPECT_EQ(parse_rational("2/8"), Rational(1, 4));
+  EXPECT_EQ(parse_rational(" 1/7 "), Rational(1, 7));
+}
+
+TEST(Rational, ParseDecimal) {
+  EXPECT_EQ(parse_rational("0.25"), Rational(1, 4));
+  EXPECT_EQ(parse_rational("-1.5"), Rational(-3, 2));
+  EXPECT_EQ(parse_rational("10.125"), Rational(81, 8));
+}
+
+TEST(Rational, ParseMalformedThrows) {
+  EXPECT_THROW((void)parse_rational(""), Error);
+  EXPECT_THROW((void)parse_rational("abc"), Error);
+  EXPECT_THROW((void)parse_rational("1/"), Error);
+  EXPECT_THROW((void)parse_rational("1."), Error);
+}
+
+// Field axioms on a small grid of values.
+class RationalAlgebra : public ::testing::TestWithParam<std::pair<int, int>> {
+};
+
+TEST_P(RationalAlgebra, CommutativeAndAssociative) {
+  const auto [n, d] = GetParam();
+  const Rational a(n, d);
+  const Rational b(3, 5);
+  const Rational c(-2, 7);
+  EXPECT_EQ(a + b, b + a);
+  EXPECT_EQ(a * b, b * a);
+  EXPECT_EQ((a + b) + c, a + (b + c));
+  EXPECT_EQ((a * b) * c, a * (b * c));
+  EXPECT_EQ(a * (b + c), a * b + a * c);
+  EXPECT_EQ(a - a, Rational(0));
+  if (!a.is_zero()) EXPECT_EQ(a / a, Rational(1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RationalAlgebra,
+    ::testing::Values(std::pair{1, 2}, std::pair{-4, 6}, std::pair{7, 3},
+                      std::pair{0, 9}, std::pair{5, 5}, std::pair{-11, 13}));
+
+}  // namespace
+}  // namespace buffy

@@ -1,0 +1,147 @@
+#include "analysis/repetition_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/consistency.hpp"
+#include "base/diagnostics.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+
+namespace buffy::analysis {
+namespace {
+
+TEST(RepetitionVector, PaperExample) {
+  const sdf::Graph g = models::paper_example();
+  const RepetitionVector q = repetition_vector(g);
+  EXPECT_EQ(q[*g.find_actor("a")], 3);
+  EXPECT_EQ(q[*g.find_actor("b")], 2);
+  EXPECT_EQ(q[*g.find_actor("c")], 1);
+  EXPECT_EQ(q.sum(), 6);
+}
+
+TEST(RepetitionVector, SampleRateConverter) {
+  const sdf::Graph g = models::samplerate_converter();
+  const RepetitionVector q = repetition_vector(g);
+  // The classic CD->DAT repetition vector (147,147,98,28,32,160).
+  EXPECT_EQ(q[*g.find_actor("cd")], 147);
+  EXPECT_EQ(q[*g.find_actor("fir1")], 147);
+  EXPECT_EQ(q[*g.find_actor("up23")], 98);
+  EXPECT_EQ(q[*g.find_actor("up27")], 28);
+  EXPECT_EQ(q[*g.find_actor("fir2")], 32);
+  EXPECT_EQ(q[*g.find_actor("dat")], 160);
+}
+
+TEST(RepetitionVector, H263Decoder) {
+  const sdf::Graph g = models::h263_decoder();
+  const RepetitionVector q = repetition_vector(g);
+  EXPECT_EQ(q[*g.find_actor("vld")], 1);
+  EXPECT_EQ(q[*g.find_actor("iq")], 594);
+  EXPECT_EQ(q[*g.find_actor("idct")], 594);
+  EXPECT_EQ(q[*g.find_actor("mc")], 1);
+}
+
+TEST(RepetitionVector, SingleActor) {
+  sdf::GraphBuilder b("one");
+  b.actor("a", 1);
+  const sdf::Graph g = b.build();
+  EXPECT_EQ(repetition_vector(g).sum(), 1);
+}
+
+TEST(RepetitionVector, MinimalityAfterScaling) {
+  // Rates 2:4 reduce to firing ratio 2:1 — not 4:2.
+  sdf::GraphBuilder b("scaled");
+  const auto a = b.actor("a", 1);
+  const auto c = b.actor("b", 1);
+  b.channel("ch", a, 2, c, 4);
+  const RepetitionVector q = repetition_vector(b.build());
+  EXPECT_EQ(q.counts(), (std::vector<i64>{2, 1}));
+}
+
+TEST(RepetitionVector, DisconnectedComponentsScaledIndependently) {
+  sdf::Graph g("two");
+  const auto a = g.add_actor(sdf::Actor{.name = "a"});
+  const auto b = g.add_actor(sdf::Actor{.name = "b"});
+  g.add_actor(sdf::Actor{.name = "lonely"});
+  g.add_channel(sdf::Channel{
+      .name = "c", .src = a, .dst = b, .production = 3, .consumption = 2});
+  const RepetitionVector q = repetition_vector(g);
+  EXPECT_EQ(q.counts(), (std::vector<i64>{2, 3, 1}));
+}
+
+TEST(RepetitionVector, InconsistentGraphThrows) {
+  // a fires twice per b via one channel but once per b via another.
+  sdf::GraphBuilder b("bad");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 1);
+  b.channel("c1", a, 1, bb, 2);
+  b.channel("c2", a, 1, bb, 1);
+  EXPECT_THROW((void)repetition_vector(b.build()), ConsistencyError);
+}
+
+TEST(RepetitionVector, InconsistentCycleThrows) {
+  sdf::GraphBuilder b("badcycle");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 1);
+  const auto c = b.actor("c", 1);
+  b.channel("c1", a, 2, bb, 1);
+  b.channel("c2", bb, 2, c, 1);
+  b.channel("c3", c, 2, a, 1, 8);
+  EXPECT_THROW((void)repetition_vector(b.build()), ConsistencyError);
+}
+
+TEST(RepetitionVector, TokensPerIterationBalanced) {
+  const sdf::Graph g = models::samplerate_converter();
+  const RepetitionVector q = repetition_vector(g);
+  for (const sdf::ChannelId c : g.channel_ids()) {
+    const sdf::Channel& ch = g.channel(c);
+    EXPECT_EQ(q.tokens_per_iteration(g, c),
+              checked_mul(ch.consumption, q[ch.dst]))
+        << ch.name;
+  }
+}
+
+TEST(Consistency, Helpers) {
+  EXPECT_TRUE(is_consistent(models::modem()));
+  EXPECT_EQ(explain_inconsistency(models::modem()), "");
+  EXPECT_NO_THROW(require_consistent(models::satellite_receiver()));
+
+  sdf::GraphBuilder b("bad");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 1);
+  b.channel("c1", a, 1, bb, 2);
+  b.channel("c2", a, 1, bb, 1);
+  const sdf::Graph g = b.build();
+  EXPECT_FALSE(is_consistent(g));
+  EXPECT_THROW(require_consistent(g), ConsistencyError);
+  const std::string why = explain_inconsistency(g);
+  EXPECT_NE(why.find("inconsistent"), std::string::npos);
+}
+
+// Property: on randomly generated graphs, the repetition vector satisfies
+// every balance equation and is minimal (entry gcd is 1).
+class RepetitionVectorProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(RepetitionVectorProperty, BalanceAndMinimality) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 8, .max_repetition = 6, .seed = GetParam()});
+  const RepetitionVector q = repetition_vector(g);
+  i64 common = 0;
+  for (const i64 count : q.counts()) {
+    EXPECT_GT(count, 0);
+    common = gcd(common, count);
+  }
+  EXPECT_EQ(common, 1);
+  for (const sdf::ChannelId c : g.channel_ids()) {
+    const sdf::Channel& ch = g.channel(c);
+    EXPECT_EQ(checked_mul(ch.production, q[ch.src]),
+              checked_mul(ch.consumption, q[ch.dst]))
+        << "channel " << ch.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RepetitionVectorProperty,
+                         ::testing::Range<u64>(1, 33));
+
+}  // namespace
+}  // namespace buffy::analysis

@@ -1,0 +1,101 @@
+#include "analysis/scc.hpp"
+
+#include <gtest/gtest.h>
+
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+
+namespace buffy::analysis {
+namespace {
+
+TEST(Scc, ChainIsAllSingletons) {
+  const sdf::Graph g = models::paper_example();
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_EQ(r.count(), 3u);
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, EmptyGraph) {
+  const sdf::Graph g("empty");
+  EXPECT_EQ(strongly_connected_components(g).count(), 0u);
+  EXPECT_TRUE(is_strongly_connected(g));
+}
+
+TEST(Scc, SelfLoopIsItsOwnComponent) {
+  sdf::GraphBuilder b("self");
+  const auto a = b.actor("a", 1);
+  b.channel("s", a, 1, a, 1, 1);
+  EXPECT_TRUE(is_strongly_connected(b.build()));
+}
+
+TEST(Scc, TwoActorCycle) {
+  sdf::GraphBuilder b("ring");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 1);
+  b.channel("ab", a, 1, bb, 1);
+  b.channel("ba", bb, 1, a, 1, 1);
+  EXPECT_TRUE(is_strongly_connected(b.build()));
+}
+
+TEST(Scc, ModemComponents) {
+  // The modem has three local loops (eq/eqfb, decoder/sync,
+  // clockrec/slicer is part of a longer path, AGC closes a long cycle);
+  // actors outside every loop are singletons.
+  const sdf::Graph g = models::modem();
+  const SccResult r = strongly_connected_components(g);
+  EXPECT_GT(r.count(), 1u);
+  EXPECT_LT(r.count(), g.num_actors());
+  // eq and eqfb share a component.
+  EXPECT_EQ(r.component[g.find_actor("eq")->index()],
+            r.component[g.find_actor("eqfb")->index()]);
+  // in and out do not.
+  EXPECT_NE(r.component[g.find_actor("in")->index()],
+            r.component[g.find_actor("out")->index()]);
+}
+
+TEST(Scc, ComponentsAreInReverseTopologicalOrder) {
+  const sdf::Graph g = models::paper_example();  // a -> b -> c
+  const SccResult r = strongly_connected_components(g);
+  const auto comp = [&](const char* name) {
+    return r.component[g.find_actor(name)->index()];
+  };
+  // Edge u -> v across components implies component(u) >= component(v).
+  EXPECT_GE(comp("a"), comp("b"));
+  EXPECT_GE(comp("b"), comp("c"));
+}
+
+TEST(Scc, MembersPartitionTheActors) {
+  const sdf::Graph g = models::satellite_receiver();
+  const SccResult r = strongly_connected_components(g);
+  std::size_t total = 0;
+  for (const auto& members : r.members) {
+    total += members.size();
+    for (const sdf::ActorId a : members) {
+      EXPECT_EQ(r.component[a.index()],
+                r.component[members.front().index()]);
+    }
+  }
+  EXPECT_EQ(total, g.num_actors());
+}
+
+TEST(Scc, GeneratorStronglyConnectedOptionVerified) {
+  for (u64 seed = 1; seed <= 12; ++seed) {
+    const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+        .num_actors = 6, .strongly_connected = true, .seed = seed});
+    EXPECT_TRUE(is_strongly_connected(g)) << "seed " << seed;
+  }
+}
+
+TEST(Scc, AcyclicGraphsAreAllSingletons) {
+  for (u64 seed = 1; seed <= 12; ++seed) {
+    gen::RandomGraphOptions opts{.num_actors = 6, .seed = seed};
+    opts.allow_cycles = false;
+    const sdf::Graph g = gen::random_graph(opts);
+    EXPECT_EQ(strongly_connected_components(g).count(), g.num_actors())
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace buffy::analysis

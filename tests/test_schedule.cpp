@@ -1,0 +1,192 @@
+#include "sched/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sched/extract.hpp"
+#include "sched/render.hpp"
+#include "sched/validate_schedule.hpp"
+#include "sdf/builder.hpp"
+
+namespace buffy::sched {
+namespace {
+
+ExtractedSchedule example_schedule() {
+  const sdf::Graph g = models::paper_example();
+  return extract_schedule(g, state::Capacities::bounded({4, 2}),
+                          *g.find_actor("c"));
+}
+
+TEST(Schedule, ExampleThroughputAndPeriod) {
+  const auto ex = example_schedule();
+  EXPECT_FALSE(ex.deadlocked);
+  EXPECT_EQ(ex.throughput, Rational(1, 7));
+  EXPECT_EQ(ex.schedule.period(), 7);
+  EXPECT_FALSE(ex.schedule.finite());
+}
+
+TEST(Schedule, RepetitionVectorFiringsPerPeriod) {
+  // One period of the example contains q = (3, 2, 1) firings (Sec. 5).
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  EXPECT_EQ(ex.schedule.firings_per_period(*g.find_actor("a")), 3);
+  EXPECT_EQ(ex.schedule.firings_per_period(*g.find_actor("b")), 2);
+  EXPECT_EQ(ex.schedule.firings_per_period(*g.find_actor("c")), 1);
+}
+
+TEST(Schedule, PeriodicExtension) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  const sdf::ActorId c = *g.find_actor("c");
+  const i64 first = ex.schedule.start_time(c, 0);
+  // Each later firing of c starts exactly one period after the previous.
+  for (i64 i = 1; i < 6; ++i) {
+    EXPECT_EQ(ex.schedule.start_time(c, i), first + 7 * i) << i;
+  }
+}
+
+TEST(Schedule, StartTimesAgreeWithTable1Timing) {
+  // The first firing of c starts at time 7 and completes at 9 (the paper's
+  // "actor c fires for the first time at time step 8" in 1-indexed steps).
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  EXPECT_EQ(ex.schedule.start_time(*g.find_actor("c"), 0), 7);
+  EXPECT_EQ(ex.schedule.start_time(*g.find_actor("a"), 0), 0);
+}
+
+TEST(Schedule, FiringsBefore) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  const sdf::ActorId a = *g.find_actor("a");
+  EXPECT_EQ(ex.schedule.firings_before(a, 0), 0);
+  EXPECT_EQ(ex.schedule.firings_before(a, 1), 1);
+  // Throughput of a is 3 per period of 7 in steady state.
+  const i64 t0 = ex.schedule.cycle_start();
+  EXPECT_EQ(ex.schedule.firings_before(a, t0 + 70) -
+                ex.schedule.firings_before(a, t0),
+            30);
+}
+
+TEST(Schedule, ThroughputFromScheduleMatchesEngine) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  EXPECT_EQ(ex.schedule.throughput(*g.find_actor("c")), Rational(1, 7));
+  EXPECT_EQ(ex.schedule.throughput(*g.find_actor("a")), Rational(3, 7));
+  EXPECT_EQ(ex.schedule.throughput(*g.find_actor("b")), Rational(2, 7));
+}
+
+TEST(Schedule, FiniteScheduleHasZeroThroughput) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = extract_schedule(g, state::Capacities::bounded({3, 2}),
+                                   *g.find_actor("c"));
+  EXPECT_EQ(ex.schedule.throughput(*g.find_actor("a")), Rational(0));
+}
+
+TEST(Schedule, ExtractedScheduleIsValidAndSelfTimed) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  const auto violation = check_schedule(
+      g, state::Capacities::bounded({4, 2}), ex.schedule, /*horizon=*/60);
+  EXPECT_FALSE(violation.has_value()) << *violation;
+}
+
+TEST(Schedule, TamperedScheduleIsRejected) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  // Delay every firing of actor a by one step: self-timedness breaks.
+  std::vector<Schedule::ActorStarts> starts;
+  for (const sdf::ActorId a : g.actor_ids()) {
+    auto s = ex.schedule.of(a);
+    if (g.actor(a).name == "a") {
+      for (i64& t : s.transient) t += 1;
+      for (i64& t : s.periodic) t += 1;
+    }
+    starts.push_back(std::move(s));
+  }
+  const Schedule tampered(std::move(starts), ex.schedule.cycle_start(),
+                          ex.schedule.period());
+  const auto violation = check_schedule(
+      g, state::Capacities::bounded({4, 2}), tampered, /*horizon=*/40);
+  ASSERT_TRUE(violation.has_value());
+  EXPECT_NE(violation->find("enabled"), std::string::npos);
+}
+
+TEST(Schedule, DeadlockedScheduleIsFinite) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = extract_schedule(g, state::Capacities::bounded({3, 2}),
+                                   *g.find_actor("c"));
+  EXPECT_TRUE(ex.deadlocked);
+  EXPECT_TRUE(ex.schedule.finite());
+  EXPECT_EQ(ex.throughput, Rational(0));
+  // Actor a fired exactly once before the deadlock.
+  EXPECT_EQ(ex.schedule.of(*g.find_actor("a")).transient.size(), 1u);
+  EXPECT_THROW((void)ex.schedule.start_time(*g.find_actor("a"), 5), Error);
+}
+
+TEST(Schedule, GanttShowsFiringsAndPeriodMarker) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  const std::string gantt = render_gantt(g, ex.schedule, 20);
+  // Actor a fires at t=0 and runs one step; b's firings show continuation.
+  EXPECT_NE(gantt.find("a "), std::string::npos);
+  EXPECT_NE(gantt.find("b*"), std::string::npos);
+  EXPECT_NE(gantt.find('|'), std::string::npos);  // periodic-phase marker
+}
+
+TEST(Schedule, GanttWithTokensShowsChannelFill) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  const std::string table = render_gantt_with_tokens(g, ex.schedule, 16);
+  EXPECT_NE(table.find("alpha"), std::string::npos);
+  EXPECT_NE(table.find("beta"), std::string::npos);
+  EXPECT_NE(table.find('4'), std::string::npos);  // alpha reaches 4 tokens
+}
+
+TEST(Schedule, CsvListsFirings) {
+  const sdf::Graph g = models::paper_example();
+  const auto ex = example_schedule();
+  const std::string csv = schedule_csv(g, ex.schedule, 10);
+  EXPECT_NE(csv.find("actor,firing,start,end"), std::string::npos);
+  EXPECT_NE(csv.find("a,0,0,1"), std::string::npos);
+  EXPECT_NE(csv.find("c,0,7,9"), std::string::npos);
+}
+
+TEST(Schedule, ConstructorRejectsMalformedInput) {
+  EXPECT_THROW(Schedule({Schedule::ActorStarts{{3, 1}, {}}}, 0, 0), Error);
+  EXPECT_THROW(Schedule({Schedule::ActorStarts{{}, {1}}}, 0, 0), Error);
+  EXPECT_THROW(Schedule({}, 0, -1), Error);
+}
+
+// Property: extracted schedules validate on random strongly connected
+// graphs under generous capacities.
+class ScheduleValidity : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ScheduleValidity, ExtractThenCheck) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 4,
+      .max_repetition = 3,
+      .max_execution_time = 3,
+      .strongly_connected = true,
+      .seed = GetParam()});
+  std::vector<i64> caps;
+  for (const sdf::ChannelId c : g.channel_ids()) {
+    const sdf::Channel& ch = g.channel(c);
+    caps.push_back(ch.initial_tokens + 2 * (ch.production + ch.consumption));
+  }
+  const auto capacities = state::Capacities::bounded(caps);
+  const auto ex = extract_schedule(g, capacities, sdf::ActorId(0));
+  const i64 horizon =
+      ex.schedule.finite()
+          ? 50
+          : ex.schedule.cycle_start() + 3 * ex.schedule.period();
+  const auto violation = check_schedule(g, capacities, ex.schedule, horizon);
+  EXPECT_FALSE(violation.has_value())
+      << "seed " << GetParam() << ": " << *violation;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleValidity, ::testing::Range<u64>(1, 33));
+
+}  // namespace
+}  // namespace buffy::sched

@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+#include "buffer/distribution.hpp"
+#include "gen/random_graph.hpp"
+#include "io/dot.hpp"
+#include "io/dsl.hpp"
+#include "io/sdf_xml.hpp"
+#include "models/models.hpp"
+
+namespace buffy::io {
+namespace {
+
+void expect_same_graph(const sdf::Graph& a, const sdf::Graph& b) {
+  ASSERT_EQ(a.num_actors(), b.num_actors());
+  ASSERT_EQ(a.num_channels(), b.num_channels());
+  EXPECT_EQ(a.name(), b.name());
+  for (const sdf::ActorId id : a.actor_ids()) {
+    const auto other = b.find_actor(a.actor(id).name);
+    ASSERT_TRUE(other.has_value()) << a.actor(id).name;
+    EXPECT_EQ(a.actor(id).execution_time, b.actor(*other).execution_time);
+  }
+  for (const sdf::ChannelId id : a.channel_ids()) {
+    const auto other = b.find_channel(a.channel(id).name);
+    ASSERT_TRUE(other.has_value()) << a.channel(id).name;
+    const sdf::Channel& ca = a.channel(id);
+    const sdf::Channel& cb = b.channel(*other);
+    EXPECT_EQ(a.actor(ca.src).name, b.actor(cb.src).name);
+    EXPECT_EQ(a.actor(ca.dst).name, b.actor(cb.dst).name);
+    EXPECT_EQ(ca.production, cb.production);
+    EXPECT_EQ(ca.consumption, cb.consumption);
+    EXPECT_EQ(ca.initial_tokens, cb.initial_tokens);
+  }
+}
+
+class ModelRoundTrip : public ::testing::TestWithParam<int> {
+ protected:
+  [[nodiscard]] sdf::Graph model() const {
+    auto models = models::table2_models();
+    return std::move(models[static_cast<std::size_t>(GetParam())].graph);
+  }
+};
+
+TEST_P(ModelRoundTrip, XmlPreservesEverything) {
+  const sdf::Graph g = model();
+  expect_same_graph(g, read_sdf_xml(write_sdf_xml(g)));
+}
+
+TEST_P(ModelRoundTrip, DslPreservesEverything) {
+  const sdf::Graph g = model();
+  expect_same_graph(g, read_dsl(write_dsl(g)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelRoundTrip, ::testing::Range(0, 5));
+
+TEST(SdfXml, ParsesHandwrittenDocument) {
+  const sdf::Graph g = read_sdf_xml(R"(
+    <sdf3 type="sdf" version="1.0">
+      <applicationGraph name="mini">
+        <sdf name="mini">
+          <actor name="a"><port name="o" type="out" rate="2"/></actor>
+          <actor name="b"><port name="i" type="in" rate="3"/></actor>
+          <channel name="ab" srcActor="a" srcPort="o"
+                   dstActor="b" dstPort="i" initialTokens="4"/>
+        </sdf>
+        <sdfProperties>
+          <actorProperties actor="a">
+            <processor type="default" default="true">
+              <executionTime time="7"/>
+            </processor>
+          </actorProperties>
+        </sdfProperties>
+      </applicationGraph>
+    </sdf3>)");
+  EXPECT_EQ(g.name(), "mini");
+  EXPECT_EQ(g.num_actors(), 2u);
+  const auto ab = g.find_channel("ab");
+  ASSERT_TRUE(ab.has_value());
+  EXPECT_EQ(g.channel(*ab).production, 2);
+  EXPECT_EQ(g.channel(*ab).consumption, 3);
+  EXPECT_EQ(g.channel(*ab).initial_tokens, 4);
+  EXPECT_EQ(g.actor(*g.find_actor("a")).execution_time, 7);
+  EXPECT_EQ(g.actor(*g.find_actor("b")).execution_time, 1);  // default
+}
+
+TEST(SdfXml, RejectsWrongRoot) {
+  EXPECT_THROW((void)read_sdf_xml("<nope/>"), ParseError);
+}
+
+TEST(SdfXml, RejectsUnknownActorInChannel) {
+  EXPECT_THROW((void)read_sdf_xml(R"(
+    <sdf3><applicationGraph name="x"><sdf name="x">
+      <actor name="a"><port name="o" type="out" rate="1"/></actor>
+      <channel name="c" srcActor="a" srcPort="o" dstActor="zz" dstPort="i"/>
+    </sdf></applicationGraph></sdf3>)"),
+               ParseError);
+}
+
+TEST(SdfXml, RejectsChannelFromInPort) {
+  EXPECT_THROW((void)read_sdf_xml(R"(
+    <sdf3><applicationGraph name="x"><sdf name="x">
+      <actor name="a"><port name="o" type="in" rate="1"/></actor>
+      <actor name="b"><port name="i" type="in" rate="1"/></actor>
+      <channel name="c" srcActor="a" srcPort="o" dstActor="b" dstPort="i"/>
+    </sdf></applicationGraph></sdf3>)"),
+               ParseError);
+}
+
+TEST(SdfXml, RejectsBadPortType) {
+  EXPECT_THROW((void)read_sdf_xml(R"(
+    <sdf3><applicationGraph name="x"><sdf name="x">
+      <actor name="a"><port name="o" type="inout" rate="1"/></actor>
+    </sdf></applicationGraph></sdf3>)"),
+               ParseError);
+}
+
+TEST(SdfXml, FileRoundTrip) {
+  const sdf::Graph g = models::paper_example();
+  const std::string path = ::testing::TempDir() + "/buffy_example.xml";
+  save_sdf_xml_file(g, path);
+  expect_same_graph(g, load_sdf_xml_file(path));
+}
+
+TEST(SdfXml, MissingFileThrows) {
+  EXPECT_THROW((void)load_sdf_xml_file("/nonexistent/buffy.xml"), Error);
+}
+
+TEST(Dsl, ParsesHandwrittenText) {
+  const sdf::Graph g = read_dsl(R"(
+# the paper's example
+graph example
+actor a 1
+actor b 2
+actor c 2
+channel alpha a 2 b 3
+channel beta b 1 c 2 tokens 1
+)");
+  EXPECT_EQ(g.name(), "example");
+  EXPECT_EQ(g.num_actors(), 3u);
+  EXPECT_EQ(g.channel(*g.find_channel("beta")).initial_tokens, 1);
+}
+
+TEST(Dsl, ReportsLineNumbers) {
+  try {
+    (void)read_dsl("graph g\nactor a\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Dsl, RejectsUnknownDirective) {
+  EXPECT_THROW((void)read_dsl("frobnicate x\n"), ParseError);
+}
+
+TEST(Dsl, RejectsUnknownActors) {
+  EXPECT_THROW((void)read_dsl("graph g\nactor a 1\nchannel c a 1 zz 1\n"),
+               ParseError);
+}
+
+// Property: serialisation round-trips on arbitrary generated graphs, for
+// both formats.
+class IoRoundTripProperty : public ::testing::TestWithParam<u64> {
+ protected:
+  [[nodiscard]] sdf::Graph random() const {
+    return gen::random_graph(gen::RandomGraphOptions{
+        .num_actors = 9,
+        .max_repetition = 5,
+        .extra_edge_fraction = 0.9,
+        .seed = GetParam()});
+  }
+};
+
+TEST_P(IoRoundTripProperty, Xml) {
+  const sdf::Graph g = random();
+  expect_same_graph(g, read_sdf_xml(write_sdf_xml(g)));
+}
+
+TEST_P(IoRoundTripProperty, Dsl) {
+  const sdf::Graph g = random();
+  expect_same_graph(g, read_dsl(write_dsl(g)));
+}
+
+TEST_P(IoRoundTripProperty, XmlIsStableUnderReserialisation) {
+  const sdf::Graph g = random();
+  const std::string once = write_sdf_xml(g);
+  EXPECT_EQ(once, write_sdf_xml(read_sdf_xml(once)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IoRoundTripProperty,
+                         ::testing::Range<u64>(1, 25));
+
+TEST(Dot, ContainsActorsChannelsAndRates) {
+  const sdf::Graph g = models::paper_example();
+  const std::string dot = write_dot(g);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_NE(dot.find("2 : 3"), std::string::npos);
+}
+
+TEST(Dot, AnnotatesCapacities) {
+  const sdf::Graph g = models::paper_example();
+  const std::string dot =
+      write_dot(g, buffer::StorageDistribution({4, 2}));
+  EXPECT_NE(dot.find("cap=4"), std::string::npos);
+  EXPECT_NE(dot.find("cap=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace buffy::io

@@ -1,0 +1,191 @@
+#include "buffer/shared_memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+#include "buffer/dse.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+
+namespace buffy::buffer {
+namespace {
+
+TEST(SharedMemory, ExampleUnderPaperDistribution) {
+  // Under <4, 2> the example reaches alpha-occupancy 4 while b is firing
+  // with a claimed beta slot and c holds nothing: at t=8 occupancy is
+  // alpha 4 (2 tokens + claim 2) and beta 2, so the shared requirement
+  // equals the full allocation here.
+  const sdf::Graph g = models::paper_example();
+  const auto r = analyze_memory_models(g, StorageDistribution({4, 2}),
+                                       *g.find_actor("c"));
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.throughput, Rational(1, 7));
+  EXPECT_EQ(r.separate, 6);
+  EXPECT_EQ(r.shared, 6);
+}
+
+TEST(SharedMemory, SharedNeverExceedsSeparate) {
+  for (const auto& m : models::table2_models()) {
+    const sdf::ActorId target = models::reported_actor(m.graph);
+    const auto bounds = design_space_bounds(m.graph, target);
+    ASSERT_FALSE(bounds.deadlock);
+    const auto r = analyze_memory_models(
+        m.graph, bounds.max_throughput_distribution, target);
+    EXPECT_LE(r.shared, r.separate) << m.display_name;
+    EXPECT_GT(r.shared, 0) << m.display_name;
+  }
+}
+
+TEST(SharedMemory, OversizedAllocationShowsSharedSavings) {
+  // Give the example far more capacity than its execution ever uses: the
+  // separate model pays for the allocation, the shared model only for the
+  // observed occupancy.
+  const sdf::Graph g = models::paper_example();
+  const auto r = analyze_memory_models(g, StorageDistribution({20, 20}),
+                                       *g.find_actor("c"));
+  EXPECT_EQ(r.separate, 40);
+  EXPECT_LT(r.shared, 40);
+  EXPECT_EQ(r.throughput, Rational(1, 4));  // unconstrained by buffering
+}
+
+TEST(SharedMemory, GroupRequirements) {
+  const sdf::Graph g = models::paper_example();
+  const sdf::ChannelId alpha = *g.find_channel("alpha");
+  const sdf::ChannelId beta = *g.find_channel("beta");
+  const MemoryGroups groups{{alpha}, {beta}, {alpha, beta}};
+  const auto r = analyze_memory_models(g, StorageDistribution({4, 2}),
+                                       *g.find_actor("c"), groups);
+  ASSERT_EQ(r.group_requirements.size(), 3u);
+  EXPECT_EQ(r.group_requirements[0], 4);  // alpha peaks at its capacity
+  EXPECT_EQ(r.group_requirements[1], 2);
+  EXPECT_EQ(r.group_requirements[2], r.shared);  // the all-channel group
+  // Subadditivity: sharing cannot need more than the sum of the parts.
+  EXPECT_LE(r.group_requirements[2],
+            r.group_requirements[0] + r.group_requirements[1]);
+}
+
+TEST(SharedMemory, DeadlockedDistributionStillMeasured) {
+  const sdf::Graph g = models::paper_example();
+  const auto r = analyze_memory_models(g, StorageDistribution({3, 2}),
+                                       *g.find_actor("c"));
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_EQ(r.throughput, Rational(0));
+  EXPECT_LE(r.shared, 5);
+  EXPECT_GT(r.shared, 0);
+}
+
+TEST(SharedMemory, WrongDistributionWidthThrows) {
+  const sdf::Graph g = models::paper_example();
+  EXPECT_THROW((void)analyze_memory_models(g, StorageDistribution({4}),
+                                           *g.find_actor("c")),
+               Error);
+}
+
+TEST(MemoryPacking, ExamplePacksByBudget) {
+  const sdf::Graph g = models::paper_example();
+  const StorageDistribution dist({4, 2});
+  const sdf::ActorId c = *g.find_actor("c");
+  {
+    // Both channels fit one memory of 6 (their peaks coincide at 6).
+    const auto p = pack_into_memories(g, dist, c, 6);
+    ASSERT_TRUE(p.feasible);
+    EXPECT_EQ(p.groups.size(), 1u);
+    EXPECT_EQ(p.requirements[0], 6);
+  }
+  {
+    // A budget of 5 separates them: alpha peaks at 4, beta at 2.
+    const auto p = pack_into_memories(g, dist, c, 5);
+    ASSERT_TRUE(p.feasible);
+    EXPECT_EQ(p.groups.size(), 2u);
+    EXPECT_LE(p.requirements[0], 5);
+    EXPECT_LE(p.requirements[1], 5);
+  }
+  {
+    // Alpha alone needs 4: budget 3 is infeasible.
+    const auto p = pack_into_memories(g, dist, c, 3);
+    EXPECT_FALSE(p.feasible);
+  }
+}
+
+TEST(MemoryPacking, GroupsPartitionChannels) {
+  const sdf::Graph g = models::modem();
+  const sdf::ActorId target = models::reported_actor(g);
+  const auto bounds = design_space_bounds(g, target);
+  const auto p = pack_into_memories(
+      g, bounds.max_throughput_distribution, target, /*memory_size=*/4);
+  ASSERT_TRUE(p.feasible);
+  std::vector<bool> covered(g.num_channels(), false);
+  for (std::size_t gi = 0; gi < p.groups.size(); ++gi) {
+    EXPECT_LE(p.requirements[gi], 4);
+    for (const sdf::ChannelId c : p.groups[gi]) {
+      EXPECT_FALSE(covered[c.index()]) << "channel in two memories";
+      covered[c.index()] = true;
+    }
+  }
+  for (std::size_t c = 0; c < covered.size(); ++c) {
+    EXPECT_TRUE(covered[c]) << "channel " << c << " unplaced";
+  }
+  // Sharing must not need more memories than one per channel.
+  EXPECT_LE(p.groups.size(), g.num_channels());
+}
+
+TEST(MemoryPacking, BiggerBudgetNeverNeedsMoreMemories) {
+  const sdf::Graph g = models::satellite_receiver();
+  const sdf::ActorId target = models::reported_actor(g);
+  const auto bounds = design_space_bounds(g, target);
+  std::size_t previous = g.num_channels() + 1;
+  bool any_feasible = false;
+  for (const i64 budget : {4, 8, 16, 64, 256}) {
+    const auto p = pack_into_memories(
+        g, bounds.max_throughput_distribution, target, budget);
+    if (!p.feasible) {
+      // Small budgets may not fit the largest single channel's peak.
+      EXPECT_FALSE(any_feasible) << "feasibility is monotone in the budget";
+      continue;
+    }
+    any_feasible = true;
+    EXPECT_LE(p.groups.size(), previous) << "budget " << budget;
+    previous = p.groups.size();
+  }
+  EXPECT_TRUE(any_feasible);
+}
+
+TEST(MemoryPacking, InvalidArgumentsThrow) {
+  const sdf::Graph g = models::paper_example();
+  EXPECT_THROW((void)pack_into_memories(g, StorageDistribution({4, 2}),
+                                        *g.find_actor("c"), 0),
+               Error);
+  EXPECT_THROW((void)pack_into_memories(g, StorageDistribution({4}),
+                                        *g.find_actor("c"), 4),
+               Error);
+}
+
+// Property: shared <= separate and group maxima are monotone under group
+// union, across random graphs and Pareto distributions.
+class SharedMemoryProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(SharedMemoryProperty, BoundsAndMonotonicity) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 4, .max_repetition = 3, .seed = GetParam()});
+  const sdf::ActorId target(g.num_actors() - 1);
+  const auto dse = explore(
+      g, DseOptions{.target = target, .engine = DseEngine::Incremental});
+  for (const ParetoPoint& p : dse.pareto.points()) {
+    MemoryGroups groups;
+    groups.push_back(g.channel_ids());  // everything in one group
+    groups.push_back({sdf::ChannelId(0)});
+    const auto r =
+        analyze_memory_models(g, p.distribution, target, groups);
+    EXPECT_LE(r.shared, r.separate) << "seed " << GetParam();
+    EXPECT_EQ(r.group_requirements[0], r.shared);
+    EXPECT_LE(r.group_requirements[1], r.shared);
+    EXPECT_EQ(r.throughput, p.throughput);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SharedMemoryProperty,
+                         ::testing::Range<u64>(1, 17));
+
+}  // namespace
+}  // namespace buffy::buffer

@@ -1,0 +1,60 @@
+#include "base/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy {
+namespace {
+
+TEST(StringUtil, Trim) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim("hello"), "hello");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+}
+
+TEST(StringUtil, SplitKeepsEmptyFields) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("x", ','), (std::vector<std::string>{"x"}));
+}
+
+TEST(StringUtil, SplitWhitespaceDropsEmptyFields) {
+  EXPECT_EQ(split_whitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split_whitespace("   ").empty());
+}
+
+TEST(StringUtil, StartsWith) {
+  EXPECT_TRUE(starts_with("channel alpha", "channel"));
+  EXPECT_FALSE(starts_with("chan", "channel"));
+  EXPECT_TRUE(starts_with("anything", ""));
+}
+
+TEST(StringUtil, ParseI64Basics) {
+  EXPECT_EQ(parse_i64("0"), 0);
+  EXPECT_EQ(parse_i64("594"), 594);
+  EXPECT_EQ(parse_i64("-42"), -42);
+  EXPECT_EQ(parse_i64("+7"), 7);
+  EXPECT_EQ(parse_i64("  13 "), 13);
+}
+
+TEST(StringUtil, ParseI64Malformed) {
+  EXPECT_THROW((void)parse_i64(""), ParseError);
+  EXPECT_THROW((void)parse_i64("-"), ParseError);
+  EXPECT_THROW((void)parse_i64("12x"), ParseError);
+  EXPECT_THROW((void)parse_i64("1 2"), ParseError);
+  EXPECT_THROW((void)parse_i64("99999999999999999999999"), ParseError);
+}
+
+TEST(StringUtil, Padding) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abcdef");
+  EXPECT_EQ(pad_right("abcdef", 3), "abcdef");
+}
+
+}  // namespace
+}  // namespace buffy

@@ -1,0 +1,192 @@
+#include "state/throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include "analysis/max_throughput.hpp"
+#include "base/diagnostics.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+
+namespace buffy::state {
+namespace {
+
+sdf::ActorId target_c(const sdf::Graph& g) { return *g.find_actor("c"); }
+
+TEST(Throughput, PaperDistribution42GivesOneSeventh) {
+  const sdf::Graph g = models::paper_example();
+  const auto r = compute_throughput(g, {4, 2}, target_c(g));
+  EXPECT_FALSE(r.deadlocked);
+  EXPECT_EQ(r.throughput, Rational(1, 7));
+  EXPECT_EQ(r.period, 7);
+  EXPECT_EQ(r.firings_on_cycle, 1);
+}
+
+TEST(Throughput, PaperDistribution62GivesOneSixth) {
+  const sdf::Graph g = models::paper_example();
+  const auto r = compute_throughput(g, {6, 2}, target_c(g));
+  EXPECT_EQ(r.throughput, Rational(1, 6));
+}
+
+TEST(Throughput, MaxReachedAtSizeTen) {
+  // Sec. 8: "with a distribution size of 10 tokens, the maximal throughput
+  // can be achieved".
+  const sdf::Graph g = models::paper_example();
+  EXPECT_EQ(compute_throughput(g, {7, 3}, target_c(g)).throughput,
+            Rational(1, 4));
+}
+
+TEST(Throughput, DeadlockGivesZero) {
+  const sdf::Graph g = models::paper_example();
+  const auto r = compute_throughput(g, {3, 2}, target_c(g));
+  EXPECT_TRUE(r.deadlocked);
+  EXPECT_EQ(r.throughput, Rational(0));
+}
+
+TEST(Throughput, ReducedStateSpaceMatchesFig4) {
+  // Fig. 4 stores two reduced states with distances d = 9 and d = 7; the
+  // second one opens the cycle. (The paper samples the timed state during
+  // the last time unit of c's firing; buffy samples immediately after the
+  // completion — one step later, with identical distances, period and
+  // throughput. At completion time 9 the state is (0,2,0 | 4,0): a idle
+  // against the full alpha, b just started, c's output consumed.)
+  const sdf::Graph g = models::paper_example();
+  ThroughputOptions opts{.target = target_c(g)};
+  opts.collect_reduced_states = true;
+  const auto r =
+      compute_throughput(g, Capacities::bounded({4, 2}), opts);
+  ASSERT_EQ(r.reduced_states.size(), 2u);
+  ASSERT_EQ(r.states_stored, 2u);
+
+  const ReducedState& first = r.reduced_states[0];
+  EXPECT_EQ(first.dist, 9);
+  EXPECT_EQ(first.time, 9);
+  EXPECT_FALSE(first.on_cycle);
+  EXPECT_EQ(first.timed.clock(0), 0);
+  EXPECT_EQ(first.timed.clock(1), 2);
+  EXPECT_EQ(first.timed.clock(2), 0);
+  EXPECT_EQ(first.timed.tokens(0), 4);
+  EXPECT_EQ(first.timed.tokens(1), 0);
+
+  const ReducedState& second = r.reduced_states[1];
+  EXPECT_EQ(second.dist, 7);
+  EXPECT_EQ(second.time, 16);
+  EXPECT_TRUE(second.on_cycle);
+  EXPECT_EQ(second.timed, first.timed);  // same timed state, different d_c
+
+  EXPECT_EQ(r.cycle_start_time, 16);
+  EXPECT_EQ(r.period, 7);
+}
+
+TEST(Throughput, MaxOccupancyOnRequest) {
+  const sdf::Graph g = models::paper_example();
+  ThroughputOptions opts{.target = target_c(g)};
+  opts.track_max_occupancy = true;
+  const auto r = compute_throughput(g, Capacities::bounded({6, 2}), opts);
+  ASSERT_EQ(r.max_occupancy.size(), 2u);
+  EXPECT_EQ(r.max_occupancy[0], 6);
+  EXPECT_EQ(r.max_occupancy[1], 2);
+}
+
+TEST(Throughput, InvalidTargetThrows) {
+  const sdf::Graph g = models::paper_example();
+  EXPECT_THROW(
+      (void)compute_throughput(g, Capacities::bounded({4, 2}),
+                               ThroughputOptions{.target = sdf::ActorId(9)}),
+      Error);
+}
+
+TEST(Throughput, MaxStepsExceededThrows) {
+  // Unbounded capacities on the example: a is never back-pressured, tokens
+  // grow forever, no state recurs.
+  const sdf::Graph g = models::paper_example();
+  ThroughputOptions opts{.target = target_c(g), .max_steps = 1000};
+  EXPECT_THROW((void)compute_throughput(g, Capacities::unbounded(2), opts),
+               Error);
+}
+
+TEST(Throughput, TargetChoiceScalesWithRepetitionVector) {
+  // In the periodic phase every actor fires q(a) times per period, so
+  // measured throughputs are related by the repetition vector (Sec. 5).
+  const sdf::Graph g = models::paper_example();
+  const auto ra = compute_throughput(g, {6, 2}, *g.find_actor("a"));
+  const auto rb = compute_throughput(g, {6, 2}, *g.find_actor("b"));
+  const auto rc = compute_throughput(g, {6, 2}, *g.find_actor("c"));
+  EXPECT_EQ(ra.throughput, rc.throughput * Rational(3));
+  EXPECT_EQ(rb.throughput, rc.throughput * Rational(2));
+}
+
+TEST(Throughput, ModelsRunUnderGenerousCapacities) {
+  for (const auto& m : models::table2_models()) {
+    if (std::string(m.display_name) == "H.263 decoder") continue;  // rates
+    std::vector<i64> caps;
+    for (const sdf::ChannelId c : m.graph.channel_ids()) {
+      const sdf::Channel& ch = m.graph.channel(c);
+      caps.push_back(ch.initial_tokens + 4 * (ch.production + ch.consumption));
+    }
+    const auto r = compute_throughput(m.graph, caps,
+                                      models::reported_actor(m.graph));
+    EXPECT_FALSE(r.deadlocked) << m.display_name;
+    EXPECT_GT(r.throughput, Rational(0)) << m.display_name;
+  }
+}
+
+// Property: throughput is monotonic in the storage distribution (Sec. 9).
+class ThroughputMonotonicity : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ThroughputMonotonicity, NonDecreasingInCapacity) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 4,
+      .max_repetition = 3,
+      .extra_edge_fraction = 0.5,
+      .seed = GetParam()});
+  std::vector<i64> caps;
+  for (const sdf::ChannelId c : g.channel_ids()) {
+    const sdf::Channel& ch = g.channel(c);
+    caps.push_back(ch.initial_tokens + ch.production + ch.consumption);
+  }
+  const sdf::ActorId target(g.num_actors() - 1);
+  Rational prev = compute_throughput(g, caps, target).throughput;
+  for (int round = 0; round < 4; ++round) {
+    // Growing any single channel must never decrease throughput.
+    for (std::size_t c = 0; c < caps.size(); ++c) {
+      auto grown = caps;
+      grown[c] += 1 + round;
+      const Rational t = compute_throughput(g, grown, target).throughput;
+      EXPECT_GE(t, prev) << "seed " << GetParam() << " channel " << c;
+    }
+    for (i64& c : caps) c += 1;
+    const Rational t = compute_throughput(g, caps, target).throughput;
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThroughputMonotonicity,
+                         ::testing::Range<u64>(1, 33));
+
+// Property: execution is deterministic — two runs agree exactly.
+class ThroughputDeterminism : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ThroughputDeterminism, RunsAreIdentical) {
+  const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+      .num_actors = 5, .strongly_connected = true, .seed = GetParam()});
+  std::vector<i64> caps;
+  for (const sdf::ChannelId c : g.channel_ids()) {
+    const sdf::Channel& ch = g.channel(c);
+    caps.push_back(ch.initial_tokens + 2 * (ch.production + ch.consumption));
+  }
+  const sdf::ActorId target(0);
+  const auto r1 = compute_throughput(g, caps, target);
+  const auto r2 = compute_throughput(g, caps, target);
+  EXPECT_EQ(r1.throughput, r2.throughput);
+  EXPECT_EQ(r1.period, r2.period);
+  EXPECT_EQ(r1.states_stored, r2.states_stored);
+  EXPECT_EQ(r1.cycle_start_time, r2.cycle_start_time);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ThroughputDeterminism,
+                         ::testing::Range<u64>(1, 17));
+
+}  // namespace
+}  // namespace buffy::state

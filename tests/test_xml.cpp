@@ -1,0 +1,115 @@
+#include "io/xml.hpp"
+
+#include <gtest/gtest.h>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::io {
+namespace {
+
+TEST(Xml, ParsesSimpleElement) {
+  const auto doc = parse_xml("<root/>");
+  EXPECT_EQ(doc.root->name(), "root");
+  EXPECT_TRUE(doc.root->children().empty());
+}
+
+TEST(Xml, ParsesAttributes) {
+  const auto doc = parse_xml(R"(<actor name="a" rate='2'/>)");
+  EXPECT_EQ(doc.root->attribute("name"), "a");
+  EXPECT_EQ(doc.root->attribute("rate"), "2");
+  EXPECT_FALSE(doc.root->attribute("missing").has_value());
+}
+
+TEST(Xml, RequiredAttributeThrowsWhenMissing) {
+  const auto doc = parse_xml("<a x=\"1\"/>");
+  EXPECT_EQ(doc.root->required_attribute("x"), "1");
+  EXPECT_THROW((void)doc.root->required_attribute("y"), ParseError);
+}
+
+TEST(Xml, ParsesNestedChildren) {
+  const auto doc = parse_xml("<a><b><c/></b><b/></a>");
+  EXPECT_EQ(doc.root->children().size(), 2u);
+  EXPECT_EQ(doc.root->children_named("b").size(), 2u);
+  ASSERT_NE(doc.root->child("b"), nullptr);
+  EXPECT_NE(doc.root->child("b")->child("c"), nullptr);
+  EXPECT_EQ(doc.root->child("zz"), nullptr);
+  EXPECT_THROW((void)doc.root->required_child("zz"), ParseError);
+}
+
+TEST(Xml, ParsesTextContent) {
+  const auto doc = parse_xml("<a>hello <b/>world</a>");
+  EXPECT_EQ(doc.root->text(), "hello world");
+}
+
+TEST(Xml, DecodesEntities) {
+  const auto doc = parse_xml("<a v=\"&lt;&amp;&gt;\">&quot;x&apos;&#65;</a>");
+  EXPECT_EQ(doc.root->attribute("v"), "<&>");
+  EXPECT_EQ(doc.root->text(), "\"x'A");
+}
+
+TEST(Xml, SkipsCommentsAndDeclarations) {
+  const auto doc = parse_xml(
+      "<?xml version=\"1.0\"?><!-- top --><a><!-- inner --><b/></a>");
+  EXPECT_EQ(doc.root->name(), "a");
+  EXPECT_EQ(doc.root->children().size(), 1u);
+}
+
+TEST(Xml, ParsesCdata) {
+  const auto doc = parse_xml("<a><![CDATA[<raw & data>]]></a>");
+  EXPECT_EQ(doc.root->text(), "<raw & data>");
+}
+
+TEST(Xml, RejectsMismatchedTags) {
+  EXPECT_THROW((void)parse_xml("<a></b>"), ParseError);
+}
+
+TEST(Xml, RejectsUnterminatedInput) {
+  EXPECT_THROW((void)parse_xml("<a>"), ParseError);
+  EXPECT_THROW((void)parse_xml("<a attr=\"x/>"), ParseError);
+  EXPECT_THROW((void)parse_xml("<!-- never closed"), ParseError);
+}
+
+TEST(Xml, RejectsTrailingContent) {
+  EXPECT_THROW((void)parse_xml("<a/><b/>"), ParseError);
+}
+
+TEST(Xml, RejectsUnknownEntity) {
+  EXPECT_THROW((void)parse_xml("<a>&nope;</a>"), ParseError);
+}
+
+TEST(Xml, ErrorMessagesCarryPosition) {
+  try {
+    (void)parse_xml("<a>\n  <b></c>\n</a>");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Xml, EscapeRoundTrip) {
+  EXPECT_EQ(xml_escape("a<b>&\"'"), "a&lt;b&gt;&amp;&quot;&apos;");
+}
+
+TEST(Xml, WriteThenParseRoundTrips) {
+  XmlElement root("sdf3");
+  root.set_attribute("version", "1.0");
+  XmlElement& child = root.add_child("actor");
+  child.set_attribute("name", "a<b");
+  child.add_child("port").set_attribute("rate", "2");
+  const std::string text = write_xml(root);
+  const auto doc = parse_xml(text);
+  EXPECT_EQ(doc.root->name(), "sdf3");
+  EXPECT_EQ(doc.root->child("actor")->attribute("name"), "a<b");
+  EXPECT_EQ(doc.root->child("actor")->child("port")->attribute("rate"), "2");
+}
+
+TEST(Xml, SetAttributeOverwrites) {
+  XmlElement e("x");
+  e.set_attribute("k", "1");
+  e.set_attribute("k", "2");
+  EXPECT_EQ(e.attribute("k"), "2");
+  EXPECT_EQ(e.attributes().size(), 1u);
+}
+
+}  // namespace
+}  // namespace buffy::io
