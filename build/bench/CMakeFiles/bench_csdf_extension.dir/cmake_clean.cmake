@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_csdf_extension.dir/bench_csdf_extension.cpp.o"
+  "CMakeFiles/bench_csdf_extension.dir/bench_csdf_extension.cpp.o.d"
+  "bench_csdf_extension"
+  "bench_csdf_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_csdf_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dse_ablation.dir/bench_dse_ablation.cpp.o"
+  "CMakeFiles/bench_dse_ablation.dir/bench_dse_ablation.cpp.o.d"
+  "bench_dse_ablation"
+  "bench_dse_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dse_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

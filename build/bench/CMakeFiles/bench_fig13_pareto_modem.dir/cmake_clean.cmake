@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pareto_modem.dir/bench_fig13_pareto_modem.cpp.o"
+  "CMakeFiles/bench_fig13_pareto_modem.dir/bench_fig13_pareto_modem.cpp.o.d"
+  "bench_fig13_pareto_modem"
+  "bench_fig13_pareto_modem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pareto_modem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

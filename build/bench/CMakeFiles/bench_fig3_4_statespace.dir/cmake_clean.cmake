@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_4_statespace.dir/bench_fig3_4_statespace.cpp.o"
+  "CMakeFiles/bench_fig3_4_statespace.dir/bench_fig3_4_statespace.cpp.o.d"
+  "bench_fig3_4_statespace"
+  "bench_fig3_4_statespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_4_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quantization_ablation.dir/bench_quantization_ablation.cpp.o"
+  "CMakeFiles/bench_quantization_ablation.dir/bench_quantization_ablation.cpp.o.d"
+  "bench_quantization_ablation"
+  "bench_quantization_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quantization_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

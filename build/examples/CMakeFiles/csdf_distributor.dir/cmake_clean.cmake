@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/csdf_distributor.dir/csdf_distributor.cpp.o"
+  "CMakeFiles/csdf_distributor.dir/csdf_distributor.cpp.o.d"
+  "csdf_distributor"
+  "csdf_distributor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/csdf_distributor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/h263_pipeline.dir/h263_pipeline.cpp.o"
+  "CMakeFiles/h263_pipeline.dir/h263_pipeline.cpp.o.d"
+  "h263_pipeline"
+  "h263_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/h263_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

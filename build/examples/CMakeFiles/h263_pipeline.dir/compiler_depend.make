@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for h263_pipeline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samplerate_tradeoff.dir/samplerate_tradeoff.cpp.o"
+  "CMakeFiles/samplerate_tradeoff.dir/samplerate_tradeoff.cpp.o.d"
+  "samplerate_tradeoff"
+  "samplerate_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samplerate_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

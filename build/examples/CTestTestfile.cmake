@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;9;buffy_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explore_cli "/root/repo/build/examples/explore_cli")
+set_tests_properties(example_explore_cli PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;10;buffy_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_h263_pipeline "/root/repo/build/examples/h263_pipeline")
+set_tests_properties(example_h263_pipeline PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;11;buffy_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_samplerate_tradeoff "/root/repo/build/examples/samplerate_tradeoff")
+set_tests_properties(example_samplerate_tradeoff PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;12;buffy_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_csdf_distributor "/root/repo/build/examples/csdf_distributor")
+set_tests_properties(example_csdf_distributor PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;5;add_test;/root/repo/examples/CMakeLists.txt;13;buffy_example;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explore_cli_xml "/root/repo/build/examples/explore_cli" "/root/repo/examples/graphs/example.xml" "--target" "c" "--engine" "exh" "--schedule")
+set_tests_properties(example_explore_cli_xml PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explore_cli_dsl "/root/repo/build/examples/explore_cli" "/root/repo/examples/graphs/samplerate.sdf" "--target" "dat" "--levels" "4")
+set_tests_properties(example_explore_cli_dsl PROPERTIES  WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_explore_cli_csdf "/root/repo/build/examples/explore_cli" "distcol.csdf.sdf" "--csdf" "--target" "col")
+set_tests_properties(example_explore_cli_csdf PROPERTIES  DEPENDS "example_csdf_distributor" WORKING_DIRECTORY "/root/repo/build/examples" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,68 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/consistency.cpp" "src/CMakeFiles/buffy.dir/analysis/consistency.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/analysis/consistency.cpp.o.d"
+  "/root/repo/src/analysis/hsdf.cpp" "src/CMakeFiles/buffy.dir/analysis/hsdf.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/analysis/hsdf.cpp.o.d"
+  "/root/repo/src/analysis/max_throughput.cpp" "src/CMakeFiles/buffy.dir/analysis/max_throughput.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/analysis/max_throughput.cpp.o.d"
+  "/root/repo/src/analysis/mcm.cpp" "src/CMakeFiles/buffy.dir/analysis/mcm.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/analysis/mcm.cpp.o.d"
+  "/root/repo/src/analysis/repetition_vector.cpp" "src/CMakeFiles/buffy.dir/analysis/repetition_vector.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/analysis/repetition_vector.cpp.o.d"
+  "/root/repo/src/analysis/scc.cpp" "src/CMakeFiles/buffy.dir/analysis/scc.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/analysis/scc.cpp.o.d"
+  "/root/repo/src/base/checked_math.cpp" "src/CMakeFiles/buffy.dir/base/checked_math.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/base/checked_math.cpp.o.d"
+  "/root/repo/src/base/diagnostics.cpp" "src/CMakeFiles/buffy.dir/base/diagnostics.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/base/diagnostics.cpp.o.d"
+  "/root/repo/src/base/hash.cpp" "src/CMakeFiles/buffy.dir/base/hash.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/base/hash.cpp.o.d"
+  "/root/repo/src/base/rational.cpp" "src/CMakeFiles/buffy.dir/base/rational.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/base/rational.cpp.o.d"
+  "/root/repo/src/base/rng.cpp" "src/CMakeFiles/buffy.dir/base/rng.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/base/rng.cpp.o.d"
+  "/root/repo/src/base/string_util.cpp" "src/CMakeFiles/buffy.dir/base/string_util.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/base/string_util.cpp.o.d"
+  "/root/repo/src/buffer/bounds.cpp" "src/CMakeFiles/buffy.dir/buffer/bounds.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/buffer/bounds.cpp.o.d"
+  "/root/repo/src/buffer/deadlock_free.cpp" "src/CMakeFiles/buffy.dir/buffer/deadlock_free.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/buffer/deadlock_free.cpp.o.d"
+  "/root/repo/src/buffer/distribution.cpp" "src/CMakeFiles/buffy.dir/buffer/distribution.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/buffer/distribution.cpp.o.d"
+  "/root/repo/src/buffer/dse.cpp" "src/CMakeFiles/buffy.dir/buffer/dse.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/buffer/dse.cpp.o.d"
+  "/root/repo/src/buffer/dse_exact.cpp" "src/CMakeFiles/buffy.dir/buffer/dse_exact.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/buffer/dse_exact.cpp.o.d"
+  "/root/repo/src/buffer/dse_incremental.cpp" "src/CMakeFiles/buffy.dir/buffer/dse_incremental.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/buffer/dse_incremental.cpp.o.d"
+  "/root/repo/src/buffer/pareto.cpp" "src/CMakeFiles/buffy.dir/buffer/pareto.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/buffer/pareto.cpp.o.d"
+  "/root/repo/src/buffer/shared_memory.cpp" "src/CMakeFiles/buffy.dir/buffer/shared_memory.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/buffer/shared_memory.cpp.o.d"
+  "/root/repo/src/codegen/codegen.cpp" "src/CMakeFiles/buffy.dir/codegen/codegen.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/codegen/codegen.cpp.o.d"
+  "/root/repo/src/csdf/analysis.cpp" "src/CMakeFiles/buffy.dir/csdf/analysis.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/csdf/analysis.cpp.o.d"
+  "/root/repo/src/csdf/dse.cpp" "src/CMakeFiles/buffy.dir/csdf/dse.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/csdf/dse.cpp.o.d"
+  "/root/repo/src/csdf/engine.cpp" "src/CMakeFiles/buffy.dir/csdf/engine.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/csdf/engine.cpp.o.d"
+  "/root/repo/src/csdf/graph.cpp" "src/CMakeFiles/buffy.dir/csdf/graph.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/csdf/graph.cpp.o.d"
+  "/root/repo/src/csdf/schedule.cpp" "src/CMakeFiles/buffy.dir/csdf/schedule.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/csdf/schedule.cpp.o.d"
+  "/root/repo/src/csdf/throughput.cpp" "src/CMakeFiles/buffy.dir/csdf/throughput.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/csdf/throughput.cpp.o.d"
+  "/root/repo/src/gen/random_graph.cpp" "src/CMakeFiles/buffy.dir/gen/random_graph.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/gen/random_graph.cpp.o.d"
+  "/root/repo/src/io/csdf_io.cpp" "src/CMakeFiles/buffy.dir/io/csdf_io.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/io/csdf_io.cpp.o.d"
+  "/root/repo/src/io/dot.cpp" "src/CMakeFiles/buffy.dir/io/dot.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/io/dot.cpp.o.d"
+  "/root/repo/src/io/dsl.cpp" "src/CMakeFiles/buffy.dir/io/dsl.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/io/dsl.cpp.o.d"
+  "/root/repo/src/io/sdf_xml.cpp" "src/CMakeFiles/buffy.dir/io/sdf_xml.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/io/sdf_xml.cpp.o.d"
+  "/root/repo/src/io/statespace_dot.cpp" "src/CMakeFiles/buffy.dir/io/statespace_dot.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/io/statespace_dot.cpp.o.d"
+  "/root/repo/src/io/xml.cpp" "src/CMakeFiles/buffy.dir/io/xml.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/io/xml.cpp.o.d"
+  "/root/repo/src/mapping/binding.cpp" "src/CMakeFiles/buffy.dir/mapping/binding.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/mapping/binding.cpp.o.d"
+  "/root/repo/src/models/models.cpp" "src/CMakeFiles/buffy.dir/models/models.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/models/models.cpp.o.d"
+  "/root/repo/src/sched/annotate.cpp" "src/CMakeFiles/buffy.dir/sched/annotate.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sched/annotate.cpp.o.d"
+  "/root/repo/src/sched/extract.cpp" "src/CMakeFiles/buffy.dir/sched/extract.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sched/extract.cpp.o.d"
+  "/root/repo/src/sched/latency.cpp" "src/CMakeFiles/buffy.dir/sched/latency.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sched/latency.cpp.o.d"
+  "/root/repo/src/sched/render.cpp" "src/CMakeFiles/buffy.dir/sched/render.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sched/render.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/CMakeFiles/buffy.dir/sched/schedule.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sched/schedule.cpp.o.d"
+  "/root/repo/src/sched/validate_schedule.cpp" "src/CMakeFiles/buffy.dir/sched/validate_schedule.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sched/validate_schedule.cpp.o.d"
+  "/root/repo/src/sdf/builder.cpp" "src/CMakeFiles/buffy.dir/sdf/builder.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sdf/builder.cpp.o.d"
+  "/root/repo/src/sdf/graph.cpp" "src/CMakeFiles/buffy.dir/sdf/graph.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sdf/graph.cpp.o.d"
+  "/root/repo/src/sdf/queries.cpp" "src/CMakeFiles/buffy.dir/sdf/queries.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sdf/queries.cpp.o.d"
+  "/root/repo/src/sdf/validate.cpp" "src/CMakeFiles/buffy.dir/sdf/validate.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/sdf/validate.cpp.o.d"
+  "/root/repo/src/state/engine.cpp" "src/CMakeFiles/buffy.dir/state/engine.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/state/engine.cpp.o.d"
+  "/root/repo/src/state/state.cpp" "src/CMakeFiles/buffy.dir/state/state.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/state/state.cpp.o.d"
+  "/root/repo/src/state/throughput.cpp" "src/CMakeFiles/buffy.dir/state/throughput.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/state/throughput.cpp.o.d"
+  "/root/repo/src/state/trace.cpp" "src/CMakeFiles/buffy.dir/state/trace.cpp.o" "gcc" "src/CMakeFiles/buffy.dir/state/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

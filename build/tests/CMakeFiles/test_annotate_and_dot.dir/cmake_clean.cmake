@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_annotate_and_dot.dir/test_annotate_and_dot.cpp.o"
+  "CMakeFiles/test_annotate_and_dot.dir/test_annotate_and_dot.cpp.o.d"
+  "test_annotate_and_dot"
+  "test_annotate_and_dot.pdb"
+  "test_annotate_and_dot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_annotate_and_dot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

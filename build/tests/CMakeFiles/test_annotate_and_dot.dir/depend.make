@@ -1,0 +1,2 @@
+# Empty dependencies file for test_annotate_and_dot.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checked_math.dir/test_checked_math.cpp.o"
+  "CMakeFiles/test_checked_math.dir/test_checked_math.cpp.o.d"
+  "test_checked_math"
+  "test_checked_math.pdb"
+  "test_checked_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checked_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csdf.dir/test_csdf.cpp.o"
+  "CMakeFiles/test_csdf.dir/test_csdf.cpp.o.d"
+  "test_csdf"
+  "test_csdf.pdb"
+  "test_csdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csdf_io.dir/test_csdf_io.cpp.o"
+  "CMakeFiles/test_csdf_io.dir/test_csdf_io.cpp.o.d"
+  "test_csdf_io"
+  "test_csdf_io.pdb"
+  "test_csdf_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csdf_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

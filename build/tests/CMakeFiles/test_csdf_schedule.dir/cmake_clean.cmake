@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csdf_schedule.dir/test_csdf_schedule.cpp.o"
+  "CMakeFiles/test_csdf_schedule.dir/test_csdf_schedule.cpp.o.d"
+  "test_csdf_schedule"
+  "test_csdf_schedule.pdb"
+  "test_csdf_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csdf_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deadlock_free.dir/test_deadlock_free.cpp.o"
+  "CMakeFiles/test_deadlock_free.dir/test_deadlock_free.cpp.o.d"
+  "test_deadlock_free"
+  "test_deadlock_free.pdb"
+  "test_deadlock_free[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deadlock_free.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

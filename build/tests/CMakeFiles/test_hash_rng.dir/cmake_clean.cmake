@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash_rng.dir/test_hash_rng.cpp.o"
+  "CMakeFiles/test_hash_rng.dir/test_hash_rng.cpp.o.d"
+  "test_hash_rng"
+  "test_hash_rng.pdb"
+  "test_hash_rng[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
