@@ -1,0 +1,173 @@
+// Serial-versus-parallel design-space exploration on the paper's models
+// (exec/ subsystem): wall-clock speedup of the sharded exhaustive engine
+// and the wave-parallel incremental engine at 1/2/4 worker threads, with
+// a byte-identity check of every parallel Pareto front against the serial
+// one. Emits a machine-readable JSON record per measurement (stdout, and
+// `--json FILE` for the perf-trajectory baseline future PRs regress
+// against).
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "buffer/dse.hpp"
+#include "models/models.hpp"
+
+using namespace buffy;
+
+namespace {
+
+struct BenchCase {
+  std::string model;
+  sdf::Graph graph;
+  buffer::DseEngine engine;
+  std::optional<i64> levels;  // quantisation for the dense fronts
+};
+
+struct Measurement {
+  std::string model;
+  std::string engine;
+  unsigned threads = 1;
+  double seconds = 0;
+  double speedup = 1.0;
+  u64 explored = 0;
+  std::size_t points = 0;
+  bool identical = true;  // front matches the serial run byte for byte
+};
+
+const char* engine_name(buffer::DseEngine e) {
+  return e == buffer::DseEngine::Exhaustive ? "exh" : "inc";
+}
+
+bool fronts_identical(const buffer::DseResult& a, const buffer::DseResult& b) {
+  if (a.pareto.size() != b.pareto.size()) return false;
+  for (std::size_t i = 0; i < a.pareto.size(); ++i) {
+    const auto& pa = a.pareto.points()[i];
+    const auto& pb = b.pareto.points()[i];
+    if (pa.throughput != pb.throughput ||
+        pa.distribution.capacities() != pb.distribution.capacities()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+buffer::DseResult run_once(const BenchCase& c, unsigned threads) {
+  buffer::DseOptions opts{.target = models::reported_actor(c.graph),
+                          .engine = c.engine};
+  opts.quantization_levels = c.levels;
+  opts.threads = threads;
+  return buffer::explore(c.graph, opts);
+}
+
+// Best-of-N wall clock; N shrinks for slow configurations.
+buffer::DseResult run_timed(const BenchCase& c, unsigned threads,
+                            double* seconds) {
+  buffer::DseResult best = run_once(c, threads);
+  *seconds = best.seconds;
+  const int reps = best.seconds > 0.5 ? 1 : 3;
+  for (int r = 1; r < reps; ++r) {
+    buffer::DseResult again = run_once(c, threads);
+    if (again.seconds < *seconds) *seconds = again.seconds;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_parallel_dse [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<BenchCase> cases;
+  cases.push_back({"example", models::paper_example(),
+                   buffer::DseEngine::Exhaustive, {}});
+  cases.push_back({"example", models::paper_example(),
+                   buffer::DseEngine::Incremental, {}});
+  cases.push_back({"fig6-diamond", models::fig6_diamond(),
+                   buffer::DseEngine::Exhaustive, {}});
+  cases.push_back({"fig6-diamond", models::fig6_diamond(),
+                   buffer::DseEngine::Incremental, {}});
+  cases.push_back({"samplerate", models::samplerate_converter(),
+                   buffer::DseEngine::Exhaustive, {}});
+  cases.push_back({"samplerate", models::samplerate_converter(),
+                   buffer::DseEngine::Incremental, {}});
+  cases.push_back({"modem", models::modem(),
+                   buffer::DseEngine::Incremental, {}});
+  cases.push_back({"h263", models::h263_decoder(),
+                   buffer::DseEngine::Incremental, {}});
+
+  std::printf("=== parallel DSE: serial vs sharded/wave-parallel ===\n\n");
+  const std::vector<int> widths{14, 7, 8, 10, 9, 11, 7, 10};
+  bench::print_row({"model", "engine", "threads", "time(s)", "speedup",
+                    "explored", "points", "identical"},
+                   widths);
+  bench::print_rule(widths);
+
+  std::vector<Measurement> measurements;
+  bool all_identical = true;
+  for (const BenchCase& c : cases) {
+    double serial_seconds = 0;
+    const buffer::DseResult serial = run_timed(c, 1, &serial_seconds);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      Measurement m;
+      m.model = c.model;
+      m.engine = engine_name(c.engine);
+      m.threads = threads;
+      buffer::DseResult r = serial;
+      if (threads == 1) {
+        m.seconds = serial_seconds;
+      } else {
+        r = run_timed(c, threads, &m.seconds);
+      }
+      m.speedup = m.seconds > 0 ? serial_seconds / m.seconds : 1.0;
+      m.explored = r.distributions_explored;
+      m.points = r.pareto.size();
+      m.identical = fronts_identical(serial, r);
+      all_identical = all_identical && m.identical;
+      std::printf("%-14s %-7s %-8u %-10.4f %-9.2f %-11llu %-7zu %s\n",
+                  m.model.c_str(), m.engine.c_str(), m.threads, m.seconds,
+                  m.speedup, static_cast<unsigned long long>(m.explored),
+                  m.points, m.identical ? "yes" : "NO");
+      measurements.push_back(std::move(m));
+    }
+  }
+
+  std::vector<std::string> records;
+  records.reserve(measurements.size());
+  for (const Measurement& m : measurements) {
+    records.push_back(bench::json_obj({
+        bench::json_field("model", bench::json_str(m.model)),
+        bench::json_field("engine", bench::json_str(m.engine)),
+        bench::json_field("threads", bench::json_num(u64{m.threads})),
+        bench::json_field("seconds", bench::json_num(m.seconds)),
+        bench::json_field("speedup", bench::json_num(m.speedup)),
+        bench::json_field("explored", bench::json_num(m.explored)),
+        bench::json_field("points", bench::json_num(u64{m.points})),
+        bench::json_field("identical", m.identical ? "true" : "false"),
+    }));
+  }
+  const std::string json = bench::json_arr(records);
+  std::printf("\n=== JSON ===\n%s\n", json.c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!all_identical) {
+    std::printf("\nFAIL: a parallel front diverged from the serial one\n");
+    return 1;
+  }
+  return 0;
+}

@@ -69,6 +69,58 @@ inline void print_pareto_staircase(const buffer::ParetoSet& pareto,
               step == 1 ? "" : "s");
 }
 
+// --- Minimal JSON emission (machine-readable bench output) -------------
+
+/// JSON string literal with the characters that matter escaped.
+inline std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+inline std::string json_field(const std::string& key, const std::string& v) {
+  return json_str(key) + ": " + v;
+}
+
+inline std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+inline std::string json_num(u64 v) {
+  return std::to_string(v);
+}
+
+/// "{f1, f2, ...}" from pre-rendered fields.
+inline std::string json_obj(const std::vector<std::string>& fields) {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += fields[i];
+  }
+  return out + "}";
+}
+
+/// "[e1, e2, ...]" from pre-rendered elements.
+inline std::string json_arr(const std::vector<std::string>& elems) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < elems.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += elems[i];
+  }
+  return out + "]";
+}
+
 /// Prints the Pareto points as a table.
 inline void print_pareto_table(const buffer::ParetoSet& pareto) {
   const std::vector<int> widths{6, 14, 12, 28};

@@ -15,10 +15,18 @@
 //   --max-size <n>        explore distributions up to this size only
 //   --goal <rational>     stop once this throughput is reached (e.g. 1/4)
 //   --min-tput <rational> report only points at or above this throughput
+//   --threads <n>         worker threads (deterministic; default 1)
+//   --deadline-ms <n>     wall-clock budget; returns the verified partial
+//                         Pareto front when it runs out
+//   --stats               print exploration counters as one JSON object
 //   --schedule            print the Gantt chart of every Pareto point
 //   --dot <file>          write DOT annotated with the best distribution
 //   --codegen <file>      write the generated Fig. 8 explorer program
 //   --csdf                treat the input as a cyclo-static (CSDF) graph
+//
+// Exit codes: 0 on success (including a deadline-cut partial front), 1 on
+// errors (bad input, deadlocking graph), 2 on command-line misuse (unknown
+// or malformed options — never silently ignored).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +38,7 @@
 #include "buffer/dse.hpp"
 #include "codegen/codegen.hpp"
 #include "csdf/dse.hpp"
+#include "exec/progress.hpp"
 #include "io/csdf_io.hpp"
 #include "io/dot.hpp"
 #include "io/dsl.hpp"
@@ -41,33 +50,125 @@ using namespace buffy;
 
 namespace {
 
-void usage() {
-  std::printf(
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
       "usage: explore_cli <graph.{xml,sdf}> [--target ACTOR] "
       "[--engine inc|exh]\n"
       "                   [--levels N] [--max-size N] [--goal R] "
       "[--min-tput R]\n"
+      "                   [--threads N] [--deadline-ms N] [--stats]\n"
       "                   [--schedule] [--dot FILE] [--codegen FILE] "
       "[--csdf]\n");
 }
 
+// Everything the command line can say, parsed before any work happens.
+struct CliArgs {
+  std::string graph_path;
+  std::string target;
+  std::optional<std::string> engine;
+  std::optional<i64> levels;
+  std::optional<i64> max_size;
+  std::optional<Rational> goal;
+  std::optional<Rational> min_tput;
+  std::optional<i64> threads;
+  std::optional<i64> deadline_ms;
+  bool stats = false;
+  bool schedule = false;
+  std::string dot_path;
+  std::string codegen_path;
+  bool csdf = false;
+};
+
+// Strict parser: every argument must be a known option (with its value
+// when required); anything else is a usage error. Returns nullopt after
+// printing the diagnostic, and the caller exits with status 2.
+std::optional<CliArgs> parse_args(int argc, char** argv) {
+  CliArgs args;
+  args.graph_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw ParseError("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--target") {
+      args.target = value();
+    } else if (arg == "--engine") {
+      args.engine = value();
+      if (*args.engine != "inc" && *args.engine != "exh") {
+        throw ParseError("unknown engine '" + *args.engine + "'");
+      }
+    } else if (arg == "--levels") {
+      args.levels = parse_i64(value());
+    } else if (arg == "--max-size") {
+      args.max_size = parse_i64(value());
+    } else if (arg == "--goal") {
+      args.goal = parse_rational(value());
+    } else if (arg == "--min-tput") {
+      args.min_tput = parse_rational(value());
+    } else if (arg == "--threads") {
+      args.threads = parse_i64(value());
+      if (*args.threads < 1) throw ParseError("--threads must be >= 1");
+    } else if (arg == "--deadline-ms") {
+      args.deadline_ms = parse_i64(value());
+      if (*args.deadline_ms < 0) {
+        throw ParseError("--deadline-ms must be >= 0");
+      }
+    } else if (arg == "--stats") {
+      args.stats = true;
+    } else if (arg == "--schedule") {
+      args.schedule = true;
+    } else if (arg == "--dot") {
+      args.dot_path = value();
+    } else if (arg == "--codegen") {
+      args.codegen_path = value();
+    } else if (arg == "--csdf") {
+      args.csdf = true;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return std::nullopt;
+    }
+  }
+  if (args.csdf) {
+    // The CSDF engine supports a subset of the options; anything else is
+    // rejected loudly instead of silently ignored.
+    const char* unsupported = nullptr;
+    if (args.engine.has_value()) unsupported = "--engine";
+    if (args.goal.has_value()) unsupported = "--goal";
+    if (args.min_tput.has_value()) unsupported = "--min-tput";
+    if (args.threads.has_value()) unsupported = "--threads";
+    if (args.deadline_ms.has_value()) unsupported = "--deadline-ms";
+    if (args.stats) unsupported = "--stats";
+    if (args.schedule) unsupported = "--schedule";
+    if (!args.dot_path.empty()) unsupported = "--dot";
+    if (!args.codegen_path.empty()) unsupported = "--codegen";
+    if (unsupported != nullptr) {
+      std::fprintf(stderr, "error: %s is not supported in --csdf mode\n",
+                   unsupported);
+      return std::nullopt;
+    }
+  }
+  return args;
+}
+
 // CSDF mode: the cyclo-static design-space exploration (see src/csdf/).
-int explore_csdf(const std::string& path, const std::string& target_name,
-                 std::optional<i64> levels, std::optional<i64> max_size) {
-  const csdf::Graph graph = io::load_csdf_file(path);
+int explore_csdf(const CliArgs& args) {
+  const csdf::Graph graph = io::load_csdf_file(args.graph_path);
   csdf::DseOptions opts{.target = csdf::ActorId(graph.num_actors() - 1)};
-  if (!target_name.empty()) {
-    const auto id = graph.find_actor(target_name);
-    if (!id) throw Error("no actor named '" + target_name + "'");
+  if (!args.target.empty()) {
+    const auto id = graph.find_actor(args.target);
+    if (!id) throw Error("no actor named '" + args.target + "'");
     opts.target = *id;
   }
-  opts.max_distribution_size = max_size;
+  opts.max_distribution_size = args.max_size;
   std::printf("CSDF graph '%s': %zu actors, %zu channels; target '%s'\n",
               graph.name().c_str(), graph.num_actors(), graph.num_channels(),
               graph.actor(opts.target).name.c_str());
   auto result = csdf::explore(graph, opts);
-  if (levels.has_value() && !result.deadlock) {
-    opts.quantization = result.max_throughput / Rational(*levels);
+  if (args.levels.has_value() && !result.deadlock) {
+    opts.quantization = result.max_throughput / Rational(*args.levels);
     result = csdf::explore(graph, opts);
   }
   if (result.deadlock) {
@@ -92,76 +193,43 @@ sdf::Graph load(const std::string& path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    usage();
-    return 0;
+    usage(stderr);
+    return 2;
+  }
+  // Command-line errors exit 2; later failures (unreadable or malformed
+  // graph files, deadlocks) exit 1.
+  std::optional<CliArgs> args;
+  try {
+    args = parse_args(argc, argv);
+    if (!args.has_value()) return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage(stderr);
+    return 2;
   }
   try {
-    // CSDF mode is dispatched before the SDF graph is even loaded.
-    bool csdf_mode = false;
-    std::string csdf_target;
-    std::optional<i64> csdf_levels;
-    std::optional<i64> csdf_max_size;
-    for (int i = 2; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--csdf") csdf_mode = true;
-      if (arg == "--target" && i + 1 < argc) csdf_target = argv[i + 1];
-      if (arg == "--levels" && i + 1 < argc) {
-        csdf_levels = parse_i64(argv[i + 1]);
-      }
-      if (arg == "--max-size" && i + 1 < argc) {
-        csdf_max_size = parse_i64(argv[i + 1]);
-      }
-    }
-    if (csdf_mode) {
-      return explore_csdf(argv[1], csdf_target, csdf_levels, csdf_max_size);
-    }
+    if (args->csdf) return explore_csdf(*args);
 
-    const sdf::Graph graph = load(argv[1]);
+    const sdf::Graph graph = load(args->graph_path);
 
     buffer::DseOptions opts{.target = sdf::ActorId(graph.num_actors() - 1),
                             .engine = buffer::DseEngine::Incremental};
-    bool print_schedules = false;
-    std::string dot_path;
-    std::string codegen_path;
-    for (int i = 2; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto value = [&]() -> std::string {
-        if (i + 1 >= argc) throw Error("missing value for " + arg);
-        return argv[++i];
-      };
-      if (arg == "--target") {
-        const std::string name = value();
-        const auto id = graph.find_actor(name);
-        if (!id) throw Error("no actor named '" + name + "'");
-        opts.target = *id;
-      } else if (arg == "--engine") {
-        const std::string engine = value();
-        if (engine == "inc") {
-          opts.engine = buffer::DseEngine::Incremental;
-        } else if (engine == "exh") {
-          opts.engine = buffer::DseEngine::Exhaustive;
-        } else {
-          throw Error("unknown engine '" + engine + "'");
-        }
-      } else if (arg == "--levels") {
-        opts.quantization_levels = parse_i64(value());
-      } else if (arg == "--max-size") {
-        opts.max_distribution_size = parse_i64(value());
-      } else if (arg == "--goal") {
-        opts.throughput_goal = parse_rational(value());
-      } else if (arg == "--min-tput") {
-        opts.min_throughput = parse_rational(value());
-      } else if (arg == "--schedule") {
-        print_schedules = true;
-      } else if (arg == "--dot") {
-        dot_path = value();
-      } else if (arg == "--codegen") {
-        codegen_path = value();
-      } else {
-        usage();
-        throw Error("unknown option '" + arg + "'");
-      }
+    if (!args->target.empty()) {
+      const auto id = graph.find_actor(args->target);
+      if (!id) throw Error("no actor named '" + args->target + "'");
+      opts.target = *id;
     }
+    if (args->engine == "exh") opts.engine = buffer::DseEngine::Exhaustive;
+    opts.quantization_levels = args->levels;
+    opts.max_distribution_size = args->max_size;
+    opts.throughput_goal = args->goal;
+    opts.min_throughput = args->min_tput;
+    if (args->threads.has_value()) {
+      opts.threads = static_cast<unsigned>(*args->threads);
+    }
+    opts.deadline_ms = args->deadline_ms;
+    exec::Progress progress;
+    if (args->stats) opts.progress = &progress;
 
     std::printf("graph '%s': %zu actors, %zu channels; target actor '%s'\n",
                 graph.name().c_str(), graph.num_actors(),
@@ -178,14 +246,21 @@ int main(int argc, char** argv) {
                 static_cast<long long>(result.bounds.ub_size),
                 result.bounds.max_throughput.str().c_str());
     std::printf("explored %llu distributions in %.3f s (max %llu states per "
-                "run)\n\n",
+                "run)\n",
                 static_cast<unsigned long long>(result.distributions_explored),
                 result.seconds,
                 static_cast<unsigned long long>(result.max_states_stored));
+    if (result.cancelled) {
+      std::printf("deadline hit: the Pareto front below is a verified "
+                  "partial result\n");
+    }
+    std::printf("\nPareto points:\n%s", result.pareto.str().c_str());
 
-    std::printf("Pareto points:\n%s", result.pareto.str().c_str());
+    if (args->stats) {
+      std::printf("\nstats: %s\n", progress.snapshot().json().c_str());
+    }
 
-    if (print_schedules) {
+    if (args->schedule) {
       for (const buffer::ParetoPoint& p : result.pareto.points()) {
         const auto ex = sched::extract_schedule(
             graph, state::Capacities::bounded(p.distribution.capacities()),
@@ -199,16 +274,17 @@ int main(int argc, char** argv) {
       }
     }
 
-    if (!dot_path.empty() && !result.pareto.empty()) {
-      std::ofstream out(dot_path);
+    if (!args->dot_path.empty() && !result.pareto.empty()) {
+      std::ofstream out(args->dot_path);
       out << io::write_dot(graph,
                            result.pareto.points().back().distribution);
-      std::printf("\nwrote %s\n", dot_path.c_str());
+      std::printf("\nwrote %s\n", args->dot_path.c_str());
     }
-    if (!codegen_path.empty()) {
-      codegen::write_explorer_source(graph, opts.target, codegen_path);
+    if (!args->codegen_path.empty()) {
+      codegen::write_explorer_source(graph, opts.target,
+                                     args->codegen_path);
       std::printf("wrote %s (build: c++ -std=c++17 -O2 -o explore %s)\n",
-                  codegen_path.c_str(), codegen_path.c_str());
+                  args->codegen_path.c_str(), args->codegen_path.c_str());
     }
     return 0;
   } catch (const std::exception& e) {

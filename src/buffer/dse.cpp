@@ -84,6 +84,11 @@ DseResult explore(const sdf::Graph& graph, const DseOptions& options) {
     }
   }
   DseOptions effective = options;
+  if (effective.deadline_ms.has_value()) {
+    // The engines and their throughput runs poll one combined token:
+    // cancelled when the user's token fires OR the budget runs out.
+    effective.cancel = options.cancel.with_deadline(*effective.deadline_ms);
+  }
   if (!effective.binding.empty()) {
     // Under a processor binding the unbound maximal throughput (MCM) is
     // unreachable and storage dependencies need not ever vanish (a
@@ -102,8 +107,22 @@ DseResult explore(const sdf::Graph& graph, const DseOptions& options) {
       state::ThroughputOptions run_opts{
           .target = options.target, .max_steps = options.max_steps_per_run};
       run_opts.processor_of = options.binding;
-      const auto run = state::compute_throughput(
-          graph, state::Capacities::bounded(caps), run_opts);
+      run_opts.cancel = effective.cancel;
+      run_opts.progress = options.progress;
+      state::ThroughputResult run;
+      try {
+        run = state::compute_throughput(graph,
+                                        state::Capacities::bounded(caps),
+                                        run_opts);
+      } catch (const exec::Cancelled&) {
+        // Budget exhausted while establishing the bound goal: nothing was
+        // explored yet, so the partial front is empty.
+        DseResult cancelled;
+        cancelled.bounds = bounds;
+        cancelled.cancelled = true;
+        if (options.progress != nullptr) options.progress->mark_cancelled();
+        return cancelled;
+      }
       if (!run.deadlocked && run.throughput == bound_max) {
         ++plateau;
       } else if (!run.deadlocked) {
@@ -150,6 +169,10 @@ DseResult explore(const sdf::Graph& graph, const DseOptions& options) {
       if (p.throughput >= *options.min_throughput) filtered.add(p);
     }
     result.pareto = std::move(filtered);
+  }
+  if (options.progress != nullptr) {
+    options.progress->add_pareto_points(result.pareto.size());
+    if (result.cancelled) options.progress->mark_cancelled();
   }
   return result;
 }

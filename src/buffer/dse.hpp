@@ -24,6 +24,8 @@
 #include "base/rational.hpp"
 #include "buffer/bounds.hpp"
 #include "buffer/pareto.hpp"
+#include "exec/cancellation.hpp"
+#include "exec/progress.hpp"
 #include "sdf/graph.hpp"
 
 namespace buffy::buffer {
@@ -80,13 +82,31 @@ struct DseOptions {
   /// context; see mapping/). Supported by the incremental engine.
   std::vector<std::size_t> binding;
 
-  /// Worker threads for the incremental engine's throughput runs (each run
-  /// is independent). Candidates of equal size are evaluated in parallel
-  /// and folded in deterministic (lexicographic) order, so the Pareto
-  /// result is identical to the single-threaded exploration;
-  /// `distributions_explored` may count a few extra batch-mates evaluated
-  /// past the stopping point. 1 = sequential.
+  /// Worker threads for the exploration (both engines; each throughput run
+  /// is independent). The incremental engine evaluates candidates of equal
+  /// size in parallel waves; the exhaustive engine shards the per-size
+  /// enumeration. Results are folded in deterministic (lexicographic)
+  /// order, so the Pareto set is identical to the single-threaded
+  /// exploration; `distributions_explored` may count a few extra
+  /// candidates evaluated past the sequential stopping point.
+  /// 1 = sequential.
   unsigned threads = 1;
+
+  /// Wall-clock budget in milliseconds. When it runs out the exploration
+  /// stops at the next safepoint and returns the Pareto points verified so
+  /// far, with DseResult::cancelled set — a valid partial front rather
+  /// than a hang (every reported point's throughput was fully computed).
+  std::optional<i64> deadline_ms;
+
+  /// External cancellation (composes with `deadline_ms`); same partial
+  /// result semantics. The default token never cancels.
+  exec::CancellationToken cancel;
+
+  /// Optional metrics sink: points explored, reduced states stored, pruned
+  /// candidates, waves, Pareto points. Not owned; may be null. Must
+  /// outlive the exploration; safe to snapshot from another thread while
+  /// the exploration runs.
+  exec::Progress* progress = nullptr;
 };
 
 /// Result of a design-space exploration.
@@ -98,6 +118,9 @@ struct DseResult {
   /// Some channel's max constraint lies below its analytic lower bound: no
   /// distribution can satisfy the constraints with positive throughput.
   bool constraints_infeasible = false;
+  /// The exploration hit its deadline or was cancelled; `pareto` holds the
+  /// verified points found before the stop (a valid partial front).
+  bool cancelled = false;
   /// Number of storage distributions whose throughput was computed.
   u64 distributions_explored = 0;
   /// Largest reduced state space stored in any single run (Table 2 metric).

@@ -1,17 +1,21 @@
 #include "buffer/dse_exact.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <map>
 
 #include "base/diagnostics.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "state/throughput.hpp"
 
 namespace buffy::buffer {
 
 namespace {
 
-// Shared state of one exhaustive exploration.
+// Shared state of one exhaustive exploration. Counters are atomic because
+// the per-size enumeration is sharded across the worker pool.
 struct Sweep {
   const sdf::Graph& graph;
   const DseOptions& options;
@@ -21,19 +25,29 @@ struct Sweep {
   std::vector<i64> lb_suffix;  // sum of lb over channels >= i
   std::vector<i64> ub_suffix;  // sum of ub over channels >= i
   Rational goal;               // stop improving a size beyond this
-  u64 explored = 0;
-  u64 max_states = 0;
+  std::atomic<u64> explored{0};
+  std::atomic<u64> max_states{0};
+  exec::ThreadPool* pool = nullptr;  // null = sequential
 
   [[nodiscard]] Rational throughput_of(const std::vector<i64>& caps) {
-    if (++explored > options.max_distributions) {
+    if (explored.fetch_add(1, std::memory_order_relaxed) + 1 >
+        options.max_distributions) {
       throw Error("exhaustive DSE exceeded max_distributions = " +
                   std::to_string(options.max_distributions));
     }
+    state::ThroughputOptions run_opts{.target = options.target,
+                                      .max_steps =
+                                          options.max_steps_per_run};
+    run_opts.cancel = options.cancel;
+    run_opts.progress = options.progress;
     const auto run = state::compute_throughput(
-        graph, state::Capacities::bounded(caps),
-        state::ThroughputOptions{.target = options.target,
-                                 .max_steps = options.max_steps_per_run});
-    max_states = std::max(max_states, run.states_stored);
+        graph, state::Capacities::bounded(caps), run_opts);
+    u64 seen = max_states.load(std::memory_order_relaxed);
+    while (run.states_stored > seen &&
+           !max_states.compare_exchange_weak(seen, run.states_stored,
+                                             std::memory_order_relaxed)) {
+    }
+    if (options.progress != nullptr) options.progress->add_points(1);
     return run.throughput;
   }
 };
@@ -45,8 +59,9 @@ struct SizeOutcome {
   StorageDistribution witness;
 };
 
-// Visits every distribution of the requested total inside the box; the
-// visitor returns false to abort the sweep.
+// Visits every distribution of the requested total inside the box, in
+// lexicographic capacity order; the visitor returns false to abort the
+// sweep. `caps[0..channel)` must already hold the fixed prefix.
 template <typename Visitor>
 bool enumerate(Sweep& sweep, std::vector<i64>& caps, std::size_t channel,
                i64 remaining, Visitor&& visit) {
@@ -71,7 +86,9 @@ bool enumerate(Sweep& sweep, std::vector<i64>& caps, std::size_t channel,
   return true;
 }
 
-SizeOutcome max_throughput_for_size(Sweep& sweep, i64 size) {
+// Sequential reference: scan in lexicographic order, keep the first
+// distribution that strictly improves, stop at the goal.
+SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size) {
   SizeOutcome best{Rational(0), StorageDistribution()};
   std::vector<i64> caps(sweep.lb.size(), 0);
   enumerate(sweep, caps, 0, size,
@@ -83,6 +100,102 @@ SizeOutcome max_throughput_for_size(Sweep& sweep, i64 size) {
               }
               return best.throughput < sweep.goal;  // stop at the goal
             });
+  return best;
+}
+
+// One shard of a sharded per-size enumeration: a fixed capacity prefix
+// (channels [0, depth)) plus the tokens left for the remaining channels.
+struct Shard {
+  std::vector<i64> prefix;
+  i64 remaining = 0;
+};
+
+// Splits the size-`size` slice of the box into lexicographically ordered
+// shards by fixing capacity prefixes, expanding one channel at a time
+// until there are enough shards to feed the pool (or prefixes run out of
+// channels to fix). Expanding in capacity order keeps the concatenation
+// of the shards' enumeration ranges equal to the sequential visit order.
+std::vector<Shard> make_shards(const Sweep& sweep, i64 size,
+                               std::size_t want) {
+  const std::size_t m = sweep.lb.size();
+  std::vector<Shard> shards{{{}, size}};
+  std::size_t depth = 0;
+  while (depth + 1 < m && shards.size() < want) {
+    std::vector<Shard> next;
+    next.reserve(shards.size() * 2);
+    for (const Shard& s : shards) {
+      const i64 rest_lb = sweep.lb_suffix[depth + 1];
+      const i64 rest_ub = sweep.ub_suffix[depth + 1];
+      const i64 lo = std::max(sweep.lb[depth], s.remaining - rest_ub);
+      const i64 hi = std::min(sweep.ub[depth], s.remaining - rest_lb);
+      for (i64 cap = lo; cap <= hi; ++cap) {
+        Shard child{s.prefix, s.remaining - cap};
+        child.prefix.push_back(cap);
+        next.push_back(std::move(child));
+      }
+    }
+    shards = std::move(next);
+    ++depth;
+  }
+  return shards;
+}
+
+// The work-sharded equivalent of max_throughput_sequential: each shard
+// finds its lexicographically-first best (stopping at the goal), and the
+// shard outcomes are folded left-to-right exactly as the sequential scan
+// would encounter them — so the returned (throughput, witness) pair is
+// bit-identical to the sequential engine's.
+SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size) {
+  const std::size_t workers = sweep.pool->num_workers();
+  const std::vector<Shard> shards =
+      make_shards(sweep, size, workers * 8);
+
+  struct ShardOutcome {
+    bool any = false;      // the shard contains at least one distribution
+    bool hit_goal = false;  // stopped at the goal (lex-first hit)
+    Rational best;
+    StorageDistribution witness;
+  };
+  const auto outcomes = exec::parallel_transform<ShardOutcome>(
+      *sweep.pool, shards.size(),
+      [&](std::size_t s) {
+        const Shard& shard = shards[s];
+        ShardOutcome out;
+        std::vector<i64> caps(sweep.lb.size(), 0);
+        std::copy(shard.prefix.begin(), shard.prefix.end(), caps.begin());
+        enumerate(sweep, caps, shard.prefix.size(), shard.remaining,
+                  [&](const std::vector<i64>& found, const Rational& tput) {
+                    if (!out.any || tput > out.best) {
+                      out.any = true;
+                      out.best = tput;
+                      out.witness = StorageDistribution(found);
+                    }
+                    out.hit_goal = out.best >= sweep.goal;
+                    return !out.hit_goal;
+                  });
+        return out;
+      },
+      /*chunk_size=*/1);
+
+  SizeOutcome best{Rational(0), StorageDistribution()};
+  for (const ShardOutcome& out : outcomes) {
+    if (!out.any) continue;
+    if (best.witness.num_channels() == 0 || out.best > best.throughput) {
+      best.throughput = out.best;
+      best.witness = out.witness;
+    }
+    // The sequential scan would have stopped inside this shard; later
+    // shards were never reached, so their outcomes must not be folded.
+    if (best.throughput >= sweep.goal) break;
+  }
+  return best;
+}
+
+SizeOutcome max_throughput_for_size(Sweep& sweep, i64 size) {
+  const bool parallel =
+      sweep.pool != nullptr && sweep.pool->num_workers() > 1;
+  SizeOutcome best = parallel ? max_throughput_sharded(sweep, size)
+                              : max_throughput_sequential(sweep, size);
   BUFFY_ASSERT(best.witness.num_channels() != 0,
                "no distribution of the requested size inside the box");
   return best;
@@ -118,7 +231,9 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   DseResult result;
   result.bounds = bounds;
 
+  exec::ThreadPool pool(options.threads > 1 ? options.threads : 0);
   Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
+  sweep.pool = &pool;
   init_box(sweep);
   sweep.goal = quantize_down(bounds.max_throughput, options.quantization);
   if (options.throughput_goal.has_value() &&
@@ -140,7 +255,9 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
 
   // Divide and conquer over the size dimension (Sec. 9): throughput is
   // monotonic in the size, so an interval whose endpoints agree contains no
-  // further Pareto points.
+  // further Pareto points. Sizes fully evaluated before a deadline fires
+  // are genuine (size, max throughput) points, so a cancelled exploration
+  // still returns a verified partial front.
   std::map<i64, SizeOutcome> evaluated;
   const auto eval = [&](i64 size) -> const SizeOutcome& {
     auto it = evaluated.find(size);
@@ -149,22 +266,34 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
     }
     return it->second;
   };
+  const auto prune_interval = [&](i64 lo, i64 hi) {
+    if (options.progress != nullptr && hi - lo > 1) {
+      options.progress->add_pruned(static_cast<u64>(hi - lo - 1));
+    }
+  };
 
   if (hi_size >= lo_size) {
-    eval(lo_size);
-    eval(hi_size);
-    // Explicit work list of (lo, hi) intervals with both endpoints known.
-    std::vector<std::pair<i64, i64>> intervals{{lo_size, hi_size}};
-    while (!intervals.empty()) {
-      const auto [lo, hi] = intervals.back();
-      intervals.pop_back();
-      if (hi - lo <= 1) continue;
-      if (evaluated.at(lo).throughput == evaluated.at(hi).throughput) continue;
-      if (evaluated.at(lo).throughput >= sweep.goal) continue;
-      const i64 mid = lo + (hi - lo) / 2;
-      eval(mid);
-      intervals.emplace_back(lo, mid);
-      intervals.emplace_back(mid, hi);
+    try {
+      eval(lo_size);
+      eval(hi_size);
+      // Explicit work list of (lo, hi) intervals with both endpoints known.
+      std::vector<std::pair<i64, i64>> intervals{{lo_size, hi_size}};
+      while (!intervals.empty()) {
+        const auto [lo, hi] = intervals.back();
+        intervals.pop_back();
+        if (hi - lo <= 1) continue;
+        if (evaluated.at(lo).throughput == evaluated.at(hi).throughput ||
+            evaluated.at(lo).throughput >= sweep.goal) {
+          prune_interval(lo, hi);
+          continue;
+        }
+        const i64 mid = lo + (hi - lo) / 2;
+        eval(mid);
+        intervals.emplace_back(lo, mid);
+        intervals.emplace_back(mid, hi);
+      }
+    } catch (const exec::Cancelled&) {
+      result.cancelled = true;  // keep the completed sizes
     }
     for (const auto& [size, outcome] : evaluated) {
       result.pareto.add(
@@ -172,8 +301,9 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
     }
   }
 
-  result.distributions_explored = sweep.explored;
-  result.max_states_stored = sweep.max_states;
+  result.distributions_explored =
+      sweep.explored.load(std::memory_order_relaxed);
+  result.max_states_stored = sweep.max_states.load(std::memory_order_relaxed);
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

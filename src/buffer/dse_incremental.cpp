@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <chrono>
 #include <set>
-#include <thread>
 #include <unordered_set>
 
 #include "base/diagnostics.hpp"
+#include "exec/parallel.hpp"
+#include "exec/thread_pool.hpp"
 #include "state/engine.hpp"
 #include "state/throughput.hpp"
 
@@ -76,6 +77,10 @@ DseResult explore_incremental(const sdf::Graph& graph,
   // maximum: exploring further cannot produce a new quantised Pareto point.
   const Rational quantized_goal = quantize_down(goal, options.quantization);
 
+  // One pool for the whole exploration; each wave fans out over it. Zero
+  // workers = the wave loop runs inline on this thread (sequential mode).
+  exec::ThreadPool pool(options.threads > 1 ? options.threads : 0);
+
   Frontier frontier;
   std::unordered_set<StorageDistribution, StorageDistributionHash> visited;
 
@@ -99,51 +104,55 @@ DseResult explore_incremental(const sdf::Graph& graph,
       batch.push_back(frontier.begin()->second);
       frontier.erase(frontier.begin());
     }
-    result.distributions_explored += batch.size();
-    if (result.distributions_explored > options.max_distributions) {
+    if (result.distributions_explored + batch.size() >
+        options.max_distributions) {
       throw Error("incremental DSE exceeded max_distributions = " +
                   std::to_string(options.max_distributions));
     }
 
     // Evaluate the batch (throughput + storage dependencies per
-    // distribution); each evaluation is independent, so spread them over
-    // the worker threads when requested.
+    // distribution); each evaluation is independent, so the wave fans out
+    // over the pool. A cancellation (deadline or external token) leaves
+    // the remaining items unevaluated — the wave stops "from within".
     struct Evaluation {
       state::ThroughputResult run;
       std::vector<sdf::ChannelId> deps;
+      bool valid = false;
     };
     std::vector<Evaluation> evals(batch.size());
     const auto evaluate = [&](std::size_t i) {
+      if (options.cancel.cancelled()) return;  // skip: wave is being cut
       const state::Capacities capacities =
           state::Capacities::bounded(batch[i]);
       state::ThroughputOptions run_opts{
           .target = options.target, .max_steps = options.max_steps_per_run};
       run_opts.processor_of = options.binding;
-      evals[i].run = state::compute_throughput(graph, capacities, run_opts);
-      evals[i].deps = storage_dependencies(
-          graph, capacities, evals[i].run.cycle_start_time,
-          evals[i].run.deadlocked ? 0 : evals[i].run.period, options.binding);
-    };
-    const unsigned workers =
-        std::min<unsigned>(std::max(1u, options.threads),
-                           static_cast<unsigned>(batch.size()));
-    if (workers <= 1) {
-      for (std::size_t i = 0; i < batch.size(); ++i) evaluate(i);
-    } else {
-      std::vector<std::thread> pool;
-      pool.reserve(workers);
-      for (unsigned w = 0; w < workers; ++w) {
-        pool.emplace_back([&, w]() {
-          for (std::size_t i = w; i < batch.size(); i += workers) {
-            evaluate(i);
-          }
-        });
+      run_opts.cancel = options.cancel;
+      run_opts.progress = options.progress;
+      try {
+        evals[i].run = state::compute_throughput(graph, capacities, run_opts);
+        evals[i].deps = storage_dependencies(
+            graph, capacities, evals[i].run.cycle_start_time,
+            evals[i].run.deadlocked ? 0 : evals[i].run.period,
+            options.binding);
+      } catch (const exec::Cancelled&) {
+        return;  // mid-run cut: a partial state space proves nothing
       }
-      for (std::thread& t : pool) t.join();
-    }
+      evals[i].valid = true;
+      if (options.progress != nullptr) options.progress->add_points(1);
+    };
+    exec::parallel_for_each(pool, batch.size(), evaluate, /*chunk_size=*/1);
+    if (options.progress != nullptr) options.progress->add_wave();
 
-    // Fold sequentially in the deterministic pop order.
+    // Fold sequentially in the deterministic pop order. Only the valid
+    // prefix is folded: an unevaluated (cancelled) item and everything
+    // after it are discarded, so every emitted point is fully verified.
     for (std::size_t i = 0; i < batch.size() && !goal_reached; ++i) {
+      if (!evals[i].valid) {
+        result.cancelled = true;
+        break;
+      }
+      ++result.distributions_explored;
       const auto& caps = batch[i];
       const auto& run = evals[i].run;
       result.max_states_stored =
@@ -173,12 +182,15 @@ DseResult explore_incremental(const sdf::Graph& graph,
       for (const sdf::ChannelId c : evals[i].deps) {
         if (ceiling[c.index()].has_value() &&
             caps[c.index()] + 1 > *ceiling[c.index()]) {
-          continue;  // this memory is full (distributed-memory constraint)
+          // This memory is full (distributed-memory constraint).
+          if (options.progress != nullptr) options.progress->add_pruned(1);
+          continue;
         }
         StorageDistribution child =
             StorageDistribution(caps).with(c.index(), caps[c.index()] + 1);
         if (options.max_distribution_size.has_value() &&
             child.size() > *options.max_distribution_size) {
+          if (options.progress != nullptr) options.progress->add_pruned(1);
           continue;
         }
         if (visited.insert(child).second) {
@@ -186,6 +198,7 @@ DseResult explore_incremental(const sdf::Graph& graph,
         }
       }
     }
+    if (result.cancelled) break;
   }
 
   result.seconds =

@@ -1,0 +1,45 @@
+#include "exec/cancellation.hpp"
+
+#include <atomic>
+#include <optional>
+
+namespace buffy::exec {
+
+struct CancellationToken::State {
+  std::atomic<bool> flag{false};
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  std::shared_ptr<State> parent;  // cancelled when any ancestor is
+
+  [[nodiscard]] bool cancelled() const {
+    for (const State* s = this; s != nullptr; s = s->parent.get()) {
+      if (s->flag.load(std::memory_order_relaxed)) return true;
+      if (s->deadline.has_value() &&
+          std::chrono::steady_clock::now() >= *s->deadline) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+CancellationToken CancellationToken::cancellable() {
+  return CancellationToken(std::make_shared<State>());
+}
+
+CancellationToken CancellationToken::with_deadline(i64 ms) const {
+  auto state = std::make_shared<State>();
+  state->deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(ms);
+  state->parent = state_;
+  return CancellationToken(std::move(state));
+}
+
+void CancellationToken::cancel() const {
+  if (state_ != nullptr) state_->flag.store(true, std::memory_order_relaxed);
+}
+
+bool CancellationToken::cancelled() const {
+  return state_ != nullptr && state_->cancelled();
+}
+
+}  // namespace buffy::exec

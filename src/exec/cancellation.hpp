@@ -1,0 +1,70 @@
+// Cooperative cancellation for bounded explorations (DESIGN.md, exec/).
+//
+// A CancellationToken is a cheap, copyable handle onto shared cancellation
+// state: an explicit flag (set by cancel()) and an optional wall-clock
+// deadline. Long-running engines poll `cancelled()` (or call `checkpoint()`,
+// which throws Cancelled) at natural safepoints — between state-space steps,
+// between candidate distributions, between waves — and unwind with whatever
+// verified partial result they have. Tokens form a chain: a child derived
+// via `with_deadline` is cancelled when its own deadline passes OR any
+// ancestor is cancelled, so a user-supplied token composes with the
+// engine-imposed `--deadline-ms` budget.
+//
+// A default-constructed token is "none": it never cancels and costs one
+// null-pointer check to poll, so hot loops need no separate code path.
+#pragma once
+
+#include <chrono>
+#include <memory>
+
+#include "base/checked_math.hpp"
+#include "base/diagnostics.hpp"
+
+namespace buffy::exec {
+
+/// Thrown by CancellationToken::checkpoint() once the token is cancelled.
+/// Derives from buffy::Error so existing catch sites contain it.
+class Cancelled : public Error {
+ public:
+  Cancelled() : Error("operation cancelled (deadline or explicit cancel)") {}
+};
+
+/// Copyable handle on shared cancellation state; see file comment.
+class CancellationToken {
+ public:
+  /// The "none" token: never cancelled, free to poll.
+  CancellationToken() = default;
+
+  /// A fresh cancellable token (no deadline until derived).
+  [[nodiscard]] static CancellationToken cancellable();
+
+  /// A token that auto-cancels `ms` milliseconds from now. Also cancelled
+  /// whenever this (parent) token is — deadlines compose with explicit
+  /// cancellation. Works on the "none" token (pure deadline).
+  [[nodiscard]] CancellationToken with_deadline(i64 ms) const;
+
+  /// Requests cancellation; all copies and children observe it. No-op on
+  /// the "none" token.
+  void cancel() const;
+
+  /// True once cancel() was called on this token or an ancestor, or a
+  /// deadline on the chain has passed.
+  [[nodiscard]] bool cancelled() const;
+
+  /// Throws Cancelled when cancelled(); the hot-loop safepoint.
+  void checkpoint() const {
+    if (cancelled()) throw Cancelled();
+  }
+
+  /// True for tokens that can actually cancel (not the "none" token).
+  [[nodiscard]] bool can_cancel() const { return state_ != nullptr; }
+
+ private:
+  struct State;
+  explicit CancellationToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;  // null = the "none" token
+};
+
+}  // namespace buffy::exec

@@ -1,0 +1,59 @@
+#include "exec/parallel.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <limits>
+#include <mutex>
+
+namespace buffy::exec::detail {
+
+std::size_t default_chunk(std::size_t n, unsigned workers) {
+  if (workers == 0) return n;
+  return std::max<std::size_t>(1, n / (static_cast<std::size_t>(workers) * 4));
+}
+
+void for_each_index(ThreadPool& pool, std::size_t n, std::size_t chunk_size,
+                    const std::function<void(std::size_t)>& body) {
+  if (pool.num_workers() == 0 || n <= chunk_size) {
+    // Inline: a plain loop, which already throws at the lowest index.
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Fan-out/fan-in rendezvous shared by all chunks of this call.
+  struct WaitGroup {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::size_t error_index = std::numeric_limits<std::size_t>::max();
+    std::exception_ptr error;
+  } wg;
+  const std::size_t num_chunks = (n + chunk_size - 1) / chunk_size;
+  wg.remaining = num_chunks;
+
+  for (std::size_t c = 0; c < num_chunks; ++c) {
+    pool.submit([&wg, &body, c, chunk_size, n]() {
+      const std::size_t begin = c * chunk_size;
+      const std::size_t end = std::min(n, begin + chunk_size);
+      std::size_t i = begin;
+      std::exception_ptr caught;
+      try {
+        for (; i < end; ++i) body(i);
+      } catch (...) {
+        caught = std::current_exception();
+      }
+      std::lock_guard lock(wg.mutex);
+      if (caught != nullptr && i < wg.error_index) {
+        wg.error_index = i;  // keep the lowest-index failure
+        wg.error = caught;
+      }
+      if (--wg.remaining == 0) wg.done.notify_all();
+    });
+  }
+
+  std::unique_lock lock(wg.mutex);
+  wg.done.wait(lock, [&]() { return wg.remaining == 0; });
+  if (wg.error != nullptr) std::rethrow_exception(wg.error);
+}
+
+}  // namespace buffy::exec::detail

@@ -1,0 +1,49 @@
+#include "exec/progress.hpp"
+
+#include <cstdio>
+
+namespace buffy::exec {
+
+std::string ProgressSnapshot::json() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof buf,
+      "{\"points_explored\": %llu, \"states_visited\": %llu, "
+      "\"pruned_by_bound\": %llu, \"pareto_points\": %llu, \"waves\": %llu, "
+      "\"seconds\": %.6f, \"cancelled\": %s}",
+      static_cast<unsigned long long>(points_explored),
+      static_cast<unsigned long long>(states_visited),
+      static_cast<unsigned long long>(pruned_by_bound),
+      static_cast<unsigned long long>(pareto_points),
+      static_cast<unsigned long long>(waves), seconds,
+      cancelled ? "true" : "false");
+  return buf;
+}
+
+Progress::Progress() : start_(std::chrono::steady_clock::now()) {}
+
+ProgressSnapshot Progress::snapshot() const {
+  ProgressSnapshot s;
+  s.points_explored = points_explored_.load(std::memory_order_relaxed);
+  s.states_visited = states_visited_.load(std::memory_order_relaxed);
+  s.pruned_by_bound = pruned_by_bound_.load(std::memory_order_relaxed);
+  s.pareto_points = pareto_points_.load(std::memory_order_relaxed);
+  s.waves = waves_.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  return s;
+}
+
+void Progress::reset() {
+  points_explored_.store(0, std::memory_order_relaxed);
+  states_visited_.store(0, std::memory_order_relaxed);
+  pruned_by_bound_.store(0, std::memory_order_relaxed);
+  pareto_points_.store(0, std::memory_order_relaxed);
+  waves_.store(0, std::memory_order_relaxed);
+  cancelled_.store(false, std::memory_order_relaxed);
+  start_ = std::chrono::steady_clock::now();
+}
+
+}  // namespace buffy::exec

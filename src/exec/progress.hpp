@@ -1,0 +1,79 @@
+// Counter metrics for long-running explorations (DESIGN.md, exec/).
+//
+// A Progress is a thread-safe sink of monotonic counters that the engines
+// bump as they work: storage distributions whose throughput was computed,
+// reduced states stored across all runs, candidates pruned by a bound
+// (constraint ceilings, size limits, divide-and-conquer interval
+// collapses), Pareto points emitted and evaluation waves completed. A
+// consistent point-in-time copy is taken with snapshot(); the snapshot
+// renders itself as a single JSON object for machine consumption
+// (explore_cli --stats, bench_parallel_dse).
+//
+// Counters use relaxed atomics: they steer no control flow, so the only
+// requirement is that concurrent bumps are not lost.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <string>
+
+#include "base/checked_math.hpp"
+
+namespace buffy::exec {
+
+/// Point-in-time copy of a Progress sink's counters.
+struct ProgressSnapshot {
+  /// Storage distributions whose throughput was computed.
+  u64 points_explored = 0;
+  /// Reduced states stored, summed over every state-space run.
+  u64 states_visited = 0;
+  /// Candidates discarded by a bound before evaluation (constraint
+  /// ceilings, max_distribution_size, collapsed size intervals).
+  u64 pruned_by_bound = 0;
+  /// Pareto points emitted so far.
+  u64 pareto_points = 0;
+  /// Evaluation waves (batches) completed by the incremental engine.
+  u64 waves = 0;
+  /// Wall-clock seconds since the sink was created (or last reset).
+  double seconds = 0.0;
+  /// True when the exploration stopped on a deadline or explicit cancel.
+  bool cancelled = false;
+
+  /// One JSON object, keys as named above; suitable for log scraping.
+  [[nodiscard]] std::string json() const;
+};
+
+/// Thread-safe sink of the counters above; see file comment.
+class Progress {
+ public:
+  Progress();
+
+  void add_points(u64 n) { add(points_explored_, n); }
+  void add_states(u64 n) { add(states_visited_, n); }
+  void add_pruned(u64 n) { add(pruned_by_bound_, n); }
+  void add_pareto_points(u64 n) { add(pareto_points_, n); }
+  void add_wave() { add(waves_, 1); }
+  void mark_cancelled() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Consistent-enough copy for reporting (individual counters are exact;
+  /// cross-counter skew is bounded by whatever is in flight).
+  [[nodiscard]] ProgressSnapshot snapshot() const;
+
+  /// Zeroes every counter and restarts the wall clock.
+  void reset();
+
+ private:
+  static void add(std::atomic<u64>& counter, u64 n) {
+    counter.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  std::atomic<u64> points_explored_{0};
+  std::atomic<u64> states_visited_{0};
+  std::atomic<u64> pruned_by_bound_{0};
+  std::atomic<u64> pareto_points_{0};
+  std::atomic<u64> waves_{0};
+  std::atomic<bool> cancelled_{false};
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace buffy::exec

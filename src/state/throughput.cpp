@@ -50,8 +50,20 @@ ThroughputResult compute_throughput(const sdf::Graph& graph,
   const auto finish_max_occupancy = [&]() {
     if (opts.track_max_occupancy) result.max_occupancy = engine.max_occupancy();
   };
+  const auto report_states = [&]() {
+    if (opts.progress != nullptr) opts.progress->add_states(seen.size());
+  };
+
+  // Cancellation is polled every so many steps: often enough that a
+  // deadline stops a runaway run promptly, rarely enough that the clock
+  // read never shows up in profiles.
+  constexpr u64 kCancelPollPeriod = 1024;
 
   for (u64 steps = 0; steps < opts.max_steps; ++steps) {
+    if (steps % kCancelPollPeriod == 0 && opts.cancel.cancelled()) {
+      report_states();
+      throw exec::Cancelled();
+    }
     const bool alive = engine.advance();
 
     bool target_completed = false;
@@ -82,6 +94,7 @@ ThroughputResult compute_throughput(const sdf::Graph& graph,
           }
         }
         finish_max_occupancy();
+        report_states();
         return result;
       }
       seen.emplace(key,
@@ -102,9 +115,11 @@ ThroughputResult compute_throughput(const sdf::Graph& graph,
       result.states_stored = seen.size();
       result.time_steps = engine.now();
       finish_max_occupancy();
+      report_states();
       return result;
     }
   }
+  report_states();
   throw Error("throughput computation exceeded max_steps = " +
               std::to_string(opts.max_steps) + " on graph '" + graph.name() +
               "' (unbounded token growth or a bound set too low)");

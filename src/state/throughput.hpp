@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "base/rational.hpp"
+#include "exec/cancellation.hpp"
+#include "exec/progress.hpp"
 #include "sdf/graph.hpp"
 #include "state/engine.hpp"
 #include "state/state.hpp"
@@ -34,6 +36,13 @@ struct ThroughputOptions {
   /// Optional processor binding forwarded to Engine::set_binding (empty =
   /// unbound execution).
   std::vector<std::size_t> processor_of;
+  /// Polled between execution steps; once cancelled the run throws
+  /// exec::Cancelled (a partial state space has no usable throughput).
+  /// The default token never cancels.
+  exec::CancellationToken cancel;
+  /// Optional metrics sink: stored reduced states are reported here when
+  /// the run ends (including a cancelled unwind). Not owned; may be null.
+  exec::Progress* progress = nullptr;
 };
 
 /// One entry of the reduced state space: the timed state at a completion of

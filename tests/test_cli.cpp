@@ -1,0 +1,126 @@
+// End-to-end checks of the explore_cli binary: flag handling must be
+// strict (unknown or malformed options exit non-zero, in SDF and CSDF
+// mode alike), and the new runtime flags (--threads, --deadline-ms,
+// --stats) must work through the real tool. The binary and graph paths
+// are injected by CMake (EXPLORE_CLI_PATH / EXAMPLE_GRAPHS_DIR).
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr
+};
+
+RunResult run_cli(const std::string& args) {
+  const std::string command =
+      std::string(EXPLORE_CLI_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << command;
+  RunResult result;
+  if (pipe == nullptr) return result;
+  std::array<char, 4096> buf;
+  while (std::fgets(buf.data(), buf.size(), pipe) != nullptr) {
+    result.output += buf.data();
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::string graph(const char* name) {
+  return std::string(EXAMPLE_GRAPHS_DIR) + "/" + name;
+}
+
+TEST(ExploreCli, NoArgumentsIsUsageError) {
+  const RunResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos) << r.output;
+}
+
+TEST(ExploreCli, UnknownFlagIsRejected) {
+  const RunResult r = run_cli(graph("example.xml") + " --bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option '--bogus'"), std::string::npos)
+      << r.output;
+}
+
+TEST(ExploreCli, UnknownFlagIsRejectedInCsdfMode) {
+  // Regression: the CSDF pre-scan used to ignore unrecognised options.
+  const RunResult r =
+      run_cli(graph("distcol.csdf.sdf") + " --csdf --bogus");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown option '--bogus'"), std::string::npos)
+      << r.output;
+}
+
+TEST(ExploreCli, UnsupportedCsdfCombinationIsRejected) {
+  const RunResult r =
+      run_cli(graph("distcol.csdf.sdf") + " --csdf --stats");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("not supported in --csdf mode"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(ExploreCli, MissingValueIsRejected) {
+  const RunResult r = run_cli(graph("example.xml") + " --threads");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("missing value"), std::string::npos) << r.output;
+}
+
+TEST(ExploreCli, BadEngineIsRejected) {
+  const RunResult r = run_cli(graph("example.xml") + " --engine turbo");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(ExploreCli, ZeroThreadsIsRejected) {
+  const RunResult r = run_cli(graph("example.xml") + " --threads 0");
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(ExploreCli, ValidRunSucceeds) {
+  const RunResult r = run_cli(graph("example.xml"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Pareto points:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("<4, 2>"), std::string::npos) << r.output;
+}
+
+TEST(ExploreCli, ParallelRunMatchesSerialOutput) {
+  const RunResult serial = run_cli(graph("example.xml") + " --engine exh");
+  const RunResult parallel =
+      run_cli(graph("example.xml") + " --engine exh --threads 4");
+  EXPECT_EQ(serial.exit_code, 0);
+  EXPECT_EQ(parallel.exit_code, 0);
+  // Identical Pareto output; only the timing line may differ.
+  const auto pareto_of = [](const std::string& out) {
+    const std::size_t at = out.find("Pareto points:");
+    return at == std::string::npos ? std::string() : out.substr(at);
+  };
+  EXPECT_EQ(pareto_of(serial.output), pareto_of(parallel.output));
+}
+
+TEST(ExploreCli, StatsEmitsJsonCounters) {
+  const RunResult r = run_cli(graph("example.xml") + " --stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"points_explored\""), std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"cancelled\": false"), std::string::npos)
+      << r.output;
+}
+
+TEST(ExploreCli, ExpiredDeadlineStillExitsCleanly) {
+  const RunResult r =
+      run_cli(graph("modem.sdf") + " --deadline-ms 0 --stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("\"cancelled\": true"), std::string::npos)
+      << r.output;
+}
+
+}  // namespace

@@ -1,0 +1,119 @@
+// Determinism of the parallel explorations: for both engines and several
+// thread counts, the Pareto front must be identical — distribution by
+// distribution, capacity by capacity — to the sequential engine's. The
+// exhaustive engine merges per-shard results in lexicographic shard order
+// and the incremental engine folds each wave in deterministic pop order,
+// so parallelism must never change a single byte of the answer.
+#include <gtest/gtest.h>
+
+#include "buffer/dse.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+
+namespace buffy::buffer {
+namespace {
+
+void expect_identical_fronts(const DseResult& serial,
+                             const DseResult& parallel,
+                             const std::string& label) {
+  ASSERT_EQ(serial.pareto.size(), parallel.pareto.size()) << label;
+  for (std::size_t i = 0; i < serial.pareto.size(); ++i) {
+    const ParetoPoint& s = serial.pareto.points()[i];
+    const ParetoPoint& p = parallel.pareto.points()[i];
+    EXPECT_EQ(s.throughput, p.throughput) << label << " point " << i;
+    EXPECT_EQ(s.distribution.capacities(), p.distribution.capacities())
+        << label << " point " << i;
+  }
+  EXPECT_FALSE(parallel.cancelled) << label;
+}
+
+struct Case {
+  const char* name;
+  sdf::Graph graph;
+};
+
+std::vector<Case> example_graphs() {
+  std::vector<Case> cases;
+  cases.push_back({"example", models::paper_example()});
+  cases.push_back({"fig6-diamond", models::fig6_diamond()});
+  cases.push_back({"samplerate", models::samplerate_converter()});
+  return cases;
+}
+
+class ParallelDse : public ::testing::TestWithParam<DseEngine> {};
+
+TEST_P(ParallelDse, MatchesSerialOnExampleGraphs) {
+  for (const Case& c : example_graphs()) {
+    DseOptions opts{.target = models::reported_actor(c.graph),
+                    .engine = GetParam()};
+    opts.threads = 1;
+    const auto serial = explore(c.graph, opts);
+    for (const unsigned threads : {2u, 8u}) {
+      opts.threads = threads;
+      const auto parallel = explore(c.graph, opts);
+      expect_identical_fronts(serial, parallel,
+                              std::string(c.name) + " @" +
+                                  std::to_string(threads) + " threads");
+    }
+  }
+}
+
+TEST_P(ParallelDse, MatchesSerialUnderQuantization) {
+  // Quantisation changes the early-exit point (Sec. 11); the parallel
+  // merge must track it exactly.
+  for (const Case& c : example_graphs()) {
+    DseOptions opts{.target = models::reported_actor(c.graph),
+                    .engine = GetParam()};
+    opts.quantization_levels = 5;
+    opts.threads = 1;
+    const auto serial = explore(c.graph, opts);
+    opts.threads = 8;
+    const auto parallel = explore(c.graph, opts);
+    expect_identical_fronts(serial, parallel,
+                            std::string(c.name) + " quantized");
+  }
+}
+
+TEST_P(ParallelDse, MatchesSerialOnRandomGraphs) {
+  for (u64 seed = 1; seed <= 4; ++seed) {
+    const sdf::Graph g = gen::random_graph(gen::RandomGraphOptions{
+        .num_actors = 4,
+        .max_repetition = 2,
+        .max_rate_scale = 1,
+        .extra_edge_fraction = 0.5,
+        .seed = seed,
+    });
+    DseOptions opts{.target = sdf::ActorId(g.num_actors() - 1),
+                    .engine = GetParam()};
+    opts.threads = 1;
+    const auto serial = explore(g, opts);
+    opts.threads = 8;
+    const auto parallel = explore(g, opts);
+    expect_identical_fronts(serial, parallel,
+                            "random seed " + std::to_string(seed));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, ParallelDse,
+                         ::testing::Values(DseEngine::Exhaustive,
+                                           DseEngine::Incremental),
+                         [](const auto& info) {
+                           return info.param == DseEngine::Exhaustive
+                                      ? "Exhaustive"
+                                      : "Incremental";
+                         });
+
+TEST(ParallelDse, ModemIncrementalMatchesSerial) {
+  // A larger model exercising many multi-candidate waves.
+  const sdf::Graph g = models::modem();
+  DseOptions opts{.target = models::reported_actor(g),
+                  .engine = DseEngine::Incremental};
+  opts.threads = 1;
+  const auto serial = explore(g, opts);
+  opts.threads = 8;
+  const auto parallel = explore(g, opts);
+  expect_identical_fronts(serial, parallel, "modem");
+}
+
+}  // namespace
+}  // namespace buffy::buffer
