@@ -1,0 +1,374 @@
+// Throughput hot-path A/B bench: the arena-backed visited-state table and
+// engine reuse against the seed evaluation path, and the cross-distribution
+// throughput cache against cache-less exploration.
+//
+// Three sections, each emitted as machine-readable JSON (stdout, and
+// `--json FILE` for the checked-in perf baseline future PRs regress
+// against):
+//
+//  * kernel   — raw compute_throughput calls over a fixed capacity ladder,
+//               fresh engine per call (seed path) vs one reused
+//               ThroughputSolver; reports wall time, speedup and the
+//               reused path's states/second.
+//  * dse      — end-to-end explorations with the cache and engine reuse on
+//               vs off (the seed configuration); reports wall-clock
+//               speedup, simulations run and the fraction saved, and
+//               checks the two Pareto fronts are byte-identical.
+//  * threads  — the optimised configuration at 1/2/8 worker threads;
+//               fronts must match the single-threaded run byte for byte.
+//
+// The exit status is nonzero only when a Pareto front diverges — timing
+// numbers are reported, never gated (CI machines are too noisy for that).
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "buffer/bounds.hpp"
+#include "buffer/dse.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "state/throughput.hpp"
+
+using namespace buffy;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool fronts_identical(const buffer::DseResult& a, const buffer::DseResult& b) {
+  if (a.pareto.size() != b.pareto.size()) return false;
+  for (std::size_t i = 0; i < a.pareto.size(); ++i) {
+    const auto& pa = a.pareto.points()[i];
+    const auto& pb = b.pareto.points()[i];
+    if (pa.throughput != pb.throughput ||
+        pa.distribution.capacities() != pb.distribution.capacities()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- kernel section ----------------------------------------------------
+
+// A ladder of capacity vectors between the per-channel lower bounds and the
+// max-throughput distribution — the same region a DSE walks.
+std::vector<std::vector<i64>> capacity_ladder(const sdf::Graph& graph,
+                                              sdf::ActorId target,
+                                              std::size_t rungs) {
+  const buffer::DesignSpaceBounds bounds =
+      buffer::design_space_bounds(graph, target);
+  const auto& lb = bounds.per_channel_lb.capacities();
+  const auto& mtd = bounds.max_throughput_distribution.capacities();
+  std::vector<std::vector<i64>> ladder;
+  for (std::size_t r = 0; r < rungs; ++r) {
+    std::vector<i64> caps(lb.size());
+    for (std::size_t c = 0; c < lb.size(); ++c) {
+      const i64 span = mtd[c] - lb[c];
+      caps[c] = lb[c] + span * static_cast<i64>(r) /
+                            static_cast<i64>(rungs > 1 ? rungs - 1 : 1);
+    }
+    ladder.push_back(std::move(caps));
+  }
+  return ladder;
+}
+
+struct KernelMeasurement {
+  std::string model;
+  u64 runs = 0;
+  double fresh_seconds = 0;
+  double reused_seconds = 0;
+  double speedup = 0;
+  double states_per_second = 0;  // reused path
+  u64 arena_bytes = 0;           // reused solver's table footprint
+};
+
+KernelMeasurement bench_kernel(const std::string& name,
+                               const sdf::Graph& graph, sdf::ActorId target,
+                               std::size_t rungs, int reps) {
+  KernelMeasurement m;
+  m.model = name;
+  const auto ladder = capacity_ladder(graph, target, rungs);
+  const state::ThroughputOptions opts{.target = target};
+  m.runs = static_cast<u64>(ladder.size()) * static_cast<u64>(reps);
+
+  u64 states = 0;
+  auto t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& caps : ladder) {
+      const auto run = state::compute_throughput(
+          graph, state::Capacities::bounded(caps), opts);
+      states += run.states_stored;
+    }
+  }
+  m.fresh_seconds = seconds_since(t0);
+
+  state::ThroughputSolver solver(graph);
+  states = 0;
+  t0 = std::chrono::steady_clock::now();
+  for (int r = 0; r < reps; ++r) {
+    for (const auto& caps : ladder) {
+      const auto run = solver.compute(state::Capacities::bounded(caps), opts);
+      states += run.states_stored;
+    }
+  }
+  m.reused_seconds = seconds_since(t0);
+  m.speedup = m.reused_seconds > 0 ? m.fresh_seconds / m.reused_seconds : 1.0;
+  m.states_per_second =
+      m.reused_seconds > 0 ? static_cast<double>(states) / m.reused_seconds
+                           : 0.0;
+  m.arena_bytes = solver.table_bytes();
+  return m;
+}
+
+// --- dse section -------------------------------------------------------
+
+struct DseMeasurement {
+  std::string model;
+  std::string engine;
+  double seed_seconds = 0;
+  double optimized_seconds = 0;
+  double speedup = 0;
+  u64 seed_simulations = 0;
+  u64 optimized_simulations = 0;
+  double simulations_saved_pct = 0;
+  u64 cache_hits = 0;
+  u64 dominance_skips = 0;
+  bool identical = true;
+};
+
+buffer::DseResult run_dse(const sdf::Graph& graph, buffer::DseEngine engine,
+                          bool optimized, unsigned threads,
+                          double* best_seconds) {
+  buffer::DseOptions opts{.target = models::reported_actor(graph),
+                          .engine = engine};
+  opts.threads = threads;
+  opts.use_throughput_cache = optimized;
+  opts.reuse_engines = optimized;
+  buffer::DseResult best = buffer::explore(graph, opts);
+  if (best_seconds != nullptr) {
+    *best_seconds = best.seconds;
+    const int reps = best.seconds > 0.5 ? 1 : 3;
+    for (int r = 1; r < reps; ++r) {
+      const buffer::DseResult again = buffer::explore(graph, opts);
+      if (again.seconds < *best_seconds) *best_seconds = again.seconds;
+    }
+  }
+  return best;
+}
+
+DseMeasurement bench_dse(const std::string& name, const sdf::Graph& graph,
+                         buffer::DseEngine engine) {
+  DseMeasurement m;
+  m.model = name;
+  m.engine = engine == buffer::DseEngine::Exhaustive ? "exh" : "inc";
+  const buffer::DseResult seed =
+      run_dse(graph, engine, /*optimized=*/false, 1, &m.seed_seconds);
+  const buffer::DseResult opt =
+      run_dse(graph, engine, /*optimized=*/true, 1, &m.optimized_seconds);
+  m.speedup = m.optimized_seconds > 0 ? m.seed_seconds / m.optimized_seconds
+                                      : 1.0;
+  m.seed_simulations = seed.simulations_run;
+  m.optimized_simulations = opt.simulations_run;
+  m.simulations_saved_pct =
+      seed.simulations_run > 0
+          ? 100.0 *
+                static_cast<double>(seed.simulations_run -
+                                    opt.simulations_run) /
+                static_cast<double>(seed.simulations_run)
+          : 0.0;
+  m.cache_hits = opt.cache_hits;
+  m.dominance_skips = opt.dominance_skips;
+  m.identical = fronts_identical(seed, opt);
+  return m;
+}
+
+// --- threads section ---------------------------------------------------
+
+struct ThreadCheck {
+  std::string model;
+  std::string engine;
+  unsigned threads = 1;
+  double seconds = 0;
+  bool identical = true;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr, "usage: bench_throughput_hotpath [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  gen::RandomGraphOptions rng_opts;
+  rng_opts.num_actors = 8;
+  rng_opts.strongly_connected = true;
+  rng_opts.seed = 42;
+  const sdf::Graph random8 = gen::random_graph(rng_opts);
+
+  std::printf("=== throughput kernel: fresh engine vs reused solver ===\n\n");
+  const std::vector<int> kwidths{10, 7, 10, 10, 9, 13, 11};
+  bench::print_row({"model", "runs", "fresh(s)", "reused(s)", "speedup",
+                    "states/s", "arena(B)"},
+                   kwidths);
+  bench::print_rule(kwidths);
+
+  std::vector<KernelMeasurement> kernel;
+  kernel.push_back(bench_kernel("example", models::paper_example(),
+                                models::reported_actor(models::paper_example()),
+                                /*rungs=*/24, /*reps=*/200));
+  kernel.push_back(bench_kernel("modem", models::modem(),
+                                models::reported_actor(models::modem()),
+                                /*rungs=*/24, /*reps=*/40));
+  kernel.push_back(bench_kernel("random8", random8,
+                                models::reported_actor(random8),
+                                /*rungs=*/24, /*reps=*/40));
+  for (const KernelMeasurement& m : kernel) {
+    std::printf("%-10s %-7llu %-10.4f %-10.4f %-9.2f %-13.3g %-11llu\n",
+                m.model.c_str(), static_cast<unsigned long long>(m.runs),
+                m.fresh_seconds, m.reused_seconds, m.speedup,
+                m.states_per_second,
+                static_cast<unsigned long long>(m.arena_bytes));
+  }
+
+  std::printf("\n=== DSE end-to-end: seed path vs cache + engine reuse "
+              "===\n\n");
+  const std::vector<int> dwidths{12, 7, 10, 10, 9, 11, 11, 11, 10};
+  bench::print_row({"model", "engine", "seed(s)", "opt(s)", "speedup",
+                    "seed-sims", "opt-sims", "sims-saved", "identical"},
+                   dwidths);
+  bench::print_rule(dwidths);
+
+  std::vector<DseMeasurement> dse;
+  dse.push_back(bench_dse("example", models::paper_example(),
+                          buffer::DseEngine::Exhaustive));
+  dse.push_back(bench_dse("samplerate", models::samplerate_converter(),
+                          buffer::DseEngine::Exhaustive));
+  dse.push_back(bench_dse("example", models::paper_example(),
+                          buffer::DseEngine::Incremental));
+  dse.push_back(bench_dse("fig6-diamond", models::fig6_diamond(),
+                          buffer::DseEngine::Incremental));
+  dse.push_back(bench_dse("modem", models::modem(),
+                          buffer::DseEngine::Incremental));
+  dse.push_back(bench_dse("h263", models::h263_decoder(),
+                          buffer::DseEngine::Incremental));
+  bool all_identical = true;
+  for (const DseMeasurement& m : dse) {
+    all_identical = all_identical && m.identical;
+    std::printf(
+        "%-12s %-7s %-10.4f %-10.4f %-9.2f %-11llu %-11llu %-10.1f%% %s\n",
+        m.model.c_str(), m.engine.c_str(), m.seed_seconds,
+        m.optimized_seconds, m.speedup,
+        static_cast<unsigned long long>(m.seed_simulations),
+        static_cast<unsigned long long>(m.optimized_simulations),
+        m.simulations_saved_pct, m.identical ? "yes" : "NO");
+  }
+
+  std::printf("\n=== determinism: optimised configuration across threads "
+              "===\n\n");
+  std::vector<ThreadCheck> checks;
+  const struct {
+    const char* name;
+    sdf::Graph graph;
+    buffer::DseEngine engine;
+  } thread_cases[] = {
+      {"samplerate", models::samplerate_converter(),
+       buffer::DseEngine::Exhaustive},
+      {"modem", models::modem(), buffer::DseEngine::Incremental},
+  };
+  for (const auto& c : thread_cases) {
+    const buffer::DseResult base =
+        run_dse(c.graph, c.engine, /*optimized=*/true, 1, nullptr);
+    for (const unsigned threads : {1u, 2u, 8u}) {
+      ThreadCheck t;
+      t.model = c.name;
+      t.engine = c.engine == buffer::DseEngine::Exhaustive ? "exh" : "inc";
+      t.threads = threads;
+      const buffer::DseResult r =
+          run_dse(c.graph, c.engine, /*optimized=*/true, threads, nullptr);
+      t.seconds = r.seconds;
+      t.identical = fronts_identical(base, r);
+      all_identical = all_identical && t.identical;
+      std::printf("%-12s %-7s threads=%-3u %-10.4f %s\n", t.model.c_str(),
+                  t.engine.c_str(), t.threads, t.seconds,
+                  t.identical ? "identical" : "DIVERGED");
+      checks.push_back(std::move(t));
+    }
+  }
+
+  std::vector<std::string> kernel_records;
+  for (const KernelMeasurement& m : kernel) {
+    kernel_records.push_back(bench::json_obj({
+        bench::json_field("model", bench::json_str(m.model)),
+        bench::json_field("runs", bench::json_num(m.runs)),
+        bench::json_field("fresh_seconds", bench::json_num(m.fresh_seconds)),
+        bench::json_field("reused_seconds",
+                          bench::json_num(m.reused_seconds)),
+        bench::json_field("speedup", bench::json_num(m.speedup)),
+        bench::json_field("states_per_second",
+                          bench::json_num(m.states_per_second)),
+        bench::json_field("arena_bytes", bench::json_num(m.arena_bytes)),
+    }));
+  }
+  std::vector<std::string> dse_records;
+  for (const DseMeasurement& m : dse) {
+    dse_records.push_back(bench::json_obj({
+        bench::json_field("model", bench::json_str(m.model)),
+        bench::json_field("engine", bench::json_str(m.engine)),
+        bench::json_field("seed_seconds", bench::json_num(m.seed_seconds)),
+        bench::json_field("optimized_seconds",
+                          bench::json_num(m.optimized_seconds)),
+        bench::json_field("speedup", bench::json_num(m.speedup)),
+        bench::json_field("seed_simulations",
+                          bench::json_num(m.seed_simulations)),
+        bench::json_field("optimized_simulations",
+                          bench::json_num(m.optimized_simulations)),
+        bench::json_field("simulations_saved_pct",
+                          bench::json_num(m.simulations_saved_pct)),
+        bench::json_field("cache_hits", bench::json_num(m.cache_hits)),
+        bench::json_field("dominance_skips",
+                          bench::json_num(m.dominance_skips)),
+        bench::json_field("identical", m.identical ? "true" : "false"),
+    }));
+  }
+  std::vector<std::string> thread_records;
+  for (const ThreadCheck& t : checks) {
+    thread_records.push_back(bench::json_obj({
+        bench::json_field("model", bench::json_str(t.model)),
+        bench::json_field("engine", bench::json_str(t.engine)),
+        bench::json_field("threads", bench::json_num(u64{t.threads})),
+        bench::json_field("seconds", bench::json_num(t.seconds)),
+        bench::json_field("identical", t.identical ? "true" : "false"),
+    }));
+  }
+  const std::string json = bench::json_obj({
+      bench::json_field("kernel", bench::json_arr(kernel_records)),
+      bench::json_field("dse", bench::json_arr(dse_records)),
+      bench::json_field("threads", bench::json_arr(thread_records)),
+  });
+  std::printf("\n=== JSON ===\n%s\n", json.c_str());
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << json << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (!all_identical) {
+    std::printf("\nFAIL: an optimised or parallel front diverged from the "
+                "seed front\n");
+    return 1;
+  }
+  return 0;
+}

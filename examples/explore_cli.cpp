@@ -18,6 +18,9 @@
 //   --threads <n>         worker threads (deterministic; default 1)
 //   --deadline-ms <n>     wall-clock budget; returns the verified partial
 //                         Pareto front when it runs out
+//   --no-cache            disable the cross-distribution throughput cache
+//                         (every candidate runs a full simulation; the
+//                         Pareto front is identical either way)
 //   --stats               print exploration counters as one JSON object
 //   --schedule            print the Gantt chart of every Pareto point
 //   --dot <file>          write DOT annotated with the best distribution
@@ -57,7 +60,8 @@ void usage(std::FILE* out) {
       "[--engine inc|exh]\n"
       "                   [--levels N] [--max-size N] [--goal R] "
       "[--min-tput R]\n"
-      "                   [--threads N] [--deadline-ms N] [--stats]\n"
+      "                   [--threads N] [--deadline-ms N] [--no-cache] "
+      "[--stats]\n"
       "                   [--schedule] [--dot FILE] [--codegen FILE] "
       "[--csdf]\n");
 }
@@ -73,6 +77,7 @@ struct CliArgs {
   std::optional<Rational> min_tput;
   std::optional<i64> threads;
   std::optional<i64> deadline_ms;
+  bool no_cache = false;
   bool stats = false;
   bool schedule = false;
   std::string dot_path;
@@ -115,6 +120,8 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       if (*args.deadline_ms < 0) {
         throw ParseError("--deadline-ms must be >= 0");
       }
+    } else if (arg == "--no-cache") {
+      args.no_cache = true;
     } else if (arg == "--stats") {
       args.stats = true;
     } else if (arg == "--schedule") {
@@ -140,6 +147,7 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     if (args.min_tput.has_value()) unsupported = "--min-tput";
     if (args.threads.has_value()) unsupported = "--threads";
     if (args.deadline_ms.has_value()) unsupported = "--deadline-ms";
+    if (args.no_cache) unsupported = "--no-cache";
     if (args.stats) unsupported = "--stats";
     if (args.schedule) unsupported = "--schedule";
     if (!args.dot_path.empty()) unsupported = "--dot";
@@ -228,6 +236,7 @@ int main(int argc, char** argv) {
       opts.threads = static_cast<unsigned>(*args->threads);
     }
     opts.deadline_ms = args->deadline_ms;
+    opts.use_throughput_cache = !args->no_cache;
     exec::Progress progress;
     if (args->stats) opts.progress = &progress;
 

@@ -33,7 +33,8 @@ StorageDistribution lower_bound_distribution(const sdf::Graph& graph) {
 }
 
 DesignSpaceBounds design_space_bounds(const sdf::Graph& graph,
-                                      sdf::ActorId target, u64 max_steps) {
+                                      sdf::ActorId target, u64 max_steps,
+                                      state::ThroughputSolver* solver) {
   DesignSpaceBounds bounds;
   bounds.per_channel_lb = lower_bound_distribution(graph);
   bounds.lb_size = bounds.per_channel_lb.size();
@@ -64,7 +65,10 @@ DesignSpaceBounds design_space_bounds(const sdf::Graph& graph,
   for (int round = 0;; ++round) {
     BUFFY_ASSERT(round < 64, "capacity doubling did not reach max throughput");
     const auto run =
-        state::compute_throughput(graph, state::Capacities::bounded(caps), opts);
+        solver != nullptr
+            ? solver->compute(state::Capacities::bounded(caps), opts)
+            : state::compute_throughput(graph, state::Capacities::bounded(caps),
+                                        opts);
     if (!run.deadlocked && run.throughput == bounds.max_throughput) {
       // Trim to the observed occupancy: re-running with these capacities
       // reproduces the identical schedule (no start that happened is

@@ -16,6 +16,10 @@
 #include "buffer/distribution.hpp"
 #include "sdf/graph.hpp"
 
+namespace buffy::state {
+class ThroughputSolver;
+}  // namespace buffy::state
+
 namespace buffy::buffer {
 
 /// Necessary capacity of one channel for positive throughput: with
@@ -48,10 +52,12 @@ struct DesignSpaceBounds {
 };
 
 /// Computes the design-space bounds for the given target actor.
-/// `max_steps` bounds each state-space run.
-[[nodiscard]] DesignSpaceBounds design_space_bounds(const sdf::Graph& graph,
-                                                    sdf::ActorId target,
-                                                    u64 max_steps =
-                                                        100'000'000);
+/// `max_steps` bounds each state-space run. When `solver` is non-null the
+/// capacity-doubling runs reuse it (engine reconfigure + recycled visited
+/// arena) instead of building a fresh engine per round; it must be a solver
+/// over `graph`.
+[[nodiscard]] DesignSpaceBounds design_space_bounds(
+    const sdf::Graph& graph, sdf::ActorId target, u64 max_steps = 100'000'000,
+    state::ThroughputSolver* solver = nullptr);
 
 }  // namespace buffy::buffer

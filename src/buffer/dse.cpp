@@ -1,6 +1,7 @@
 #include "buffer/dse.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "analysis/consistency.hpp"
 #include "base/diagnostics.hpp"
@@ -62,8 +63,14 @@ DseResult explore(const sdf::Graph& graph, const DseOptions& options) {
                   "unbound execution)");
   }
 
+  // With engine reuse on, the bounds' capacity-doubling runs and (under a
+  // binding) the plateau search share one solver instead of rebuilding an
+  // engine per run — the same reuse the engines apply per candidate.
+  std::optional<state::ThroughputSolver> setup_solver;
+  if (options.reuse_engines) setup_solver.emplace(graph);
   const DesignSpaceBounds bounds =
-      design_space_bounds(graph, options.target, options.max_steps_per_run);
+      design_space_bounds(graph, options.target, options.max_steps_per_run,
+                          setup_solver.has_value() ? &*setup_solver : nullptr);
   if (bounds.deadlock) {
     // Every distribution deadlocks; the Pareto space is empty.
     DseResult result;
@@ -111,9 +118,11 @@ DseResult explore(const sdf::Graph& graph, const DseOptions& options) {
       run_opts.progress = options.progress;
       state::ThroughputResult run;
       try {
-        run = state::compute_throughput(graph,
-                                        state::Capacities::bounded(caps),
-                                        run_opts);
+        run = setup_solver.has_value()
+                  ? setup_solver->compute(state::Capacities::bounded(caps),
+                                          run_opts)
+                  : state::compute_throughput(
+                        graph, state::Capacities::bounded(caps), run_opts);
       } catch (const exec::Cancelled&) {
         // Budget exhausted while establishing the bound goal: nothing was
         // explored yet, so the partial front is empty.

@@ -92,6 +92,23 @@ struct DseOptions {
   /// 1 = sequential.
   unsigned threads = 1;
 
+  /// Consult the per-exploration throughput cache: exact repeats are
+  /// answered from a concurrent map and candidates implied by Sec. 8
+  /// monotone dominance (pointwise >= a max-throughput witness, pointwise
+  /// <= a deadlocked distribution) skip simulation entirely. Dominance
+  /// answers equal the simulated values exactly, so the Pareto front is
+  /// byte-identical with the cache on or off (see DESIGN.md §7). Disable
+  /// to force every candidate through a full state-space run.
+  bool use_throughput_cache = true;
+
+  /// Evaluate candidates with a reusable per-worker solver (one engine +
+  /// one visited-state arena across all runs) and collect storage
+  /// dependencies during the throughput run itself. Disabling restores the
+  /// seed evaluation path — a fresh engine per run and, in the incremental
+  /// engine, a second dedicated dependency simulation — kept for A/B
+  /// benchmarking (bench_throughput_hotpath) and regression tests.
+  bool reuse_engines = true;
+
   /// Wall-clock budget in milliseconds. When it runs out the exploration
   /// stops at the next safepoint and returns the Pareto points verified so
   /// far, with DseResult::cancelled set — a valid partial front rather
@@ -121,10 +138,19 @@ struct DseResult {
   /// The exploration hit its deadline or was cancelled; `pareto` holds the
   /// verified points found before the stop (a valid partial front).
   bool cancelled = false;
-  /// Number of storage distributions whose throughput was computed.
+  /// Number of storage distributions whose throughput was computed
+  /// (including cache-answered candidates; the max_distributions guard
+  /// counts these too).
   u64 distributions_explored = 0;
-  /// Largest reduced state space stored in any single run (Table 2 metric).
+  /// Largest reduced state space stored in any single run (Table 2 metric;
+  /// over simulated runs — cache-answered candidates store no states).
   u64 max_states_stored = 0;
+  /// Full state-space simulations actually executed.
+  u64 simulations_run = 0;
+  /// Candidates answered from the throughput cache (exact repeats).
+  u64 cache_hits = 0;
+  /// Candidates answered by Sec. 8 dominance without simulation.
+  u64 dominance_skips = 0;
   /// Wall-clock seconds spent exploring.
   double seconds = 0.0;
 };

@@ -6,6 +6,7 @@
 #include <map>
 
 #include "base/diagnostics.hpp"
+#include "buffer/throughput_cache.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
 #include "state/throughput.hpp"
@@ -25,27 +26,73 @@ struct Sweep {
   std::vector<i64> lb_suffix;  // sum of lb over channels >= i
   std::vector<i64> ub_suffix;  // sum of ub over channels >= i
   Rational goal;               // stop improving a size beyond this
+  // Names the caller in the max_distributions diagnostic (the Pareto
+  // search and the tie enumeration share this machinery).
+  const char* op_name = "exhaustive DSE";
   std::atomic<u64> explored{0};
   std::atomic<u64> max_states{0};
-  exec::ThreadPool* pool = nullptr;  // null = sequential
+  std::atomic<u64> simulations{0};
+  std::atomic<u64> cache_hits{0};
+  std::atomic<u64> dominance_skips{0};
+  exec::ThreadPool* pool = nullptr;      // null = sequential
+  ThroughputCache* cache = nullptr;      // null = cache disabled
+  // null = fresh engine per run (options.reuse_engines == false).
+  state::ThroughputSolverPool* solvers = nullptr;
 
-  [[nodiscard]] Rational throughput_of(const std::vector<i64>& caps) {
+  // `solver` is the worker's leased solver, or null for the legacy
+  // engine-per-run path.
+  [[nodiscard]] Rational throughput_of(const std::vector<i64>& caps,
+                                       state::ThroughputSolver* solver) {
     if (explored.fetch_add(1, std::memory_order_relaxed) + 1 >
         options.max_distributions) {
-      throw Error("exhaustive DSE exceeded max_distributions = " +
+      throw Error(std::string(op_name) + " exceeded max_distributions = " +
                   std::to_string(options.max_distributions));
+    }
+    if (cache != nullptr) {
+      std::optional<CachedThroughput> hit =
+          cache->find(caps, /*require_deps=*/false);
+      const bool exact = hit.has_value();
+      if (!hit.has_value()) hit = cache->find_max_dominated(caps);
+      if (!hit.has_value()) hit = cache->find_deadlock_dominated(caps);
+      if (hit.has_value()) {
+        (exact ? cache_hits : dominance_skips)
+            .fetch_add(1, std::memory_order_relaxed);
+        if (options.progress != nullptr) {
+          options.progress->add_points(1);
+          options.progress->add_sims_avoided(1);
+          if (exact) {
+            options.progress->add_cache_hits(1);
+          } else {
+            options.progress->add_dominance_skips(1);
+          }
+        }
+        return hit->throughput;
+      }
     }
     state::ThroughputOptions run_opts{.target = options.target,
                                       .max_steps =
                                           options.max_steps_per_run};
     run_opts.cancel = options.cancel;
     run_opts.progress = options.progress;
-    const auto run = state::compute_throughput(
-        graph, state::Capacities::bounded(caps), run_opts);
+    const state::ThroughputResult run =
+        solver != nullptr
+            ? solver->compute(state::Capacities::bounded(caps), run_opts)
+            : state::compute_throughput(
+                  graph, state::Capacities::bounded(caps), run_opts);
+    simulations.fetch_add(1, std::memory_order_relaxed);
     u64 seen = max_states.load(std::memory_order_relaxed);
     while (run.states_stored > seen &&
            !max_states.compare_exchange_weak(seen, run.states_stored,
                                              std::memory_order_relaxed)) {
+    }
+    if (cache != nullptr) {
+      CachedThroughput value;
+      value.throughput = run.throughput;
+      value.deadlocked = run.deadlocked;
+      value.states_stored = run.states_stored;
+      value.cycle_start_time = run.cycle_start_time;
+      value.period = run.period;
+      cache->store(caps, value);
     }
     if (options.progress != nullptr) options.progress->add_points(1);
     return run.throughput;
@@ -63,13 +110,14 @@ struct SizeOutcome {
 // lexicographic capacity order; the visitor returns false to abort the
 // sweep. `caps[0..channel)` must already hold the fixed prefix.
 template <typename Visitor>
-bool enumerate(Sweep& sweep, std::vector<i64>& caps, std::size_t channel,
-               i64 remaining, Visitor&& visit) {
+bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
+               std::vector<i64>& caps, std::size_t channel, i64 remaining,
+               Visitor&& visit) {
   const std::size_t m = sweep.lb.size();
   if (channel == m) {
     BUFFY_ASSERT(remaining == 0, "enumeration budget mismatch");
-    const Rational tput =
-        quantize_down(sweep.throughput_of(caps), sweep.options.quantization);
+    const Rational tput = quantize_down(sweep.throughput_of(caps, solver),
+                                        sweep.options.quantization);
     return visit(caps, tput);
   }
   // Budget window for this channel so the suffix can still hit `remaining`.
@@ -79,7 +127,7 @@ bool enumerate(Sweep& sweep, std::vector<i64>& caps, std::size_t channel,
   const i64 hi = std::min(sweep.ub[channel], remaining - rest_lb);
   for (i64 cap = lo; cap <= hi; ++cap) {
     caps[channel] = cap;
-    if (!enumerate(sweep, caps, channel + 1, remaining - cap, visit)) {
+    if (!enumerate(sweep, solver, caps, channel + 1, remaining - cap, visit)) {
       return false;
     }
   }
@@ -90,8 +138,9 @@ bool enumerate(Sweep& sweep, std::vector<i64>& caps, std::size_t channel,
 // distribution that strictly improves, stop at the goal.
 SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size) {
   SizeOutcome best{Rational(0), StorageDistribution()};
+  state::PooledSolver lease(sweep.solvers);
   std::vector<i64> caps(sweep.lb.size(), 0);
-  enumerate(sweep, caps, 0, size,
+  enumerate(sweep, lease.get(), caps, 0, size,
             [&](const std::vector<i64>& found, const Rational& tput) {
               if (best.witness.num_channels() == 0 ||
                   tput > best.throughput) {
@@ -161,9 +210,11 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size) {
       [&](std::size_t s) {
         const Shard& shard = shards[s];
         ShardOutcome out;
+        state::PooledSolver lease(sweep.solvers);
         std::vector<i64> caps(sweep.lb.size(), 0);
         std::copy(shard.prefix.begin(), shard.prefix.end(), caps.begin());
-        enumerate(sweep, caps, shard.prefix.size(), shard.remaining,
+        enumerate(sweep, lease.get(), caps, shard.prefix.size(),
+                  shard.remaining,
                   [&](const std::vector<i64>& found, const Rational& tput) {
                     if (!out.any || tput > out.best) {
                       out.any = true;
@@ -241,6 +292,23 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
     sweep.goal = *options.throughput_goal;
   }
 
+  // The exhaustive engine never applies a processor binding, so Sec. 8
+  // monotonicity holds and both dominance rules are sound.
+  std::optional<ThroughputCache> cache;
+  if (options.use_throughput_cache) {
+    cache.emplace(bounds.max_throughput);
+    // The Fig. 7 max-throughput distribution is a known witness before the
+    // first candidate runs: anything pointwise above it attains the
+    // maximal throughput.
+    cache->add_max_witness(bounds.max_throughput_distribution.capacities());
+    sweep.cache = &*cache;
+  }
+  std::optional<state::ThroughputSolverPool> solvers;
+  if (options.reuse_engines) {
+    solvers.emplace(graph);
+    sweep.solvers = &*solvers;
+  }
+
   // Sizes beyond the max-throughput distribution's cannot improve anything
   // (Sec. 8), so the meaningful size interval is [lb, sz(mtd)] — unless
   // user constraints reshape the box, in which case the whole box is
@@ -304,6 +372,10 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   result.distributions_explored =
       sweep.explored.load(std::memory_order_relaxed);
   result.max_states_stored = sweep.max_states.load(std::memory_order_relaxed);
+  result.simulations_run = sweep.simulations.load(std::memory_order_relaxed);
+  result.cache_hits = sweep.cache_hits.load(std::memory_order_relaxed);
+  result.dominance_skips =
+      sweep.dominance_skips.load(std::memory_order_relaxed);
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -319,6 +391,7 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
   if (bounds.deadlock) return found;
 
   Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
+  sweep.op_name = "tie enumeration";  // names the operation in diagnostics
   init_box(sweep);
   sweep.goal = bounds.max_throughput + Rational(1);  // never early-exit
 
@@ -340,8 +413,20 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
   }
   if (size < sweep.lb_suffix[0] || size > sweep.ub_suffix[0]) return found;
 
+  std::optional<ThroughputCache> cache;
+  if (options.use_throughput_cache) {
+    cache.emplace(bounds.max_throughput);
+    cache->add_max_witness(bounds.max_throughput_distribution.capacities());
+    sweep.cache = &*cache;
+  }
+  std::optional<state::ThroughputSolverPool> solvers;
+  if (options.reuse_engines) {
+    solvers.emplace(graph);
+    sweep.solvers = &*solvers;
+  }
+  state::PooledSolver lease(sweep.solvers);
   std::vector<i64> caps(sweep.lb.size(), 0);
-  enumerate(sweep, caps, 0, size,
+  enumerate(sweep, lease.get(), caps, 0, size,
             [&](const std::vector<i64>& candidate, const Rational& tput) {
               if (tput >= min_throughput) {
                 found.emplace_back(candidate);

@@ -1,11 +1,13 @@
 #include "buffer/dse_incremental.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <set>
 #include <unordered_set>
 
 #include "base/diagnostics.hpp"
+#include "buffer/throughput_cache.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
 #include "state/engine.hpp"
@@ -21,8 +23,10 @@ std::vector<sdf::ChannelId> storage_dependencies(
   engine.set_binding(processor_of);
   engine.reset();
   std::vector<bool> blocked(graph.num_channels(), false);
+  std::vector<sdf::ChannelId> scratch;  // reused across every sample
   auto absorb = [&]() {
-    for (const sdf::ChannelId c : engine.space_blocked_channels()) {
+    engine.space_blocked_channels(scratch);
+    for (const sdf::ChannelId c : scratch) {
       blocked[c.index()] = true;
     }
   };
@@ -81,6 +85,22 @@ DseResult explore_incremental(const sdf::Graph& graph,
   // workers = the wave loop runs inline on this thread (sequential mode).
   exec::ThreadPool pool(options.threads > 1 ? options.threads : 0);
 
+  // Shared throughput cache and per-worker solver pool. The `visited` set
+  // already makes exact repeats rare within one exploration; the cache's
+  // main contributions here are the seeded max-throughput witness (Sec. 8
+  // dominance — sound only without a binding) and making every simulated
+  // outcome reusable by later calls that share the cache.
+  std::optional<ThroughputCache> cache;
+  if (options.use_throughput_cache) {
+    cache.emplace(bounds.max_throughput);
+    cache->add_max_witness(bounds.max_throughput_distribution.capacities());
+  }
+  std::optional<state::ThroughputSolverPool> solvers;
+  if (options.reuse_engines) solvers.emplace(graph);
+  std::atomic<u64> simulations{0};
+  std::atomic<u64> cache_hits{0};
+  std::atomic<u64> dominance_skips{0};
+
   Frontier frontier;
   std::unordered_set<StorageDistribution, StorageDistributionHash> visited;
 
@@ -122,6 +142,41 @@ DseResult explore_incremental(const sdf::Graph& graph,
     std::vector<Evaluation> evals(batch.size());
     const auto evaluate = [&](std::size_t i) {
       if (options.cancel.cancelled()) return;  // skip: wave is being cut
+      if (cache.has_value()) {
+        // An exact hit must carry recorded dependencies — children are
+        // expanded from them. A max-dominance hit needs none: the maximal
+        // throughput reaches the goal, so the fold stops before this
+        // candidate's children would be expanded. Dominance is consulted
+        // only without a binding (scheduling anomalies break the Sec. 8
+        // monotonicity it relies on); exact repeats stay valid either way.
+        std::optional<CachedThroughput> hit =
+            cache->find(batch[i], /*require_deps=*/true);
+        const bool exact = hit.has_value();
+        if (!hit.has_value() && options.binding.empty()) {
+          hit = cache->find_max_dominated(batch[i]);
+        }
+        if (hit.has_value()) {
+          evals[i].run.throughput = hit->throughput;
+          evals[i].run.deadlocked = hit->deadlocked;
+          evals[i].run.states_stored = hit->states_stored;
+          evals[i].run.cycle_start_time = hit->cycle_start_time;
+          evals[i].run.period = hit->period;
+          evals[i].deps = hit->storage_deps;
+          evals[i].valid = true;
+          (exact ? cache_hits : dominance_skips)
+              .fetch_add(1, std::memory_order_relaxed);
+          if (options.progress != nullptr) {
+            options.progress->add_points(1);
+            options.progress->add_sims_avoided(1);
+            if (exact) {
+              options.progress->add_cache_hits(1);
+            } else {
+              options.progress->add_dominance_skips(1);
+            }
+          }
+          return;
+        }
+      }
       const state::Capacities capacities =
           state::Capacities::bounded(batch[i]);
       state::ThroughputOptions run_opts{
@@ -129,14 +184,43 @@ DseResult explore_incremental(const sdf::Graph& graph,
       run_opts.processor_of = options.binding;
       run_opts.cancel = options.cancel;
       run_opts.progress = options.progress;
+      state::PooledSolver lease(solvers.has_value() ? &*solvers : nullptr);
       try {
-        evals[i].run = state::compute_throughput(graph, capacities, run_opts);
-        evals[i].deps = storage_dependencies(
-            graph, capacities, evals[i].run.cycle_start_time,
-            evals[i].run.deadlocked ? 0 : evals[i].run.period,
-            options.binding);
+        if (lease.get() != nullptr) {
+          // Fused path: the throughput run itself collects the storage
+          // dependencies — one simulation where the seed needed two.
+          run_opts.collect_storage_deps = true;
+          evals[i].run = lease.get()->compute(capacities, run_opts);
+          evals[i].deps = std::move(evals[i].run.storage_deps);
+          simulations.fetch_add(1, std::memory_order_relaxed);
+          if (options.progress != nullptr) {
+            options.progress->add_sims_avoided(1);  // the fused dep re-run
+          }
+        } else {
+          evals[i].run =
+              state::compute_throughput(graph, capacities, run_opts);
+          evals[i].deps = storage_dependencies(
+              graph, capacities, evals[i].run.cycle_start_time,
+              evals[i].run.deadlocked ? 0 : evals[i].run.period,
+              options.binding);
+          simulations.fetch_add(2, std::memory_order_relaxed);
+          if (options.progress != nullptr) {
+            options.progress->add_simulations(1);  // the dependency re-run
+          }
+        }
       } catch (const exec::Cancelled&) {
         return;  // mid-run cut: a partial state space proves nothing
+      }
+      if (cache.has_value()) {
+        CachedThroughput value;
+        value.throughput = evals[i].run.throughput;
+        value.deadlocked = evals[i].run.deadlocked;
+        value.states_stored = evals[i].run.states_stored;
+        value.cycle_start_time = evals[i].run.cycle_start_time;
+        value.period = evals[i].run.period;
+        value.has_deps = true;
+        value.storage_deps = evals[i].deps;
+        cache->store(batch[i], value);
       }
       evals[i].valid = true;
       if (options.progress != nullptr) options.progress->add_points(1);
@@ -201,6 +285,9 @@ DseResult explore_incremental(const sdf::Graph& graph,
     if (result.cancelled) break;
   }
 
+  result.simulations_run = simulations.load(std::memory_order_relaxed);
+  result.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  result.dominance_skips = dominance_skips.load(std::memory_order_relaxed);
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();

@@ -1,0 +1,118 @@
+#include "buffer/throughput_cache.hpp"
+
+#include <algorithm>
+
+#include "base/hash.hpp"
+
+namespace buffy::buffer {
+
+namespace {
+
+// a pointwise <= b.
+bool dominated_by(const std::vector<i64>& a, const std::vector<i64>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] > b[i]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::size_t ThroughputCache::CapsHash::operator()(
+    const std::vector<i64>& caps) const noexcept {
+  return static_cast<std::size_t>(hash_words(caps));
+}
+
+ThroughputCache::ThroughputCache(Rational max_throughput)
+    : max_throughput_(std::move(max_throughput)) {}
+
+ThroughputCache::Stripe& ThroughputCache::stripe_of(
+    const std::vector<i64>& caps) const {
+  return stripes_[static_cast<std::size_t>(hash_words(caps)) % kStripes];
+}
+
+std::optional<CachedThroughput> ThroughputCache::find(
+    const std::vector<i64>& caps, bool require_deps) const {
+  Stripe& stripe = stripe_of(caps);
+  const std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.map.find(caps);
+  if (it == stripe.map.end()) return std::nullopt;
+  if (require_deps && !it->second.has_deps) return std::nullopt;
+  exact_hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+std::optional<CachedThroughput> ThroughputCache::find_max_dominated(
+    const std::vector<i64>& caps) const {
+  const std::lock_guard<std::mutex> lock(witness_mu_);
+  for (const std::vector<i64>& w : max_witnesses_) {
+    if (dominated_by(w, caps)) {
+      dominance_hits_.fetch_add(1, std::memory_order_relaxed);
+      CachedThroughput hit;
+      hit.throughput = max_throughput_;
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<CachedThroughput> ThroughputCache::find_deadlock_dominated(
+    const std::vector<i64>& caps) const {
+  const std::lock_guard<std::mutex> lock(witness_mu_);
+  for (const std::vector<i64>& w : deadlock_witnesses_) {
+    if (dominated_by(caps, w)) {
+      dominance_hits_.fetch_add(1, std::memory_order_relaxed);
+      CachedThroughput hit;
+      hit.deadlocked = true;
+      hit.throughput = Rational(0);
+      return hit;
+    }
+  }
+  return std::nullopt;
+}
+
+void ThroughputCache::store(const std::vector<i64>& caps,
+                            const CachedThroughput& value) {
+  {
+    Stripe& stripe = stripe_of(caps);
+    const std::lock_guard<std::mutex> lock(stripe.mu);
+    stripe.map.emplace(caps, value);
+  }
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  if (value.deadlocked) {
+    add_deadlock_witness(caps);
+  } else if (value.throughput == max_throughput_) {
+    add_max_witness(caps);
+  }
+}
+
+void ThroughputCache::add_max_witness(const std::vector<i64>& caps) {
+  const std::lock_guard<std::mutex> lock(witness_mu_);
+  // Keep only minimal witnesses: anything the new one dominates is
+  // redundant, and the new one is redundant if an existing witness already
+  // lies below it.
+  for (const std::vector<i64>& w : max_witnesses_) {
+    if (dominated_by(w, caps)) return;
+  }
+  std::erase_if(max_witnesses_, [&](const std::vector<i64>& w) {
+    return dominated_by(caps, w);
+  });
+  if (max_witnesses_.size() < kMaxWitnesses) max_witnesses_.push_back(caps);
+}
+
+void ThroughputCache::add_deadlock_witness(const std::vector<i64>& caps) {
+  const std::lock_guard<std::mutex> lock(witness_mu_);
+  // Keep only maximal witnesses (the mirror image of the max rule).
+  for (const std::vector<i64>& w : deadlock_witnesses_) {
+    if (dominated_by(caps, w)) return;
+  }
+  std::erase_if(deadlock_witnesses_, [&](const std::vector<i64>& w) {
+    return dominated_by(w, caps);
+  });
+  if (deadlock_witnesses_.size() < kMaxWitnesses) {
+    deadlock_witnesses_.push_back(caps);
+  }
+}
+
+}  // namespace buffy::buffer

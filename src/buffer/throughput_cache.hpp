@@ -1,0 +1,133 @@
+// Cross-distribution throughput cache with Sec. 8 dominance pruning.
+//
+// Within one design-space exploration, many candidate storage
+// distributions have outcomes that are already implied by distributions
+// evaluated earlier:
+//
+//  * an exact repeat (the exhaustive engine's tie enumeration and repeated
+//    per-size boxes re-visit capacity vectors) — answered from a striped
+//    concurrent map;
+//  * a candidate pointwise >= a distribution already known to attain the
+//    graph's maximal throughput — by monotonicity of throughput in the
+//    storage distribution (paper Sec. 8), its throughput IS the maximum,
+//    no simulation needed;
+//  * a candidate pointwise <= a distribution that deadlocked — again by
+//    monotonicity, it deadlocks too (throughput 0).
+//
+// Dominance answers are exact, not approximate: monotonicity pins the
+// simulated value, so substituting them can never change a fold result —
+// which is why the engines stay byte-identical to the uncached serial scan
+// at any thread count (see DESIGN.md). Monotonicity does NOT hold under a
+// processor binding (fixed-priority scheduling anomalies), so the engines
+// only consult the dominance rules for unbound explorations.
+//
+// The map is striped: kStripes independent mutex+unordered_map shards
+// selected by capacity-vector hash, so parallel workers rarely contend.
+// The witness sets are small antichains (minimal max-throughput witnesses,
+// maximal deadlock witnesses) scanned linearly under their own lock.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "base/rational.hpp"
+#include "sdf/ids.hpp"
+
+namespace buffy::buffer {
+
+/// Everything the DSE engines consume from one throughput evaluation, so a
+/// cache hit substitutes for the simulation entirely.
+struct CachedThroughput {
+  Rational throughput;
+  bool deadlocked = false;
+  u64 states_stored = 0;
+  i64 cycle_start_time = 0;
+  i64 period = 0;
+  /// True when storage_deps was recorded (the incremental engine needs the
+  /// dependencies to expand children; the exhaustive engine does not).
+  bool has_deps = false;
+  std::vector<sdf::ChannelId> storage_deps;
+};
+
+class ThroughputCache {
+ public:
+  /// `max_throughput` is the graph's maximal throughput for the explored
+  /// target — the value a max-witness dominance hit reports.
+  explicit ThroughputCache(Rational max_throughput);
+
+  /// Exact lookup. With `require_deps`, only entries whose storage
+  /// dependencies were recorded count as hits.
+  [[nodiscard]] std::optional<CachedThroughput> find(
+      const std::vector<i64>& caps, bool require_deps) const;
+
+  /// Sec. 8 dominance, max rule: caps pointwise >= a recorded
+  /// max-throughput witness. The answer carries the maximal throughput and
+  /// no dependencies (callers only use it where dependencies are moot).
+  [[nodiscard]] std::optional<CachedThroughput> find_max_dominated(
+      const std::vector<i64>& caps) const;
+
+  /// Sec. 8 dominance, deadlock rule: caps pointwise <= a recorded
+  /// deadlocked distribution. The answer is a deadlock (throughput 0).
+  [[nodiscard]] std::optional<CachedThroughput> find_deadlock_dominated(
+      const std::vector<i64>& caps) const;
+
+  /// Records a simulated outcome; feeds the witness antichains when the
+  /// outcome is the maximal throughput or a deadlock.
+  void store(const std::vector<i64>& caps, const CachedThroughput& value);
+
+  /// Seeds a max-throughput witness without a full map entry (e.g. the
+  /// Fig. 7 bound's max-throughput distribution, known before the
+  /// exploration starts).
+  void add_max_witness(const std::vector<i64>& caps);
+
+  [[nodiscard]] const Rational& max_throughput() const {
+    return max_throughput_;
+  }
+
+  /// Lifetime counters (relaxed; for metrics only).
+  [[nodiscard]] u64 exact_hits() const {
+    return exact_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 dominance_hits() const {
+    return dominance_hits_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] u64 entries_stored() const {
+    return stores_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr std::size_t kStripes = 16;
+  // Witness antichains are capped so the linear dominance scan stays cheap
+  // on pathological fronts; beyond the cap new witnesses are dropped
+  // (pruning then just fires less often — never incorrectly).
+  static constexpr std::size_t kMaxWitnesses = 64;
+
+  struct CapsHash {
+    std::size_t operator()(const std::vector<i64>& caps) const noexcept;
+  };
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::vector<i64>, CachedThroughput, CapsHash> map;
+  };
+
+  [[nodiscard]] Stripe& stripe_of(const std::vector<i64>& caps) const;
+  void add_deadlock_witness(const std::vector<i64>& caps);
+
+  Rational max_throughput_;
+  mutable std::array<Stripe, kStripes> stripes_;
+
+  mutable std::mutex witness_mu_;
+  std::vector<std::vector<i64>> max_witnesses_;       // minimal elements
+  std::vector<std::vector<i64>> deadlock_witnesses_;  // maximal elements
+
+  mutable std::atomic<u64> exact_hits_{0};
+  mutable std::atomic<u64> dominance_hits_{0};
+  std::atomic<u64> stores_{0};
+};
+
+}  // namespace buffy::buffer

@@ -5,17 +5,24 @@
 namespace buffy::exec {
 
 std::string ProgressSnapshot::json() const {
-  char buf[512];
+  char buf[1024];
   std::snprintf(
       buf, sizeof buf,
       "{\"points_explored\": %llu, \"states_visited\": %llu, "
       "\"pruned_by_bound\": %llu, \"pareto_points\": %llu, \"waves\": %llu, "
-      "\"seconds\": %.6f, \"cancelled\": %s}",
+      "\"simulations\": %llu, \"cache_hits\": %llu, "
+      "\"dominance_skips\": %llu, \"sims_avoided\": %llu, "
+      "\"arena_bytes\": %llu, \"seconds\": %.6f, \"cancelled\": %s}",
       static_cast<unsigned long long>(points_explored),
       static_cast<unsigned long long>(states_visited),
       static_cast<unsigned long long>(pruned_by_bound),
       static_cast<unsigned long long>(pareto_points),
-      static_cast<unsigned long long>(waves), seconds,
+      static_cast<unsigned long long>(waves),
+      static_cast<unsigned long long>(simulations),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(dominance_skips),
+      static_cast<unsigned long long>(sims_avoided),
+      static_cast<unsigned long long>(arena_bytes), seconds,
       cancelled ? "true" : "false");
   return buf;
 }
@@ -29,6 +36,11 @@ ProgressSnapshot Progress::snapshot() const {
   s.pruned_by_bound = pruned_by_bound_.load(std::memory_order_relaxed);
   s.pareto_points = pareto_points_.load(std::memory_order_relaxed);
   s.waves = waves_.load(std::memory_order_relaxed);
+  s.simulations = simulations_.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  s.dominance_skips = dominance_skips_.load(std::memory_order_relaxed);
+  s.sims_avoided = sims_avoided_.load(std::memory_order_relaxed);
+  s.arena_bytes = arena_bytes_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -42,6 +54,11 @@ void Progress::reset() {
   pruned_by_bound_.store(0, std::memory_order_relaxed);
   pareto_points_.store(0, std::memory_order_relaxed);
   waves_.store(0, std::memory_order_relaxed);
+  simulations_.store(0, std::memory_order_relaxed);
+  cache_hits_.store(0, std::memory_order_relaxed);
+  dominance_skips_.store(0, std::memory_order_relaxed);
+  sims_avoided_.store(0, std::memory_order_relaxed);
+  arena_bytes_.store(0, std::memory_order_relaxed);
   cancelled_.store(false, std::memory_order_relaxed);
   start_ = std::chrono::steady_clock::now();
 }

@@ -34,6 +34,18 @@ struct ProgressSnapshot {
   u64 pareto_points = 0;
   /// Evaluation waves (batches) completed by the incremental engine.
   u64 waves = 0;
+  /// Full state-space simulations executed (one per throughput run).
+  u64 simulations = 0;
+  /// Candidates answered from the cross-distribution cache (exact repeat).
+  u64 cache_hits = 0;
+  /// Candidates answered by Sec. 8 monotone dominance without simulation.
+  u64 dominance_skips = 0;
+  /// Simulations the hot-path machinery avoided relative to the one-run-
+  /// per-candidate baseline: cache hits, dominance skips and storage-
+  /// dependency collections fused into the throughput run.
+  u64 sims_avoided = 0;
+  /// Peak footprint of any visited-state arena, in bytes.
+  u64 arena_bytes = 0;
   /// Wall-clock seconds since the sink was created (or last reset).
   double seconds = 0.0;
   /// True when the exploration stopped on a deadline or explicit cancel.
@@ -53,6 +65,17 @@ class Progress {
   void add_pruned(u64 n) { add(pruned_by_bound_, n); }
   void add_pareto_points(u64 n) { add(pareto_points_, n); }
   void add_wave() { add(waves_, 1); }
+  void add_simulations(u64 n) { add(simulations_, n); }
+  void add_cache_hits(u64 n) { add(cache_hits_, n); }
+  void add_dominance_skips(u64 n) { add(dominance_skips_, n); }
+  void add_sims_avoided(u64 n) { add(sims_avoided_, n); }
+  /// Raises the peak-arena-bytes gauge to at least `bytes`.
+  void note_arena_bytes(u64 bytes) {
+    u64 seen = arena_bytes_.load(std::memory_order_relaxed);
+    while (bytes > seen && !arena_bytes_.compare_exchange_weak(
+                               seen, bytes, std::memory_order_relaxed)) {
+    }
+  }
   void mark_cancelled() { cancelled_.store(true, std::memory_order_relaxed); }
 
   /// Consistent-enough copy for reporting (individual counters are exact;
@@ -72,6 +95,11 @@ class Progress {
   std::atomic<u64> pruned_by_bound_{0};
   std::atomic<u64> pareto_points_{0};
   std::atomic<u64> waves_{0};
+  std::atomic<u64> simulations_{0};
+  std::atomic<u64> cache_hits_{0};
+  std::atomic<u64> dominance_skips_{0};
+  std::atomic<u64> sims_avoided_{0};
+  std::atomic<u64> arena_bytes_{0};
   std::atomic<bool> cancelled_{false};
   std::chrono::steady_clock::time_point start_;
 };

@@ -33,6 +33,13 @@ Engine::Engine(const sdf::Graph& graph, Capacities capacities)
   reset();
 }
 
+void Engine::reconfigure(Capacities capacities) {
+  BUFFY_REQUIRE(capacities.size() == graph_.num_channels(),
+                "capacities must cover every channel of the graph");
+  capacities_ = std::move(capacities);
+  reset();
+}
+
 void Engine::set_binding(std::vector<std::size_t> processor_of) {
   if (!processor_of.empty()) {
     BUFFY_REQUIRE(processor_of.size() == clocks_.size(),
@@ -65,6 +72,27 @@ bool Engine::can_start(std::size_t actor) const {
   return true;
 }
 
+// The tracking twin of can_start: the same conjunction, evaluated once,
+// with every failing space check recorded against its channel. The
+// processor check runs last so an actor kept off its processor still
+// reports its space blockage (space_blocked_channels ignores the binding).
+bool Engine::can_start_tracked(std::size_t actor) {
+  if (clocks_[actor] != 0) return false;
+  for (const PortRef& in : inputs_[actor]) {
+    if (tokens_[in.channel] < in.rate) return false;
+  }
+  bool space_ok = true;
+  for (const PortRef& out : outputs_[actor]) {
+    if (capacities_.is_bounded(out.channel) &&
+        occupied_[out.channel] + out.rate > capacities_.capacity(out.channel)) {
+      space_ok = false;
+      last_space_block_[out.channel] = now_;
+    }
+  }
+  if (!space_ok) return false;
+  return processor_of_.empty() || proc_running_[processor_of_[actor]] == 0;
+}
+
 void Engine::start_phase() {
   started_.clear();
   // A start claims output space but never adds tokens or frees space, so no
@@ -72,8 +100,11 @@ void Engine::start_phase() {
   // single producer, so no two starts compete for the same space. A single
   // pass in actor order is therefore deterministic and complete.
   for (std::size_t a = 0; a < clocks_.size(); ++a) {
-    if (!can_start(a)) continue;
+    if (track_space_block_ ? !can_start_tracked(a) : !can_start(a)) continue;
     clocks_[a] = exec_time_[a];
+    if (next_completion_ == 0 || exec_time_[a] < next_completion_) {
+      next_completion_ = exec_time_[a];
+    }
     if (!processor_of_.empty()) ++proc_running_[processor_of_[a]];
     for (const PortRef& out : outputs_[a]) {
       occupied_[out.channel] += out.rate;
@@ -94,7 +125,13 @@ void Engine::reset() {
   completed_.clear();
   started_.clear();
   now_ = 0;
+  next_completion_ = 0;
   deadlocked_ = false;
+  if (track_space_block_) {
+    last_space_block_.assign(tokens_.size(), -1);
+  } else {
+    last_space_block_.clear();
+  }
   // Validate that initial tokens fit the capacities; otherwise the state is
   // not even representable.
   for (std::size_t c = 0; c < tokens_.size(); ++c) {
@@ -112,12 +149,10 @@ bool Engine::step() { return advance_by(1); }
 
 bool Engine::advance() {
   if (deadlocked_) return false;
-  i64 delta = 0;
-  for (const i64 c : clocks_) {
-    if (c > 0 && (delta == 0 || c < delta)) delta = c;
-  }
-  BUFFY_ASSERT(delta > 0, "live engine without a running firing");
-  return advance_by(delta);
+  // next_completion_ is the cached minimum positive clock, so the jump to
+  // the next completion needs no scan over the actors.
+  BUFFY_ASSERT(next_completion_ > 0, "live engine without a running firing");
+  return advance_by(next_completion_);
 }
 
 bool Engine::advance_by(i64 delta) {
@@ -127,12 +162,18 @@ bool Engine::advance_by(i64 delta) {
 
   // Completion phase: lower the clocks; firings reaching zero consume their
   // inputs (releasing that space) and turn their claimed output space into
-  // tokens.
+  // tokens. The loop also rebuilds the cached minimum positive clock.
+  next_completion_ = 0;
   for (std::size_t a = 0; a < clocks_.size(); ++a) {
     if (clocks_[a] == 0) continue;
     BUFFY_ASSERT(clocks_[a] >= delta, "advance past a completion");
     clocks_[a] -= delta;
-    if (clocks_[a] != 0) continue;
+    if (clocks_[a] != 0) {
+      if (next_completion_ == 0 || clocks_[a] < next_completion_) {
+        next_completion_ = clocks_[a];
+      }
+      continue;
+    }
     for (const PortRef& in : inputs_[a]) {
       tokens_[in.channel] -= in.rate;
       occupied_[in.channel] -= in.rate;
@@ -149,16 +190,31 @@ bool Engine::advance_by(i64 delta) {
 
   // With no firing in progress and the start phase unable to launch any
   // actor, the state can never change again: deadlock (self-loop in the
-  // state space, Sec. 6).
-  deadlocked_ = std::all_of(clocks_.begin(), clocks_.end(),
-                            [](i64 c) { return c == 0; });
+  // state space, Sec. 6). No firing in flight is exactly next_completion_
+  // == 0: the completion loop and start_phase both fold every positive
+  // clock into the cached minimum.
+  deadlocked_ = next_completion_ == 0;
   return !deadlocked_;
 }
 
 TimedState Engine::snapshot() const { return TimedState(clocks_, tokens_); }
 
+void Engine::snapshot_into(std::span<i64> out) const {
+  BUFFY_ASSERT(out.size() == clocks_.size() + tokens_.size(),
+               "snapshot buffer size mismatch");
+  std::copy(clocks_.begin(), clocks_.end(), out.begin());
+  std::copy(tokens_.begin(), tokens_.end(), out.begin() + clocks_.size());
+}
+
 std::vector<sdf::ChannelId> Engine::space_blocked_channels() const {
-  std::vector<bool> blocked(tokens_.size(), false);
+  std::vector<sdf::ChannelId> result;
+  space_blocked_channels(result);
+  return result;
+}
+
+void Engine::space_blocked_channels(std::vector<sdf::ChannelId>& out) const {
+  out.clear();
+  blocked_scratch_.assign(tokens_.size(), 0);
   for (std::size_t a = 0; a < clocks_.size(); ++a) {
     if (clocks_[a] != 0) continue;
     bool tokens_ok = true;
@@ -169,19 +225,17 @@ std::vector<sdf::ChannelId> Engine::space_blocked_channels() const {
       }
     }
     if (!tokens_ok) continue;
-    for (const PortRef& out : outputs_[a]) {
-      if (capacities_.is_bounded(out.channel) &&
-          occupied_[out.channel] + out.rate >
-              capacities_.capacity(out.channel)) {
-        blocked[out.channel] = true;
+    for (const PortRef& out_port : outputs_[a]) {
+      if (capacities_.is_bounded(out_port.channel) &&
+          occupied_[out_port.channel] + out_port.rate >
+              capacities_.capacity(out_port.channel)) {
+        blocked_scratch_[out_port.channel] = 1;
       }
     }
   }
-  std::vector<sdf::ChannelId> result;
-  for (std::size_t c = 0; c < blocked.size(); ++c) {
-    if (blocked[c]) result.emplace_back(c);
+  for (std::size_t c = 0; c < blocked_scratch_.size(); ++c) {
+    if (blocked_scratch_[c] != 0) out.emplace_back(c);
   }
-  return result;
 }
 
 }  // namespace buffy::state

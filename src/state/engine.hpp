@@ -17,6 +17,7 @@
 // schedule computations are built on top of it (state/throughput.hpp).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "sdf/graph.hpp"
@@ -34,6 +35,12 @@ class Engine {
   /// Returns to time 0: initial tokens on the channels, then the start phase
   /// of time step 0 (enabled actors begin firing immediately).
   void reset();
+
+  /// Swaps in new capacities without re-walking the graph (the flattened
+  /// per-actor port tables are capacity-independent), then reset()s. This
+  /// is what lets one engine serve every distribution of a design-space
+  /// exploration instead of being rebuilt per run.
+  void reconfigure(Capacities capacities);
 
   /// Advances one time step: completes due firings (consume + produce), then
   /// starts every enabled actor. Returns false when the graph is deadlocked
@@ -69,6 +76,12 @@ class Engine {
   /// Snapshot of the timed state (clocks, tokens).
   [[nodiscard]] TimedState snapshot() const;
 
+  /// Writes the timed state into a caller-provided buffer of exactly
+  /// num_actors + num_channels words (clocks first, then tokens) — the
+  /// allocation-free sibling of snapshot() used by the throughput kernel's
+  /// arena-backed visited-state table.
+  void snapshot_into(std::span<i64> out) const;
+
   /// Remaining firing time of an actor (0 = idle).
   [[nodiscard]] i64 clock(sdf::ActorId a) const { return clocks_[a.index()]; }
 
@@ -93,6 +106,27 @@ class Engine {
   /// current state (i.e. after the most recent start phase).
   [[nodiscard]] std::vector<sdf::ChannelId> space_blocked_channels() const;
 
+  /// Allocation-free variant: clears `out` and fills it with the blocked
+  /// channels, reusing an internal scratch bitmap. `out` keeps its capacity
+  /// across calls, so steady-state use never touches the heap.
+  void space_blocked_channels(std::vector<sdf::ChannelId>& out) const;
+
+  /// When on, every start phase records the current time against each
+  /// space-blocked channel (same per-instant semantics as
+  /// space_blocked_channels, which samples after the start phase: space
+  /// never frees and tokens never change within an instant, and a channel's
+  /// occupancy is only claimed by its single producer, so the in-phase view
+  /// equals the post-phase one). The cost is one extra check per actor that
+  /// failed to start — there is no separate scan per advance. Takes effect
+  /// at the next reset()/reconfigure().
+  void set_space_block_tracking(bool on) { track_space_block_ = on; }
+
+  /// Per-channel time of the most recent space-blocked instant since
+  /// reset(), -1 when never blocked. Only maintained while tracking is on.
+  [[nodiscard]] const std::vector<i64>& last_space_block() const {
+    return last_space_block_;
+  }
+
   /// Optional recorder notified of every firing start. Not owned; may be
   /// null. Set before reset() to capture the time-0 start phase.
   void set_recorder(FiringRecorder* recorder) { recorder_ = recorder; }
@@ -106,6 +140,11 @@ class Engine {
   /// occupancy is derivable from the clocks).
   void set_binding(std::vector<std::size_t> processor_of);
 
+  /// The current processor binding (empty = unbound).
+  [[nodiscard]] const std::vector<std::size_t>& binding() const {
+    return processor_of_;
+  }
+
   [[nodiscard]] const sdf::Graph& graph() const { return graph_; }
   [[nodiscard]] const Capacities& capacities() const { return capacities_; }
 
@@ -116,6 +155,7 @@ class Engine {
   };
 
   [[nodiscard]] bool can_start(std::size_t actor) const;
+  bool can_start_tracked(std::size_t actor);
   void start_phase();
   bool advance_by(i64 delta);
 
@@ -135,10 +175,17 @@ class Engine {
   std::vector<sdf::ActorId> completed_;
   std::vector<sdf::ActorId> started_;
   i64 now_ = 0;
+  // Minimum positive clock (the next completion time minus now_); 0 when no
+  // firing is in flight. Maintained by the completion loop and start_phase
+  // so advance() never rescans all clocks to find its delta.
+  i64 next_completion_ = 0;
   bool deadlocked_ = false;
   FiringRecorder* recorder_ = nullptr;
   std::vector<std::size_t> processor_of_;  // empty = no binding
   std::vector<i64> proc_running_;          // firings in flight per processor
+  mutable std::vector<char> blocked_scratch_;  // space_blocked_channels
+  bool track_space_block_ = false;
+  std::vector<i64> last_space_block_;  // per channel; -1 = never
 };
 
 }  // namespace buffy::state

@@ -1,57 +1,69 @@
 #include "state/throughput.hpp"
 
-#include <unordered_map>
+#include <algorithm>
 
 #include "base/diagnostics.hpp"
 
 namespace buffy::state {
 
-namespace {
+ThroughputSolver::ThroughputSolver(const sdf::Graph& graph)
+    : engine_(graph, Capacities::unbounded(graph.num_channels())) {}
 
-// The stored key is the paper's full reduced state: the timed state plus
-// the d_a dimension (time since the previous completion of the target) —
-// see Fig. 4, where (1,0,1,2,2,9) and (1,0,1,2,2,7) are distinct states.
-struct ReducedKey {
-  TimedState timed;
-  i64 dist;
-  friend bool operator==(const ReducedKey&, const ReducedKey&) = default;
-};
-
-struct ReducedKeyHash {
-  std::size_t operator()(const ReducedKey& k) const noexcept {
-    return static_cast<std::size_t>(
-        hash_combine(k.timed.hash(), static_cast<u64>(k.dist)));
-  }
-};
-
-}  // namespace
-
-ThroughputResult compute_throughput(const sdf::Graph& graph,
-                                    const Capacities& capacities,
-                                    const ThroughputOptions& opts) {
+ThroughputResult ThroughputSolver::compute(const Capacities& capacities,
+                                           const ThroughputOptions& opts) {
+  const sdf::Graph& graph = engine_.graph();
   BUFFY_REQUIRE(opts.target.valid() && opts.target.index() < graph.num_actors(),
                 "throughput target actor is not part of the graph");
-  Engine engine(graph, capacities);
-  engine.set_recorder(opts.recorder);
-  engine.set_binding(opts.processor_of);  // also resets the engine
+  // reconfigure() and set_binding() both reset; attach the recorder only
+  // for the reset that establishes the run's actual start state, so the
+  // time-0 starts are recorded exactly once. Space-block tracking must be
+  // armed before that reset to catch channels blocked at time 0.
+  const bool collect_deps = opts.collect_storage_deps;
+  engine_.set_space_block_tracking(collect_deps);
+  const bool rebind = engine_.binding() != opts.processor_of;
+  engine_.set_recorder(rebind ? nullptr : opts.recorder);
+  engine_.reconfigure(capacities);
+  if (rebind) {
+    engine_.set_recorder(opts.recorder);
+    engine_.set_binding(opts.processor_of);
+  }
 
   ThroughputResult result;
 
-  struct Entry {
-    i64 firing_index;
-    i64 time;
-    std::size_t order;  // position in result.reduced_states
+  // One record per stored reduced state: [clocks | tokens | dist]. The
+  // paper's full reduced key includes the d_a dimension (time since the
+  // previous completion of the target) — see Fig. 4, where (1,0,1,2,2,9)
+  // and (1,0,1,2,2,7) are distinct states.
+  const std::size_t state_words =
+      graph.num_actors() + graph.num_channels();
+  table_.reset(state_words + 1);
+
+  // The engine records the latest space-blocked instant per channel during
+  // its start phases (see set_space_block_tracking); between completions
+  // the blocked set is constant, so those instants cover every state of
+  // the execution. Keeping only the latest time per channel is enough
+  // because the filter below is a window ending at the final time.
+  const auto finish_deps = [&](i64 window_start) {
+    if (!collect_deps) return;
+    const std::vector<i64>& last_blocked = engine_.last_space_block();
+    for (std::size_t c = 0; c < last_blocked.size(); ++c) {
+      if (last_blocked[c] >= window_start) {
+        result.storage_deps.emplace_back(c);
+      }
+    }
   };
-  std::unordered_map<ReducedKey, Entry, ReducedKeyHash> seen;
 
   i64 firings = 0;
   i64 last_completion_time = 0;
 
   const auto finish_max_occupancy = [&]() {
-    if (opts.track_max_occupancy) result.max_occupancy = engine.max_occupancy();
+    if (opts.track_max_occupancy) result.max_occupancy = engine_.max_occupancy();
   };
   const auto report_states = [&]() {
-    if (opts.progress != nullptr) opts.progress->add_states(seen.size());
+    if (opts.progress == nullptr) return;
+    opts.progress->add_states(table_.size());
+    opts.progress->add_simulations(1);
+    opts.progress->note_arena_bytes(table_.footprint_bytes());
   };
 
   // Cancellation is polled every so many steps: often enough that a
@@ -64,46 +76,47 @@ ThroughputResult compute_throughput(const sdf::Graph& graph,
       report_states();
       throw exec::Cancelled();
     }
-    const bool alive = engine.advance();
+    const bool alive = engine_.advance();
 
     bool target_completed = false;
-    for (const sdf::ActorId a : engine.completed()) {
+    for (const sdf::ActorId a : engine_.completed()) {
       if (a == opts.target) target_completed = true;
     }
 
     if (target_completed) {
       ++firings;
-      TimedState snapshot = engine.snapshot();
-      const i64 dist = engine.now() - last_completion_time;
-      last_completion_time = engine.now();
-      const ReducedKey key{snapshot, dist};
-      const auto it = seen.find(key);
-      if (it != seen.end()) {
+      const i64 dist = engine_.now() - last_completion_time;
+      last_completion_time = engine_.now();
+      const std::span<i64> record = table_.stage();
+      engine_.snapshot_into(record.first(state_words));
+      record[state_words] = dist;
+      const VisitedTable::Entry* prev = table_.find_or_insert(
+          VisitedTable::Entry{firings, engine_.now(), table_.size()});
+      if (prev != nullptr) {
         // Cycle closed: the periodic phase runs from the earlier visit of
         // this state to now.
-        result.firings_on_cycle = firings - it->second.firing_index;
-        result.period = engine.now() - it->second.time;
-        result.cycle_start_time = it->second.time;
+        result.firings_on_cycle = firings - prev->firing_index;
+        result.period = engine_.now() - prev->time;
+        result.cycle_start_time = prev->time;
         result.throughput = Rational(result.firings_on_cycle, result.period);
-        result.states_stored = seen.size();
-        result.time_steps = engine.now();
+        result.states_stored = table_.size();
+        result.time_steps = engine_.now();
         if (opts.collect_reduced_states) {
-          for (std::size_t i = it->second.order;
-               i < result.reduced_states.size(); ++i) {
+          for (std::size_t i = prev->order; i < result.reduced_states.size();
+               ++i) {
             result.reduced_states[i].on_cycle = true;
           }
         }
+        finish_deps(result.cycle_start_time);
         finish_max_occupancy();
         report_states();
         return result;
       }
-      seen.emplace(key,
-                   Entry{firings, engine.now(), result.reduced_states.size()});
       if (opts.collect_reduced_states) {
         result.reduced_states.push_back(ReducedState{
-            .timed = std::move(snapshot),
+            .timed = engine_.snapshot(),
             .dist = dist,
-            .time = engine.now(),
+            .time = engine_.now(),
             .on_cycle = false,
         });
       }
@@ -112,8 +125,11 @@ ThroughputResult compute_throughput(const sdf::Graph& graph,
     if (!alive) {
       result.deadlocked = true;
       result.throughput = Rational(0);
-      result.states_stored = seen.size();
-      result.time_steps = engine.now();
+      result.states_stored = table_.size();
+      result.time_steps = engine_.now();
+      // A deadlocked run reports dependencies over the whole execution —
+      // a firing may have been delayed by space long before the stall.
+      finish_deps(0);
       finish_max_occupancy();
       report_states();
       return result;
@@ -123,6 +139,41 @@ ThroughputResult compute_throughput(const sdf::Graph& graph,
   throw Error("throughput computation exceeded max_steps = " +
               std::to_string(opts.max_steps) + " on graph '" + graph.name() +
               "' (unbounded token growth or a bound set too low)");
+}
+
+std::unique_ptr<ThroughputSolver> ThroughputSolverPool::acquire() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (!free_.empty()) {
+      std::unique_ptr<ThroughputSolver> solver = std::move(free_.back());
+      free_.pop_back();
+      return solver;
+    }
+  }
+  return std::make_unique<ThroughputSolver>(graph_);
+}
+
+void ThroughputSolverPool::release(std::unique_ptr<ThroughputSolver> solver) {
+  if (solver == nullptr) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  max_table_bytes_ = std::max(max_table_bytes_, solver->table_bytes());
+  free_.push_back(std::move(solver));
+}
+
+std::size_t ThroughputSolverPool::max_table_bytes() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t result = max_table_bytes_;
+  for (const auto& solver : free_) {
+    result = std::max(result, solver->table_bytes());
+  }
+  return result;
+}
+
+ThroughputResult compute_throughput(const sdf::Graph& graph,
+                                    const Capacities& capacities,
+                                    const ThroughputOptions& opts) {
+  ThroughputSolver solver(graph);
+  return solver.compute(capacities, opts);
 }
 
 ThroughputResult compute_throughput(const sdf::Graph& graph,

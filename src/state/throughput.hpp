@@ -8,6 +8,8 @@
 // its firings on the cycle divided by the cycle's duration (Property 2).
 #pragma once
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "sdf/graph.hpp"
 #include "state/engine.hpp"
 #include "state/state.hpp"
+#include "state/visited_table.hpp"
 
 namespace buffy::state {
 
@@ -43,6 +46,12 @@ struct ThroughputOptions {
   /// Optional metrics sink: stored reduced states are reported here when
   /// the run ends (including a cancelled unwind). Not owned; may be null.
   exec::Progress* progress = nullptr;
+  /// When set, the run also collects the storage dependencies — channels
+  /// whose space check delayed a firing during the periodic phase (or
+  /// anywhere in a deadlocked run) — into ThroughputResult::storage_deps,
+  /// fused into the simulation instead of costing a second one (see
+  /// buffer::storage_dependencies for the reference definition).
+  bool collect_storage_deps = false;
 };
 
 /// One entry of the reduced state space: the timed state at a completion of
@@ -77,12 +86,84 @@ struct ThroughputResult {
   std::vector<ReducedState> reduced_states;
   /// Per-channel max occupancy (only when requested).
   std::vector<i64> max_occupancy;
+  /// Storage dependencies of the run (only when collect_storage_deps was
+  /// set), in channel-index order.
+  std::vector<sdf::ChannelId> storage_deps;
 };
 
-/// Runs self-timed execution under the given capacities until the reduced
-/// state space closes its cycle or the graph deadlocks. Throws Error when
-/// max_steps is exceeded (e.g. unbounded token accumulation under unbounded
-/// capacities in a graph that is not back-pressured).
+/// Reusable throughput kernel: one Engine plus one arena-backed visited-
+/// state table serving any number of runs over the same graph. Reusing a
+/// solver across the runs of a design-space exploration keeps the hot path
+/// allocation-free in steady state — the engine is reconfigure()d instead
+/// of rebuilt and the visited arena is recycled instead of reallocated.
+/// Not thread-safe; use one solver per worker (ThroughputSolverPool).
+class ThroughputSolver {
+ public:
+  /// The graph must outlive the solver.
+  explicit ThroughputSolver(const sdf::Graph& graph);
+
+  /// Runs self-timed execution under the given capacities until the
+  /// reduced state space closes its cycle or the graph deadlocks. Throws
+  /// Error when max_steps is exceeded (e.g. unbounded token accumulation
+  /// under unbounded capacities in a graph that is not back-pressured).
+  [[nodiscard]] ThroughputResult compute(const Capacities& capacities,
+                                         const ThroughputOptions& opts);
+
+  [[nodiscard]] const sdf::Graph& graph() const { return engine_.graph(); }
+
+  /// Peak memory footprint of the visited-state table across all runs.
+  [[nodiscard]] std::size_t table_bytes() const {
+    return table_.footprint_bytes();
+  }
+
+ private:
+  Engine engine_;
+  VisitedTable table_;
+};
+
+/// A mutex-guarded free list of solvers over one graph, shared by the
+/// workers of a parallel exploration. acquire()/release() cost one lock
+/// each — noise next to the full state-space simulation in between — and
+/// returned solvers keep their warmed-up arenas for the next run.
+class ThroughputSolverPool {
+ public:
+  explicit ThroughputSolverPool(const sdf::Graph& graph) : graph_(graph) {}
+
+  [[nodiscard]] std::unique_ptr<ThroughputSolver> acquire();
+  void release(std::unique_ptr<ThroughputSolver> solver);
+
+  /// Peak visited-table footprint over every solver ever released.
+  [[nodiscard]] std::size_t max_table_bytes() const;
+
+ private:
+  const sdf::Graph& graph_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThroughputSolver>> free_;
+  std::size_t max_table_bytes_ = 0;
+};
+
+/// Convenience RAII lease: acquires on construction, releases on scope
+/// exit. A null pool yields a null solver — the caller's signal to fall
+/// back to one-shot compute_throughput (the engine-per-run legacy path).
+class PooledSolver {
+ public:
+  explicit PooledSolver(ThroughputSolverPool* pool)
+      : pool_(pool), solver_(pool != nullptr ? pool->acquire() : nullptr) {}
+  ~PooledSolver() {
+    if (pool_ != nullptr) pool_->release(std::move(solver_));
+  }
+  PooledSolver(const PooledSolver&) = delete;
+  PooledSolver& operator=(const PooledSolver&) = delete;
+
+  [[nodiscard]] ThroughputSolver* get() { return solver_.get(); }
+
+ private:
+  ThroughputSolverPool* pool_;
+  std::unique_ptr<ThroughputSolver> solver_;
+};
+
+/// One-shot form: builds a fresh solver per call (the pre-reuse code path,
+/// still the right tool outside exploration loops).
 [[nodiscard]] ThroughputResult compute_throughput(const sdf::Graph& graph,
                                                   const Capacities& capacities,
                                                   const ThroughputOptions& opts);

@@ -1,0 +1,88 @@
+#include "state/visited_table.hpp"
+
+#include <algorithm>
+
+#include "base/diagnostics.hpp"
+#include "base/hash.hpp"
+
+namespace buffy::state {
+
+void VisitedTable::reset(std::size_t record_words) {
+  BUFFY_REQUIRE(record_words > 0, "visited-state records must be non-empty");
+  record_words_ = record_words;
+  arena_.clear();
+  hashes_.clear();
+  entries_.clear();
+  staged_ = false;
+  if (slots_.empty()) slots_.resize(64);
+  std::fill(slots_.begin(), slots_.end(), kEmptySlot);
+  mask_ = slots_.size() - 1;
+}
+
+std::span<i64> VisitedTable::stage() {
+  BUFFY_ASSERT(record_words_ > 0, "stage() before reset()");
+  if (!staged_) {
+    arena_.resize(arena_.size() + record_words_);
+    staged_ = true;
+  }
+  return {arena_.data() + entries_.size() * record_words_, record_words_};
+}
+
+const VisitedTable::Entry* VisitedTable::find_or_insert(const Entry& entry) {
+  BUFFY_ASSERT(staged_, "find_or_insert() without a staged record");
+  // Keep the load factor under ~0.7 so probe chains stay short.
+  if ((entries_.size() + 1) * 10 > slots_.size() * 7) grow_slots();
+
+  const std::size_t n = entries_.size();
+  const i64* rec = arena_.data() + n * record_words_;
+  const u64 h = hash_words(std::span<const i64>(rec, record_words_));
+  std::size_t i = static_cast<std::size_t>(h) & mask_;
+  for (std::size_t step = 1;; ++step) {
+    const u32 s = slots_[i];
+    if (s == kEmptySlot) {
+      BUFFY_ASSERT(n < kEmptySlot, "visited-state table record limit");
+      slots_[i] = static_cast<u32>(n);
+      hashes_.push_back(h);
+      entries_.push_back(entry);
+      staged_ = false;
+      return nullptr;
+    }
+    if (hashes_[s] == h &&
+        std::equal(rec, rec + record_words_,
+                   arena_.data() + s * record_words_)) {
+      arena_.resize(arena_.size() - record_words_);  // discard the staged copy
+      staged_ = false;
+      return &entries_[s];
+    }
+    // Triangular probing: on a power-of-two table the offsets 1, 3, 6, ...
+    // visit every slot exactly once per cycle.
+    i = (i + step) & mask_;
+  }
+}
+
+std::span<const i64> VisitedTable::record(std::size_t i) const {
+  BUFFY_REQUIRE(i < entries_.size(), "record index out of range");
+  return {arena_.data() + i * record_words_, record_words_};
+}
+
+std::size_t VisitedTable::footprint_bytes() const {
+  return arena_.capacity() * sizeof(i64) + hashes_.capacity() * sizeof(u64) +
+         entries_.capacity() * sizeof(Entry) +
+         slots_.capacity() * sizeof(u32);
+}
+
+void VisitedTable::grow_slots() {
+  slots_.assign(slots_.size() * 2, kEmptySlot);
+  mask_ = slots_.size() - 1;
+  // Re-seat every committed record from its cached hash; the record words
+  // themselves are never re-read.
+  for (std::size_t r = 0; r < entries_.size(); ++r) {
+    std::size_t i = static_cast<std::size_t>(hashes_[r]) & mask_;
+    for (std::size_t step = 1; slots_[i] != kEmptySlot; ++step) {
+      i = (i + step) & mask_;
+    }
+    slots_[i] = static_cast<u32>(r);
+  }
+}
+
+}  // namespace buffy::state

@@ -1,0 +1,87 @@
+// Arena-backed visited-state table for the reduced state space (Sec. 7).
+//
+// The cycle-detection store of compute_throughput is the hottest data
+// structure in the system: every completion of the target actor probes it
+// once, and a multi-million-state exploration lives or dies by its memory
+// behaviour. A node-based unordered_map pays one heap allocation per state,
+// scatters the keys across the heap and rehashes a key on every probe. This
+// table instead keeps every record in one contiguous i64 arena — the
+// [clocks | tokens | dist] words of a reduced state, back to back — with an
+// open-addressing slot array (power-of-two, triangular probing) that caches
+// each record's hash, so probing compares a cached 64-bit hash first and
+// growth never touches the record words again.
+//
+// Records are written in place: stage() hands out the arena tail, the
+// caller fills it (Engine::snapshot_into + the d_a distance), and
+// find_or_insert either commits the staged words (miss) or discards them
+// (hit). Between runs reset() keeps both the arena and the slot array, so a
+// design-space exploration reusing one table allocates only while the
+// largest state space seen so far is still growing.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "base/checked_math.hpp"
+
+namespace buffy::state {
+
+using u32 = std::uint32_t;
+
+class VisitedTable {
+ public:
+  /// Per-record payload: everything cycle closing needs.
+  struct Entry {
+    /// Target firings completed when the record was stored.
+    i64 firing_index = 0;
+    /// Absolute time of the completion.
+    i64 time = 0;
+    /// Insertion position (index into a collected reduced-state sequence).
+    u64 order = 0;
+  };
+
+  VisitedTable() = default;
+
+  /// Prepares for a run whose records are `record_words` i64 each. Drops
+  /// all records but keeps the arena and slot memory of earlier runs.
+  void reset(std::size_t record_words);
+
+  /// The staging area for the next candidate record: `record_words` words
+  /// at the arena tail. Valid until find_or_insert or reset; calling
+  /// stage() again returns the same (still uncommitted) area.
+  [[nodiscard]] std::span<i64> stage();
+
+  /// Probes for the staged record. On a hit the staged words are discarded
+  /// and the matching record's entry is returned; on a miss the record is
+  /// committed with `entry` and nullptr is returned. The returned pointer
+  /// is invalidated by the next insertion.
+  const Entry* find_or_insert(const Entry& entry);
+
+  /// Committed records.
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  [[nodiscard]] std::size_t record_words() const { return record_words_; }
+
+  /// Words of record i (insertion order), without the staged tail.
+  [[nodiscard]] std::span<const i64> record(std::size_t i) const;
+
+  /// Bytes reserved by the record arena and the slot/hash arrays — the
+  /// table's whole footprint, which persists across reset() for reuse.
+  [[nodiscard]] std::size_t footprint_bytes() const;
+
+ private:
+  static constexpr u32 kEmptySlot = 0xffffffffu;
+
+  void grow_slots();
+
+  std::size_t record_words_ = 0;
+  std::vector<i64> arena_;     // committed records, plus one staged record
+  std::vector<u64> hashes_;    // cached hash per committed record
+  std::vector<Entry> entries_;
+  std::vector<u32> slots_;     // record index or kEmptySlot; 2^k slots
+  std::size_t mask_ = 0;
+  bool staged_ = false;
+};
+
+}  // namespace buffy::state

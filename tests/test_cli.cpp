@@ -115,6 +115,38 @@ TEST(ExploreCli, StatsEmitsJsonCounters) {
       << r.output;
 }
 
+TEST(ExploreCli, StatsEmitsHotpathCounters) {
+  const RunResult r = run_cli(graph("example.xml") + " --stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* key : {"\"simulations\"", "\"cache_hits\"",
+                          "\"dominance_skips\"", "\"sims_avoided\"",
+                          "\"arena_bytes\""}) {
+    EXPECT_NE(r.output.find(key), std::string::npos) << key << "\n" << r.output;
+  }
+}
+
+TEST(ExploreCli, NoCacheRunMatchesCachedOutput) {
+  const RunResult cached = run_cli(graph("example.xml") + " --engine exh");
+  const RunResult uncached =
+      run_cli(graph("example.xml") + " --engine exh --no-cache");
+  EXPECT_EQ(cached.exit_code, 0) << cached.output;
+  EXPECT_EQ(uncached.exit_code, 0) << uncached.output;
+  const auto pareto_of = [](const std::string& out) {
+    const std::size_t at = out.find("Pareto points:");
+    return at == std::string::npos ? std::string() : out.substr(at);
+  };
+  EXPECT_EQ(pareto_of(cached.output), pareto_of(uncached.output));
+}
+
+TEST(ExploreCli, NoCacheIsRejectedInCsdfMode) {
+  const RunResult r =
+      run_cli(graph("distcol.csdf.sdf") + " --csdf --no-cache");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("not supported in --csdf mode"),
+            std::string::npos)
+      << r.output;
+}
+
 TEST(ExploreCli, ExpiredDeadlineStillExitsCleanly) {
   const RunResult r =
       run_cli(graph("modem.sdf") + " --deadline-ms 0 --stats");

@@ -232,5 +232,81 @@ TEST(Engine, UnboundedChannelsNeverBlock) {
   EXPECT_GT(e.tokens(sdf::ChannelId(0)), 10);
 }
 
+TEST(Engine, ScratchSpaceBlockedChannelsMatchesAllocatingVariant) {
+  const sdf::Graph g = models::paper_example();
+  Engine e(g, Capacities::bounded({4, 2}));
+  e.reset();
+  std::vector<sdf::ChannelId> scratch;
+  for (int i = 0; i < 30; ++i) {
+    e.space_blocked_channels(scratch);
+    EXPECT_EQ(scratch, e.space_blocked_channels()) << "t=" << e.now();
+    e.step();
+  }
+}
+
+TEST(Engine, ReconfigureReproducesAFreshEngine) {
+  const sdf::Graph g = models::paper_example();
+  Engine fresh(g, Capacities::bounded({6, 2}));
+  fresh.reset();
+  Engine reused(g, Capacities::bounded({4, 2}));
+  reused.reset();
+  for (int i = 0; i < 10; ++i) reused.step();  // arbitrary progress
+  reused.reconfigure(Capacities::bounded({6, 2}));
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(clocks_of(reused), clocks_of(fresh)) << "t=" << fresh.now();
+    EXPECT_EQ(tokens_of(reused), tokens_of(fresh)) << "t=" << fresh.now();
+    EXPECT_EQ(reused.step(), fresh.step());
+  }
+}
+
+TEST(Engine, SnapshotIntoMatchesSnapshot) {
+  const sdf::Graph g = models::paper_example();
+  Engine e(g, Capacities::bounded({4, 2}));
+  e.reset();
+  std::vector<i64> words(g.num_actors() + g.num_channels());
+  for (int i = 0; i < 12; ++i) {
+    e.snapshot_into(words);
+    const TimedState state = e.snapshot();
+    const std::span<const i64> reference = state.words();
+    EXPECT_EQ(words, std::vector<i64>(reference.begin(), reference.end()));
+    e.step();
+  }
+}
+
+TEST(Engine, SpaceBlockTrackingMatchesSampledReference) {
+  // The in-phase recording (set_space_block_tracking) must be equivalent to
+  // sampling space_blocked_channels after every advance: a channel's latest
+  // recorded instant is the latest time the sampled set contained it.
+  const sdf::Graph g = models::paper_example();
+  Engine e(g, Capacities::bounded({4, 2}));
+  e.set_space_block_tracking(true);
+  e.reset();
+  std::vector<i64> sampled(g.num_channels(), -1);
+  for (const sdf::ChannelId c : e.space_blocked_channels()) {
+    sampled[c.index()] = e.now();
+  }
+  for (int i = 0; i < 50; ++i) {
+    e.step();
+    for (const sdf::ChannelId c : e.space_blocked_channels()) {
+      sampled[c.index()] = e.now();
+    }
+    EXPECT_EQ(e.last_space_block(), sampled) << "t=" << e.now();
+  }
+}
+
+TEST(Engine, SpaceBlockTrackingArmsOnNextReset) {
+  const sdf::Graph g = models::paper_example();
+  Engine e(g, Capacities::bounded({4, 2}));
+  e.reset();
+  EXPECT_TRUE(e.last_space_block().empty());  // tracking off: not maintained
+  e.set_space_block_tracking(true);
+  e.reconfigure(Capacities::bounded({4, 2}));
+  ASSERT_EQ(e.last_space_block().size(), 2u);
+  for (int i = 0; i < 3; ++i) e.step();
+  // Fig. 3: alpha fills at t=2 and actor a stays space-blocked at t=3.
+  EXPECT_EQ(e.last_space_block()[0], 3);
+  EXPECT_EQ(e.last_space_block()[1], -1);  // beta never blocked so far
+}
+
 }  // namespace
 }  // namespace buffy::state

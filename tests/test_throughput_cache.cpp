@@ -1,0 +1,135 @@
+#include "buffer/throughput_cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace buffy::buffer {
+namespace {
+
+const Rational kMax(1, 4);  // the paper example's maximal throughput
+
+CachedThroughput periodic(const Rational& tput) {
+  CachedThroughput value;
+  value.throughput = tput;
+  value.states_stored = 3;
+  value.cycle_start_time = 2;
+  value.period = 7;
+  return value;
+}
+
+CachedThroughput deadlock() {
+  CachedThroughput value;
+  value.deadlocked = true;
+  value.throughput = Rational(0);
+  return value;
+}
+
+TEST(ThroughputCache, ExactStoreAndFindRoundTrip) {
+  ThroughputCache cache(kMax);
+  cache.store({4, 2}, periodic(Rational(1, 7)));
+
+  const auto hit = cache.find({4, 2}, /*require_deps=*/false);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->throughput, Rational(1, 7));
+  EXPECT_FALSE(hit->deadlocked);
+  EXPECT_EQ(hit->states_stored, 3u);
+  EXPECT_EQ(hit->cycle_start_time, 2);
+  EXPECT_EQ(hit->period, 7);
+
+  EXPECT_FALSE(cache.find({4, 3}, false).has_value());
+  EXPECT_EQ(cache.exact_hits(), 1u);
+  EXPECT_EQ(cache.entries_stored(), 1u);
+}
+
+TEST(ThroughputCache, RequireDepsRejectsEntriesWithoutDependencies) {
+  ThroughputCache cache(kMax);
+  cache.store({4, 2}, periodic(Rational(1, 7)));  // has_deps = false
+
+  // The incremental engine must not accept this entry: without the
+  // dependencies it cannot expand the candidate's children.
+  EXPECT_FALSE(cache.find({4, 2}, /*require_deps=*/true).has_value());
+  EXPECT_TRUE(cache.find({4, 2}, /*require_deps=*/false).has_value());
+
+  CachedThroughput with_deps = periodic(Rational(1, 7));
+  with_deps.has_deps = true;
+  with_deps.storage_deps = {sdf::ChannelId(1)};
+  cache.store({6, 2}, with_deps);
+  const auto hit = cache.find({6, 2}, /*require_deps=*/true);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->storage_deps.size(), 1u);
+  EXPECT_EQ(hit->storage_deps[0], sdf::ChannelId(1));
+}
+
+TEST(ThroughputCache, MaxDominanceAnswersPointwiseGreaterOrEqual) {
+  ThroughputCache cache(kMax);
+  cache.add_max_witness({8, 2});
+
+  const auto above = cache.find_max_dominated({9, 5});
+  ASSERT_TRUE(above.has_value());
+  EXPECT_EQ(above->throughput, kMax);
+  EXPECT_FALSE(above->deadlocked);
+  // Dominance answers never carry dependencies.
+  EXPECT_FALSE(above->has_deps);
+
+  EXPECT_TRUE(cache.find_max_dominated({8, 2}).has_value());   // equal
+  EXPECT_FALSE(cache.find_max_dominated({7, 5}).has_value());  // below in c0
+  EXPECT_FALSE(cache.find_max_dominated({9, 1}).has_value());  // below in c1
+  EXPECT_EQ(cache.dominance_hits(), 2u);
+}
+
+TEST(ThroughputCache, DeadlockDominanceAnswersPointwiseLessOrEqual) {
+  ThroughputCache cache(kMax);
+  cache.store({3, 2}, deadlock());
+
+  const auto below = cache.find_deadlock_dominated({2, 1});
+  ASSERT_TRUE(below.has_value());
+  EXPECT_TRUE(below->deadlocked);
+  EXPECT_EQ(below->throughput, Rational(0));
+
+  EXPECT_TRUE(cache.find_deadlock_dominated({3, 2}).has_value());   // equal
+  EXPECT_FALSE(cache.find_deadlock_dominated({4, 1}).has_value());  // above
+}
+
+TEST(ThroughputCache, StoringTheMaximumFeedsTheMaxWitnesses) {
+  ThroughputCache cache(kMax);
+  cache.store({6, 4}, periodic(kMax));  // simulated outcome == maximum
+  EXPECT_TRUE(cache.find_max_dominated({7, 4}).has_value());
+
+  // A sub-maximal outcome must NOT become a witness.
+  cache.store({5, 2}, periodic(Rational(1, 6)));
+  EXPECT_FALSE(cache.find_max_dominated({5, 3}).has_value());
+}
+
+TEST(ThroughputCache, MaxWitnessesFormAMinimalAntichain) {
+  ThroughputCache cache(kMax);
+  cache.add_max_witness({6, 4});
+  // A smaller witness supersedes the bigger one...
+  cache.add_max_witness({4, 2});
+  EXPECT_TRUE(cache.find_max_dominated({5, 3}).has_value());  // >= {4,2} only
+  // ...and a witness above an existing one changes nothing.
+  cache.add_max_witness({9, 9});
+  EXPECT_TRUE(cache.find_max_dominated({4, 2}).has_value());
+  EXPECT_FALSE(cache.find_max_dominated({3, 9}).has_value());
+}
+
+TEST(ThroughputCache, DeadlockWitnessesFormAMaximalAntichain) {
+  ThroughputCache cache(kMax);
+  cache.store({1, 1}, deadlock());
+  cache.store({2, 2}, deadlock());  // supersedes {1,1}
+  EXPECT_TRUE(cache.find_deadlock_dominated({2, 1}).has_value());
+  EXPECT_TRUE(cache.find_deadlock_dominated({1, 2}).has_value());
+  EXPECT_FALSE(cache.find_deadlock_dominated({3, 2}).has_value());
+}
+
+TEST(ThroughputCache, IncomparableWitnessesCoexist) {
+  ThroughputCache cache(kMax);
+  cache.add_max_witness({6, 2});
+  cache.add_max_witness({2, 6});
+  EXPECT_TRUE(cache.find_max_dominated({6, 3}).has_value());
+  EXPECT_TRUE(cache.find_max_dominated({3, 6}).has_value());
+  EXPECT_FALSE(cache.find_max_dominated({5, 5}).has_value());
+}
+
+}  // namespace
+}  // namespace buffy::buffer

@@ -1,0 +1,161 @@
+#include "state/visited_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace buffy::state {
+namespace {
+
+// Fills the staged area with a record derived from `key` (record_words
+// words), so distinct keys give distinct records.
+void stage_record(VisitedTable& table, i64 key) {
+  const std::span<i64> record = table.stage();
+  for (std::size_t w = 0; w < record.size(); ++w) {
+    record[w] = key * 31 + static_cast<i64>(w);
+  }
+}
+
+TEST(VisitedTable, EmptyAfterReset) {
+  VisitedTable table;
+  table.reset(3);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.record_words(), 3u);
+}
+
+TEST(VisitedTable, MissCommitsAndHitReturnsFirstEntry) {
+  VisitedTable table;
+  table.reset(4);
+  stage_record(table, 7);
+  EXPECT_EQ(table.find_or_insert({.firing_index = 1, .time = 10, .order = 0}),
+            nullptr);
+  EXPECT_EQ(table.size(), 1u);
+
+  // The same words again: a hit must return the ORIGINAL payload, discard
+  // the staged copy, and leave the table unchanged.
+  stage_record(table, 7);
+  const VisitedTable::Entry* prev =
+      table.find_or_insert({.firing_index = 2, .time = 20, .order = 1});
+  ASSERT_NE(prev, nullptr);
+  EXPECT_EQ(prev->firing_index, 1);
+  EXPECT_EQ(prev->time, 10);
+  EXPECT_EQ(prev->order, 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(VisitedTable, StageReturnsTheSameAreaUntilCommitted) {
+  VisitedTable table;
+  table.reset(2);
+  const std::span<i64> first = table.stage();
+  first[0] = 42;
+  const std::span<i64> second = table.stage();
+  EXPECT_EQ(first.data(), second.data());
+  EXPECT_EQ(second[0], 42);  // still the uncommitted words
+}
+
+TEST(VisitedTable, RecordsDifferingOnlyInTheLastWordAreDistinct) {
+  // The d_a distance is the last word of a reduced-state record; Fig. 4 of
+  // the paper relies on states equal in clocks and tokens but not in d_a
+  // being distinct.
+  VisitedTable table;
+  table.reset(3);
+  const std::span<i64> a = table.stage();
+  a[0] = 1, a[1] = 2, a[2] = 9;
+  EXPECT_EQ(table.find_or_insert({.firing_index = 1}), nullptr);
+  const std::span<i64> b = table.stage();
+  b[0] = 1, b[1] = 2, b[2] = 7;
+  EXPECT_EQ(table.find_or_insert({.firing_index = 2}), nullptr);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(VisitedTable, GrowthPreservesEveryRecordAndPayload) {
+  // Far past the initial slot array: every insertion survives the rehashes
+  // and still probes to its own payload afterwards.
+  constexpr i64 kRecords = 20'000;
+  VisitedTable table;
+  table.reset(3);
+  for (i64 key = 0; key < kRecords; ++key) {
+    stage_record(table, key);
+    ASSERT_EQ(table.find_or_insert(
+                  {.firing_index = key, .time = 2 * key,
+                   .order = static_cast<u64>(key)}),
+              nullptr)
+        << "unexpected collision at key " << key;
+  }
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kRecords));
+  for (i64 key = 0; key < kRecords; ++key) {
+    stage_record(table, key);
+    const VisitedTable::Entry* prev = table.find_or_insert({});
+    ASSERT_NE(prev, nullptr) << "lost record for key " << key;
+    EXPECT_EQ(prev->firing_index, key);
+    EXPECT_EQ(prev->time, 2 * key);
+    EXPECT_EQ(prev->order, static_cast<u64>(key));
+  }
+  EXPECT_EQ(table.size(), static_cast<std::size_t>(kRecords));
+}
+
+TEST(VisitedTable, RecordAccessorReturnsInsertionOrderWords) {
+  VisitedTable table;
+  table.reset(2);
+  for (i64 key = 0; key < 5; ++key) {
+    stage_record(table, key);
+    ASSERT_EQ(table.find_or_insert({.firing_index = key}), nullptr);
+  }
+  for (std::size_t i = 0; i < 5; ++i) {
+    const std::span<const i64> words = table.record(i);
+    ASSERT_EQ(words.size(), 2u);
+    EXPECT_EQ(words[0], static_cast<i64>(i) * 31);
+    EXPECT_EQ(words[1], static_cast<i64>(i) * 31 + 1);
+  }
+}
+
+TEST(VisitedTable, ResetDropsRecordsButKeepsTheArena) {
+  VisitedTable table;
+  table.reset(4);
+  for (i64 key = 0; key < 1000; ++key) {
+    stage_record(table, key);
+    ASSERT_EQ(table.find_or_insert({.firing_index = key}), nullptr);
+  }
+  const std::size_t footprint = table.footprint_bytes();
+  EXPECT_GT(footprint, 0u);
+
+  table.reset(4);
+  EXPECT_EQ(table.size(), 0u);
+  // Reuse is the point of the table: the second run of the same size must
+  // not have shrunk (nor need to regrow) the arena.
+  EXPECT_EQ(table.footprint_bytes(), footprint);
+  for (i64 key = 0; key < 1000; ++key) {
+    stage_record(table, key);
+    ASSERT_EQ(table.find_or_insert({.firing_index = key}), nullptr)
+        << "stale record visible after reset at key " << key;
+  }
+  EXPECT_EQ(table.footprint_bytes(), footprint);
+}
+
+TEST(VisitedTable, ResetSupportsChangingRecordWords) {
+  VisitedTable table;
+  table.reset(3);
+  stage_record(table, 1);
+  ASSERT_EQ(table.find_or_insert({}), nullptr);
+
+  table.reset(5);
+  EXPECT_EQ(table.record_words(), 5u);
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.stage().size(), 5u);
+  stage_record(table, 1);
+  EXPECT_EQ(table.find_or_insert({}), nullptr);  // old 3-word record is gone
+  EXPECT_EQ(table.size(), 1u);
+}
+
+TEST(VisitedTable, StagedRecordIsDroppedByReset) {
+  VisitedTable table;
+  table.reset(2);
+  stage_record(table, 3);  // staged, never committed
+  table.reset(2);
+  EXPECT_EQ(table.size(), 0u);
+  stage_record(table, 3);
+  EXPECT_EQ(table.find_or_insert({}), nullptr);  // still a miss
+}
+
+}  // namespace
+}  // namespace buffy::state
