@@ -6,10 +6,12 @@
 #include "bench_util.hpp"
 #include "buffer/dse.hpp"
 #include "models/models.hpp"
+#include "report_util.hpp"
 
 using namespace buffy;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto report_dir = bench::report_dir_arg(argc, argv);
   const sdf::Graph g = models::modem();
   const sdf::ActorId target = models::reported_actor(g);
 
@@ -43,5 +45,25 @@ int main() {
   std::printf("\nengines agree and the curve reaches the maximal throughput "
               "%s: %s\n",
               inc.bounds.max_throughput.str().c_str(), ok ? "OK" : "MISMATCH");
+
+  if (report_dir.has_value()) {
+    trace::ReportFragment f("Fig. 13: Pareto space of the modem",
+                            "bench_fig13_pareto_modem");
+    f.paragraph("The modem's staircase of trade-offs between the minimal "
+                "deadlock-free size and the size attaining the maximal "
+                "throughput.");
+    bench::pareto_markdown(f, inc.pareto);
+    f.bullet("incremental engine: " +
+             std::to_string(inc.distributions_explored) +
+             " distributions explored");
+    f.bullet("exhaustive engine: " +
+             std::to_string(exh.distributions_explored) +
+             " distributions explored");
+    f.bullet("engines agree and the curve reaches the maximal throughput " +
+             inc.bounds.max_throughput.str() + ": " +
+             (ok ? "OK" : "MISMATCH"));
+    bench::staircase_markdown(f, inc.pareto);
+    f.write(*report_dir, "fig13_pareto_modem");
+  }
   return ok ? 0 : 1;
 }

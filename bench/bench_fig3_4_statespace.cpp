@@ -5,6 +5,7 @@
 #include <string>
 
 #include "models/models.hpp"
+#include "report_util.hpp"
 #include "state/engine.hpp"
 #include "state/throughput.hpp"
 
@@ -29,7 +30,8 @@ std::string state_str(const state::Engine& e) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto report_dir = bench::report_dir_arg(argc, argv);
   const sdf::Graph g = models::paper_example();
   const auto caps = state::Capacities::bounded({4, 2});
 
@@ -55,6 +57,7 @@ int main() {
   state::ThroughputOptions opts{.target = *g.find_actor("c")};
   opts.collect_reduced_states = true;
   const auto r = state::compute_throughput(g, caps, opts);
+  std::string reduced_listing;
   for (const state::ReducedState& s : r.reduced_states) {
     std::string words = "(";
     for (std::size_t i = 0; i < s.timed.num_actors(); ++i) {
@@ -64,8 +67,13 @@ int main() {
       words += std::to_string(s.timed.tokens(i)) + ",";
     }
     words += "d=" + std::to_string(s.dist) + ")";
-    std::printf("  t=%-4lld %s%s\n", static_cast<long long>(s.time),
-                words.c_str(), s.on_cycle ? "  [on cycle]" : "");
+    char line[160];
+    std::snprintf(line, sizeof line, "t=%-4lld %s%s",
+                  static_cast<long long>(s.time), words.c_str(),
+                  s.on_cycle ? "  [on cycle]" : "");
+    std::printf("  %s\n", line);
+    reduced_listing += line;
+    reduced_listing += '\n';
   }
   std::printf("\nstates stored: %llu (paper stores 2 reduced states, "
               "d = 9 then d = 7)\n",
@@ -73,5 +81,23 @@ int main() {
   std::printf("throughput(c) = %s = firings on cycle / cycle duration "
               "(paper: 1/7)\n",
               r.throughput.str().c_str());
+
+  if (report_dir.has_value()) {
+    trace::ReportFragment f(
+        "Figs. 3 and 4: state spaces of the example under <4, 2>",
+        "bench_fig3_4_statespace");
+    f.paragraph("The reduced state space the throughput computation stores "
+                "for target actor c (Fig. 4): each state is the clocks and "
+                "channel fills at a firing of c, with its distance d to the "
+                "previous stored state.");
+    if (!reduced_listing.empty() && reduced_listing.back() == '\n') {
+      reduced_listing.pop_back();
+    }
+    f.code_block(reduced_listing);
+    f.bullet("reduced states stored: " + std::to_string(r.states_stored) +
+             " (paper stores 2, d = 9 then d = 7)");
+    f.bullet("throughput(c) = " + r.throughput.str() + " (paper: 1/7)");
+    f.write(*report_dir, "fig3_4_statespace");
+  }
   return r.throughput == Rational(1, 7) ? 0 : 1;
 }

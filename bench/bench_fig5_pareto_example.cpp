@@ -7,10 +7,12 @@
 #include "bench_util.hpp"
 #include "buffer/dse.hpp"
 #include "models/models.hpp"
+#include "report_util.hpp"
 
 using namespace buffy;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto report_dir = bench::report_dir_arg(argc, argv);
   const sdf::Graph g = models::paper_example();
   const sdf::ActorId target = *g.find_actor("c");
 
@@ -48,5 +50,25 @@ int main() {
   std::printf("\npaper check (sizes 6/8/9/10, throughputs 1/7,1/6,1/5,1/4, "
               "engines agree): %s\n",
               ok ? "OK" : "MISMATCH");
+
+  if (report_dir.has_value()) {
+    trace::ReportFragment f("Fig. 5: Pareto space of the example graph",
+                            "bench_fig5_pareto_example");
+    f.paragraph("Distribution size versus throughput for the Fig. 1 example "
+                "graph. Both engines must produce the paper's staircase "
+                "(6 -> 1/7), (8 -> 1/6), (9 -> 1/5), (10 -> 1/4).");
+    bench::pareto_markdown(f, results[0].pareto);
+    f.bullet("exhaustive engine: " +
+             std::to_string(results[0].distributions_explored) +
+             " distributions explored");
+    f.bullet("incremental engine: " +
+             std::to_string(results[1].distributions_explored) +
+             " distributions explored");
+    f.bullet(std::string("paper check (sizes and throughputs, engines "
+                         "agree): ") +
+             (ok ? "OK" : "MISMATCH"));
+    bench::staircase_markdown(f, results[0].pareto);
+    f.write(*report_dir, "fig5_pareto_example");
+  }
   return ok ? 0 : 1;
 }

@@ -7,10 +7,12 @@
 #include "bench_util.hpp"
 #include "buffer/bounds.hpp"
 #include "models/models.hpp"
+#include "report_util.hpp"
 
 using namespace buffy;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto report_dir = bench::report_dir_arg(argc, argv);
   std::printf("=== Fig. 7: design-space bounds per benchmark graph ===\n\n");
   const std::vector<int> widths{15, 8, 8, 14, 22};
   bench::print_row({"graph", "lb", "ub", "max tput", "per-channel lb"},
@@ -18,6 +20,7 @@ int main() {
   bench::print_rule(widths);
 
   bool ok = true;
+  std::vector<std::vector<std::string>> bound_rows;
   for (const auto& m : models::table2_models()) {
     const sdf::ActorId target = models::reported_actor(m.graph);
     const auto b = buffer::design_space_bounds(m.graph, target);
@@ -33,6 +36,9 @@ int main() {
                 static_cast<long long>(b.lb_size),
                 static_cast<long long>(b.ub_size),
                 b.max_throughput.str().c_str(), lbs.c_str());
+    bound_rows.push_back({m.display_name, std::to_string(b.lb_size),
+                          std::to_string(b.ub_size), b.max_throughput.str(),
+                          "`" + lbs + "`"});
   }
 
   std::printf("\nexample check (paper: lb_alpha=4, lb_beta=2, lb=6, max "
@@ -52,6 +58,20 @@ int main() {
                 static_cast<long long>(b.ub_size),
                 example_ok ? "OK" : "MISMATCH");
     ok = ok && example_ok;
+  }
+
+  if (report_dir.has_value()) {
+    trace::ReportFragment f("Fig. 7: design-space bounds per benchmark graph",
+                            "bench_fig7_bounds");
+    f.paragraph("The bounds that frame the exploration: per-channel capacity "
+                "lower bounds for positive throughput ([ALP97], [Mur96]), "
+                "their sum lb, and the size ub of a distribution realising "
+                "the maximal throughput ([GGD02] role).");
+    f.table({"graph", "lb", "ub", "max tput", "per-channel lb"}, bound_rows);
+    f.bullet(std::string("example check (lb_alpha=4, lb_beta=2, lb=6, max "
+                         "throughput 1/4): ") +
+             (ok ? "OK" : "MISMATCH"));
+    f.write(*report_dir, "fig7_bounds");
   }
   return ok ? 0 : 1;
 }

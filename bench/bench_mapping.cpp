@@ -12,6 +12,7 @@
 #include "buffer/dse.hpp"
 #include "mapping/binding.hpp"
 #include "models/models.hpp"
+#include "report_util.hpp"
 
 using namespace buffy;
 
@@ -28,25 +29,42 @@ state::Capacities generous(const sdf::Graph& g) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto report_dir = bench::report_dir_arg(argc, argv);
   std::printf("=== Mapping extension: throughput vs processors ===\n\n");
   const std::vector<int> widths{15, 10, 10, 10, 10};
   bench::print_row({"graph", "1 proc", "2 procs", "3 procs", "4 procs"},
                    widths);
   bench::print_rule(widths);
   bool ok = true;
+  std::vector<std::vector<std::string>> sweep_rows;
   for (const auto& m : models::table2_models()) {
     if (std::string(m.display_name) == "H.263 decoder") continue;  // rates
     const sdf::ActorId target = models::reported_actor(m.graph);
     const auto sweep = mapping::processor_sweep(m.graph, generous(m.graph),
                                                 target, 4);
     std::printf("%-15s", m.display_name);
-    for (const auto& p : sweep) std::printf(" %-9s", p.throughput.str().c_str());
+    std::vector<std::string> row{m.display_name};
+    for (const auto& p : sweep) {
+      std::printf(" %-9s", p.throughput.str().c_str());
+      row.push_back(p.throughput.str());
+    }
     std::printf("\n");
+    sweep_rows.push_back(std::move(row));
     ok = ok && sweep.back().throughput >= sweep.front().throughput;
   }
 
   std::printf("\n=== Buffer fronts of the example per processor count ===\n\n");
+  trace::ReportFragment fragment(
+      "Mapping extension: buffer sizing for multiprocessor bindings",
+      "bench_mapping");
+  fragment.paragraph("Throughput versus processor count under load-balanced "
+                     "bindings and generous buffers, then the example's "
+                     "buffer/throughput front re-sized for the mapped "
+                     "system: fewer processors mean a lower throughput "
+                     "ceiling and a cheaper budget to reach it.");
+  fragment.table({"graph", "1 proc", "2 procs", "3 procs", "4 procs"},
+                 sweep_rows);
   const sdf::Graph g = models::paper_example();
   for (const std::size_t procs : {std::size_t{1}, std::size_t{2},
                                   std::size_t{3}}) {
@@ -59,6 +77,9 @@ int main() {
                 binding.str(g).c_str());
     bench::print_pareto_table(r.pareto);
     std::printf("\n");
+    fragment.paragraph("Example front on " + std::to_string(procs) +
+                       " processor(s), binding `" + binding.str(g) + "`:");
+    bench::pareto_markdown(fragment, r.pareto);
     if (procs == 1) {
       ok = ok && !r.pareto.empty() &&
            r.pareto.points().back().throughput == Rational(1, 9);
@@ -72,5 +93,12 @@ int main() {
   std::printf("checks (more processors never slow the sweep; 1-proc front "
               "tops at 1/9, 3-proc front recovers the unbound 1/4): %s\n",
               ok ? "OK" : "MISMATCH");
+  if (report_dir.has_value()) {
+    fragment.bullet(std::string("checks (more processors never slow the "
+                                "sweep; 1-proc front tops at 1/9, 3-proc "
+                                "front recovers the unbound 1/4): ") +
+                    (ok ? "OK" : "MISMATCH"));
+    fragment.write(*report_dir, "mapping");
+  }
   return ok ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "models/models.hpp"
 #include "state/engine.hpp"
 #include "state/throughput.hpp"
+#include "trace/trace.hpp"
 
 namespace {
 
@@ -133,6 +134,43 @@ void BM_IncrementalDse(benchmark::State& state) {
   state.SetLabel(model_name(static_cast<int>(state.range(0))));
 }
 BENCHMARK(BM_IncrementalDse)->DenseRange(0, 3);  // H.263 covered elsewhere
+
+// Tracing overhead guard: the same throughput computation with tracing
+// compiled in but no collector attached (the production default — one
+// relaxed atomic load per potential event) and with a collector attached.
+// The "off" run must stay within 2% of pre-trace numbers; compare the two
+// to see the cost of actually recording.
+void BM_throughput_trace_off(benchmark::State& state) {
+  const sdf::Graph& g = model(static_cast<int>(state.range(0)));
+  const auto caps = state::Capacities::bounded(generous_caps(g));
+  const sdf::ActorId target = models::reported_actor(g);
+  for (auto _ : state) {
+    const auto r = state::compute_throughput(
+        g, caps, state::ThroughputOptions{.target = target});
+    benchmark::DoNotOptimize(r.throughput);
+  }
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_throughput_trace_off)->DenseRange(0, 2);
+
+void BM_throughput_trace_attached(benchmark::State& state) {
+  const sdf::Graph& g = model(static_cast<int>(state.range(0)));
+  const auto caps = state::Capacities::bounded(generous_caps(g));
+  const sdf::ActorId target = models::reported_actor(g);
+  trace::Collector collector;
+  trace::attach(&collector);
+  for (auto _ : state) {
+    const auto r = state::compute_throughput(
+        g, caps, state::ThroughputOptions{.target = target});
+    benchmark::DoNotOptimize(r.throughput);
+    // Keep the event buffer from growing without bound; clearing costs one
+    // mutex acquisition, noise next to a full state-space run.
+    collector.clear();
+  }
+  trace::attach(nullptr);
+  state.SetLabel(model_name(static_cast<int>(state.range(0))));
+}
+BENCHMARK(BM_throughput_trace_attached)->DenseRange(0, 2);
 
 void BM_RandomGraphGeneration(benchmark::State& state) {
   u64 seed = 1;

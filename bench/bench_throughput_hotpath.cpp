@@ -31,6 +31,7 @@
 #include "buffer/dse.hpp"
 #include "gen/random_graph.hpp"
 #include "models/models.hpp"
+#include "report_util.hpp"
 #include "state/throughput.hpp"
 
 using namespace buffy;
@@ -203,11 +204,16 @@ struct ThreadCheck {
 
 int main(int argc, char** argv) {
   std::string json_path;
+  std::optional<std::string> report_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
       json_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--report-dir") == 0 && i + 1 < argc) {
+      report_dir = argv[++i];
     } else {
-      std::fprintf(stderr, "usage: bench_throughput_hotpath [--json FILE]\n");
+      std::fprintf(stderr,
+                   "usage: bench_throughput_hotpath [--json FILE] "
+                   "[--report-dir DIR]\n");
       return 2;
     }
   }
@@ -363,6 +369,36 @@ int main(int argc, char** argv) {
     std::ofstream out(json_path);
     out << json << "\n";
     std::printf("wrote %s\n", json_path.c_str());
+  }
+
+  if (report_dir.has_value()) {
+    trace::ReportFragment f(
+        "Throughput hot path: cache and engine reuse vs the seed path",
+        "bench_throughput_hotpath");
+    f.paragraph("End-to-end explorations with the cross-distribution "
+                "throughput cache and per-worker solver reuse on vs off "
+                "(the seed configuration). Wall-clock speedups are "
+                "machine-dependent and reported by the binary only; the "
+                "simulation counts below are deterministic, and the fronts "
+                "must be byte-identical in every configuration.");
+    std::vector<std::vector<std::string>> rows;
+    for (const DseMeasurement& m : dse) {
+      char pct[16];
+      std::snprintf(pct, sizeof pct, "%.1f%%", m.simulations_saved_pct);
+      rows.push_back({m.model, m.engine,
+                      std::to_string(m.seed_simulations),
+                      std::to_string(m.optimized_simulations), pct,
+                      std::to_string(m.cache_hits),
+                      std::to_string(m.dominance_skips),
+                      m.identical ? "yes" : "NO"});
+    }
+    f.table({"model", "engine", "seed-sims", "opt-sims", "sims-saved",
+             "cache-hits", "dominance-skips", "identical"},
+            rows);
+    f.bullet(std::string("optimised and parallel fronts identical to the "
+                         "seed front on every model and thread count: ") +
+             (all_identical ? "yes" : "NO"));
+    f.write(*report_dir, "throughput_hotpath");
   }
 
   if (!all_identical) {

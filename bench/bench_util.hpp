@@ -34,12 +34,9 @@ inline void print_rule(const std::vector<int>& widths) {
 
 /// ASCII staircase: one column per size unit between the smallest and
 /// largest Pareto size, '#' marks the achievable throughput level.
-inline void print_pareto_staircase(const buffer::ParetoSet& pareto,
-                                   int height = 12) {
-  if (pareto.empty()) {
-    std::printf("  (empty Pareto space)\n");
-    return;
-  }
+inline std::string pareto_staircase_str(const buffer::ParetoSet& pareto,
+                                        int height = 12) {
+  if (pareto.empty()) return "  (empty Pareto space)\n";
   const auto& pts = pareto.points();
   const i64 min_size = pts.front().size();
   const i64 max_size = pts.back().size();
@@ -47,6 +44,7 @@ inline void print_pareto_staircase(const buffer::ParetoSet& pareto,
   const i64 span = max_size - min_size + 1;
   const i64 step = span > 64 ? (span + 63) / 64 : 1;
 
+  std::string out;
   for (int row = height; row >= 1; --row) {
     const double level = max_tput * row / height;
     std::string line = "  ";
@@ -58,15 +56,26 @@ inline void print_pareto_staircase(const buffer::ParetoSet& pareto,
       }
       line += achieved >= level - 1e-12 ? '#' : ' ';
     }
-    std::printf("%8.4f |%s\n", level, line.c_str());
+    char head[16];
+    std::snprintf(head, sizeof head, "%8.4f |", level);
+    out += head + line + "\n";
   }
   std::string axis = "---------+--";
   for (i64 size = min_size; size <= max_size; size += step) axis += '-';
-  std::printf("%s\n", axis.c_str());
-  std::printf("  size:  %lld .. %lld (one column per %lld token%s)\n",
-              static_cast<long long>(min_size),
-              static_cast<long long>(max_size), static_cast<long long>(step),
-              step == 1 ? "" : "s");
+  out += axis + "\n";
+  char tail[96];
+  std::snprintf(tail, sizeof tail,
+                "  size:  %lld .. %lld (one column per %lld token%s)\n",
+                static_cast<long long>(min_size),
+                static_cast<long long>(max_size), static_cast<long long>(step),
+                step == 1 ? "" : "s");
+  out += tail;
+  return out;
+}
+
+inline void print_pareto_staircase(const buffer::ParetoSet& pareto,
+                                   int height = 12) {
+  std::printf("%s", pareto_staircase_str(pareto, height).c_str());
 }
 
 // --- Minimal JSON emission (machine-readable bench output) -------------

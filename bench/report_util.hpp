@@ -1,0 +1,71 @@
+// Report-fragment helpers shared by the reproduction benches.
+//
+// Every bench binary accepts `--report-dir DIR`; when given, it writes a
+// deterministic Markdown fragment `DIR/<name>.md` that the make_experiments
+// tool stitches into EXPERIMENTS.md (see trace/report.hpp and DESIGN.md).
+// Fragments must hold only machine-independent content — throughputs,
+// sizes, state and probe counts, Pareto fronts, schedules — never
+// wall-clock times, rates or byte footprints.
+//
+// The domain renderers live here rather than in src/trace/ so the trace
+// module stays free of dependencies on buffer/ and sched/.
+#pragma once
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "buffer/pareto.hpp"
+#include "trace/report.hpp"
+
+namespace buffy::bench {
+
+/// Scans argv for `--report-dir DIR`. Returns DIR, or nullopt when the
+/// flag is absent. Exits with usage on a trailing flag without a value.
+inline std::optional<std::string> report_dir_arg(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report-dir") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s: --report-dir needs a directory\n", argv[0]);
+        std::exit(2);
+      }
+      return std::string(argv[i + 1]);
+    }
+  }
+  return std::nullopt;
+}
+
+/// `%.6g` rendering of a throughput, matching print_pareto_table.
+inline std::string decimal(const Rational& r) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", r.to_double());
+  return buf;
+}
+
+/// The Pareto points as a Markdown pipe table (the fragment twin of
+/// print_pareto_table).
+inline void pareto_markdown(trace::ReportFragment& f,
+                            const buffer::ParetoSet& pareto) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(pareto.size());
+  for (const auto& p : pareto.points()) {
+    std::string dist = "`";
+    dist += p.distribution.str();
+    dist += "`";
+    rows.push_back({std::to_string(p.size()), p.throughput.str(),
+                    decimal(p.throughput), std::move(dist)});
+  }
+  f.table({"size", "throughput", "(decimal)", "distribution"}, rows);
+}
+
+/// The ASCII staircase plot as a fenced code block.
+inline void staircase_markdown(trace::ReportFragment& f,
+                               const buffer::ParetoSet& pareto) {
+  std::string plot = pareto_staircase_str(pareto);
+  if (!plot.empty() && plot.back() == '\n') plot.pop_back();
+  f.code_block(plot);
+}
+
+}  // namespace buffy::bench

@@ -22,6 +22,11 @@
 //                         (every candidate runs a full simulation; the
 //                         Pareto front is identical either way)
 //   --stats               print exploration counters as one JSON object
+//                         (printed on every exit path, including deadline
+//                         cuts and graphs that deadlock everywhere)
+//   --trace <file>        write a Chrome trace_event JSON file of the
+//                         exploration (load in chrome://tracing or
+//                         https://ui.perfetto.dev)
 //   --schedule            print the Gantt chart of every Pareto point
 //   --dot <file>          write DOT annotated with the best distribution
 //   --codegen <file>      write the generated Fig. 8 explorer program
@@ -39,6 +44,8 @@
 #include "base/diagnostics.hpp"
 #include "base/string_util.hpp"
 #include "buffer/dse.hpp"
+#include "trace/chrome.hpp"
+#include "trace/trace.hpp"
 #include "codegen/codegen.hpp"
 #include "csdf/dse.hpp"
 #include "exec/progress.hpp"
@@ -62,8 +69,8 @@ void usage(std::FILE* out) {
       "[--min-tput R]\n"
       "                   [--threads N] [--deadline-ms N] [--no-cache] "
       "[--stats]\n"
-      "                   [--schedule] [--dot FILE] [--codegen FILE] "
-      "[--csdf]\n");
+      "                   [--trace FILE] [--schedule] [--dot FILE] "
+      "[--codegen FILE] [--csdf]\n");
 }
 
 // Everything the command line can say, parsed before any work happens.
@@ -79,6 +86,7 @@ struct CliArgs {
   std::optional<i64> deadline_ms;
   bool no_cache = false;
   bool stats = false;
+  std::string trace_path;
   bool schedule = false;
   std::string dot_path;
   std::string codegen_path;
@@ -124,6 +132,8 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       args.no_cache = true;
     } else if (arg == "--stats") {
       args.stats = true;
+    } else if (arg == "--trace") {
+      args.trace_path = value();
     } else if (arg == "--schedule") {
       args.schedule = true;
     } else if (arg == "--dot") {
@@ -149,6 +159,7 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     if (args.deadline_ms.has_value()) unsupported = "--deadline-ms";
     if (args.no_cache) unsupported = "--no-cache";
     if (args.stats) unsupported = "--stats";
+    if (!args.trace_path.empty()) unsupported = "--trace";
     if (args.schedule) unsupported = "--schedule";
     if (!args.dot_path.empty()) unsupported = "--dot";
     if (!args.codegen_path.empty()) unsupported = "--codegen";
@@ -240,6 +251,35 @@ int main(int argc, char** argv) {
     exec::Progress progress;
     if (args->stats) opts.progress = &progress;
 
+    // Tracing: attach a collector around the exploration only; the chrome
+    // file is written after detach so worker emission has quiesced.
+    std::optional<trace::Collector> collector;
+    if (!args->trace_path.empty()) {
+      collector.emplace();
+      trace::attach(&*collector);
+    }
+
+    // Every exit path below (success, deadline cut, all-deadlock graph)
+    // flushes the trace file and prints the same stats JSON with the full
+    // counter set — partial runs must be as inspectable as complete ones.
+    const auto flush_trace_and_stats = [&]() {
+      if (collector.has_value()) {
+        trace::attach(nullptr);
+        progress.add_trace_events(collector->event_count());
+        std::ofstream out(args->trace_path, std::ios::binary);
+        if (!out) {
+          throw Error("cannot open trace file '" + args->trace_path + "'");
+        }
+        trace::write_chrome_trace(collector->merged(), out);
+        std::printf("\nwrote %s (%llu trace events)\n",
+                    args->trace_path.c_str(),
+                    static_cast<unsigned long long>(collector->event_count()));
+      }
+      if (args->stats) {
+        std::printf("\nstats: %s\n", progress.snapshot().json().c_str());
+      }
+    };
+
     std::printf("graph '%s': %zu actors, %zu channels; target actor '%s'\n",
                 graph.name().c_str(), graph.num_actors(),
                 graph.num_channels(), graph.actor(opts.target).name.c_str());
@@ -247,6 +287,7 @@ int main(int argc, char** argv) {
     const auto result = buffer::explore(graph, opts);
     if (result.bounds.deadlock) {
       std::printf("the graph deadlocks under every storage distribution\n");
+      flush_trace_and_stats();
       return 1;
     }
     std::printf("bounds: lb = %lld tokens, ub = %lld tokens, maximal "
@@ -265,9 +306,7 @@ int main(int argc, char** argv) {
     }
     std::printf("\nPareto points:\n%s", result.pareto.str().c_str());
 
-    if (args->stats) {
-      std::printf("\nstats: %s\n", progress.snapshot().json().c_str());
-    }
+    flush_trace_and_stats();
 
     if (args->schedule) {
       for (const buffer::ParetoPoint& p : result.pareto.points()) {

@@ -155,9 +155,18 @@ struct DseResult {
   double seconds = 0.0;
 };
 
-/// Explores the design space with the selected engine. Throws
+/// Explores the design space with the selected engine.
+///
+/// Preconditions: `options.target` is a valid actor id of `graph`;
+/// `options.channel_constraints` is empty or has one entry per channel;
+/// `options.binding` is empty or has one entry per actor. Throws
 /// ConsistencyError for inconsistent graphs; returns an empty Pareto set
 /// when the graph deadlocks for every distribution.
+///
+/// Thread-safety: explore() only reads `graph` (worker threads, if any,
+/// are created and joined internally), so concurrent explorations of the
+/// same graph are safe. Sizes are token counts; throughputs are exact
+/// target-firings-per-time-step rationals, quantised only when requested.
 [[nodiscard]] DseResult explore(const sdf::Graph& graph,
                                 const DseOptions& options);
 

@@ -10,6 +10,7 @@
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
 #include "state/throughput.hpp"
+#include "trace/trace.hpp"
 
 namespace buffy::buffer {
 
@@ -55,6 +56,13 @@ struct Sweep {
       if (!hit.has_value()) hit = cache->find_max_dominated(caps);
       if (!hit.has_value()) hit = cache->find_deadlock_dominated(caps);
       if (hit.has_value()) {
+        if (trace::enabled()) {
+          i64 size = 0;
+          for (const i64 c : caps) size += c;
+          trace::emit_instant(exact ? trace::EventKind::CacheHit
+                                    : trace::EventKind::DominanceSkip,
+                              size);
+        }
         (exact ? cache_hits : dominance_skips)
             .fetch_add(1, std::memory_order_relaxed);
         if (options.progress != nullptr) {
@@ -243,6 +251,7 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size) {
 }
 
 SizeOutcome max_throughput_for_size(Sweep& sweep, i64 size) {
+  const trace::Span size_span(trace::EventKind::SizeEval, size);
   const bool parallel =
       sweep.pool != nullptr && sweep.pool->num_workers() > 1;
   SizeOutcome best = parallel ? max_throughput_sharded(sweep, size)
@@ -279,6 +288,8 @@ void init_box(Sweep& sweep) {
 DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
                              const DesignSpaceBounds& bounds) {
   const auto t0 = std::chrono::steady_clock::now();
+  trace::Span explore_span(trace::EventKind::Exploration, /*engine=*/0,
+                           static_cast<i64>(graph.num_channels()));
   DseResult result;
   result.bounds = bounds;
 
@@ -364,8 +375,15 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
       result.cancelled = true;  // keep the completed sizes
     }
     for (const auto& [size, outcome] : evaluated) {
+      const std::size_t before = result.pareto.size();
       result.pareto.add(
           ParetoPoint{outcome.witness, outcome.throughput});
+      // Sizes are visited in increasing order with monotone throughput,
+      // so a growing set means the point was genuinely kept.
+      if (trace::enabled() && result.pareto.size() > before) {
+        trace::emit_pareto_point(outcome.witness.size(),
+                                 outcome.throughput.to_double());
+      }
     }
   }
 

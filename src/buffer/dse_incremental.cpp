@@ -12,6 +12,7 @@
 #include "exec/thread_pool.hpp"
 #include "state/engine.hpp"
 #include "state/throughput.hpp"
+#include "trace/trace.hpp"
 
 namespace buffy::buffer {
 
@@ -69,6 +70,8 @@ DseResult explore_incremental(const sdf::Graph& graph,
                               const DseOptions& options,
                               const DesignSpaceBounds& bounds) {
   const auto t0 = std::chrono::steady_clock::now();
+  trace::Span explore_span(trace::EventKind::Exploration, /*engine=*/1,
+                           static_cast<i64>(graph.num_channels()));
   DseResult result;
   result.bounds = bounds;
 
@@ -156,6 +159,9 @@ DseResult explore_incremental(const sdf::Graph& graph,
           hit = cache->find_max_dominated(batch[i]);
         }
         if (hit.has_value()) {
+          trace::emit_instant(exact ? trace::EventKind::CacheHit
+                                    : trace::EventKind::DominanceSkip,
+                              batch_size);
           evals[i].run.throughput = hit->throughput;
           evals[i].run.deadlocked = hit->deadlocked;
           evals[i].run.states_stored = hit->states_stored;
@@ -225,7 +231,12 @@ DseResult explore_incremental(const sdf::Graph& graph,
       evals[i].valid = true;
       if (options.progress != nullptr) options.progress->add_points(1);
     };
-    exec::parallel_for_each(pool, batch.size(), evaluate, /*chunk_size=*/1);
+    {
+      // One span per wave barrier: fan-out over the pool until the join.
+      const trace::Span wave_span(trace::EventKind::Wave,
+                                  static_cast<i64>(batch.size()), batch_size);
+      exec::parallel_for_each(pool, batch.size(), evaluate, /*chunk_size=*/1);
+    }
     if (options.progress != nullptr) options.progress->add_wave();
 
     // Fold sequentially in the deterministic pop order. Only the valid
@@ -248,6 +259,9 @@ DseResult explore_incremental(const sdf::Graph& graph,
         // Processed in size order, so this is the smallest size reaching
         // this (quantised) throughput.
         result.pareto.add(ParetoPoint{StorageDistribution(caps), quantized});
+        if (trace::enabled()) {
+          trace::emit_pareto_point(batch_size, quantized.to_double());
+        }
         best_seen = quantized;
       }
       if (!run.throughput.is_zero() && run.throughput >= goal) {

@@ -12,7 +12,8 @@ std::string ProgressSnapshot::json() const {
       "\"pruned_by_bound\": %llu, \"pareto_points\": %llu, \"waves\": %llu, "
       "\"simulations\": %llu, \"cache_hits\": %llu, "
       "\"dominance_skips\": %llu, \"sims_avoided\": %llu, "
-      "\"arena_bytes\": %llu, \"seconds\": %.6f, \"cancelled\": %s}",
+      "\"arena_bytes\": %llu, \"trace_events\": %llu, "
+      "\"seconds\": %.6f, \"cancelled\": %s}",
       static_cast<unsigned long long>(points_explored),
       static_cast<unsigned long long>(states_visited),
       static_cast<unsigned long long>(pruned_by_bound),
@@ -22,7 +23,8 @@ std::string ProgressSnapshot::json() const {
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(dominance_skips),
       static_cast<unsigned long long>(sims_avoided),
-      static_cast<unsigned long long>(arena_bytes), seconds,
+      static_cast<unsigned long long>(arena_bytes),
+      static_cast<unsigned long long>(trace_events), seconds,
       cancelled ? "true" : "false");
   return buf;
 }
@@ -41,6 +43,7 @@ ProgressSnapshot Progress::snapshot() const {
   s.dominance_skips = dominance_skips_.load(std::memory_order_relaxed);
   s.sims_avoided = sims_avoided_.load(std::memory_order_relaxed);
   s.arena_bytes = arena_bytes_.load(std::memory_order_relaxed);
+  s.trace_events = trace_events_.load(std::memory_order_relaxed);
   s.cancelled = cancelled_.load(std::memory_order_relaxed);
   s.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
@@ -59,6 +62,7 @@ void Progress::reset() {
   dominance_skips_.store(0, std::memory_order_relaxed);
   sims_avoided_.store(0, std::memory_order_relaxed);
   arena_bytes_.store(0, std::memory_order_relaxed);
+  trace_events_.store(0, std::memory_order_relaxed);
   cancelled_.store(false, std::memory_order_relaxed);
   start_ = std::chrono::steady_clock::now();
 }

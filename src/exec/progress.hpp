@@ -46,6 +46,9 @@ struct ProgressSnapshot {
   u64 sims_avoided = 0;
   /// Peak footprint of any visited-state arena, in bytes.
   u64 arena_bytes = 0;
+  /// Trace events recorded by an attached trace::Collector (0 when the
+  /// run was not traced; wired up by the caller that owns the collector).
+  u64 trace_events = 0;
   /// Wall-clock seconds since the sink was created (or last reset).
   double seconds = 0.0;
   /// True when the exploration stopped on a deadline or explicit cancel.
@@ -69,6 +72,7 @@ class Progress {
   void add_cache_hits(u64 n) { add(cache_hits_, n); }
   void add_dominance_skips(u64 n) { add(dominance_skips_, n); }
   void add_sims_avoided(u64 n) { add(sims_avoided_, n); }
+  void add_trace_events(u64 n) { add(trace_events_, n); }
   /// Raises the peak-arena-bytes gauge to at least `bytes`.
   void note_arena_bytes(u64 bytes) {
     u64 seen = arena_bytes_.load(std::memory_order_relaxed);
@@ -100,6 +104,7 @@ class Progress {
   std::atomic<u64> dominance_skips_{0};
   std::atomic<u64> sims_avoided_{0};
   std::atomic<u64> arena_bytes_{0};
+  std::atomic<u64> trace_events_{0};
   std::atomic<bool> cancelled_{false};
   std::chrono::steady_clock::time_point start_;
 };

@@ -20,16 +20,21 @@ class GraphBuilder {
  public:
   explicit GraphBuilder(std::string graph_name);
 
-  /// Adds an actor with the given execution time (>= 1).
+  /// Adds an actor with the given execution time (discrete time steps per
+  /// firing; must be >= 1, enforced at build()).
   ActorId actor(const std::string& name, i64 execution_time);
 
   /// Adds a channel src -production-> name -consumption-> dst with the given
-  /// number of initial tokens. Port names are auto-generated.
+  /// number of initial tokens. Port names are auto-generated. `src` and
+  /// `dst` must be ids returned by this builder's actor() (throws
+  /// buffy::Error otherwise); rates >= 1 and initial_tokens >= 0 are
+  /// enforced at build().
   ChannelId channel(const std::string& name, ActorId src, i64 production,
                     ActorId dst, i64 consumption, i64 initial_tokens = 0);
 
-  /// Validates (see sdf::validate) and returns the finished graph.
-  /// The builder is left in a moved-from state.
+  /// Validates (see sdf::validate, which throws GraphError on the first
+  /// structural problem) and returns the finished graph. The builder is
+  /// left in a moved-from state; reuse after build() is undefined.
   [[nodiscard]] Graph build();
 
   /// Access to the graph under construction (used by the generator).

@@ -49,6 +49,16 @@ struct Channel {
 ///
 /// Graph is a regular value type; analyses never mutate it. Construction
 /// normally goes through GraphBuilder, which validates on build().
+///
+/// Thread-safety: const access is safe from any number of threads (the
+/// whole analysis stack shares one `const Graph&` across DSE workers);
+/// mutation is not synchronised and must happen-before any concurrent
+/// read.
+///
+/// Every id-taking accessor requires an id obtained from *this* graph
+/// (`add_actor`/`add_channel`/`find_*`/`*_ids`) and throws
+/// buffy::Error on an invalid or out-of-range id — ids are never
+/// silently reinterpreted across graphs.
 class Graph {
  public:
   explicit Graph(std::string name = "sdf");
@@ -56,19 +66,25 @@ class Graph {
   [[nodiscard]] const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
-  /// Appends an actor; the name must not clash (checked by validate()).
+  /// Appends an actor and returns its dense id. Name uniqueness is not
+  /// checked here — it is checked by validate() on the finished graph.
   ActorId add_actor(Actor actor);
 
-  /// Appends a channel; endpoints must already exist.
+  /// Appends a channel and returns its dense id. Both endpoints must
+  /// already exist in this graph; throws buffy::Error otherwise. Rate
+  /// and token invariants are checked by validate(), not here.
   ChannelId add_channel(Channel channel);
 
   [[nodiscard]] std::size_t num_actors() const { return actors_.size(); }
   [[nodiscard]] std::size_t num_channels() const { return channels_.size(); }
 
+  /// The actor / channel for an id of this graph. References stay valid
+  /// until the next add_actor / add_channel (vector reallocation).
   [[nodiscard]] const Actor& actor(ActorId id) const;
   [[nodiscard]] const Channel& channel(ChannelId id) const;
 
   /// Mutable access (used by IO round-tripping and the graph generator).
+  /// The caller is responsible for re-running validate() after edits.
   [[nodiscard]] Actor& actor(ActorId id);
   [[nodiscard]] Channel& channel(ChannelId id);
 
@@ -77,6 +93,8 @@ class Graph {
   /// Channels consumed from by the given actor (self-loops included).
   [[nodiscard]] std::span<const ChannelId> in_channels(ActorId id) const;
 
+  /// Id of the actor / channel with the given name, or nullopt when no
+  /// such element exists. Linear scan — fine for setup, not for hot loops.
   [[nodiscard]] std::optional<ActorId> find_actor(
       const std::string& name) const;
   [[nodiscard]] std::optional<ChannelId> find_channel(

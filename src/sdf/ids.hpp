@@ -43,9 +43,11 @@ class Id {
 struct ActorTag;
 struct ChannelTag;
 
-/// Identifies an actor within one Graph.
+/// Identifies an actor within one Graph. Ids are only meaningful for the
+/// graph that issued them; comparing or mixing ids across graphs is a
+/// logic error the type system cannot catch.
 using ActorId = detail::Id<ActorTag>;
-/// Identifies a channel within one Graph.
+/// Identifies a channel within one Graph (same ownership rule as ActorId).
 using ChannelId = detail::Id<ChannelTag>;
 
 }  // namespace buffy::sdf

@@ -1,4 +1,7 @@
 // Structural queries on SDF graphs used across the analyses.
+//
+// All functions here are pure over a const Graph — no caching, no
+// mutation — so they are safe to call concurrently on the same graph.
 #pragma once
 
 #include <vector>

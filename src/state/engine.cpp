@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/diagnostics.hpp"
+#include "trace/trace.hpp"
 
 namespace buffy::state {
 
@@ -117,6 +118,14 @@ void Engine::start_phase() {
 }
 
 void Engine::reset() {
+  if (trace::enabled()) {
+    // -1 when any channel is unbounded (no meaningful total size).
+    i64 size = 0;
+    for (std::size_t c = 0; c < capacities_.size() && size >= 0; ++c) {
+      size = capacities_.is_bounded(c) ? size + capacities_.capacity(c) : -1;
+    }
+    trace::emit_instant(trace::EventKind::EngineReset, size);
+  }
   clocks_.assign(exec_time_.size(), 0);
   std::fill(proc_running_.begin(), proc_running_.end(), 0);
   tokens_ = initial_tokens_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "base/diagnostics.hpp"
+#include "trace/trace.hpp"
 
 namespace buffy::state {
 
@@ -18,6 +19,20 @@ ThroughputResult ThroughputSolver::compute(const Capacities& capacities,
   // for the reset that establishes the run's actual start state, so the
   // time-0 starts are recorded exactly once. Space-block tracking must be
   // armed before that reset to catch channels blocked at time 0.
+  // One trace span per simulation; emitted on every exit, including the
+  // cancellation unwind, so a trace shows aborted runs too. arg0 = the
+  // distribution size (-1 under unbounded capacities), arg1 = reduced
+  // states stored (set just before each return).
+  i64 traced_size = 0;
+  if (trace::enabled()) {
+    for (std::size_t c = 0; c < capacities.size() && traced_size >= 0; ++c) {
+      traced_size = capacities.is_bounded(c)
+                        ? traced_size + capacities.capacity(c)
+                        : -1;
+    }
+  }
+  trace::Span sim_span(trace::EventKind::Simulation, traced_size);
+
   const bool collect_deps = opts.collect_storage_deps;
   engine_.set_space_block_tracking(collect_deps);
   const bool rebind = engine_.binding() != opts.processor_of;
@@ -60,6 +75,7 @@ ThroughputResult ThroughputSolver::compute(const Capacities& capacities,
     if (opts.track_max_occupancy) result.max_occupancy = engine_.max_occupancy();
   };
   const auto report_states = [&]() {
+    sim_span.set_args(traced_size, static_cast<i64>(table_.size()));
     if (opts.progress == nullptr) return;
     opts.progress->add_states(table_.size());
     opts.progress->add_simulations(1);

@@ -26,9 +26,10 @@ namespace buffy::state {
 /// Options for a throughput computation.
 struct ThroughputOptions {
   /// Actor whose firing rate is measured and whose completions define the
-  /// reduced state space.
+  /// reduced state space. Must be a valid id of the graph being run.
   sdf::ActorId target;
-  /// Safety bound on simulated time steps; exceeding it throws.
+  /// Safety bound on simulated discrete time steps (the units of
+  /// Actor::execution_time); exceeding it throws Error.
   u64 max_steps = 100'000'000;
   /// When set, the result carries the reduced state sequence (Fig. 4).
   bool collect_reduced_states = false;
@@ -70,7 +71,8 @@ struct ReducedState {
 struct ThroughputResult {
   /// Execution reached a state with no firing in progress and none possible.
   bool deadlocked = false;
-  /// Target firings per time step; 0 exactly when deadlocked.
+  /// Target firings per discrete time step (exact rational, never
+  /// rounded); 0 exactly when deadlocked.
   Rational throughput;
   /// Number of reduced states stored (Table 2's "maximum #states" metric).
   u64 states_stored = 0;
@@ -103,9 +105,15 @@ class ThroughputSolver {
   explicit ThroughputSolver(const sdf::Graph& graph);
 
   /// Runs self-timed execution under the given capacities until the
-  /// reduced state space closes its cycle or the graph deadlocks. Throws
-  /// Error when max_steps is exceeded (e.g. unbounded token accumulation
-  /// under unbounded capacities in a graph that is not back-pressured).
+  /// reduced state space closes its cycle or the graph deadlocks.
+  ///
+  /// Preconditions: `capacities` covers every channel of the graph, each
+  /// capacity either unbounded or >= the channel's initial tokens;
+  /// `opts.target` is a valid actor id of the graph. Throws Error when
+  /// max_steps is exceeded (e.g. unbounded token accumulation under
+  /// unbounded capacities in a graph that is not back-pressured) and
+  /// exec::Cancelled when `opts.cancel` fires; the solver remains
+  /// reusable after either throw.
   [[nodiscard]] ThroughputResult compute(const Capacities& capacities,
                                          const ThroughputOptions& opts);
 
@@ -163,12 +171,15 @@ class PooledSolver {
 };
 
 /// One-shot form: builds a fresh solver per call (the pre-reuse code path,
-/// still the right tool outside exploration loops).
+/// still the right tool outside exploration loops). Same preconditions as
+/// ThroughputSolver::compute; safe to call concurrently on the same graph
+/// from any number of threads (each call owns its solver).
 [[nodiscard]] ThroughputResult compute_throughput(const sdf::Graph& graph,
                                                   const Capacities& capacities,
                                                   const ThroughputOptions& opts);
 
-/// Convenience overload: bounded capacities given as a plain vector.
+/// Convenience overload: bounded capacities given as a plain vector with
+/// one entry per channel, in channel-index order.
 [[nodiscard]] ThroughputResult compute_throughput(const sdf::Graph& graph,
                                                   const std::vector<i64>& caps,
                                                   sdf::ActorId target);

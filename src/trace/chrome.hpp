@@ -1,0 +1,27 @@
+// Chrome trace_event JSON sink for exploration traces (DESIGN.md §8).
+//
+// Renders merged trace events in the Trace Event Format consumed by
+// chrome://tracing and Perfetto (https://ui.perfetto.dev): one JSON
+// object with a "traceEvents" array, spans as complete events
+// (ph == "X", microsecond ts/dur) and instants as ph == "i" with
+// thread scope. Thread indices map to tids; the process id is a fixed 1.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace buffy::trace {
+
+/// Writes the events as one Chrome trace_event JSON document. Events
+/// should come from Collector::merged() (the writer preserves the given
+/// order; chrome://tracing sorts by ts itself, so order only affects the
+/// file's readability). The output is valid JSON for any input.
+void write_chrome_trace(const std::vector<Event>& events, std::ostream& out);
+
+/// Convenience: renders to a string (tests, small traces).
+[[nodiscard]] std::string chrome_trace_json(const std::vector<Event>& events);
+
+}  // namespace buffy::trace

@@ -1,15 +1,22 @@
 // End-to-end checks of the explore_cli binary: flag handling must be
 // strict (unknown or malformed options exit non-zero, in SDF and CSDF
-// mode alike), and the new runtime flags (--threads, --deadline-ms,
-// --stats) must work through the real tool. The binary and graph paths
-// are injected by CMake (EXPLORE_CLI_PATH / EXAMPLE_GRAPHS_DIR).
+// mode alike), and the runtime flags (--threads, --deadline-ms, --stats,
+// --trace) must work through the real tool — including the stats/trace
+// flush on every exit path (success, deadlock, expired deadline). The
+// binary and graph paths are injected by CMake (EXPLORE_CLI_PATH /
+// EXAMPLE_GRAPHS_DIR).
 #include <gtest/gtest.h>
 
 #include <sys/wait.h>
 
 #include <array>
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <string>
+
+#include "json_check.hpp"
 
 namespace {
 
@@ -153,6 +160,85 @@ TEST(ExploreCli, ExpiredDeadlineStillExitsCleanly) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("\"cancelled\": true"), std::string::npos)
       << r.output;
+}
+
+TEST(ExploreCli, ExpiredDeadlineStatsKeepEveryCounter) {
+  // Regression: the cancellation exit path must print the same counter
+  // set as a full run — nothing dropped because the exploration stopped.
+  const RunResult r =
+      run_cli(graph("modem.sdf") + " --deadline-ms 0 --stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  for (const char* key :
+       {"\"points_explored\"", "\"simulations\"", "\"cache_hits\"",
+        "\"dominance_skips\"", "\"sims_avoided\"", "\"arena_bytes\"",
+        "\"trace_events\"", "\"seconds\"", "\"cancelled\""}) {
+    EXPECT_NE(r.output.find(key), std::string::npos) << key << "\n"
+                                                     << r.output;
+  }
+}
+
+TEST(ExploreCli, DeadlockedGraphStillEmitsStats) {
+  // Regression: the all-deadlock early exit used to skip the stats line.
+  const RunResult r = run_cli(graph("deadlock.sdf") + " --stats");
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("deadlocks under every storage distribution"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("\"points_explored\""), std::string::npos)
+      << r.output;
+}
+
+TEST(ExploreCli, TraceMissingValueIsRejected) {
+  const RunResult r = run_cli(graph("example.xml") + " --trace");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("missing value"), std::string::npos) << r.output;
+}
+
+TEST(ExploreCli, TraceIsRejectedInCsdfMode) {
+  const RunResult r =
+      run_cli(graph("distcol.csdf.sdf") + " --csdf --trace /tmp/t.json");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("not supported in --csdf mode"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(ExploreCli, TraceWritesValidChromeJson) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::temp_directory_path() / "buffy_cli_h263_trace.json";
+  fs::remove(path);
+  const RunResult r = run_cli(graph("h263.xml") + " --trace " +
+                              path.string() + " --stats");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("trace events"), std::string::npos) << r.output;
+  // The collector's event count flows into the stats JSON.
+  EXPECT_NE(r.output.find("\"trace_events\""), std::string::npos)
+      << r.output;
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+
+  // Schema check: valid JSON overall, Chrome trace_event shape, and the
+  // exploration kinds the h263 run must contain.
+  std::string why;
+  EXPECT_TRUE(buffy::testing::is_valid_json(json, &why)) << why;
+  for (const char* needle :
+       {"\"traceEvents\"", "\"displayTimeUnit\"", "\"ph\": \"X\"",
+        "\"pid\"", "\"tid\"", "\"exploration\"", "\"simulation\"",
+        "\"pareto_point\"", "\"args\""}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle;
+  }
+  fs::remove(path);
+}
+
+TEST(ExploreCli, TraceOutputMentionedInUsage) {
+  const RunResult r = run_cli("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--trace"), std::string::npos) << r.output;
 }
 
 }  // namespace

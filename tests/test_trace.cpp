@@ -1,0 +1,230 @@
+// Unit tests for the trace layer (trace/): collector emission and
+// deterministic merge across thread counts, the zero-cost disabled path,
+// span RAII (including exception unwind), the ParetoPoint double-bits
+// payload, and the Chrome trace_event sink's JSON output.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "buffer/dse.hpp"
+#include "json_check.hpp"
+#include "models/models.hpp"
+#include "trace/chrome.hpp"
+#include "trace/trace.hpp"
+
+namespace buffy {
+namespace {
+
+// Detaches on scope exit so a failing ASSERT cannot leak an attached
+// collector into the next test.
+struct ScopedAttach {
+  explicit ScopedAttach(trace::Collector* c) { trace::attach(c); }
+  ~ScopedAttach() { trace::attach(nullptr); }
+};
+
+void emit_from_threads(unsigned num_threads, int events_per_thread) {
+  std::vector<std::thread> threads;
+  threads.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) {
+    threads.emplace_back([t, events_per_thread] {
+      for (int i = 0; i < events_per_thread; ++i) {
+        trace::emit_instant(trace::EventKind::CacheHit,
+                            static_cast<std::int64_t>(t), i);
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+}
+
+void check_merge_invariants(const std::vector<trace::Event>& events,
+                            unsigned num_threads, int events_per_thread) {
+  ASSERT_EQ(events.size(),
+            static_cast<std::size_t>(num_threads) *
+                static_cast<std::size_t>(events_per_thread));
+
+  // Timestamps are globally non-decreasing, with (thread, seq) breaking
+  // ties, so the merge is a total deterministic order.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    const trace::Event& a = events[i - 1];
+    const trace::Event& b = events[i];
+    ASSERT_LE(a.ts_ns, b.ts_ns);
+    if (a.ts_ns == b.ts_ns) {
+      ASSERT_TRUE(a.thread < b.thread ||
+                  (a.thread == b.thread && a.seq < b.seq));
+    }
+  }
+
+  // Per thread: seq is 0..n-1 in emission order and arg1 (the loop index)
+  // increases with it — each thread's own order survives the merge.
+  std::vector<std::vector<const trace::Event*>> per_thread(num_threads);
+  for (const trace::Event& e : events) {
+    ASSERT_LT(e.thread, num_threads);  // dense indices
+    per_thread[e.thread].push_back(&e);
+  }
+  for (const auto& list : per_thread) {
+    ASSERT_EQ(list.size(), static_cast<std::size_t>(events_per_thread));
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      EXPECT_EQ(list[i]->seq, i);
+      EXPECT_EQ(list[i]->arg1, static_cast<std::int64_t>(i));
+    }
+  }
+}
+
+TEST(TraceCollector, TwoThreadsMergeDeterministically) {
+  trace::Collector collector;
+  ScopedAttach attach(&collector);
+  emit_from_threads(2, 100);
+  const auto merged = collector.merged();
+  check_merge_invariants(merged, 2, 100);
+  // Merging again yields the identical vector.
+  EXPECT_EQ(collector.merged(), merged);
+}
+
+TEST(TraceCollector, EightThreadsMergeDeterministically) {
+  trace::Collector collector;
+  ScopedAttach attach(&collector);
+  emit_from_threads(8, 50);
+  const auto merged = collector.merged();
+  check_merge_invariants(merged, 8, 50);
+  EXPECT_EQ(collector.merged(), merged);
+}
+
+TEST(TraceCollector, DisabledEmissionIsANoOp) {
+  // No collector attached: emissions vanish, spans stay disarmed.
+  trace::emit_instant(trace::EventKind::CacheHit, 1, 2);
+  { trace::Span span(trace::EventKind::Simulation, 3, 4); }
+  EXPECT_FALSE(trace::enabled());
+
+  trace::Collector collector;
+  ScopedAttach attach(&collector);
+  EXPECT_TRUE(trace::enabled());
+  EXPECT_EQ(collector.event_count(), 0u);
+}
+
+TEST(TraceCollector, ClearDropsEventsAndReusesCleanly) {
+  trace::Collector collector;
+  {
+    ScopedAttach attach(&collector);
+    trace::emit_instant(trace::EventKind::CacheHit);
+  }
+  EXPECT_EQ(collector.event_count(), 1u);
+  collector.clear();
+  EXPECT_EQ(collector.event_count(), 0u);
+  EXPECT_TRUE(collector.merged().empty());
+  {
+    ScopedAttach attach(&collector);
+    trace::emit_instant(trace::EventKind::DominanceSkip, 7);
+  }
+  const auto merged = collector.merged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].kind, trace::EventKind::DominanceSkip);
+  EXPECT_EQ(merged[0].arg0, 7);
+  EXPECT_EQ(merged[0].seq, 0u);  // seq restarts after clear()
+}
+
+TEST(TraceSpan, EmitsOnDestructionWithLateArgs) {
+  trace::Collector collector;
+  ScopedAttach attach(&collector);
+  {
+    trace::Span span(trace::EventKind::Simulation, 10, -1);
+    span.set_args(10, 42);
+  }
+  const auto merged = collector.merged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].kind, trace::EventKind::Simulation);
+  EXPECT_GE(merged[0].dur_ns, 0);  // a span, not an instant
+  EXPECT_EQ(merged[0].arg0, 10);
+  EXPECT_EQ(merged[0].arg1, 42);
+}
+
+TEST(TraceSpan, EmitsDuringExceptionUnwind) {
+  trace::Collector collector;
+  ScopedAttach attach(&collector);
+  try {
+    trace::Span span(trace::EventKind::SizeEval, 5);
+    throw std::runtime_error("cancelled");
+  } catch (const std::runtime_error&) {
+  }
+  const auto merged = collector.merged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].kind, trace::EventKind::SizeEval);
+  EXPECT_GE(merged[0].dur_ns, 0);
+}
+
+TEST(TraceEvent, ParetoPointRoundTripsThroughputBits) {
+  trace::Collector collector;
+  ScopedAttach attach(&collector);
+  trace::emit_pareto_point(6, 1.0 / 7.0);
+  const auto merged = collector.merged();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].kind, trace::EventKind::ParetoPoint);
+  EXPECT_EQ(merged[0].arg0, 6);
+  EXPECT_EQ(merged[0].arg1_bits_as_double(), 1.0 / 7.0);
+}
+
+TEST(ChromeSink, OutputIsValidJsonWithTraceEvents) {
+  trace::Collector collector;
+  {
+    ScopedAttach attach(&collector);
+    emit_from_threads(2, 5);
+    { trace::Span span(trace::EventKind::Wave, 3, 9); }
+    trace::emit_pareto_point(6, 1.0 / 7.0);
+  }
+  const std::string json = trace::chrome_trace_json(collector.merged());
+
+  std::string why;
+  EXPECT_TRUE(testing::is_valid_json(json, &why)) << why << "\n" << json;
+  // Chrome trace schema essentials.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);  // the span
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);  // instants
+  EXPECT_NE(json.find("\"pid\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+  EXPECT_NE(json.find("\"wave\""), std::string::npos);
+  EXPECT_NE(json.find("\"pareto_point\""), std::string::npos);
+  // The ParetoPoint arg1 is rendered as a throughput number, not bits.
+  EXPECT_NE(json.find("0.14285714285714285"), std::string::npos) << json;
+}
+
+TEST(ChromeSink, EmptyTraceIsValidJson) {
+  const std::string json = trace::chrome_trace_json({});
+  std::string why;
+  EXPECT_TRUE(testing::is_valid_json(json, &why)) << why << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(TraceIntegration, ExplorationEmitsSchemaEvents) {
+  const sdf::Graph g = models::paper_example();
+  trace::Collector collector;
+  {
+    ScopedAttach attach(&collector);
+    const auto r = buffer::explore(
+        g, buffer::DseOptions{.target = *g.find_actor("c")});
+    ASSERT_EQ(r.pareto.size(), 4u);
+  }
+  const auto merged = collector.merged();
+  ASSERT_FALSE(merged.empty());
+
+  const auto count = [&](trace::EventKind k) {
+    return std::count_if(merged.begin(), merged.end(),
+                         [&](const trace::Event& e) { return e.kind == k; });
+  };
+  EXPECT_EQ(count(trace::EventKind::Exploration), 1);
+  EXPECT_GT(count(trace::EventKind::Simulation), 0);
+  EXPECT_EQ(count(trace::EventKind::ParetoPoint), 4);
+
+  // Every simulation span carries the reduced-state count in arg1.
+  for (const trace::Event& e : merged) {
+    if (e.kind == trace::EventKind::Simulation) {
+      EXPECT_GE(e.dur_ns, 0);
+      EXPECT_GT(e.arg1, 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace buffy

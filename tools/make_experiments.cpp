@@ -1,0 +1,94 @@
+// Stitches the report fragments written by the reproduction benches
+// (`bench_* --report-dir report`) into EXPERIMENTS.md, in the fixed order
+// of trace::experiments_manifest(). Modes:
+//
+//   make_experiments --report-dir report --out EXPERIMENTS.md   # write
+//   make_experiments --report-dir report --check EXPERIMENTS.md # CI drift
+//
+// --check exits 1 (and prints a unified hint) when the stitched text is
+// not byte-identical to the file on disk, so CI fails on stale docs.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "base/diagnostics.hpp"
+#include "trace/report.hpp"
+
+using namespace buffy;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --report-dir DIR (--out FILE | --check FILE)\n"
+               "\n"
+               "Stitches DIR/<fragment>.md, in manifest order, into the\n"
+               "generated EXPERIMENTS.md. --out writes the file; --check\n"
+               "exits nonzero when FILE differs from the stitched text.\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string report_dir;
+  std::string out_path;
+  std::string check_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--report-dir") == 0 && i + 1 < argc) {
+      report_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--check") == 0 && i + 1 < argc) {
+      check_path = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (report_dir.empty() || (out_path.empty() == check_path.empty())) {
+    return usage(argv[0]);
+  }
+
+  try {
+    const std::string stitched = trace::stitch_experiments(report_dir);
+
+    if (!out_path.empty()) {
+      std::ofstream out(out_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s for writing\n",
+                     out_path.c_str());
+        return 1;
+      }
+      out << stitched;
+      std::printf("wrote %s (%zu bytes, %zu fragments)\n", out_path.c_str(),
+                  stitched.size(), trace::experiments_manifest().size());
+      return 0;
+    }
+
+    std::ifstream in(check_path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", check_path.c_str());
+      return 1;
+    }
+    std::ostringstream have;
+    have << in.rdbuf();
+    if (have.str() == stitched) {
+      std::printf("%s is up to date\n", check_path.c_str());
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "%s is stale: regenerate it with\n"
+                 "  make_experiments --report-dir %s --out %s\n"
+                 "(run every bench_* with --report-dir %s first; see the\n"
+                 "file header for the exact commands)\n",
+                 check_path.c_str(), report_dir.c_str(), check_path.c_str(),
+                 report_dir.c_str());
+    return 1;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+}
