@@ -30,6 +30,10 @@
 //   --schedule            print the Gantt chart of every Pareto point
 //   --dot <file>          write DOT annotated with the best distribution
 //   --codegen <file>      write the generated Fig. 8 explorer program
+//   --audit               run with BUFFY_AUDIT self-checks on: storage
+//                         invariants, visited-table hashes, sampled cache
+//                         re-simulation, Pareto-front ordering (DESIGN.md
+//                         §9); any violation aborts with exit 1
 //   --csdf                treat the input as a cyclo-static (CSDF) graph
 //
 // Exit codes: 0 on success (including a deadline-cut partial front), 1 on
@@ -41,6 +45,7 @@
 #include <optional>
 #include <string>
 
+#include "base/audit.hpp"
 #include "base/diagnostics.hpp"
 #include "base/string_util.hpp"
 #include "buffer/dse.hpp"
@@ -70,7 +75,8 @@ void usage(std::FILE* out) {
       "                   [--threads N] [--deadline-ms N] [--no-cache] "
       "[--stats]\n"
       "                   [--trace FILE] [--schedule] [--dot FILE] "
-      "[--codegen FILE] [--csdf]\n");
+      "[--codegen FILE]\n"
+      "                   [--audit] [--csdf]\n");
 }
 
 // Everything the command line can say, parsed before any work happens.
@@ -90,6 +96,7 @@ struct CliArgs {
   bool schedule = false;
   std::string dot_path;
   std::string codegen_path;
+  bool audit = false;
   bool csdf = false;
 };
 
@@ -140,6 +147,8 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       args.dot_path = value();
     } else if (arg == "--codegen") {
       args.codegen_path = value();
+    } else if (arg == "--audit") {
+      args.audit = true;
     } else if (arg == "--csdf") {
       args.csdf = true;
     } else {
@@ -163,6 +172,7 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     if (args.schedule) unsupported = "--schedule";
     if (!args.dot_path.empty()) unsupported = "--dot";
     if (!args.codegen_path.empty()) unsupported = "--codegen";
+    if (args.audit) unsupported = "--audit";
     if (unsupported != nullptr) {
       std::fprintf(stderr, "error: %s is not supported in --csdf mode\n",
                    unsupported);
@@ -248,6 +258,9 @@ int main(int argc, char** argv) {
     }
     opts.deadline_ms = args->deadline_ms;
     opts.use_throughput_cache = !args->no_cache;
+    // Audit mode is switched on before the exploration spawns workers
+    // (see base/audit.hpp on why a relaxed flag suffices then).
+    if (args->audit) audit::set_enabled(true);
     exec::Progress progress;
     if (args->stats) opts.progress = &progress;
 
@@ -277,6 +290,13 @@ int main(int argc, char** argv) {
       }
       if (args->stats) {
         std::printf("\nstats: %s\n", progress.snapshot().json().c_str());
+      }
+      // Reaching this line means no check threw: a violation would have
+      // unwound to the error path (exit 1) before any flush.
+      if (args->audit) {
+        std::printf("audit: %llu invariant checks, 0 violations\n",
+                    static_cast<unsigned long long>(
+                        audit::checks_performed()));
       }
     };
 

@@ -1,0 +1,76 @@
+#include "base/audit.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "base/hash.hpp"
+
+namespace buffy::audit {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+std::atomic<u64> g_checks{0};
+std::atomic<u64> g_sample_denominator{8};
+}  // namespace detail
+
+namespace {
+
+// Reads BUFFY_AUDIT at library load: any value other than unset/""/"0"
+// switches audit mode on, so `BUFFY_AUDIT=1 ctest` audits every test
+// binary without code changes. Runs as a dynamic initialiser of this TU,
+// which is linked into every binary that can perform a check (they all
+// reference fail()).
+[[maybe_unused]] const bool g_env_initialised = []() {
+  const char* value = std::getenv("BUFFY_AUDIT");
+  if (value != nullptr && *value != '\0' && std::strcmp(value, "0") != 0) {
+    detail::g_enabled.store(true, std::memory_order_relaxed);
+  }
+  return true;
+}();
+
+}  // namespace
+
+AuditError::AuditError(const std::string& invariant,
+                       const std::string& detail)
+    : Error("audit violation [" + invariant + "]: " + detail),
+      invariant_(invariant) {}
+
+void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+u64 checks_performed() {
+  return detail::g_checks.load(std::memory_order_relaxed);
+}
+
+void fail(const std::string& invariant, const std::string& detail) {
+  throw AuditError(invariant, detail);
+}
+
+bool sample(u64 hash) {
+  const u64 d = detail::g_sample_denominator.load(std::memory_order_relaxed);
+  if (d <= 1) return true;
+  return mix64(hash) % d == 0;
+}
+
+void set_sample_denominator(u64 denominator) {
+  BUFFY_REQUIRE(denominator > 0, "audit sample denominator must be >= 1");
+  detail::g_sample_denominator.store(denominator, std::memory_order_relaxed);
+}
+
+u64 sample_denominator() {
+  return detail::g_sample_denominator.load(std::memory_order_relaxed);
+}
+
+ScopedAudit::ScopedAudit(u64 denominator)
+    : prev_enabled_(enabled()), prev_denominator_(sample_denominator()) {
+  set_enabled(true);
+  set_sample_denominator(denominator);
+}
+
+ScopedAudit::~ScopedAudit() {
+  set_enabled(prev_enabled_);
+  set_sample_denominator(prev_denominator_);
+}
+
+}  // namespace buffy::audit

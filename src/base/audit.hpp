@@ -1,0 +1,100 @@
+// BUFFY_AUDIT — the runtime self-audit layer (DESIGN.md §9).
+//
+// Audit mode cross-checks the optimised engines against first principles
+// while they run: channel occupancy against the capacity bounds, cached
+// visited-state hashes against recomputation, cached throughput values
+// against a fresh simulation on a deterministic sample of hits, dominance
+// answers against the monotonicity they rely on, and final Pareto fronts
+// against their ordering invariant. The checks live next to the data they
+// audit (state::Engine, state::VisitedTable, buffer/audit_checks.hpp);
+// this header owns the mode flag, the failure type and the sampling
+// policy they share.
+//
+// Off by default; each check site costs one relaxed atomic load. Enabled
+// via set_enabled(true), the `explore_cli --audit` flag, or the
+// BUFFY_AUDIT=1 environment variable (read at library load, which is how
+// CI runs whole test binaries audited without touching their code).
+//
+// A failed check throws AuditError carrying the invariant name and a
+// precise diagnostic. It derives from buffy::Error, so existing error
+// paths report it and exit non-zero — an audit violation is never
+// papered over as a recoverable condition.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "base/checked_math.hpp"
+#include "base/diagnostics.hpp"
+
+namespace buffy::audit {
+
+/// An invariant cross-check failed; what() is
+/// "audit violation [<invariant>]: <detail>".
+class AuditError : public Error {
+ public:
+  AuditError(const std::string& invariant, const std::string& detail);
+  [[nodiscard]] const std::string& invariant() const { return invariant_; }
+
+ private:
+  std::string invariant_;
+};
+
+namespace detail {
+// Namespace-scope atomics (not function-local statics) so enabled() and
+// note_check() inline to single relaxed accesses in the hot paths.
+// Relaxed suffices throughout: the flag is a mode switch flipped before
+// the parallel region starts (thread creation publishes it), and the
+// check counter is a metric that steers no control flow.
+extern std::atomic<bool> g_enabled;
+extern std::atomic<u64> g_checks;
+extern std::atomic<u64> g_sample_denominator;
+}  // namespace detail
+
+/// True when audit mode is on; the guard every check site polls.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Switches audit mode; flip before spawning workers (see detail above).
+void set_enabled(bool on);
+
+/// Checks performed since process start (diagnostic reporting; a run that
+/// "passed the audit" with zero checks performed did not audit anything).
+[[nodiscard]] u64 checks_performed();
+
+/// Records one performed check.
+inline void note_check() {
+  detail::g_checks.fetch_add(1, std::memory_order_relaxed);
+}
+
+/// Throws AuditError; the single funnel every failed check goes through.
+[[noreturn]] void fail(const std::string& invariant,
+                       const std::string& detail);
+
+/// Deterministic sampler for the expensive cross-checks (fresh
+/// re-simulation of cache hits): true for roughly 1 in
+/// sample_denominator() inputs, decided purely by mixing `hash` — the
+/// same hit is sampled on every run, at any thread count.
+[[nodiscard]] bool sample(u64 hash);
+
+/// Sampling rate control: 1 = re-check every hit (tamper tests), default
+/// 8. Never 0.
+void set_sample_denominator(u64 denominator);
+[[nodiscard]] u64 sample_denominator();
+
+/// RAII enable for tests: flips audit mode (and optionally the sampling
+/// denominator) on construction, restores both on destruction.
+class ScopedAudit {
+ public:
+  explicit ScopedAudit(u64 denominator = 1);
+  ~ScopedAudit();
+  ScopedAudit(const ScopedAudit&) = delete;
+  ScopedAudit& operator=(const ScopedAudit&) = delete;
+
+ private:
+  bool prev_enabled_;
+  u64 prev_denominator_;
+};
+
+}  // namespace buffy::audit

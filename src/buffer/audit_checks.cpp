@@ -1,0 +1,66 @@
+#include "buffer/audit_checks.hpp"
+
+#include <string>
+
+#include "base/audit.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::buffer {
+
+namespace {
+
+std::string caps_str(const std::vector<i64>& caps) {
+  std::string s = "[";
+  for (std::size_t i = 0; i < caps.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(caps[i]);
+  }
+  s += "]";
+  return s;
+}
+
+}  // namespace
+
+void audit_check_cached_throughput(const sdf::Graph& graph,
+                                   sdf::ActorId target, u64 max_steps,
+                                   const std::vector<std::size_t>& binding,
+                                   const std::vector<i64>& caps,
+                                   const CachedThroughput& cached) {
+  audit::note_check();
+  state::ThroughputOptions opts{.target = target, .max_steps = max_steps};
+  opts.processor_of = binding;
+  const state::ThroughputResult fresh = state::compute_throughput(
+      graph, state::Capacities::bounded(caps), opts);
+  if (fresh.throughput != cached.throughput ||
+      fresh.deadlocked != cached.deadlocked) {
+    audit::fail(
+        "cache-vs-simulation",
+        "distribution " + caps_str(caps) + " of graph '" + graph.name() +
+            "': cached answer " + cached.throughput.str() +
+            (cached.deadlocked ? " (deadlock)" : "") +
+            " != fresh simulation " + fresh.throughput.str() +
+            (fresh.deadlocked ? " (deadlock)" : ""));
+  }
+}
+
+void audit_verify_monotone_front(const ParetoSet& front) {
+  const std::vector<ParetoPoint>& points = front.points();
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    audit::note_check();
+    const ParetoPoint& a = points[i];
+    const ParetoPoint& b = points[i + 1];
+    if (a.size() >= b.size() || a.throughput >= b.throughput) {
+      audit::fail(
+          "pareto-monotone",
+          "points " + std::to_string(i) + " and " + std::to_string(i + 1) +
+              ": (size " + std::to_string(a.size()) + ", throughput " +
+              a.throughput.str() + ") then (size " +
+              std::to_string(b.size()) + ", throughput " +
+              b.throughput.str() +
+              "); a Pareto front must strictly increase in both");
+    }
+  }
+  if (points.empty()) audit::note_check();  // an empty front is monotone
+}
+
+}  // namespace buffy::buffer

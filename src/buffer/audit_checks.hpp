@@ -1,0 +1,38 @@
+// BUFFY_AUDIT cross-checks of the exploration layer (DESIGN.md §9).
+//
+// Shared by both DSE engines and by the tamper tests, so a test corrupting
+// a cache entry exercises the exact code path that guards a production
+// exploration:
+//
+//  * audit_check_cached_throughput — a cached or dominance-derived
+//    throughput answer must equal a fresh simulation of the same
+//    distribution. The engines call it on a deterministic sample of cache
+//    hits (audit::sample over the capacity-vector hash): exact repeats
+//    re-verify the stored value, dominance hits re-verify the Sec. 8
+//    monotonicity argument end-to-end.
+//  * audit_verify_monotone_front — a finished Pareto front must be
+//    strictly increasing in both size and throughput; called on every
+//    explore() result while audit mode is on.
+//
+// Both fail via audit::fail (throwing audit::AuditError) with the
+// offending distribution spelled out.
+#pragma once
+
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "buffer/pareto.hpp"
+#include "buffer/throughput_cache.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::buffer {
+
+void audit_check_cached_throughput(const sdf::Graph& graph,
+                                   sdf::ActorId target, u64 max_steps,
+                                   const std::vector<std::size_t>& binding,
+                                   const std::vector<i64>& caps,
+                                   const CachedThroughput& cached);
+
+void audit_verify_monotone_front(const ParetoSet& front);
+
+}  // namespace buffy::buffer

@@ -4,7 +4,9 @@
 #include <optional>
 
 #include "analysis/consistency.hpp"
+#include "base/audit.hpp"
 #include "base/diagnostics.hpp"
+#include "buffer/audit_checks.hpp"
 #include "buffer/dse_exact.hpp"
 #include "buffer/dse_incremental.hpp"
 #include "state/throughput.hpp"
@@ -183,6 +185,10 @@ DseResult explore(const sdf::Graph& graph, const DseOptions& options) {
     options.progress->add_pareto_points(result.pareto.size());
     if (result.cancelled) options.progress->mark_cancelled();
   }
+  // Every front an exploration hands back is audited for the ordering
+  // invariant (strictly increasing size AND throughput) while audit mode
+  // is on — including partial fronts of cancelled runs (DESIGN.md §9).
+  if (audit::enabled()) audit_verify_monotone_front(result.pareto);
   return result;
 }
 

@@ -5,7 +5,10 @@
 #include <chrono>
 #include <map>
 
+#include "base/audit.hpp"
 #include "base/diagnostics.hpp"
+#include "base/hash.hpp"
+#include "buffer/audit_checks.hpp"
 #include "buffer/throughput_cache.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
@@ -73,6 +76,14 @@ struct Sweep {
           } else {
             options.progress->add_dominance_skips(1);
           }
+        }
+        // Audit mode re-simulates a deterministic sample of hits: exact
+        // repeats re-verify the stored value, dominance answers re-verify
+        // the Sec. 8 monotonicity end-to-end (DESIGN.md §9).
+        if (audit::enabled() && audit::sample(hash_words(caps))) {
+          audit_check_cached_throughput(graph, options.target,
+                                        options.max_steps_per_run, {}, caps,
+                                        *hit);
         }
         return hit->throughput;
       }

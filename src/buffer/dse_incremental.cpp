@@ -6,7 +6,10 @@
 #include <set>
 #include <unordered_set>
 
+#include "base/audit.hpp"
 #include "base/diagnostics.hpp"
+#include "base/hash.hpp"
+#include "buffer/audit_checks.hpp"
 #include "buffer/throughput_cache.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
@@ -179,6 +182,14 @@ DseResult explore_incremental(const sdf::Graph& graph,
             } else {
               options.progress->add_dominance_skips(1);
             }
+          }
+          // Audit mode re-simulates a deterministic sample of hits: exact
+          // repeats re-verify the stored value, dominance answers
+          // re-verify the Sec. 8 monotonicity end-to-end (DESIGN.md §9).
+          if (audit::enabled() && audit::sample(hash_words(batch[i]))) {
+            audit_check_cached_throughput(graph, options.target,
+                                          options.max_steps_per_run,
+                                          options.binding, batch[i], *hit);
           }
           return;
         }

@@ -56,4 +56,8 @@ std::string ParetoSet::str() const {
   return os.str();
 }
 
+void ParetoSet::corrupt_throughput_for_test(std::size_t i, Rational value) {
+  points_.at(i).throughput = value;
+}
+
 }  // namespace buffy::buffer

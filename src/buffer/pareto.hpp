@@ -49,6 +49,12 @@ class ParetoSet {
   /// Multi-line "size <dist> throughput" table.
   [[nodiscard]] std::string str() const;
 
+  /// Audit tamper hook: overwrites one point's throughput, breaking the
+  /// ordering invariant add() maintains, so tests can prove
+  /// audit_verify_monotone_front reports the corruption. Never called
+  /// outside tests.
+  void corrupt_throughput_for_test(std::size_t i, Rational value);
+
  private:
   std::vector<ParetoPoint> points_;
 };

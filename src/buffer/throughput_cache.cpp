@@ -115,4 +115,14 @@ void ThroughputCache::add_deadlock_witness(const std::vector<i64>& caps) {
   }
 }
 
+bool ThroughputCache::corrupt_entry_for_test(const std::vector<i64>& caps,
+                                             const Rational& delta) {
+  Stripe& stripe = stripe_of(caps);
+  const std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.map.find(caps);
+  if (it == stripe.map.end()) return false;
+  it->second.throughput = it->second.throughput + delta;
+  return true;
+}
+
 }  // namespace buffy::buffer

@@ -89,6 +89,13 @@ class ThroughputCache {
     return max_throughput_;
   }
 
+  /// Audit tamper hook: adds `delta` to the stored throughput of the
+  /// exact entry for `caps` (false when no such entry), so tests can
+  /// prove the sampled cache-vs-simulation audit catches a corrupted
+  /// entry. Never called outside tests.
+  bool corrupt_entry_for_test(const std::vector<i64>& caps,
+                              const Rational& delta);
+
   /// Lifetime counters (relaxed; for metrics only).
   [[nodiscard]] u64 exact_hits() const {
     return exact_hits_.load(std::memory_order_relaxed);

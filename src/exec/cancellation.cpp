@@ -12,7 +12,12 @@ struct CancellationToken::State {
 
   [[nodiscard]] bool cancelled() const {
     for (const State* s = this; s != nullptr; s = s->parent.get()) {
-      if (s->flag.load(std::memory_order_relaxed)) return true;
+      // Acquire pairs with the release in cancel(): a worker that observes
+      // the flag also observes everything the cancelling thread wrote
+      // before cancelling (e.g. the partial results it expects the worker
+      // to stop touching). `deadline`/`parent` are immutable after
+      // construction, so shared_ptr publication alone covers them.
+      if (s->flag.load(std::memory_order_acquire)) return true;
       if (s->deadline.has_value() &&
           std::chrono::steady_clock::now() >= *s->deadline) {
         return true;
@@ -35,7 +40,11 @@ CancellationToken CancellationToken::with_deadline(i64 ms) const {
 }
 
 void CancellationToken::cancel() const {
-  if (state_ != nullptr) state_->flag.store(true, std::memory_order_relaxed);
+  // Release pairs with the acquire load in State::cancelled() — see there.
+  // The flag lives in shared State kept alive by every token copy, so
+  // cancelling (or polling) remains valid even while a ThreadPool that ran
+  // the cancelled work is mid-destruction or already gone.
+  if (state_ != nullptr) state_->flag.store(true, std::memory_order_release);
 }
 
 bool CancellationToken::cancelled() const {

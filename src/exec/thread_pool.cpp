@@ -13,13 +13,17 @@ ThreadPool::ThreadPool(unsigned threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::lock_guard lock(sleep_mutex_);
+    if (stopping_) return;  // idempotent: second caller has nothing to join
     stopping_ = true;
   }
   sleep_cv_.notify_all();
   for (std::thread& w : workers_) w.join();
+  workers_.clear();
 }
 
 void ThreadPool::submit(std::function<void()> task) {
@@ -30,9 +34,24 @@ void ThreadPool::submit(std::function<void()> task) {
   std::size_t target;
   {
     std::lock_guard lock(sleep_mutex_);
-    target = next_queue_;
-    next_queue_ = (next_queue_ + 1) % queues_.size();
-    ++pending_;
+    if (stopping_) {
+      // Shutdown has begun: a worker that already observed
+      // `pending_ == 0 && stopping_` will never re-check its queue, so a
+      // task enqueued now could be dropped without running and a WaitGroup
+      // counting on it would hang. Running it inline (outside the lock,
+      // below) keeps submit() lossless through the whole shutdown window
+      // and preserves the invariant that pending_ never grows once
+      // stopping_ is set.
+      target = queues_.size();
+    } else {
+      target = next_queue_;
+      next_queue_ = (next_queue_ + 1) % queues_.size();
+      ++pending_;
+    }
+  }
+  if (target == queues_.size()) {
+    task();
+    return;
   }
   {
     std::lock_guard lock(queues_[target]->mutex);

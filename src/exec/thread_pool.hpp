@@ -41,9 +41,17 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
+  /// Begins shutdown: outstanding tasks complete, workers join. Idempotent;
+  /// the destructor calls it. After stop() the pool is still a valid
+  /// object — submit() runs tasks inline (see below) — which makes the
+  /// shutdown window well-defined instead of a race.
+  void stop();
+
   /// Enqueues a task. The task must not block waiting for another pool
   /// task (the pool does not grow); fan-out/fan-in belongs in
-  /// parallel.hpp. With zero workers the task runs inline, here.
+  /// parallel.hpp. With zero workers — or once shutdown has begun — the
+  /// task runs inline, here: enqueueing after the workers decided to exit
+  /// would drop the task and hang any WaitGroup counting on it.
   void submit(std::function<void()> task);
 
   [[nodiscard]] unsigned num_workers() const {

@@ -38,13 +38,20 @@ sdf::Graph random_graph(const RandomGraphOptions& options) {
   BUFFY_REQUIRE(options.max_repetition >= 1, "max_repetition must be >= 1");
   Rng rng(options.seed);
 
-  sdf::Graph graph("random_" + std::to_string(options.seed));
+  // String names here are built via += throughout: GCC 12's -Wrestrict
+  // emits a false positive (PR105651) for literal + to_string temporaries
+  // once inlined at -O3.
+  std::string graph_name = "random_";
+  graph_name += std::to_string(options.seed);
+  sdf::Graph graph(graph_name);
   std::vector<i64> q(options.num_actors);
   std::vector<sdf::ActorId> actors;
   for (std::size_t i = 0; i < options.num_actors; ++i) {
     q[i] = rng.uniform(1, options.max_repetition);
+    std::string actor_name = "a";
+    actor_name += std::to_string(i);
     actors.push_back(graph.add_actor(sdf::Actor{
-        .name = "a" + std::to_string(i),
+        .name = std::move(actor_name),
         .execution_time = rng.uniform(1, options.max_execution_time),
     }));
   }
@@ -63,7 +70,12 @@ sdf::Graph random_graph(const RandomGraphOptions& options) {
     if (src == dst || reaches(graph, dst, src)) {
       tokens = checked_mul(consumption, q[dst.index()]);
     }
-    const std::string name = "c" + std::to_string(channel_seq++);
+    std::string name = "c";
+    name += std::to_string(channel_seq++);
+    std::string src_port = name;
+    src_port += "_out";
+    std::string dst_port = name;
+    dst_port += "_in";
     graph.add_channel(sdf::Channel{
         .name = name,
         .src = src,
@@ -71,8 +83,8 @@ sdf::Graph random_graph(const RandomGraphOptions& options) {
         .production = production,
         .consumption = consumption,
         .initial_tokens = tokens,
-        .src_port = name + "_out",
-        .dst_port = name + "_in",
+        .src_port = std::move(src_port),
+        .dst_port = std::move(dst_port),
     });
   };
 

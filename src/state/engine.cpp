@@ -1,7 +1,9 @@
 #include "state/engine.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "base/audit.hpp"
 #include "base/diagnostics.hpp"
 #include "trace/trace.hpp"
 
@@ -245,6 +247,38 @@ void Engine::space_blocked_channels(std::vector<sdf::ChannelId>& out) const {
   for (std::size_t c = 0; c < blocked_scratch_.size(); ++c) {
     if (blocked_scratch_[c] != 0) out.emplace_back(c);
   }
+}
+
+void Engine::audit_verify_invariants() const {
+  for (std::size_t c = 0; c < tokens_.size(); ++c) {
+    audit::note_check();
+    const std::string channel =
+        "channel " + std::to_string(c) + " (" +
+        graph_.channel(sdf::ChannelId(c)).name + ") at t=" +
+        std::to_string(now_);
+    if (tokens_[c] < 0) {
+      audit::fail("engine-tokens-nonnegative",
+                  channel + ": " + std::to_string(tokens_[c]) +
+                      " stored tokens");
+    }
+    if (occupied_[c] < tokens_[c]) {
+      audit::fail("engine-occupancy-covers-tokens",
+                  channel + ": occupancy " + std::to_string(occupied_[c]) +
+                      " < stored tokens " + std::to_string(tokens_[c]) +
+                      " (claimed space lost track of a write)");
+    }
+    if (capacities_.is_bounded(c) &&
+        occupied_[c] > capacities_.capacity(c)) {
+      audit::fail("engine-capacity-bound",
+                  channel + ": occupancy " + std::to_string(occupied_[c]) +
+                      " exceeds capacity " +
+                      std::to_string(capacities_.capacity(c)));
+    }
+  }
+}
+
+void Engine::corrupt_occupancy_for_test(sdf::ChannelId c, i64 delta) {
+  occupied_[c.index()] += delta;
 }
 
 }  // namespace buffy::state

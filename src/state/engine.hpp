@@ -148,6 +148,20 @@ class Engine {
   [[nodiscard]] const sdf::Graph& graph() const { return graph_; }
   [[nodiscard]] const Capacities& capacities() const { return capacities_; }
 
+  /// BUFFY_AUDIT hook (DESIGN.md §9): re-derives the channel-storage
+  /// invariants from the current state — tokens >= 0, stored tokens never
+  /// exceed the claimed occupancy, and occupancy never exceeds a bounded
+  /// channel's capacity — failing via audit::fail on any violation. The
+  /// throughput kernel calls this after every advance while audit mode is
+  /// on; it is valid at any point between steps.
+  void audit_verify_invariants() const;
+
+  /// Audit tamper hook: forges the claimed occupancy of one channel by
+  /// `delta` tokens, so tests can prove audit_verify_invariants reports a
+  /// capacity breach with a precise diagnostic. Never called outside
+  /// tests.
+  void corrupt_occupancy_for_test(sdf::ChannelId c, i64 delta);
+
  private:
   struct PortRef {
     std::size_t channel;

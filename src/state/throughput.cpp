@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/audit.hpp"
 #include "base/diagnostics.hpp"
 #include "trace/trace.hpp"
 
@@ -93,6 +94,10 @@ ThroughputResult ThroughputSolver::compute(const Capacities& capacities,
       throw exec::Cancelled();
     }
     const bool alive = engine_.advance();
+    // Audit mode re-derives the storage invariants after every advance —
+    // a capacity breach is caught at the step that introduced it, not at
+    // whatever later point it corrupts the throughput.
+    if (audit::enabled()) engine_.audit_verify_invariants();
 
     bool target_completed = false;
     for (const sdf::ActorId a : engine_.completed()) {
@@ -125,6 +130,11 @@ ThroughputResult ThroughputSolver::compute(const Capacities& capacities,
         }
         finish_deps(result.cycle_start_time);
         finish_max_occupancy();
+        // The whole visited table is checked once per run, at cycle
+        // close: every stored hash must still match its record and every
+        // record must be reachable, or the cycle just "detected" may
+        // have closed on the wrong state.
+        if (audit::enabled()) table_.audit_verify();
         report_states();
         return result;
       }

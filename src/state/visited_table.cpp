@@ -1,7 +1,9 @@
 #include "state/visited_table.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "base/audit.hpp"
 #include "base/diagnostics.hpp"
 #include "base/hash.hpp"
 
@@ -69,6 +71,44 @@ std::size_t VisitedTable::footprint_bytes() const {
   return arena_.capacity() * sizeof(i64) + hashes_.capacity() * sizeof(u64) +
          entries_.capacity() * sizeof(Entry) +
          slots_.capacity() * sizeof(u32);
+}
+
+void VisitedTable::audit_verify() const {
+  for (std::size_t r = 0; r < entries_.size(); ++r) {
+    audit::note_check();
+    const i64* rec = arena_.data() + r * record_words_;
+    const u64 fresh = hash_words(std::span<const i64>(rec, record_words_));
+    if (fresh != hashes_[r]) {
+      audit::fail("visited-table-hash",
+                  "record " + std::to_string(r) + ": cached hash " +
+                      std::to_string(hashes_[r]) +
+                      " != recomputed hash " + std::to_string(fresh) +
+                      " over its arena words");
+    }
+    // Reachability: probing from the (verified) hash must reach the
+    // record before an empty slot, or later equal states would be
+    // inserted as fresh records and the cycle never detected.
+    std::size_t i = static_cast<std::size_t>(fresh) & mask_;
+    bool reachable = false;
+    for (std::size_t step = 1; slots_[i] != kEmptySlot; ++step) {
+      if (slots_[i] == static_cast<u32>(r)) {
+        reachable = true;
+        break;
+      }
+      i = (i + step) & mask_;
+    }
+    if (!reachable) {
+      audit::fail("visited-table-reach",
+                  "record " + std::to_string(r) +
+                      " is not reachable from its hash through the slot "
+                      "array");
+    }
+  }
+}
+
+void VisitedTable::corrupt_hash_for_test(std::size_t i) {
+  BUFFY_REQUIRE(i < hashes_.size(), "corrupt_hash_for_test out of range");
+  hashes_[i] ^= 1;
 }
 
 void VisitedTable::grow_slots() {

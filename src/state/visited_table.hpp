@@ -70,6 +70,19 @@ class VisitedTable {
   /// table's whole footprint, which persists across reset() for reuse.
   [[nodiscard]] std::size_t footprint_bytes() const;
 
+  /// BUFFY_AUDIT hook (DESIGN.md §9): verifies hash/equality consistency
+  /// of every committed record — the cached hash equals a fresh
+  /// hash_words over the record's arena words, and the record is
+  /// reachable from that hash through the slot array (a corrupt cached
+  /// hash would make later equal states insert as fresh records, silently
+  /// missing the cycle). Fails via audit::fail; O(records).
+  void audit_verify() const;
+
+  /// Audit tamper hook: flips one bit of record i's cached hash so tests
+  /// can prove audit_verify pinpoints the inconsistency. Never called
+  /// outside tests.
+  void corrupt_hash_for_test(std::size_t i);
+
  private:
   static constexpr u32 kEmptySlot = 0xffffffffu;
 

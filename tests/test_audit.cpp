@@ -1,0 +1,222 @@
+// The BUFFY_AUDIT self-audit layer (DESIGN.md §9): the mode flag and
+// sampling policy, a clean end-to-end audited exploration, and — the core
+// of the suite — tamper tests that corrupt one internal structure at a
+// time and assert the audit catches each with a precise diagnostic.
+#include <gtest/gtest.h>
+
+#include "base/audit.hpp"
+#include "buffer/audit_checks.hpp"
+#include "buffer/dse.hpp"
+#include "buffer/throughput_cache.hpp"
+#include "models/models.hpp"
+#include "state/engine.hpp"
+#include "state/throughput.hpp"
+#include "state/visited_table.hpp"
+
+namespace buffy {
+namespace {
+
+TEST(Audit, DisabledByDefaultAndScopedRestore) {
+  ASSERT_FALSE(audit::enabled());
+  const u64 denominator = audit::sample_denominator();
+  {
+    const audit::ScopedAudit audit_on(/*denominator=*/1);
+    EXPECT_TRUE(audit::enabled());
+    EXPECT_EQ(audit::sample_denominator(), 1u);
+    EXPECT_TRUE(audit::sample(12345));  // denominator 1 samples everything
+  }
+  EXPECT_FALSE(audit::enabled());
+  EXPECT_EQ(audit::sample_denominator(), denominator);
+}
+
+TEST(Audit, SamplingIsDeterministic) {
+  audit::set_sample_denominator(8);
+  for (const u64 h : {u64{0}, u64{1}, u64{0xdeadbeef}}) {
+    EXPECT_EQ(audit::sample(h), audit::sample(h));
+  }
+  audit::set_sample_denominator(1);
+  EXPECT_TRUE(audit::sample(0xdeadbeef));
+  audit::set_sample_denominator(8);
+}
+
+TEST(Audit, ErrorCarriesInvariantAndDetail) {
+  try {
+    audit::fail("some-invariant", "the detail");
+    FAIL() << "expected AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), "some-invariant");
+    EXPECT_STREQ(e.what(), "audit violation [some-invariant]: the detail");
+  }
+}
+
+// --- end-to-end: a healthy exploration audits clean ---------------------
+
+TEST(Audit, AuditedExplorationReportsNoViolations) {
+  const audit::ScopedAudit audit_on(/*denominator=*/1);
+  const u64 before = audit::checks_performed();
+  const sdf::Graph g = models::samplerate_converter();
+  buffer::DseOptions opts{.target = models::reported_actor(g)};
+  opts.threads = 4;
+  const auto r = buffer::explore(g, opts);
+  EXPECT_FALSE(r.pareto.empty());
+  // The run actually audited something (engine invariants, table hashes,
+  // sampled cache re-simulation, front ordering), not vacuously passed.
+  EXPECT_GT(audit::checks_performed(), before);
+}
+
+TEST(Audit, BothEnginesAuditCleanOnPaperExample) {
+  const audit::ScopedAudit audit_on(/*denominator=*/1);
+  const sdf::Graph g = models::paper_example();
+  for (const auto engine :
+       {buffer::DseEngine::Incremental, buffer::DseEngine::Exhaustive}) {
+    buffer::DseOptions opts{.target = models::reported_actor(g),
+                            .engine = engine};
+    EXPECT_NO_THROW((void)buffer::explore(g, opts));
+  }
+}
+
+// --- tamper: engine capacity bound --------------------------------------
+
+TEST(AuditTamper, CorruptOccupancyTriggersCapacityDiagnostic) {
+  const sdf::Graph g = models::paper_example();
+  std::vector<i64> caps(g.num_channels(), 10);
+  state::Engine engine(g, state::Capacities::bounded(caps));
+  engine.reset();
+  EXPECT_NO_THROW(engine.audit_verify_invariants());
+  // Forge one channel's claimed occupancy past its capacity: exactly one
+  // invariant (the capacity bound, on that channel) must fire.
+  engine.corrupt_occupancy_for_test(sdf::ChannelId(0), 100);
+  try {
+    engine.audit_verify_invariants();
+    FAIL() << "expected AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), "engine-capacity-bound");
+    EXPECT_NE(std::string(e.what()).find("channel 0"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(AuditTamper, NegativeOccupancyTriggersTokenCoverDiagnostic) {
+  const sdf::Graph g = models::paper_example();
+  std::vector<i64> caps(g.num_channels(), 10);
+  state::Engine engine(g, state::Capacities::bounded(caps));
+  engine.reset();
+  // Forge occupancy BELOW the stored tokens: the claimed-space invariant
+  // (not the capacity bound) must be the one that fires.
+  engine.corrupt_occupancy_for_test(sdf::ChannelId(0), -100);
+  try {
+    engine.audit_verify_invariants();
+    FAIL() << "expected AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), "engine-occupancy-covers-tokens");
+  }
+}
+
+// --- tamper: visited-table hash ------------------------------------------
+
+TEST(AuditTamper, CorruptVisitedHashTriggersHashDiagnostic) {
+  state::VisitedTable table;
+  table.reset(/*record_words=*/3);
+  for (i64 base = 0; base < 4; ++base) {
+    const std::span<i64> rec = table.stage();
+    rec[0] = base;
+    rec[1] = base + 1;
+    rec[2] = base + 2;
+    ASSERT_EQ(table.find_or_insert({base, base, static_cast<u64>(base)}),
+              nullptr);
+  }
+  EXPECT_NO_THROW(table.audit_verify());
+  table.corrupt_hash_for_test(2);
+  try {
+    table.audit_verify();
+    FAIL() << "expected AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), "visited-table-hash");
+    EXPECT_NE(std::string(e.what()).find("record 2"), std::string::npos)
+        << e.what();
+  }
+}
+
+// --- tamper: throughput cache entry --------------------------------------
+
+TEST(AuditTamper, CorruptCacheEntryTriggersSimulationMismatch) {
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId target = models::reported_actor(g);
+  std::vector<i64> caps(g.num_channels(), 10);
+  const state::ThroughputResult run = state::compute_throughput(
+      g, state::Capacities::bounded(caps),
+      state::ThroughputOptions{.target = target});
+  ASSERT_FALSE(run.deadlocked);
+
+  buffer::ThroughputCache cache(run.throughput);
+  buffer::CachedThroughput value;
+  value.throughput = run.throughput;
+  cache.store(caps, value);
+
+  // Healthy entry: the cached answer matches a fresh simulation.
+  auto hit = cache.find(caps, /*require_deps=*/false);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NO_THROW(buffer::audit_check_cached_throughput(
+      g, target, 100'000, {}, caps, *hit));
+
+  // Tampered entry: the same check must report the exact mismatch.
+  ASSERT_TRUE(cache.corrupt_entry_for_test(caps, Rational(1, 7)));
+  hit = cache.find(caps, /*require_deps=*/false);
+  ASSERT_TRUE(hit.has_value());
+  try {
+    buffer::audit_check_cached_throughput(g, target, 100'000, {}, caps,
+                                          *hit);
+    FAIL() << "expected AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), "cache-vs-simulation");
+    EXPECT_NE(std::string(e.what()).find("fresh simulation"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+// --- tamper: bogus dominance witness -------------------------------------
+
+TEST(AuditTamper, BogusMaxWitnessTriggersSimulationMismatch) {
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId target = models::reported_actor(g);
+  // Claim an absurd maximal throughput with a tiny witness: every
+  // dominance "hit" derived from it asserts a throughput the fresh
+  // simulation cannot reproduce.
+  buffer::ThroughputCache cache(Rational(1));
+  std::vector<i64> witness(g.num_channels(), 4);
+  cache.add_max_witness(witness);
+  const auto hit = cache.find_max_dominated(witness);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->throughput, Rational(1));
+  try {
+    buffer::audit_check_cached_throughput(g, target, 100'000, {}, witness,
+                                          *hit);
+    FAIL() << "expected AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), "cache-vs-simulation");
+  }
+}
+
+// --- tamper: Pareto front ordering ---------------------------------------
+
+TEST(AuditTamper, CorruptParetoThroughputTriggersMonotoneDiagnostic) {
+  const sdf::Graph g = models::samplerate_converter();
+  buffer::DseOptions opts{.target = models::reported_actor(g)};
+  auto result = buffer::explore(g, opts);
+  ASSERT_GE(result.pareto.size(), 2u);
+  EXPECT_NO_THROW(buffer::audit_verify_monotone_front(result.pareto));
+  // Drag the last point's throughput below its predecessor's: the front
+  // is no longer strictly increasing and the check must name the pair.
+  result.pareto.corrupt_throughput_for_test(result.pareto.size() - 1,
+                                            Rational(0));
+  try {
+    buffer::audit_verify_monotone_front(result.pareto);
+    FAIL() << "expected AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), "pareto-monotone");
+  }
+}
+
+}  // namespace
+}  // namespace buffy

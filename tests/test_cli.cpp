@@ -99,6 +99,38 @@ TEST(ExploreCli, ValidRunSucceeds) {
   EXPECT_NE(r.output.find("<4, 2>"), std::string::npos) << r.output;
 }
 
+TEST(ExploreCli, AuditRunReportsChecksAndNoViolations) {
+  const RunResult r = run_cli(graph("example.xml") + " --audit");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("Pareto points:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("audit:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("0 violations"), std::string::npos) << r.output;
+}
+
+TEST(ExploreCli, AuditDoesNotChangeTheParetoFront) {
+  const RunResult plain = run_cli(graph("example.xml"));
+  const RunResult audited = run_cli(graph("example.xml") + " --audit");
+  EXPECT_EQ(plain.exit_code, 0);
+  EXPECT_EQ(audited.exit_code, 0);
+  const auto pareto_of = [](const std::string& out) {
+    const std::size_t from = out.find("Pareto points:");
+    const std::size_t to = out.find("audit:");
+    return from == std::string::npos
+               ? std::string()
+               : out.substr(from, to == std::string::npos ? std::string::npos
+                                                          : to - from);
+  };
+  EXPECT_EQ(pareto_of(plain.output), pareto_of(audited.output));
+}
+
+TEST(ExploreCli, AuditIsRejectedInCsdfMode) {
+  const RunResult r = run_cli(graph("distcol.csdf.sdf") + " --csdf --audit");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("not supported in --csdf mode"),
+            std::string::npos)
+      << r.output;
+}
+
 TEST(ExploreCli, ParallelRunMatchesSerialOutput) {
   const RunResult serial = run_cli(graph("example.xml") + " --engine exh");
   const RunResult parallel =

@@ -86,6 +86,44 @@ TEST(ParallelForEach, LowestThrowingIndexWins) {
   }
 }
 
+TEST(ThreadPool, StopIsIdempotentAndSubmitAfterStopRunsInline) {
+  ThreadPool pool(2);
+  std::atomic<int> pooled{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&pooled]() { pooled.fetch_add(1); });
+  }
+  pool.stop();
+  EXPECT_EQ(pooled.load(), 100);  // stop() drains before joining
+  pool.stop();                    // second stop is a no-op
+
+  // The shutdown window is lossless: a submit that lands after the
+  // workers exited runs inline on the caller instead of being dropped
+  // (a dropped task would hang any WaitGroup counting on it).
+  bool ran_inline = false;
+  pool.submit([&ran_inline]() { ran_inline = true; });
+  EXPECT_TRUE(ran_inline);
+}
+
+TEST(Cancellation, TokenOutlivesThePoolThatRanIt) {
+  // Cancellation state is owned by the tokens, not the pool: observing or
+  // cancelling a token must stay valid after the pool that executed the
+  // cancelled work has been destroyed (the DSE deadline path does exactly
+  // this when a caller keeps its token past explore()).
+  const CancellationToken token = CancellationToken::cancellable();
+  CancellationToken worker_copy;
+  {
+    ThreadPool pool(2);
+    parallel_for_each(pool, 8, [&](std::size_t i) {
+      if (i == 0) worker_copy = token.with_deadline(60'000);
+      (void)token.cancelled();
+    });
+  }  // pool destroyed; token and the worker-made child must still work
+  EXPECT_FALSE(token.cancelled());
+  token.cancel();
+  EXPECT_TRUE(token.cancelled());
+  EXPECT_TRUE(worker_copy.cancelled());  // child chains to the parent
+}
+
 TEST(Cancellation, DefaultTokenNeverCancels) {
   const CancellationToken none;
   EXPECT_FALSE(none.can_cancel());

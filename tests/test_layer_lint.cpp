@@ -1,0 +1,178 @@
+// Drives the real layer_lint binary over synthetic module trees: each rule
+// must fire on a minimal violation with a file:line diagnostic, stay quiet
+// on the benign twin, and the real src/ tree must lint clean.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+RunResult run_lint(const std::string& args) {
+  const std::string command =
+      std::string(LAYER_LINT_PATH) + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  while (std::fgets(buffer, sizeof buffer, pipe) != nullptr) {
+    result.output += buffer;
+  }
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+// A throwaway src/ tree: write_file("base/foo.hpp", ...) then lint it.
+class LintTree {
+ public:
+  LintTree() {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    root_ = fs::temp_directory_path() /
+            (std::string("layer_lint_") + info->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_);
+  }
+  ~LintTree() { fs::remove_all(root_); }
+
+  void write_file(const std::string& rel, const std::string& content) {
+    const fs::path path = root_ / rel;
+    fs::create_directories(path.parent_path());
+    std::ofstream out(path);
+    out << content;
+  }
+
+  [[nodiscard]] RunResult lint() const { return run_lint(root_.string()); }
+  [[nodiscard]] std::string path_of(const std::string& rel) const {
+    return (root_ / rel).string();
+  }
+
+ private:
+  fs::path root_;
+};
+
+TEST(LayerLint, RealSrcTreeIsClean) {
+  const RunResult r = run_lint(SRC_DIR);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("clean"), std::string::npos) << r.output;
+}
+
+TEST(LayerLint, UsageErrorExitsTwo) {
+  EXPECT_EQ(run_lint("").exit_code, 2);
+  EXPECT_EQ(run_lint("a b").exit_code, 2);
+}
+
+TEST(LayerLint, RejectsUpwardInclude) {
+  LintTree tree;
+  tree.write_file("state/engine.hpp", "#pragma once\n");
+  tree.write_file("base/types.hpp",
+                  "#pragma once\n#include \"state/engine.hpp\"\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  // Diagnostic carries the exact file:line and the rule id.
+  EXPECT_NE(r.output.find(tree.path_of("base/types.hpp") + ":2: L1"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("upward include"), std::string::npos) << r.output;
+}
+
+TEST(LayerLint, AcceptsDownwardAndSameModuleIncludes) {
+  LintTree tree;
+  tree.write_file("base/types.hpp", "#pragma once\n");
+  tree.write_file("state/helpers.hpp", "#pragma once\n");
+  tree.write_file("state/engine.hpp",
+                  "#pragma once\n#include \"base/types.hpp\"\n"
+                  "#include \"state/helpers.hpp\"\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LayerLint, RejectsUnknownModule) {
+  LintTree tree;
+  tree.write_file("mystery/thing.hpp", "#pragma once\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("not in the layer table"), std::string::npos)
+      << r.output;
+}
+
+TEST(LayerLint, RejectsThrowInHotPathHeader) {
+  LintTree tree;
+  tree.write_file("state/engine.hpp",
+                  "#pragma once\ninline void f(bool b) {\n"
+                  "  if (b) throw 1;\n}\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("state/engine.hpp") + ":3: L2"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LayerLint, ThrowInHotPathCppOrCommentIsFine) {
+  LintTree tree;
+  // .cpp may throw; header comments and strings mentioning throw are prose.
+  tree.write_file("state/engine.cpp", "void g() { throw 1; }\n");
+  tree.write_file("state/engine.hpp",
+                  "#pragma once\n// error paths throw in the .cpp\n"
+                  "inline const char* k = \"never throw here\";\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LayerLint, RejectsRawIntInState) {
+  LintTree tree;
+  tree.write_file("state/engine.hpp",
+                  "#pragma once\ninline int counter = 0;\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("state/engine.hpp") + ":2: L3"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("checked_math"), std::string::npos) << r.output;
+}
+
+TEST(LayerLint, CheckedTypesAndProseIntsAreFine) {
+  LintTree tree;
+  tree.write_file("state/engine.hpp",
+                  "#pragma once\n#include <cstdint>\n"
+                  "// a raw int would overflow here\n"
+                  "inline std::int64_t tokens = 0;\n"
+                  "inline std::uint32_t printed = 0;\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LayerLint, RejectsDiscardableAnalysisEntryPoint) {
+  LintTree tree;
+  tree.write_file("analysis/mcm.hpp",
+                  "#pragma once\nstruct R {};\n"
+                  "R max_cycle_ratio(int x);\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("analysis/mcm.hpp") + ":3: L4"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("max_cycle_ratio"), std::string::npos) << r.output;
+}
+
+TEST(LayerLint, NodiscardAndVoidEntryPointsAreFine) {
+  LintTree tree;
+  tree.write_file("analysis/mcm.hpp",
+                  "#pragma once\nstruct R {};\n"
+                  "[[nodiscard]] R max_cycle_ratio(int x);\n"
+                  "void require_consistent(const R& r);\n"
+                  "class Solver {\n  R solve();\n};\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+}  // namespace

@@ -88,7 +88,9 @@ TEST(Mcm, BruteforceMatchesOnKnownProblems) {
     const auto slow = max_cycle_ratio_bruteforce(p);
     EXPECT_EQ(fast.has_cycle, slow.has_cycle);
     EXPECT_EQ(fast.deadlock, slow.deadlock);
-    if (fast.has_cycle && !fast.deadlock) EXPECT_EQ(fast.ratio, slow.ratio);
+    if (fast.has_cycle && !fast.deadlock) {
+      EXPECT_EQ(fast.ratio, slow.ratio);
+    }
   }
 }
 

@@ -124,7 +124,9 @@ TEST_P(RationalAlgebra, CommutativeAndAssociative) {
   EXPECT_EQ((a * b) * c, a * (b * c));
   EXPECT_EQ(a * (b + c), a * b + a * c);
   EXPECT_EQ(a - a, Rational(0));
-  if (!a.is_zero()) EXPECT_EQ(a / a, Rational(1));
+  if (!a.is_zero()) {
+    EXPECT_EQ(a / a, Rational(1));
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -1,0 +1,96 @@
+// Shared include-graph extraction for the architecture tools.
+//
+// arch_dot renders the module dependency graph of src/ as GraphViz DOT;
+// layer_lint enforces the DESIGN.md §9 layering over the same graph. Both
+// need the identical notion of "module" (a top-level directory under
+// src/) and "cross-module include" (a quoted `#include "module/..."`
+// whose first path component names another module), so the scan lives
+// here and the tools stay byte-for-byte consistent about what an edge is.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace buffy_tools {
+
+/// One quoted cross-module (or same-module) include, with its position
+/// for file:line diagnostics.
+struct IncludeRef {
+  std::string file;        // path as scanned (under src_dir)
+  int line = 0;            // 1-based line of the #include
+  std::string from_module; // module of the including file
+  std::string to_module;   // first path component of the included path
+  std::string included;    // the full quoted path
+};
+
+/// First path component of a quoted include like
+/// `#include "buffer/dse.hpp"` -> "buffer". Empty for system includes and
+/// non-include lines.
+inline std::string include_module(const std::string& line) {
+  const std::size_t first = line.find_first_not_of(" \t");
+  if (first == std::string::npos || line[first] != '#') return "";
+  if (line.find("include", first) == std::string::npos) return "";
+  const std::size_t q1 = line.find('"');
+  if (q1 == std::string::npos) return "";
+  const std::size_t q2 = line.find('"', q1 + 1);
+  if (q2 == std::string::npos) return "";
+  const std::string path = line.substr(q1 + 1, q2 - q1 - 1);
+  const std::size_t slash = path.find('/');
+  if (slash == std::string::npos) return "";
+  return path.substr(0, slash);
+}
+
+/// Full quoted path of an include line ("" when not a quoted include).
+inline std::string include_path(const std::string& line) {
+  const std::size_t q1 = line.find('"');
+  if (q1 == std::string::npos) return "";
+  const std::size_t q2 = line.find('"', q1 + 1);
+  if (q2 == std::string::npos) return "";
+  return line.substr(q1 + 1, q2 - q1 - 1);
+}
+
+/// True for the C++ source/header extensions the tools scan.
+inline bool is_cpp_file(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+/// The module set: every top-level directory under src_dir.
+inline std::set<std::string> list_modules(const std::string& src_dir) {
+  std::set<std::string> modules;
+  for (const auto& entry : std::filesystem::directory_iterator(src_dir)) {
+    if (entry.is_directory()) {
+      modules.insert(entry.path().filename().string());
+    }
+  }
+  return modules;
+}
+
+/// Every quoted include in src_dir whose first path component is a known
+/// module (same-module includes are reported too; callers filter).
+inline std::vector<IncludeRef> scan_includes(
+    const std::string& src_dir, const std::set<std::string>& modules) {
+  std::vector<IncludeRef> refs;
+  for (const std::string& mod : modules) {
+    for (const auto& entry : std::filesystem::recursive_directory_iterator(
+             src_dir + "/" + mod)) {
+      if (!entry.is_regular_file() || !is_cpp_file(entry.path())) continue;
+      std::ifstream in(entry.path());
+      std::string line;
+      int lineno = 0;
+      while (std::getline(in, line)) {
+        ++lineno;
+        const std::string dep = include_module(line);
+        if (dep.empty() || modules.count(dep) == 0) continue;
+        refs.push_back(IncludeRef{entry.path().string(), lineno, mod, dep,
+                                  include_path(line)});
+      }
+    }
+  }
+  return refs;
+}
+
+}  // namespace buffy_tools

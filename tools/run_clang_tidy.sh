@@ -1,0 +1,84 @@
+#!/usr/bin/env bash
+# clang-tidy ratchet runner (DESIGN.md §9).
+#
+# Runs clang-tidy (config pinned in .clang-tidy) over every src/ and
+# tools/ translation unit using the compile database in $BUILD_DIR, then
+# normalises each warning to `relative/path:line: check-name` and compares
+# the sorted set against tools/tidy_baseline.txt:
+#
+#   * a warning not in the baseline  -> FAIL (new debt is rejected)
+#   * a baseline entry that no longer fires -> FAIL (stale entry: shrink
+#     the baseline so the ratchet only ever tightens)
+#
+#   tools/run_clang_tidy.sh [BUILD_DIR]           # check (default: build)
+#   tools/run_clang_tidy.sh --update [BUILD_DIR]  # rewrite the baseline
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+
+UPDATE=0
+if [ "${1:-}" = "--update" ]; then
+  UPDATE=1
+  shift
+fi
+BUILD_DIR="${1:-build}"
+BASELINE=tools/tidy_baseline.txt
+TIDY="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "$TIDY" >/dev/null 2>&1; then
+  echo "run_clang_tidy: $TIDY not found (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy: no compile database; configure with" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+mapfile -t SOURCES < <(find src tools -name '*.cpp' | sort)
+
+RAW=$(mktemp)
+CURRENT=$(mktemp)
+trap 'rm -f "$RAW" "$CURRENT"' EXIT
+
+# clang-tidy exits non-zero when it emits warnings; the ratchet compare
+# below is the pass/fail signal, so the tool's own exit code is ignored.
+"$TIDY" -p "$BUILD_DIR" --quiet "${SOURCES[@]}" >"$RAW" 2>/dev/null || true
+
+# "…/src/state/engine.cpp:42:7: warning: … [bugprone-use-after-move]"
+#   -> "src/state/engine.cpp:42: bugprone-use-after-move"
+sed -n 's|^.*/\(\(src\|tools\)/[^:]*\):\([0-9]*\):[0-9]*: warning: .*\[\([a-z0-9.-]*\)\]$|\1:\3: \4|p' \
+  "$RAW" | sort -u >"$CURRENT"
+
+if [ "$UPDATE" -eq 1 ]; then
+  {
+    grep '^#' "$BASELINE"
+    cat "$CURRENT"
+  } >"$BASELINE.tmp" && mv "$BASELINE.tmp" "$BASELINE"
+  echo "run_clang_tidy: baseline rewritten ($(wc -l <"$CURRENT") warnings)"
+  exit 0
+fi
+
+EXPECTED=$(mktemp)
+trap 'rm -f "$RAW" "$CURRENT" "$EXPECTED"' EXIT
+grep -v '^#' "$BASELINE" | grep -v '^$' | sort -u >"$EXPECTED"
+
+NEW=$(comm -23 "$CURRENT" "$EXPECTED")
+STALE=$(comm -13 "$CURRENT" "$EXPECTED")
+
+FAIL=0
+if [ -n "$NEW" ]; then
+  echo "run_clang_tidy: NEW warnings (not in $BASELINE):" >&2
+  echo "$NEW" >&2
+  FAIL=1
+fi
+if [ -n "$STALE" ]; then
+  echo "run_clang_tidy: STALE baseline entries (fixed; remove them so the" >&2
+  echo "baseline only shrinks — or run tools/run_clang_tidy.sh --update):" >&2
+  echo "$STALE" >&2
+  FAIL=1
+fi
+if [ "$FAIL" -eq 0 ]; then
+  echo "run_clang_tidy: clean ($(wc -l <"$CURRENT") warnings, all baselined)"
+fi
+exit "$FAIL"
