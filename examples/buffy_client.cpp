@@ -1,0 +1,344 @@
+// buffy_client: a command-line client for the buffyd daemon.
+//
+// Builds one request from the command line, sends it over the daemon's
+// Unix-domain socket or loopback TCP port, and prints what came back —
+// the Pareto front exactly as explore_cli would print it, or the raw
+// response JSON with --json. Exit status distinguishes transport
+// failures, protocol errors and success, so shell scripts can drive a
+// resident daemon the way they drive explore_cli.
+//
+// Usage:
+//   buffy_client (--socket PATH | --port N) <command> [options]
+// Commands:
+//   explore <graph file>   explore_pareto on the graph (XML or DSL)
+//   analyze <graph file>   analyze_throughput (max throughput, or the
+//                          simulated throughput with --caps)
+//   status                 print the daemon's status counters
+//   shutdown               drain the daemon and wait for confirmation
+// Options:
+//   --target <actor>       target actor (default: the graph's last)
+//   --engine <inc|exh>     exploration engine
+//   --levels <n>           quantise to n throughput levels
+//   --max-size <n>         explore distributions up to this size only
+//   --goal <rational>      stop once this throughput is reached
+//   --min-tput <rational>  report only points at or above this throughput
+//   --caps <a,b,c>         analyze: simulate this storage distribution
+//   --no-cache             bypass the daemon's warm caches
+//   --deadline-ms <n>      per-request deadline
+//   --id <n>               request id (default 1)
+//   --json                 print the raw response line instead of text
+//
+// Exit codes: 0 = ok response, 1 = error response or transport failure,
+// 2 = command-line misuse.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+
+#include "base/diagnostics.hpp"
+#include "base/string_util.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+
+using namespace buffy;
+using service::JsonValue;
+
+namespace {
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: buffy_client (--socket PATH | --port N) COMMAND [options]\n"
+      "commands: explore GRAPH | analyze GRAPH | status | shutdown\n"
+      "options:  [--target ACTOR] [--engine inc|exh] [--levels N]\n"
+      "          [--max-size N] [--goal R] [--min-tput R] [--caps a,b,c]\n"
+      "          [--no-cache] [--deadline-ms N] [--id N] [--json]\n");
+}
+
+struct CliArgs {
+  std::string socket_path;
+  std::optional<int> port;
+  std::string command;
+  std::string graph_path;
+  std::string target;
+  std::optional<std::string> engine;
+  std::optional<i64> levels;
+  std::optional<i64> max_size;
+  std::optional<std::string> goal;
+  std::optional<std::string> min_tput;
+  std::optional<std::string> caps;
+  bool no_cache = false;
+  std::optional<i64> deadline_ms;
+  i64 id = 1;
+  bool raw_json = false;
+};
+
+std::optional<CliArgs> parse_args(int argc, char** argv) {
+  CliArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) throw ParseError("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      args.socket_path = value();
+    } else if (arg == "--port") {
+      args.port = static_cast<int>(parse_i64(value()));
+    } else if (arg == "--target") {
+      args.target = value();
+    } else if (arg == "--engine") {
+      args.engine = value();
+    } else if (arg == "--levels") {
+      args.levels = parse_i64(value());
+    } else if (arg == "--max-size") {
+      args.max_size = parse_i64(value());
+    } else if (arg == "--goal") {
+      args.goal = value();
+    } else if (arg == "--min-tput") {
+      args.min_tput = value();
+    } else if (arg == "--caps") {
+      args.caps = value();
+    } else if (arg == "--no-cache") {
+      args.no_cache = true;
+    } else if (arg == "--deadline-ms") {
+      args.deadline_ms = parse_i64(value());
+    } else if (arg == "--id") {
+      args.id = parse_i64(value());
+    } else if (arg == "--json") {
+      args.raw_json = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
+      usage(stderr);
+      return std::nullopt;
+    } else if (args.command.empty()) {
+      args.command = arg;
+    } else if (args.graph_path.empty()) {
+      args.graph_path = arg;
+    } else {
+      std::fprintf(stderr, "error: unexpected argument '%s'\n", arg.c_str());
+      usage(stderr);
+      return std::nullopt;
+    }
+  }
+  if (args.socket_path.empty() && !args.port.has_value()) {
+    std::fprintf(stderr, "error: one of --socket/--port is required\n");
+    usage(stderr);
+    return std::nullopt;
+  }
+  if (args.command != "explore" && args.command != "analyze" &&
+      args.command != "status" && args.command != "shutdown") {
+    std::fprintf(stderr, "error: unknown command '%s'\n",
+                 args.command.c_str());
+    usage(stderr);
+    return std::nullopt;
+  }
+  if ((args.command == "explore" || args.command == "analyze") &&
+      args.graph_path.empty()) {
+    std::fprintf(stderr, "error: %s requires a graph file\n",
+                 args.command.c_str());
+    usage(stderr);
+    return std::nullopt;
+  }
+  return args;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw Error(what + ": " + std::strerror(errno));
+}
+
+int connect_to(const CliArgs& args) {
+  if (!args.socket_path.empty()) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw_errno("socket(AF_UNIX)");
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (args.socket_path.size() >= sizeof(addr.sun_path)) {
+      ::close(fd);
+      throw Error("unix socket path too long");
+    }
+    std::memcpy(addr.sun_path, args.socket_path.c_str(),
+                args.socket_path.size() + 1);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+      ::close(fd);
+      throw_errno("connect('" + args.socket_path + "')");
+    }
+    return fd;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(*args.port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    throw_errno("connect(127.0.0.1:" + std::to_string(*args.port) + ")");
+  }
+  return fd;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open '" + path + "'");
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+JsonValue build_request(const CliArgs& args) {
+  JsonValue req = JsonValue::object();
+  req.set("id", JsonValue::integer(args.id));
+  if (args.command == "status" || args.command == "shutdown") {
+    req.set("method", JsonValue::string(args.command));
+    return req;
+  }
+  req.set("method", JsonValue::string(args.command == "explore"
+                                          ? "explore_pareto"
+                                          : "analyze_throughput"));
+  req.set("graph", JsonValue::string(read_file(args.graph_path)));
+  if (!args.target.empty()) {
+    req.set("target", JsonValue::string(args.target));
+  }
+  if (args.deadline_ms.has_value()) {
+    req.set("deadline_ms", JsonValue::integer(*args.deadline_ms));
+  }
+  if (args.command == "analyze") {
+    if (args.caps.has_value()) {
+      JsonValue caps = JsonValue::array();
+      std::istringstream in(*args.caps);
+      std::string item;
+      while (std::getline(in, item, ',')) {
+        caps.push_back(JsonValue::integer(parse_i64(item)));
+      }
+      req.set("capacities", caps);
+    }
+    return req;
+  }
+  if (args.engine.has_value()) {
+    req.set("engine", JsonValue::string(*args.engine));
+  }
+  if (args.levels.has_value()) {
+    req.set("levels", JsonValue::integer(*args.levels));
+  }
+  if (args.max_size.has_value()) {
+    req.set("max_size", JsonValue::integer(*args.max_size));
+  }
+  if (args.goal.has_value()) req.set("goal", JsonValue::string(*args.goal));
+  if (args.min_tput.has_value()) {
+    req.set("min_throughput", JsonValue::string(*args.min_tput));
+  }
+  if (args.no_cache) req.set("cache", JsonValue::boolean(false));
+  return req;
+}
+
+void send_line(int fd, std::string line) {
+  line.push_back('\n');
+  const char* data = line.data();
+  std::size_t left = line.size();
+  while (left > 0) {
+    const ssize_t n = ::send(fd, data, left, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      throw_errno("send");
+    }
+    data += n;
+    left -= static_cast<std::size_t>(n);
+  }
+}
+
+std::string recv_line(int fd) {
+  std::string line;
+  char c = 0;
+  for (;;) {
+    const ssize_t n = ::recv(fd, &c, 1, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) throw Error("connection closed before a response arrived");
+    if (c == '\n') return line;
+    line.push_back(c);
+  }
+}
+
+// Human rendering of the result object per command; falls back to the raw
+// JSON for anything unexpected so information is never swallowed.
+void print_result(const CliArgs& args, const JsonValue& result) {
+  if (args.command == "explore") {
+    const JsonValue* front = result.find("front");
+    const JsonValue* bounds = result.find("bounds");
+    if (bounds != nullptr && bounds->is_object()) {
+      std::printf("bounds: lb = %lld tokens, ub = %lld tokens, maximal "
+                  "throughput = %s\n",
+                  static_cast<long long>(bounds->find("lb_size")->as_int()),
+                  static_cast<long long>(bounds->find("ub_size")->as_int()),
+                  bounds->find("max_throughput")->as_string().c_str());
+    }
+    const JsonValue* cached = result.find("cached_graph");
+    if (cached != nullptr && cached->is_bool() && cached->as_bool()) {
+      std::printf("(served from the daemon's warm cache)\n");
+    }
+    if (front != nullptr && front->is_string()) {
+      std::printf("Pareto points:\n%s", front->as_string().c_str());
+      return;
+    }
+  }
+  std::printf("%s\n", result.dump().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::optional<CliArgs> args;
+  try {
+    args = parse_args(argc, argv);
+    if (!args.has_value()) return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage(stderr);
+    return 2;
+  }
+  int fd = -1;
+  try {
+    const JsonValue request = build_request(*args);
+    fd = connect_to(*args);
+    send_line(fd, request.dump());
+    const std::string line = recv_line(fd);
+    ::close(fd);
+    fd = -1;
+
+    if (args->raw_json) {
+      std::printf("%s\n", line.c_str());
+    }
+    const JsonValue response = JsonValue::parse(line);
+    const JsonValue* ok = response.find("ok");
+    if (ok == nullptr || !ok->is_bool()) {
+      throw Error("malformed response: " + line);
+    }
+    if (!ok->as_bool()) {
+      const JsonValue* err = response.find("error");
+      if (!args->raw_json && err != nullptr && err->is_object()) {
+        std::fprintf(stderr, "error [%s]: %s\n",
+                     err->find("code")->as_string().c_str(),
+                     err->find("message")->as_string().c_str());
+      }
+      return 1;
+    }
+    if (!args->raw_json) {
+      print_result(*args, *response.find("result"));
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    if (fd >= 0) ::close(fd);
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

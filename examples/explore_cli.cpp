@@ -21,6 +21,8 @@
 //   --no-cache            disable the cross-distribution throughput cache
 //                         (every candidate runs a full simulation; the
 //                         Pareto front is identical either way)
+//   --cache-cap <n>       bound the cache to ~n resident entries (LRU
+//                         eviction; the front is identical at any cap)
 //   --stats               print exploration counters as one JSON object
 //                         (printed on every exit path, including deadline
 //                         cuts and graphs that deadlock everywhere)
@@ -73,7 +75,7 @@ void usage(std::FILE* out) {
       "                   [--levels N] [--max-size N] [--goal R] "
       "[--min-tput R]\n"
       "                   [--threads N] [--deadline-ms N] [--no-cache] "
-      "[--stats]\n"
+      "[--cache-cap N] [--stats]\n"
       "                   [--trace FILE] [--schedule] [--dot FILE] "
       "[--codegen FILE]\n"
       "                   [--audit] [--csdf]\n");
@@ -91,6 +93,7 @@ struct CliArgs {
   std::optional<i64> threads;
   std::optional<i64> deadline_ms;
   bool no_cache = false;
+  std::optional<i64> cache_cap;
   bool stats = false;
   std::string trace_path;
   bool schedule = false;
@@ -137,6 +140,9 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       }
     } else if (arg == "--no-cache") {
       args.no_cache = true;
+    } else if (arg == "--cache-cap") {
+      args.cache_cap = parse_i64(value());
+      if (*args.cache_cap < 1) throw ParseError("--cache-cap must be >= 1");
     } else if (arg == "--stats") {
       args.stats = true;
     } else if (arg == "--trace") {
@@ -167,6 +173,7 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     if (args.threads.has_value()) unsupported = "--threads";
     if (args.deadline_ms.has_value()) unsupported = "--deadline-ms";
     if (args.no_cache) unsupported = "--no-cache";
+    if (args.cache_cap.has_value()) unsupported = "--cache-cap";
     if (args.stats) unsupported = "--stats";
     if (!args.trace_path.empty()) unsupported = "--trace";
     if (args.schedule) unsupported = "--schedule";
@@ -258,6 +265,10 @@ int main(int argc, char** argv) {
     }
     opts.deadline_ms = args->deadline_ms;
     opts.use_throughput_cache = !args->no_cache;
+    if (args->cache_cap.has_value()) {
+      if (args->no_cache) throw Error("--cache-cap conflicts with --no-cache");
+      opts.cache_capacity = static_cast<u64>(*args->cache_cap);
+    }
     // Audit mode is switched on before the exploration spawns workers
     // (see base/audit.hpp on why a relaxed flag suffices then).
     if (args->audit) audit::set_enabled(true);

@@ -30,6 +30,8 @@
 
 namespace buffy::buffer {
 
+class ThroughputCache;  // buffer/throughput_cache.hpp
+
 /// Which exploration engine to run.
 enum class DseEngine {
   Exhaustive,
@@ -100,6 +102,25 @@ struct DseOptions {
   /// byte-identical with the cache on or off (see DESIGN.md §7). Disable
   /// to force every candidate through a full state-space run.
   bool use_throughput_cache = true;
+
+  /// Entry bound for the throughput cache (0 = unbounded): beyond it the
+  /// cache evicts least-recently-used exact entries (stripe-granular LRU,
+  /// see ThroughputCache). Eviction only forgets — evicted candidates are
+  /// re-simulated — so the Pareto front stays byte-identical at any cap.
+  /// Ignored when `shared_cache` is set (a shared cache carries its own
+  /// bound).
+  u64 cache_capacity = 0;
+
+  /// Optional externally owned cache reused across explorations (the
+  /// resident buffyd daemon shares one per graph+target so repeated
+  /// queries hit warm state; see src/service/). Preconditions: it was
+  /// created with this graph+target's maximal throughput, and `binding`
+  /// is empty — cached values are binding-free simulation outcomes, so a
+  /// bound exploration must not share them. Null = the exploration builds
+  /// its own cache. Ignored when `use_throughput_cache` is false. The
+  /// caller must keep it alive for the whole exploration; concurrent
+  /// explorations may share one cache (it is internally synchronised).
+  ThroughputCache* shared_cache = nullptr;
 
   /// Evaluate candidates with a reusable per-worker solver (one engine +
   /// one visited-state arena across all runs) and collect storage

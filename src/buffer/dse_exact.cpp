@@ -125,19 +125,51 @@ struct SizeOutcome {
   StorageDistribution witness;
 };
 
+// The pointwise upper envelope of every completion of the node
+// (channel, remaining): channel c >= `channel` can hold at most
+// min(ub[c], remaining - floors of the other open channels). Each valid
+// completion is componentwise <= this vector, so by Sec. 8 monotonicity
+// its throughput bounds every completion's from above — the engine of
+// the branch-and-bound cuts below.
+Rational envelope_throughput(Sweep& sweep, state::ThroughputSolver* solver,
+                             const std::vector<i64>& caps, std::size_t channel,
+                             i64 remaining) {
+  const std::size_t m = sweep.lb.size();
+  std::vector<i64> env(caps.begin(), caps.end());
+  const i64 open_floor = sweep.lb_suffix[channel];
+  for (std::size_t c = channel; c < m; ++c) {
+    env[c] = std::min(sweep.ub[c], remaining - (open_floor - sweep.lb[c]));
+  }
+  return quantize_down(sweep.throughput_of(env, solver),
+                       sweep.options.quantization);
+}
+
 // Visits every distribution of the requested total inside the box, in
 // lexicographic capacity order; the visitor returns false to abort the
-// sweep. `caps[0..channel)` must already hold the fixed prefix.
-template <typename Visitor>
+// sweep. `prune(caps, channel, remaining)` may return true to skip a
+// whole subtree (it must only do so when no completion can change the
+// outcome). `caps[0..channel)` must already hold the fixed prefix.
+template <typename Visitor, typename Pruner>
 bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
                std::vector<i64>& caps, std::size_t channel, i64 remaining,
-               Visitor&& visit) {
+               Visitor&& visit, Pruner&& prune) {
   const std::size_t m = sweep.lb.size();
   if (channel == m) {
     BUFFY_ASSERT(remaining == 0, "enumeration budget mismatch");
     const Rational tput = quantize_down(sweep.throughput_of(caps, solver),
                                         sweep.options.quantization);
     return visit(caps, tput);
+  }
+  if (remaining < sweep.lb_suffix[channel] ||
+      remaining > sweep.ub_suffix[channel]) {
+    return true;  // no completion fits the budget
+  }
+  // Probe the envelope only where a subtree is worth cutting: at least
+  // two open channels and a few tokens of slack, otherwise the probe
+  // costs as much as the handful of leaves it could save.
+  if (channel + 2 <= m && remaining - sweep.lb_suffix[channel] >= 3 &&
+      prune(caps, channel, remaining, solver)) {
+    return true;
   }
   // Budget window for this channel so the suffix can still hit `remaining`.
   const i64 rest_lb = sweep.lb_suffix[channel + 1];
@@ -146,7 +178,8 @@ bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
   const i64 hi = std::min(sweep.ub[channel], remaining - rest_lb);
   for (i64 cap = lo; cap <= hi; ++cap) {
     caps[channel] = cap;
-    if (!enumerate(sweep, solver, caps, channel + 1, remaining - cap, visit)) {
+    if (!enumerate(sweep, solver, caps, channel + 1, remaining - cap, visit,
+                   prune)) {
       return false;
     }
   }
@@ -154,20 +187,33 @@ bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
 }
 
 // Sequential reference: scan in lexicographic order, keep the first
-// distribution that strictly improves, stop at the goal.
-SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size) {
-  SizeOutcome best{Rational(0), StorageDistribution()};
+// distribution that strictly improves, stop at the slice goal. `best`
+// may arrive pre-seeded with a known distribution of this size (a padded
+// witness from a smaller slice), which arms the branch-and-bound cut
+// from the first node: subtrees whose envelope cannot strictly beat the
+// incumbent are skipped wholesale — sound by monotonicity, and
+// outcome-identical to the plain scan because skipped subtrees contain
+// no improving candidate.
+SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size,
+                                      SizeOutcome best,
+                                      const Rational& slice_goal) {
   state::PooledSolver lease(sweep.solvers);
   std::vector<i64> caps(sweep.lb.size(), 0);
-  enumerate(sweep, lease.get(), caps, 0, size,
-            [&](const std::vector<i64>& found, const Rational& tput) {
-              if (best.witness.num_channels() == 0 ||
-                  tput > best.throughput) {
-                best.throughput = tput;
-                best.witness = StorageDistribution(found);
-              }
-              return best.throughput < sweep.goal;  // stop at the goal
-            });
+  enumerate(
+      sweep, lease.get(), caps, 0, size,
+      [&](const std::vector<i64>& found, const Rational& tput) {
+        if (best.witness.num_channels() == 0 || tput > best.throughput) {
+          best.throughput = tput;
+          best.witness = StorageDistribution(found);
+        }
+        return best.throughput < slice_goal;  // stop at the slice goal
+      },
+      [&](const std::vector<i64>& prefix, std::size_t channel, i64 remaining,
+          state::ThroughputSolver* solver) {
+        return best.witness.num_channels() != 0 &&
+               envelope_throughput(sweep, solver, prefix, channel,
+                                   remaining) <= best.throughput;
+      });
   return best;
 }
 
@@ -209,14 +255,19 @@ std::vector<Shard> make_shards(const Sweep& sweep, i64 size,
 }
 
 // The work-sharded equivalent of max_throughput_sequential: each shard
-// finds its lexicographically-first best (stopping at the goal), and the
-// shard outcomes are folded left-to-right exactly as the sequential scan
-// would encounter them — so the returned (throughput, witness) pair is
-// bit-identical to the sequential engine's.
-SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size) {
+// finds its lexicographically-first best (stopping at the slice goal),
+// and the shard outcomes are folded left-to-right exactly as the
+// sequential scan would encounter them. Shards cut subtrees against
+// max(local best, seed floor) — a weaker incumbent than the sequential
+// scan's running best, so a shard may visit candidates the sequential
+// scan skipped, but every skipped subtree on either path is non-improving
+// and the folded (throughput, witness) pair comes out identical.
+SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
+                                   const Rational& slice_goal) {
   const std::size_t workers = sweep.pool->num_workers();
   const std::vector<Shard> shards =
       make_shards(sweep, size, workers * 8);
+  const bool seeded = seed.witness.num_channels() != 0;
 
   struct ShardOutcome {
     bool any = false;      // the shard contains at least one distribution
@@ -232,22 +283,38 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size) {
         state::PooledSolver lease(sweep.solvers);
         std::vector<i64> caps(sweep.lb.size(), 0);
         std::copy(shard.prefix.begin(), shard.prefix.end(), caps.begin());
-        enumerate(sweep, lease.get(), caps, shard.prefix.size(),
-                  shard.remaining,
-                  [&](const std::vector<i64>& found, const Rational& tput) {
-                    if (!out.any || tput > out.best) {
-                      out.any = true;
-                      out.best = tput;
-                      out.witness = StorageDistribution(found);
-                    }
-                    out.hit_goal = out.best >= sweep.goal;
-                    return !out.hit_goal;
-                  });
+        enumerate(
+            sweep, lease.get(), caps, shard.prefix.size(), shard.remaining,
+            [&](const std::vector<i64>& found, const Rational& tput) {
+              if (!out.any || tput > out.best) {
+                out.any = true;
+                out.best = tput;
+                out.witness = StorageDistribution(found);
+              }
+              out.hit_goal = out.best >= slice_goal;
+              return !out.hit_goal;
+            },
+            [&](const std::vector<i64>& prefix, std::size_t channel,
+                i64 remaining, state::ThroughputSolver* solver) {
+              Rational floor;
+              bool have_floor = false;
+              if (out.any) {
+                floor = out.best;
+                have_floor = true;
+              }
+              if (seeded && (!have_floor || seed.throughput > floor)) {
+                floor = seed.throughput;
+                have_floor = true;
+              }
+              return have_floor &&
+                     envelope_throughput(sweep, solver, prefix, channel,
+                                         remaining) <= floor;
+            });
         return out;
       },
       /*chunk_size=*/1);
 
-  SizeOutcome best{Rational(0), StorageDistribution()};
+  SizeOutcome best = std::move(seed);
   for (const ShardOutcome& out : outcomes) {
     if (!out.any) continue;
     if (best.witness.num_channels() == 0 || out.best > best.throughput) {
@@ -256,17 +323,37 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size) {
     }
     // The sequential scan would have stopped inside this shard; later
     // shards were never reached, so their outcomes must not be folded.
-    if (best.throughput >= sweep.goal) break;
+    if (best.throughput >= slice_goal) break;
   }
   return best;
 }
 
-SizeOutcome max_throughput_for_size(Sweep& sweep, i64 size) {
+// `seed` (optional) must be a distribution of exactly `size` inside the
+// box; its throughput floors the slice (theta* is monotone in the size)
+// and arms the branch-and-bound from the first candidate. `slice_goal`
+// is a known unreachable-to-exceed ceiling for this slice — the global
+// goal, tightened to theta*(hi) of the enclosing divide-and-conquer
+// interval — so reaching it ends the scan with the exact slice maximum.
+SizeOutcome max_throughput_for_size(Sweep& sweep, i64 size,
+                                    const std::vector<i64>* seed,
+                                    const Rational& slice_goal) {
   const trace::Span size_span(trace::EventKind::SizeEval, size);
+  SizeOutcome incumbent{Rational(0), StorageDistribution()};
+  if (seed != nullptr) {
+    state::PooledSolver lease(sweep.solvers);
+    incumbent.throughput = quantize_down(
+        sweep.throughput_of(*seed, lease.get()), sweep.options.quantization);
+    incumbent.witness = StorageDistribution(*seed);
+    if (incumbent.throughput >= slice_goal) return incumbent;
+  }
   const bool parallel =
       sweep.pool != nullptr && sweep.pool->num_workers() > 1;
-  SizeOutcome best = parallel ? max_throughput_sharded(sweep, size)
-                              : max_throughput_sequential(sweep, size);
+  SizeOutcome best =
+      parallel
+          ? max_throughput_sharded(sweep, size, std::move(incumbent),
+                                   slice_goal)
+          : max_throughput_sequential(sweep, size, std::move(incumbent),
+                                      slice_goal);
   BUFFY_ASSERT(best.witness.num_channels() != 0,
                "no distribution of the requested size inside the box");
   return best;
@@ -318,12 +405,22 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   // monotonicity holds and both dominance rules are sound.
   std::optional<ThroughputCache> cache;
   if (options.use_throughput_cache) {
-    cache.emplace(bounds.max_throughput);
+    if (options.shared_cache != nullptr) {
+      BUFFY_REQUIRE(
+          options.shared_cache->max_throughput() == bounds.max_throughput,
+          "shared throughput cache was built for a different graph/target "
+          "(maximal throughput mismatch)");
+      sweep.cache = options.shared_cache;
+    } else {
+      cache.emplace(bounds.max_throughput, options.cache_capacity);
+      sweep.cache = &*cache;
+    }
     // The Fig. 7 max-throughput distribution is a known witness before the
     // first candidate runs: anything pointwise above it attains the
-    // maximal throughput.
-    cache->add_max_witness(bounds.max_throughput_distribution.capacities());
-    sweep.cache = &*cache;
+    // maximal throughput. (Re-seeding a shared cache is a no-op: the
+    // witness antichain deduplicates.)
+    sweep.cache->add_max_witness(
+        bounds.max_throughput_distribution.capacities());
   }
   std::optional<state::ThroughputSolverPool> solvers;
   if (options.reuse_engines) {
@@ -343,16 +440,57 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
     hi_size = std::min(hi_size, *options.max_distribution_size);
   }
 
+  // Completeness of the per-size slices: a minimal distribution may exceed
+  // the max-throughput distribution on individual channels (one big buffer
+  // traded for a smaller total), so clamping each channel to the Fig. 7
+  // witness would miss genuine Pareto points. Widen every channel so any
+  // composition of the covered sizes above the floors is reachable,
+  // honouring only the user's explicit ceilings — the same widening the
+  // tie enumeration below applies. The budget window in enumerate() keeps
+  // the per-size work finite.
+  {
+    const std::size_t m = graph.num_channels();
+    const auto ceiling = constrained_ceiling(options, m);
+    const i64 lb_total = sweep.lb_suffix[0];
+    for (std::size_t c = 0; c < m; ++c) {
+      i64 widened =
+          std::max(sweep.ub[c], hi_size - (lb_total - sweep.lb[c]));
+      if (ceiling[c].has_value()) widened = std::min(widened, *ceiling[c]);
+      sweep.ub[c] = std::max(sweep.lb[c], widened);
+    }
+    for (std::size_t c = m; c-- > 0;) {
+      sweep.ub_suffix[c] = checked_add(sweep.ub_suffix[c + 1], sweep.ub[c]);
+    }
+  }
+
   // Divide and conquer over the size dimension (Sec. 9): throughput is
   // monotonic in the size, so an interval whose endpoints agree contains no
   // further Pareto points. Sizes fully evaluated before a deadline fires
   // are genuine (size, max throughput) points, so a cancelled exploration
   // still returns a verified partial front.
   std::map<i64, SizeOutcome> evaluated;
-  const auto eval = [&](i64 size) -> const SizeOutcome& {
+  // Pads a witness from a smaller slice up to `size` by topping channels
+  // up toward their ceilings left to right; the result is a valid
+  // distribution of the target size whose throughput floors the slice.
+  const auto pad_to = [&](const StorageDistribution& witness, i64 size) {
+    std::vector<i64> caps = witness.capacities();
+    i64 extra = size - witness.size();
+    for (std::size_t c = 0; c < caps.size() && extra > 0; ++c) {
+      const i64 add = std::min(sweep.ub[c] - caps[c], extra);
+      caps[c] += add;
+      extra -= add;
+    }
+    BUFFY_ASSERT(extra == 0, "padded distribution does not fit the box");
+    return caps;
+  };
+  const auto eval = [&](i64 size, const std::vector<i64>* seed,
+                        const Rational& slice_goal) -> const SizeOutcome& {
     auto it = evaluated.find(size);
     if (it == evaluated.end()) {
-      it = evaluated.emplace(size, max_throughput_for_size(sweep, size)).first;
+      it = evaluated
+               .emplace(size,
+                        max_throughput_for_size(sweep, size, seed, slice_goal))
+               .first;
     }
     return it->second;
   };
@@ -364,8 +502,17 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
 
   if (hi_size >= lo_size) {
     try {
-      eval(lo_size);
-      eval(hi_size);
+      eval(lo_size, nullptr, sweep.goal);
+      // The max-throughput distribution itself seeds the top slice when it
+      // fits (no user constraints reshaping the box, no size cap below
+      // it): its throughput is the global goal, so the slice resolves
+      // without a scan.
+      std::optional<std::vector<i64>> top_seed;
+      if (options.channel_constraints.empty() &&
+          bounds.ub_size <= hi_size) {
+        top_seed = pad_to(bounds.max_throughput_distribution, hi_size);
+      }
+      eval(hi_size, top_seed.has_value() ? &*top_seed : nullptr, sweep.goal);
       // Explicit work list of (lo, hi) intervals with both endpoints known.
       std::vector<std::pair<i64, i64>> intervals{{lo_size, hi_size}};
       while (!intervals.empty()) {
@@ -378,7 +525,12 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
           continue;
         }
         const i64 mid = lo + (hi - lo) / 2;
-        eval(mid);
+        // Seed the mid slice with the lo witness padded up to `mid`
+        // (theta* is monotone in the size, so it floors the slice), and
+        // stop the scan at theta*(hi) (nothing below `hi` can exceed it).
+        const std::vector<i64> seed = pad_to(evaluated.at(lo).witness, mid);
+        eval(mid, &seed,
+             std::min(sweep.goal, evaluated.at(hi).throughput));
         intervals.emplace_back(lo, mid);
         intervals.emplace_back(mid, hi);
       }
@@ -444,9 +596,18 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
 
   std::optional<ThroughputCache> cache;
   if (options.use_throughput_cache) {
-    cache.emplace(bounds.max_throughput);
-    cache->add_max_witness(bounds.max_throughput_distribution.capacities());
-    sweep.cache = &*cache;
+    if (options.shared_cache != nullptr) {
+      BUFFY_REQUIRE(
+          options.shared_cache->max_throughput() == bounds.max_throughput,
+          "shared throughput cache was built for a different graph/target "
+          "(maximal throughput mismatch)");
+      sweep.cache = options.shared_cache;
+    } else {
+      cache.emplace(bounds.max_throughput, options.cache_capacity);
+      sweep.cache = &*cache;
+    }
+    sweep.cache->add_max_witness(
+        bounds.max_throughput_distribution.capacities());
   }
   std::optional<state::ThroughputSolverPool> solvers;
   if (options.reuse_engines) {
@@ -455,13 +616,21 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
   }
   state::PooledSolver lease(sweep.solvers);
   std::vector<i64> caps(sweep.lb.size(), 0);
-  enumerate(sweep, lease.get(), caps, 0, size,
-            [&](const std::vector<i64>& candidate, const Rational& tput) {
-              if (tput >= min_throughput) {
-                found.emplace_back(candidate);
-              }
-              return true;
-            });
+  enumerate(
+      sweep, lease.get(), caps, 0, size,
+      [&](const std::vector<i64>& candidate, const Rational& tput) {
+        if (tput >= min_throughput) {
+          found.emplace_back(candidate);
+        }
+        return true;
+      },
+      // A subtree whose envelope falls short of the tie threshold holds
+      // no qualifying distribution (monotonicity) — cut it wholesale.
+      [&](const std::vector<i64>& prefix, std::size_t channel, i64 remaining,
+          state::ThroughputSolver* solver) {
+        return envelope_throughput(sweep, solver, prefix, channel,
+                                   remaining) < min_throughput;
+      });
   return found;
 }
 

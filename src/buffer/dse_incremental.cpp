@@ -96,9 +96,22 @@ DseResult explore_incremental(const sdf::Graph& graph,
   // main contributions here are the seeded max-throughput witness (Sec. 8
   // dominance — sound only without a binding) and making every simulated
   // outcome reusable by later calls that share the cache.
-  std::optional<ThroughputCache> cache;
+  std::optional<ThroughputCache> own_cache;
+  ThroughputCache* cache = nullptr;
   if (options.use_throughput_cache) {
-    cache.emplace(bounds.max_throughput);
+    if (options.shared_cache != nullptr) {
+      BUFFY_REQUIRE(options.binding.empty(),
+                    "shared_cache requires an unbound exploration: cached "
+                    "values are binding-free simulation outcomes");
+      BUFFY_REQUIRE(
+          options.shared_cache->max_throughput() == bounds.max_throughput,
+          "shared throughput cache was built for a different graph/target "
+          "(maximal throughput mismatch)");
+      cache = options.shared_cache;
+    } else {
+      own_cache.emplace(bounds.max_throughput, options.cache_capacity);
+      cache = &*own_cache;
+    }
     cache->add_max_witness(bounds.max_throughput_distribution.capacities());
   }
   std::optional<state::ThroughputSolverPool> solvers;
@@ -148,7 +161,7 @@ DseResult explore_incremental(const sdf::Graph& graph,
     std::vector<Evaluation> evals(batch.size());
     const auto evaluate = [&](std::size_t i) {
       if (options.cancel.cancelled()) return;  // skip: wave is being cut
-      if (cache.has_value()) {
+      if (cache != nullptr) {
         // An exact hit must carry recorded dependencies — children are
         // expanded from them. A max-dominance hit needs none: the maximal
         // throughput reaches the goal, so the fold stops before this
@@ -228,7 +241,7 @@ DseResult explore_incremental(const sdf::Graph& graph,
       } catch (const exec::Cancelled&) {
         return;  // mid-run cut: a partial state space proves nothing
       }
-      if (cache.has_value()) {
+      if (cache != nullptr) {
         CachedThroughput value;
         value.throughput = evals[i].run.throughput;
         value.deadlocked = evals[i].run.deadlocked;

@@ -24,8 +24,12 @@ std::size_t ThroughputCache::CapsHash::operator()(
   return static_cast<std::size_t>(hash_words(caps));
 }
 
-ThroughputCache::ThroughputCache(Rational max_throughput)
-    : max_throughput_(std::move(max_throughput)) {}
+ThroughputCache::ThroughputCache(Rational max_throughput, u64 capacity)
+    : max_throughput_(std::move(max_throughput)), capacity_(capacity) {
+  if (capacity_ > 0) {
+    per_stripe_cap_ = std::max<u64>(1, capacity_ / kStripes);
+  }
+}
 
 ThroughputCache::Stripe& ThroughputCache::stripe_of(
     const std::vector<i64>& caps) const {
@@ -38,9 +42,14 @@ std::optional<CachedThroughput> ThroughputCache::find(
   const std::lock_guard<std::mutex> lock(stripe.mu);
   const auto it = stripe.map.find(caps);
   if (it == stripe.map.end()) return std::nullopt;
-  if (require_deps && !it->second.has_deps) return std::nullopt;
+  if (require_deps && !it->second.value.has_deps) return std::nullopt;
+  if (capacity_ > 0) {
+    // A hit refreshes recency: splice the entry to the front of its
+    // stripe's LRU list (O(1), no allocation).
+    stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+  }
   exact_hits_.fetch_add(1, std::memory_order_relaxed);
-  return it->second;
+  return it->second.value;
 }
 
 std::optional<CachedThroughput> ThroughputCache::find_max_dominated(
@@ -77,7 +86,28 @@ void ThroughputCache::store(const std::vector<i64>& caps,
   {
     Stripe& stripe = stripe_of(caps);
     const std::lock_guard<std::mutex> lock(stripe.mu);
-    stripe.map.emplace(caps, value);
+    const auto [it, inserted] = stripe.map.emplace(caps, Entry{value, {}});
+    if (inserted) {
+      resident_.fetch_add(1, std::memory_order_relaxed);
+      if (capacity_ > 0) {
+        stripe.lru.push_front(&it->first);
+        it->second.lru_it = stripe.lru.begin();
+        if (stripe.map.size() > per_stripe_cap_) {
+          // Evict this stripe's least-recently-used entry. The key is
+          // copied before the erase so the lookup does not read through a
+          // reference into the node being destroyed.
+          const std::vector<i64> victim = *stripe.lru.back();
+          stripe.lru.pop_back();
+          stripe.map.erase(victim);
+          evictions_.fetch_add(1, std::memory_order_relaxed);
+          resident_.fetch_sub(1, std::memory_order_relaxed);
+        }
+      }
+    } else if (!it->second.value.has_deps && value.has_deps) {
+      // Upgrade: a dependency-carrying result supersedes a plain one (the
+      // incremental engine refuses dependency-free exact hits).
+      it->second.value = value;
+    }
   }
   stores_.fetch_add(1, std::memory_order_relaxed);
   if (value.deadlocked) {
@@ -121,7 +151,7 @@ bool ThroughputCache::corrupt_entry_for_test(const std::vector<i64>& caps,
   const std::lock_guard<std::mutex> lock(stripe.mu);
   const auto it = stripe.map.find(caps);
   if (it == stripe.map.end()) return false;
-  it->second.throughput = it->second.throughput + delta;
+  it->second.value.throughput = it->second.value.throughput + delta;
   return true;
 }
 

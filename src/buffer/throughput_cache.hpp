@@ -25,10 +25,20 @@
 // selected by capacity-vector hash, so parallel workers rarely contend.
 // The witness sets are small antichains (minimal max-throughput witnesses,
 // maximal deadlock witnesses) scanned linearly under their own lock.
+//
+// A cache may be bounded (a resident daemon must not grow without limit):
+// with a non-zero entry capacity, every stripe keeps an LRU list of its
+// exact entries and evicts its least-recently-used one when it exceeds its
+// share of the capacity. Eviction only ever forgets — an evicted candidate
+// is simply re-simulated on its next appearance — so a bounded cache keeps
+// every byte-identity guarantee of an unbounded one. The witness
+// antichains are already capped and are never evicted: Sec. 8 dominance
+// keeps answering even for distributions whose exact entries are gone.
 #pragma once
 
 #include <array>
 #include <atomic>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <unordered_map>
@@ -58,7 +68,12 @@ class ThroughputCache {
  public:
   /// `max_throughput` is the graph's maximal throughput for the explored
   /// target — the value a max-witness dominance hit reports.
-  explicit ThroughputCache(Rational max_throughput);
+  /// `capacity` bounds the number of resident exact entries (0 =
+  /// unbounded): each of the kStripes shards holds at most
+  /// max(1, capacity / kStripes) entries and evicts its least-recently-
+  /// used one on overflow, so the resident total is capacity rounded to
+  /// stripe granularity.
+  explicit ThroughputCache(Rational max_throughput, u64 capacity = 0);
 
   /// Exact lookup. With `require_deps`, only entries whose storage
   /// dependencies were recorded count as hits.
@@ -106,9 +121,24 @@ class ThroughputCache {
   [[nodiscard]] u64 entries_stored() const {
     return stores_.load(std::memory_order_relaxed);
   }
+  /// Exact entries evicted by the LRU bound (0 for unbounded caches).
+  [[nodiscard]] u64 entries_evicted() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Exact entries currently resident (stored minus evicted).
+  [[nodiscard]] u64 entries_resident() const {
+    return resident_.load(std::memory_order_relaxed);
+  }
+  /// The entry bound this cache was built with (0 = unbounded).
+  [[nodiscard]] u64 capacity() const { return capacity_; }
+
+  /// Number of map shards; with a bounded cache, each holds at most
+  /// max(1, capacity / kStripes) entries. Public so tests can construct
+  /// same-stripe key sets (stripe = hash_words(caps) % kStripes) and pin
+  /// the eviction order.
+  static constexpr std::size_t kStripes = 16;
 
  private:
-  static constexpr std::size_t kStripes = 16;
   // Witness antichains are capped so the linear dominance scan stays cheap
   // on pathological fronts; beyond the cap new witnesses are dropped
   // (pruning then just fires less often — never incorrectly).
@@ -117,15 +147,26 @@ class ThroughputCache {
   struct CapsHash {
     std::size_t operator()(const std::vector<i64>& caps) const noexcept;
   };
+  struct Entry {
+    CachedThroughput value;
+    /// Position in the stripe's LRU list (meaningful only when the cache
+    /// is bounded; front = most recently used).
+    std::list<const std::vector<i64>*>::iterator lru_it;
+  };
   struct Stripe {
     mutable std::mutex mu;
-    std::unordered_map<std::vector<i64>, CachedThroughput, CapsHash> map;
+    std::unordered_map<std::vector<i64>, Entry, CapsHash> map;
+    /// LRU order over the map's keys (pointers stay valid across rehash:
+    /// unordered_map nodes are stable). Maintained only when bounded.
+    std::list<const std::vector<i64>*> lru;
   };
 
   [[nodiscard]] Stripe& stripe_of(const std::vector<i64>& caps) const;
   void add_deadlock_witness(const std::vector<i64>& caps);
 
   Rational max_throughput_;
+  u64 capacity_ = 0;         // 0 = unbounded
+  u64 per_stripe_cap_ = 0;   // max(1, capacity_ / kStripes) when bounded
   mutable std::array<Stripe, kStripes> stripes_;
 
   mutable std::mutex witness_mu_;
@@ -135,6 +176,8 @@ class ThroughputCache {
   mutable std::atomic<u64> exact_hits_{0};
   mutable std::atomic<u64> dominance_hits_{0};
   std::atomic<u64> stores_{0};
+  std::atomic<u64> evictions_{0};
+  std::atomic<u64> resident_{0};
 };
 
 }  // namespace buffy::buffer

@@ -1,0 +1,95 @@
+#include "service/cache_registry.hpp"
+
+#include <algorithm>
+
+#include "base/diagnostics.hpp"
+#include "base/hash.hpp"
+#include "io/dsl.hpp"
+
+namespace buffy::service {
+
+u64 graph_fingerprint(const sdf::Graph& graph,
+                      const std::string& target_name) {
+  const std::string canonical = io::write_dsl(graph);
+  u64 h = kFnvOffset;
+  for (const char c : canonical) {
+    h = hash_step(h, static_cast<u64>(static_cast<unsigned char>(c)));
+  }
+  // A separator no DSL byte can be (words are hashed, not bytes), then
+  // the target: the same graph explored for two actors must not share
+  // warm state — their throughputs differ.
+  h = hash_step(h, 0x1F1F1F1F1F1F1F1FULL);
+  for (const char c : target_name) {
+    h = hash_step(h, static_cast<u64>(static_cast<unsigned char>(c)));
+  }
+  return mix64(h);
+}
+
+CacheRegistry::CacheRegistry(std::size_t max_graphs, u64 entries_per_graph)
+    : max_graphs_(std::max<std::size_t>(1, max_graphs)),
+      entries_per_graph_(entries_per_graph) {}
+
+CacheRegistry::Lease CacheRegistry::get_or_create(
+    u64 fingerprint, const Rational& max_throughput) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = slots_.find(fingerprint);
+  if (it != slots_.end()) {
+    if (it->second.cache->max_throughput() == max_throughput) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++warm_hits_;
+      return {it->second.cache, /*warm=*/true};
+    }
+    // Fingerprint collision between distinct graphs: replace rather than
+    // serve a cache whose values belong to another graph.
+    lru_.erase(it->second.lru_it);
+    slots_.erase(it);
+  }
+  lru_.push_front(fingerprint);
+  Slot slot{std::make_shared<buffer::ThroughputCache>(max_throughput,
+                                                      entries_per_graph_),
+            lru_.begin()};
+  auto cache = slot.cache;
+  slots_.emplace(fingerprint, std::move(slot));
+  if (slots_.size() > max_graphs_) {
+    const u64 victim = lru_.back();
+    lru_.pop_back();
+    slots_.erase(victim);
+    ++evictions_;
+  }
+  return {std::move(cache), /*warm=*/false};
+}
+
+bool CacheRegistry::contains(u64 fingerprint) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.count(fingerprint) > 0;
+}
+
+std::size_t CacheRegistry::resident() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+u64 CacheRegistry::warm_hits() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return warm_hits_;
+}
+
+u64 CacheRegistry::evictions() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+CacheRegistry::Totals CacheRegistry::totals() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Totals t;
+  for (const auto& [fp, slot] : slots_) {
+    t.exact_hits += slot.cache->exact_hits();
+    t.dominance_hits += slot.cache->dominance_hits();
+    t.entries_stored += slot.cache->entries_stored();
+    t.entries_resident += slot.cache->entries_resident();
+    t.entries_evicted += slot.cache->entries_evicted();
+  }
+  return t;
+}
+
+}  // namespace buffy::service

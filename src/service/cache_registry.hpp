@@ -1,0 +1,98 @@
+// Process-wide registry of warm throughput caches for the buffyd daemon.
+//
+// The throughput of a storage distribution is a pure function of (graph,
+// target actor, capacity vector), so a resident service can answer
+// repeated queries on the same graph from warm state: the registry maps a
+// stable fingerprint of (graph, target) to a shared ThroughputCache that
+// every request on that graph feeds and consults (DseOptions::
+// shared_cache). Entries within a cache are LRU-bounded (ThroughputCache
+// capacity) and the registry itself is LRU-bounded by graph fingerprint,
+// so a daemon serving an unbounded stream of distinct graphs cannot grow
+// without limit — the least-recently-queried graph's cache is dropped
+// first.
+//
+// Caches are handed out as shared_ptr: an eviction never invalidates a
+// cache an in-flight exploration still holds, it only stops future
+// requests from finding it.
+#pragma once
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "base/rational.hpp"
+#include "buffer/throughput_cache.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::service {
+
+/// Stable fingerprint of (graph, target actor): FNV-1a over the canonical
+/// DSL serialisation (io::write_dsl round-trips every semantic field:
+/// actor names, execution times, rates, initial tokens) combined with the
+/// target actor's name. Two graphs share a fingerprint exactly when their
+/// canonical forms are byte-identical.
+[[nodiscard]] u64 graph_fingerprint(const sdf::Graph& graph,
+                                    const std::string& target_name);
+
+/// LRU registry of shared throughput caches; see file comment.
+/// Thread-safe: all members may be called concurrently.
+class CacheRegistry {
+ public:
+  /// At most `max_graphs` resident caches (>= 1), each bounded to
+  /// `entries_per_graph` exact entries (0 = unbounded entries).
+  CacheRegistry(std::size_t max_graphs, u64 entries_per_graph);
+
+  struct Lease {
+    std::shared_ptr<buffer::ThroughputCache> cache;
+    /// True when the cache already existed — the request is served from
+    /// warm state (the status endpoint's cache_warm_hits counter).
+    bool warm = false;
+  };
+
+  /// Returns the cache for `fingerprint`, creating it (cold) with the
+  /// given maximal throughput when absent. A hit refreshes LRU recency.
+  /// If a resident cache's maximal throughput differs (fingerprint
+  /// collision between distinct graphs), it is replaced by a fresh cache
+  /// rather than poisoning results — correctness never depends on the
+  /// fingerprint being collision-free.
+  [[nodiscard]] Lease get_or_create(u64 fingerprint,
+                                    const Rational& max_throughput);
+
+  /// True when the fingerprint currently has a resident cache (test and
+  /// metrics hook; does not refresh recency).
+  [[nodiscard]] bool contains(u64 fingerprint) const;
+
+  [[nodiscard]] std::size_t resident() const;
+  [[nodiscard]] std::size_t max_graphs() const { return max_graphs_; }
+  [[nodiscard]] u64 warm_hits() const;
+  [[nodiscard]] u64 evictions() const;
+
+  /// Aggregated counters over the resident caches (status endpoint).
+  struct Totals {
+    u64 exact_hits = 0;
+    u64 dominance_hits = 0;
+    u64 entries_stored = 0;
+    u64 entries_resident = 0;
+    u64 entries_evicted = 0;
+  };
+  [[nodiscard]] Totals totals() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<buffer::ThroughputCache> cache;
+    std::list<u64>::iterator lru_it;
+  };
+
+  const std::size_t max_graphs_;
+  const u64 entries_per_graph_;
+  mutable std::mutex mu_;
+  std::list<u64> lru_;  // front = most recently used fingerprint
+  std::unordered_map<u64, Slot> slots_;
+  u64 warm_hits_ = 0;
+  u64 evictions_ = 0;
+};
+
+}  // namespace buffy::service

@@ -1,0 +1,513 @@
+// End-to-end tests for buffyd, the analysis service (DESIGN.md §10).
+//
+// Most tests run an in-process service::Server on an ephemeral loopback
+// port and speak the newline-delimited JSON protocol through real
+// sockets — concurrency, backpressure, deadlines, cancellation and the
+// drain barrier are exercised exactly as a remote client would see them.
+// One test forks the real buffyd binary and drives it over a Unix-domain
+// socket. The whole suite is TSan-clean; CI re-runs it under
+// ThreadSanitizer (the `service` job).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "analysis/max_throughput.hpp"
+#include "base/diagnostics.hpp"
+#include "buffer/dse.hpp"
+#include "io/dsl.hpp"
+#include "io/sdf_xml.hpp"
+#include "service/cache_registry.hpp"
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace buffy {
+namespace {
+
+// A small strongly-connected graph that analyses in microseconds.
+constexpr const char* kTinyDsl =
+    "graph tiny\n"
+    "actor a 1\n"
+    "actor b 2\n"
+    "channel ab a 1 b 1\n"
+    "channel ba b 1 a 1 tokens 2\n";
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+const std::string& h263_xml() {
+  static const std::string text =
+      slurp(std::string(EXAMPLE_GRAPHS_DIR) + "/h263.xml");
+  return text;
+}
+
+// The front explore_cli would print for h263 with default options — the
+// byte-identity reference for every service response.
+const std::string& h263_reference_front() {
+  static const std::string front = [] {
+    const sdf::Graph graph = io::read_sdf_xml(h263_xml());
+    buffer::DseOptions opts;
+    opts.target = sdf::ActorId(graph.num_actors() - 1);
+    return buffer::explore(graph, opts).pareto.str();
+  }();
+  return front;
+}
+
+// Minimal blocking line-oriented client over TCP loopback or a Unix
+// socket. A 120 s receive timeout turns a wedged server into a test
+// failure instead of a hung CI job.
+class Client {
+ public:
+  static Client tcp(int port) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+              0)
+        << std::strerror(errno);
+    return Client(fd);
+  }
+
+  // Retries while the daemon is still binding its socket.
+  static Client unix_socket(const std::string& path) {
+    for (int attempt = 0; attempt < 200; ++attempt) {
+      const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+      EXPECT_GE(fd, 0);
+      sockaddr_un addr{};
+      addr.sun_family = AF_UNIX;
+      std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+      if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+          0) {
+        return Client(fd);
+      }
+      ::close(fd);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    ADD_FAILURE() << "cannot connect to " << path;
+    return Client(-1);
+  }
+
+  Client(Client&& other) noexcept
+      : fd_(other.fd_), buf_(std::move(other.buf_)) {
+    other.fd_ = -1;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client& operator=(Client&&) = delete;
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  void send_line(const std::string& line) const {
+    const std::string framed = line + "\n";
+    std::size_t off = 0;
+    while (off < framed.size()) {
+      const ssize_t n =
+          ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      off += static_cast<std::size_t>(n);
+    }
+  }
+
+  // Empty string on orderly EOF.
+  std::string recv_line() {
+    for (;;) {
+      const std::size_t nl = buf_.find('\n');
+      if (nl != std::string::npos) {
+        std::string line = buf_.substr(0, nl);
+        buf_.erase(0, nl + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      EXPECT_GE(n, 0) << std::strerror(errno);
+      if (n <= 0) return std::string();
+      buf_.append(chunk, static_cast<std::size_t>(n));
+    }
+  }
+
+  // Sends a request and parses the single next response line.
+  service::JsonValue call(const std::string& request) {
+    send_line(request);
+    const std::string line = recv_line();
+    EXPECT_FALSE(line.empty()) << "connection closed instead of responding";
+    return service::JsonValue::parse(line.empty() ? "null" : line);
+  }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {
+    if (fd_ < 0) return;
+    timeval tv{};
+    tv.tv_sec = 120;
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  int fd_ = -1;
+  std::string buf_;
+};
+
+std::string explore_request(i64 id, const std::string& graph_text,
+                            const std::string& extra = "") {
+  return "{\"id\":" + std::to_string(id) +
+         ",\"method\":\"explore_pareto\",\"graph\":" +
+         service::json_quote(graph_text) + extra + "}";
+}
+
+// Response helpers: hard-fail on shape violations so broken responses
+// surface as one readable assertion instead of a null dereference.
+bool response_ok(const service::JsonValue& resp) {
+  const service::JsonValue* ok = resp.find("ok");
+  EXPECT_NE(ok, nullptr) << resp.dump();
+  return ok != nullptr && ok->as_bool();
+}
+
+std::string error_code(const service::JsonValue& resp) {
+  EXPECT_FALSE(response_ok(resp)) << resp.dump();
+  const service::JsonValue* err = resp.find("error");
+  EXPECT_NE(err, nullptr) << resp.dump();
+  if (err == nullptr) return std::string();
+  return err->find("code")->as_string();
+}
+
+const service::JsonValue& result_of(const service::JsonValue& resp) {
+  EXPECT_TRUE(response_ok(resp)) << resp.dump();
+  const service::JsonValue* result = resp.find("result");
+  EXPECT_NE(result, nullptr) << resp.dump();
+  static const service::JsonValue null_value;
+  return result != nullptr ? *result : null_value;
+}
+
+i64 response_id(const service::JsonValue& resp) {
+  const service::JsonValue* id = resp.find("id");
+  EXPECT_NE(id, nullptr) << resp.dump();
+  return id != nullptr ? id->as_int() : -1;
+}
+
+// ---------------------------------------------------------------------------
+// CacheRegistry: graph-level LRU, pinned eviction order.
+
+TEST(CacheRegistry, PinnedLruEvictionOrder) {
+  service::CacheRegistry registry(/*max_graphs=*/2, /*entries_per_graph=*/0);
+  const Rational tput(1, 3);
+
+  EXPECT_FALSE(registry.get_or_create(11, tput).warm);  // [11]
+  EXPECT_FALSE(registry.get_or_create(22, tput).warm);  // [22, 11]
+  EXPECT_TRUE(registry.get_or_create(11, tput).warm);   // [11, 22] refresh
+  // Capacity 2: inserting 33 must evict 22 — the least recently used —
+  // and NOT 11, which the refresh above moved to the front.
+  EXPECT_FALSE(registry.get_or_create(33, tput).warm);  // [33, 11]
+  EXPECT_TRUE(registry.contains(11));
+  EXPECT_FALSE(registry.contains(22));
+  EXPECT_TRUE(registry.contains(33));
+  // Re-inserting 22 now evicts 11 (33 is fresher).
+  EXPECT_FALSE(registry.get_or_create(22, tput).warm);  // [22, 33]
+  EXPECT_FALSE(registry.contains(11));
+  EXPECT_TRUE(registry.contains(33));
+
+  EXPECT_EQ(registry.resident(), 2u);
+  EXPECT_EQ(registry.warm_hits(), 1u);
+  EXPECT_EQ(registry.evictions(), 2u);
+}
+
+TEST(CacheRegistry, FingerprintCollisionReplacesInsteadOfPoisoning) {
+  service::CacheRegistry registry(/*max_graphs=*/4, /*entries_per_graph=*/0);
+  EXPECT_FALSE(registry.get_or_create(7, Rational(1, 3)).warm);
+  // Same fingerprint, different graph (different maximal throughput):
+  // the stale cache must be replaced, never returned warm.
+  const service::CacheRegistry::Lease lease =
+      registry.get_or_create(7, Rational(1, 5));
+  EXPECT_FALSE(lease.warm);
+  EXPECT_EQ(lease.cache->max_throughput(), Rational(1, 5));
+}
+
+TEST(CacheRegistry, DistinctGraphsGetDistinctFingerprints) {
+  const sdf::Graph tiny = io::read_dsl(kTinyDsl);
+  const sdf::Graph h263 = io::read_sdf_xml(h263_xml());
+  EXPECT_NE(service::graph_fingerprint(tiny, "b"),
+            service::graph_fingerprint(h263, "mc"));
+  EXPECT_NE(service::graph_fingerprint(tiny, "a"),
+            service::graph_fingerprint(tiny, "b"));
+}
+
+// ---------------------------------------------------------------------------
+// In-process server end-to-end.
+
+service::ServerOptions tcp_options() {
+  service::ServerOptions opts;
+  opts.tcp_port = 0;  // ephemeral
+  return opts;
+}
+
+// The acceptance bar: 8 concurrent clients explore h263 on one daemon,
+// every front is byte-identical to explore_cli's, and the status
+// counters prove the shared cache served warm state.
+TEST(Service, EightConcurrentClientsGetByteIdenticalFronts) {
+  service::Server server(tcp_options());
+  server.start();
+  const int port = server.tcp_port();
+
+  constexpr int kClients = 8;
+  std::vector<std::string> fronts(kClients);
+  // int, not bool: vector<bool> packs bits into shared words, which would
+  // be a data race across the client threads.
+  std::vector<int> ok(kClients, 0);
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(kClients);
+    for (int i = 0; i < kClients; ++i) {
+      clients.emplace_back([i, port, &fronts, &ok] {
+        Client client = Client::tcp(port);
+        const service::JsonValue resp =
+            client.call(explore_request(i, h263_xml()));
+        if (!response_ok(resp)) return;
+        fronts[static_cast<std::size_t>(i)] =
+            result_of(resp).find("front")->as_string();
+        ok[static_cast<std::size_t>(i)] = response_id(resp) == i;
+      });
+    }
+    for (std::thread& t : clients) t.join();
+  }
+  for (int i = 0; i < kClients; ++i) {
+    EXPECT_TRUE(ok[static_cast<std::size_t>(i)]) << "client " << i;
+    EXPECT_EQ(fronts[static_cast<std::size_t>(i)], h263_reference_front())
+        << "client " << i;
+  }
+
+  // All 8 leases target one fingerprint: exactly one creation, the other
+  // seven served from the warm shared cache.
+  Client status_client = Client::tcp(port);
+  const service::JsonValue status =
+      status_client.call("{\"method\":\"status\"}");
+  const service::JsonValue& cache = *result_of(status).find("cache");
+  EXPECT_GE(cache.find("warm_hits")->as_int(), 7);
+  EXPECT_EQ(cache.find("graphs_resident")->as_int(), 1);
+
+  server.shutdown();
+  server.wait();
+}
+
+TEST(Service, AnalyzeThroughputMatchesMcmReferenceAndSimulation) {
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  const sdf::Graph tiny = io::read_dsl(kTinyDsl);
+  const analysis::MaxThroughput reference = analysis::max_throughput(tiny);
+
+  // Maximal throughput (no capacities).
+  const service::JsonValue max_resp = client.call(
+      "{\"id\":1,\"method\":\"analyze_throughput\",\"graph\":" +
+      service::json_quote(kTinyDsl) + "}");
+  const service::JsonValue& max_result = result_of(max_resp);
+  EXPECT_EQ(max_result.find("throughput")->as_string(),
+            reference.actor_throughput(sdf::ActorId(1)).str());
+  EXPECT_FALSE(max_result.find("deadlock")->as_bool());
+
+  // Bounded simulation under an explicit distribution.
+  const service::JsonValue sim_resp = client.call(
+      "{\"id\":2,\"method\":\"analyze_throughput\",\"graph\":" +
+      service::json_quote(kTinyDsl) + ",\"capacities\":[1,2]}");
+  const service::JsonValue& sim_result = result_of(sim_resp);
+  EXPECT_FALSE(sim_result.find("deadlock")->as_bool());
+  EXPECT_FALSE(sim_result.find("throughput")->as_string().empty());
+
+  server.shutdown();
+  server.wait();
+}
+
+TEST(Service, MalformedInputsGetStructuredErrorCodes) {
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  EXPECT_EQ(error_code(client.call("this is not json")), "bad_request");
+  EXPECT_EQ(error_code(client.call("{\"method\":\"no_such_method\"}")),
+            "bad_request");
+  EXPECT_EQ(error_code(client.call(explore_request(1, "graph g\nactor ???"))),
+            "parse_error");
+  EXPECT_EQ(error_code(client.call(explore_request(
+                2, kTinyDsl, ",\"target\":\"no_such_actor\""))),
+            "graph_error");
+
+  server.shutdown();
+  server.wait();
+}
+
+TEST(Service, DeadlineExpiredRequestsReturnDeadlineExceeded) {
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  // h263 needs far more than 1 ms; the partial front is discarded and
+  // the documented code comes back.
+  const service::JsonValue resp =
+      client.call(explore_request(5, h263_xml(), ",\"deadline_ms\":1"));
+  EXPECT_EQ(response_id(resp), 5);
+  EXPECT_EQ(error_code(resp), "deadline_exceeded");
+
+  server.shutdown();
+  server.wait();
+}
+
+TEST(Service, CancelledRequestsReturnCancelled) {
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  client.send_line(explore_request(7, h263_xml()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  client.send_line("{\"id\":8,\"method\":\"cancel\",\"target_id\":7}");
+
+  // Responses correlate by id; the cancel ack may overtake the abort.
+  std::map<i64, service::JsonValue> responses;
+  for (int i = 0; i < 2; ++i) {
+    const std::string line = client.recv_line();
+    ASSERT_FALSE(line.empty());
+    service::JsonValue resp = service::JsonValue::parse(line);
+    responses.emplace(response_id(resp), std::move(resp));
+  }
+  ASSERT_TRUE(responses.count(7) == 1 && responses.count(8) == 1);
+  EXPECT_EQ(error_code(responses.at(7)), "cancelled");
+  EXPECT_TRUE(result_of(responses.at(8)).find("cancelled")->as_bool());
+
+  server.shutdown();
+  server.wait();
+}
+
+TEST(Service, OverloadedWhenTheQueueIsFull) {
+  service::ServerOptions opts = tcp_options();
+  opts.threads = 1;
+  opts.queue_capacity = 1;
+  service::Server server(opts);
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  // Occupy the single job slot, then overflow it. Backpressure is an
+  // explicit error, never a silent drop.
+  client.send_line(explore_request(1, h263_xml()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  const service::JsonValue overflow =
+      client.call(explore_request(2, kTinyDsl));
+  EXPECT_EQ(response_id(overflow), 2);
+  EXPECT_EQ(error_code(overflow), "overloaded");
+
+  // Unblock the slot and let the drain finish the in-flight job.
+  client.send_line("{\"id\":3,\"method\":\"cancel\",\"target_id\":1}");
+  server.shutdown();
+  server.wait();
+}
+
+TEST(Service, ShutdownDrainsInFlightAndRejectsQueued) {
+  service::ServerOptions opts = tcp_options();
+  opts.threads = 1;  // forces the second job to queue behind the first
+  service::Server server(opts);
+  server.start();
+  const int port = server.tcp_port();
+
+  Client worker = Client::tcp(port);
+  worker.send_line(explore_request(1, h263_xml()));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  worker.send_line(explore_request(2, kTinyDsl));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  // The shutdown response is the drain barrier: when it arrives, the
+  // in-flight exploration has completed and delivered its response, and
+  // the queued one has been rejected.
+  Client admin = Client::tcp(port);
+  const service::JsonValue drained =
+      admin.call("{\"id\":9,\"method\":\"shutdown\"}");
+  EXPECT_TRUE(result_of(drained).find("drained")->as_bool());
+
+  std::map<i64, service::JsonValue> responses;
+  for (int i = 0; i < 2; ++i) {
+    const std::string line = worker.recv_line();
+    ASSERT_FALSE(line.empty());
+    service::JsonValue resp = service::JsonValue::parse(line);
+    responses.emplace(response_id(resp), std::move(resp));
+  }
+  ASSERT_TRUE(responses.count(1) == 1 && responses.count(2) == 1);
+  EXPECT_EQ(result_of(responses.at(1)).find("front")->as_string(),
+            h263_reference_front());
+  EXPECT_EQ(error_code(responses.at(2)), "shutting_down");
+
+  server.wait();
+}
+
+TEST(Service, IdleConnectionsCloseWhenTheDrainCompletes) {
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+  // A round-trip guarantees the accept loop has handed the connection to
+  // a reader thread (a connect() alone may still sit in the backlog,
+  // where closing the listener resets it).
+  EXPECT_TRUE(response_ok(client.call("{\"method\":\"status\"}")));
+
+  // With no jobs in flight the drain completes immediately and the
+  // reader side of every open connection is torn down: the client sees
+  // an orderly EOF, not a wedged socket.
+  server.shutdown();
+  server.wait();
+  EXPECT_TRUE(client.recv_line().empty());
+}
+
+// ---------------------------------------------------------------------------
+// The real binary, over a Unix-domain socket.
+
+TEST(Service, BuffydBinaryServesAndDrainsCleanly) {
+  const std::string dir = ::testing::TempDir();
+  const std::string socket_path = dir + "/buffyd_e2e.sock";
+  ::unlink(socket_path.c_str());
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::execl(BUFFYD_PATH, BUFFYD_PATH, "--socket", socket_path.c_str(),
+            "--threads", "2", static_cast<char*>(nullptr));
+    _exit(127);  // exec failed
+  }
+
+  {
+    Client client = Client::unix_socket(socket_path);
+    const service::JsonValue resp =
+        client.call(explore_request(1, kTinyDsl));
+    const sdf::Graph tiny = io::read_dsl(kTinyDsl);
+    buffer::DseOptions opts;
+    opts.target = sdf::ActorId(tiny.num_actors() - 1);
+    EXPECT_EQ(result_of(resp).find("front")->as_string(),
+              buffer::explore(tiny, opts).pareto.str());
+
+    const service::JsonValue drained =
+        client.call("{\"id\":2,\"method\":\"shutdown\"}");
+    EXPECT_TRUE(result_of(drained).find("drained")->as_bool());
+  }
+
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFEXITED(status)) << "buffyd did not exit cleanly";
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+}  // namespace
+}  // namespace buffy

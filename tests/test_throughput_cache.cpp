@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "base/hash.hpp"
+
 namespace buffy::buffer {
 namespace {
 
@@ -129,6 +131,125 @@ TEST(ThroughputCache, IncomparableWitnessesCoexist) {
   EXPECT_TRUE(cache.find_max_dominated({6, 3}).has_value());
   EXPECT_TRUE(cache.find_max_dominated({3, 6}).has_value());
   EXPECT_FALSE(cache.find_max_dominated({5, 5}).has_value());
+}
+
+
+// ---------------------------------------------------------------------------
+// Bounded (LRU) mode. Eviction is stripe-granular: a cache of capacity C
+// gives each of the kStripes stripes max(1, C / kStripes) entries and
+// evicts that stripe's least-recently-used entry on overflow. The tests
+// construct keys that land in one stripe (same hash_words residue) so the
+// eviction order is fully pinned.
+
+// First `n` keys of the form {base, v} that land in the stripe of `ref`.
+std::vector<std::vector<i64>> same_stripe_keys(const std::vector<i64>& ref,
+                                               std::size_t n) {
+  const std::size_t stripe =
+      static_cast<std::size_t>(hash_words(ref)) % ThroughputCache::kStripes;
+  std::vector<std::vector<i64>> keys;
+  for (i64 v = 1; keys.size() < n && v < 100'000; ++v) {
+    const std::vector<i64> key = {ref[0], v};
+    if (static_cast<std::size_t>(hash_words(key)) %
+            ThroughputCache::kStripes ==
+        stripe) {
+      keys.push_back(key);
+    }
+  }
+  EXPECT_EQ(keys.size(), n);
+  return keys;
+}
+
+TEST(ThroughputCacheLru, UnboundedCacheNeverEvicts) {
+  ThroughputCache cache(kMax);  // capacity 0 = unbounded
+  for (i64 v = 1; v <= 200; ++v) {
+    cache.store({v, v}, periodic(Rational(1, 7)));
+  }
+  EXPECT_EQ(cache.capacity(), 0u);
+  EXPECT_EQ(cache.entries_evicted(), 0u);
+  EXPECT_EQ(cache.entries_resident(), 200u);
+  EXPECT_TRUE(cache.find({1, 1}, false).has_value());
+}
+
+TEST(ThroughputCacheLru, OverflowEvictsTheOldestEntryOfTheStripe) {
+  // Capacity 16 over 16 stripes = 1 entry per stripe: a second store in
+  // the same stripe must evict the first.
+  ThroughputCache cache(kMax, /*capacity=*/ThroughputCache::kStripes);
+  const auto keys = same_stripe_keys({3, 1}, 2);
+  cache.store(keys[0], periodic(Rational(1, 7)));
+  cache.store(keys[1], periodic(Rational(1, 6)));
+
+  EXPECT_EQ(cache.entries_evicted(), 1u);
+  EXPECT_EQ(cache.entries_resident(), 1u);
+  EXPECT_FALSE(cache.find(keys[0], false).has_value());
+  ASSERT_TRUE(cache.find(keys[1], false).has_value());
+  EXPECT_EQ(cache.find(keys[1], false)->throughput, Rational(1, 6));
+}
+
+TEST(ThroughputCacheLru, FindRefreshesRecencySoEvictionIsLruNotFifo) {
+  // 2 entries per stripe. Store k0, k1, touch k0, store k2: FIFO would
+  // evict k0 (the oldest insertion); LRU must evict k1.
+  ThroughputCache cache(kMax, /*capacity=*/2 * ThroughputCache::kStripes);
+  const auto keys = same_stripe_keys({3, 1}, 3);
+  cache.store(keys[0], periodic(Rational(1, 7)));
+  cache.store(keys[1], periodic(Rational(1, 6)));
+  ASSERT_TRUE(cache.find(keys[0], false).has_value());  // refresh k0
+  cache.store(keys[2], periodic(Rational(1, 5)));
+
+  EXPECT_EQ(cache.entries_evicted(), 1u);
+  EXPECT_TRUE(cache.find(keys[0], false).has_value());
+  EXPECT_FALSE(cache.find(keys[1], false).has_value());
+  EXPECT_TRUE(cache.find(keys[2], false).has_value());
+}
+
+TEST(ThroughputCacheLru, PinnedEvictionOrderOverASequenceOfStores) {
+  // Regression pin for the full eviction order: with 1 entry per stripe
+  // and five same-stripe stores, exactly the last key survives and the
+  // eviction count tracks every displaced predecessor.
+  ThroughputCache cache(kMax, /*capacity=*/ThroughputCache::kStripes);
+  const auto keys = same_stripe_keys({5, 1}, 5);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    cache.store(keys[i], periodic(Rational(1, static_cast<i64>(i) + 3)));
+    EXPECT_EQ(cache.entries_evicted(), i == 0 ? 0u : i);
+    EXPECT_EQ(cache.entries_resident(), 1u);
+    for (std::size_t j = 0; j < keys.size(); ++j) {
+      EXPECT_EQ(cache.find(keys[j], false).has_value(), j == i)
+          << "after store " << i << ", key " << j;
+    }
+  }
+  EXPECT_EQ(cache.entries_stored(), 5u);
+}
+
+TEST(ThroughputCacheLru, DuplicateStoreDoesNotEvict) {
+  ThroughputCache cache(kMax, /*capacity=*/ThroughputCache::kStripes);
+  const auto keys = same_stripe_keys({7, 1}, 1);
+  cache.store(keys[0], periodic(Rational(1, 7)));
+  cache.store(keys[0], periodic(Rational(1, 7)));  // duplicate: no insert
+  EXPECT_EQ(cache.entries_evicted(), 0u);
+  EXPECT_EQ(cache.entries_resident(), 1u);
+
+  // Upgrading an entry with a deps-carrying value replaces in place, too.
+  CachedThroughput with_deps = periodic(Rational(1, 7));
+  with_deps.has_deps = true;
+  with_deps.storage_deps = {sdf::ChannelId(0)};
+  cache.store(keys[0], with_deps);
+  EXPECT_EQ(cache.entries_evicted(), 0u);
+  EXPECT_EQ(cache.entries_resident(), 1u);
+  EXPECT_TRUE(cache.find(keys[0], /*require_deps=*/true).has_value());
+}
+
+TEST(ThroughputCacheLru, DominanceWitnessesSurviveEviction) {
+  // Witness antichains are not entries: cycling the exact entries out
+  // must not forget that {6, 4} attains the maximum. Eviction only ever
+  // costs re-simulation, never dominance answers.
+  ThroughputCache cache(kMax, /*capacity=*/ThroughputCache::kStripes);
+  cache.add_max_witness({6, 4});
+  cache.store({1, 1}, deadlock());
+  for (i64 v = 1; v <= 64; ++v) {
+    cache.store({v, v + 1}, periodic(Rational(1, 7)));
+  }
+  EXPECT_GT(cache.entries_evicted(), 0u);
+  EXPECT_TRUE(cache.find_max_dominated({7, 5}).has_value());
+  EXPECT_TRUE(cache.find_deadlock_dominated({1, 1}).has_value());
 }
 
 }  // namespace
