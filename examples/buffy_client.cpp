@@ -18,6 +18,8 @@
 // Options:
 //   --target <actor>       target actor (default: the graph's last)
 //   --engine <inc|exh>     exploration engine
+//   --quality <fast|exact> fast = the LP-only sound approximate front,
+//                          exact = full engine exploration (default)
 //   --levels <n>           quantise to n throughput levels
 //   --max-size <n>         explore distributions up to this size only
 //   --goal <rational>      stop once this throughput is reached
@@ -58,7 +60,8 @@ void usage(std::FILE* out) {
       out,
       "usage: buffy_client (--socket PATH | --port N) COMMAND [options]\n"
       "commands: explore GRAPH | analyze GRAPH | status | shutdown\n"
-      "options:  [--target ACTOR] [--engine inc|exh] [--levels N]\n"
+      "options:  [--target ACTOR] [--engine inc|exh] [--quality fast|exact]\n"
+      "          [--levels N]\n"
       "          [--max-size N] [--goal R] [--min-tput R] [--caps a,b,c]\n"
       "          [--no-cache] [--deadline-ms N] [--id N] [--json]\n");
 }
@@ -70,6 +73,7 @@ struct CliArgs {
   std::string graph_path;
   std::string target;
   std::optional<std::string> engine;
+  std::optional<std::string> quality;
   std::optional<i64> levels;
   std::optional<i64> max_size;
   std::optional<std::string> goal;
@@ -97,6 +101,8 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       args.target = value();
     } else if (arg == "--engine") {
       args.engine = value();
+    } else if (arg == "--quality") {
+      args.quality = value();
     } else if (arg == "--levels") {
       args.levels = parse_i64(value());
     } else if (arg == "--max-size") {
@@ -227,6 +233,9 @@ JsonValue build_request(const CliArgs& args) {
   }
   if (args.engine.has_value()) {
     req.set("engine", JsonValue::string(*args.engine));
+  }
+  if (args.quality.has_value()) {
+    req.set("quality", JsonValue::string(*args.quality));
   }
   if (args.levels.has_value()) {
     req.set("levels", JsonValue::integer(*args.levels));

@@ -11,6 +11,10 @@
 // Options:
 //   --target <actor>      actor whose throughput is explored (default: last)
 //   --engine <inc|exh>    exploration engine (default: inc)
+//   --quality <fast|exact> exact (default) runs the full engine; fast
+//                         answers from the LP layer alone — every printed
+//                         point is sound (its distribution provably reaches
+//                         at least the printed throughput) but approximate
 //   --levels <n>          quantise to n throughput levels
 //   --max-size <n>        explore distributions up to this size only
 //   --goal <rational>     stop once this throughput is reached (e.g. 1/4)
@@ -51,6 +55,7 @@
 #include "base/diagnostics.hpp"
 #include "base/string_util.hpp"
 #include "buffer/dse.hpp"
+#include "buffer/fast_front.hpp"
 #include "trace/chrome.hpp"
 #include "trace/trace.hpp"
 #include "codegen/codegen.hpp"
@@ -72,6 +77,7 @@ void usage(std::FILE* out) {
       out,
       "usage: explore_cli <graph.{xml,sdf}> [--target ACTOR] "
       "[--engine inc|exh]\n"
+      "                   [--quality fast|exact]\n"
       "                   [--levels N] [--max-size N] [--goal R] "
       "[--min-tput R]\n"
       "                   [--threads N] [--deadline-ms N] [--no-cache] "
@@ -86,6 +92,7 @@ struct CliArgs {
   std::string graph_path;
   std::string target;
   std::optional<std::string> engine;
+  std::optional<std::string> quality;
   std::optional<i64> levels;
   std::optional<i64> max_size;
   std::optional<Rational> goal;
@@ -121,6 +128,11 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       args.engine = value();
       if (*args.engine != "inc" && *args.engine != "exh") {
         throw ParseError("unknown engine '" + *args.engine + "'");
+      }
+    } else if (arg == "--quality") {
+      args.quality = value();
+      if (*args.quality != "fast" && *args.quality != "exact") {
+        throw ParseError("unknown quality '" + *args.quality + "'");
       }
     } else if (arg == "--levels") {
       args.levels = parse_i64(value());
@@ -160,6 +172,29 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     } else {
       std::fprintf(stderr, "error: unknown option '%s'\n", arg.c_str());
       usage(stderr);
+      return std::nullopt;
+    }
+  }
+  if (args.quality == std::optional<std::string>("fast")) {
+    // The fast tier answers from the LP layer alone; options steering the
+    // engine exploration are rejected loudly instead of silently ignored.
+    const char* unsupported = nullptr;
+    if (args.engine.has_value()) unsupported = "--engine";
+    if (args.goal.has_value()) unsupported = "--goal";
+    if (args.min_tput.has_value()) unsupported = "--min-tput";
+    if (args.threads.has_value()) unsupported = "--threads";
+    if (args.deadline_ms.has_value()) unsupported = "--deadline-ms";
+    if (args.no_cache) unsupported = "--no-cache";
+    if (args.cache_cap.has_value()) unsupported = "--cache-cap";
+    if (args.stats) unsupported = "--stats";
+    if (args.schedule) unsupported = "--schedule";
+    if (!args.codegen_path.empty()) unsupported = "--codegen";
+    if (args.audit) unsupported = "--audit";
+    if (args.csdf) unsupported = "--csdf";
+    if (unsupported != nullptr) {
+      std::fprintf(stderr,
+                   "error: %s is not supported with --quality fast\n",
+                   unsupported);
       return std::nullopt;
     }
   }
@@ -218,6 +253,53 @@ int explore_csdf(const CliArgs& args) {
   return 0;
 }
 
+// Fast tier (--quality fast): the LP-only front of buffer/fast_front —
+// sound, approximate, no per-candidate simulation (DESIGN.md §13).
+int explore_fast(const CliArgs& args, const sdf::Graph& graph,
+                 sdf::ActorId target) {
+  std::optional<trace::Collector> collector;
+  if (!args.trace_path.empty()) {
+    collector.emplace();
+    trace::attach(&*collector);
+  }
+  const buffer::FastFrontResult result =
+      buffer::fast_front(graph, target, args.levels.value_or(8));
+  if (collector.has_value()) {
+    trace::attach(nullptr);
+    std::ofstream out(args.trace_path, std::ios::binary);
+    if (!out) throw Error("cannot open trace file '" + args.trace_path + "'");
+    trace::write_chrome_trace(collector->merged(), out);
+  }
+  if (result.bounds.deadlock) {
+    std::printf("the graph deadlocks under every storage distribution\n");
+    return 1;
+  }
+  std::printf("bounds: lb = %lld tokens, ub = %lld tokens, maximal "
+              "throughput = %s\n",
+              static_cast<long long>(result.bounds.lb_size),
+              static_cast<long long>(result.bounds.ub_size),
+              result.bounds.max_throughput.str().c_str());
+  std::printf("fast front: %llu LP solves, %llu pivots, %llu cycle cuts, "
+              "%.3f s\n",
+              static_cast<unsigned long long>(result.lp_solves),
+              static_cast<unsigned long long>(result.lp_pivots),
+              static_cast<unsigned long long>(result.lp_cuts), result.seconds);
+  std::printf("every point is sound (its distribution reaches at least the "
+              "printed throughput); rerun with --quality exact for the "
+              "minimal front\n");
+  std::printf("\nPareto points:\n%s", result.pareto.str().c_str());
+  if (collector.has_value()) {
+    std::printf("\nwrote %s (%llu trace events)\n", args.trace_path.c_str(),
+                static_cast<unsigned long long>(collector->event_count()));
+  }
+  if (!args.dot_path.empty() && !result.pareto.empty()) {
+    std::ofstream out(args.dot_path);
+    out << io::write_dot(graph, result.pareto.points().back().distribution);
+    std::printf("\nwrote %s\n", args.dot_path.c_str());
+  }
+  return 0;
+}
+
 sdf::Graph load(const std::string& path) {
   if (path.size() >= 4 && path.substr(path.size() - 4) == ".xml") {
     return io::load_sdf_xml_file(path);
@@ -254,6 +336,14 @@ int main(int argc, char** argv) {
       const auto id = graph.find_actor(args->target);
       if (!id) throw Error("no actor named '" + args->target + "'");
       opts.target = *id;
+    }
+    if (args->quality == std::optional<std::string>("fast")) {
+      std::printf("graph '%s': %zu actors, %zu channels; target actor "
+                  "'%s'\n",
+                  graph.name().c_str(), graph.num_actors(),
+                  graph.num_channels(),
+                  graph.actor(opts.target).name.c_str());
+      return explore_fast(*args, graph, opts.target);
     }
     if (args->engine == "exh") opts.engine = buffer::DseEngine::Exhaustive;
     opts.quantization_levels = args->levels;

@@ -43,6 +43,23 @@ void audit_check_cached_throughput(const sdf::Graph& graph,
   }
 }
 
+void audit_check_lp_bound(const sdf::Graph& graph,
+                          const lp::ThroughputCuts& cuts,
+                          const std::vector<i64>& caps,
+                          const Rational& simulated, bool deadlocked) {
+  audit::note_check();
+  if (deadlocked) return;  // throughput 0 satisfies every non-negative bound
+  const std::optional<Rational> bound = cuts.upper_bound(caps);
+  if (bound.has_value() && *bound < simulated) {
+    audit::fail(
+        "lp-bound-vs-simulation",
+        "distribution " + caps_str(caps) + " of graph '" + graph.name() +
+            "': LP cycle-cut upper bound " + bound->str() +
+            " < simulated throughput " + simulated.str() +
+            "; an unsound bound would prune reachable Pareto points");
+  }
+}
+
 void audit_verify_monotone_front(const ParetoSet& front) {
   const std::vector<ParetoPoint>& points = front.points();
   for (std::size_t i = 0; i + 1 < points.size(); ++i) {

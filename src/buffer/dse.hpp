@@ -103,6 +103,15 @@ struct DseOptions {
   /// to force every candidate through a full state-space run.
   bool use_throughput_cache = true;
 
+  /// Derive LP cycle-cut throughput bounds (src/lp/, DESIGN.md §13) and
+  /// use them to answer candidates and subtree envelopes that provably
+  /// cannot beat the running incumbent, skipping their simulations. The
+  /// cut bound dominates the simulated throughput, so every LP answer
+  /// agrees with the simulation it replaces and the Pareto front is
+  /// byte-identical with the bounds on or off. The incremental engine
+  /// additionally warm-starts its frontier from the LP necessary floors.
+  bool use_lp_bounds = true;
+
   /// Entry bound for the throughput cache (0 = unbounded): beyond it the
   /// cache evicts least-recently-used exact entries (stripe-granular LRU,
   /// see ThroughputCache). Eviction only forgets — evicted candidates are
@@ -172,6 +181,13 @@ struct DseResult {
   u64 cache_hits = 0;
   /// Candidates answered by Sec. 8 dominance without simulation.
   u64 dominance_skips = 0;
+  /// Exhaustive engine: candidates or subtree envelopes answered by an LP
+  /// cycle-cut bound without simulation. Incremental engine: tokens the LP
+  /// necessary floors added to the warm-start point (candidates below it
+  /// can only deadlock). 0 when use_lp_bounds is off or no cut applies.
+  u64 lp_prunes = 0;
+  /// LP cycle cuts derived for the exploration.
+  u64 lp_cuts = 0;
   /// Wall-clock seconds spent exploring.
   double seconds = 0.0;
 };

@@ -8,10 +8,12 @@
 #include "base/audit.hpp"
 #include "base/diagnostics.hpp"
 #include "base/hash.hpp"
+#include "analysis/repetition_vector.hpp"
 #include "buffer/audit_checks.hpp"
 #include "buffer/throughput_cache.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
+#include "lp/sdf_model.hpp"
 #include "state/throughput.hpp"
 #include "trace/trace.hpp"
 
@@ -38,8 +40,14 @@ struct Sweep {
   std::atomic<u64> simulations{0};
   std::atomic<u64> cache_hits{0};
   std::atomic<u64> dominance_skips{0};
+  std::atomic<u64> lp_prunes{0};
   exec::ThreadPool* pool = nullptr;      // null = sequential
   ThroughputCache* cache = nullptr;      // null = cache disabled
+  // LP cycle cuts (null = LP bounds disabled). A candidate or envelope
+  // whose cut bound cannot strictly beat the incumbent is answered without
+  // simulating; the visitor updates only on strict improvement, so the
+  // front stays byte-identical to the unpruned scan.
+  const lp::ThroughputCuts* cuts = nullptr;
   // null = fresh engine per run (options.reuse_engines == false).
   state::ThroughputSolverPool* solvers = nullptr;
 
@@ -99,6 +107,14 @@ struct Sweep {
             : state::compute_throughput(
                   graph, state::Capacities::bounded(caps), run_opts);
     simulations.fetch_add(1, std::memory_order_relaxed);
+    // The same deterministic sample cross-checks the LP cycle-cut bound
+    // against the fresh simulation (DESIGN.md §9, §13): a bound below
+    // reality would have let lp_rules_out discard a reachable point.
+    if (cuts != nullptr && audit::enabled() &&
+        audit::sample(hash_words(caps))) {
+      audit_check_lp_bound(graph, *cuts, caps, run.throughput,
+                           run.deadlocked);
+    }
     u64 seen = max_states.load(std::memory_order_relaxed);
     while (run.states_stored > seen &&
            !max_states.compare_exchange_weak(seen, run.states_stored,
@@ -116,6 +132,32 @@ struct Sweep {
     if (options.progress != nullptr) options.progress->add_points(1);
     return run.throughput;
   }
+
+  // Books one LP-answered skip (a leaf candidate or an envelope probe that
+  // never had to simulate). `size` is the candidate's distribution size.
+  void note_lp_prune(i64 size) {
+    lp_prunes.fetch_add(1, std::memory_order_relaxed);
+    if (trace::enabled()) {
+      trace::emit_instant(trace::EventKind::LpPrune, size);
+    }
+    if (options.progress != nullptr) {
+      options.progress->add_lp_prunes(1);
+      options.progress->add_sims_avoided(1);
+    }
+  }
+
+  // True when the cut bound proves no completion at `caps` can strictly
+  // beat `incumbent` (or reach it, when `strict`).
+  [[nodiscard]] bool lp_rules_out(const std::vector<i64>& caps,
+                                  const Rational& incumbent, bool strict,
+                                  i64 size) {
+    if (cuts == nullptr ||
+        !cuts->bounds_below(caps, incumbent, strict)) {
+      return false;
+    }
+    note_lp_prune(size);
+    return true;
+  }
 };
 
 /// Maximal throughput over all distributions of exactly the given size
@@ -131,31 +173,54 @@ struct SizeOutcome {
 // completion is componentwise <= this vector, so by Sec. 8 monotonicity
 // its throughput bounds every completion's from above — the engine of
 // the branch-and-bound cuts below.
-Rational envelope_throughput(Sweep& sweep, state::ThroughputSolver* solver,
-                             const std::vector<i64>& caps, std::size_t channel,
-                             i64 remaining) {
+std::vector<i64> envelope_caps(const Sweep& sweep, const std::vector<i64>& caps,
+                               std::size_t channel, i64 remaining) {
   const std::size_t m = sweep.lb.size();
   std::vector<i64> env(caps.begin(), caps.end());
   const i64 open_floor = sweep.lb_suffix[channel];
   for (std::size_t c = channel; c < m; ++c) {
     env[c] = std::min(sweep.ub[c], remaining - (open_floor - sweep.lb[c]));
   }
+  return env;
+}
+
+Rational envelope_throughput(Sweep& sweep, state::ThroughputSolver* solver,
+                             const std::vector<i64>& env) {
   return quantize_down(sweep.throughput_of(env, solver),
                        sweep.options.quantization);
+}
+
+// Shared subtree cut: LP cuts first (no simulation), envelope probe
+// second. The LP bound dominates the envelope's exact throughput, so an
+// LP-answered prune cuts exactly subtrees the probe would also have cut —
+// the traversal (and therefore the front) is unchanged, only cheaper.
+template <typename Incumbent>
+bool subtree_pruned(Sweep& sweep, state::ThroughputSolver* solver,
+                    const std::vector<i64>& caps, std::size_t channel,
+                    i64 remaining, const Incumbent& incumbent, bool strict) {
+  const std::vector<i64> env = envelope_caps(sweep, caps, channel, remaining);
+  i64 env_size = 0;
+  for (const i64 c : env) env_size += c;
+  if (sweep.lp_rules_out(env, incumbent, strict, env_size)) return true;
+  const Rational tput = envelope_throughput(sweep, solver, env);
+  return strict ? tput < incumbent : tput <= incumbent;
 }
 
 // Visits every distribution of the requested total inside the box, in
 // lexicographic capacity order; the visitor returns false to abort the
 // sweep. `prune(caps, channel, remaining)` may return true to skip a
-// whole subtree (it must only do so when no completion can change the
-// outcome). `caps[0..channel)` must already hold the fixed prefix.
-template <typename Visitor, typename Pruner>
+// whole subtree; `skip_leaf(caps)` may return true to answer a single
+// candidate without simulating it. Either may only fire when no skipped
+// candidate can change the outcome. `caps[0..channel)` must already hold
+// the fixed prefix.
+template <typename Visitor, typename Pruner, typename SkipLeaf>
 bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
                std::vector<i64>& caps, std::size_t channel, i64 remaining,
-               Visitor&& visit, Pruner&& prune) {
+               Visitor&& visit, Pruner&& prune, SkipLeaf&& skip_leaf) {
   const std::size_t m = sweep.lb.size();
   if (channel == m) {
     BUFFY_ASSERT(remaining == 0, "enumeration budget mismatch");
+    if (skip_leaf(caps)) return true;
     const Rational tput = quantize_down(sweep.throughput_of(caps, solver),
                                         sweep.options.quantization);
     return visit(caps, tput);
@@ -179,7 +244,7 @@ bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
   for (i64 cap = lo; cap <= hi; ++cap) {
     caps[channel] = cap;
     if (!enumerate(sweep, solver, caps, channel + 1, remaining - cap, visit,
-                   prune)) {
+                   prune, skip_leaf)) {
       return false;
     }
   }
@@ -211,8 +276,15 @@ SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size,
       [&](const std::vector<i64>& prefix, std::size_t channel, i64 remaining,
           state::ThroughputSolver* solver) {
         return best.witness.num_channels() != 0 &&
-               envelope_throughput(sweep, solver, prefix, channel,
-                                   remaining) <= best.throughput;
+               subtree_pruned(sweep, solver, prefix, channel, remaining,
+                              best.throughput, /*strict=*/false);
+      },
+      // LP leaf cut: a candidate whose cut bound cannot strictly beat the
+      // incumbent would never have updated `best` — skip its simulation.
+      [&](const std::vector<i64>& candidate) {
+        return best.witness.num_channels() != 0 &&
+               sweep.lp_rules_out(candidate, best.throughput,
+                                  /*strict=*/false, size);
       });
   return best;
 }
@@ -283,6 +355,20 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
         state::PooledSolver lease(sweep.solvers);
         std::vector<i64> caps(sweep.lb.size(), 0);
         std::copy(shard.prefix.begin(), shard.prefix.end(), caps.begin());
+        // The shard's cut incumbent: max(local best, seed floor), or
+        // nothing before the first candidate of an unseeded shard.
+        const auto shard_floor = [&](Rational& floor) {
+          bool have = false;
+          if (out.any) {
+            floor = out.best;
+            have = true;
+          }
+          if (seeded && (!have || seed.throughput > floor)) {
+            floor = seed.throughput;
+            have = true;
+          }
+          return have;
+        };
         enumerate(
             sweep, lease.get(), caps, shard.prefix.size(), shard.remaining,
             [&](const std::vector<i64>& found, const Rational& tput) {
@@ -297,18 +383,15 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
             [&](const std::vector<i64>& prefix, std::size_t channel,
                 i64 remaining, state::ThroughputSolver* solver) {
               Rational floor;
-              bool have_floor = false;
-              if (out.any) {
-                floor = out.best;
-                have_floor = true;
-              }
-              if (seeded && (!have_floor || seed.throughput > floor)) {
-                floor = seed.throughput;
-                have_floor = true;
-              }
-              return have_floor &&
-                     envelope_throughput(sweep, solver, prefix, channel,
-                                         remaining) <= floor;
+              return shard_floor(floor) &&
+                     subtree_pruned(sweep, solver, prefix, channel,
+                                    remaining, floor, /*strict=*/false);
+            },
+            [&](const std::vector<i64>& candidate) {
+              Rational floor;
+              return shard_floor(floor) &&
+                     sweep.lp_rules_out(candidate, floor, /*strict=*/false,
+                                        size);
             });
         return out;
       },
@@ -395,6 +478,12 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
   sweep.pool = &pool;
   init_box(sweep);
+  std::optional<lp::ThroughputCuts> cuts;
+  if (options.use_lp_bounds) {
+    cuts.emplace(lp::ThroughputCuts::derive(
+        graph, analysis::repetition_vector(graph).counts(), options.target));
+    if (!cuts->empty()) sweep.cuts = &*cuts;
+  }
   sweep.goal = quantize_down(bounds.max_throughput, options.quantization);
   if (options.throughput_goal.has_value() &&
       *options.throughput_goal < sweep.goal) {
@@ -557,6 +646,8 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   result.cache_hits = sweep.cache_hits.load(std::memory_order_relaxed);
   result.dominance_skips =
       sweep.dominance_skips.load(std::memory_order_relaxed);
+  result.lp_prunes = sweep.lp_prunes.load(std::memory_order_relaxed);
+  result.lp_cuts = cuts.has_value() ? cuts->size() : 0;
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
@@ -574,6 +665,12 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
   Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
   sweep.op_name = "tie enumeration";  // names the operation in diagnostics
   init_box(sweep);
+  std::optional<lp::ThroughputCuts> cuts;
+  if (options.use_lp_bounds) {
+    cuts.emplace(lp::ThroughputCuts::derive(
+        graph, analysis::repetition_vector(graph).counts(), options.target));
+    if (!cuts->empty()) sweep.cuts = &*cuts;
+  }
   sweep.goal = bounds.max_throughput + Rational(1);  // never early-exit
 
   // Unlike the Pareto search, tie enumeration must see shapes outside the
@@ -628,8 +725,13 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
       // no qualifying distribution (monotonicity) — cut it wholesale.
       [&](const std::vector<i64>& prefix, std::size_t channel, i64 remaining,
           state::ThroughputSolver* solver) {
-        return envelope_throughput(sweep, solver, prefix, channel,
-                                   remaining) < min_throughput;
+        return subtree_pruned(sweep, solver, prefix, channel, remaining,
+                              min_throughput, /*strict=*/true);
+      },
+      // A candidate provably below the tie threshold never qualifies.
+      [&](const std::vector<i64>& candidate) {
+        return sweep.lp_rules_out(candidate, min_throughput, /*strict=*/true,
+                                  size);
       });
   return found;
 }

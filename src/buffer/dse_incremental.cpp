@@ -6,10 +6,12 @@
 #include <set>
 #include <unordered_set>
 
+#include "analysis/repetition_vector.hpp"
 #include "base/audit.hpp"
 #include "base/diagnostics.hpp"
 #include "base/hash.hpp"
 #include "buffer/audit_checks.hpp"
+#include "lp/sdf_model.hpp"
 #include "buffer/throughput_cache.hpp"
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
@@ -124,7 +126,43 @@ DseResult explore_incremental(const sdf::Graph& graph,
   std::unordered_set<StorageDistribution, StorageDistributionHash> visited;
 
   const auto ceiling = constrained_ceiling(options, graph.num_channels());
-  const StorageDistribution lb(constrained_floor(options, bounds));
+  std::vector<i64> floor_caps = constrained_floor(options, bounds);
+  // Kept alive past the warm start for the sampled LP-bound-vs-simulation
+  // audit inside the evaluation waves (DESIGN.md §9).
+  std::optional<lp::ThroughputCuts> cuts;
+  if (options.use_lp_bounds) {
+    // LP warm start (DESIGN.md §13): single-backward-edge cycle cuts yield
+    // per-channel capacities every distribution with non-zero target
+    // throughput must meet, independently of the other channels. Lifting
+    // the climb's starting point to them skips candidates that could only
+    // ever deadlock; zero-throughput candidates never become Pareto
+    // points, so the reported front is unchanged. User ceilings still
+    // win: a channel capped below its LP floor is left at the cap (the
+    // classic constraint handling reports such boxes).
+    cuts.emplace(lp::ThroughputCuts::derive(
+        graph, analysis::repetition_vector(graph).counts(), options.target));
+    result.lp_cuts = cuts->size();
+    const std::vector<i64>& lp_floors = cuts->necessary_floors();
+    for (std::size_t c = 0; c < floor_caps.size(); ++c) {
+      i64 lifted = std::max(floor_caps[c], lp_floors[c]);
+      if (ceiling[c].has_value()) lifted = std::min(lifted, *ceiling[c]);
+      if (lifted > floor_caps[c]) {
+        result.lp_prunes += static_cast<u64>(lifted - floor_caps[c]);
+        floor_caps[c] = lifted;
+      }
+    }
+    if (result.lp_prunes > 0) {
+      if (trace::enabled()) {
+        i64 size = 0;
+        for (const i64 cap : floor_caps) size += cap;
+        trace::emit_instant(trace::EventKind::LpPrune, size);
+      }
+      if (options.progress != nullptr) {
+        options.progress->add_lp_prunes(result.lp_prunes);
+      }
+    }
+  }
+  const StorageDistribution lb(floor_caps);
   if (!options.max_distribution_size.has_value() ||
       lb.size() <= *options.max_distribution_size) {
     frontier.emplace(lb.size(), lb.capacities());
@@ -251,6 +289,13 @@ DseResult explore_incremental(const sdf::Graph& graph,
         value.has_deps = true;
         value.storage_deps = evals[i].deps;
         cache->store(batch[i], value);
+      }
+      // Same deterministic sample as the cache check: the LP cycle-cut
+      // bound must sit at or above the fresh simulation (DESIGN.md §13).
+      if (cuts.has_value() && audit::enabled() &&
+          audit::sample(hash_words(batch[i]))) {
+        audit_check_lp_bound(graph, *cuts, batch[i], evals[i].run.throughput,
+                             evals[i].run.deadlocked);
       }
       evals[i].valid = true;
       if (options.progress != nullptr) options.progress->add_points(1);

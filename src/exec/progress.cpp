@@ -11,7 +11,8 @@ std::string ProgressSnapshot::json() const {
       "{\"points_explored\": %llu, \"states_visited\": %llu, "
       "\"pruned_by_bound\": %llu, \"pareto_points\": %llu, \"waves\": %llu, "
       "\"simulations\": %llu, \"cache_hits\": %llu, "
-      "\"dominance_skips\": %llu, \"sims_avoided\": %llu, "
+      "\"dominance_skips\": %llu, \"lp_prunes\": %llu, "
+      "\"sims_avoided\": %llu, "
       "\"arena_bytes\": %llu, \"trace_events\": %llu, "
       "\"seconds\": %.6f, \"cancelled\": %s}",
       static_cast<unsigned long long>(points_explored),
@@ -22,6 +23,7 @@ std::string ProgressSnapshot::json() const {
       static_cast<unsigned long long>(simulations),
       static_cast<unsigned long long>(cache_hits),
       static_cast<unsigned long long>(dominance_skips),
+      static_cast<unsigned long long>(lp_prunes),
       static_cast<unsigned long long>(sims_avoided),
       static_cast<unsigned long long>(arena_bytes),
       static_cast<unsigned long long>(trace_events), seconds,
@@ -41,6 +43,7 @@ ProgressSnapshot Progress::snapshot() const {
   s.simulations = simulations_.load(std::memory_order_relaxed);
   s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
   s.dominance_skips = dominance_skips_.load(std::memory_order_relaxed);
+  s.lp_prunes = lp_prunes_.load(std::memory_order_relaxed);
   s.sims_avoided = sims_avoided_.load(std::memory_order_relaxed);
   s.arena_bytes = arena_bytes_.load(std::memory_order_relaxed);
   s.trace_events = trace_events_.load(std::memory_order_relaxed);
@@ -60,6 +63,7 @@ void Progress::reset() {
   simulations_.store(0, std::memory_order_relaxed);
   cache_hits_.store(0, std::memory_order_relaxed);
   dominance_skips_.store(0, std::memory_order_relaxed);
+  lp_prunes_.store(0, std::memory_order_relaxed);
   sims_avoided_.store(0, std::memory_order_relaxed);
   arena_bytes_.store(0, std::memory_order_relaxed);
   trace_events_.store(0, std::memory_order_relaxed);

@@ -40,9 +40,12 @@ struct ProgressSnapshot {
   u64 cache_hits = 0;
   /// Candidates answered by Sec. 8 monotone dominance without simulation.
   u64 dominance_skips = 0;
+  /// Candidates or subtree envelopes answered by an LP cycle-cut bound
+  /// without simulation (DESIGN.md §13).
+  u64 lp_prunes = 0;
   /// Simulations the hot-path machinery avoided relative to the one-run-
-  /// per-candidate baseline: cache hits, dominance skips and storage-
-  /// dependency collections fused into the throughput run.
+  /// per-candidate baseline: cache hits, dominance skips, LP cut answers
+  /// and storage-dependency collections fused into the throughput run.
   u64 sims_avoided = 0;
   /// Peak footprint of any visited-state arena, in bytes.
   u64 arena_bytes = 0;
@@ -71,6 +74,7 @@ class Progress {
   void add_simulations(u64 n) { add(simulations_, n); }
   void add_cache_hits(u64 n) { add(cache_hits_, n); }
   void add_dominance_skips(u64 n) { add(dominance_skips_, n); }
+  void add_lp_prunes(u64 n) { add(lp_prunes_, n); }
   void add_sims_avoided(u64 n) { add(sims_avoided_, n); }
   void add_trace_events(u64 n) { add(trace_events_, n); }
   /// Raises the peak-arena-bytes gauge to at least `bytes`.
@@ -102,6 +106,7 @@ class Progress {
   std::atomic<u64> simulations_{0};
   std::atomic<u64> cache_hits_{0};
   std::atomic<u64> dominance_skips_{0};
+  std::atomic<u64> lp_prunes_{0};
   std::atomic<u64> sims_avoided_{0};
   std::atomic<u64> arena_bytes_{0};
   std::atomic<u64> trace_events_{0};

@@ -1,0 +1,376 @@
+#include "lp/sdf_model.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::lp {
+namespace {
+
+// Bounded cycle enumeration: simple directed cycles of the
+// capacity-extended single-rate subgraph, shortest first.
+constexpr std::size_t kMaxCycleEdges = 16;
+constexpr std::size_t kEnumerationBudget = 200000;
+
+// One edge of the capacity-extended graph. Forward edges carry the
+// channel's initial tokens; backward (capacity) edges carry x_c - t_c, so
+// `tokens` holds the constant part (-t_c) and `cap` names the channel
+// whose capacity is added.
+struct CapEdge {
+  std::size_t from = 0;
+  std::size_t to = 0;
+  i64 tokens = 0;
+  sdf::ChannelId cap;  // invalid for forward edges
+};
+
+// Actors reachable from `target` over channels in either direction.
+std::vector<bool> component_of(const sdf::Graph& graph, sdf::ActorId target) {
+  std::vector<bool> in(graph.num_actors(), false);
+  std::vector<std::size_t> stack{target.index()};
+  in[target.index()] = true;
+  while (!stack.empty()) {
+    const std::size_t a = stack.back();
+    stack.pop_back();
+    for (const sdf::ChannelId c : graph.out_channels(sdf::ActorId(a))) {
+      const std::size_t b = graph.channel(c).dst.index();
+      if (!in[b]) {
+        in[b] = true;
+        stack.push_back(b);
+      }
+    }
+    for (const sdf::ChannelId c : graph.in_channels(sdf::ActorId(a))) {
+      const std::size_t b = graph.channel(c).src.index();
+      if (!in[b]) {
+        in[b] = true;
+        stack.push_back(b);
+      }
+    }
+  }
+  return in;
+}
+
+struct RawCycle {
+  std::vector<std::size_t> edges;  // indices into the CapEdge list
+};
+
+// Enumerates simple directed cycles, each rooted at (and reported from)
+// its lowest-index node. Deterministic: roots ascend, edges are tried in
+// list order. Cut off by path length and a global step budget.
+void enumerate_cycles(const std::vector<CapEdge>& edges, std::size_t num_nodes,
+                      std::vector<RawCycle>& out) {
+  std::vector<std::vector<std::size_t>> adj(num_nodes);
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    adj[edges[e].from].push_back(e);
+  }
+  std::size_t steps = 0;
+  std::vector<bool> on_path(num_nodes, false);
+  std::vector<std::size_t> path;
+
+  struct Dfs {
+    const std::vector<CapEdge>& edges;
+    const std::vector<std::vector<std::size_t>>& adj;
+    std::vector<bool>& on_path;
+    std::vector<std::size_t>& path;
+    std::vector<RawCycle>& out;
+    std::size_t& steps;
+    std::size_t root = 0;
+
+    void visit(std::size_t node) {
+      if (steps >= kEnumerationBudget) return;
+      for (const std::size_t e : adj[node]) {
+        if (++steps >= kEnumerationBudget) return;
+        const std::size_t next = edges[e].to;
+        if (next == root) {
+          path.push_back(e);
+          out.push_back(RawCycle{path});
+          path.pop_back();
+          continue;
+        }
+        if (next < root || on_path[next]) continue;
+        if (path.size() + 1 >= kMaxCycleEdges) continue;
+        on_path[next] = true;
+        path.push_back(e);
+        visit(next);
+        path.pop_back();
+        on_path[next] = false;
+      }
+    }
+  };
+
+  Dfs dfs{edges, adj, on_path, path, out, steps};
+  for (std::size_t root = 0; root < num_nodes; ++root) {
+    if (steps >= kEnumerationBudget) break;
+    dfs.root = root;
+    on_path[root] = true;
+    dfs.visit(root);
+    on_path[root] = false;
+  }
+}
+
+}  // namespace
+
+std::vector<ModelDiagnostic> model_diagnostics(const sdf::Graph& graph) {
+  std::vector<ModelDiagnostic> out;
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    const sdf::Channel& ch = graph.channel(c);
+    if (!ch.is_self_loop() || ch.initial_tokens >= ch.consumption) continue;
+    ModelDiagnostic d;
+    d.code = ModelDiagnostic::Code::DeadSelfLoop;
+    d.channel = c;
+    d.message = "self-loop channel '" + ch.name + "' holds " +
+                std::to_string(ch.initial_tokens) +
+                " initial token(s) but every firing of '" +
+                graph.actor(ch.src).name + "' needs " +
+                std::to_string(ch.consumption) +
+                ": the actor can never fire and the graph deadlocks at "
+                "every capacity";
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+i64 channel_floor(const sdf::Graph& graph, sdf::ChannelId c) {
+  const sdf::Channel& ch = graph.channel(c);
+  if (ch.is_self_loop()) {
+    return checked_add(ch.initial_tokens, ch.production);
+  }
+  const i64 g = gcd(ch.production, ch.consumption);
+  const i64 bound = checked_add(
+      checked_add(ch.production, ch.consumption),
+      checked_sub(positive_mod(ch.initial_tokens, g), g));
+  return std::max(ch.initial_tokens, bound);
+}
+
+ThroughputCuts ThroughputCuts::derive(const sdf::Graph& graph,
+                                      const std::vector<i64>& repetitions,
+                                      sdf::ActorId target,
+                                      std::size_t max_cuts) {
+  BUFFY_REQUIRE(repetitions.size() == graph.num_actors(),
+                "lp: repetition vector has " +
+                    std::to_string(repetitions.size()) + " entries, graph '" +
+                    graph.name() + "' has " +
+                    std::to_string(graph.num_actors()) + " actors");
+  ThroughputCuts out;
+  out.q_target_ = repetitions[target.index()];
+  out.floors_.assign(graph.num_channels(), 0);
+
+  const std::vector<bool> in_component = component_of(graph, target);
+  std::vector<CapEdge> edges;
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    const sdf::Channel& ch = graph.channel(c);
+    if (ch.production != 1 || ch.consumption != 1) continue;
+    if (!in_component[ch.src.index()]) continue;
+    edges.push_back({ch.src.index(), ch.dst.index(), ch.initial_tokens,
+                     sdf::ChannelId()});
+    edges.push_back({ch.dst.index(), ch.src.index(), -ch.initial_tokens, c});
+  }
+  if (edges.empty()) return out;
+
+  std::vector<RawCycle> cycles;
+  enumerate_cycles(edges, graph.num_actors(), cycles);
+  std::stable_sort(cycles.begin(), cycles.end(),
+                   [](const RawCycle& a, const RawCycle& b) {
+                     return a.edges.size() < b.edges.size();
+                   });
+
+  std::set<std::vector<i64>> seen;
+  for (const RawCycle& cycle : cycles) {
+    if (out.cuts_.size() >= max_cuts) break;
+    ThroughputCut cut;
+    bool overflow = false;
+    try {
+      for (const std::size_t e : cycle.edges) {
+        const CapEdge& edge = edges[e];
+        cut.token_base = checked_add(cut.token_base, edge.tokens);
+        // Each node of a simple cycle is the destination of exactly one
+        // edge, so summing destination execution times walks the actors.
+        cut.exec_sum = checked_add(
+            cut.exec_sum, graph.actor(sdf::ActorId(edge.to)).execution_time);
+        cut.max_q = std::max(cut.max_q, repetitions[edge.to]);
+        if (edge.cap.valid()) cut.backward.push_back(edge.cap);
+      }
+    } catch (const OverflowError&) {
+      overflow = true;
+    }
+    if (overflow || cut.backward.empty()) continue;
+    std::sort(cut.backward.begin(), cut.backward.end());
+    std::vector<i64> key{cut.token_base, cut.exec_sum, cut.max_q};
+    for (const sdf::ChannelId c : cut.backward) {
+      key.push_back(static_cast<i64>(c.index()));
+    }
+    if (!seen.insert(std::move(key)).second) continue;
+    if (cut.backward.size() == 1) {
+      // D(x) = token_base + x_c must be >= 1 for any non-zero throughput.
+      const std::size_t c = cut.backward.front().index();
+      try {
+        out.floors_[c] =
+            std::max(out.floors_[c], checked_sub(1, cut.token_base));
+      } catch (const OverflowError&) {
+        // An unrepresentable floor never raises the box.
+      }
+    }
+    out.cuts_.push_back(std::move(cut));
+  }
+  return out;
+}
+
+std::optional<Rational> ThroughputCuts::upper_bound(
+    std::span<const i64> caps) const noexcept {
+  if (cuts_.empty()) return std::nullopt;
+  try {
+    std::optional<Rational> best;
+    for (const ThroughputCut& cut : cuts_) {
+      i64 d = cut.token_base;
+      for (const sdf::ChannelId c : cut.backward) {
+        d = checked_add(d, caps[c.index()]);
+      }
+      if (d <= 0) return Rational(0);
+      const Rational bound(checked_mul(q_target_, d),
+                           checked_mul(cut.exec_sum, cut.max_q));
+      if (!best.has_value() || bound < *best) best = bound;
+    }
+    return best;
+  } catch (...) {
+    return std::nullopt;
+  }
+}
+
+bool ThroughputCuts::bounds_below(std::span<const i64> caps,
+                                  const Rational& threshold,
+                                  bool strict) const noexcept {
+  const Rational zero(0);
+  for (const ThroughputCut& cut : cuts_) {
+    try {
+      i64 d = cut.token_base;
+      for (const sdf::ChannelId c : cut.backward) {
+        d = checked_add(d, caps[c.index()]);
+      }
+      const Rational bound =
+          d <= 0 ? zero
+                 : Rational(checked_mul(q_target_, d),
+                            checked_mul(cut.exec_sum, cut.max_q));
+      if (strict ? bound < threshold : bound <= threshold) return true;
+    } catch (...) {
+      // Overflow on one cut must not fabricate a prune; try the others.
+    }
+  }
+  return false;
+}
+
+PeriodicSolveResult min_buffers_for_throughput(
+    const sdf::Graph& graph, const std::vector<i64>& repetitions,
+    sdf::ActorId target, const Rational& throughput,
+    const std::vector<i64>& floor_caps) {
+  BUFFY_REQUIRE(repetitions.size() == graph.num_actors(),
+                "lp: repetition vector size mismatch for graph '" +
+                    graph.name() + "'");
+  BUFFY_REQUIRE(floor_caps.size() == graph.num_channels(),
+                "lp: floor capacity vector size mismatch for graph '" +
+                    graph.name() + "'");
+  BUFFY_REQUIRE(throughput > Rational(0),
+                "lp: periodic model needs a positive target throughput");
+  PeriodicSolveResult out;
+  if (!model_diagnostics(graph).empty()) return out;  // Infeasible
+
+  try {
+    const std::vector<bool> in_component = component_of(graph, target);
+    const Rational period =
+        Rational(repetitions[target.index()]) / throughput;
+
+    // No auto-concurrency: q_a firings of a must fit in one period.
+    for (const sdf::ActorId a : graph.actor_ids()) {
+      if (!in_component[a.index()]) continue;
+      const i64 busy = checked_mul(repetitions[a.index()],
+                                   graph.actor(a).execution_time);
+      if (period < Rational(busy)) return out;  // Infeasible
+    }
+
+    // Variables: one start offset per component actor, one capacity slack
+    // per component channel (self-loops excluded: their floor already
+    // covers the constant space demand and they add no periodic rows).
+    std::vector<std::size_t> actor_var(graph.num_actors(), 0);
+    std::size_t num_vars = 0;
+    for (const sdf::ActorId a : graph.actor_ids()) {
+      if (in_component[a.index()]) actor_var[a.index()] = num_vars++;
+    }
+    std::vector<std::size_t> slack_var(graph.num_channels(), 0);
+    std::vector<sdf::ChannelId> slack_channels;
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      const sdf::Channel& ch = graph.channel(c);
+      if (ch.is_self_loop() || !in_component[ch.src.index()]) continue;
+      slack_var[c.index()] = num_vars++;
+      slack_channels.push_back(c);
+    }
+
+    Problem problem;
+    problem.num_vars = num_vars;
+    problem.objective.assign(num_vars, Rational(0));
+    for (const sdf::ChannelId c : slack_channels) {
+      problem.objective[slack_var[c.index()]] = Rational(1);
+    }
+    for (const sdf::ChannelId c : slack_channels) {
+      const sdf::Channel& ch = graph.channel(c);
+      const i64 qu = repetitions[ch.src.index()];
+      const i64 qv = repetitions[ch.dst.index()];
+      const std::size_t su = actor_var[ch.src.index()];
+      const std::size_t sv = actor_var[ch.dst.index()];
+
+      // (F) token sufficiency: pr*qu*(s_v - s_u) >= pr*qu*e_u +
+      // (co - t - 1)*T. The -1 is the firing-count integrality slack:
+      // the dst's j-th firing needs ceil((co*(j+1) - t)/pr) completed src
+      // firings, and floor(z)+1 >= m is exactly z >= m-1.
+      Constraint tokens;
+      tokens.coeffs.assign(num_vars, Rational(0));
+      tokens.sense = Sense::Ge;
+      const Rational fu(checked_mul(ch.production, qu));
+      tokens.coeffs[sv] = fu;
+      tokens.coeffs[su] = Rational(0) - fu;
+      tokens.rhs =
+          fu * Rational(graph.actor(ch.src).execution_time) +
+          Rational(checked_sub(checked_sub(ch.consumption, ch.initial_tokens),
+                               1)) *
+              period;
+      problem.rows.push_back(std::move(tokens));
+
+      // (S) space sufficiency: co*qv*(s_u - s_v) + T*y_c >=
+      //     co*qv*e_v + (pr + t - floor_c - 1)*T, same integrality slack
+      // (valid because the final capacities are integers: rounding the
+      // slack up only relaxes this row).
+      Constraint space;
+      space.coeffs.assign(num_vars, Rational(0));
+      space.sense = Sense::Ge;
+      const Rational fv(checked_mul(ch.consumption, qv));
+      space.coeffs[su] = fv;
+      space.coeffs[sv] = Rational(0) - fv;
+      space.coeffs[slack_var[c.index()]] = period;
+      space.rhs =
+          fv * Rational(graph.actor(ch.dst).execution_time) +
+          Rational(checked_sub(
+              checked_sub(checked_add(ch.production, ch.initial_tokens),
+                          floor_caps[c.index()]),
+              1)) *
+              period;
+      problem.rows.push_back(std::move(space));
+    }
+
+    const Solution solution = solve(problem);
+    out.status = solution.status;
+    out.pivots = solution.pivots;
+    if (solution.status != Status::Optimal) return out;
+
+    out.capacities = floor_caps;
+    for (const sdf::ChannelId c : slack_channels) {
+      const Rational y = solution.values[slack_var[c.index()]];
+      out.capacities[c.index()] = checked_add(
+          out.capacities[c.index()], ceil_div(y.num(), y.den()));
+    }
+    return out;
+  } catch (const OverflowError&) {
+    out.status = Status::NumericOverflow;
+    out.capacities.clear();
+    return out;
+  }
+}
+
+}  // namespace buffy::lp

@@ -1,0 +1,153 @@
+// SDF buffer-bound models over the exact LP core (DESIGN.md §13).
+//
+// This layer turns an SDF graph plus its repetition vector into analytic
+// statements about the storage/throughput trade-off, consumed by the DSE
+// engines in src/buffer/:
+//
+//  * channel_floor     — the paper's per-channel minimal capacity,
+//                        re-derived here so the LP layer is self-contained
+//                        (property tests pin it against buffer/bounds).
+//  * ThroughputCuts    — necessary conditions. Every directed cycle of the
+//                        capacity-extended single-rate subgraph yields
+//                        theta_target <= q_target * D(x) / (Sum_e * max_q),
+//                        linear in the capacities x. Candidates whose cut
+//                        bound cannot beat the incumbent are skipped before
+//                        any simulation; cuts through exactly one capacity
+//                        edge yield per-channel floors every deadlock-free
+//                        distribution must satisfy.
+//  * min_buffers_for_throughput
+//                      — a sufficient condition. A strictly periodic
+//                        schedule at period T = q_target / theta is encoded
+//                        as an LP over start offsets and capacity slack;
+//                        any feasible point is a real, achievable buffer
+//                        distribution (the self-timed engine can only do
+//                        better), which powers buffyd's quality=fast tier.
+//
+// The repetition vector is passed in as a plain vector<i64>: lp/ depends
+// only on base/ and sdf/ (enforced by tools/layer_lint), so the caller
+// (src/buffer/) runs the analysis and hands the counts down.
+//
+// Soundness fine print lives with the implementation and DESIGN.md §13;
+// the derivations assume the state/ engine's semantics (space claimed at
+// firing start, tokens consumed and space released at firing end, no
+// auto-concurrency).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "base/rational.hpp"
+#include "lp/simplex.hpp"
+#include "sdf/graph.hpp"
+#include "sdf/ids.hpp"
+
+namespace buffy::lp {
+
+/// A structural defect the LP models must reject up front (instead of
+/// dividing by zero or encoding an unsatisfiable row).
+struct ModelDiagnostic {
+  enum class Code : std::uint8_t {
+    /// A self-loop whose initial tokens are below its consumption rate:
+    /// the actor can never fire, the graph deadlocks at every capacity.
+    DeadSelfLoop = 0,
+  };
+  Code code = Code::DeadSelfLoop;
+  sdf::ChannelId channel{0};
+  std::string message;
+};
+
+/// All model-layer diagnostics for the graph, in channel order; empty
+/// means every LP model below is well-formed for this graph.
+[[nodiscard]] std::vector<ModelDiagnostic> model_diagnostics(
+    const sdf::Graph& graph);
+
+/// The paper's per-channel minimal capacity below which the channel alone
+/// deadlocks the graph (re-derivation of buffer/bounds.cpp; the property
+/// suite pins the two against each other).
+[[nodiscard]] i64 channel_floor(const sdf::Graph& graph, sdf::ChannelId c);
+
+/// One cycle cut: theta_target <= q_target * D(x) / (exec_sum * max_q)
+/// with D(x) = token_base + sum of x_c over `backward`. Cuts are derived
+/// only from cycles with at least one backward (capacity) edge — cuts
+/// without one bound the graph's unbounded-buffer throughput and can never
+/// beat a simulated incumbent.
+struct ThroughputCut {
+  std::vector<sdf::ChannelId> backward;
+  i64 token_base = 0;
+  i64 exec_sum = 0;
+  i64 max_q = 1;
+};
+
+/// Cycle cuts for one graph/target pair, valid for any capacities at or
+/// above the channel floors.
+class ThroughputCuts {
+ public:
+  /// Derives cuts from the directed cycles of the capacity-extended
+  /// single-rate subgraph of the target's weakly connected component.
+  /// `repetitions` is the repetition vector in actor-id order. At most
+  /// max_cuts cuts are kept (shortest cycles first, deterministically).
+  [[nodiscard]] static ThroughputCuts derive(const sdf::Graph& graph,
+                                             const std::vector<i64>& repetitions,
+                                             sdf::ActorId target,
+                                             std::size_t max_cuts = 128);
+
+  /// Least cut bound on the target's throughput at the given capacities
+  /// (one entry per channel), clamped at zero; nullopt when no cut applies
+  /// or the exact arithmetic would overflow (never guesses).
+  [[nodiscard]] std::optional<Rational> upper_bound(
+      std::span<const i64> caps) const noexcept;
+
+  /// True when some cut proves the target's throughput at `caps` is
+  /// <= threshold (< when strict). Overflow is conservative: false.
+  [[nodiscard]] bool bounds_below(std::span<const i64> caps,
+                                  const Rational& threshold,
+                                  bool strict) const noexcept;
+
+  /// Per-channel capacities (one entry per channel, 0 where no cut bites)
+  /// that every distribution with non-zero target throughput must meet;
+  /// derived from single-backward-edge cuts, so valid independently of the
+  /// rest of the distribution.
+  [[nodiscard]] const std::vector<i64>& necessary_floors() const noexcept {
+    return floors_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cuts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return cuts_.empty(); }
+  [[nodiscard]] const std::vector<ThroughputCut>& cuts() const noexcept {
+    return cuts_;
+  }
+
+ private:
+  i64 q_target_ = 1;
+  std::vector<ThroughputCut> cuts_;
+  std::vector<i64> floors_;
+};
+
+/// Result of the periodic-schedule sufficiency LP.
+struct PeriodicSolveResult {
+  Status status = Status::Infeasible;
+  /// Integer capacities, one per channel, >= the channel floors; set when
+  /// status == Optimal. Simulating them yields target throughput >= the
+  /// requested one (the periodic schedule is a witness; self-timed
+  /// execution dominates it).
+  std::vector<i64> capacities;
+  /// Simplex pivots spent.
+  u64 pivots = 0;
+};
+
+/// Minimises total buffering subject to a strictly periodic schedule at
+/// period T = q_target / throughput existing. `repetitions` is the
+/// repetition vector in actor-id order; `floor_caps` the per-channel
+/// minimal capacities (channel_floor, possibly raised by cut floors).
+/// Requires throughput > 0. Returns Infeasible when no periodic schedule
+/// meets the rate (the graph may still reach it self-timed: this is a
+/// sufficient condition only) and when model_diagnostics is non-empty.
+[[nodiscard]] PeriodicSolveResult min_buffers_for_throughput(
+    const sdf::Graph& graph, const std::vector<i64>& repetitions,
+    sdf::ActorId target, const Rational& throughput,
+    const std::vector<i64>& floor_caps);
+
+}  // namespace buffy::lp

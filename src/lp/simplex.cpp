@@ -1,0 +1,321 @@
+#include "lp/simplex.hpp"
+
+#include <limits>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::lp {
+namespace {
+
+constexpr std::size_t kNone = std::numeric_limits<std::size_t>::max();
+
+// Dense exact tableau. Rows are normalised to rhs >= 0 (flip[i] records the
+// sign applied to original row i); every Le/Ge row carries a slack/surplus
+// column and every Ge/Eq row an artificial column, so the artificial basis
+// is feasible by construction and phase 1 minimises the artificial sum.
+struct Tableau {
+  std::size_t num_structural = 0;  // x columns
+  std::size_t art_begin = 0;       // first artificial column
+  std::size_t num_cols = 0;        // structural + slack + artificial
+  std::vector<std::vector<Rational>> rows;  // coefficient matrix
+  std::vector<Rational> rhs;                // >= 0 throughout
+  std::vector<std::size_t> basis;           // basic column per row
+  std::vector<i64> flip;                    // +1 / -1 vs the original row
+  std::vector<Sense> sense;                 // after normalisation
+  std::vector<std::size_t> slack_col;       // per row, kNone for Eq
+  std::vector<std::size_t> art_col;         // per row, kNone for Le
+  std::vector<Rational> cost;               // reduced-cost row
+  Rational cost_rhs;                        // -(current objective)
+
+  void pivot(std::size_t r, std::size_t j) {
+    const Rational inv = rows[r][j].reciprocal();
+    for (Rational& v : rows[r]) v = v * inv;
+    rhs[r] = rhs[r] * inv;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      if (i == r || rows[i][j].is_zero()) continue;
+      const Rational f = rows[i][j];
+      for (std::size_t k = 0; k < num_cols; ++k) {
+        rows[i][k] = rows[i][k] - f * rows[r][k];
+      }
+      rhs[i] = rhs[i] - f * rhs[r];
+    }
+    if (!cost[j].is_zero()) {
+      const Rational f = cost[j];
+      for (std::size_t k = 0; k < num_cols; ++k) {
+        cost[k] = cost[k] - f * rows[r][k];
+      }
+      cost_rhs = cost_rhs - f * rhs[r];
+    }
+    basis[r] = j;
+  }
+
+  // Bland's rule: lowest-index column with negative reduced cost, among
+  // non-artificial columns only (artificials never re-enter).
+  [[nodiscard]] std::size_t entering() const {
+    for (std::size_t j = 0; j < art_begin; ++j) {
+      if (cost[j] < Rational(0)) return j;
+    }
+    return kNone;
+  }
+
+  // Minimum-ratio leaving row; ties broken by lowest basic column index
+  // (Bland). kNone when the column is unbounded below.
+  [[nodiscard]] std::size_t leaving(std::size_t j) const {
+    std::size_t best = kNone;
+    Rational best_ratio;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      if (rows[r][j] <= Rational(0)) continue;
+      const Rational ratio = rhs[r] / rows[r][j];
+      if (best == kNone || ratio < best_ratio ||
+          (ratio == best_ratio && basis[r] < basis[best])) {
+        best = r;
+        best_ratio = ratio;
+      }
+    }
+    return best;
+  }
+};
+
+Tableau build_tableau(const Problem& problem) {
+  const std::size_t n = problem.num_vars;
+  const std::size_t m = problem.rows.size();
+  Tableau t;
+  t.num_structural = n;
+  t.flip.resize(m, 1);
+  t.sense.resize(m, Sense::Le);
+  t.slack_col.resize(m, kNone);
+  t.art_col.resize(m, kNone);
+
+  // Column layout pass: count slack and artificial columns.
+  std::size_t num_slack = 0;
+  std::size_t num_art = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Constraint& row = problem.rows[i];
+    BUFFY_REQUIRE(row.coeffs.size() == n,
+                  "lp: row " + std::to_string(i) + " has " +
+                      std::to_string(row.coeffs.size()) + " coefficients, " +
+                      "problem has " + std::to_string(n) + " variables");
+    Sense s = row.sense;
+    if (row.rhs < Rational(0)) {
+      t.flip[i] = -1;
+      if (s == Sense::Le) {
+        s = Sense::Ge;
+      } else if (s == Sense::Ge) {
+        s = Sense::Le;
+      }
+    }
+    t.sense[i] = s;
+    if (s != Sense::Eq) ++num_slack;
+    if (s != Sense::Le) ++num_art;
+  }
+  t.art_begin = n + num_slack;
+  t.num_cols = t.art_begin + num_art;
+
+  t.rows.assign(m, std::vector<Rational>(t.num_cols));
+  t.rhs.resize(m);
+  t.basis.resize(m);
+  t.cost.assign(t.num_cols, Rational(0));
+  t.cost_rhs = Rational(0);
+
+  std::size_t next_slack = n;
+  std::size_t next_art = t.art_begin;
+  for (std::size_t i = 0; i < m; ++i) {
+    const Constraint& row = problem.rows[i];
+    const Rational sign(t.flip[i]);
+    for (std::size_t j = 0; j < n; ++j) {
+      t.rows[i][j] = sign * row.coeffs[j];
+    }
+    t.rhs[i] = sign * row.rhs;
+    if (t.sense[i] != Sense::Eq) {
+      t.slack_col[i] = next_slack;
+      t.rows[i][next_slack] = Rational(t.sense[i] == Sense::Le ? 1 : -1);
+      ++next_slack;
+    }
+    if (t.sense[i] != Sense::Le) {
+      t.art_col[i] = next_art;
+      t.rows[i][next_art] = Rational(1);
+      t.basis[i] = next_art;
+      ++next_art;
+    } else {
+      t.basis[i] = t.slack_col[i];
+    }
+  }
+
+  // Phase-1 reduced costs: minimise the artificial sum. With the artificial
+  // basis, z_j = c_j - sum over artificial rows of row coefficients.
+  for (std::size_t i = 0; i < m; ++i) {
+    if (t.art_col[i] == kNone) continue;
+    for (std::size_t k = 0; k < t.num_cols; ++k) {
+      t.cost[k] = t.cost[k] - t.rows[i][k];
+    }
+    t.cost_rhs = t.cost_rhs - t.rhs[i];
+  }
+  for (std::size_t j = t.art_begin; j < t.num_cols; ++j) {
+    t.cost[j] = t.cost[j] + Rational(1);
+  }
+  return t;
+}
+
+// Runs Bland pivots until optimality. Returns Optimal, Unbounded or
+// PivotLimit; `pivots` accumulates across calls.
+Status run_simplex(Tableau& t, u64 max_pivots, u64& pivots) {
+  for (;;) {
+    const std::size_t j = t.entering();
+    if (j == kNone) return Status::Optimal;
+    const std::size_t r = t.leaving(j);
+    if (r == kNone) return Status::Unbounded;
+    if (pivots >= max_pivots) return Status::PivotLimit;
+    t.pivot(r, j);
+    ++pivots;
+  }
+}
+
+// Reads the phase-1 dual multipliers out of the final reduced-cost row and
+// maps them back through the row normalisation (certificate convention in
+// simplex.hpp: y_i >= 0 on Ge rows, <= 0 on Le rows, free on Eq rows).
+std::vector<Rational> extract_certificate(const Tableau& t) {
+  std::vector<Rational> y(t.rows.size());
+  for (std::size_t i = 0; i < t.rows.size(); ++i) {
+    Rational internal;
+    if (t.art_col[i] != kNone) {
+      internal = Rational(1) - t.cost[t.art_col[i]];
+    } else {
+      internal = Rational(0) - t.cost[t.slack_col[i]];
+    }
+    y[i] = Rational(t.flip[i]) * internal;
+  }
+  return y;
+}
+
+}  // namespace
+
+const char* status_name(Status status) {
+  switch (status) {
+    case Status::Optimal:
+      return "optimal";
+    case Status::Infeasible:
+      return "infeasible";
+    case Status::Unbounded:
+      return "unbounded";
+    case Status::PivotLimit:
+      return "pivot_limit";
+    case Status::NumericOverflow:
+      return "numeric_overflow";
+  }
+  return "unknown";
+}
+
+Solution solve(const Problem& problem, u64 max_pivots) {
+  BUFFY_REQUIRE(problem.objective.size() == problem.num_vars,
+                "lp: objective has " +
+                    std::to_string(problem.objective.size()) +
+                    " coefficients, problem has " +
+                    std::to_string(problem.num_vars) + " variables");
+  Solution out;
+  try {
+    Tableau t = build_tableau(problem);
+
+    // Phase 1: drive the artificial sum to zero.
+    Status s = run_simplex(t, max_pivots, out.pivots);
+    if (s != Status::Optimal) {
+      out.status = s;  // PivotLimit (phase 1 is bounded below by zero)
+      return out;
+    }
+    if (t.cost_rhs < Rational(0)) {
+      // Residual artificial mass: infeasible, with a Farkas certificate.
+      out.status = Status::Infeasible;
+      out.certificate = extract_certificate(t);
+      if (!verify_infeasibility(problem, out.certificate)) {
+        out.certificate.clear();  // never return an unverified certificate
+      }
+      return out;
+    }
+
+    // Pivot leftover artificials out of the (degenerate) basis; a row that
+    // has no non-artificial column left is redundant and is dropped.
+    for (std::size_t r = t.rows.size(); r-- > 0;) {
+      if (t.basis[r] < t.art_begin) continue;
+      std::size_t j = kNone;
+      for (std::size_t k = 0; k < t.art_begin; ++k) {
+        if (!t.rows[r][k].is_zero()) {
+          j = k;
+          break;
+        }
+      }
+      if (j != kNone) {
+        t.pivot(r, j);
+      } else {
+        t.rows.erase(t.rows.begin() + static_cast<std::ptrdiff_t>(r));
+        t.rhs.erase(t.rhs.begin() + static_cast<std::ptrdiff_t>(r));
+        t.basis.erase(t.basis.begin() + static_cast<std::ptrdiff_t>(r));
+      }
+    }
+
+    // Phase 2: price the real objective against the phase-1 basis.
+    t.cost.assign(t.num_cols, Rational(0));
+    t.cost_rhs = Rational(0);
+    for (std::size_t j = 0; j < t.num_structural; ++j) {
+      t.cost[j] = problem.objective[j];
+    }
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      const std::size_t b = t.basis[r];
+      if (b >= t.num_structural || problem.objective[b].is_zero()) continue;
+      const Rational f = problem.objective[b];
+      for (std::size_t k = 0; k < t.num_cols; ++k) {
+        t.cost[k] = t.cost[k] - f * t.rows[r][k];
+      }
+      t.cost_rhs = t.cost_rhs - f * t.rhs[r];
+    }
+    s = run_simplex(t, max_pivots, out.pivots);
+    if (s != Status::Optimal) {
+      out.status = s;
+      return out;
+    }
+
+    out.status = Status::Optimal;
+    out.values.assign(problem.num_vars, Rational(0));
+    for (std::size_t r = 0; r < t.rows.size(); ++r) {
+      if (t.basis[r] < t.num_structural) out.values[t.basis[r]] = t.rhs[r];
+    }
+    Rational obj;
+    for (std::size_t j = 0; j < problem.num_vars; ++j) {
+      obj = obj + problem.objective[j] * out.values[j];
+    }
+    out.objective_value = obj;
+    return out;
+  } catch (const OverflowError&) {
+    out.status = Status::NumericOverflow;
+    out.values.clear();
+    out.certificate.clear();
+    return out;
+  }
+}
+
+bool verify_infeasibility(const Problem& problem,
+                          const std::vector<Rational>& y) {
+  if (y.size() != problem.rows.size()) return false;
+  try {
+    const Rational zero(0);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (problem.rows[i].sense == Sense::Ge && y[i] < zero) return false;
+      if (problem.rows[i].sense == Sense::Le && y[i] > zero) return false;
+    }
+    Rational rhs_sum;
+    std::vector<Rational> combo(problem.num_vars, zero);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      if (y[i].is_zero()) continue;
+      for (std::size_t j = 0; j < problem.num_vars; ++j) {
+        combo[j] = combo[j] + y[i] * problem.rows[i].coeffs[j];
+      }
+      rhs_sum = rhs_sum + y[i] * problem.rows[i].rhs;
+    }
+    for (const Rational& v : combo) {
+      if (v > zero) return false;
+    }
+    return rhs_sum > zero;
+  } catch (const OverflowError&) {
+    return false;
+  }
+}
+
+}  // namespace buffy::lp

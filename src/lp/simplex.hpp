@@ -1,0 +1,95 @@
+// Exact-rational linear programming (DESIGN.md §13).
+//
+// A small, dependency-free two-phase simplex solver over base/rational.hpp.
+// Every tableau entry is a buffy::Rational, so solutions and infeasibility
+// certificates are exact — no epsilon tuning, no float drift. The intended
+// load is the SDF buffer-bound models built by lp/sdf_model.hpp: a few
+// dozen variables and rows, where exact arithmetic costs microseconds and
+// buys airtight soundness arguments for the DSE pruning layer.
+//
+// Problems are in the standard form
+//
+//     minimise   c . x
+//     subject to a_i . x  (<= | >= | ==)  b_i      for every row i
+//                x >= 0
+//
+// Degeneracy is handled by Bland's rule (lowest-index entering and leaving
+// columns), which excludes cycling; a pivot budget bounds the worst case
+// and turns pathological inputs into Status::PivotLimit instead of a hang.
+// Infeasible problems come back with a Farkas certificate: row multipliers
+// proving no x >= 0 satisfies the constraints (verifiable independently by
+// verify_infeasibility()).
+//
+// Thread-safety: solve() is a pure function; concurrent calls on distinct
+// Problem objects (or shared const ones) are safe.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "base/rational.hpp"
+
+namespace buffy::lp {
+
+/// Row comparison sense of one constraint.
+enum class Sense : std::uint8_t { Le, Ge, Eq };
+
+/// One constraint row: coeffs . x  sense  rhs.
+struct Constraint {
+  std::vector<Rational> coeffs;  // dense, one entry per variable
+  Sense sense = Sense::Le;
+  Rational rhs;
+};
+
+/// A linear program: minimise objective . x over the rows, x >= 0.
+struct Problem {
+  std::size_t num_vars = 0;
+  std::vector<Rational> objective;  // dense, one entry per variable
+  std::vector<Constraint> rows;
+};
+
+/// Solver outcome.
+enum class Status : std::uint8_t {
+  /// An optimal vertex was found; values/objective_value are set.
+  Optimal,
+  /// No x >= 0 satisfies the rows; certificate is set (see Solution).
+  Infeasible,
+  /// The objective decreases without bound over the feasible region.
+  Unbounded,
+  /// The pivot budget was exhausted before convergence.
+  PivotLimit,
+  /// Exact arithmetic overflowed 64-bit numerators/denominators.
+  NumericOverflow,
+};
+
+/// Stable lower-case name of a status ("optimal", "infeasible", ...).
+[[nodiscard]] const char* status_name(Status status);
+
+/// Result of solve().
+struct Solution {
+  Status status = Status::PivotLimit;
+  /// Optimal objective value (valid when status == Optimal).
+  Rational objective_value;
+  /// Optimal variable assignment, one entry per variable (Optimal only).
+  std::vector<Rational> values;
+  /// Farkas infeasibility certificate, one multiplier per row (Infeasible
+  /// only): multipliers y with y_i >= 0 on Ge rows, y_i <= 0 on Le rows,
+  /// free on Eq rows, such that sum_i y_i * a_i <= 0 componentwise while
+  /// sum_i y_i * b_i > 0 — no x >= 0 can satisfy all rows.
+  std::vector<Rational> certificate;
+  /// Pivots performed across both phases.
+  u64 pivots = 0;
+};
+
+/// Solves the problem by exact two-phase simplex with Bland's rule.
+/// max_pivots bounds the total pivot count across both phases.
+[[nodiscard]] Solution solve(const Problem& problem, u64 max_pivots = 100000);
+
+/// Independently checks a Farkas certificate against the problem (see
+/// Solution::certificate for the proved inequality system). solve() only
+/// returns certificates that pass this check.
+[[nodiscard]] bool verify_infeasibility(const Problem& problem,
+                                        const std::vector<Rational>& y);
+
+}  // namespace buffy::lp

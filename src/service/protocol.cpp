@@ -137,6 +137,11 @@ Request parse_request(const std::string& line) {
         *req.engine != "exh") {
       bad("member 'engine' must be \"inc\" or \"exh\"");
     }
+    req.quality = opt_string(doc, "quality");
+    if (req.quality.has_value() && *req.quality != "fast" &&
+        *req.quality != "exact") {
+      bad("member 'quality' must be \"fast\" or \"exact\"");
+    }
     req.levels = opt_int(doc, "levels");
     if (req.levels.has_value() && *req.levels < 1) {
       bad("member 'levels' must be >= 1");

@@ -103,6 +103,10 @@ struct Request {
 
   // explore_pareto
   std::optional<std::string> engine;  ///< "inc" (default) or "exh".
+  /// "exact" (default): full engine exploration. "fast": the LP-only
+  /// front (buffer/fast_front) — every point sound but approximate,
+  /// answered without per-candidate simulation.
+  std::optional<std::string> quality;
   std::optional<i64> levels;
   std::optional<i64> max_size;
   std::optional<Rational> goal;

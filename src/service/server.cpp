@@ -15,6 +15,7 @@
 #include "analysis/max_throughput.hpp"
 #include "base/diagnostics.hpp"
 #include "buffer/dse.hpp"
+#include "buffer/fast_front.hpp"
 #include "io/dsl.hpp"
 #include "io/sdf_xml.hpp"
 #include "state/throughput.hpp"
@@ -540,6 +541,48 @@ JsonValue Server::handle_explore(const Request& req,
   const sdf::Graph graph = parse_graph(req);
   const sdf::ActorId target = resolve_target(graph, req.target);
 
+  // quality=fast: the LP-only front (buffer/fast_front) — sound but
+  // approximate, answered without per-candidate simulation, and without
+  // touching the warm cache registry (fast answers must never displace or
+  // seed exact warm state; a later quality=exact query builds it).
+  if (req.quality == std::optional<std::string>("fast")) {
+    token.checkpoint();
+    const buffer::FastFrontResult fast = buffer::fast_front(
+        graph, target, req.levels.value_or(8));
+    token.checkpoint();
+    JsonValue res = JsonValue::object();
+    res.set("target", JsonValue::string(graph.actor(target).name));
+    res.set("quality", JsonValue::string("fast"));
+    res.set("deadlock", JsonValue::boolean(fast.bounds.deadlock));
+    if (!fast.bounds.deadlock) {
+      JsonValue bounds = JsonValue::object();
+      bounds.set("lb_size", JsonValue::integer(fast.bounds.lb_size));
+      bounds.set("ub_size", JsonValue::integer(fast.bounds.ub_size));
+      bounds.set("max_throughput",
+                 JsonValue::string(fast.bounds.max_throughput.str()));
+      res.set("bounds", bounds);
+    }
+    res.set("front", JsonValue::string(fast.pareto.str()));
+    JsonValue points = JsonValue::array();
+    for (const buffer::ParetoPoint& p : fast.pareto.points()) {
+      JsonValue point = JsonValue::object();
+      point.set("size", JsonValue::integer(p.size()));
+      point.set("throughput", JsonValue::string(p.throughput.str()));
+      JsonValue caps = JsonValue::array();
+      for (const i64 c : p.distribution.capacities()) {
+        caps.push_back(JsonValue::integer(c));
+      }
+      point.set("capacities", caps);
+      points.push_back(point);
+    }
+    res.set("points", points);
+    res.set("lp_solves", JsonValue::integer(static_cast<i64>(fast.lp_solves)));
+    res.set("lp_pivots", JsonValue::integer(static_cast<i64>(fast.lp_pivots)));
+    res.set("lp_cuts", JsonValue::integer(static_cast<i64>(fast.lp_cuts)));
+    res.set("seconds", JsonValue::number(fast.seconds));
+    return res;
+  }
+
   buffer::DseOptions opts;
   opts.target = target;
   opts.engine = req.engine == std::optional<std::string>("exh")
@@ -587,6 +630,7 @@ JsonValue Server::handle_explore(const Request& req,
 
   JsonValue res = JsonValue::object();
   res.set("target", JsonValue::string(graph.actor(target).name));
+  res.set("quality", JsonValue::string("exact"));
   res.set("deadlock", JsonValue::boolean(result.bounds.deadlock));
   if (!result.bounds.deadlock) {
     JsonValue bounds = JsonValue::object();
@@ -620,6 +664,9 @@ JsonValue Server::handle_explore(const Request& req,
           JsonValue::integer(static_cast<i64>(result.cache_hits)));
   res.set("dominance_skips",
           JsonValue::integer(static_cast<i64>(result.dominance_skips)));
+  res.set("lp_prunes",
+          JsonValue::integer(static_cast<i64>(result.lp_prunes)));
+  res.set("lp_cuts", JsonValue::integer(static_cast<i64>(result.lp_cuts)));
   res.set("max_states_stored",
           JsonValue::integer(static_cast<i64>(result.max_states_stored)));
   res.set("seconds", JsonValue::number(result.seconds));

@@ -25,6 +25,7 @@ ArgNames arg_names(EventKind kind) {
     case EventKind::DominanceSkip: return {"size", nullptr};
     case EventKind::EngineReset: return {"size", nullptr};
     case EventKind::ParetoPoint: return {"size", "throughput", true};
+    case EventKind::LpPrune: return {"size", nullptr};
   }
   return {"arg0", "arg1"};
 }

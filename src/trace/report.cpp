@@ -111,6 +111,7 @@ const std::vector<ManifestEntry>& experiments_manifest() {
       {"table2_main", "bench_table2_main"},
       {"quantization_ablation", "bench_quantization_ablation"},
       {"dse_ablation", "bench_dse_ablation"},
+      {"lp_prune", "bench_lp_prune"},
       {"memory_models", "bench_memory_models"},
       {"csdf_extension", "bench_csdf_extension"},
       {"mapping", "bench_mapping"},

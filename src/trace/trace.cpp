@@ -45,6 +45,7 @@ const char* kind_name(EventKind kind) {
     case EventKind::DominanceSkip: return "dominance_skip";
     case EventKind::EngineReset: return "engine_reset";
     case EventKind::ParetoPoint: return "pareto_point";
+    case EventKind::LpPrune: return "lp_prune";
   }
   return "unknown";
 }

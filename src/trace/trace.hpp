@@ -68,10 +68,13 @@ enum class EventKind : std::uint8_t {
   /// Instant: a Pareto point emitted. arg0 = distribution size,
   /// arg1 = throughput as IEEE-754 double bits (see arg1_bits_as_double).
   ParetoPoint,
+  /// Instant: a candidate (or subtree envelope) answered by an LP cycle
+  /// cut without simulation. arg0 = distribution size, arg1 = 0.
+  LpPrune,
 };
 
 /// Number of distinct EventKind values (table sizes in the sinks).
-inline constexpr std::size_t kNumEventKinds = 8;
+inline constexpr std::size_t kNumEventKinds = 9;
 
 /// Stable lower-case name of an event kind ("simulation", "cache_hit"...).
 [[nodiscard]] const char* kind_name(EventKind kind);

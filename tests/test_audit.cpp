@@ -4,10 +4,12 @@
 // time and assert the audit catches each with a precise diagnostic.
 #include <gtest/gtest.h>
 
+#include "analysis/repetition_vector.hpp"
 #include "base/audit.hpp"
 #include "buffer/audit_checks.hpp"
 #include "buffer/dse.hpp"
 #include "buffer/throughput_cache.hpp"
+#include "lp/sdf_model.hpp"
 #include "models/models.hpp"
 #include "state/engine.hpp"
 #include "state/throughput.hpp"
@@ -195,6 +197,47 @@ TEST(AuditTamper, BogusMaxWitnessTriggersSimulationMismatch) {
     FAIL() << "expected AuditError";
   } catch (const audit::AuditError& e) {
     EXPECT_EQ(e.invariant(), "cache-vs-simulation");
+  }
+}
+
+// --- tamper: LP cycle-cut bound ------------------------------------------
+
+TEST(AuditTamper, LpBoundBelowSimulationTriggersLpDiagnostic) {
+  // samplerate_converter: the single-rate subgraph has a token-carrying
+  // cycle, so derive() actually produces a cut to tamper against.
+  const sdf::Graph g = models::samplerate_converter();
+  const sdf::ActorId target = models::reported_actor(g);
+  const auto cuts = lp::ThroughputCuts::derive(
+      g, analysis::repetition_vector(g).counts(), target);
+  ASSERT_FALSE(cuts.empty());
+
+  // Generous capacities: the LP floors plus headroom, so the multi-rate
+  // graph actually runs instead of deadlocking.
+  std::vector<i64> caps = cuts.necessary_floors();
+  for (i64& c : caps) c += 64;
+  const state::ThroughputResult run = state::compute_throughput(
+      g, state::Capacities::bounded(caps),
+      state::ThroughputOptions{.target = target});
+  ASSERT_FALSE(run.deadlocked);
+
+  // Healthy: the derived bound dominates what the simulation achieved.
+  EXPECT_NO_THROW(buffer::audit_check_lp_bound(g, cuts, caps, run.throughput,
+                                               run.deadlocked));
+  // A deadlocked run satisfies any bound (throughput is zero by fiat).
+  EXPECT_NO_THROW(
+      buffer::audit_check_lp_bound(g, cuts, caps, Rational(0), true));
+
+  // Tampered: claim the simulation beat the analytic bound. The check
+  // must name the invariant — this is the failure mode where an unsound
+  // cut silently prunes reachable Pareto points.
+  try {
+    buffer::audit_check_lp_bound(g, cuts, caps, Rational(1'000'000),
+                                 /*deadlocked=*/false);
+    FAIL() << "expected AuditError";
+  } catch (const audit::AuditError& e) {
+    EXPECT_EQ(e.invariant(), "lp-bound-vs-simulation");
+    EXPECT_NE(std::string(e.what()).find("upper bound"), std::string::npos)
+        << e.what();
   }
 }
 

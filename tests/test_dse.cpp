@@ -191,6 +191,33 @@ TEST(Dse, DeadlockedGraphYieldsEmptyPareto) {
   EXPECT_TRUE(r.pareto.empty());
 }
 
+// The degenerate-cycle regression (DESIGN.md §13): a self-loop whose
+// initial tokens are below its consumption rate can never fire, so the
+// whole pipeline must classify the graph as deadlocked — the MCM layer
+// sees a zero-token cycle (test_mcm.cpp), the LP layer refuses the model
+// with a structured DeadSelfLoop diagnostic (test_lp.cpp), and here both
+// engines report deadlock with an empty front instead of crashing or
+// dividing by zero, with the LP bounds on or off.
+TEST(Dse, DeadSelfLoopYieldsDeadlockNotACrash) {
+  sdf::GraphBuilder b("dead-self-loop");
+  const auto a = b.actor("a", 1);
+  const auto bb = b.actor("b", 2);
+  b.channel("ab", a, 1, bb, 1, 1);
+  b.channel("ba", bb, 1, a, 1, 1);
+  b.channel("self", bb, 2, bb, 2, 1);  // 1 token < consumption 2: dead
+  const sdf::Graph g = b.build();
+
+  for (const DseEngine engine : {DseEngine::Exhaustive, DseEngine::Incremental}) {
+    for (const bool lp : {true, false}) {
+      DseOptions opts{.target = a, .engine = engine};
+      opts.use_lp_bounds = lp;
+      const auto r = explore(g, opts);
+      EXPECT_TRUE(r.bounds.deadlock);
+      EXPECT_TRUE(r.pareto.empty());
+    }
+  }
+}
+
 TEST(Dse, InconsistentGraphThrows) {
   sdf::GraphBuilder b("bad");
   const auto a = b.actor("a", 1);

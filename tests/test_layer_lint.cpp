@@ -164,6 +164,59 @@ TEST(LayerLint, RejectsDiscardableAnalysisEntryPoint) {
   EXPECT_NE(r.output.find("max_cycle_ratio"), std::string::npos) << r.output;
 }
 
+TEST(LayerLint, RejectsLpIncludeOutsideBaseAndSdf) {
+  LintTree tree;
+  // exec/ sits BELOW lp/ in the rank table, so L1 stays quiet — only the
+  // L5 closure rule can catch the dependency leak.
+  tree.write_file("exec/progress.hpp", "#pragma once\n");
+  tree.write_file("lp/simplex.hpp",
+                  "#pragma once\n#include \"exec/progress.hpp\"\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("lp/simplex.hpp") + ":2: L5"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("only base/ and sdf/"), std::string::npos)
+      << r.output;
+}
+
+TEST(LayerLint, LpMayIncludeBaseSdfAndItself) {
+  LintTree tree;
+  tree.write_file("base/rational.hpp", "#pragma once\n");
+  tree.write_file("sdf/graph.hpp", "#pragma once\n");
+  tree.write_file("lp/simplex.hpp", "#pragma once\n");
+  tree.write_file("lp/sdf_model.hpp",
+                  "#pragma once\n#include \"base/rational.hpp\"\n"
+                  "#include \"sdf/graph.hpp\"\n#include \"lp/simplex.hpp\"\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LayerLint, RejectsThrowInLpHeader) {
+  LintTree tree;
+  tree.write_file("lp/simplex.hpp",
+                  "#pragma once\ninline void f(bool b) {\n"
+                  "  if (b) throw 1;\n}\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("lp/simplex.hpp") + ":3: L2"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LayerLint, RejectsDiscardableLpEntryPoint) {
+  LintTree tree;
+  tree.write_file("lp/simplex.hpp",
+                  "#pragma once\nstruct SolveResult {};\n"
+                  "SolveResult solve(int x);\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("lp/simplex.hpp") + ":3: L4"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("solve"), std::string::npos) << r.output;
+}
+
 TEST(LayerLint, NodiscardAndVoidEntryPointsAreFine) {
   LintTree tree;
   tree.write_file("analysis/mcm.hpp",

@@ -1,0 +1,300 @@
+// Unit tests for the exact-rational simplex core (lp/simplex.hpp) and the
+// SDF bound models built on it (lp/sdf_model.hpp).
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "analysis/max_throughput.hpp"
+#include "analysis/repetition_vector.hpp"
+#include "base/diagnostics.hpp"
+#include "buffer/bounds.hpp"
+#include "gen/random_graph.hpp"
+#include "lp/sdf_model.hpp"
+#include "lp/simplex.hpp"
+#include "sdf/builder.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy {
+namespace {
+
+lp::Constraint row(std::vector<Rational> coeffs, lp::Sense sense,
+                   Rational rhs) {
+  lp::Constraint c;
+  c.coeffs = std::move(coeffs);
+  c.sense = sense;
+  c.rhs = rhs;
+  return c;
+}
+
+TEST(Simplex, SolvesTwoVariableProgramExactly) {
+  // min x + y  s.t.  x + 2y >= 4,  3x + y >= 6: optimum 14/5 at (8/5, 6/5).
+  lp::Problem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1), Rational(1)};
+  p.rows.push_back(row({Rational(1), Rational(2)}, lp::Sense::Ge, Rational(4)));
+  p.rows.push_back(row({Rational(3), Rational(1)}, lp::Sense::Ge, Rational(6)));
+  const lp::Solution s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::Status::Optimal);
+  EXPECT_EQ(s.objective_value, Rational(14, 5));
+  EXPECT_EQ(s.values[0], Rational(8, 5));
+  EXPECT_EQ(s.values[1], Rational(6, 5));
+}
+
+TEST(Simplex, SolvesEqualityRows) {
+  // min x + y  s.t.  x + y == 5,  x - y == 1: unique point (3, 2).
+  lp::Problem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1), Rational(1)};
+  p.rows.push_back(row({Rational(1), Rational(1)}, lp::Sense::Eq, Rational(5)));
+  p.rows.push_back(
+      row({Rational(1), Rational(-1)}, lp::Sense::Eq, Rational(1)));
+  const lp::Solution s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::Status::Optimal);
+  EXPECT_EQ(s.values[0], Rational(3));
+  EXPECT_EQ(s.values[1], Rational(2));
+}
+
+TEST(Simplex, NormalisesNegativeRightHandSides) {
+  // -x <= -3 is x >= 3; minimising x must land exactly on 3.
+  lp::Problem p;
+  p.num_vars = 1;
+  p.objective = {Rational(1)};
+  p.rows.push_back(row({Rational(-1)}, lp::Sense::Le, Rational(-3)));
+  const lp::Solution s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::Status::Optimal);
+  EXPECT_EQ(s.values[0], Rational(3));
+}
+
+TEST(Simplex, HandlesRedundantRows) {
+  lp::Problem p;
+  p.num_vars = 2;
+  p.objective = {Rational(2), Rational(1)};
+  p.rows.push_back(row({Rational(1), Rational(1)}, lp::Sense::Eq, Rational(4)));
+  p.rows.push_back(row({Rational(2), Rational(2)}, lp::Sense::Eq, Rational(8)));
+  const lp::Solution s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::Status::Optimal);
+  EXPECT_EQ(s.objective_value, Rational(4));  // all weight on y
+}
+
+TEST(Simplex, ReportsUnboundedObjectives) {
+  lp::Problem p;
+  p.num_vars = 1;
+  p.objective = {Rational(-1)};
+  p.rows.push_back(row({Rational(1)}, lp::Sense::Ge, Rational(1)));
+  EXPECT_EQ(lp::solve(p).status, lp::Status::Unbounded);
+}
+
+TEST(Simplex, InfeasibilityComesWithVerifiedCertificate) {
+  // x <= 1 and x >= 2 cannot both hold.
+  lp::Problem p;
+  p.num_vars = 1;
+  p.objective = {Rational(0)};
+  p.rows.push_back(row({Rational(1)}, lp::Sense::Le, Rational(1)));
+  p.rows.push_back(row({Rational(1)}, lp::Sense::Ge, Rational(2)));
+  const lp::Solution s = lp::solve(p);
+  ASSERT_EQ(s.status, lp::Status::Infeasible);
+  ASSERT_EQ(s.certificate.size(), 2u);
+  EXPECT_TRUE(lp::verify_infeasibility(p, s.certificate));
+}
+
+TEST(Simplex, VerifierRejectsBogusCertificates) {
+  lp::Problem p;
+  p.num_vars = 1;
+  p.objective = {Rational(0)};
+  p.rows.push_back(row({Rational(1)}, lp::Sense::Le, Rational(1)));
+  p.rows.push_back(row({Rational(1)}, lp::Sense::Ge, Rational(2)));
+  EXPECT_FALSE(lp::verify_infeasibility(p, {Rational(1), Rational(1)}));
+  EXPECT_FALSE(lp::verify_infeasibility(p, {Rational(0), Rational(0)}));
+  EXPECT_FALSE(lp::verify_infeasibility(p, {Rational(1)}));
+}
+
+TEST(Simplex, PivotBudgetTurnsIntoStatusNotHang) {
+  lp::Problem p;
+  p.num_vars = 2;
+  p.objective = {Rational(1), Rational(1)};
+  p.rows.push_back(row({Rational(1), Rational(2)}, lp::Sense::Ge, Rational(4)));
+  p.rows.push_back(row({Rational(3), Rational(1)}, lp::Sense::Ge, Rational(6)));
+  EXPECT_EQ(lp::solve(p, 0).status, lp::Status::PivotLimit);
+}
+
+TEST(Simplex, StatusNamesAreStable) {
+  EXPECT_STREQ(lp::status_name(lp::Status::Optimal), "optimal");
+  EXPECT_STREQ(lp::status_name(lp::Status::Infeasible), "infeasible");
+  EXPECT_STREQ(lp::status_name(lp::Status::Unbounded), "unbounded");
+  EXPECT_STREQ(lp::status_name(lp::Status::PivotLimit), "pivot_limit");
+  EXPECT_STREQ(lp::status_name(lp::Status::NumericOverflow),
+               "numeric_overflow");
+}
+
+// --- SDF model layer -----------------------------------------------------
+
+// Two-actor cycle: a --(c0, no tokens)--> b --(c1, two tokens)--> a.
+// Single-rate, exec times 2 and 3, so theta_max = 1/3 (b's self period).
+sdf::Graph two_actor_cycle() {
+  sdf::GraphBuilder b("cycle");
+  const sdf::ActorId a = b.actor("a", 2);
+  const sdf::ActorId bb = b.actor("b", 3);
+  b.channel("c0", a, 1, bb, 1, 0);
+  b.channel("c1", bb, 1, a, 1, 2);
+  return b.build();
+}
+
+std::vector<i64> reps(const sdf::Graph& graph) {
+  return analysis::repetition_vector(graph).counts();
+}
+
+std::vector<i64> floors(const sdf::Graph& graph) {
+  std::vector<i64> out;
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    out.push_back(lp::channel_floor(graph, c));
+  }
+  return out;
+}
+
+TEST(SdfModel, ChannelFloorMatchesBufferBound) {
+  gen::RandomGraphOptions opts;
+  opts.num_actors = 6;
+  opts.max_repetition = 4;
+  opts.max_execution_time = 5;
+  for (u64 seed = 0; seed < 50; ++seed) {
+    opts.seed = seed;
+    const sdf::Graph graph = gen::random_graph(opts);
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      EXPECT_EQ(lp::channel_floor(graph, c),
+                buffer::channel_lower_bound(graph.channel(c)))
+          << "seed " << seed << " channel " << c.index();
+    }
+  }
+}
+
+TEST(SdfModel, DeadSelfLoopYieldsStructuredDiagnostic) {
+  sdf::GraphBuilder b("dead");
+  const sdf::ActorId a = b.actor("a", 1);
+  const sdf::ActorId z = b.actor("z", 1);
+  b.channel("loop", a, 2, a, 2, 1);  // 1 token, needs 2: never fires
+  b.channel("out", a, 1, z, 1, 0);
+  const sdf::Graph graph = b.build();
+
+  const std::vector<lp::ModelDiagnostic> diags = lp::model_diagnostics(graph);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].code, lp::ModelDiagnostic::Code::DeadSelfLoop);
+  EXPECT_EQ(diags[0].channel, *graph.find_channel("loop"));
+  EXPECT_NE(diags[0].message.find("loop"), std::string::npos);
+
+  // The periodic model must refuse (no division, no unsatisfiable rows).
+  const lp::PeriodicSolveResult r = lp::min_buffers_for_throughput(
+      graph, reps(graph), *graph.find_actor("z"), Rational(1, 4),
+      floors(graph));
+  EXPECT_EQ(r.status, lp::Status::Infeasible);
+}
+
+TEST(SdfModel, LiveSelfLoopIsNotDiagnosed) {
+  sdf::GraphBuilder b("live");
+  const sdf::ActorId a = b.actor("a", 1);
+  b.channel("loop", a, 2, a, 2, 2);
+  EXPECT_TRUE(lp::model_diagnostics(b.build()).empty());
+}
+
+TEST(SdfModel, CycleCutsBoundSimulatedThroughput) {
+  const sdf::Graph graph = two_actor_cycle();
+  const sdf::ActorId target = *graph.find_actor("b");
+  const lp::ThroughputCuts cuts =
+      lp::ThroughputCuts::derive(graph, reps(graph), target);
+  ASSERT_FALSE(cuts.empty());
+
+  for (i64 x0 = 1; x0 <= 4; ++x0) {
+    for (i64 x1 = 2; x1 <= 5; ++x1) {
+      const std::vector<i64> caps{x0, x1};
+      const std::optional<Rational> bound = cuts.upper_bound(caps);
+      ASSERT_TRUE(bound.has_value());
+      state::ThroughputOptions topts;
+      topts.target = target;
+      const state::ThroughputResult run = state::compute_throughput(
+          graph, state::Capacities::bounded(caps), topts);
+      EXPECT_GE(*bound, run.throughput) << "caps " << x0 << "," << x1;
+      EXPECT_TRUE(cuts.bounds_below(caps, *bound, false));
+      EXPECT_FALSE(cuts.bounds_below(caps, Rational(0), true));
+    }
+  }
+}
+
+TEST(SdfModel, NecessaryFloorsNeverExceedParetoCapacities) {
+  const sdf::Graph graph = two_actor_cycle();
+  const lp::ThroughputCuts cuts = lp::ThroughputCuts::derive(
+      graph, reps(graph), *graph.find_actor("b"));
+  const std::vector<i64>& nf = cuts.necessary_floors();
+  ASSERT_EQ(nf.size(), 2u);
+  // c0 sits on a cycle with no tokens: at least one capacity is forced.
+  EXPECT_GE(nf[0], 1);
+  // Any alive capacity vector satisfies the floors.
+  state::ThroughputOptions topts;
+  topts.target = *graph.find_actor("b");
+  const state::ThroughputResult run = state::compute_throughput(
+      graph, state::Capacities::bounded({1, 2}), topts);
+  ASSERT_FALSE(run.throughput.is_zero());
+  EXPECT_LE(nf[0], 1);
+  EXPECT_LE(nf[1], 2);
+}
+
+TEST(SdfModel, PeriodicModelReachesMaxThroughputOnCycle) {
+  const sdf::Graph graph = two_actor_cycle();
+  const sdf::ActorId target = *graph.find_actor("b");
+  const analysis::MaxThroughput mcm = analysis::max_throughput(graph);
+  ASSERT_FALSE(mcm.deadlock);
+  const Rational theta = mcm.actor_throughput(target);
+  EXPECT_EQ(theta, Rational(1, 3));
+
+  const lp::PeriodicSolveResult r = lp::min_buffers_for_throughput(
+      graph, reps(graph), target, theta, floors(graph));
+  ASSERT_EQ(r.status, lp::Status::Optimal);
+  ASSERT_EQ(r.capacities.size(), 2u);
+
+  // The point is a real witness: simulating it reaches the claimed rate.
+  state::ThroughputOptions topts;
+  topts.target = target;
+  const state::ThroughputResult run = state::compute_throughput(
+      graph, state::Capacities::bounded(r.capacities), topts);
+  EXPECT_GE(run.throughput, theta)
+      << "caps " << r.capacities[0] << "," << r.capacities[1];
+}
+
+TEST(SdfModel, PeriodicModelIsInfeasibleAboveMaxThroughput) {
+  const sdf::Graph graph = two_actor_cycle();
+  const sdf::ActorId target = *graph.find_actor("b");
+  const lp::PeriodicSolveResult r = lp::min_buffers_for_throughput(
+      graph, reps(graph), target, Rational(1, 2), floors(graph));
+  EXPECT_EQ(r.status, lp::Status::Infeasible);
+}
+
+TEST(SdfModel, PeriodicPointsAreSimulationSoundOnRandomGraphs) {
+  gen::RandomGraphOptions opts;
+  opts.num_actors = 4;
+  opts.max_repetition = 3;
+  opts.max_execution_time = 4;
+  for (u64 seed = 0; seed < 40; ++seed) {
+    opts.seed = seed;
+    const sdf::Graph graph = gen::random_graph(opts);
+    if (!lp::model_diagnostics(graph).empty()) continue;
+    const sdf::ActorId target(graph.num_actors() - 1);
+    const analysis::MaxThroughput mcm = analysis::max_throughput(graph);
+    if (mcm.deadlock || mcm.actor_throughput(target).is_zero()) continue;
+
+    for (const i64 frac : {1, 2, 4}) {
+      const Rational theta =
+          mcm.actor_throughput(target) / Rational(frac);
+      const lp::PeriodicSolveResult r = lp::min_buffers_for_throughput(
+          graph, reps(graph), target, theta, floors(graph));
+      if (r.status != lp::Status::Optimal) continue;
+      state::ThroughputOptions topts;
+      topts.target = target;
+      const state::ThroughputResult run = state::compute_throughput(
+          graph, state::Capacities::bounded(r.capacities), topts);
+      EXPECT_GE(run.throughput, theta)
+          << "seed " << seed << " frac " << frac;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace buffy

@@ -68,6 +68,39 @@ TEST(Mcm, TokenFreeCycleIsDeadlock) {
   EXPECT_TRUE(r.deadlock);
 }
 
+// The degenerate cycle: a self-loop edge with zero tokens is a
+// length-one token-free cycle. All three implementations must classify
+// it as deadlock — not divide by zero, not report a ratio — even when a
+// healthy token-carrying cycle runs through the same node (the LP model
+// layer upstream rejects the SDF form of this with a structured
+// DeadSelfLoop diagnostic; see test_lp.cpp).
+TEST(Mcm, ZeroTokenSelfLoopIsDeadlockInEveryImplementation) {
+  RatioProblem bare;
+  bare.num_nodes = 1;
+  bare.edges.push_back(RatioEdge{.src = 0, .dst = 0, .weight = 4, .tokens = 0});
+
+  RatioProblem mixed;
+  mixed.num_nodes = 2;
+  mixed.edges.push_back(RatioEdge{.src = 0, .dst = 1, .weight = 1, .tokens = 1});
+  mixed.edges.push_back(RatioEdge{.src = 1, .dst = 0, .weight = 1, .tokens = 1});
+  mixed.edges.push_back(RatioEdge{.src = 1, .dst = 1, .weight = 3, .tokens = 0});
+
+  for (const RatioProblem* p : {&bare, &mixed}) {
+    const auto iterate = max_cycle_ratio(*p);
+    EXPECT_TRUE(iterate.has_cycle);
+    EXPECT_TRUE(iterate.deadlock);
+    EXPECT_FALSE(iterate.critical_cycle.empty());
+
+    const auto karp = max_cycle_ratio_karp(*p);
+    EXPECT_TRUE(karp.has_cycle);
+    EXPECT_TRUE(karp.deadlock);
+
+    const auto brute = max_cycle_ratio_bruteforce(*p);
+    EXPECT_TRUE(brute.has_cycle);
+    EXPECT_TRUE(brute.deadlock);
+  }
+}
+
 TEST(Mcm, ParallelEdgesKeepTightest) {
   // Two parallel edges 0->1: (w=1, t=0) and (w=1, t=5); back edge (w=1, t=1).
   // The tight parallel edge gives ratio 2/1.

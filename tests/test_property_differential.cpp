@@ -28,10 +28,13 @@
 #include <vector>
 
 #include "analysis/max_throughput.hpp"
+#include "analysis/repetition_vector.hpp"
 #include "base/diagnostics.hpp"
 #include "buffer/dse.hpp"
+#include "buffer/fast_front.hpp"
 #include "gen/random_graph.hpp"
 #include "io/dsl.hpp"
+#include "lp/sdf_model.hpp"
 #include "state/throughput.hpp"
 
 namespace buffy {
@@ -175,6 +178,118 @@ TEST(PropertyDifferential, SimulatedMaxThroughputMatchesMcmReference) {
     ASSERT_FALSE(simulated.deadlocked) << repro(seed, graph);
     ASSERT_EQ(simulated.throughput, reference.actor_throughput(target))
         << repro(seed, graph);
+  }
+}
+
+// Property (d): the LP cycle cuts are sound. For every point either
+// engine puts on the front, the cut upper bound at the witness's
+// capacities must be at or above the throughput the simulation actually
+// achieved, and the single-edge necessary floors must fit under every
+// witness's per-channel capacity — a floor above any real Pareto point
+// would mean the LP "proves" an achieved distribution infeasible.
+TEST(PropertyDifferential, LpCutBoundsAreSoundOnEveryParetoPoint) {
+  for (const u64 seed : load_seeds()) {
+    const sdf::Graph graph = gen::random_graph(graph_options(seed));
+    buffer::DseOptions opts;
+    opts.target = sdf::ActorId(graph.num_actors() - 1);
+    const buffer::DseResult exact = buffer::explore(graph, opts);
+
+    const lp::ThroughputCuts cuts = lp::ThroughputCuts::derive(
+        graph, analysis::repetition_vector(graph).counts(), opts.target);
+    const std::vector<i64>& floors = cuts.necessary_floors();
+
+    for (const buffer::ParetoPoint& p : exact.pareto.points()) {
+      const std::vector<i64>& caps = p.distribution.capacities();
+      // No cut may bound the witness strictly below what it achieves.
+      ASSERT_FALSE(cuts.bounds_below(caps, p.throughput, /*strict=*/true))
+          << repro(seed, graph) << "point " << p.distribution.str();
+      if (p.throughput.is_zero()) continue;
+      for (std::size_t c = 0; c < caps.size(); ++c) {
+        ASSERT_LE(floors[c], caps[c])
+            << repro(seed, graph) << "channel " << c << " of point "
+            << p.distribution.str();
+      }
+    }
+  }
+}
+
+// Property (e): LP pruning is invisible in the result. The exhaustive
+// engine's front must be the same bytes with the bounds on or off (the
+// skip test is non-strict against an armed incumbent, so no point the
+// search would keep can be skipped); the incremental engine's trade-off
+// curve likewise (its warm start only lifts the floor by capacities every
+// non-deadlocked distribution needs anyway). Pruning may only ever remove
+// simulations, never add them.
+TEST(PropertyDifferential, LpPruningPreservesTheFronts) {
+  for (const u64 seed : load_seeds()) {
+    const sdf::Graph graph = gen::random_graph(graph_options(seed));
+    buffer::DseOptions opts;
+    opts.target = sdf::ActorId(graph.num_actors() - 1);
+
+    opts.engine = buffer::DseEngine::Exhaustive;
+    opts.use_lp_bounds = true;
+    const buffer::DseResult exh_lp = buffer::explore(graph, opts);
+    opts.use_lp_bounds = false;
+    const buffer::DseResult exh_plain = buffer::explore(graph, opts);
+    ASSERT_EQ(exh_lp.pareto.str(), exh_plain.pareto.str())
+        << repro(seed, graph);
+    ASSERT_LE(exh_lp.simulations_run, exh_plain.simulations_run)
+        << repro(seed, graph);
+
+    opts.engine = buffer::DseEngine::Incremental;
+    opts.use_lp_bounds = true;
+    const buffer::DseResult inc_lp = buffer::explore(graph, opts);
+    opts.use_lp_bounds = false;
+    const buffer::DseResult inc_plain = buffer::explore(graph, opts);
+    ASSERT_EQ(curve(inc_lp.pareto), curve(inc_plain.pareto))
+        << repro(seed, graph);
+    validate_witnesses(graph, opts.target, inc_lp,
+                       "incremental+lp: " + repro(seed, graph) + "\n");
+  }
+}
+
+// Property (f): quality=fast is sound and never flatters. Every fast
+// point's witness must simulate to at least its claimed throughput (the
+// periodic schedule the LP found is a real schedule; self-timed execution
+// only does better), and every fast point must be weakly dominated by
+// some exact Pareto point — fast trades tightness, never correctness.
+TEST(PropertyDifferential, FastFrontsAreSoundAndDominatedByExact) {
+  for (const u64 seed : load_seeds()) {
+    const sdf::Graph graph = gen::random_graph(graph_options(seed));
+    const sdf::ActorId target(graph.num_actors() - 1);
+
+    const buffer::FastFrontResult fast = buffer::fast_front(graph, target);
+    buffer::DseOptions opts;
+    opts.target = target;
+    const buffer::DseResult exact = buffer::explore(graph, opts);
+    ASSERT_EQ(fast.bounds.deadlock, exact.bounds.deadlock)
+        << repro(seed, graph);
+    if (fast.bounds.deadlock) continue;
+
+    for (const buffer::ParetoPoint& p : fast.pareto.points()) {
+      state::ThroughputOptions topts;
+      topts.target = target;
+      const state::ThroughputResult run = state::compute_throughput(
+          graph, state::Capacities::bounded(p.distribution.capacities()),
+          topts);
+      ASSERT_FALSE(run.deadlocked)
+          << repro(seed, graph) << "fast point " << p.distribution.str();
+      ASSERT_GE(run.throughput, p.throughput)
+          << repro(seed, graph) << "fast point " << p.distribution.str()
+          << " does not achieve its claimed throughput";
+
+      bool dominated = false;
+      for (const buffer::ParetoPoint& q : exact.pareto.points()) {
+        if (q.size() <= p.size() && q.throughput >= p.throughput) {
+          dominated = true;
+          break;
+        }
+      }
+      ASSERT_TRUE(dominated)
+          << repro(seed, graph) << "fast point " << p.distribution.str()
+          << " (" << p.throughput.str()
+          << ") is not dominated by any exact point";
+    }
   }
 }
 

@@ -355,6 +355,69 @@ TEST(Service, MalformedInputsGetStructuredErrorCodes) {
   server.wait();
 }
 
+// quality=fast serves the LP-only front without ever touching the warm
+// cache registry, and a later quality=exact request on the same graph
+// still produces the byte-identical reference front from a cold cache.
+TEST(Service, FastQualityServesLpFrontWithoutSeedingTheWarmCache) {
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  const service::JsonValue fast_resp = client.call(
+      explore_request(1, h263_xml(), ",\"quality\":\"fast\""));
+  ASSERT_TRUE(response_ok(fast_resp));
+  const service::JsonValue& fast = result_of(fast_resp);
+  EXPECT_EQ(fast.find("quality")->as_string(), "fast");
+  EXPECT_FALSE(fast.find("deadlock")->as_bool());
+  EXPECT_GE(fast.find("lp_solves")->as_int(), 1);
+  EXPECT_GE(fast.find("lp_cuts")->as_int(), 0);
+  const service::JsonValue* points = fast.find("points");
+  ASSERT_TRUE(points != nullptr && points->is_array());
+  EXPECT_FALSE(points->as_array().empty());
+  // Fast answers carry no cache provenance: the registry was never
+  // consulted, so the member must be absent (not merely false).
+  EXPECT_EQ(fast.find("cached_graph"), nullptr);
+
+  // The registry holds nothing: a fast answer must never seed exact
+  // warm state.
+  const service::JsonValue status = client.call("{\"method\":\"status\"}");
+  EXPECT_EQ(result_of(status).find("cache")->find("graphs_resident")->as_int(),
+            0);
+
+  // The first exact request is therefore cold — and still reproduces
+  // the reference front byte for byte.
+  const service::JsonValue exact_resp = client.call(
+      explore_request(2, h263_xml(), ",\"quality\":\"exact\""));
+  ASSERT_TRUE(response_ok(exact_resp));
+  const service::JsonValue& exact = result_of(exact_resp);
+  EXPECT_EQ(exact.find("quality")->as_string(), "exact");
+  EXPECT_FALSE(exact.find("cached_graph")->as_bool());
+  EXPECT_EQ(exact.find("front")->as_string(), h263_reference_front());
+  EXPECT_TRUE(exact.find("lp_prunes") != nullptr &&
+              exact.find("lp_prunes")->is_int());
+  EXPECT_TRUE(exact.find("lp_cuts") != nullptr &&
+              exact.find("lp_cuts")->is_int());
+
+  server.shutdown();
+  server.wait();
+}
+
+TEST(Service, QualityMemberIsValidated) {
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  EXPECT_EQ(error_code(client.call(
+                explore_request(1, kTinyDsl, ",\"quality\":\"bogus\""))),
+            "bad_request");
+  EXPECT_EQ(error_code(client.call(
+                explore_request(2, kTinyDsl, ",\"quality\":17"))),
+            "bad_request");
+
+  server.shutdown();
+  server.wait();
+}
+
 TEST(Service, DeadlineExpiredRequestsReturnDeadlineExceeded) {
   service::Server server(tcp_options());
   server.start();
