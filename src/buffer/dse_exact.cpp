@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 #include <map>
+#include <memory>
+#include <optional>
 
 #include "base/audit.hpp"
 #include "base/diagnostics.hpp"
@@ -21,6 +23,17 @@ namespace buffy::buffer {
 
 namespace {
 
+// Adaptive shard granularity (DESIGN.md §14): a per-size slice only fans
+// out over the pool when its estimated simulation work — LP-floor-weighted
+// candidate count x running average per-simulation seconds — clears the
+// barrier threshold, and the pool is only spawned for a slice expensive
+// enough to also repay thread creation. kTargetShardSeconds sizes the
+// shard count so each shard holds roughly that much estimated work
+// instead of the former unconditional workers * 8 explosion.
+constexpr double kParallelSliceSeconds = 200e-6;
+constexpr double kSpawnSliceSeconds = 1e-3;
+constexpr double kTargetShardSeconds = 500e-6;
+
 // Shared state of one exhaustive exploration. Counters are atomic because
 // the per-size enumeration is sharded across the worker pool.
 struct Sweep {
@@ -31,6 +44,11 @@ struct Sweep {
   std::vector<i64> ub;  // per-channel enumeration ceiling (Fig. 7 box)
   std::vector<i64> lb_suffix;  // sum of lb over channels >= i
   std::vector<i64> ub_suffix;  // sum of ub over channels >= i
+  // Per-channel floor used ONLY for work estimation: lb lifted by the LP
+  // necessary floors when LP bounds are on. Candidates below these floors
+  // are answered by the LP leaf cut without simulating, so weighting the
+  // count by them keeps the shard-sizing estimate honest.
+  std::vector<i64> est_lb;
   Rational goal;               // stop improving a size beyond this
   // Names the caller in the max_distributions diagnostic (the Pareto
   // search and the tie enumeration share this machinery).
@@ -41,7 +59,7 @@ struct Sweep {
   std::atomic<u64> cache_hits{0};
   std::atomic<u64> dominance_skips{0};
   std::atomic<u64> lp_prunes{0};
-  exec::ThreadPool* pool = nullptr;      // null = sequential
+  exec::LazyThreadPool* lazy = nullptr;  // null = sequential-only caller
   ThroughputCache* cache = nullptr;      // null = cache disabled
   // LP cycle cuts (null = LP bounds disabled). A candidate or envelope
   // whose cut bound cannot strictly beat the incumbent is answered without
@@ -49,23 +67,89 @@ struct Sweep {
   // front stays byte-identical to the unpruned scan.
   const lp::ThroughputCuts* cuts = nullptr;
   // null = fresh engine per run (options.reuse_engines == false).
-  state::ThroughputSolverPool* solvers = nullptr;
+  // Thread-affine: each worker keeps the slot's solver for the whole
+  // exploration — no per-shard acquire/release.
+  state::WorkerSolvers* solvers = nullptr;
 
-  // `solver` is the worker's leased solver, or null for the legacy
-  // engine-per-run path.
+  // Per-slot scratch: the worker's cache delta plus its local simulation
+  // cost sample, padded so neighbouring workers never share a cache line.
+  struct alignas(64) SlotState {
+    std::optional<ThroughputCache::Delta> delta;
+    double sim_seconds = 0.0;
+    u64 sims = 0;
+  };
+  std::vector<SlotState> slot_state;
+  std::size_t caller_slot = 0;
+  // Frozen read view for the current slice; workers read it lock-free and
+  // record fresh outcomes into their slot's delta (merged in end_slice).
+  std::optional<ThroughputCache::Snapshot> snap;
+  // Running per-simulation cost average feeding the adaptive granularity.
+  double total_sim_seconds = 0.0;
+  u64 total_sims = 0;
+  // Pruning-efficiency estimator: the box count wildly overstates what a
+  // seeded branch-and-bound scan actually visits, so slices also feed
+  // (predicted candidates, actually explored) totals and the work
+  // estimate is scaled by their ratio. Starts neutral (1.0) — the first
+  // slice is sequential anyway (no cost sample yet).
+  double predicted_candidates = 0.0;
+  u64 explored_in_slices = 0;
+
+  void init_slots(std::size_t slots) {
+    slot_state = std::vector<SlotState>(slots);
+    caller_slot = slots - 1;
+    if (cache != nullptr) {
+      for (SlotState& s : slot_state) s.delta.emplace(cache->make_delta());
+    }
+  }
+
+  // Slice boundaries: snapshot before, merge + cost-sample fold after.
+  void begin_slice() {
+    if (cache != nullptr) snap.emplace(cache->snapshot());
+  }
+  void end_slice() {
+    if (cache != nullptr) {
+      std::vector<ThroughputCache::Delta*> deltas;
+      for (SlotState& s : slot_state) {
+        if (!s.delta->empty()) deltas.push_back(&*s.delta);
+      }
+      if (!deltas.empty()) cache->merge(deltas);
+      for (SlotState& s : slot_state) s.delta->clear();
+    }
+    for (SlotState& s : slot_state) {
+      total_sim_seconds += s.sim_seconds;
+      total_sims += s.sims;
+      s.sim_seconds = 0.0;
+      s.sims = 0;
+    }
+  }
+
+  // `slot` keys the worker's thread-affine solver and delta (the pool's
+  // current_slot(), or caller_slot on the sequential path).
   [[nodiscard]] Rational throughput_of(const std::vector<i64>& caps,
-                                       state::ThroughputSolver* solver) {
+                                       std::size_t slot) {
     if (explored.fetch_add(1, std::memory_order_relaxed) + 1 >
         options.max_distributions) {
       throw Error(std::string(op_name) + " exceeded max_distributions = " +
                   std::to_string(options.max_distributions));
     }
     if (cache != nullptr) {
+      // The snapshot covers everything merged before this slice; the
+      // slot's delta covers what this worker has learned inside it —
+      // including its own witnesses, so a sequential scan sees exactly
+      // the hit/miss pattern the per-candidate store() path produced.
+      ThroughputCache::Delta& delta = *slot_state[slot].delta;
       std::optional<CachedThroughput> hit =
-          cache->find(caps, /*require_deps=*/false);
+          snap->find(caps, /*require_deps=*/false);
+      if (!hit.has_value()) hit = delta.find(caps, /*require_deps=*/false);
       const bool exact = hit.has_value();
-      if (!hit.has_value()) hit = cache->find_max_dominated(caps);
-      if (!hit.has_value()) hit = cache->find_deadlock_dominated(caps);
+      if (!hit.has_value()) {
+        hit = snap->find_max_dominated(caps);
+        if (!hit.has_value()) hit = delta.find_max_dominated(caps);
+      }
+      if (!hit.has_value()) {
+        hit = snap->find_deadlock_dominated(caps);
+        if (!hit.has_value()) hit = delta.find_deadlock_dominated(caps);
+      }
       if (hit.has_value()) {
         if (trace::enabled()) {
           i64 size = 0;
@@ -101,11 +185,19 @@ struct Sweep {
                                           options.max_steps_per_run};
     run_opts.cancel = options.cancel;
     run_opts.progress = options.progress;
+    state::ThroughputSolver* solver =
+        solvers != nullptr ? &solvers->at(slot) : nullptr;
+    const auto sim_t0 = std::chrono::steady_clock::now();
     const state::ThroughputResult run =
         solver != nullptr
             ? solver->compute(state::Capacities::bounded(caps), run_opts)
             : state::compute_throughput(
                   graph, state::Capacities::bounded(caps), run_opts);
+    slot_state[slot].sim_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sim_t0)
+            .count();
+    slot_state[slot].sims += 1;
     simulations.fetch_add(1, std::memory_order_relaxed);
     // The same deterministic sample cross-checks the LP cycle-cut bound
     // against the fresh simulation (DESIGN.md §9, §13): a bound below
@@ -127,7 +219,7 @@ struct Sweep {
       value.states_stored = run.states_stored;
       value.cycle_start_time = run.cycle_start_time;
       value.period = run.period;
-      cache->store(caps, value);
+      slot_state[slot].delta->record(caps, value);
     }
     if (options.progress != nullptr) options.progress->add_points(1);
     return run.throughput;
@@ -167,6 +259,37 @@ struct SizeOutcome {
   StorageDistribution witness;
 };
 
+// Number of distributions of total `size` inside the estimation box
+// [est_lb, ub], as a double (a threshold estimate, not an exact count:
+// precision loss and +inf on astronomic boxes are both fine — anything
+// that large is parallel regardless).
+double count_candidates(const Sweep& sweep, i64 size) {
+  const std::size_t m = sweep.lb.size();
+  if (size < 0) return 0.0;
+  const std::size_t budget = static_cast<std::size_t>(size);
+  std::vector<double> ways(budget + 1, 0.0);
+  std::vector<double> prefix(budget + 2, 0.0);
+  ways[0] = 1.0;
+  for (std::size_t c = 0; c < m; ++c) {
+    prefix[0] = 0.0;
+    for (std::size_t b = 0; b <= budget; ++b) {
+      prefix[b + 1] = prefix[b] + ways[b];
+    }
+    const i64 lo = sweep.est_lb[c];
+    const i64 hi = sweep.ub[c];
+    for (std::size_t b = budget + 1; b-- > 0;) {
+      // new_ways[b] = sum of ways[b - cap] for cap in [lo, hi].
+      const i64 from = static_cast<i64>(b) - hi;
+      const i64 to = static_cast<i64>(b) - lo;
+      ways[b] = to < 0 ? 0.0
+                       : prefix[static_cast<std::size_t>(to) + 1] -
+                             prefix[static_cast<std::size_t>(std::max<i64>(
+                                 from, 0))];
+    }
+  }
+  return ways[budget];
+}
+
 // The pointwise upper envelope of every completion of the node
 // (channel, remaining): channel c >= `channel` can hold at most
 // min(ub[c], remaining - floors of the other open channels). Each valid
@@ -184,9 +307,9 @@ std::vector<i64> envelope_caps(const Sweep& sweep, const std::vector<i64>& caps,
   return env;
 }
 
-Rational envelope_throughput(Sweep& sweep, state::ThroughputSolver* solver,
+Rational envelope_throughput(Sweep& sweep, std::size_t slot,
                              const std::vector<i64>& env) {
-  return quantize_down(sweep.throughput_of(env, solver),
+  return quantize_down(sweep.throughput_of(env, slot),
                        sweep.options.quantization);
 }
 
@@ -195,14 +318,14 @@ Rational envelope_throughput(Sweep& sweep, state::ThroughputSolver* solver,
 // LP-answered prune cuts exactly subtrees the probe would also have cut —
 // the traversal (and therefore the front) is unchanged, only cheaper.
 template <typename Incumbent>
-bool subtree_pruned(Sweep& sweep, state::ThroughputSolver* solver,
+bool subtree_pruned(Sweep& sweep, std::size_t slot,
                     const std::vector<i64>& caps, std::size_t channel,
                     i64 remaining, const Incumbent& incumbent, bool strict) {
   const std::vector<i64> env = envelope_caps(sweep, caps, channel, remaining);
   i64 env_size = 0;
   for (const i64 c : env) env_size += c;
   if (sweep.lp_rules_out(env, incumbent, strict, env_size)) return true;
-  const Rational tput = envelope_throughput(sweep, solver, env);
+  const Rational tput = envelope_throughput(sweep, slot, env);
   return strict ? tput < incumbent : tput <= incumbent;
 }
 
@@ -214,14 +337,14 @@ bool subtree_pruned(Sweep& sweep, state::ThroughputSolver* solver,
 // candidate can change the outcome. `caps[0..channel)` must already hold
 // the fixed prefix.
 template <typename Visitor, typename Pruner, typename SkipLeaf>
-bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
+bool enumerate(Sweep& sweep, std::size_t slot,
                std::vector<i64>& caps, std::size_t channel, i64 remaining,
                Visitor&& visit, Pruner&& prune, SkipLeaf&& skip_leaf) {
   const std::size_t m = sweep.lb.size();
   if (channel == m) {
     BUFFY_ASSERT(remaining == 0, "enumeration budget mismatch");
     if (skip_leaf(caps)) return true;
-    const Rational tput = quantize_down(sweep.throughput_of(caps, solver),
+    const Rational tput = quantize_down(sweep.throughput_of(caps, slot),
                                         sweep.options.quantization);
     return visit(caps, tput);
   }
@@ -233,7 +356,7 @@ bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
   // two open channels and a few tokens of slack, otherwise the probe
   // costs as much as the handful of leaves it could save.
   if (channel + 2 <= m && remaining - sweep.lb_suffix[channel] >= 3 &&
-      prune(caps, channel, remaining, solver)) {
+      prune(caps, channel, remaining, slot)) {
     return true;
   }
   // Budget window for this channel so the suffix can still hit `remaining`.
@@ -243,7 +366,7 @@ bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
   const i64 hi = std::min(sweep.ub[channel], remaining - rest_lb);
   for (i64 cap = lo; cap <= hi; ++cap) {
     caps[channel] = cap;
-    if (!enumerate(sweep, solver, caps, channel + 1, remaining - cap, visit,
+    if (!enumerate(sweep, slot, caps, channel + 1, remaining - cap, visit,
                    prune, skip_leaf)) {
       return false;
     }
@@ -262,10 +385,10 @@ bool enumerate(Sweep& sweep, state::ThroughputSolver* solver,
 SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size,
                                       SizeOutcome best,
                                       const Rational& slice_goal) {
-  state::PooledSolver lease(sweep.solvers);
+  const std::size_t slot = sweep.caller_slot;
   std::vector<i64> caps(sweep.lb.size(), 0);
   enumerate(
-      sweep, lease.get(), caps, 0, size,
+      sweep, slot, caps, 0, size,
       [&](const std::vector<i64>& found, const Rational& tput) {
         if (best.witness.num_channels() == 0 || tput > best.throughput) {
           best.throughput = tput;
@@ -274,9 +397,9 @@ SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size,
         return best.throughput < slice_goal;  // stop at the slice goal
       },
       [&](const std::vector<i64>& prefix, std::size_t channel, i64 remaining,
-          state::ThroughputSolver* solver) {
+          std::size_t probe_slot) {
         return best.witness.num_channels() != 0 &&
-               subtree_pruned(sweep, solver, prefix, channel, remaining,
+               subtree_pruned(sweep, probe_slot, prefix, channel, remaining,
                               best.throughput, /*strict=*/false);
       },
       // LP leaf cut: a candidate whose cut bound cannot strictly beat the
@@ -334,11 +457,13 @@ std::vector<Shard> make_shards(const Sweep& sweep, i64 size,
 // scan's running best, so a shard may visit candidates the sequential
 // scan skipped, but every skipped subtree on either path is non-improving
 // and the folded (throughput, witness) pair comes out identical.
+// `want` arrives from the adaptive granularity: roughly one shard per
+// kTargetShardSeconds of estimated work, clamped to [workers, workers*8].
 SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
-                                   const Rational& slice_goal) {
-  const std::size_t workers = sweep.pool->num_workers();
-  const std::vector<Shard> shards =
-      make_shards(sweep, size, workers * 8);
+                                   const Rational& slice_goal,
+                                   std::size_t want) {
+  exec::ThreadPool& pool = sweep.lazy->pool();
+  const std::vector<Shard> shards = make_shards(sweep, size, want);
   const bool seeded = seed.witness.num_channels() != 0;
 
   struct ShardOutcome {
@@ -348,11 +473,11 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
     StorageDistribution witness;
   };
   const auto outcomes = exec::parallel_transform<ShardOutcome>(
-      *sweep.pool, shards.size(),
+      pool, shards.size(),
       [&](std::size_t s) {
         const Shard& shard = shards[s];
         ShardOutcome out;
-        state::PooledSolver lease(sweep.solvers);
+        const std::size_t slot = pool.current_slot();
         std::vector<i64> caps(sweep.lb.size(), 0);
         std::copy(shard.prefix.begin(), shard.prefix.end(), caps.begin());
         // The shard's cut incumbent: max(local best, seed floor), or
@@ -370,7 +495,7 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
           return have;
         };
         enumerate(
-            sweep, lease.get(), caps, shard.prefix.size(), shard.remaining,
+            sweep, slot, caps, shard.prefix.size(), shard.remaining,
             [&](const std::vector<i64>& found, const Rational& tput) {
               if (!out.any || tput > out.best) {
                 out.any = true;
@@ -381,10 +506,10 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
               return !out.hit_goal;
             },
             [&](const std::vector<i64>& prefix, std::size_t channel,
-                i64 remaining, state::ThroughputSolver* solver) {
+                i64 remaining, std::size_t probe_slot) {
               Rational floor;
               return shard_floor(floor) &&
-                     subtree_pruned(sweep, solver, prefix, channel,
+                     subtree_pruned(sweep, probe_slot, prefix, channel,
                                     remaining, floor, /*strict=*/false);
             },
             [&](const std::vector<i64>& candidate) {
@@ -421,25 +546,67 @@ SizeOutcome max_throughput_for_size(Sweep& sweep, i64 size,
                                     const std::vector<i64>* seed,
                                     const Rational& slice_goal) {
   const trace::Span size_span(trace::EventKind::SizeEval, size);
+  sweep.begin_slice();
+  const u64 explored_before =
+      sweep.explored.load(std::memory_order_relaxed);
+  const bool adaptive =
+      sweep.lazy != nullptr && sweep.lazy->configured_workers() > 0;
+  const double count = adaptive ? count_candidates(sweep, size) : 0.0;
+  // Every finished slice feeds the pruning-efficiency ratio, including
+  // the ones a seed resolves instantly — that is exactly the signal that
+  // slices of this exploration are cheap.
+  const auto finish = [&](SizeOutcome outcome) {
+    if (adaptive) {
+      sweep.predicted_candidates += count;
+      sweep.explored_in_slices +=
+          sweep.explored.load(std::memory_order_relaxed) - explored_before;
+    }
+    sweep.end_slice();
+    BUFFY_ASSERT(outcome.witness.num_channels() != 0,
+                 "no distribution of the requested size inside the box");
+    return outcome;
+  };
   SizeOutcome incumbent{Rational(0), StorageDistribution()};
   if (seed != nullptr) {
-    state::PooledSolver lease(sweep.solvers);
-    incumbent.throughput = quantize_down(
-        sweep.throughput_of(*seed, lease.get()), sweep.options.quantization);
+    incumbent.throughput =
+        quantize_down(sweep.throughput_of(*seed, sweep.caller_slot),
+                      sweep.options.quantization);
     incumbent.witness = StorageDistribution(*seed);
-    if (incumbent.throughput >= slice_goal) return incumbent;
+    if (incumbent.throughput >= slice_goal) return finish(incumbent);
   }
-  const bool parallel =
-      sweep.pool != nullptr && sweep.pool->num_workers() > 1;
-  SizeOutcome best =
-      parallel
-          ? max_throughput_sharded(sweep, size, std::move(incumbent),
-                                   slice_goal)
-          : max_throughput_sequential(sweep, size, std::move(incumbent),
-                                      slice_goal);
-  BUFFY_ASSERT(best.witness.num_channels() != 0,
-               "no distribution of the requested size inside the box");
-  return best;
+  // Adaptive granularity: estimate the slice's simulation work — box
+  // count x pruning-efficiency ratio x average simulation cost — and only
+  // shard when it clears the (spawn-aware) threshold. The decision moves
+  // work between two outcome-identical paths, so the front is unaffected.
+  bool parallel = false;
+  std::size_t want = 0;
+  if (adaptive && sweep.total_sims > 0) {
+    const std::size_t workers = sweep.lazy->configured_workers();
+    const double ratio =
+        sweep.predicted_candidates > 0.0
+            ? static_cast<double>(sweep.explored_in_slices) /
+                  sweep.predicted_candidates
+            : 1.0;
+    if (count * ratio >= 2.0 * static_cast<double>(workers)) {
+      const double est =
+          count * ratio *
+          (sweep.total_sim_seconds / static_cast<double>(sweep.total_sims));
+      if (est >= (sweep.lazy->started() ? kParallelSliceSeconds
+                                        : kSpawnSliceSeconds)) {
+        parallel = true;
+        const double shards_for_work = est / kTargetShardSeconds;
+        want = static_cast<std::size_t>(std::min<double>(
+            static_cast<double>(workers * 8),
+            std::max<double>(static_cast<double>(workers), shards_for_work)));
+      }
+    }
+  }
+  return finish(parallel ? max_throughput_sharded(sweep, size,
+                                                  std::move(incumbent),
+                                                  slice_goal, want)
+                         : max_throughput_sequential(sweep, size,
+                                                     std::move(incumbent),
+                                                     slice_goal));
 }
 
 // Builds the enumeration box shared by explore_exhaustive and
@@ -462,6 +629,19 @@ void init_box(Sweep& sweep) {
     sweep.lb_suffix[c] = checked_add(sweep.lb_suffix[c + 1], sweep.lb[c]);
     sweep.ub_suffix[c] = checked_add(sweep.ub_suffix[c + 1], sweep.ub[c]);
   }
+  sweep.est_lb = sweep.lb;
+}
+
+// Lifts the estimation floors (work estimates only — the enumeration box
+// is untouched) by the LP necessary floors: candidates below them are
+// answered by the LP leaf cut without simulating.
+void lift_estimation_floors(Sweep& sweep) {
+  if (sweep.cuts == nullptr) return;
+  const std::vector<i64>& lp_floors = sweep.cuts->necessary_floors();
+  for (std::size_t c = 0; c < sweep.est_lb.size(); ++c) {
+    sweep.est_lb[c] = std::min(sweep.ub[c],
+                               std::max(sweep.est_lb[c], lp_floors[c]));
+  }
 }
 
 }  // namespace
@@ -474,9 +654,11 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   DseResult result;
   result.bounds = bounds;
 
-  exec::ThreadPool pool(options.threads > 1 ? options.threads : 0);
+  // Lazily spawned: a slice only fans out (and the workers only come into
+  // existence) once the adaptive estimate says the work repays it.
+  exec::LazyThreadPool lazy(options.threads);
   Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
-  sweep.pool = &pool;
+  sweep.lazy = &lazy;
   init_box(sweep);
   std::optional<lp::ThroughputCuts> cuts;
   if (options.use_lp_bounds) {
@@ -511,11 +693,12 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
     sweep.cache->add_max_witness(
         bounds.max_throughput_distribution.capacities());
   }
-  std::optional<state::ThroughputSolverPool> solvers;
+  std::optional<state::WorkerSolvers> solvers;
   if (options.reuse_engines) {
-    solvers.emplace(graph);
+    solvers.emplace(graph, lazy.num_slots());
     sweep.solvers = &*solvers;
   }
+  sweep.init_slots(lazy.num_slots());
 
   // Sizes beyond the max-throughput distribution's cannot improve anything
   // (Sec. 8), so the meaningful size interval is [lb, sz(mtd)] — unless
@@ -551,6 +734,7 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
       sweep.ub_suffix[c] = checked_add(sweep.ub_suffix[c + 1], sweep.ub[c]);
     }
   }
+  lift_estimation_floors(sweep);
 
   // Divide and conquer over the size dimension (Sec. 9): throughput is
   // monotonic in the size, so an interval whose endpoints agree contains no
@@ -706,15 +890,17 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
     sweep.cache->add_max_witness(
         bounds.max_throughput_distribution.capacities());
   }
-  std::optional<state::ThroughputSolverPool> solvers;
+  std::optional<state::WorkerSolvers> solvers;
   if (options.reuse_engines) {
-    solvers.emplace(graph);
+    // Tie enumeration is sequential: one caller slot, one solver.
+    solvers.emplace(graph, 1);
     sweep.solvers = &*solvers;
   }
-  state::PooledSolver lease(sweep.solvers);
+  sweep.init_slots(1);
+  sweep.begin_slice();
   std::vector<i64> caps(sweep.lb.size(), 0);
   enumerate(
-      sweep, lease.get(), caps, 0, size,
+      sweep, sweep.caller_slot, caps, 0, size,
       [&](const std::vector<i64>& candidate, const Rational& tput) {
         if (tput >= min_throughput) {
           found.emplace_back(candidate);
@@ -724,8 +910,8 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
       // A subtree whose envelope falls short of the tie threshold holds
       // no qualifying distribution (monotonicity) — cut it wholesale.
       [&](const std::vector<i64>& prefix, std::size_t channel, i64 remaining,
-          state::ThroughputSolver* solver) {
-        return subtree_pruned(sweep, solver, prefix, channel, remaining,
+          std::size_t probe_slot) {
+        return subtree_pruned(sweep, probe_slot, prefix, channel, remaining,
                               min_throughput, /*strict=*/true);
       },
       // A candidate provably below the tie threshold never qualifies.
@@ -733,6 +919,7 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
         return sweep.lp_rules_out(candidate, min_throughput, /*strict=*/true,
                                   size);
       });
+  sweep.end_slice();
   return found;
 }
 

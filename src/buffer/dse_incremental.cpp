@@ -69,6 +69,25 @@ namespace {
 // lexicographically so runs are reproducible across platforms.
 using Frontier = std::set<std::pair<i64, std::vector<i64>>>;
 
+// Adaptive wave granularity (DESIGN.md §14): a wave only fans out over
+// the pool when its estimated simulation work repays the barrier cost,
+// and the pool itself is only ever spawned for a wave expensive enough
+// to also repay thread creation. Estimates use the running average
+// per-simulation wall time of this exploration; before the first
+// simulation completes the wave runs sequentially (the first wave is the
+// single warm-start candidate anyway).
+constexpr double kParallelWaveSeconds = 200e-6;
+constexpr double kSpawnWaveSeconds = 1e-3;
+
+// Per-slot scratch for one wave: the worker's cache delta plus its local
+// simulation-cost sample, padded so neighbouring workers never share a
+// cache line.
+struct alignas(64) WaveSlot {
+  std::optional<ThroughputCache::Delta> delta;
+  double sim_seconds = 0.0;
+  u64 sims = 0;
+};
+
 }  // namespace
 
 DseResult explore_incremental(const sdf::Graph& graph,
@@ -89,9 +108,12 @@ DseResult explore_incremental(const sdf::Graph& graph,
   // maximum: exploring further cannot produce a new quantised Pareto point.
   const Rational quantized_goal = quantize_down(goal, options.quantization);
 
-  // One pool for the whole exploration; each wave fans out over it. Zero
-  // workers = the wave loop runs inline on this thread (sequential mode).
-  exec::ThreadPool pool(options.threads > 1 ? options.threads : 0);
+  // One (lazily spawned) pool for the whole exploration; a wave fans out
+  // over it only when its estimated cost clears the adaptive threshold
+  // above, so microsecond explorations never pay for thread creation or
+  // barriers no matter what --threads says.
+  exec::LazyThreadPool lazy(options.threads);
+  const std::size_t slots = lazy.num_slots();
 
   // Shared throughput cache and per-worker solver pool. The `visited` set
   // already makes exact repeats rare within one exploration; the cache's
@@ -116,8 +138,17 @@ DseResult explore_incremental(const sdf::Graph& graph,
     }
     cache->add_max_witness(bounds.max_throughput_distribution.capacities());
   }
-  std::optional<state::ThroughputSolverPool> solvers;
-  if (options.reuse_engines) solvers.emplace(graph);
+  // Thread-affine execution state: one solver (engine + warmed visited
+  // arena) per pool slot for the whole exploration, indexed lock-free by
+  // the worker's slot — no per-candidate acquire/release.
+  std::optional<state::WorkerSolvers> solvers;
+  if (options.reuse_engines) solvers.emplace(graph, slots);
+  std::vector<WaveSlot> wave_slots(slots);
+  if (cache != nullptr) {
+    for (WaveSlot& ws : wave_slots) ws.delta.emplace(cache->make_delta());
+  }
+  double total_sim_seconds = 0.0;
+  u64 total_sims = 0;
   std::atomic<u64> simulations{0};
   std::atomic<u64> cache_hits{0};
   std::atomic<u64> dominance_skips{0};
@@ -197,7 +228,13 @@ DseResult explore_incremental(const sdf::Graph& graph,
       bool valid = false;
     };
     std::vector<Evaluation> evals(batch.size());
-    const auto evaluate = [&](std::size_t i) {
+    // Workers read the cache through a frozen point-in-time snapshot and
+    // record fresh outcomes into their slot's delta — no shared-map or
+    // witness-lock traffic inside the wave; the deltas are folded back
+    // once at the wave boundary below.
+    std::optional<ThroughputCache::Snapshot> snap;
+    if (cache != nullptr) snap.emplace(cache->snapshot());
+    const auto evaluate = [&](std::size_t i, std::size_t slot) {
       if (options.cancel.cancelled()) return;  // skip: wave is being cut
       if (cache != nullptr) {
         // An exact hit must carry recorded dependencies — children are
@@ -206,11 +243,16 @@ DseResult explore_incremental(const sdf::Graph& graph,
         // candidate's children would be expanded. Dominance is consulted
         // only without a binding (scheduling anomalies break the Sec. 8
         // monotonicity it relies on); exact repeats stay valid either way.
+        // The snapshot covers everything merged before this wave; the
+        // slot's delta covers what this worker learned inside it.
+        ThroughputCache::Delta& delta = *wave_slots[slot].delta;
         std::optional<CachedThroughput> hit =
-            cache->find(batch[i], /*require_deps=*/true);
+            snap->find(batch[i], /*require_deps=*/true);
+        if (!hit.has_value()) hit = delta.find(batch[i], /*require_deps=*/true);
         const bool exact = hit.has_value();
         if (!hit.has_value() && options.binding.empty()) {
-          hit = cache->find_max_dominated(batch[i]);
+          hit = snap->find_max_dominated(batch[i]);
+          if (!hit.has_value()) hit = delta.find_max_dominated(batch[i]);
         }
         if (hit.has_value()) {
           trace::emit_instant(exact ? trace::EventKind::CacheHit
@@ -252,13 +294,15 @@ DseResult explore_incremental(const sdf::Graph& graph,
       run_opts.processor_of = options.binding;
       run_opts.cancel = options.cancel;
       run_opts.progress = options.progress;
-      state::PooledSolver lease(solvers.has_value() ? &*solvers : nullptr);
+      state::ThroughputSolver* solver =
+          solvers.has_value() ? &solvers->at(slot) : nullptr;
+      const auto sim_t0 = std::chrono::steady_clock::now();
       try {
-        if (lease.get() != nullptr) {
+        if (solver != nullptr) {
           // Fused path: the throughput run itself collects the storage
           // dependencies — one simulation where the seed needed two.
           run_opts.collect_storage_deps = true;
-          evals[i].run = lease.get()->compute(capacities, run_opts);
+          evals[i].run = solver->compute(capacities, run_opts);
           evals[i].deps = std::move(evals[i].run.storage_deps);
           simulations.fetch_add(1, std::memory_order_relaxed);
           if (options.progress != nullptr) {
@@ -279,6 +323,11 @@ DseResult explore_incremental(const sdf::Graph& graph,
       } catch (const exec::Cancelled&) {
         return;  // mid-run cut: a partial state space proves nothing
       }
+      wave_slots[slot].sim_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        sim_t0)
+              .count();
+      wave_slots[slot].sims += 1;
       if (cache != nullptr) {
         CachedThroughput value;
         value.throughput = evals[i].run.throughput;
@@ -288,7 +337,7 @@ DseResult explore_incremental(const sdf::Graph& graph,
         value.period = evals[i].run.period;
         value.has_deps = true;
         value.storage_deps = evals[i].deps;
-        cache->store(batch[i], value);
+        wave_slots[slot].delta->record(batch[i], value);
       }
       // Same deterministic sample as the cache check: the LP cycle-cut
       // bound must sit at or above the fresh simulation (DESIGN.md §13).
@@ -300,13 +349,52 @@ DseResult explore_incremental(const sdf::Graph& graph,
       evals[i].valid = true;
       if (options.progress != nullptr) options.progress->add_points(1);
     };
+    // Adaptive granularity: fan out only when the estimated wave cost
+    // (batch size x running average per-simulation seconds) clears the
+    // barrier threshold — and the higher spawn threshold while the pool
+    // has not been started yet. The decision only moves work between the
+    // sequential and parallel paths of the same evaluate(); cache answers
+    // are exact either way, so the fold below is byte-identical.
+    const bool parallel_wave =
+        lazy.configured_workers() > 0 && batch.size() >= 2 &&
+        total_sims > 0 &&
+        static_cast<double>(batch.size()) *
+                (total_sim_seconds / static_cast<double>(total_sims)) >=
+            (lazy.started() ? kParallelWaveSeconds : kSpawnWaveSeconds);
     {
       // One span per wave barrier: fan-out over the pool until the join.
       const trace::Span wave_span(trace::EventKind::Wave,
                                   static_cast<i64>(batch.size()), batch_size);
-      exec::parallel_for_each(pool, batch.size(), evaluate, /*chunk_size=*/1);
+      if (parallel_wave) {
+        exec::ThreadPool& pool = lazy.pool();
+        exec::parallel_for_each(
+            pool, batch.size(),
+            [&](std::size_t i) { evaluate(i, pool.current_slot()); },
+            /*chunk_size=*/1);
+      } else {
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          evaluate(i, lazy.caller_slot());
+        }
+      }
     }
     if (options.progress != nullptr) options.progress->add_wave();
+    // Wave boundary: fold the per-worker deltas back into the shared
+    // cache (slot order, insertion order — deterministic), and absorb the
+    // per-slot cost samples into the running average.
+    if (cache != nullptr) {
+      std::vector<ThroughputCache::Delta*> deltas;
+      for (WaveSlot& ws : wave_slots) {
+        if (!ws.delta->empty()) deltas.push_back(&*ws.delta);
+      }
+      if (!deltas.empty()) cache->merge(deltas);
+      for (WaveSlot& ws : wave_slots) ws.delta->clear();
+    }
+    for (WaveSlot& ws : wave_slots) {
+      total_sim_seconds += ws.sim_seconds;
+      total_sims += ws.sims;
+      ws.sim_seconds = 0.0;
+      ws.sims = 0;
+    }
 
     // Fold sequentially in the deterministic pop order. Only the valid
     // prefix is folded: an unevaluated (cancelled) item and everything

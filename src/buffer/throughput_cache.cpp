@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/diagnostics.hpp"
 #include "base/hash.hpp"
 
 namespace buffy::buffer {
@@ -15,6 +16,33 @@ bool dominated_by(const std::vector<i64>& a, const std::vector<i64>& b) {
     if (a[i] > b[i]) return false;
   }
   return true;
+}
+
+i64 total_of(const std::vector<i64>& caps) {
+  i64 total = 0;
+  for (const i64 c : caps) total = checked_add(total, c);
+  return total;
+}
+
+// The merge determinism check compares the fields a simulation pins;
+// has_deps / storage_deps may legitimately differ (fused vs plain runs).
+bool values_agree(const CachedThroughput& a, const CachedThroughput& b) {
+  return a.throughput == b.throughput && a.deadlocked == b.deadlocked &&
+         a.states_stored == b.states_stored &&
+         a.cycle_start_time == b.cycle_start_time && a.period == b.period;
+}
+
+CachedThroughput max_hit(const Rational& max_throughput) {
+  CachedThroughput hit;
+  hit.throughput = max_throughput;
+  return hit;
+}
+
+CachedThroughput deadlock_hit() {
+  CachedThroughput hit;
+  hit.deadlocked = true;
+  hit.throughput = Rational(0);
+  return hit;
 }
 
 }  // namespace
@@ -36,6 +64,80 @@ ThroughputCache::Stripe& ThroughputCache::stripe_of(
   return stripes_[static_cast<std::size_t>(hash_words(caps)) % kStripes];
 }
 
+// ---------------------------------------------------------------------------
+// Sorted witness antichains. Both lists are ascending by (total, caps); the
+// scans below stop as soon as the total rules every remaining witness out.
+
+void ThroughputCache::insert_minimal_witness(std::vector<Witness>& ws,
+                                             const std::vector<i64>& caps) {
+  const i64 total = total_of(caps);
+  // Redundant if an existing witness lies (pointwise) below the new one.
+  // Such a witness necessarily has total <= the new one's: the sorted
+  // prefix is the only region to check.
+  for (const Witness& w : ws) {
+    if (w.total > total) break;
+    if (dominated_by(w.caps, caps)) return;
+  }
+  // Anything the new witness lies below is no longer minimal; candidates
+  // have total >= the new one's (the sorted suffix).
+  std::erase_if(ws, [&](const Witness& w) {
+    return w.total >= total && dominated_by(caps, w.caps);
+  });
+  if (ws.size() >= kMaxWitnesses) return;
+  Witness nw{caps, total};
+  const auto pos = std::lower_bound(
+      ws.begin(), ws.end(), nw, [](const Witness& a, const Witness& b) {
+        return a.total != b.total ? a.total < b.total : a.caps < b.caps;
+      });
+  ws.insert(pos, std::move(nw));
+}
+
+void ThroughputCache::insert_maximal_witness(std::vector<Witness>& ws,
+                                             const std::vector<i64>& caps) {
+  const i64 total = total_of(caps);
+  // Redundant if an existing witness lies (pointwise) above the new one;
+  // such a witness has total >= the new one's (the sorted suffix).
+  for (std::size_t i = ws.size(); i-- > 0;) {
+    const Witness& w = ws[i];
+    if (w.total < total) break;
+    if (dominated_by(caps, w.caps)) return;
+  }
+  std::erase_if(ws, [&](const Witness& w) {
+    return w.total <= total && dominated_by(w.caps, caps);
+  });
+  if (ws.size() >= kMaxWitnesses) return;
+  Witness nw{caps, total};
+  const auto pos = std::lower_bound(
+      ws.begin(), ws.end(), nw, [](const Witness& a, const Witness& b) {
+        return a.total != b.total ? a.total < b.total : a.caps < b.caps;
+      });
+  ws.insert(pos, std::move(nw));
+}
+
+bool ThroughputCache::any_max_witness(const std::vector<Witness>& ws,
+                                      const std::vector<i64>& caps) {
+  const i64 total = total_of(caps);
+  for (const Witness& w : ws) {
+    if (w.total > total) break;  // a dominating witness fits inside caps
+    if (dominated_by(w.caps, caps)) return true;
+  }
+  return false;
+}
+
+bool ThroughputCache::any_deadlock_witness(const std::vector<Witness>& ws,
+                                           const std::vector<i64>& caps) {
+  const i64 total = total_of(caps);
+  for (std::size_t i = ws.size(); i-- > 0;) {
+    const Witness& w = ws[i];
+    if (w.total < total) break;  // caps cannot fit inside any earlier one
+    if (dominated_by(caps, w.caps)) return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Locked (authoritative) API.
+
 std::optional<CachedThroughput> ThroughputCache::find(
     const std::vector<i64>& caps, bool require_deps) const {
   Stripe& stripe = stripe_of(caps);
@@ -55,61 +157,63 @@ std::optional<CachedThroughput> ThroughputCache::find(
 std::optional<CachedThroughput> ThroughputCache::find_max_dominated(
     const std::vector<i64>& caps) const {
   const std::lock_guard<std::mutex> lock(witness_mu_);
-  for (const std::vector<i64>& w : max_witnesses_) {
-    if (dominated_by(w, caps)) {
-      dominance_hits_.fetch_add(1, std::memory_order_relaxed);
-      CachedThroughput hit;
-      hit.throughput = max_throughput_;
-      return hit;
-    }
-  }
-  return std::nullopt;
+  if (!any_max_witness(max_witnesses_, caps)) return std::nullopt;
+  dominance_hits_.fetch_add(1, std::memory_order_relaxed);
+  return max_hit(max_throughput_);
 }
 
 std::optional<CachedThroughput> ThroughputCache::find_deadlock_dominated(
     const std::vector<i64>& caps) const {
   const std::lock_guard<std::mutex> lock(witness_mu_);
-  for (const std::vector<i64>& w : deadlock_witnesses_) {
-    if (dominated_by(caps, w)) {
-      dominance_hits_.fetch_add(1, std::memory_order_relaxed);
-      CachedThroughput hit;
-      hit.deadlocked = true;
-      hit.throughput = Rational(0);
-      return hit;
-    }
-  }
-  return std::nullopt;
+  if (!any_deadlock_witness(deadlock_witnesses_, caps)) return std::nullopt;
+  dominance_hits_.fetch_add(1, std::memory_order_relaxed);
+  return deadlock_hit();
 }
 
-void ThroughputCache::store(const std::vector<i64>& caps,
-                            const CachedThroughput& value) {
-  {
-    Stripe& stripe = stripe_of(caps);
-    const std::lock_guard<std::mutex> lock(stripe.mu);
-    const auto [it, inserted] = stripe.map.emplace(caps, Entry{value, {}});
-    if (inserted) {
-      resident_.fetch_add(1, std::memory_order_relaxed);
-      if (capacity_ > 0) {
-        stripe.lru.push_front(&it->first);
-        it->second.lru_it = stripe.lru.begin();
-        if (stripe.map.size() > per_stripe_cap_) {
-          // Evict this stripe's least-recently-used entry. The key is
-          // copied before the erase so the lookup does not read through a
-          // reference into the node being destroyed.
-          const std::vector<i64> victim = *stripe.lru.back();
-          stripe.lru.pop_back();
-          stripe.map.erase(victim);
-          evictions_.fetch_add(1, std::memory_order_relaxed);
-          resident_.fetch_sub(1, std::memory_order_relaxed);
-        }
+CachedThroughput ThroughputCache::apply_entry(const std::vector<i64>& caps,
+                                              const CachedThroughput& value,
+                                              bool checked) {
+  Stripe& stripe = stripe_of(caps);
+  const std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto [it, inserted] = stripe.map.emplace(caps, Entry{value, {}});
+  if (inserted) {
+    resident_.fetch_add(1, std::memory_order_relaxed);
+    if (capacity_ > 0) {
+      stripe.lru.push_front(&it->first);
+      it->second.lru_it = stripe.lru.begin();
+      if (stripe.map.size() > per_stripe_cap_) {
+        // Evict this stripe's least-recently-used entry. The key is
+        // copied before the erase so the lookup does not read through a
+        // reference into the node being destroyed.
+        const std::vector<i64> victim = *stripe.lru.back();
+        stripe.lru.pop_back();
+        stripe.map.erase(victim);
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+        resident_.fetch_sub(1, std::memory_order_relaxed);
       }
-    } else if (!it->second.value.has_deps && value.has_deps) {
+    }
+  } else {
+    if (checked && !values_agree(it->second.value, value)) {
+      throw Error(
+          "throughput cache merge: two evaluations of the same capacity "
+          "vector disagree — the deterministic simulation invariant is "
+          "broken (delta merge rejected)");
+    }
+    if (!it->second.value.has_deps && value.has_deps) {
       // Upgrade: a dependency-carrying result supersedes a plain one (the
       // incremental engine refuses dependency-free exact hits).
       it->second.value = value;
     }
+    if (capacity_ > 0) {
+      // A merge touch counts as a use, exactly like a find() hit.
+      stripe.lru.splice(stripe.lru.begin(), stripe.lru, it->second.lru_it);
+    }
   }
-  stores_.fetch_add(1, std::memory_order_relaxed);
+  return it->second.value;
+}
+
+void ThroughputCache::feed_witnesses(const std::vector<i64>& caps,
+                                     const CachedThroughput& value) {
   if (value.deadlocked) {
     add_deadlock_witness(caps);
   } else if (value.throughput == max_throughput_) {
@@ -117,42 +221,257 @@ void ThroughputCache::store(const std::vector<i64>& caps,
   }
 }
 
+void ThroughputCache::store(const std::vector<i64>& caps,
+                            const CachedThroughput& value) {
+  apply_entry(caps, value, /*checked=*/false);
+  stores_.fetch_add(1, std::memory_order_relaxed);
+  feed_witnesses(caps, value);
+}
+
 void ThroughputCache::add_max_witness(const std::vector<i64>& caps) {
   const std::lock_guard<std::mutex> lock(witness_mu_);
-  // Keep only minimal witnesses: anything the new one dominates is
-  // redundant, and the new one is redundant if an existing witness already
-  // lies below it.
-  for (const std::vector<i64>& w : max_witnesses_) {
-    if (dominated_by(w, caps)) return;
-  }
-  std::erase_if(max_witnesses_, [&](const std::vector<i64>& w) {
-    return dominated_by(caps, w);
-  });
-  if (max_witnesses_.size() < kMaxWitnesses) max_witnesses_.push_back(caps);
+  insert_minimal_witness(max_witnesses_, caps);
 }
 
 void ThroughputCache::add_deadlock_witness(const std::vector<i64>& caps) {
   const std::lock_guard<std::mutex> lock(witness_mu_);
-  // Keep only maximal witnesses (the mirror image of the max rule).
-  for (const std::vector<i64>& w : deadlock_witnesses_) {
-    if (dominated_by(caps, w)) return;
+  insert_maximal_witness(deadlock_witnesses_, caps);
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / Delta / merge (DESIGN.md §14).
+
+ThroughputCache::Snapshot ThroughputCache::snapshot() const {
+  Snapshot s;
+  s.cache_ = this;
+  {
+    const std::lock_guard<std::mutex> lock(frozen_mu_);
+    s.frozen_ = frozen_;  // null for bounded caches / before first merge
   }
-  std::erase_if(deadlock_witnesses_, [&](const std::vector<i64>& w) {
-    return dominated_by(w, caps);
-  });
-  if (deadlock_witnesses_.size() < kMaxWitnesses) {
-    deadlock_witnesses_.push_back(caps);
+  {
+    const std::lock_guard<std::mutex> lock(witness_mu_);
+    s.max_witnesses_ = max_witnesses_;
+    s.deadlock_witnesses_ = deadlock_witnesses_;
   }
+  return s;
+}
+
+ThroughputCache::Delta ThroughputCache::make_delta() const {
+  Delta d;
+  d.cache_ = this;
+  return d;
+}
+
+void ThroughputCache::merge(std::span<Delta* const> deltas) {
+  const std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  // Pass 1 — determinism check across deltas: duplicate keys must agree.
+  // (apply_entry re-checks each entry against resident values.)
+  {
+    std::unordered_map<const std::vector<i64>*, const CachedThroughput*,
+                       decltype([](const std::vector<i64>* k) {
+                         return static_cast<std::size_t>(hash_words(*k));
+                       }),
+                       decltype([](const std::vector<i64>* a,
+                                   const std::vector<i64>* b) {
+                         return *a == *b;
+                       })>
+        seen;
+    for (const Delta* d : deltas) {
+      for (const auto& [caps, value] : d->entries_) {
+        const auto [it, inserted] = seen.emplace(&caps, &value);
+        if (!inserted && !values_agree(*it->second, value)) {
+          throw Error(
+              "throughput cache merge: two worker deltas disagree on the "
+              "same capacity vector — the deterministic simulation "
+              "invariant is broken (delta merge rejected)");
+        }
+      }
+    }
+  }
+  // Pass 2 — apply in slot order, each delta in insertion order, so a
+  // sequential wave merges in exactly the order it simulated. Canonical
+  // (post-upgrade-rule) values are collected for the frozen index.
+  std::vector<std::pair<const std::vector<i64>*, CachedThroughput>> applied;
+  for (Delta* d : deltas) {
+    applied.reserve(applied.size() + d->entries_.size());
+    for (const auto& [caps, value] : d->entries_) {
+      CachedThroughput canonical = apply_entry(caps, value, /*checked=*/true);
+      stores_.fetch_add(1, std::memory_order_relaxed);
+      feed_witnesses(caps, value);
+      if (capacity_ == 0) {
+        applied.emplace_back(&caps, std::move(canonical));
+      }
+    }
+  }
+  // Pass 3 — republish the frozen index (unbounded caches only): one
+  // copy-on-write batch per merge, folding the overlay into the base when
+  // it outgrows max(64, |base| / 8).
+  if (capacity_ == 0 && !applied.empty()) {
+    std::shared_ptr<const Frozen> old;
+    {
+      const std::lock_guard<std::mutex> lock(frozen_mu_);
+      old = frozen_;
+    }
+    auto next = std::make_shared<Frozen>();
+    const std::size_t base_size = old != nullptr ? old->base->size() : 0;
+    const std::size_t overlay_size =
+        (old != nullptr ? old->overlay.size() : 0) + applied.size();
+    const bool fold =
+        old == nullptr ||
+        overlay_size >= std::max<std::size_t>(64, base_size / 8);
+    if (fold) {
+      auto base = old != nullptr ? std::make_shared<ExactMap>(*old->base)
+                                 : std::make_shared<ExactMap>();
+      if (old != nullptr) {
+        for (const auto& [caps, value] : old->overlay) {
+          (*base)[caps] = value;
+        }
+      }
+      for (auto& [caps, value] : applied) {
+        (*base)[*caps] = std::move(value);
+      }
+      next->base = std::move(base);
+    } else {
+      next->base = old->base;  // old non-null here: a null old always folds
+      next->overlay = old->overlay;
+      for (auto& [caps, value] : applied) {
+        next->overlay[*caps] = std::move(value);
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(frozen_mu_);
+      frozen_ = std::move(next);
+    }
+  }
+  merges_.fetch_add(1, std::memory_order_relaxed);
 }
 
 bool ThroughputCache::corrupt_entry_for_test(const std::vector<i64>& caps,
                                              const Rational& delta) {
-  Stripe& stripe = stripe_of(caps);
-  const std::lock_guard<std::mutex> lock(stripe.mu);
-  const auto it = stripe.map.find(caps);
-  if (it == stripe.map.end()) return false;
-  it->second.value.throughput = it->second.value.throughput + delta;
+  CachedThroughput corrupted;
+  {
+    Stripe& stripe = stripe_of(caps);
+    const std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.map.find(caps);
+    if (it == stripe.map.end()) return false;
+    it->second.value.throughput = it->second.value.throughput + delta;
+    corrupted = it->second.value;
+  }
+  // Keep the frozen index in sync so Snapshot readers see the corruption
+  // (this is what the audit tamper tests rely on).
+  const std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  std::shared_ptr<const Frozen> old;
+  {
+    const std::lock_guard<std::mutex> lock(frozen_mu_);
+    old = frozen_;
+  }
+  if (old != nullptr &&
+      (old->overlay.contains(caps) || old->base->contains(caps))) {
+    auto next = std::make_shared<Frozen>();
+    next->base = old->base;
+    next->overlay = old->overlay;
+    if (old->base->contains(caps) && !old->overlay.contains(caps)) {
+      next->overlay.emplace(caps, old->base->at(caps));
+    }
+    next->overlay[caps] = corrupted;
+    const std::lock_guard<std::mutex> lock(frozen_mu_);
+    frozen_ = std::move(next);
+  }
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot.
+
+std::optional<CachedThroughput> ThroughputCache::Snapshot::find(
+    const std::vector<i64>& caps, bool require_deps) const {
+  if (frozen_ == nullptr) {
+    // Bounded cache (or nothing merged yet): the locked map is the only
+    // index, and going through it keeps LRU recency exact.
+    return cache_->find(caps, require_deps);
+  }
+  const auto ov = frozen_->overlay.find(caps);
+  const CachedThroughput* value = nullptr;
+  if (ov != frozen_->overlay.end()) {
+    value = &ov->second;
+  } else {
+    const auto it = frozen_->base->find(caps);
+    if (it != frozen_->base->end()) value = &it->second;
+  }
+  if (value == nullptr) return std::nullopt;
+  if (require_deps && !value->has_deps) return std::nullopt;
+  cache_->exact_hits_.fetch_add(1, std::memory_order_relaxed);
+  return *value;
+}
+
+std::optional<CachedThroughput> ThroughputCache::Snapshot::find_max_dominated(
+    const std::vector<i64>& caps) const {
+  if (!any_max_witness(max_witnesses_, caps)) return std::nullopt;
+  cache_->dominance_hits_.fetch_add(1, std::memory_order_relaxed);
+  return max_hit(cache_->max_throughput_);
+}
+
+std::optional<CachedThroughput>
+ThroughputCache::Snapshot::find_deadlock_dominated(
+    const std::vector<i64>& caps) const {
+  if (!any_deadlock_witness(deadlock_witnesses_, caps)) return std::nullopt;
+  cache_->dominance_hits_.fetch_add(1, std::memory_order_relaxed);
+  return deadlock_hit();
+}
+
+// ---------------------------------------------------------------------------
+// Delta.
+
+void ThroughputCache::Delta::record(const std::vector<i64>& caps,
+                                    const CachedThroughput& value) {
+  const auto [it, inserted] = index_.emplace(caps, entries_.size());
+  if (!inserted) {
+    CachedThroughput& existing = entries_[it->second].second;
+    if (!existing.has_deps && value.has_deps) existing = value;
+    return;
+  }
+  entries_.emplace_back(caps, value);
+  // Local witnesses: later candidates of THIS worker's wave see this
+  // outcome through the dominance rules immediately, which is what keeps
+  // a sequential wave's hit/miss pattern identical to the per-candidate
+  // store() path it replaced.
+  if (value.deadlocked) {
+    insert_maximal_witness(deadlock_witnesses_, caps);
+  } else if (value.throughput == cache_->max_throughput_) {
+    insert_minimal_witness(max_witnesses_, caps);
+  }
+}
+
+std::optional<CachedThroughput> ThroughputCache::Delta::find(
+    const std::vector<i64>& caps, bool require_deps) const {
+  const auto it = index_.find(caps);
+  if (it == index_.end()) return std::nullopt;
+  const CachedThroughput& value = entries_[it->second].second;
+  if (require_deps && !value.has_deps) return std::nullopt;
+  cache_->exact_hits_.fetch_add(1, std::memory_order_relaxed);
+  return value;
+}
+
+std::optional<CachedThroughput> ThroughputCache::Delta::find_max_dominated(
+    const std::vector<i64>& caps) const {
+  if (!any_max_witness(max_witnesses_, caps)) return std::nullopt;
+  cache_->dominance_hits_.fetch_add(1, std::memory_order_relaxed);
+  return max_hit(cache_->max_throughput_);
+}
+
+std::optional<CachedThroughput>
+ThroughputCache::Delta::find_deadlock_dominated(
+    const std::vector<i64>& caps) const {
+  if (!any_deadlock_witness(deadlock_witnesses_, caps)) return std::nullopt;
+  cache_->dominance_hits_.fetch_add(1, std::memory_order_relaxed);
+  return deadlock_hit();
+}
+
+void ThroughputCache::Delta::clear() {
+  entries_.clear();
+  index_.clear();
+  max_witnesses_.clear();
+  deadlock_witnesses_.clear();
 }
 
 }  // namespace buffy::buffer

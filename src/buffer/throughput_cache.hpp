@@ -21,10 +21,21 @@
 // processor binding (fixed-priority scheduling anomalies), so the engines
 // only consult the dominance rules for unbound explorations.
 //
-// The map is striped: kStripes independent mutex+unordered_map shards
-// selected by capacity-vector hash, so parallel workers rarely contend.
-// The witness sets are small antichains (minimal max-throughput witnesses,
-// maximal deadlock witnesses) scanned linearly under their own lock.
+// Locking structure (DESIGN.md §14). The authoritative store is striped:
+// kStripes independent mutex+unordered_map shards selected by
+// capacity-vector hash. The witness sets are small antichains (minimal
+// max-throughput witnesses, maximal deadlock witnesses) kept SORTED by
+// total size so a dominance scan ends at the first witness whose total
+// already rules the rest out; they live under their own lock. Neither lock
+// is on the parallel hot path any more: workers of a parallel wave read
+// through a point-in-time Snapshot (lock-free for unbounded caches) and
+// record fresh outcomes into a thread-local Delta; the coordinator folds
+// the deltas back with merge() once per wave. A stale Snapshot read is
+// always safe — a missed entry merely costs a re-simulation whose outcome
+// is identical to the cached one — and merge() verifies exactly that:
+// duplicate keys across deltas (or against resident entries) must carry
+// the same simulated value, otherwise determinism is broken somewhere and
+// merge() throws.
 //
 // A cache may be bounded (a resident daemon must not grow without limit):
 // with a non-zero entry capacity, every stripe keeps an LRU list of its
@@ -34,13 +45,18 @@
 // every byte-identity guarantee of an unbounded one. The witness
 // antichains are already capped and are never evicted: Sec. 8 dominance
 // keeps answering even for distributions whose exact entries are gone.
+// Bounded caches have no frozen exact index (lock-free reads cannot
+// refresh LRU recency); their Snapshots fall back to the locked map for
+// exact lookups and stay lock-free for the witness scans.
 #pragma once
 
 #include <array>
 #include <atomic>
 #include <list>
+#include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -66,6 +82,9 @@ struct CachedThroughput {
 
 class ThroughputCache {
  public:
+  class Snapshot;
+  class Delta;
+
   /// `max_throughput` is the graph's maximal throughput for the explored
   /// target — the value a max-witness dominance hit reports.
   /// `capacity` bounds the number of resident exact entries (0 =
@@ -92,13 +111,43 @@ class ThroughputCache {
       const std::vector<i64>& caps) const;
 
   /// Records a simulated outcome; feeds the witness antichains when the
-  /// outcome is the maximal throughput or a deadlock.
+  /// outcome is the maximal throughput or a deadlock. Note: the frozen
+  /// index is built from merged deltas only, so an entry stored directly
+  /// (outside merge()) stays invisible to Snapshots of an unbounded cache
+  /// once a first merge() has published that index — a safe stale miss;
+  /// find() always sees it. The engines route everything through deltas;
+  /// store() remains for one-shot callers and tests.
   void store(const std::vector<i64>& caps, const CachedThroughput& value);
 
   /// Seeds a max-throughput witness without a full map entry (e.g. the
   /// Fig. 7 bound's max-throughput distribution, known before the
   /// exploration starts).
   void add_max_witness(const std::vector<i64>& caps);
+
+  /// Point-in-time read view for the workers of one wave. Witness scans
+  /// are always lock-free (the antichains are copied out). Exact lookups
+  /// are lock-free against the frozen two-level index when the cache is
+  /// unbounded; a bounded cache's Snapshot delegates exact lookups to the
+  /// locked striped map so LRU recency stays exact. Snapshots are
+  /// intentionally allowed to lag concurrent writers: a stale miss is
+  /// re-simulated to the identical value, never answered wrongly.
+  [[nodiscard]] Snapshot snapshot() const;
+
+  /// A fresh thread-local write buffer for one worker of one wave.
+  [[nodiscard]] Delta make_delta() const;
+
+  /// Folds per-worker deltas back into the cache: applied in the given
+  /// (slot) order, each delta in its insertion order, so a sequential wave
+  /// merges in exactly the order it simulated. Feeds the witness
+  /// antichains, maintains the bounded-cache LRU, and republishes the
+  /// frozen index (unbounded caches) in one copy-on-write batch.
+  ///
+  /// Determinism check: a capacity vector recorded by two deltas — or
+  /// recorded by a delta and already resident — must carry the same
+  /// simulated outcome (simulation is deterministic; dominance answers are
+  /// exact). A mismatch means a worker produced a divergent value, and
+  /// merge() throws Error instead of silently picking one.
+  void merge(std::span<Delta* const> deltas);
 
   [[nodiscard]] const Rational& max_throughput() const {
     return max_throughput_;
@@ -107,7 +156,8 @@ class ThroughputCache {
   /// Audit tamper hook: adds `delta` to the stored throughput of the
   /// exact entry for `caps` (false when no such entry), so tests can
   /// prove the sampled cache-vs-simulation audit catches a corrupted
-  /// entry. Never called outside tests.
+  /// entry. Updates the frozen index too, so Snapshot readers see the
+  /// corruption. Never called outside tests.
   bool corrupt_entry_for_test(const std::vector<i64>& caps,
                               const Rational& delta);
 
@@ -129,6 +179,10 @@ class ThroughputCache {
   [[nodiscard]] u64 entries_resident() const {
     return resident_.load(std::memory_order_relaxed);
   }
+  /// Wave merges completed (metrics only).
+  [[nodiscard]] u64 merges() const {
+    return merges_.load(std::memory_order_relaxed);
+  }
   /// The entry bound this cache was built with (0 = unbounded).
   [[nodiscard]] u64 capacity() const { return capacity_; }
 
@@ -139,14 +193,39 @@ class ThroughputCache {
   static constexpr std::size_t kStripes = 16;
 
  private:
-  // Witness antichains are capped so the linear dominance scan stays cheap
-  // on pathological fronts; beyond the cap new witnesses are dropped
-  // (pruning then just fires less often — never incorrectly).
+  friend class Snapshot;
+  friend class Delta;
+
+  // Witness antichains are capped so the dominance scan stays cheap on
+  // pathological fronts; beyond the cap new witnesses are dropped (pruning
+  // then just fires less often — never incorrectly).
   static constexpr std::size_t kMaxWitnesses = 64;
+
+  /// A witness plus its total size. Antichains are kept sorted ascending
+  /// by (total, caps): a max-rule witness must have total <= the
+  /// candidate's, a deadlock-rule witness total >= it, so each scan
+  /// touches only the qualifying prefix/suffix.
+  struct Witness {
+    std::vector<i64> caps;
+    i64 total = 0;
+  };
 
   struct CapsHash {
     std::size_t operator()(const std::vector<i64>& caps) const noexcept;
   };
+  using ExactMap =
+      std::unordered_map<std::vector<i64>, CachedThroughput, CapsHash>;
+
+  /// Immutable two-level exact index published to Snapshots of an
+  /// unbounded cache. `overlay` holds entries merged since the last fold
+  /// and shadows `base`; merge() folds the overlay into a fresh base once
+  /// it reaches max(64, |base| / 8), so merge cost stays amortized O(new)
+  /// while lookups touch at most two hash tables.
+  struct Frozen {
+    std::shared_ptr<const ExactMap> base;  // never null, possibly empty
+    ExactMap overlay;
+  };
+
   struct Entry {
     CachedThroughput value;
     /// Position in the stripe's LRU list (meaningful only when the cache
@@ -163,6 +242,24 @@ class ThroughputCache {
 
   [[nodiscard]] Stripe& stripe_of(const std::vector<i64>& caps) const;
   void add_deadlock_witness(const std::vector<i64>& caps);
+  /// Applies one entry to the striped map under its stripe lock: insert
+  /// (with LRU bookkeeping) or upgrade, returning the canonical value now
+  /// resident. `checked` makes a value mismatch against a resident entry
+  /// throw (the merge determinism check) instead of keeping the old value.
+  CachedThroughput apply_entry(const std::vector<i64>& caps,
+                               const CachedThroughput& value, bool checked);
+  void feed_witnesses(const std::vector<i64>& caps,
+                      const CachedThroughput& value);
+
+  // Sorted-antichain helpers shared by the cache, Snapshot and Delta.
+  static void insert_minimal_witness(std::vector<Witness>& ws,
+                                     const std::vector<i64>& caps);
+  static void insert_maximal_witness(std::vector<Witness>& ws,
+                                     const std::vector<i64>& caps);
+  [[nodiscard]] static bool any_max_witness(const std::vector<Witness>& ws,
+                                            const std::vector<i64>& caps);
+  [[nodiscard]] static bool any_deadlock_witness(
+      const std::vector<Witness>& ws, const std::vector<i64>& caps);
 
   Rational max_throughput_;
   u64 capacity_ = 0;         // 0 = unbounded
@@ -170,14 +267,93 @@ class ThroughputCache {
   mutable std::array<Stripe, kStripes> stripes_;
 
   mutable std::mutex witness_mu_;
-  std::vector<std::vector<i64>> max_witnesses_;       // minimal elements
-  std::vector<std::vector<i64>> deadlock_witnesses_;  // maximal elements
+  std::vector<Witness> max_witnesses_;       // minimal elements, sorted
+  std::vector<Witness> deadlock_witnesses_;  // maximal elements, sorted
+
+  /// Serializes merge() bodies (concurrent merges from explorations
+  /// sharing this cache) and corrupt_entry_for_test's frozen rebuild.
+  std::mutex merge_mu_;
+  /// Guards only the frozen_ pointer load/publish; held for nanoseconds.
+  mutable std::mutex frozen_mu_;
+  /// Null until the first merge() of an unbounded cache; never set for
+  /// bounded caches.
+  std::shared_ptr<const Frozen> frozen_;
 
   mutable std::atomic<u64> exact_hits_{0};
   mutable std::atomic<u64> dominance_hits_{0};
   std::atomic<u64> stores_{0};
   std::atomic<u64> evictions_{0};
   std::atomic<u64> resident_{0};
+  std::atomic<u64> merges_{0};
+};
+
+/// See ThroughputCache::snapshot(). Copyable; typically one per wave,
+/// shared read-only by every worker of that wave.
+class ThroughputCache::Snapshot {
+ public:
+  /// Exact lookup (same contract as ThroughputCache::find). Lock-free
+  /// against the frozen index when one exists; otherwise delegates to the
+  /// cache's locked map (bounded caches, or before the first merge).
+  [[nodiscard]] std::optional<CachedThroughput> find(
+      const std::vector<i64>& caps, bool require_deps) const;
+
+  /// Sec. 8 max rule over the snapshotted witness antichain; lock-free.
+  [[nodiscard]] std::optional<CachedThroughput> find_max_dominated(
+      const std::vector<i64>& caps) const;
+
+  /// Sec. 8 deadlock rule over the snapshotted antichain; lock-free.
+  [[nodiscard]] std::optional<CachedThroughput> find_deadlock_dominated(
+      const std::vector<i64>& caps) const;
+
+ private:
+  friend class ThroughputCache;
+  Snapshot() = default;
+
+  const ThroughputCache* cache_ = nullptr;
+  std::shared_ptr<const Frozen> frozen_;  // null = use the locked map
+  std::vector<Witness> max_witnesses_;
+  std::vector<Witness> deadlock_witnesses_;
+};
+
+/// See ThroughputCache::make_delta(). One per worker slot per wave; never
+/// shared between threads. Records fresh simulation outcomes (insertion
+/// order is preserved for the deterministic merge) and answers lookups
+/// for what THIS worker has already learned during the wave — including
+/// its own witness candidates, so a sequential wave sees exactly the
+/// hit/miss sequence the pre-delta per-candidate store() path produced.
+class ThroughputCache::Delta {
+ public:
+  /// Records one simulated outcome. Re-recording a key keeps the first
+  /// value (upgrading it in place if the new one carries storage deps).
+  void record(const std::vector<i64>& caps, const CachedThroughput& value);
+
+  /// Exact lookup among this delta's own entries.
+  [[nodiscard]] std::optional<CachedThroughput> find(
+      const std::vector<i64>& caps, bool require_deps) const;
+
+  /// Sec. 8 max rule over this delta's local witnesses.
+  [[nodiscard]] std::optional<CachedThroughput> find_max_dominated(
+      const std::vector<i64>& caps) const;
+
+  /// Sec. 8 deadlock rule over this delta's local witnesses.
+  [[nodiscard]] std::optional<CachedThroughput> find_deadlock_dominated(
+      const std::vector<i64>& caps) const;
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// Ready for the next wave; keeps the capacity of the containers.
+  void clear();
+
+ private:
+  friend class ThroughputCache;
+  Delta() = default;
+
+  const ThroughputCache* cache_ = nullptr;  // counters + max throughput
+  std::vector<std::pair<std::vector<i64>, CachedThroughput>> entries_;
+  std::unordered_map<std::vector<i64>, std::size_t, CapsHash> index_;
+  std::vector<Witness> max_witnesses_;
+  std::vector<Witness> deadlock_witnesses_;
 };
 
 }  // namespace buffy::buffer

@@ -35,19 +35,19 @@ Progress::Progress() : start_(std::chrono::steady_clock::now()) {}
 
 ProgressSnapshot Progress::snapshot() const {
   ProgressSnapshot s;
-  s.points_explored = points_explored_.load(std::memory_order_relaxed);
-  s.states_visited = states_visited_.load(std::memory_order_relaxed);
-  s.pruned_by_bound = pruned_by_bound_.load(std::memory_order_relaxed);
-  s.pareto_points = pareto_points_.load(std::memory_order_relaxed);
-  s.waves = waves_.load(std::memory_order_relaxed);
-  s.simulations = simulations_.load(std::memory_order_relaxed);
-  s.cache_hits = cache_hits_.load(std::memory_order_relaxed);
-  s.dominance_skips = dominance_skips_.load(std::memory_order_relaxed);
-  s.lp_prunes = lp_prunes_.load(std::memory_order_relaxed);
-  s.sims_avoided = sims_avoided_.load(std::memory_order_relaxed);
-  s.arena_bytes = arena_bytes_.load(std::memory_order_relaxed);
-  s.trace_events = trace_events_.load(std::memory_order_relaxed);
-  s.cancelled = cancelled_.load(std::memory_order_relaxed);
+  s.points_explored = points_explored_.v.load(std::memory_order_relaxed);
+  s.states_visited = states_visited_.v.load(std::memory_order_relaxed);
+  s.pruned_by_bound = pruned_by_bound_.v.load(std::memory_order_relaxed);
+  s.pareto_points = pareto_points_.v.load(std::memory_order_relaxed);
+  s.waves = waves_.v.load(std::memory_order_relaxed);
+  s.simulations = simulations_.v.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits_.v.load(std::memory_order_relaxed);
+  s.dominance_skips = dominance_skips_.v.load(std::memory_order_relaxed);
+  s.lp_prunes = lp_prunes_.v.load(std::memory_order_relaxed);
+  s.sims_avoided = sims_avoided_.v.load(std::memory_order_relaxed);
+  s.arena_bytes = arena_bytes_.v.load(std::memory_order_relaxed);
+  s.trace_events = trace_events_.v.load(std::memory_order_relaxed);
+  s.cancelled = cancelled_.v.load(std::memory_order_relaxed) != 0;
   s.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
           .count();
@@ -55,19 +55,19 @@ ProgressSnapshot Progress::snapshot() const {
 }
 
 void Progress::reset() {
-  points_explored_.store(0, std::memory_order_relaxed);
-  states_visited_.store(0, std::memory_order_relaxed);
-  pruned_by_bound_.store(0, std::memory_order_relaxed);
-  pareto_points_.store(0, std::memory_order_relaxed);
-  waves_.store(0, std::memory_order_relaxed);
-  simulations_.store(0, std::memory_order_relaxed);
-  cache_hits_.store(0, std::memory_order_relaxed);
-  dominance_skips_.store(0, std::memory_order_relaxed);
-  lp_prunes_.store(0, std::memory_order_relaxed);
-  sims_avoided_.store(0, std::memory_order_relaxed);
-  arena_bytes_.store(0, std::memory_order_relaxed);
-  trace_events_.store(0, std::memory_order_relaxed);
-  cancelled_.store(false, std::memory_order_relaxed);
+  points_explored_.v.store(0, std::memory_order_relaxed);
+  states_visited_.v.store(0, std::memory_order_relaxed);
+  pruned_by_bound_.v.store(0, std::memory_order_relaxed);
+  pareto_points_.v.store(0, std::memory_order_relaxed);
+  waves_.v.store(0, std::memory_order_relaxed);
+  simulations_.v.store(0, std::memory_order_relaxed);
+  cache_hits_.v.store(0, std::memory_order_relaxed);
+  dominance_skips_.v.store(0, std::memory_order_relaxed);
+  lp_prunes_.v.store(0, std::memory_order_relaxed);
+  sims_avoided_.v.store(0, std::memory_order_relaxed);
+  arena_bytes_.v.store(0, std::memory_order_relaxed);
+  trace_events_.v.store(0, std::memory_order_relaxed);
+  cancelled_.v.store(0, std::memory_order_relaxed);
   start_ = std::chrono::steady_clock::now();
 }
 

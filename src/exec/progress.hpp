@@ -79,12 +79,12 @@ class Progress {
   void add_trace_events(u64 n) { add(trace_events_, n); }
   /// Raises the peak-arena-bytes gauge to at least `bytes`.
   void note_arena_bytes(u64 bytes) {
-    u64 seen = arena_bytes_.load(std::memory_order_relaxed);
-    while (bytes > seen && !arena_bytes_.compare_exchange_weak(
+    u64 seen = arena_bytes_.v.load(std::memory_order_relaxed);
+    while (bytes > seen && !arena_bytes_.v.compare_exchange_weak(
                                seen, bytes, std::memory_order_relaxed)) {
     }
   }
-  void mark_cancelled() { cancelled_.store(true, std::memory_order_relaxed); }
+  void mark_cancelled() { cancelled_.v.store(1, std::memory_order_relaxed); }
 
   /// Consistent-enough copy for reporting (individual counters are exact;
   /// cross-counter skew is bounded by whatever is in flight).
@@ -94,23 +94,33 @@ class Progress {
   void reset();
 
  private:
-  static void add(std::atomic<u64>& counter, u64 n) {
-    counter.fetch_add(n, std::memory_order_relaxed);
+  /// One counter per cache line. Every worker of a parallel wave bumps
+  /// several of these on every candidate; packed adjacently (the previous
+  /// layout) they false-share, and the resulting coherence traffic is paid
+  /// on the DSE hot path. The alignas(64) keeps each atomic alone on its
+  /// line — do not repack these into an array or struct without preserving
+  /// per-counter line isolation.
+  struct alignas(64) Counter {
+    std::atomic<u64> v{0};
+  };
+
+  static void add(Counter& counter, u64 n) {
+    counter.v.fetch_add(n, std::memory_order_relaxed);
   }
 
-  std::atomic<u64> points_explored_{0};
-  std::atomic<u64> states_visited_{0};
-  std::atomic<u64> pruned_by_bound_{0};
-  std::atomic<u64> pareto_points_{0};
-  std::atomic<u64> waves_{0};
-  std::atomic<u64> simulations_{0};
-  std::atomic<u64> cache_hits_{0};
-  std::atomic<u64> dominance_skips_{0};
-  std::atomic<u64> lp_prunes_{0};
-  std::atomic<u64> sims_avoided_{0};
-  std::atomic<u64> arena_bytes_{0};
-  std::atomic<u64> trace_events_{0};
-  std::atomic<bool> cancelled_{false};
+  Counter points_explored_;
+  Counter states_visited_;
+  Counter pruned_by_bound_;
+  Counter pareto_points_;
+  Counter waves_;
+  Counter simulations_;
+  Counter cache_hits_;
+  Counter dominance_skips_;
+  Counter lp_prunes_;
+  Counter sims_avoided_;
+  Counter arena_bytes_;
+  Counter trace_events_;
+  Counter cancelled_;  // 0 or 1; same padding discipline as the counters
   std::chrono::steady_clock::time_point start_;
 };
 

@@ -2,6 +2,21 @@
 
 namespace buffy::exec {
 
+namespace {
+
+// Which pool (if any) the current thread is a worker of, and its slot
+// there. Written once at worker_loop entry, read by current_slot(); a
+// thread can only ever be a worker of one pool, so a single pair is
+// enough, and threads that are workers of a DIFFERENT pool fall through
+// to the shared non-worker slot of the queried pool.
+struct WorkerIdentity {
+  const void* pool = nullptr;
+  unsigned slot = 0;
+};
+thread_local WorkerIdentity tls_worker;
+
+}  // namespace
+
 ThreadPool::ThreadPool(unsigned threads) {
   queues_.reserve(threads);
   for (unsigned i = 0; i < threads; ++i) {
@@ -60,6 +75,11 @@ void ThreadPool::submit(std::function<void()> task) {
   sleep_cv_.notify_one();
 }
 
+unsigned ThreadPool::current_slot() const {
+  if (tls_worker.pool == this) return tls_worker.slot;
+  return num_workers();
+}
+
 unsigned ThreadPool::default_concurrency() {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
@@ -94,6 +114,7 @@ bool ThreadPool::try_pop(std::size_t self, std::function<void()>& task) {
 }
 
 void ThreadPool::worker_loop(std::size_t self) {
+  tls_worker = WorkerIdentity{this, static_cast<unsigned>(self)};
   for (;;) {
     std::function<void()> task;
     if (try_pop(self, task)) {

@@ -592,11 +592,18 @@ JsonValue Server::handle_explore(const Request& req,
   opts.max_distribution_size = req.max_size;
   opts.throughput_goal = req.goal;
   opts.min_throughput = req.min_throughput;
-  if (req.threads.has_value()) {
-    const i64 cap = static_cast<i64>(
-        options_.max_threads_per_request == 0 ? 1
-                                              : options_.max_threads_per_request);
-    opts.threads = static_cast<unsigned>(std::min<i64>(*req.threads, cap));
+  {
+    const unsigned cap = options_.max_threads_per_request == 0
+                             ? 1
+                             : options_.max_threads_per_request;
+    // Requests that don't ask for threads get the full per-request grant:
+    // the engines spawn workers lazily and keep cheap slices sequential
+    // (adaptive granularity), so the grant costs nothing on small
+    // explorations, and the front is byte-identical at any thread count.
+    opts.threads = req.threads.has_value()
+                       ? static_cast<unsigned>(std::min<i64>(
+                             *req.threads, static_cast<i64>(cap)))
+                       : cap;
   }
   opts.use_throughput_cache = req.use_cache;
   opts.cancel = token;

@@ -66,9 +66,12 @@ struct ServerOptions {
   i64 default_deadline_ms = 0;
   /// Upper bound on one request line (graph payloads included).
   u64 max_request_bytes = 8u << 20;
-  /// Worker threads granted to a single exploration (request "threads" is
-  /// clamped to this; 1 = explorations are sequential and concurrency
-  /// comes from serving many requests at once).
+  /// Worker threads granted to a single exploration: requests asking for
+  /// "threads" are clamped to this, and requests that don't ask get it as
+  /// their default grant (the engines spawn workers lazily and keep cheap
+  /// slices sequential, so an unused grant costs nothing). 1 = explorations
+  /// are sequential and concurrency comes from serving many requests at
+  /// once.
   unsigned max_threads_per_request = 1;
 };
 

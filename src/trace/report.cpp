@@ -117,6 +117,7 @@ const std::vector<ManifestEntry>& experiments_manifest() {
       {"mapping", "bench_mapping"},
       {"extended_models", "bench_extended_models"},
       {"parallel_dse", "bench_parallel_dse"},
+      {"parallel_scaling", "bench_parallel_scaling"},
       {"throughput_hotpath", "bench_throughput_hotpath"},
   };
   return manifest;

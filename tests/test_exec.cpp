@@ -6,6 +6,8 @@
 
 #include <atomic>
 #include <chrono>
+#include <mutex>
+#include <set>
 #include <thread>
 
 #include "buffer/dse.hpp"
@@ -102,6 +104,63 @@ TEST(ThreadPool, StopIsIdempotentAndSubmitAfterStopRunsInline) {
   bool ran_inline = false;
   pool.submit([&ran_inline]() { ran_inline = true; });
   EXPECT_TRUE(ran_inline);
+}
+
+TEST(ThreadPool, CurrentSlotIdentifiesWorkersAndOutsiders) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.num_slots(), 4u);
+  // The calling thread is not a worker: it owns the extra slot.
+  EXPECT_EQ(pool.current_slot(), pool.num_workers());
+
+  // Every worker reports a slot in [0, workers), and concurrent workers
+  // report DISTINCT slots — that is what makes slot-indexed state
+  // (WorkerSolvers, per-slot deltas) race-free without locks.
+  std::mutex mu;
+  std::set<unsigned> seen;
+  parallel_for_each(
+      pool, 64,
+      [&](std::size_t) {
+        const unsigned slot = pool.current_slot();
+        EXPECT_LT(slot, pool.num_workers());
+        const std::lock_guard<std::mutex> lock(mu);
+        seen.insert(slot);
+      },
+      /*chunk_size=*/1);
+  EXPECT_GE(seen.size(), 1u);
+  for (const unsigned slot : seen) EXPECT_LT(slot, 3u);
+}
+
+TEST(ThreadPool, CurrentSlotOfAForeignPoolIsTheCallerSlot) {
+  // A worker of pool A asking pool B must get B's caller slot, not its
+  // own slot in A — slot identity is per-pool.
+  ThreadPool a(2);
+  ThreadPool b(2);
+  parallel_for_each(
+      a, 4,
+      [&](std::size_t) { EXPECT_EQ(b.current_slot(), b.num_workers()); },
+      /*chunk_size=*/1);
+}
+
+TEST(LazyThreadPool, SpawnsNothingUntilAsked) {
+  LazyThreadPool lazy(4);
+  EXPECT_FALSE(lazy.started());
+  EXPECT_EQ(lazy.configured_workers(), 4u);
+  EXPECT_EQ(lazy.num_slots(), 5u);
+  EXPECT_EQ(lazy.caller_slot(), 4u);
+
+  ThreadPool& pool = lazy.pool();
+  EXPECT_TRUE(lazy.started());
+  EXPECT_EQ(pool.num_workers(), 4u);
+  EXPECT_EQ(&lazy.pool(), &pool);  // same pool on every later call
+}
+
+TEST(LazyThreadPool, SingleThreadConfiguresZeroWorkers) {
+  // threads <= 1 means a sequential exploration: the caller is the only
+  // slot and pool() (if ever called) runs inline.
+  LazyThreadPool lazy(1);
+  EXPECT_EQ(lazy.configured_workers(), 0u);
+  EXPECT_EQ(lazy.num_slots(), 1u);
+  EXPECT_EQ(lazy.caller_slot(), 0u);
 }
 
 TEST(Cancellation, TokenOutlivesThePoolThatRanIt) {

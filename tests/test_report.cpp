@@ -68,7 +68,7 @@ TEST(ReportFragment, WriteCreatesDirectoriesAndFile) {
 
 TEST(ExperimentsManifest, NamesEveryReproductionBench) {
   const auto& manifest = trace::experiments_manifest();
-  ASSERT_EQ(manifest.size(), 15u);
+  ASSERT_EQ(manifest.size(), 16u);
   // Paper order first, extensions later; parallel/hotpath close the file.
   EXPECT_STREQ(manifest.front().fragment, "table1_schedule");
   EXPECT_STREQ(manifest.front().binary, "bench_table1_schedule");

@@ -4,6 +4,7 @@
 
 #include <vector>
 
+#include "base/diagnostics.hpp"
 #include "base/hash.hpp"
 
 namespace buffy::buffer {
@@ -250,6 +251,237 @@ TEST(ThroughputCacheLru, DominanceWitnessesSurviveEviction) {
   EXPECT_GT(cache.entries_evicted(), 0u);
   EXPECT_TRUE(cache.find_max_dominated({7, 5}).has_value());
   EXPECT_TRUE(cache.find_deadlock_dominated({1, 1}).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / Delta / merge — the per-wave protocol of the parallel engines:
+// workers read a frozen point-in-time view, record fresh outcomes into
+// thread-local deltas, and the coordinator folds the deltas back once per
+// wave (DESIGN.md §14).
+
+TEST(ThroughputCacheDelta, RecordedEntriesAnswerTheRecordingWorker) {
+  ThroughputCache cache(kMax);
+  ThroughputCache::Delta delta = cache.make_delta();
+  EXPECT_TRUE(delta.empty());
+
+  delta.record({4, 2}, periodic(Rational(1, 7)));
+  EXPECT_EQ(delta.size(), 1u);
+  const auto hit = delta.find({4, 2}, /*require_deps=*/false);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->throughput, Rational(1, 7));
+  EXPECT_FALSE(delta.find({4, 3}, false).has_value());
+  // require_deps honors the recorded entry's has_deps, like find().
+  EXPECT_FALSE(delta.find({4, 2}, /*require_deps=*/true).has_value());
+}
+
+TEST(ThroughputCacheDelta, LocalWitnessesGiveImmediateDominance) {
+  // A worker must see its OWN maximal/deadlock outcomes as dominance
+  // witnesses within the wave — that is what keeps a sequential wave's
+  // hit/miss sequence identical to the per-candidate store() path.
+  ThroughputCache cache(kMax);
+  ThroughputCache::Delta delta = cache.make_delta();
+  delta.record({6, 4}, periodic(kMax));
+  delta.record({1, 1}, deadlock());
+
+  const auto above = delta.find_max_dominated({7, 4});
+  ASSERT_TRUE(above.has_value());
+  EXPECT_EQ(above->throughput, kMax);
+  EXPECT_FALSE(delta.find_max_dominated({5, 4}).has_value());
+  EXPECT_TRUE(delta.find_deadlock_dominated({1, 1}).has_value());
+  EXPECT_FALSE(delta.find_deadlock_dominated({2, 1}).has_value());
+  // Sub-maximal outcomes never become witnesses.
+  delta.record({5, 2}, periodic(Rational(1, 6)));
+  EXPECT_FALSE(delta.find_max_dominated({5, 3}).has_value());
+}
+
+TEST(ThroughputCacheDelta, MergePublishesEntriesWitnessesAndCounters) {
+  ThroughputCache cache(kMax);
+  ThroughputCache::Delta d0 = cache.make_delta();
+  ThroughputCache::Delta d1 = cache.make_delta();
+  d0.record({4, 2}, periodic(Rational(1, 7)));
+  d1.record({6, 4}, periodic(kMax));
+  d1.record({1, 1}, deadlock());
+
+  std::vector<ThroughputCache::Delta*> deltas{&d0, &d1};
+  cache.merge(deltas);
+  EXPECT_EQ(cache.merges(), 1u);
+  EXPECT_EQ(cache.entries_stored(), 3u);
+  EXPECT_TRUE(cache.find({4, 2}, false).has_value());
+  EXPECT_TRUE(cache.find({6, 4}, false).has_value());
+  // Witness antichains were fed through the merge.
+  EXPECT_TRUE(cache.find_max_dominated({7, 4}).has_value());
+  EXPECT_TRUE(cache.find_deadlock_dominated({1, 1}).has_value());
+}
+
+TEST(ThroughputCacheDelta, SnapshotSeesMergedEntriesNotLiveOnes) {
+  ThroughputCache cache(kMax);
+  ThroughputCache::Delta delta = cache.make_delta();
+  delta.record({4, 2}, periodic(Rational(1, 7)));
+  std::vector<ThroughputCache::Delta*> deltas{&delta};
+  cache.merge(deltas);
+  delta.clear();
+  EXPECT_TRUE(delta.empty());
+
+  const ThroughputCache::Snapshot before = cache.snapshot();
+  EXPECT_TRUE(before.find({4, 2}, false).has_value());
+  EXPECT_FALSE(before.find({9, 9}, false).has_value());
+
+  // An entry merged after the snapshot was taken stays invisible to it (a
+  // safe stale miss), and visible to a fresh snapshot.
+  delta.record({9, 9}, periodic(Rational(1, 5)));
+  cache.merge(deltas);
+  EXPECT_FALSE(before.find({9, 9}, false).has_value());
+  EXPECT_TRUE(cache.snapshot().find({9, 9}, false).has_value());
+}
+
+TEST(ThroughputCacheDelta, SnapshotWitnessScansAreFrozenAtCreation) {
+  ThroughputCache cache(kMax);
+  const ThroughputCache::Snapshot before = cache.snapshot();
+  cache.add_max_witness({4, 2});
+  EXPECT_FALSE(before.find_max_dominated({5, 3}).has_value());
+  EXPECT_TRUE(cache.snapshot().find_max_dominated({5, 3}).has_value());
+}
+
+TEST(ThroughputCacheDelta, BoundedCacheSnapshotsDelegateToTheLiveMap) {
+  // Bounded caches have no frozen index (lock-free readers cannot refresh
+  // LRU recency): exact lookups go to the striped map, so they see stores
+  // immediately and keep recency exact.
+  ThroughputCache cache(kMax, /*capacity=*/ThroughputCache::kStripes);
+  const ThroughputCache::Snapshot snap = cache.snapshot();
+  cache.store({4, 2}, periodic(Rational(1, 7)));
+  EXPECT_TRUE(snap.find({4, 2}, false).has_value());
+}
+
+TEST(ThroughputCacheDelta, ManyWavesFoldTheOverlayWithoutLosingEntries) {
+  // Drive enough merges to cross the fold threshold (overlay >= 64) and
+  // verify a fresh snapshot still answers every key exactly.
+  ThroughputCache cache(kMax);
+  ThroughputCache::Delta delta = cache.make_delta();
+  std::vector<ThroughputCache::Delta*> deltas{&delta};
+  for (i64 wave = 0; wave < 10; ++wave) {
+    for (i64 v = 0; v < 20; ++v) {
+      delta.record({wave, v}, periodic(Rational(1, 7)));
+    }
+    cache.merge(deltas);
+    delta.clear();
+  }
+  EXPECT_EQ(cache.merges(), 10u);
+  const ThroughputCache::Snapshot snap = cache.snapshot();
+  for (i64 wave = 0; wave < 10; ++wave) {
+    for (i64 v = 0; v < 20; ++v) {
+      EXPECT_TRUE(snap.find({wave, v}, false).has_value())
+          << wave << "," << v;
+    }
+  }
+}
+
+TEST(ThroughputCacheDelta, MergeRejectsDisagreeingDeltas) {
+  // Tamper test for the determinism check: two workers reporting
+  // different outcomes for the same capacity vector means the
+  // deterministic-simulation invariant is broken, and merge() must throw
+  // rather than silently pick a winner.
+  ThroughputCache cache(kMax);
+  ThroughputCache::Delta d0 = cache.make_delta();
+  ThroughputCache::Delta d1 = cache.make_delta();
+  d0.record({4, 2}, periodic(Rational(1, 7)));
+  d1.record({4, 2}, periodic(Rational(1, 6)));  // divergent throughput
+  std::vector<ThroughputCache::Delta*> deltas{&d0, &d1};
+  EXPECT_THROW(cache.merge(deltas), Error);
+}
+
+TEST(ThroughputCacheDelta, MergeRejectsDisagreementWithResidentEntries) {
+  ThroughputCache cache(kMax);
+  ThroughputCache::Delta delta = cache.make_delta();
+  delta.record({4, 2}, periodic(Rational(1, 7)));
+  std::vector<ThroughputCache::Delta*> deltas{&delta};
+  cache.merge(deltas);
+  delta.clear();
+
+  delta.record({4, 2}, periodic(Rational(1, 6)));  // disagrees with resident
+  EXPECT_THROW(cache.merge(deltas), Error);
+
+  // Agreement (same scalars, deps added) is NOT a conflict: fused and
+  // plain evaluations of the same vector legitimately differ in deps.
+  delta.clear();
+  CachedThroughput with_deps = periodic(Rational(1, 7));
+  with_deps.has_deps = true;
+  with_deps.storage_deps = {sdf::ChannelId(0)};
+  delta.record({4, 2}, with_deps);
+  cache.merge(deltas);
+  EXPECT_TRUE(cache.find({4, 2}, /*require_deps=*/true).has_value());
+}
+
+TEST(ThroughputCacheDelta, DuplicateRecordKeepsFirstValueAndUpgradesDeps) {
+  ThroughputCache cache(kMax);
+  ThroughputCache::Delta delta = cache.make_delta();
+  delta.record({4, 2}, periodic(Rational(1, 7)));
+  CachedThroughput with_deps = periodic(Rational(1, 7));
+  with_deps.has_deps = true;
+  with_deps.storage_deps = {sdf::ChannelId(1)};
+  delta.record({4, 2}, with_deps);
+
+  EXPECT_EQ(delta.size(), 1u);
+  const auto hit = delta.find({4, 2}, /*require_deps=*/true);
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->storage_deps.size(), 1u);
+  EXPECT_EQ(hit->storage_deps[0], sdf::ChannelId(1));
+}
+
+// ---------------------------------------------------------------------------
+// Sorted witness antichains. The antichains are ordered ascending by
+// (total, caps) so dominance scans early-exit; these pin the ordering
+// semantics the scans rely on, including the drop-at-cap behaviour.
+
+TEST(ThroughputCacheWitnesses, ScanOrderIndependentOfInsertionOrder) {
+  // Insert incomparable witnesses in descending-total order; the sorted
+  // antichain must answer exactly as if they arrived ascending.
+  ThroughputCache a(kMax);
+  a.add_max_witness({9, 1});
+  a.add_max_witness({5, 4});
+  a.add_max_witness({1, 8});
+  ThroughputCache b(kMax);
+  b.add_max_witness({1, 8});
+  b.add_max_witness({5, 4});
+  b.add_max_witness({9, 1});
+  for (i64 x = 0; x <= 10; ++x) {
+    for (i64 y = 0; y <= 10; ++y) {
+      EXPECT_EQ(a.find_max_dominated({x, y}).has_value(),
+                b.find_max_dominated({x, y}).has_value())
+          << x << "," << y;
+    }
+  }
+}
+
+TEST(ThroughputCacheWitnesses, SupersededWitnessesAreEvictedNotShadowed) {
+  // {3, 3} supersedes both bigger witnesses; afterwards a vector that was
+  // only dominated via a superseded witness must still answer (through
+  // the survivor) and nothing below the survivor may answer.
+  ThroughputCache cache(kMax);
+  cache.add_max_witness({6, 3});
+  cache.add_max_witness({3, 7});
+  cache.add_max_witness({3, 3});
+  EXPECT_TRUE(cache.find_max_dominated({6, 3}).has_value());
+  EXPECT_TRUE(cache.find_max_dominated({3, 7}).has_value());
+  EXPECT_TRUE(cache.find_max_dominated({3, 3}).has_value());
+  EXPECT_FALSE(cache.find_max_dominated({2, 9}).has_value());
+  EXPECT_FALSE(cache.find_max_dominated({9, 2}).has_value());
+}
+
+TEST(ThroughputCacheWitnesses, CapDropsNewWitnessesWithoutBreakingAnswers) {
+  // Beyond kMaxWitnesses (64) incomparable witnesses, new ones are
+  // dropped: pruning fires less often, never incorrectly. The dropped
+  // witness must simply not answer.
+  ThroughputCache cache(kMax);
+  for (i64 i = 0; i < 70; ++i) {
+    // Pairwise incomparable: x ascends while y descends.
+    cache.add_max_witness({i, 200 - i});
+  }
+  // The first 64 all answer...
+  EXPECT_TRUE(cache.find_max_dominated({0, 200}).has_value());
+  EXPECT_TRUE(cache.find_max_dominated({63, 137}).has_value());
+  // ...the dropped tail answers only through an earlier witness, i.e. not
+  // at {69, 131} (every retained witness has y >= 137).
+  EXPECT_FALSE(cache.find_max_dominated({69, 131}).has_value());
 }
 
 }  // namespace
