@@ -19,6 +19,11 @@
 //
 // The exit status is nonzero only when a Pareto front diverges — timing
 // numbers are reported, never gated (CI machines are too noisy for that).
+//
+// The DSE A/B pins the scalar backend: it isolates the cache/engine-reuse
+// effect, and the lane engines batch candidates speculatively, which
+// changes the simulation counts on both sides of the A/B (the lane
+// backends have their own A/B in bench_simd_lanes).
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -152,6 +157,9 @@ buffer::DseResult run_dse(const sdf::Graph& graph, buffer::DseEngine engine,
   opts.threads = threads;
   opts.use_throughput_cache = optimized;
   opts.reuse_engines = optimized;
+  // Scalar pin: keep both sides of the A/B on the one-candidate solver so
+  // the saved-simulation accounting compares like with like (see header).
+  opts.simd = state::SimdBackend::Scalar;
   buffer::DseResult best = buffer::explore(graph, opts);
   if (best_seconds != nullptr) {
     *best_seconds = best.seconds;
@@ -180,8 +188,8 @@ DseMeasurement bench_dse(const std::string& name, const sdf::Graph& graph,
   m.simulations_saved_pct =
       seed.simulations_run > 0
           ? 100.0 *
-                static_cast<double>(seed.simulations_run -
-                                    opt.simulations_run) /
+                (static_cast<double>(seed.simulations_run) -
+                 static_cast<double>(opt.simulations_run)) /
                 static_cast<double>(seed.simulations_run)
           : 0.0;
   m.cache_hits = opt.cache_hits;

@@ -20,6 +20,12 @@
 //   --goal <rational>     stop once this throughput is reached (e.g. 1/4)
 //   --min-tput <rational> report only points at or above this throughput
 //   --threads <n>         worker threads (deterministic; default 1)
+//   --simd <mode>         candidate evaluation backend: auto (default),
+//                         scalar, swar, avx2. Lane backends batch sibling
+//                         candidates through the SoA state-space kernel;
+//                         the Pareto front is byte-identical across modes
+//   --lanes <n>           candidates per lane batch, 1..64 (default: the
+//                         backend's width)
 //   --deadline-ms <n>     wall-clock budget; returns the verified partial
 //                         Pareto front when it runs out
 //   --no-cache            disable the cross-distribution throughput cache
@@ -67,6 +73,7 @@
 #include "io/sdf_xml.hpp"
 #include "sched/extract.hpp"
 #include "sched/render.hpp"
+#include "state/simd_backend.hpp"
 
 using namespace buffy;
 
@@ -80,7 +87,9 @@ void usage(std::FILE* out) {
       "                   [--quality fast|exact]\n"
       "                   [--levels N] [--max-size N] [--goal R] "
       "[--min-tput R]\n"
-      "                   [--threads N] [--deadline-ms N] [--no-cache] "
+      "                   [--threads N] [--simd auto|scalar|swar|avx2] "
+      "[--lanes N]\n"
+      "                   [--deadline-ms N] [--no-cache] "
       "[--cache-cap N] [--stats]\n"
       "                   [--trace FILE] [--schedule] [--dot FILE] "
       "[--codegen FILE]\n"
@@ -98,6 +107,8 @@ struct CliArgs {
   std::optional<Rational> goal;
   std::optional<Rational> min_tput;
   std::optional<i64> threads;
+  std::optional<state::SimdBackend> simd;
+  std::optional<i64> lanes;
   std::optional<i64> deadline_ms;
   bool no_cache = false;
   std::optional<i64> cache_cap;
@@ -145,6 +156,18 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     } else if (arg == "--threads") {
       args.threads = parse_i64(value());
       if (*args.threads < 1) throw ParseError("--threads must be >= 1");
+    } else if (arg == "--simd") {
+      const std::string mode = value();
+      args.simd = state::parse_backend(mode);
+      if (!args.simd.has_value()) {
+        throw ParseError("unknown --simd mode '" + mode + "'");
+      }
+    } else if (arg == "--lanes") {
+      args.lanes = parse_i64(value());
+      if (*args.lanes < 1 ||
+          *args.lanes > static_cast<i64>(state::kMaxLanes)) {
+        throw ParseError("--lanes must be in [1, 64]");
+      }
     } else if (arg == "--deadline-ms") {
       args.deadline_ms = parse_i64(value());
       if (*args.deadline_ms < 0) {
@@ -183,6 +206,8 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     if (args.goal.has_value()) unsupported = "--goal";
     if (args.min_tput.has_value()) unsupported = "--min-tput";
     if (args.threads.has_value()) unsupported = "--threads";
+    if (args.simd.has_value()) unsupported = "--simd";
+    if (args.lanes.has_value()) unsupported = "--lanes";
     if (args.deadline_ms.has_value()) unsupported = "--deadline-ms";
     if (args.no_cache) unsupported = "--no-cache";
     if (args.cache_cap.has_value()) unsupported = "--cache-cap";
@@ -206,6 +231,8 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
     if (args.goal.has_value()) unsupported = "--goal";
     if (args.min_tput.has_value()) unsupported = "--min-tput";
     if (args.threads.has_value()) unsupported = "--threads";
+    if (args.simd.has_value()) unsupported = "--simd";
+    if (args.lanes.has_value()) unsupported = "--lanes";
     if (args.deadline_ms.has_value()) unsupported = "--deadline-ms";
     if (args.no_cache) unsupported = "--no-cache";
     if (args.cache_cap.has_value()) unsupported = "--cache-cap";
@@ -352,6 +379,10 @@ int main(int argc, char** argv) {
     opts.min_throughput = args->min_tput;
     if (args->threads.has_value()) {
       opts.threads = static_cast<unsigned>(*args->threads);
+    }
+    if (args->simd.has_value()) opts.simd = *args->simd;
+    if (args->lanes.has_value()) {
+      opts.simd_lanes = static_cast<std::size_t>(*args->lanes);
     }
     opts.deadline_ms = args->deadline_ms;
     opts.use_throughput_cache = !args->no_cache;

@@ -16,6 +16,11 @@ namespace buffy {
 using i64 = std::int64_t;
 /// Unsigned 64-bit integer used for hashes and state counts.
 using u64 = std::uint64_t;
+/// Signed 32-bit integer used by the narrow lane kernel (DESIGN.md §15):
+/// when every magnitude of a batch provably fits, packing lanes at half
+/// width doubles the kernel's SIMD throughput. Never used for analysis
+/// arithmetic.
+using i32 = std::int32_t;
 
 /// Returns a + b; throws OverflowError when the sum is unrepresentable.
 [[nodiscard]] i64 checked_add(i64 a, i64 b);

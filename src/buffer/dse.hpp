@@ -27,6 +27,7 @@
 #include "exec/cancellation.hpp"
 #include "exec/progress.hpp"
 #include "sdf/graph.hpp"
+#include "state/simd_backend.hpp"
 
 namespace buffy::buffer {
 
@@ -138,6 +139,24 @@ struct DseOptions {
   /// engine, a second dedicated dependency simulation — kept for A/B
   /// benchmarking (bench_throughput_hotpath) and regression tests.
   bool reuse_engines = true;
+
+  /// State-space backend for candidate evaluation (DESIGN.md §15). Auto
+  /// resolves to the widest lane kernel the host supports (AVX2, falling
+  /// back to the portable SWAR path); Scalar forces the classic
+  /// one-candidate-at-a-time engine. A lane backend packs up to
+  /// `simd_lanes` sibling candidates into each state-space batch; every
+  /// per-candidate result is field-for-field identical to the scalar
+  /// solver's, so the Pareto front is byte-identical across backends and
+  /// lane widths. The lane path engages only when `reuse_engines` is on
+  /// and (incremental engine) `binding` is empty; otherwise evaluation
+  /// silently stays scalar. Requesting an unavailable backend (Avx2 on a
+  /// host without it) is an error.
+  state::SimdBackend simd = state::SimdBackend::Auto;
+
+  /// Candidates per lane batch, clamped to [1, 64]; 0 = the backend's
+  /// default width (identical for every lane backend, keeping exploration
+  /// counters host-independent).
+  std::size_t simd_lanes = 0;
 
   /// Wall-clock budget in milliseconds. When it runs out the exploration
   /// stops at the next safepoint and returns the Pareto points verified so

@@ -16,6 +16,7 @@
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
 #include "lp/sdf_model.hpp"
+#include "state/lane_throughput.hpp"
 #include "state/throughput.hpp"
 #include "trace/trace.hpp"
 
@@ -70,6 +71,11 @@ struct Sweep {
   // Thread-affine: each worker keeps the slot's solver for the whole
   // exploration — no per-shard acquire/release.
   state::WorkerSolvers* solvers = nullptr;
+  // Lane-parallel leaf evaluation (DESIGN.md §15): non-null when the SIMD
+  // lane kernel batches the enumeration's cache-missing leaves. Envelope
+  // probes and slice seeds stay scalar — they are evaluated at the moment
+  // their value gates the traversal.
+  state::LaneSolverBank* lane_bank = nullptr;
 
   // Per-slot scratch: the worker's cache delta plus its local simulation
   // cost sample, padded so neighbouring workers never share a cache line.
@@ -123,10 +129,13 @@ struct Sweep {
     }
   }
 
+  // Books the candidate against the exploration budget and tries to
+  // answer it from the cache (exact repeat or Sec. 8 dominance). Returns
+  // the answer, or nullopt when the candidate needs a simulation.
   // `slot` keys the worker's thread-affine solver and delta (the pool's
   // current_slot(), or caller_slot on the sequential path).
-  [[nodiscard]] Rational throughput_of(const std::vector<i64>& caps,
-                                       std::size_t slot) {
+  [[nodiscard]] std::optional<Rational> classify(const std::vector<i64>& caps,
+                                                 std::size_t slot) {
     if (explored.fetch_add(1, std::memory_order_relaxed) + 1 >
         options.max_distributions) {
       throw Error(std::string(op_name) + " exceeded max_distributions = " +
@@ -180,24 +189,13 @@ struct Sweep {
         return hit->throughput;
       }
     }
-    state::ThroughputOptions run_opts{.target = options.target,
-                                      .max_steps =
-                                          options.max_steps_per_run};
-    run_opts.cancel = options.cancel;
-    run_opts.progress = options.progress;
-    state::ThroughputSolver* solver =
-        solvers != nullptr ? &solvers->at(slot) : nullptr;
-    const auto sim_t0 = std::chrono::steady_clock::now();
-    const state::ThroughputResult run =
-        solver != nullptr
-            ? solver->compute(state::Capacities::bounded(caps), run_opts)
-            : state::compute_throughput(
-                  graph, state::Capacities::bounded(caps), run_opts);
-    slot_state[slot].sim_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      sim_t0)
-            .count();
-    slot_state[slot].sims += 1;
+    return std::nullopt;
+  }
+
+  // Books one fresh simulation outcome shared by the scalar and lane
+  // paths: peak-state fold, cache delta record, LP-bound audit sample.
+  void absorb_run(const std::vector<i64>& caps,
+                  const state::ThroughputResult& run, std::size_t slot) {
     simulations.fetch_add(1, std::memory_order_relaxed);
     // The same deterministic sample cross-checks the LP cycle-cut bound
     // against the fresh simulation (DESIGN.md §9, §13): a bound below
@@ -222,7 +220,63 @@ struct Sweep {
       slot_state[slot].delta->record(caps, value);
     }
     if (options.progress != nullptr) options.progress->add_points(1);
+  }
+
+  // Scalar simulation of one cache-missing candidate.
+  [[nodiscard]] Rational simulate_one(const std::vector<i64>& caps,
+                                      std::size_t slot) {
+    state::ThroughputOptions run_opts{.target = options.target,
+                                      .max_steps =
+                                          options.max_steps_per_run};
+    run_opts.cancel = options.cancel;
+    run_opts.progress = options.progress;
+    state::ThroughputSolver* solver =
+        solvers != nullptr ? &solvers->at(slot) : nullptr;
+    const auto sim_t0 = std::chrono::steady_clock::now();
+    const state::ThroughputResult run =
+        solver != nullptr
+            ? solver->compute(state::Capacities::bounded(caps), run_opts)
+            : state::compute_throughput(
+                  graph, state::Capacities::bounded(caps), run_opts);
+    slot_state[slot].sim_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sim_t0)
+            .count();
+    slot_state[slot].sims += 1;
+    absorb_run(caps, run, slot);
     return run.throughput;
+  }
+
+  // Simulates a group of cache-missing candidates as one lockstep lane
+  // batch on the slot's lane solver; results land index-for-index.
+  [[nodiscard]] std::vector<state::ThroughputResult> simulate_lanes(
+      std::span<const std::vector<i64>> caps, std::size_t slot) {
+    state::LaneBatchOptions run_opts{.target = options.target,
+                                     .max_steps = options.max_steps_per_run};
+    run_opts.cancel = options.cancel;
+    run_opts.progress = options.progress;
+    const auto sim_t0 = std::chrono::steady_clock::now();
+    std::vector<state::ThroughputResult> runs =
+        lane_bank->at(slot).compute_batch(caps, run_opts);
+    slot_state[slot].sim_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      sim_t0)
+            .count();
+    slot_state[slot].sims += caps.size();
+    for (std::size_t k = 0; k < caps.size(); ++k) {
+      absorb_run(caps[k], runs[k], slot);
+    }
+    return runs;
+  }
+
+  // The scalar evaluation used by envelope probes and slice seeds (and by
+  // every leaf when the lane kernel is off).
+  [[nodiscard]] Rational throughput_of(const std::vector<i64>& caps,
+                                       std::size_t slot) {
+    if (const std::optional<Rational> hit = classify(caps, slot)) {
+      return *hit;
+    }
+    return simulate_one(caps, slot);
   }
 
   // Books one LP-answered skip (a leaf candidate or an envelope probe that
@@ -257,6 +311,71 @@ struct Sweep {
 struct SizeOutcome {
   Rational throughput;  // quantised
   StorageDistribution witness;
+};
+
+// Lex-ordered leaf queue of the lane path (DESIGN.md §15): every
+// surviving leaf — cache-answered or simulation-pending — is queued in
+// enumeration order, and once a lane batch's worth accumulated the
+// pending ones are simulated in lockstep and the whole queue is folded
+// in that same order. Folding in arrival order is what keeps the
+// (throughput, witness) outcome — and with it the front — byte-identical
+// to the scalar scan; the enumeration may classify up to a queue's worth
+// of extra leaves past the sequential stopping point, booked in
+// distributions_explored exactly like the sharded scan's overshoot.
+class LeafQueue {
+ public:
+  LeafQueue(Sweep& sweep, std::size_t slot)
+      : sweep_(sweep), slot_(slot), width_(sweep.lane_bank->lanes()) {}
+
+  // Queues one leaf; flushes when the queue reaches the lane width.
+  // Returns false once the fold requested a stop.
+  template <typename Visit>
+  [[nodiscard]] bool leaf(const std::vector<i64>& caps, Visit&& visit) {
+    entries_.push_back(Entry{caps, sweep_.classify(caps, slot_)});
+    if (!entries_.back().tput.has_value()) {
+      pending_.push_back(entries_.size() - 1);
+    }
+    if (entries_.size() < width_) return true;
+    return flush(visit);
+  }
+
+  // Simulates the pending leaves as one lane batch and folds the queue in
+  // arrival order. Call once more after the enumeration for the tail.
+  template <typename Visit>
+  [[nodiscard]] bool flush(Visit&& visit) {
+    if (entries_.empty()) return true;
+    if (!pending_.empty()) {
+      std::vector<std::vector<i64>> caps;
+      caps.reserve(pending_.size());
+      for (const std::size_t k : pending_) caps.push_back(entries_[k].caps);
+      const std::vector<state::ThroughputResult> runs =
+          sweep_.simulate_lanes(caps, slot_);
+      for (std::size_t k = 0; k < pending_.size(); ++k) {
+        entries_[pending_[k]].tput = runs[k].throughput;
+      }
+    }
+    bool keep = true;
+    for (const Entry& e : entries_) {
+      if (!keep) break;  // the sequential scan stopped here: discard
+      keep = visit(e.caps,
+                   quantize_down(*e.tput, sweep_.options.quantization));
+    }
+    entries_.clear();
+    pending_.clear();
+    return keep;
+  }
+
+ private:
+  struct Entry {
+    std::vector<i64> caps;
+    std::optional<Rational> tput;
+  };
+
+  Sweep& sweep_;
+  std::size_t slot_;
+  std::size_t width_;
+  std::vector<Entry> entries_;
+  std::vector<std::size_t> pending_;
 };
 
 // Number of distributions of total `size` inside the estimation box
@@ -330,23 +449,22 @@ bool subtree_pruned(Sweep& sweep, std::size_t slot,
 }
 
 // Visits every distribution of the requested total inside the box, in
-// lexicographic capacity order; the visitor returns false to abort the
-// sweep. `prune(caps, channel, remaining)` may return true to skip a
-// whole subtree; `skip_leaf(caps)` may return true to answer a single
-// candidate without simulating it. Either may only fire when no skipped
-// candidate can change the outcome. `caps[0..channel)` must already hold
-// the fixed prefix.
-template <typename Visitor, typename Pruner, typename SkipLeaf>
+// lexicographic capacity order; `leaf(caps)` evaluates one candidate
+// (directly, or via a LeafQueue on the lane path) and returns false to
+// abort the sweep. `prune(caps, channel, remaining)` may return true to
+// skip a whole subtree; `skip_leaf(caps)` may return true to answer a
+// single candidate without simulating it. Either may only fire when no
+// skipped candidate can change the outcome. `caps[0..channel)` must
+// already hold the fixed prefix.
+template <typename Leaf, typename Pruner, typename SkipLeaf>
 bool enumerate(Sweep& sweep, std::size_t slot,
                std::vector<i64>& caps, std::size_t channel, i64 remaining,
-               Visitor&& visit, Pruner&& prune, SkipLeaf&& skip_leaf) {
+               Leaf&& leaf, Pruner&& prune, SkipLeaf&& skip_leaf) {
   const std::size_t m = sweep.lb.size();
   if (channel == m) {
     BUFFY_ASSERT(remaining == 0, "enumeration budget mismatch");
     if (skip_leaf(caps)) return true;
-    const Rational tput = quantize_down(sweep.throughput_of(caps, slot),
-                                        sweep.options.quantization);
-    return visit(caps, tput);
+    return leaf(caps);
   }
   if (remaining < sweep.lb_suffix[channel] ||
       remaining > sweep.ub_suffix[channel]) {
@@ -366,12 +484,32 @@ bool enumerate(Sweep& sweep, std::size_t slot,
   const i64 hi = std::min(sweep.ub[channel], remaining - rest_lb);
   for (i64 cap = lo; cap <= hi; ++cap) {
     caps[channel] = cap;
-    if (!enumerate(sweep, slot, caps, channel + 1, remaining - cap, visit,
+    if (!enumerate(sweep, slot, caps, channel + 1, remaining - cap, leaf,
                    prune, skip_leaf)) {
       return false;
     }
   }
   return true;
+}
+
+// Builds the enumerate() leaf evaluator for one scan: scalar when no lane
+// bank is wired (classify + simulate one candidate inline), lane-queued
+// otherwise. `run(fold)` performs the enumeration with the chosen leaf
+// and flushes the queue's tail, so both paths fold every surviving leaf
+// in the same lexicographic order.
+template <typename Fold, typename Enumerate>
+void scan_leaves(Sweep& sweep, std::size_t slot, Fold&& fold,
+                 Enumerate&& run) {
+  if (sweep.lane_bank == nullptr) {
+    run([&](const std::vector<i64>& caps) {
+      return fold(caps, quantize_down(sweep.throughput_of(caps, slot),
+                                      sweep.options.quantization));
+    });
+    return;
+  }
+  LeafQueue queue(sweep, slot);
+  run([&](const std::vector<i64>& caps) { return queue.leaf(caps, fold); });
+  (void)queue.flush(fold);
 }
 
 // Sequential reference: scan in lexicographic order, keep the first
@@ -387,8 +525,8 @@ SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size,
                                       const Rational& slice_goal) {
   const std::size_t slot = sweep.caller_slot;
   std::vector<i64> caps(sweep.lb.size(), 0);
-  enumerate(
-      sweep, slot, caps, 0, size,
+  scan_leaves(
+      sweep, slot,
       [&](const std::vector<i64>& found, const Rational& tput) {
         if (best.witness.num_channels() == 0 || tput > best.throughput) {
           best.throughput = tput;
@@ -396,18 +534,24 @@ SizeOutcome max_throughput_sequential(Sweep& sweep, i64 size,
         }
         return best.throughput < slice_goal;  // stop at the slice goal
       },
-      [&](const std::vector<i64>& prefix, std::size_t channel, i64 remaining,
-          std::size_t probe_slot) {
-        return best.witness.num_channels() != 0 &&
-               subtree_pruned(sweep, probe_slot, prefix, channel, remaining,
-                              best.throughput, /*strict=*/false);
-      },
-      // LP leaf cut: a candidate whose cut bound cannot strictly beat the
-      // incumbent would never have updated `best` — skip its simulation.
-      [&](const std::vector<i64>& candidate) {
-        return best.witness.num_channels() != 0 &&
-               sweep.lp_rules_out(candidate, best.throughput,
-                                  /*strict=*/false, size);
+      [&](auto&& leaf) {
+        enumerate(
+            sweep, slot, caps, 0, size, leaf,
+            [&](const std::vector<i64>& prefix, std::size_t channel,
+                i64 remaining, std::size_t probe_slot) {
+              return best.witness.num_channels() != 0 &&
+                     subtree_pruned(sweep, probe_slot, prefix, channel,
+                                    remaining, best.throughput,
+                                    /*strict=*/false);
+            },
+            // LP leaf cut: a candidate whose cut bound cannot strictly beat
+            // the incumbent would never have updated `best` — skip its
+            // simulation.
+            [&](const std::vector<i64>& candidate) {
+              return best.witness.num_channels() != 0 &&
+                     sweep.lp_rules_out(candidate, best.throughput,
+                                        /*strict=*/false, size);
+            });
       });
   return best;
 }
@@ -494,8 +638,8 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
           }
           return have;
         };
-        enumerate(
-            sweep, slot, caps, shard.prefix.size(), shard.remaining,
+        scan_leaves(
+            sweep, slot,
             [&](const std::vector<i64>& found, const Rational& tput) {
               if (!out.any || tput > out.best) {
                 out.any = true;
@@ -505,18 +649,23 @@ SizeOutcome max_throughput_sharded(Sweep& sweep, i64 size, SizeOutcome seed,
               out.hit_goal = out.best >= slice_goal;
               return !out.hit_goal;
             },
-            [&](const std::vector<i64>& prefix, std::size_t channel,
-                i64 remaining, std::size_t probe_slot) {
-              Rational floor;
-              return shard_floor(floor) &&
-                     subtree_pruned(sweep, probe_slot, prefix, channel,
-                                    remaining, floor, /*strict=*/false);
-            },
-            [&](const std::vector<i64>& candidate) {
-              Rational floor;
-              return shard_floor(floor) &&
-                     sweep.lp_rules_out(candidate, floor, /*strict=*/false,
-                                        size);
+            [&](auto&& leaf) {
+              enumerate(
+                  sweep, slot, caps, shard.prefix.size(), shard.remaining,
+                  leaf,
+                  [&](const std::vector<i64>& prefix, std::size_t channel,
+                      i64 remaining, std::size_t probe_slot) {
+                    Rational floor;
+                    return shard_floor(floor) &&
+                           subtree_pruned(sweep, probe_slot, prefix, channel,
+                                          remaining, floor, /*strict=*/false);
+                  },
+                  [&](const std::vector<i64>& candidate) {
+                    Rational floor;
+                    return shard_floor(floor) &&
+                           sweep.lp_rules_out(candidate, floor,
+                                              /*strict=*/false, size);
+                  });
             });
         return out;
       },
@@ -694,9 +843,18 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
         bounds.max_throughput_distribution.capacities());
   }
   std::optional<state::WorkerSolvers> solvers;
+  std::optional<state::LaneSolverBank> lane_bank;
   if (options.reuse_engines) {
     solvers.emplace(graph, lazy.num_slots());
     sweep.solvers = &*solvers;
+    const state::SimdBackend lane_backend =
+        state::resolve_backend(options.simd);
+    if (lane_backend != state::SimdBackend::Scalar) {
+      lane_bank.emplace(graph, lazy.num_slots(),
+                        state::resolve_lanes(options.simd_lanes, lane_backend),
+                        lane_backend);
+      sweep.lane_bank = &*lane_bank;
+    }
   }
   sweep.init_slots(lazy.num_slots());
 
@@ -891,33 +1049,48 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
         bounds.max_throughput_distribution.capacities());
   }
   std::optional<state::WorkerSolvers> solvers;
+  std::optional<state::LaneSolverBank> lane_bank;
   if (options.reuse_engines) {
     // Tie enumeration is sequential: one caller slot, one solver.
     solvers.emplace(graph, 1);
     sweep.solvers = &*solvers;
+    const state::SimdBackend lane_backend =
+        state::resolve_backend(options.simd);
+    if (lane_backend != state::SimdBackend::Scalar) {
+      lane_bank.emplace(graph, 1,
+                        state::resolve_lanes(options.simd_lanes, lane_backend),
+                        lane_backend);
+      sweep.lane_bank = &*lane_bank;
+    }
   }
   sweep.init_slots(1);
   sweep.begin_slice();
   std::vector<i64> caps(sweep.lb.size(), 0);
-  enumerate(
-      sweep, sweep.caller_slot, caps, 0, size,
+  scan_leaves(
+      sweep, sweep.caller_slot,
       [&](const std::vector<i64>& candidate, const Rational& tput) {
         if (tput >= min_throughput) {
           found.emplace_back(candidate);
         }
         return true;
       },
-      // A subtree whose envelope falls short of the tie threshold holds
-      // no qualifying distribution (monotonicity) — cut it wholesale.
-      [&](const std::vector<i64>& prefix, std::size_t channel, i64 remaining,
-          std::size_t probe_slot) {
-        return subtree_pruned(sweep, probe_slot, prefix, channel, remaining,
-                              min_throughput, /*strict=*/true);
-      },
-      // A candidate provably below the tie threshold never qualifies.
-      [&](const std::vector<i64>& candidate) {
-        return sweep.lp_rules_out(candidate, min_throughput, /*strict=*/true,
-                                  size);
+      [&](auto&& leaf) {
+        enumerate(
+            sweep, sweep.caller_slot, caps, 0, size, leaf,
+            // A subtree whose envelope falls short of the tie threshold
+            // holds no qualifying distribution (monotonicity) — cut it
+            // wholesale.
+            [&](const std::vector<i64>& prefix, std::size_t channel,
+                i64 remaining, std::size_t probe_slot) {
+              return subtree_pruned(sweep, probe_slot, prefix, channel,
+                                    remaining, min_throughput,
+                                    /*strict=*/true);
+            },
+            // A candidate provably below the tie threshold never qualifies.
+            [&](const std::vector<i64>& candidate) {
+              return sweep.lp_rules_out(candidate, min_throughput,
+                                        /*strict=*/true, size);
+            });
       });
   sweep.end_slice();
   return found;

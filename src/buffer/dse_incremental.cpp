@@ -16,6 +16,7 @@
 #include "exec/parallel.hpp"
 #include "exec/thread_pool.hpp"
 #include "state/engine.hpp"
+#include "state/lane_throughput.hpp"
 #include "state/throughput.hpp"
 #include "trace/trace.hpp"
 
@@ -143,6 +144,20 @@ DseResult explore_incremental(const sdf::Graph& graph,
   // the worker's slot — no per-candidate acquire/release.
   std::optional<state::WorkerSolvers> solvers;
   if (options.reuse_engines) solvers.emplace(graph, slots);
+  // Lane-parallel candidate evaluation (DESIGN.md §15): the wave's
+  // cache-missing candidates are packed into lane batches and stepped in
+  // lockstep by the SIMD kernel. Per-candidate results are field-for-field
+  // identical to the scalar solver's, so the fold below — and with it the
+  // Pareto front and every counter — is byte-identical to the scalar path.
+  // A processor binding forces the scalar path: the lane kernel simulates
+  // unbound execution only.
+  const state::SimdBackend lane_backend = state::resolve_backend(options.simd);
+  const bool lane_eval = lane_backend != state::SimdBackend::Scalar &&
+                         options.reuse_engines && options.binding.empty();
+  const std::size_t lane_width =
+      state::resolve_lanes(options.simd_lanes, lane_backend);
+  std::optional<state::LaneSolverBank> lane_bank;
+  if (lane_eval) lane_bank.emplace(graph, slots, lane_width, lane_backend);
   std::vector<WaveSlot> wave_slots(slots);
   if (cache != nullptr) {
     for (WaveSlot& ws : wave_slots) ws.delta.emplace(cache->make_delta());
@@ -234,59 +249,86 @@ DseResult explore_incremental(const sdf::Graph& graph,
     // once at the wave boundary below.
     std::optional<ThroughputCache::Snapshot> snap;
     if (cache != nullptr) snap.emplace(cache->snapshot());
-    const auto evaluate = [&](std::size_t i, std::size_t slot) {
-      if (options.cancel.cancelled()) return;  // skip: wave is being cut
-      if (cache != nullptr) {
-        // An exact hit must carry recorded dependencies — children are
-        // expanded from them. A max-dominance hit needs none: the maximal
-        // throughput reaches the goal, so the fold stops before this
-        // candidate's children would be expanded. Dominance is consulted
-        // only without a binding (scheduling anomalies break the Sec. 8
-        // monotonicity it relies on); exact repeats stay valid either way.
-        // The snapshot covers everything merged before this wave; the
-        // slot's delta covers what this worker learned inside it.
-        ThroughputCache::Delta& delta = *wave_slots[slot].delta;
-        std::optional<CachedThroughput> hit =
-            snap->find(batch[i], /*require_deps=*/true);
-        if (!hit.has_value()) hit = delta.find(batch[i], /*require_deps=*/true);
-        const bool exact = hit.has_value();
-        if (!hit.has_value() && options.binding.empty()) {
-          hit = snap->find_max_dominated(batch[i]);
-          if (!hit.has_value()) hit = delta.find_max_dominated(batch[i]);
-        }
-        if (hit.has_value()) {
-          trace::emit_instant(exact ? trace::EventKind::CacheHit
-                                    : trace::EventKind::DominanceSkip,
-                              batch_size);
-          evals[i].run.throughput = hit->throughput;
-          evals[i].run.deadlocked = hit->deadlocked;
-          evals[i].run.states_stored = hit->states_stored;
-          evals[i].run.cycle_start_time = hit->cycle_start_time;
-          evals[i].run.period = hit->period;
-          evals[i].deps = hit->storage_deps;
-          evals[i].valid = true;
-          (exact ? cache_hits : dominance_skips)
-              .fetch_add(1, std::memory_order_relaxed);
-          if (options.progress != nullptr) {
-            options.progress->add_points(1);
-            options.progress->add_sims_avoided(1);
-            if (exact) {
-              options.progress->add_cache_hits(1);
-            } else {
-              options.progress->add_dominance_skips(1);
-            }
-          }
-          // Audit mode re-simulates a deterministic sample of hits: exact
-          // repeats re-verify the stored value, dominance answers
-          // re-verify the Sec. 8 monotonicity end-to-end (DESIGN.md §9).
-          if (audit::enabled() && audit::sample(hash_words(batch[i]))) {
-            audit_check_cached_throughput(graph, options.target,
-                                          options.max_steps_per_run,
-                                          options.binding, batch[i], *hit);
-          }
-          return;
+    // Cache/dominance lookup for one candidate; true when answered (the
+    // evaluation is then already recorded in evals[i]).
+    const auto try_cache = [&](std::size_t i, std::size_t slot) {
+      if (cache == nullptr) return false;
+      // An exact hit must carry recorded dependencies — children are
+      // expanded from them. A max-dominance hit needs none: the maximal
+      // throughput reaches the goal, so the fold stops before this
+      // candidate's children would be expanded. Dominance is consulted
+      // only without a binding (scheduling anomalies break the Sec. 8
+      // monotonicity it relies on); exact repeats stay valid either way.
+      // The snapshot covers everything merged before this wave; the
+      // slot's delta covers what this worker learned inside it.
+      ThroughputCache::Delta& delta = *wave_slots[slot].delta;
+      std::optional<CachedThroughput> hit =
+          snap->find(batch[i], /*require_deps=*/true);
+      if (!hit.has_value()) hit = delta.find(batch[i], /*require_deps=*/true);
+      const bool exact = hit.has_value();
+      if (!hit.has_value() && options.binding.empty()) {
+        hit = snap->find_max_dominated(batch[i]);
+        if (!hit.has_value()) hit = delta.find_max_dominated(batch[i]);
+      }
+      if (!hit.has_value()) return false;
+      trace::emit_instant(exact ? trace::EventKind::CacheHit
+                                : trace::EventKind::DominanceSkip,
+                          batch_size);
+      evals[i].run.throughput = hit->throughput;
+      evals[i].run.deadlocked = hit->deadlocked;
+      evals[i].run.states_stored = hit->states_stored;
+      evals[i].run.cycle_start_time = hit->cycle_start_time;
+      evals[i].run.period = hit->period;
+      evals[i].deps = hit->storage_deps;
+      evals[i].valid = true;
+      (exact ? cache_hits : dominance_skips)
+          .fetch_add(1, std::memory_order_relaxed);
+      if (options.progress != nullptr) {
+        options.progress->add_points(1);
+        options.progress->add_sims_avoided(1);
+        if (exact) {
+          options.progress->add_cache_hits(1);
+        } else {
+          options.progress->add_dominance_skips(1);
         }
       }
+      // Audit mode re-simulates a deterministic sample of hits: exact
+      // repeats re-verify the stored value, dominance answers
+      // re-verify the Sec. 8 monotonicity end-to-end (DESIGN.md §9).
+      if (audit::enabled() && audit::sample(hash_words(batch[i]))) {
+        audit_check_cached_throughput(graph, options.target,
+                                      options.max_steps_per_run,
+                                      options.binding, batch[i], *hit);
+      }
+      return true;
+    };
+    // Books one freshly simulated outcome: cache delta, LP-bound audit
+    // sample, progress. Shared by the scalar and lane paths.
+    const auto absorb_simulated = [&](std::size_t i, std::size_t slot) {
+      if (cache != nullptr) {
+        CachedThroughput value;
+        value.throughput = evals[i].run.throughput;
+        value.deadlocked = evals[i].run.deadlocked;
+        value.states_stored = evals[i].run.states_stored;
+        value.cycle_start_time = evals[i].run.cycle_start_time;
+        value.period = evals[i].run.period;
+        value.has_deps = true;
+        value.storage_deps = evals[i].deps;
+        wave_slots[slot].delta->record(batch[i], value);
+      }
+      // Same deterministic sample as the cache check: the LP cycle-cut
+      // bound must sit at or above the fresh simulation (DESIGN.md §13).
+      if (cuts.has_value() && audit::enabled() &&
+          audit::sample(hash_words(batch[i]))) {
+        audit_check_lp_bound(graph, *cuts, batch[i], evals[i].run.throughput,
+                             evals[i].run.deadlocked);
+      }
+      evals[i].valid = true;
+      if (options.progress != nullptr) options.progress->add_points(1);
+    };
+    const auto evaluate = [&](std::size_t i, std::size_t slot) {
+      if (options.cancel.cancelled()) return;  // skip: wave is being cut
+      if (try_cache(i, slot)) return;
       const state::Capacities capacities =
           state::Capacities::bounded(batch[i]);
       state::ThroughputOptions run_opts{
@@ -328,26 +370,54 @@ DseResult explore_incremental(const sdf::Graph& graph,
                                         sim_t0)
               .count();
       wave_slots[slot].sims += 1;
-      if (cache != nullptr) {
-        CachedThroughput value;
-        value.throughput = evals[i].run.throughput;
-        value.deadlocked = evals[i].run.deadlocked;
-        value.states_stored = evals[i].run.states_stored;
-        value.cycle_start_time = evals[i].run.cycle_start_time;
-        value.period = evals[i].run.period;
-        value.has_deps = true;
-        value.storage_deps = evals[i].deps;
-        wave_slots[slot].delta->record(batch[i], value);
+      absorb_simulated(i, slot);
+    };
+    // Lane path: one work item covers `lane_width` consecutive batch
+    // entries. Cache answers stay per-candidate; the group's misses go
+    // through the slot's lane solver as one lockstep batch, retiring and
+    // refilling lanes as individual candidates finish. A mid-batch
+    // cancellation voids the whole group (evals stay invalid), which only
+    // shortens the valid prefix the fold below accepts.
+    const auto evaluate_group = [&](std::size_t g, std::size_t slot) {
+      if (options.cancel.cancelled()) return;  // skip: wave is being cut
+      const std::size_t begin = g * lane_width;
+      const std::size_t end = std::min(batch.size(), begin + lane_width);
+      std::vector<std::size_t> miss;
+      std::vector<std::vector<i64>> miss_caps;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (!try_cache(i, slot)) {
+          miss.push_back(i);
+          miss_caps.push_back(batch[i]);
+        }
       }
-      // Same deterministic sample as the cache check: the LP cycle-cut
-      // bound must sit at or above the fresh simulation (DESIGN.md §13).
-      if (cuts.has_value() && audit::enabled() &&
-          audit::sample(hash_words(batch[i]))) {
-        audit_check_lp_bound(graph, *cuts, batch[i], evals[i].run.throughput,
-                             evals[i].run.deadlocked);
+      if (miss.empty()) return;
+      state::LaneBatchOptions run_opts{
+          .target = options.target, .max_steps = options.max_steps_per_run};
+      run_opts.collect_storage_deps = true;
+      run_opts.cancel = options.cancel;
+      run_opts.progress = options.progress;
+      const auto sim_t0 = std::chrono::steady_clock::now();
+      std::vector<state::ThroughputResult> runs;
+      try {
+        runs = lane_bank->at(slot).compute_batch(miss_caps, run_opts);
+      } catch (const exec::Cancelled&) {
+        return;  // mid-batch cut: partial state spaces prove nothing
       }
-      evals[i].valid = true;
-      if (options.progress != nullptr) options.progress->add_points(1);
+      wave_slots[slot].sim_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        sim_t0)
+              .count();
+      wave_slots[slot].sims += miss.size();
+      for (std::size_t k = 0; k < miss.size(); ++k) {
+        const std::size_t i = miss[k];
+        evals[i].run = std::move(runs[k]);
+        evals[i].deps = std::move(evals[i].run.storage_deps);
+        simulations.fetch_add(1, std::memory_order_relaxed);
+        if (options.progress != nullptr) {
+          options.progress->add_sims_avoided(1);  // the fused dep re-run
+        }
+        absorb_simulated(i, slot);
+      }
     };
     // Adaptive granularity: fan out only when the estimated wave cost
     // (batch size x running average per-simulation seconds) clears the
@@ -355,8 +425,12 @@ DseResult explore_incremental(const sdf::Graph& graph,
     // has not been started yet. The decision only moves work between the
     // sequential and parallel paths of the same evaluate(); cache answers
     // are exact either way, so the fold below is byte-identical.
+    // On the lane path the schedulable unit is a whole candidate group.
+    const std::size_t wave_items =
+        lane_eval ? (batch.size() + lane_width - 1) / lane_width
+                  : batch.size();
     const bool parallel_wave =
-        lazy.configured_workers() > 0 && batch.size() >= 2 &&
+        lazy.configured_workers() > 0 && wave_items >= 2 &&
         total_sims > 0 &&
         static_cast<double>(batch.size()) *
                 (total_sim_seconds / static_cast<double>(total_sims)) >=
@@ -368,12 +442,22 @@ DseResult explore_incremental(const sdf::Graph& graph,
       if (parallel_wave) {
         exec::ThreadPool& pool = lazy.pool();
         exec::parallel_for_each(
-            pool, batch.size(),
-            [&](std::size_t i) { evaluate(i, pool.current_slot()); },
+            pool, wave_items,
+            [&](std::size_t i) {
+              if (lane_eval) {
+                evaluate_group(i, pool.current_slot());
+              } else {
+                evaluate(i, pool.current_slot());
+              }
+            },
             /*chunk_size=*/1);
       } else {
-        for (std::size_t i = 0; i < batch.size(); ++i) {
-          evaluate(i, lazy.caller_slot());
+        for (std::size_t i = 0; i < wave_items; ++i) {
+          if (lane_eval) {
+            evaluate_group(i, lazy.caller_slot());
+          } else {
+            evaluate(i, lazy.caller_slot());
+          }
         }
       }
     }

@@ -7,20 +7,67 @@
 // generator; the emitted source is self-contained C++17 and computes the
 // throughput of the target actor for a storage distribution given on the
 // command line (defaulting to the per-channel lower bounds).
+//
+// A second generator emits the lane-parallel twin (DESIGN.md §15): the
+// same graph specialised into a structure-of-arrays explorer that steps
+// `lanes` candidate distributions in lockstep with whole-word masks —
+// constant-folded rates, flattened channel rows, unrolled actor loops —
+// and batch-evaluates whole same-size waves in `--dse` mode. Its stdout is
+// byte-identical to the scalar explorer's in both modes; the differential
+// test in tests/test_codegen.cpp compiles both and compares.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "sdf/graph.hpp"
 
 namespace buffy::codegen {
 
-/// Returns the full source text of the specialised exploration program.
+/// \brief Returns the full source text of the specialised exploration
+/// program (scalar, paper Fig. 8 style).
+///
+/// \param graph  The SDF graph to specialise the program for.
+/// \param target The actor whose firing rate the program measures.
+/// \return Self-contained C++17 source; build with `c++ -std=c++17`.
+/// \throws Error when \p target is not an actor of \p graph.
 [[nodiscard]] std::string generate_explorer_source(const sdf::Graph& graph,
                                                    sdf::ActorId target);
 
-/// Writes the source to a file; throws Error on IO failure.
+/// \brief Writes the scalar explorer source to a file.
+/// \throws Error on IO failure or an invalid \p target.
 void write_explorer_source(const sdf::Graph& graph, sdf::ActorId target,
                            const std::string& path);
+
+/// \brief Returns the source text of the lane-parallel (vectorized)
+/// exploration program.
+///
+/// The emitted program holds the state of `lanes` simultaneous executions
+/// in structure-of-arrays rows (`laneClk[kActors][kLanes]`, flattened
+/// channel arrays) and advances them in lockstep with whole-word lane
+/// masks, retiring each lane the moment its cycle closes or deadlock is
+/// proven and refilling it from the candidate queue — the generated twin
+/// of the runtime lane kernel (DESIGN.md §15). Rates and execution times
+/// are constant-folded into unrolled per-actor lane loops that the
+/// compiler can auto-vectorize. In `--dse` mode the frontier is popped
+/// one whole same-size wave at a time and batch-evaluated, folding
+/// results in pop order, so stdout is byte-identical to the scalar
+/// explorer emitted by generate_explorer_source() at every lane width.
+///
+/// \param graph  The SDF graph to specialise the program for.
+/// \param target The actor whose firing rate the program measures.
+/// \param lanes  Lockstep lane count baked in as `constexpr kLanes`;
+///               clamped range [1, 64].
+/// \return Self-contained C++17 source; build with `c++ -std=c++17`.
+/// \throws Error when \p target is invalid or \p lanes is out of range.
+[[nodiscard]] std::string generate_vectorized_explorer_source(
+    const sdf::Graph& graph, sdf::ActorId target, std::size_t lanes);
+
+/// \brief Writes the vectorized explorer source to a file.
+/// \throws Error on IO failure, an invalid \p target, or out-of-range
+/// \p lanes.
+void write_vectorized_explorer_source(const sdf::Graph& graph,
+                                      sdf::ActorId target, std::size_t lanes,
+                                      const std::string& path);
 
 }  // namespace buffy::codegen

@@ -1,0 +1,84 @@
+#include "state/simd_backend.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "base/diagnostics.hpp"
+#include "state/simd_kernel.hpp"
+
+namespace buffy::state {
+
+// The cpuid probe lives here — a baseline-compiled translation unit — not
+// in simd_avx2.cpp, whose -mavx2 flag would let the compiler emit AVX2
+// instructions into the very function that decides whether AVX2 is safe.
+bool lane_avx2_available() {
+#if defined(__x86_64__) || defined(__i386__)
+  static const bool ok = __builtin_cpu_supports("avx2") != 0;
+  return ok;
+#else
+  return false;
+#endif
+}
+
+bool backend_available(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::Auto:
+    case SimdBackend::Scalar:
+    case SimdBackend::Swar:
+      return true;
+    case SimdBackend::Avx2:
+      return lane_avx2_available();
+  }
+  return false;
+}
+
+SimdBackend resolve_backend(SimdBackend requested) {
+  if (requested == SimdBackend::Auto) {
+    return lane_avx2_available() ? SimdBackend::Avx2 : SimdBackend::Swar;
+  }
+  BUFFY_REQUIRE(backend_available(requested),
+                std::string("SIMD backend '") + backend_name(requested) +
+                    "' is not available on this host");
+  return requested;
+}
+
+const char* backend_name(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::Auto:
+      return "auto";
+    case SimdBackend::Scalar:
+      return "scalar";
+    case SimdBackend::Swar:
+      return "swar";
+    case SimdBackend::Avx2:
+      return "avx2";
+  }
+  return "?";
+}
+
+std::optional<SimdBackend> parse_backend(std::string_view name) {
+  if (name == "auto") return SimdBackend::Auto;
+  if (name == "scalar") return SimdBackend::Scalar;
+  if (name == "swar") return SimdBackend::Swar;
+  if (name == "avx2") return SimdBackend::Avx2;
+  return std::nullopt;
+}
+
+std::size_t default_lanes(SimdBackend backend) {
+  switch (backend) {
+    case SimdBackend::Auto:
+    case SimdBackend::Swar:
+    case SimdBackend::Avx2:
+      return 32;
+    case SimdBackend::Scalar:
+      return 1;
+  }
+  return 1;
+}
+
+std::size_t resolve_lanes(std::size_t requested, SimdBackend backend) {
+  if (requested == 0) return default_lanes(backend);
+  return std::clamp(requested, kMinLanes, kMaxLanes);
+}
+
+}  // namespace buffy::state

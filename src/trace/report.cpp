@@ -119,6 +119,7 @@ const std::vector<ManifestEntry>& experiments_manifest() {
       {"parallel_dse", "bench_parallel_dse"},
       {"parallel_scaling", "bench_parallel_scaling"},
       {"throughput_hotpath", "bench_throughput_hotpath"},
+      {"simd_lanes", "bench_simd_lanes"},
   };
   return manifest;
 }

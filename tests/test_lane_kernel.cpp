@@ -1,0 +1,342 @@
+// Lane-parallel throughput kernel (DESIGN.md §15): the lane solver must
+// reproduce the scalar ThroughputSolver field for field on every candidate
+// — throughput, deadlock flag, states stored, cycle anatomy and storage
+// dependencies — at every lane width, for both the SWAR and (when the host
+// has it) AVX2 backends, under every divergence pattern the retire/refill
+// machinery can encounter: mixed cycle/deadlock batches, all lanes
+// deadlocking at once, single-lane batches, queues much longer than the
+// lane width, and candidates that deadlock at time 0 before a single step.
+#include "state/lane_throughput.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "base/diagnostics.hpp"
+#include "exec/cancellation.hpp"
+#include "gen/random_graph.hpp"
+#include "models/models.hpp"
+#include "sdf/builder.hpp"
+#include "state/simd_backend.hpp"
+#include "state/throughput.hpp"
+
+namespace buffy::state {
+namespace {
+
+std::vector<SimdBackend> lane_backends() {
+  std::vector<SimdBackend> backends{SimdBackend::Swar};
+  if (backend_available(SimdBackend::Avx2)) {
+    backends.push_back(SimdBackend::Avx2);
+  }
+  return backends;
+}
+
+std::string describe(const ThroughputResult& r) {
+  std::string deps;
+  for (const sdf::ChannelId c : r.storage_deps) {
+    deps += " " + std::to_string(c.index());
+  }
+  return "deadlocked=" + std::to_string(r.deadlocked) + " tput=" +
+         r.throughput.str() + " states=" + std::to_string(r.states_stored) +
+         " cycle_start=" + std::to_string(r.cycle_start_time) + " period=" +
+         std::to_string(r.period) + " firings=" +
+         std::to_string(r.firings_on_cycle) + " time=" +
+         std::to_string(r.time_steps) + " deps=[" + deps + " ]";
+}
+
+void expect_same(const ThroughputResult& scalar, const ThroughputResult& lane,
+                 const std::string& context) {
+  EXPECT_EQ(describe(scalar), describe(lane)) << context;
+}
+
+// Scalar reference for a candidate list: one ThroughputSolver reused
+// across the runs, exactly like the DSE engines use it.
+std::vector<ThroughputResult> scalar_reference(
+    const sdf::Graph& g, const std::vector<std::vector<i64>>& candidates,
+    sdf::ActorId target, bool deps) {
+  ThroughputSolver solver(g);
+  ThroughputOptions opts{.target = target};
+  opts.collect_storage_deps = deps;
+  std::vector<ThroughputResult> results;
+  results.reserve(candidates.size());
+  for (const std::vector<i64>& caps : candidates) {
+    results.push_back(solver.compute(Capacities::bounded(caps), opts));
+  }
+  return results;
+}
+
+void check_batch(const sdf::Graph& g,
+                 const std::vector<std::vector<i64>>& candidates,
+                 sdf::ActorId target, std::size_t lanes, SimdBackend backend,
+                 bool deps) {
+  const std::vector<ThroughputResult> expected =
+      scalar_reference(g, candidates, target, deps);
+  LaneThroughputSolver solver(g, lanes, backend);
+  LaneBatchOptions opts{.target = target};
+  opts.collect_storage_deps = deps;
+  const std::vector<ThroughputResult> got =
+      solver.compute_batch(candidates, opts);
+  ASSERT_EQ(got.size(), expected.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    expect_same(expected[i], got[i],
+                "graph=" + g.name() + " candidate=" + std::to_string(i) +
+                    " lanes=" + std::to_string(lanes) + " backend=" +
+                    backend_name(backend) + " deps=" + std::to_string(deps));
+  }
+}
+
+// A grid of candidates around the interesting region of the paper's
+// example: includes deadlocking distributions ({3,2} and below), the Fig. 5
+// staircase and over-provisioned ones, so a batch mixes every retirement
+// kind.
+std::vector<std::vector<i64>> paper_grid() {
+  std::vector<std::vector<i64>> candidates;
+  for (i64 a = 2; a <= 8; ++a) {
+    for (i64 b = 2; b <= 5; ++b) {
+      candidates.push_back({a, b});
+    }
+  }
+  return candidates;
+}
+
+TEST(LaneKernel, MatchesScalarOnPaperGridEveryWidth) {
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId target = *g.find_actor("c");
+  for (const SimdBackend backend : lane_backends()) {
+    for (const std::size_t lanes : {1u, 2u, 3u, 8u, 17u, 32u, 64u}) {
+      check_batch(g, paper_grid(), target, lanes, backend, false);
+      check_batch(g, paper_grid(), target, lanes, backend, true);
+    }
+  }
+}
+
+TEST(LaneKernel, MatchesScalarOnModem) {
+  const sdf::Graph g = models::modem();
+  const sdf::ActorId target = models::reported_actor(g);
+  // Perturb a feasible distribution channel by channel: every candidate
+  // bounded, many deadlock, the rest cycle at different times (maximal
+  // divergence).
+  std::vector<i64> base(g.num_channels());
+  for (const sdf::ChannelId c : g.channel_ids()) {
+    const sdf::Channel& ch = g.channel(c);
+    base[c.index()] = ch.initial_tokens +
+                      std::max(ch.production, ch.consumption);
+  }
+  std::vector<std::vector<i64>> candidates;
+  candidates.push_back(base);
+  for (std::size_t c = 0; c < base.size(); ++c) {
+    std::vector<i64> caps = base;
+    caps[c] += 1 + static_cast<i64>(c % 3);
+    candidates.push_back(caps);
+    caps[c] = g.channel(sdf::ChannelId(c)).initial_tokens;
+    candidates.push_back(std::move(caps));
+  }
+  for (const SimdBackend backend : lane_backends()) {
+    check_batch(g, candidates, target, 8, backend, true);
+    check_batch(g, candidates, target, 32, backend, false);
+  }
+}
+
+TEST(LaneKernel, AllLanesDeadlock) {
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId target = *g.find_actor("c");
+  const std::vector<std::vector<i64>> candidates(8, std::vector<i64>{3, 2});
+  for (const SimdBackend backend : lane_backends()) {
+    check_batch(g, candidates, target, 8, backend, true);
+  }
+}
+
+TEST(LaneKernel, InstantDeadlockAtTimeZero) {
+  // cap 0 on the only channel: the producer cannot claim space and the
+  // consumer has no tokens — deadlock before any step. The lane must
+  // retire at init and hand the lane to the next candidate.
+  sdf::GraphBuilder b("t0");
+  const sdf::ActorId a = b.actor("a", 1);
+  const sdf::ActorId c = b.actor("c", 1);
+  b.channel("ch", a, 1, c, 1, 0);
+  const sdf::Graph g = b.build();
+  const std::vector<std::vector<i64>> candidates{{0}, {1}, {0}, {2}};
+  for (const SimdBackend backend : lane_backends()) {
+    check_batch(g, candidates, c, 2, backend, true);
+  }
+}
+
+TEST(LaneKernel, SingleLaneBatches) {
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId target = *g.find_actor("c");
+  for (const SimdBackend backend : lane_backends()) {
+    check_batch(g, {{4, 2}}, target, 1, backend, true);
+    check_batch(g, {{4, 2}}, target, 32, backend, true);
+    check_batch(g, paper_grid(), target, 1, backend, true);
+  }
+}
+
+TEST(LaneKernel, RefillOrderIsDeterministicAcrossWidths) {
+  // The same candidate queue must produce the identical result array at
+  // every lane width (refill pulls from the queue in index order and
+  // retires lanes in ascending lane order), pinning the determinism the
+  // DSE fold relies on.
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId target = *g.find_actor("c");
+  const std::vector<std::vector<i64>> candidates = paper_grid();
+  for (const SimdBackend backend : lane_backends()) {
+    LaneBatchOptions opts{.target = target};
+    opts.collect_storage_deps = true;
+    std::vector<std::string> reference;
+    LaneThroughputSolver wide(g, 64, backend);
+    for (const ThroughputResult& r : wide.compute_batch(candidates, opts)) {
+      reference.push_back(describe(r));
+    }
+    for (const std::size_t lanes : {1u, 2u, 5u, 8u, 16u}) {
+      LaneThroughputSolver solver(g, lanes, backend);
+      const std::vector<ThroughputResult> got =
+          solver.compute_batch(candidates, opts);
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(describe(got[i]), reference[i])
+            << "lanes=" << lanes << " candidate=" << i;
+      }
+    }
+  }
+}
+
+TEST(LaneKernel, MatchesScalarOnRandomGraphs) {
+  for (const u64 seed : {7u, 23u, 77u, 1234u, 90210u}) {
+    gen::RandomGraphOptions gopts;
+    gopts.num_actors = 3 + seed % 4;
+    gopts.max_repetition = 3;
+    gopts.max_execution_time = 4;
+    gopts.seed = seed;
+    const sdf::Graph g = gen::random_graph(gopts);
+    const sdf::ActorId target(g.num_actors() - 1);
+    std::vector<std::vector<i64>> candidates;
+    for (i64 bump = 0; bump < 6; ++bump) {
+      std::vector<i64> caps(g.num_channels());
+      for (const sdf::ChannelId c : g.channel_ids()) {
+        const sdf::Channel& ch = g.channel(c);
+        caps[c.index()] = ch.initial_tokens +
+                          std::max(ch.production, ch.consumption) +
+                          (bump + static_cast<i64>(c.index())) % 3;
+      }
+      candidates.push_back(std::move(caps));
+    }
+    for (const SimdBackend backend : lane_backends()) {
+      check_batch(g, candidates, target, 8, backend, true);
+    }
+  }
+}
+
+TEST(LaneKernel, WideGraphMagnitudesMatchScalar) {
+  // Execution times above kNarrowLimit disqualify the graph from the
+  // narrow i32 kernel; every batch must run on the full-range i64 tables
+  // and still match the scalar solver field for field (including the
+  // deadlock-at-zero retirement of the cap-0 candidate).
+  sdf::GraphBuilder b("wide_exec");
+  const sdf::ActorId a = b.actor("a", kNarrowLimit * 4);
+  const sdf::ActorId c = b.actor("c", kNarrowLimit * 2 + 123);
+  b.channel("ch", a, 1, c, 1, 0);
+  const sdf::Graph g = b.build();
+  const std::vector<std::vector<i64>> candidates{{0}, {1}, {2}, {3}, {4}};
+  for (const SimdBackend backend : lane_backends()) {
+    check_batch(g, candidates, c, 2, backend, true);
+    check_batch(g, candidates, c, 8, backend, false);
+  }
+}
+
+TEST(LaneKernel, WideCandidateCapsFallBackPerBatch) {
+  // A narrow-eligible graph runs on the wide tables whenever a batch
+  // carries a capacity above the envelope, and returns to the narrow
+  // tables on the next batch — same solver, identical results either way.
+  // The feedback loop keeps the execution short no matter how large the
+  // forward capacity is, so the huge caps only flip the width election.
+  sdf::GraphBuilder b("narrow_graph");
+  const sdf::ActorId a = b.actor("a", 2);
+  const sdf::ActorId c = b.actor("c", 3);
+  b.channel("fwd", a, 1, c, 1, 0);
+  b.channel("back", c, 1, a, 1, 1);
+  const sdf::Graph g = b.build();
+  const sdf::ActorId target = c;
+  const std::vector<std::vector<i64>> wide_batch{
+      {kNarrowLimit * 2, 2}, {4, 2}, {kNarrowLimit + 1, 3}};
+  const auto narrow_grid = [] {
+    std::vector<std::vector<i64>> grid;
+    for (i64 fwd = 0; fwd <= 3; ++fwd) {
+      for (i64 back = 1; back <= 2; ++back) grid.push_back({fwd, back});
+    }
+    return grid;
+  };
+  for (const SimdBackend backend : lane_backends()) {
+    LaneThroughputSolver solver(g, 8, backend);
+    LaneBatchOptions opts{.target = target};
+    opts.collect_storage_deps = true;
+    const auto check = [&](const std::vector<std::vector<i64>>& batch,
+                           const std::string& label) {
+      const std::vector<ThroughputResult> expected =
+          scalar_reference(g, batch, target, true);
+      const std::vector<ThroughputResult> got =
+          solver.compute_batch(batch, opts);
+      ASSERT_EQ(got.size(), expected.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        expect_same(expected[i], got[i],
+                    label + " candidate=" + std::to_string(i) + " backend=" +
+                        backend_name(backend));
+      }
+    };
+    check(wide_batch, "wide");
+    check(narrow_grid(), "narrow-after-wide");
+    check(wide_batch, "wide-after-narrow");
+  }
+}
+
+TEST(LaneKernel, MaxStepsThrowsLikeScalar) {
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId target = *g.find_actor("c");
+  LaneThroughputSolver solver(g, 4, SimdBackend::Swar);
+  LaneBatchOptions opts{.target = target};
+  opts.max_steps = 3;  // the cycle needs more than 3 completions
+  const std::vector<std::vector<i64>> candidates{{7, 3}};
+  EXPECT_THROW(solver.compute_batch(candidates, opts), Error);
+  // The solver stays reusable after the throw.
+  opts.max_steps = 100'000;
+  const auto results = solver.compute_batch(candidates, opts);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].throughput, Rational(1, 4));
+}
+
+TEST(LaneKernel, CancellationThrows) {
+  const sdf::Graph g = models::paper_example();
+  const sdf::ActorId target = *g.find_actor("c");
+  LaneThroughputSolver solver(g, 4, SimdBackend::Swar);
+  const exec::CancellationToken token = exec::CancellationToken::cancellable();
+  token.cancel();
+  LaneBatchOptions opts{.target = target};
+  opts.cancel = token;
+  const std::vector<std::vector<i64>> candidates{{4, 2}};
+  EXPECT_THROW(solver.compute_batch(candidates, opts), exec::Cancelled);
+}
+
+TEST(LaneKernel, RejectsScalarBackendAndBadLaneCounts) {
+  const sdf::Graph g = models::paper_example();
+  EXPECT_THROW(LaneThroughputSolver(g, 4, SimdBackend::Scalar), Error);
+  EXPECT_THROW(LaneThroughputSolver(g, 0, SimdBackend::Swar), Error);
+  EXPECT_THROW(LaneThroughputSolver(g, 65, SimdBackend::Swar), Error);
+}
+
+TEST(LaneKernel, BackendResolutionAndNames) {
+  EXPECT_STREQ(backend_name(SimdBackend::Swar), "swar");
+  EXPECT_EQ(parse_backend("avx2"), SimdBackend::Avx2);
+  EXPECT_EQ(parse_backend("bogus"), std::nullopt);
+  EXPECT_TRUE(backend_available(SimdBackend::Swar));
+  const SimdBackend resolved = resolve_backend(SimdBackend::Auto);
+  EXPECT_TRUE(resolved == SimdBackend::Swar || resolved == SimdBackend::Avx2);
+  EXPECT_EQ(default_lanes(SimdBackend::Swar), default_lanes(SimdBackend::Avx2))
+      << "equal defaults keep exhaustive enumeration counters "
+         "backend-independent";
+  EXPECT_EQ(resolve_lanes(0, SimdBackend::Swar),
+            default_lanes(SimdBackend::Swar));
+  EXPECT_EQ(resolve_lanes(200, SimdBackend::Swar), kMaxLanes);
+}
+
+}  // namespace
+}  // namespace buffy::state

@@ -228,4 +228,33 @@ TEST(LayerLint, NodiscardAndVoidEntryPointsAreFine) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(LayerLint, RejectsIntrinsicsOutsideSimdFiles) {
+  LintTree tree;
+  // An intrinsic call in buffer/ and an intrinsics header in a state/
+  // file whose stem is not simd_*: both must fire L6 with the line.
+  tree.write_file("buffer/hot.cpp",
+                  "__m256i v = _mm256_setzero_si256();\n");
+  tree.write_file("state/engine.cpp", "#include <immintrin.h>\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("hot.cpp:1: L6"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("engine.cpp:1: L6"), std::string::npos) << r.output;
+}
+
+TEST(LayerLint, SimdFilesAndProseIntrinsicsAreFine) {
+  LintTree tree;
+  // The sanctioned home: src/state/simd_*.cpp/.hpp may spell intrinsics
+  // (i64 alias keeps L3 quiet in the synthetic file).
+  tree.write_file("state/simd_avx2.cpp",
+                  "#include <immintrin.h>\n"
+                  "__m256i widen(__m256i m) { return _mm256_min_epi64(m, m); "
+                  "}\n");
+  // Mentions in comments and string literals never count.
+  tree.write_file("buffer/dse.cpp",
+                  "// the kernel uses _mm256_min_epi64 internally\n"
+                  "const char* s = \"__m256i _mm256_setzero_si256\";\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 }  // namespace

@@ -35,6 +35,7 @@
 #include "gen/random_graph.hpp"
 #include "io/dsl.hpp"
 #include "lp/sdf_model.hpp"
+#include "state/simd_backend.hpp"
 #include "state/throughput.hpp"
 
 namespace buffy {
@@ -318,6 +319,44 @@ TEST(PropertyDifferential, FrontsAreByteIdenticalAtAnyThreadCount) {
             << repro(seed, graph) << "engine "
             << (engine == buffer::DseEngine::Exhaustive ? "exh" : "inc")
             << " at " << threads << " threads";
+      }
+    }
+  }
+}
+
+// Property (h): the SIMD backend is invisible in the result. Both
+// engines must produce byte-identical fronts — witnesses included — under
+// the scalar reference, the portable SWAR lane kernel and (when the host
+// has it) the hand-written AVX2 kernel, at a seed-varied lane width. This
+// sweeps the whole lane machinery per DESIGN.md §15: SoA packing, masked
+// retirement/refill, the i64/i32 width election and the per-lane witness
+// extraction feeding the caches.
+TEST(PropertyDifferential, FrontsAreByteIdenticalUnderEveryLaneBackend) {
+  std::vector<state::SimdBackend> lane_backends{state::SimdBackend::Swar};
+  if (state::backend_available(state::SimdBackend::Avx2)) {
+    lane_backends.push_back(state::SimdBackend::Avx2);
+  }
+  for (const u64 seed : load_seeds()) {
+    const sdf::Graph graph = gen::random_graph(graph_options(seed));
+    buffer::DseOptions opts;
+    opts.target = sdf::ActorId(graph.num_actors() - 1);
+    // Walk the whole [1, 64] lane range across the seed sweep, including
+    // the single-lane degenerate batch.
+    opts.simd_lanes = 1 + seed % state::kMaxLanes;
+
+    for (const buffer::DseEngine engine :
+         {buffer::DseEngine::Exhaustive, buffer::DseEngine::Incremental}) {
+      opts.engine = engine;
+      opts.simd = state::SimdBackend::Scalar;
+      const buffer::DseResult scalar = buffer::explore(graph, opts);
+      for (const state::SimdBackend backend : lane_backends) {
+        opts.simd = backend;
+        const buffer::DseResult lanes = buffer::explore(graph, opts);
+        ASSERT_EQ(scalar.pareto.str(), lanes.pareto.str())
+            << repro(seed, graph) << "engine "
+            << (engine == buffer::DseEngine::Exhaustive ? "exh" : "inc")
+            << " backend " << state::backend_name(backend) << " lanes "
+            << opts.simd_lanes;
       }
     }
   }

@@ -68,11 +68,13 @@ TEST(ReportFragment, WriteCreatesDirectoriesAndFile) {
 
 TEST(ExperimentsManifest, NamesEveryReproductionBench) {
   const auto& manifest = trace::experiments_manifest();
-  ASSERT_EQ(manifest.size(), 16u);
-  // Paper order first, extensions later; parallel/hotpath close the file.
+  ASSERT_EQ(manifest.size(), 17u);
+  // Paper order first, extensions later; parallel/hotpath/lanes close
+  // the file.
   EXPECT_STREQ(manifest.front().fragment, "table1_schedule");
   EXPECT_STREQ(manifest.front().binary, "bench_table1_schedule");
-  EXPECT_STREQ(manifest.back().fragment, "throughput_hotpath");
+  EXPECT_STREQ(manifest.back().fragment, "simd_lanes");
+  EXPECT_STREQ(manifest.back().binary, "bench_simd_lanes");
 }
 
 TEST(StitchExperiments, MissingFragmentsAreNamedInTheError) {
