@@ -1,0 +1,383 @@
+#include "analysis/bounds.hpp"
+
+#include <algorithm>
+
+#include "analysis/consistency.hpp"
+#include "analysis/repetition_vector.hpp"
+#include "base/diagnostics.hpp"
+
+namespace buffy::analysis {
+namespace {
+
+/// Saturating accumulator: arithmetic clamps at INT64_MAX and remembers
+/// the first expression that left the range. Derivation must never throw
+/// on oversized graphs — reporting the overflow *is* the result.
+class Sat {
+ public:
+  explicit Sat(std::string* detail) : detail_(detail) {}
+
+  i64 add(i64 a, i64 b, const char* what) {
+    i64 r = 0;
+    if (__builtin_add_overflow(a, b, &r)) return saturate(what);
+    return r;
+  }
+
+  i64 mul(i64 a, i64 b, const char* what) {
+    i64 r = 0;
+    if (__builtin_mul_overflow(a, b, &r)) return saturate(what);
+    return r;
+  }
+
+  [[nodiscard]] bool exact() const { return exact_; }
+
+ private:
+  i64 saturate(const char* what) {
+    if (exact_ && detail_->empty()) {
+      *detail_ = std::string(what) + " envelope exceeds i64";
+    }
+    exact_ = false;
+    return INT64_MAX;
+  }
+
+  std::string* detail_;
+  bool exact_ = true;
+};
+
+i64 clamp_u64_to_i64(u64 v) {
+  return v > static_cast<u64>(INT64_MAX) ? INT64_MAX : static_cast<i64>(v);
+}
+
+}  // namespace
+
+bool BoundsCertificate::covers(std::span<const i64> caps) const {
+  if (caps.size() != storage_budget.size()) return false;
+  for (std::size_t c = 0; c < caps.size(); ++c) {
+    if (caps[c] > storage_budget[c]) return false;
+  }
+  return true;
+}
+
+bool BoundsCertificate::matches(const sdf::Graph& graph) const {
+  return graph_name == graph.name() && num_actors == graph.num_actors() &&
+         num_channels == graph.num_channels();
+}
+
+BoundsCertificate derive_bounds(const sdf::Graph& graph,
+                                const BoundsOptions& options) {
+  BoundsCertificate cert;
+  cert.graph_name = graph.name();
+  cert.num_actors = graph.num_actors();
+  cert.num_channels = graph.num_channels();
+
+  // Raw graph maxima exist for any graph, consistent or not.
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    cert.max_execution_time =
+        std::max(cert.max_execution_time, graph.actor(a).execution_time);
+  }
+  Sat sat(&cert.overflow_detail);
+  for (const sdf::ChannelId c : graph.channel_ids()) {
+    const sdf::Channel& ch = graph.channel(c);
+    cert.max_rate = std::max({cert.max_rate, ch.production, ch.consumption});
+    cert.max_initial_tokens =
+        std::max(cert.max_initial_tokens, ch.initial_tokens);
+    cert.total_initial_tokens = sat.add(cert.total_initial_tokens,
+                                        ch.initial_tokens, "initial-tokens");
+  }
+
+  // The repetition vector is where oversized multirate graphs first
+  // escape i64; report that as a magnitude overflow, not an exception.
+  try {
+    cert.repetitions = repetition_vector(graph).counts();
+    cert.consistent = true;
+  } catch (const OverflowError&) {
+    cert.consistent = true;  // balance equations hold, the vector does not fit
+    cert.overflow_detail = "repetition-vector envelope exceeds i64";
+    cert.fits_i64 = false;
+    return cert;
+  } catch (const Error& e) {
+    cert.consistent = false;
+    cert.overflow_detail = e.what();
+    cert.fits_i64 = false;
+    return cert;
+  }
+
+  // Storage budget: caller-provided, or the structural default
+  // t + q_src * p + q_dst * c (one full iteration of slack on both ports;
+  // this dominates the classical lower bound p + c - gcd + t mod gcd, so
+  // the certified box always contains the feasible floor).
+  if (!options.storage_budget.empty()) {
+    BUFFY_REQUIRE(options.storage_budget.size() == graph.num_channels(),
+                  "storage budget must cover every channel of '" +
+                      graph.name() + "'");
+    cert.storage_budget = options.storage_budget;
+  } else {
+    cert.storage_budget.reserve(graph.num_channels());
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      const sdf::Channel& ch = graph.channel(c);
+      const i64 produced = sat.mul(cert.repetitions[ch.src.index()],
+                                   ch.production, "storage-budget");
+      const i64 consumed = sat.mul(cert.repetitions[ch.dst.index()],
+                                   ch.consumption, "storage-budget");
+      cert.storage_budget.push_back(
+          sat.add(ch.initial_tokens, sat.add(produced, consumed,
+                                             "storage-budget"),
+                  "storage-budget"));
+    }
+  }
+  // Peak occupancy equals the budget: the engines' audited invariant
+  // occupied <= cap makes the capacity the reachable envelope, and it is
+  // attained (a channel can fill to its capacity).
+  cert.channel_peak = cert.storage_budget;
+
+  i64 max_budget = 0;
+  for (std::size_t c = 0; c < cert.storage_budget.size(); ++c) {
+    max_budget = std::max(max_budget, cert.storage_budget[c]);
+    const i64 production =
+        graph.channel(sdf::ChannelId(c)).production;
+    cert.step_sum_bound =
+        std::max(cert.step_sum_bound,
+                 sat.add(cert.channel_peak[c], production, "step-sum"));
+  }
+  cert.magnitude_bound =
+      std::max({cert.max_execution_time, cert.max_rate,
+                cert.max_initial_tokens, max_budget});
+
+  i64 max_q = 0;
+  for (const sdf::ActorId a : graph.actor_ids()) {
+    max_q = std::max(max_q, cert.repetitions[a.index()]);
+    cert.period_work =
+        sat.add(cert.period_work,
+                sat.mul(cert.repetitions[a.index()],
+                        graph.actor(a).execution_time, "period-work"),
+                "period-work");
+  }
+
+  cert.max_steps = options.max_steps;
+  cert.timestamp_bound = sat.mul(clamp_u64_to_i64(options.max_steps),
+                                 cert.max_execution_time, "timestamp");
+
+  // LP coefficient envelope, following the coefficient families of
+  // lp/sdf_model.cpp before any pivot:
+  //   * rate products f = rate * q            (tableau entries),
+  //   * the period rational T = q_target / throughput, whose numerator
+  //     divides q * period_work and denominator q * total initial tokens
+  //     (MCM throughput is a ratio of cycle exec-time to cycle tokens),
+  //   * right-hand sides f * exec + (rate + tokens + budget + 1) * T.
+  // The envelope is the max of those cross products; pivoting growth is
+  // the simplex layer's concern (it pre-sizes from this base bound).
+  const i64 rate_product = sat.mul(max_q, cert.max_rate, "lp-coefficient");
+  const i64 period_bound =
+      sat.mul(max_q, std::max({cert.period_work, cert.total_initial_tokens,
+                               i64{1}}),
+              "lp-coefficient");
+  const i64 constant_term =
+      sat.add(sat.add(cert.max_rate, cert.max_initial_tokens,
+                      "lp-coefficient"),
+              sat.add(max_budget, i64{1}, "lp-coefficient"),
+              "lp-coefficient");
+  cert.lp_coeff_bound =
+      std::max({rate_product, period_bound,
+                sat.mul(rate_product, cert.max_execution_time,
+                        "lp-coefficient"),
+                sat.mul(constant_term, period_bound, "lp-coefficient")});
+
+  cert.fits_i64 = sat.exact();
+  return cert;
+}
+
+std::vector<std::string> verify_certificate(
+    const sdf::Graph& graph, const BoundsCertificate& certificate) {
+  std::vector<std::string> violations;
+  const auto flag = [&](const std::string& what) {
+    violations.push_back(what);
+  };
+
+  if (!certificate.matches(graph)) {
+    flag("certificate identity does not match the graph (name or shape)");
+    return violations;
+  }
+  if (!certificate.consistent) {
+    if (is_consistent(graph)) {
+      flag("certificate claims inconsistency but a repetition vector exists");
+    }
+    if (certificate.fits_i64) {
+      flag("an inconsistent graph admits no finite envelopes");
+    }
+    return violations;
+  }
+  if (!is_consistent(graph)) {
+    flag("certificate claims consistency but the balance equations have "
+         "no solution");
+    return violations;
+  }
+  if (!certificate.fits_i64 && certificate.overflow_detail.empty()) {
+    flag("fits_i64 is false but overflow_detail is empty");
+  }
+
+  // Full re-derivation in overflow-checked arithmetic: every envelope is
+  // recomputed from the graph; the first checked operation that leaves
+  // i64 throws and lands in the catch below. An exact certificate must
+  // agree with (or dominate, for envelope fields) the recomputation; an
+  // inexact one must actually overflow somewhere — fits_i64 == false on
+  // a graph whose envelopes all fit is a forgery.
+  try {
+    const std::vector<i64> q = repetition_vector(graph).counts();
+
+    i64 max_exec = 0;
+    i64 max_q = 0;
+    i64 period_work = 0;
+    for (const sdf::ActorId a : graph.actor_ids()) {
+      const i64 t = graph.actor(a).execution_time;
+      max_exec = std::max(max_exec, t);
+      max_q = std::max(max_q, q[a.index()]);
+      period_work = checked_add(period_work, checked_mul(q[a.index()], t));
+    }
+    i64 max_rate = 0;
+    i64 max_tokens = 0;
+    i64 total_initial = 0;
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      const sdf::Channel& ch = graph.channel(c);
+      max_rate = std::max({max_rate, ch.production, ch.consumption});
+      max_tokens = std::max(max_tokens, ch.initial_tokens);
+      total_initial = checked_add(total_initial, ch.initial_tokens);
+    }
+
+    // Budget: the certificate's own box when it covers the graph (the
+    // usual case), else the structural default — saturated certificates
+    // return before a budget is stored, and their default-budget products
+    // are often exactly what overflowed.
+    std::vector<i64> budget = certificate.storage_budget;
+    if (budget.size() != graph.num_channels()) {
+      if (certificate.fits_i64) {
+        flag("storage budget does not cover every channel");
+        return violations;
+      }
+      budget.clear();
+      for (const sdf::ChannelId c : graph.channel_ids()) {
+        const sdf::Channel& ch = graph.channel(c);
+        budget.push_back(checked_add(
+            ch.initial_tokens,
+            checked_add(checked_mul(q[ch.src.index()], ch.production),
+                        checked_mul(q[ch.dst.index()], ch.consumption))));
+      }
+    }
+    i64 max_budget = 0;
+    i64 step_sum = 0;
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      max_budget = std::max(max_budget, budget[c.index()]);
+      step_sum = std::max(step_sum, checked_add(budget[c.index()],
+                                                graph.channel(c).production));
+    }
+
+    const i64 timestamp =
+        checked_mul(clamp_u64_to_i64(certificate.max_steps), max_exec);
+
+    // The LP coefficient families of lp/sdf_model.cpp (see derive_bounds).
+    const i64 rate_product = checked_mul(max_q, max_rate);
+    const i64 period_bound =
+        checked_mul(max_q, std::max({period_work, total_initial, i64{1}}));
+    const i64 constant_term =
+        checked_add(checked_add(max_rate, max_tokens),
+                    checked_add(max_budget, i64{1}));
+    const i64 lp_bound =
+        std::max({rate_product, period_bound,
+                  checked_mul(rate_product, max_exec),
+                  checked_mul(constant_term, period_bound)});
+
+    if (!certificate.fits_i64) {
+      flag("fits_i64 is false but every envelope fits i64 on "
+           "recomputation");
+      return violations;
+    }
+
+    // Balance equations on the certificate's own repetition vector:
+    // production * q_src == consumption * q_dst per channel, checked
+    // independently of how the vector was found.
+    if (certificate.repetitions.size() != graph.num_actors()) {
+      flag("repetition vector does not cover every actor");
+      return violations;
+    }
+    for (const sdf::ActorId a : graph.actor_ids()) {
+      if (certificate.repetitions[a.index()] < 1) {
+        flag("repetition count of actor '" + graph.actor(a).name +
+             "' is not positive");
+      }
+    }
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      const sdf::Channel& ch = graph.channel(c);
+      if (checked_mul(ch.production,
+                      certificate.repetitions[ch.src.index()]) !=
+          checked_mul(ch.consumption,
+                      certificate.repetitions[ch.dst.index()])) {
+        flag("balance equation fails on channel '" + ch.name + "'");
+      }
+    }
+
+    if (certificate.channel_peak.size() != graph.num_channels()) {
+      flag("channel peaks do not cover every channel");
+      return violations;
+    }
+    for (const sdf::ChannelId c : graph.channel_ids()) {
+      const sdf::Channel& ch = graph.channel(c);
+      const std::size_t i = c.index();
+      if (certificate.channel_peak[i] != certificate.storage_budget[i]) {
+        flag("peak of channel '" + ch.name +
+             "' does not equal its capacity budget");
+      }
+      if (certificate.storage_budget[i] < ch.initial_tokens) {
+        flag("budget of channel '" + ch.name +
+             "' cannot hold its initial tokens");
+      }
+      if (certificate.magnitude_bound < certificate.storage_budget[i]) {
+        flag("magnitude bound misses the budget of channel '" + ch.name +
+             "'");
+      }
+      if (certificate.magnitude_bound <
+          std::max({ch.production, ch.consumption, ch.initial_tokens})) {
+        flag("magnitude bound misses a magnitude of channel '" + ch.name +
+             "'");
+      }
+    }
+    for (const sdf::ActorId a : graph.actor_ids()) {
+      if (certificate.magnitude_bound < graph.actor(a).execution_time) {
+        flag("magnitude bound misses the execution time of actor '" +
+             graph.actor(a).name + "'");
+      }
+    }
+
+    // Exact statistics must agree; envelope fields must dominate.
+    if (certificate.max_execution_time != max_exec) {
+      flag("max execution time disagrees with recomputation");
+    }
+    if (certificate.max_rate != max_rate) {
+      flag("max rate disagrees with recomputation");
+    }
+    if (certificate.max_initial_tokens != max_tokens) {
+      flag("max initial tokens disagrees with recomputation");
+    }
+    if (certificate.total_initial_tokens != total_initial) {
+      flag("total initial tokens disagrees with recomputation");
+    }
+    if (certificate.period_work != period_work) {
+      flag("period work disagrees with recomputation");
+    }
+    if (step_sum > certificate.step_sum_bound) {
+      flag("step-sum bound is below an occupancy + production sum");
+    }
+    if (certificate.timestamp_bound < timestamp) {
+      flag("timestamp envelope is below max_steps * max execution time");
+    }
+    if (certificate.lp_coeff_bound < lp_bound) {
+      flag("LP coefficient envelope is below the recomputed coefficient "
+           "families");
+    }
+  } catch (const OverflowError&) {
+    if (certificate.fits_i64) {
+      flag("an envelope claimed exact by fits_i64 overflows on "
+           "recomputation");
+    }
+  }
+  return violations;
+}
+
+}  // namespace buffy::analysis

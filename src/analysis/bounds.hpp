@@ -1,0 +1,146 @@
+// Static magnitude certificates (DESIGN.md §16).
+//
+// Every quantity the engines manipulate at runtime — channel occupancy,
+// actor clocks, absolute timestamps, LP tableau coefficients — is bounded
+// by expressions over static graph data: port rates, execution times,
+// initial tokens, the repetition vector and the storage budget the
+// exploration is allowed to spend. derive_bounds() evaluates those
+// expressions once, in saturating arithmetic, and packages the result as a
+// BoundsCertificate: a machine-checkable statement of the form
+//
+//   "for every bounded self-timed execution of this graph whose channel
+//    capacities stay within `storage_budget`, every magnitude of the
+//    listed kind stays within the listed envelope".
+//
+// Soundness rests on engine invariants that are themselves audited at
+// runtime (BUFFY_AUDIT, DESIGN.md §9): stored tokens are non-negative and
+// occupancy never exceeds the capacity (`lane-capacity-bound`), so the
+// per-channel peak is the capacity budget itself; one kernel step only
+// ever forms sums `occupied + production_rate`, so the per-step sum bound
+// is budget + rate; absolute time advances by at most one execution time
+// per step, so the timestamp envelope is max_steps * max_execution_time.
+//
+// Consumers compare the envelopes against their own limits — the analysis
+// layer deliberately knows nothing about kernel lane widths or simplex
+// word sizes:
+//   * state::LaneThroughputSolver selects the narrow (i32) kernel per
+//     graph when magnitude_bound fits its kNarrowLimit gate,
+//   * codegen emits statically-narrow explorers without per-step overflow
+//     checks when the certificate covers them,
+//   * buffyd admission rejects graphs whose envelopes leave i64
+//     (fits_i64 == false) with a structured diagnostic,
+//   * lp pre-sizes exact rational arithmetic from lp_coeff_bound.
+//
+// A certificate never claims anything about executions outside its
+// budget; callers must check covers() (or enforce the budget by
+// construction, as the DSE engines do) before relying on one.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "base/checked_math.hpp"
+#include "sdf/graph.hpp"
+
+namespace buffy::analysis {
+
+/// Inputs of derive_bounds beyond the graph itself.
+struct BoundsOptions {
+  /// Per-channel capacity budget the certificate is asked to cover, in
+  /// channel-index order. Empty selects the structural default
+  /// t_c + q_src * p_c + q_dst * c_c per channel (initial tokens plus one
+  /// full iteration of production and consumption slack), which contains
+  /// every classical per-channel lower bound.
+  std::vector<i64> storage_budget;
+  /// Simulation-step horizon of the timestamp envelope; matches the
+  /// engines' max_steps safety bound (state::ThroughputOptions).
+  u64 max_steps = 100'000'000;
+};
+
+/// The magnitude envelopes derive_bounds() proves for one graph under one
+/// storage budget. Every `*_bound` field is a sound upper bound; when a
+/// saturating evaluation left the signed-64-bit range the field is pinned
+/// at INT64_MAX, fits_i64 is false and overflow_detail names the first
+/// envelope that escaped.
+struct BoundsCertificate {
+  /// Identity of the certified graph (shape check; see matches()).
+  std::string graph_name;
+  std::size_t num_actors = 0;
+  std::size_t num_channels = 0;
+
+  /// False when no repetition vector exists; no envelope then holds for
+  /// any finite storage distribution (token counts diverge), so
+  /// fits_i64 is false as well and overflow_detail explains.
+  bool consistent = false;
+  /// True when every envelope below is exact (nothing saturated).
+  bool fits_i64 = false;
+  /// Names the first envelope that left i64 (empty when fits_i64).
+  std::string overflow_detail;
+
+  /// The repetition vector (empty when !consistent).
+  std::vector<i64> repetitions;
+  /// The per-channel capacity budget this certificate covers.
+  std::vector<i64> storage_budget;
+  /// Per-channel peak occupancy under the budget. Equal to the budget
+  /// entry: the engines' audited occupancy invariant (occupied <= cap)
+  /// makes the capacity itself the reachable peak envelope.
+  std::vector<i64> channel_peak;
+
+  /// Maxima of the raw graph magnitudes.
+  i64 max_execution_time = 0;
+  i64 max_rate = 0;
+  i64 max_initial_tokens = 0;
+  /// Sum of all initial tokens (LP right-hand sides, period denominators).
+  i64 total_initial_tokens = 0;
+
+  /// max over {execution times, port rates, initial tokens, budget
+  /// entries}: the single number kernel-width gates compare against
+  /// (every value a kernel lane stores is bounded by it).
+  i64 magnitude_bound = 0;
+  /// max_c (budget_c + production rate of c): the largest sum one kernel
+  /// step can form (`occupied + rate` during a start phase).
+  i64 step_sum_bound = 0;
+  /// Sum of repetitions[a] * execution_time[a]: the busy time of one
+  /// graph iteration, the building block of period and MCM arithmetic.
+  i64 period_work = 0;
+  /// The simulation-step horizon the timestamp envelope was derived for
+  /// (BoundsOptions::max_steps, recorded so the verifier can recompute
+  /// timestamp_bound without trusting the derivation).
+  u64 max_steps = 0;
+  /// max_steps * max_execution_time: envelope of every absolute
+  /// timestamp after max_steps simulation steps (each step advances time
+  /// by at most one execution time).
+  i64 timestamp_bound = 0;
+  /// Envelope on |numerator| and denominator of every coefficient and
+  /// right-hand side of the lp/ SDF models (cycle cuts and the periodic
+  /// sizing LP) built for this graph within the budget, before pivoting.
+  i64 lp_coeff_bound = 0;
+
+  /// True when `caps` (channel-index order) lies inside the certified
+  /// budget — the precondition for applying any envelope to a run.
+  [[nodiscard]] bool covers(std::span<const i64> caps) const;
+
+  /// True when the certificate was derived from a graph of this name and
+  /// shape (cheap identity check for banks that outlive one graph).
+  [[nodiscard]] bool matches(const sdf::Graph& graph) const;
+};
+
+/// Computes the certificate for `graph` under `options`. Never throws on
+/// magnitude overflow — envelopes saturate and the certificate reports
+/// fits_i64 == false instead, so admission layers can diagnose oversized
+/// graphs without tripping the exception paths they guard.
+[[nodiscard]] BoundsCertificate derive_bounds(const sdf::Graph& graph,
+                                              const BoundsOptions& options = {});
+
+/// Independently re-checks a certificate against the graph: shape
+/// identity, repetition-vector balance equations, budget/peak agreement,
+/// and every envelope re-derived in overflow-checked arithmetic. Returns
+/// one human-readable violation per failed check; empty means the
+/// certificate is valid. This is the machine-checkable half of the
+/// certificate story: a verifier that shares no code with derive_bounds'
+/// saturating evaluation.
+[[nodiscard]] std::vector<std::string> verify_certificate(
+    const sdf::Graph& graph, const BoundsCertificate& certificate);
+
+}  // namespace buffy::analysis

@@ -4,6 +4,29 @@
 
 namespace buffy {
 
+namespace {
+
+/// |x| as an unsigned value. Well defined for every i64 including
+/// INT64_MIN (whose magnitude, 2^63, is not representable as i64 — the
+/// reason the number-theoretic helpers below work on u64 magnitudes and
+/// only narrow back after proving the result fits).
+u64 unsigned_abs(i64 x) {
+  return x < 0 ? u64{0} - static_cast<u64>(x) : static_cast<u64>(x);
+}
+
+constexpr u64 kMaxI64 = static_cast<u64>(INT64_MAX);
+
+u64 gcd_u64(u64 a, u64 b) {
+  while (b != 0) {
+    const u64 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
 i64 checked_add(i64 a, i64 b) {
   i64 r = 0;
   if (__builtin_add_overflow(a, b, &r)) {
@@ -29,25 +52,33 @@ i64 checked_mul(i64 a, i64 b) {
 }
 
 i64 gcd(i64 a, i64 b) {
-  if (a < 0) a = -a;
-  if (b < 0) b = -b;
-  while (b != 0) {
-    const i64 t = a % b;
-    a = b;
-    b = t;
+  const u64 g = gcd_u64(unsigned_abs(a), unsigned_abs(b));
+  // Only gcd(INT64_MIN, 0) and gcd(0, INT64_MIN) land here: the result is
+  // 2^63 itself, one past the signed range.
+  if (g > kMaxI64) {
+    throw OverflowError("gcd magnitude is not representable");
   }
-  return a;
+  return static_cast<i64>(g);
 }
 
 i64 lcm(i64 a, i64 b) {
   if (a == 0 || b == 0) return 0;
-  if (a < 0) a = -a;
-  if (b < 0) b = -b;
-  return checked_mul(a / gcd(a, b), b);
+  const u64 ua = unsigned_abs(a);
+  const u64 ub = unsigned_abs(b);
+  const u64 g = gcd_u64(ua, ub);
+  u64 r = 0;
+  if (__builtin_mul_overflow(ua / g, ub, &r) || r > kMaxI64) {
+    throw OverflowError("integer overflow in least common multiple");
+  }
+  return static_cast<i64>(r);
 }
 
 i64 floor_div(i64 a, i64 b) {
   BUFFY_REQUIRE(b != 0, "division by zero");
+  if (a == INT64_MIN && b == -1) {
+    // The only quotient outside the signed range (2^63).
+    throw OverflowError("integer overflow in division");
+  }
   i64 q = a / b;
   if ((a % b != 0) && ((a < 0) != (b < 0))) --q;
   return q;
@@ -55,6 +86,9 @@ i64 floor_div(i64 a, i64 b) {
 
 i64 ceil_div(i64 a, i64 b) {
   BUFFY_REQUIRE(b != 0, "division by zero");
+  if (a == INT64_MIN && b == -1) {
+    throw OverflowError("integer overflow in division");
+  }
   i64 q = a / b;
   if ((a % b != 0) && ((a < 0) == (b < 0))) ++q;
   return q;
@@ -62,9 +96,13 @@ i64 ceil_div(i64 a, i64 b) {
 
 i64 positive_mod(i64 a, i64 b) {
   BUFFY_REQUIRE(b != 0, "modulus by zero");
-  if (b < 0) b = -b;
-  const i64 r = a % b;
-  return r < 0 ? r + b : r;
+  // Magnitude arithmetic sidesteps both traps of `a % b` at the domain
+  // edges: negating b == INT64_MIN and the hardware fault of
+  // INT64_MIN % -1. The result lies in [0, |b|), which always fits i64.
+  const u64 m = unsigned_abs(b);
+  u64 r = unsigned_abs(a) % m;
+  if (a < 0 && r != 0) r = m - r;
+  return static_cast<i64>(r);
 }
 
 }  // namespace buffy

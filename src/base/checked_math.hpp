@@ -31,7 +31,9 @@ using i32 = std::int32_t;
 /// Returns a * b; throws OverflowError when the product is unrepresentable.
 [[nodiscard]] i64 checked_mul(i64 a, i64 b);
 
-/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0.
+/// Greatest common divisor of |a| and |b|; gcd(0, 0) == 0. Defined over
+/// the whole i64 domain; throws OverflowError only when the result itself
+/// is unrepresentable (gcd(INT64_MIN, 0) == 2^63).
 [[nodiscard]] i64 gcd(i64 a, i64 b);
 
 /// Least common multiple of |a| and |b|; throws OverflowError when the
@@ -39,12 +41,17 @@ using i32 = std::int32_t;
 [[nodiscard]] i64 lcm(i64 a, i64 b);
 
 /// Floor division with the mathematical convention (rounds toward -inf).
+/// Throws OverflowError for the one unrepresentable quotient
+/// (INT64_MIN / -1).
 [[nodiscard]] i64 floor_div(i64 a, i64 b);
 
 /// Ceiling division with the mathematical convention (rounds toward +inf).
+/// Throws OverflowError for the one unrepresentable quotient
+/// (INT64_MIN / -1).
 [[nodiscard]] i64 ceil_div(i64 a, i64 b);
 
-/// Mathematical modulus: result is always in [0, |b|).
+/// Mathematical modulus: result is always in [0, |b|). Defined over the
+/// whole domain (b != 0), including b == INT64_MIN and (INT64_MIN, -1).
 [[nodiscard]] i64 positive_mod(i64 a, i64 b);
 
 }  // namespace buffy

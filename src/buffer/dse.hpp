@@ -113,6 +113,17 @@ struct DseOptions {
   /// additionally warm-starts its frontier from the LP necessary floors.
   bool use_lp_bounds = true;
 
+  /// Derive a static magnitude certificate (analysis::derive_bounds,
+  /// DESIGN.md §16) over the exploration's storage envelope and hand it
+  /// to the lane solvers, which then select the narrow (i32) kernel once
+  /// per graph instead of re-scanning every batch's capacities. Purely a
+  /// gating optimisation: kernel results are bit-identical at either
+  /// width, so the front is byte-identical with the certificate on or
+  /// off. Under BUFFY_AUDIT the retired per-batch gate re-runs as a
+  /// cross-check (`static-narrow-certificate`). No effect on the scalar
+  /// backend.
+  bool use_bounds_certificate = true;
+
   /// Entry bound for the throughput cache (0 = unbounded): beyond it the
   /// cache evicts least-recently-used exact entries (stripe-granular LRU,
   /// see ThroughputCache). Eviction only forgets — evicted candidates are
@@ -207,6 +218,11 @@ struct DseResult {
   u64 lp_prunes = 0;
   /// LP cycle cuts derived for the exploration.
   u64 lp_cuts = 0;
+  /// A magnitude certificate proved the narrow (i32) lane kernel for the
+  /// whole exploration envelope, so lane batches skipped the per-batch
+  /// capacity gate (false when certificates or the lane path were off,
+  /// or the envelope exceeds the narrow limit).
+  bool static_narrow = false;
   /// Wall-clock seconds spent exploring.
   double seconds = 0.0;
 };

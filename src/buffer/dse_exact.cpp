@@ -10,6 +10,7 @@
 #include "base/audit.hpp"
 #include "base/diagnostics.hpp"
 #include "base/hash.hpp"
+#include "analysis/bounds.hpp"
 #include "analysis/repetition_vector.hpp"
 #include "buffer/audit_checks.hpp"
 #include "buffer/throughput_cache.hpp"
@@ -17,6 +18,7 @@
 #include "exec/thread_pool.hpp"
 #include "lp/sdf_model.hpp"
 #include "state/lane_throughput.hpp"
+#include "state/simd_kernel.hpp"
 #include "state/throughput.hpp"
 #include "trace/trace.hpp"
 
@@ -76,6 +78,11 @@ struct Sweep {
   // probes and slice seeds stay scalar — they are evaluated at the moment
   // their value gates the traversal.
   state::LaneSolverBank* lane_bank = nullptr;
+  // True when the bank carries a magnitude certificate whose storage
+  // budget is the enumeration box itself (sweep.ub after widening) —
+  // every enumerated candidate is inside it by construction, so lane
+  // batches skip the dynamic narrow-kernel gate (DESIGN.md §16).
+  bool lanes_within_certificate = false;
 
   // Per-slot scratch: the worker's cache delta plus its local simulation
   // cost sample, padded so neighbouring workers never share a cache line.
@@ -255,6 +262,7 @@ struct Sweep {
                                      .max_steps = options.max_steps_per_run};
     run_opts.cancel = options.cancel;
     run_opts.progress = options.progress;
+    run_opts.within_certificate = lanes_within_certificate;
     const auto sim_t0 = std::chrono::steady_clock::now();
     std::vector<state::ThroughputResult> runs =
         lane_bank->at(slot).compute_batch(caps, run_opts);
@@ -843,18 +851,11 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
         bounds.max_throughput_distribution.capacities());
   }
   std::optional<state::WorkerSolvers> solvers;
+  std::optional<analysis::BoundsCertificate> cert;
   std::optional<state::LaneSolverBank> lane_bank;
   if (options.reuse_engines) {
     solvers.emplace(graph, lazy.num_slots());
     sweep.solvers = &*solvers;
-    const state::SimdBackend lane_backend =
-        state::resolve_backend(options.simd);
-    if (lane_backend != state::SimdBackend::Scalar) {
-      lane_bank.emplace(graph, lazy.num_slots(),
-                        state::resolve_lanes(options.simd_lanes, lane_backend),
-                        lane_backend);
-      sweep.lane_bank = &*lane_bank;
-    }
   }
   sweep.init_slots(lazy.num_slots());
 
@@ -893,6 +894,32 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
     }
   }
   lift_estimation_floors(sweep);
+
+  // Lane bank, built only now that the enumeration box is final: its
+  // per-channel maxima are the storage budget of the magnitude
+  // certificate (DESIGN.md §16), and every enumerated candidate lies
+  // inside the box by construction — so lane batches carry the
+  // within-certificate assertion and the narrow kernel is selected once
+  // per graph instead of per batch.
+  if (options.reuse_engines) {
+    const state::SimdBackend lane_backend =
+        state::resolve_backend(options.simd);
+    if (lane_backend != state::SimdBackend::Scalar) {
+      if (options.use_bounds_certificate) {
+        analysis::BoundsOptions cert_opts;
+        cert_opts.max_steps = options.max_steps_per_run;
+        cert_opts.storage_budget = sweep.ub;
+        cert = analysis::derive_bounds(graph, cert_opts);
+        sweep.lanes_within_certificate = true;
+        result.static_narrow = cert->fits_i64 &&
+                               cert->magnitude_bound <= state::kNarrowLimit;
+      }
+      lane_bank.emplace(graph, lazy.num_slots(),
+                        state::resolve_lanes(options.simd_lanes, lane_backend),
+                        lane_backend, cert.has_value() ? &*cert : nullptr);
+      sweep.lane_bank = &*lane_bank;
+    }
+  }
 
   // Divide and conquer over the size dimension (Sec. 9): throughput is
   // monotonic in the size, so an interval whose endpoints agree contains no
@@ -1049,6 +1076,7 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
         bounds.max_throughput_distribution.capacities());
   }
   std::optional<state::WorkerSolvers> solvers;
+  std::optional<analysis::BoundsCertificate> cert;
   std::optional<state::LaneSolverBank> lane_bank;
   if (options.reuse_engines) {
     // Tie enumeration is sequential: one caller slot, one solver.
@@ -1057,9 +1085,18 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
     const state::SimdBackend lane_backend =
         state::resolve_backend(options.simd);
     if (lane_backend != state::SimdBackend::Scalar) {
+      // Same certificate contract as the main sweep: the widened box
+      // above is the budget, and enumeration never leaves it.
+      if (options.use_bounds_certificate) {
+        analysis::BoundsOptions cert_opts;
+        cert_opts.max_steps = options.max_steps_per_run;
+        cert_opts.storage_budget = sweep.ub;
+        cert = analysis::derive_bounds(graph, cert_opts);
+        sweep.lanes_within_certificate = true;
+      }
       lane_bank.emplace(graph, 1,
                         state::resolve_lanes(options.simd_lanes, lane_backend),
-                        lane_backend);
+                        lane_backend, cert.has_value() ? &*cert : nullptr);
       sweep.lane_bank = &*lane_bank;
     }
   }

@@ -6,6 +6,7 @@
 #include <set>
 #include <unordered_set>
 
+#include "analysis/bounds.hpp"
 #include "analysis/repetition_vector.hpp"
 #include "base/audit.hpp"
 #include "base/diagnostics.hpp"
@@ -17,6 +18,7 @@
 #include "exec/thread_pool.hpp"
 #include "state/engine.hpp"
 #include "state/lane_throughput.hpp"
+#include "state/simd_kernel.hpp"
 #include "state/throughput.hpp"
 #include "trace/trace.hpp"
 
@@ -157,7 +159,6 @@ DseResult explore_incremental(const sdf::Graph& graph,
   const std::size_t lane_width =
       state::resolve_lanes(options.simd_lanes, lane_backend);
   std::optional<state::LaneSolverBank> lane_bank;
-  if (lane_eval) lane_bank.emplace(graph, slots, lane_width, lane_backend);
   std::vector<WaveSlot> wave_slots(slots);
   if (cache != nullptr) {
     for (WaveSlot& ws : wave_slots) ws.delta.emplace(cache->make_delta());
@@ -213,6 +214,38 @@ DseResult explore_incremental(const sdf::Graph& graph,
       lb.size() <= *options.max_distribution_size) {
     frontier.emplace(lb.size(), lb.capacities());
     visited.insert(lb);
+  }
+
+  // Static magnitude certificate (DESIGN.md §16): a uniform per-channel
+  // budget of `cert_budget_size` tokens covers every candidate whose
+  // total size stays within it — capacities are non-negative, so no
+  // single channel of a size-S distribution can exceed S. The climb pops
+  // waves in ascending size, so one comparison per wave decides whether
+  // the whole wave is inside the certified envelope (and may skip the
+  // per-candidate narrow-kernel gate); waves beyond it simply fall back
+  // to the dynamic gate. The envelope is sized to the design-space upper
+  // bound, which the climb does not normally exceed before reaching its
+  // throughput goal.
+  std::optional<analysis::BoundsCertificate> cert;
+  i64 cert_budget_size = 0;
+  if (lane_eval && options.use_bounds_certificate) {
+    try {
+      i64 floor_total = 0;
+      for (const i64 f : floor_caps) floor_total = checked_add(floor_total, f);
+      cert_budget_size = std::max(bounds.ub_size, floor_total);
+      analysis::BoundsOptions cert_opts;
+      cert_opts.max_steps = options.max_steps_per_run;
+      cert_opts.storage_budget.assign(graph.num_channels(), cert_budget_size);
+      cert = analysis::derive_bounds(graph, cert_opts);
+      result.static_narrow = cert->fits_i64 &&
+                             cert->magnitude_bound <= state::kNarrowLimit;
+    } catch (const OverflowError&) {
+      cert.reset();  // envelope unrepresentable: dynamic gating only
+    }
+  }
+  if (lane_eval) {
+    lane_bank.emplace(graph, slots, lane_width, lane_backend,
+                      cert.has_value() ? &*cert : nullptr);
   }
 
   Rational best_seen(0);
@@ -396,6 +429,10 @@ DseResult explore_incremental(const sdf::Graph& graph,
       run_opts.collect_storage_deps = true;
       run_opts.cancel = options.cancel;
       run_opts.progress = options.progress;
+      // Same-size wave: every candidate totals batch_size tokens, so the
+      // wave is inside the certified budget iff its size is.
+      run_opts.within_certificate =
+          cert.has_value() && batch_size <= cert_budget_size;
       const auto sim_t0 = std::chrono::steady_clock::now();
       std::vector<state::ThroughputResult> runs;
       try {

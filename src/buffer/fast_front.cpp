@@ -59,6 +59,7 @@ FastFrontResult fast_front(const sdf::Graph& graph, sdf::ActorId target,
         graph, reps, target, theta, floors);
     result.lp_pivots += solved.pivots;
     ++result.lp_solves;
+    if (solved.status == lp::Status::NumericOverflow) ++result.lp_overflows;
     if (solved.status != lp::Status::Optimal) continue;
     const std::size_t before = result.pareto.size();
     result.pareto.add(

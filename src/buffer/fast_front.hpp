@@ -35,6 +35,11 @@ struct FastFrontResult {
   DesignSpaceBounds bounds;
   /// Periodic LPs solved (one per grid level that stayed feasible).
   u64 lp_solves = 0;
+  /// Solves answered numeric_overflow by the simplex's coefficient
+  /// pre-size gate (DESIGN.md §16). When every solve overflows the front
+  /// degenerates to the bare max-throughput anchor — still sound, but
+  /// callers offering an exact tier should downgrade to it instead.
+  u64 lp_overflows = 0;
   /// Simplex pivots spent across all solves.
   u64 lp_pivots = 0;
   /// Cycle cuts derived for the necessary floors.

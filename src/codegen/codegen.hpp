@@ -15,11 +15,22 @@
 // and batch-evaluates whole same-size waves in `--dse` mode. Its stdout is
 // byte-identical to the scalar explorer's in both modes; the differential
 // test in tests/test_codegen.cpp compiles both and compares.
+//
+// A third pair consumes a static magnitude certificate (DESIGN.md §16):
+// the checked scalar explorer guards every token/occupancy/time update
+// with overflow checks and clamps its exploration to the certified
+// storage budget, while the statically-narrow vectorized explorer runs
+// the same clamped exploration on 32-bit lane rows with no per-step
+// checks at all — the certificate's envelopes prove they cannot fire.
+// The two programs print byte-identical output; the differential test
+// pins narrow-without-checks against checked-with-guards, so a wrong
+// certificate shows up as either a diff or a guarded abort.
 #pragma once
 
 #include <cstddef>
 #include <string>
 
+#include "analysis/bounds.hpp"
 #include "sdf/graph.hpp"
 
 namespace buffy::codegen {
@@ -69,5 +80,52 @@ void write_explorer_source(const sdf::Graph& graph, sdf::ActorId target,
 void write_vectorized_explorer_source(const sdf::Graph& graph,
                                       sdf::ActorId target, std::size_t lanes,
                                       const std::string& path);
+
+/// \brief Returns the overflow-checked scalar explorer: the Fig. 8
+/// program with every token, occupancy and timestamp update routed
+/// through __builtin overflow guards (aborting with an "overflow"
+/// diagnostic if one fires) and its exploration clamped to the
+/// certificate's storage budget — the doubling estimation saturates at
+/// the budget and children beyond it are never enqueued. This is the
+/// reference half of the narrow differential: its stdout is
+/// byte-identical to generate_narrow_explorer_source()'s program on the
+/// same certificate, and a violated envelope aborts loudly instead of
+/// wrapping silently.
+///
+/// \throws Error when \p target is invalid or \p certificate does not
+/// match \p graph (shape, consistency, one budget entry per channel).
+[[nodiscard]] std::string generate_checked_explorer_source(
+    const sdf::Graph& graph, sdf::ActorId target,
+    const analysis::BoundsCertificate& certificate);
+
+/// \brief Writes the checked scalar explorer source to a file.
+void write_checked_explorer_source(const sdf::Graph& graph,
+                                   sdf::ActorId target,
+                                   const analysis::BoundsCertificate& cert,
+                                   const std::string& path);
+
+/// \brief Returns the statically-narrow vectorized explorer: the
+/// lane-parallel program specialised to 32-bit lane rows with no
+/// per-step overflow checks — the certificate proves every rate,
+/// execution time, capacity and per-step sum stays far inside i32, so
+/// the checks are elided at generation time rather than at run time.
+/// Exploration is clamped to the certified budget exactly like the
+/// checked scalar program, keeping the pair byte-identical on stdout.
+/// Absolute timestamps stay 64-bit (they are bounded by the step
+/// horizon, not the budget).
+///
+/// \throws Error when \p target or \p lanes is invalid, or the
+/// certificate does not match the graph, is inexact (!fits_i64), or its
+/// magnitude_bound exceeds the narrow kernel limit
+/// (state::kNarrowLimit).
+[[nodiscard]] std::string generate_narrow_explorer_source(
+    const sdf::Graph& graph, sdf::ActorId target, std::size_t lanes,
+    const analysis::BoundsCertificate& certificate);
+
+/// \brief Writes the narrow vectorized explorer source to a file.
+void write_narrow_explorer_source(const sdf::Graph& graph, sdf::ActorId target,
+                                  std::size_t lanes,
+                                  const analysis::BoundsCertificate& cert,
+                                  const std::string& path);
 
 }  // namespace buffy::codegen

@@ -1,6 +1,7 @@
 #include "lp/sdf_model.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <set>
 
 #include "base/diagnostics.hpp"
@@ -309,6 +310,20 @@ PeriodicSolveResult min_buffers_for_throughput(
     for (const sdf::ChannelId c : slack_channels) {
       problem.objective[slack_var[c.index()]] = Rational(1);
     }
+
+    // Exact coefficient envelope, stamped into Problem::coeff_bound so
+    // solve() can pre-size its rational arithmetic (simplex.cpp). Tracks
+    // the running max of |numerator| and denominator over every value a
+    // row will carry; negations share the magnitude of their positives.
+    i64 coeff_bound = 1;  // objective entries are 0/1
+    const auto note = [&coeff_bound](const Rational& v) {
+      const i64 num = v.num();
+      const i64 mag = num == std::numeric_limits<i64>::min()
+                          ? std::numeric_limits<i64>::max()
+                          : (num < 0 ? -num : num);
+      coeff_bound = std::max({coeff_bound, mag, v.den()});
+    };
+    note(period);
     for (const sdf::ChannelId c : slack_channels) {
       const sdf::Channel& ch = graph.channel(c);
       const i64 qu = repetitions[ch.src.index()];
@@ -331,6 +346,8 @@ PeriodicSolveResult min_buffers_for_throughput(
           Rational(checked_sub(checked_sub(ch.consumption, ch.initial_tokens),
                                1)) *
               period;
+      note(fu);
+      note(tokens.rhs);
       problem.rows.push_back(std::move(tokens));
 
       // (S) space sufficiency: co*qv*(s_u - s_v) + T*y_c >=
@@ -351,8 +368,11 @@ PeriodicSolveResult min_buffers_for_throughput(
                           floor_caps[c.index()]),
               1)) *
               period;
+      note(fv);
+      note(space.rhs);
       problem.rows.push_back(std::move(space));
     }
+    problem.coeff_bound = coeff_bound;
 
     const Solution solution = solve(problem);
     out.status = solution.status;

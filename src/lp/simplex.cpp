@@ -212,6 +212,21 @@ Solution solve(const Problem& problem, u64 max_pivots) {
                     " coefficients, problem has " +
                     std::to_string(problem.num_vars) + " variables");
   Solution out;
+
+  // Pre-size the exact arithmetic from the stamped coefficient envelope
+  // (DESIGN.md §16). A pivot cross-multiplies tableau entries over common
+  // denominators — with |numerator|, denominator <= B the very first pivot
+  // forms products up to B^2 — so a bound past 2^31 can overflow i64 before
+  // any useful work happens. Answering NumericOverflow up front is sound:
+  // it is exactly the give-up status the checked Rational ops below would
+  // reach, minus the wasted pivoting. 0 = unknown envelope: keep the old
+  // behaviour of pivoting until a checked op throws.
+  constexpr i64 kSafePivotBound = i64{1} << 31;
+  if (problem.coeff_bound > kSafePivotBound) {
+    out.status = Status::NumericOverflow;
+    return out;
+  }
+
   try {
     Tableau t = build_tableau(problem);
 

@@ -47,6 +47,14 @@ struct Problem {
   std::size_t num_vars = 0;
   std::vector<Rational> objective;  // dense, one entry per variable
   std::vector<Constraint> rows;
+  /// Sound upper bound on |numerator| and denominator of every
+  /// coefficient and right-hand side above, or 0 when unknown. Model
+  /// builders stamp it (lp/sdf_model.cpp tracks the exact maximum while
+  /// emitting rows; analysis::derive_bounds provides a static envelope
+  /// before any row exists). solve() pre-sizes its exact arithmetic from
+  /// it: a bound beyond the safe pivot range answers NumericOverflow
+  /// immediately instead of pivoting into a guaranteed overflow.
+  i64 coeff_bound = 0;
 };
 
 /// Solver outcome.

@@ -59,6 +59,8 @@ const char* error_code_name(ErrorCode code) {
       return "cancelled";
     case ErrorCode::ShuttingDown:
       return "shutting_down";
+    case ErrorCode::MagnitudeOverflow:
+      return "magnitude_overflow";
     case ErrorCode::InternalError:
       return "internal_error";
   }

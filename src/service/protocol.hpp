@@ -45,6 +45,11 @@ enum class ErrorCode {
   Cancelled,
   /// The daemon is draining: the request was queued but never started.
   ShuttingDown,
+  /// The graph is consistent but its static magnitude envelopes leave
+  /// signed 64-bit range (analysis::derive_bounds, DESIGN.md §16): no
+  /// engine can analyse it without overflowing, so admission rejects it
+  /// up front with the offending envelope named in the message.
+  MagnitudeOverflow,
   /// A bug in the daemon (invariant violation); reported, never crashes
   /// the process.
   InternalError,

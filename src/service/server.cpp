@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <utility>
 
+#include "analysis/bounds.hpp"
 #include "analysis/max_throughput.hpp"
 #include "base/diagnostics.hpp"
 #include "buffer/dse.hpp"
@@ -56,6 +57,27 @@ sdf::ActorId resolve_target(const sdf::Graph& graph, const std::string& name) {
                         "no actor named '" + name + "'");
   }
   return *id;
+}
+
+/// Magnitude admission (DESIGN.md §16): derives the graph's static
+/// magnitude certificate under the structural default budget and rejects
+/// graphs whose envelopes leave i64 — every engine downstream would only
+/// reach an OverflowError mid-analysis, so the daemon answers the
+/// structured magnitude_overflow code up front instead. Inconsistent
+/// graphs pass through untouched: the analysis entry points diagnose them
+/// with their richer graph_error messages. (Quality downgrade is NOT
+/// decided here: the certificate's lp_coeff_bound envelope covers every
+/// LP the budget box could build and routinely exceeds the stamped bound
+/// of the problems the fast tier actually solves — handle_explore judges
+/// the solves' outcome instead.)
+void admit_magnitudes(const sdf::Graph& graph) {
+  const analysis::BoundsCertificate cert = analysis::derive_bounds(graph);
+  if (cert.consistent && !cert.fits_i64) {
+    throw ProtocolError(ErrorCode::MagnitudeOverflow,
+                        "graph '" + graph.name() +
+                            "' rejected at admission: " +
+                            cert.overflow_detail);
+  }
 }
 
 /// Best-effort id recovery for error responses to requests that failed
@@ -497,6 +519,7 @@ JsonValue Server::handle_analyze(const Request& req,
   token.checkpoint();
   const sdf::Graph graph = parse_graph(req);
   const sdf::ActorId target = resolve_target(graph, req.target);
+  admit_magnitudes(graph);
   token.checkpoint();
 
   JsonValue result = JsonValue::object();
@@ -540,47 +563,70 @@ JsonValue Server::handle_explore(const Request& req,
   token.checkpoint();
   const sdf::Graph graph = parse_graph(req);
   const sdf::ActorId target = resolve_target(graph, req.target);
+  admit_magnitudes(graph);
 
   // quality=fast: the LP-only front (buffer/fast_front) — sound but
   // approximate, answered without per-candidate simulation, and without
   // touching the warm cache registry (fast answers must never displace or
   // seed exact warm state; a later quality=exact query builds it).
-  if (req.quality == std::optional<std::string>("fast")) {
+  //
+  // The fast tier rides on the LP models, whose exact rational arithmetic
+  // the simplex pre-sizes from the stamped coefficient bound (DESIGN.md
+  // §16): a graph whose coefficients exceed the safe pivot envelope gets
+  // numeric_overflow back per solve instead of a grid point. When *every*
+  // grid solve overflows, the fast front has degenerated to the bare
+  // max-throughput anchor — sound but useless — so the request is
+  // downgraded to the exact (simulation) engine, which only needs the i64
+  // envelopes admission already verified, and the response is marked.
+  // The daemon judges the outcome rather than the certificate's
+  // lp_coeff_bound: the envelope covers every LP the budget box could
+  // build and routinely exceeds the stamped bound of the problems the
+  // grid actually solves (h263 clears the pivot gate by 300x under it).
+  bool downgraded = false;
+  bool want_fast = req.quality == std::optional<std::string>("fast");
+  if (want_fast) {
     token.checkpoint();
     const buffer::FastFrontResult fast = buffer::fast_front(
         graph, target, req.levels.value_or(8));
     token.checkpoint();
-    JsonValue res = JsonValue::object();
-    res.set("target", JsonValue::string(graph.actor(target).name));
-    res.set("quality", JsonValue::string("fast"));
-    res.set("deadlock", JsonValue::boolean(fast.bounds.deadlock));
-    if (!fast.bounds.deadlock) {
-      JsonValue bounds = JsonValue::object();
-      bounds.set("lb_size", JsonValue::integer(fast.bounds.lb_size));
-      bounds.set("ub_size", JsonValue::integer(fast.bounds.ub_size));
-      bounds.set("max_throughput",
-                 JsonValue::string(fast.bounds.max_throughput.str()));
-      res.set("bounds", bounds);
-    }
-    res.set("front", JsonValue::string(fast.pareto.str()));
-    JsonValue points = JsonValue::array();
-    for (const buffer::ParetoPoint& p : fast.pareto.points()) {
-      JsonValue point = JsonValue::object();
-      point.set("size", JsonValue::integer(p.size()));
-      point.set("throughput", JsonValue::string(p.throughput.str()));
-      JsonValue caps = JsonValue::array();
-      for (const i64 c : p.distribution.capacities()) {
-        caps.push_back(JsonValue::integer(c));
+    if (fast.lp_solves > 0 && fast.lp_overflows == fast.lp_solves) {
+      want_fast = false;
+      downgraded = true;
+    } else {
+      JsonValue res = JsonValue::object();
+      res.set("target", JsonValue::string(graph.actor(target).name));
+      res.set("quality", JsonValue::string("fast"));
+      res.set("deadlock", JsonValue::boolean(fast.bounds.deadlock));
+      if (!fast.bounds.deadlock) {
+        JsonValue bounds = JsonValue::object();
+        bounds.set("lb_size", JsonValue::integer(fast.bounds.lb_size));
+        bounds.set("ub_size", JsonValue::integer(fast.bounds.ub_size));
+        bounds.set("max_throughput",
+                   JsonValue::string(fast.bounds.max_throughput.str()));
+        res.set("bounds", bounds);
       }
-      point.set("capacities", caps);
-      points.push_back(point);
+      res.set("front", JsonValue::string(fast.pareto.str()));
+      JsonValue points = JsonValue::array();
+      for (const buffer::ParetoPoint& p : fast.pareto.points()) {
+        JsonValue point = JsonValue::object();
+        point.set("size", JsonValue::integer(p.size()));
+        point.set("throughput", JsonValue::string(p.throughput.str()));
+        JsonValue caps = JsonValue::array();
+        for (const i64 c : p.distribution.capacities()) {
+          caps.push_back(JsonValue::integer(c));
+        }
+        point.set("capacities", caps);
+        points.push_back(point);
+      }
+      res.set("points", points);
+      res.set("lp_solves",
+              JsonValue::integer(static_cast<i64>(fast.lp_solves)));
+      res.set("lp_pivots",
+              JsonValue::integer(static_cast<i64>(fast.lp_pivots)));
+      res.set("lp_cuts", JsonValue::integer(static_cast<i64>(fast.lp_cuts)));
+      res.set("seconds", JsonValue::number(fast.seconds));
+      return res;
     }
-    res.set("points", points);
-    res.set("lp_solves", JsonValue::integer(static_cast<i64>(fast.lp_solves)));
-    res.set("lp_pivots", JsonValue::integer(static_cast<i64>(fast.lp_pivots)));
-    res.set("lp_cuts", JsonValue::integer(static_cast<i64>(fast.lp_cuts)));
-    res.set("seconds", JsonValue::number(fast.seconds));
-    return res;
   }
 
   buffer::DseOptions opts;
@@ -638,6 +684,7 @@ JsonValue Server::handle_explore(const Request& req,
   JsonValue res = JsonValue::object();
   res.set("target", JsonValue::string(graph.actor(target).name));
   res.set("quality", JsonValue::string("exact"));
+  if (downgraded) res.set("downgraded", JsonValue::boolean(true));
   res.set("deadlock", JsonValue::boolean(result.bounds.deadlock));
   if (!result.bounds.deadlock) {
     JsonValue bounds = JsonValue::object();
@@ -674,6 +721,7 @@ JsonValue Server::handle_explore(const Request& req,
   res.set("lp_prunes",
           JsonValue::integer(static_cast<i64>(result.lp_prunes)));
   res.set("lp_cuts", JsonValue::integer(static_cast<i64>(result.lp_cuts)));
+  res.set("static_narrow", JsonValue::boolean(result.static_narrow));
   res.set("max_states_stored",
           JsonValue::integer(static_cast<i64>(result.max_states_stored)));
   res.set("seconds", JsonValue::number(result.seconds));

@@ -10,10 +10,11 @@
 
 namespace buffy::state {
 
-LaneThroughputSolver::LaneThroughputSolver(const sdf::Graph& graph,
-                                           std::size_t lanes,
-                                           SimdBackend backend)
-    : graph_(graph), lanes_(lanes), backend_(backend) {
+LaneThroughputSolver::LaneThroughputSolver(
+    const sdf::Graph& graph, std::size_t lanes, SimdBackend backend,
+    const analysis::BoundsCertificate* certificate)
+    : graph_(graph), lanes_(lanes), backend_(backend),
+      certificate_(certificate) {
   BUFFY_REQUIRE(lanes >= kMinLanes && lanes <= kMaxLanes,
                 "lane count must be in [1, 64]");
   BUFFY_REQUIRE(
@@ -73,6 +74,19 @@ LaneThroughputSolver::LaneThroughputSolver(const sdf::Graph& graph,
   for (const LanePort& p : out_ports_) {
     narrow_ok_ = narrow_ok_ && p.rate <= kNarrowLimit;
   }
+
+  // Static narrow selection (DESIGN.md §16): the certificate's single
+  // magnitude bound covers execution times, rates, initial tokens *and*
+  // the storage budget the engine will explore within, so comparing it
+  // against kNarrowLimit once proves the narrow kernel for every batch
+  // the caller flags within_certificate — no per-batch capacity scan.
+  // The graph-magnitude scan above must agree (the certificate bound
+  // dominates it); requiring both keeps the narrow tables' allocation
+  // tied to one flag.
+  static_narrow_ = narrow_ok_ && certificate_ != nullptr &&
+                   certificate_->matches(graph) && certificate_->consistent &&
+                   certificate_->fits_i64 &&
+                   certificate_->magnitude_bound <= kNarrowLimit;
 
   const auto assign_tables = [&](auto& t) {
     using T = typename std::decay_t<decltype(t.clocks)>::value_type;
@@ -182,12 +196,42 @@ void LaneThroughputSolver::compute_batch(
   BUFFY_REQUIRE(
       opts.target.valid() && opts.target.index() < graph_.num_actors(),
       "throughput target actor is not part of the graph");
-  // Per-batch width election: the narrow kernel runs whenever the graph
+  // Width election. The statically certified path decides per graph: a
+  // batch the caller asserts is inside the certificate's budget runs
+  // narrow without scanning a single capacity. Everything else falls back
+  // to the per-batch election: the narrow kernel runs whenever the graph
   // qualifies and every candidate capacity fits its envelope.
-  bool narrow = narrow_ok_;
-  for (const std::vector<i64>& caps : candidates) {
-    if (!narrow) break;
-    for (const i64 cap : caps) narrow = narrow && cap <= kNarrowLimit;
+  bool narrow;
+  const bool statically_narrow = static_narrow_ && opts.within_certificate;
+  if (statically_narrow && !audit::enabled()) {
+    narrow = true;
+  } else {
+    narrow = narrow_ok_;
+    for (const std::vector<i64>& caps : candidates) {
+      if (!narrow) break;
+      for (const i64 cap : caps) narrow = narrow && cap <= kNarrowLimit;
+    }
+    if (statically_narrow) {
+      // Audit cross-check: the retired runtime gate re-runs and must
+      // agree with the certificate, and every candidate must actually be
+      // inside the certified budget the caller vouched for.
+      audit::note_check();
+      if (!narrow) {
+        audit::fail("static-narrow-certificate",
+                    "graph '" + graph_.name() +
+                        "': certificate selected the narrow kernel but a "
+                        "candidate capacity exceeds kNarrowLimit");
+      }
+      for (const std::vector<i64>& caps : candidates) {
+        if (!certificate_->covers(caps)) {
+          audit::fail("static-narrow-certificate",
+                      "graph '" + graph_.name() +
+                          "': batch flagged within_certificate has a "
+                          "candidate outside the certified storage budget");
+        }
+      }
+      narrow = true;
+    }
   }
   if (narrow) {
     run_batch(narrow_, step32_, candidates, opts, results);

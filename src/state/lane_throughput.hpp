@@ -18,6 +18,7 @@
 #include <span>
 #include <vector>
 
+#include "analysis/bounds.hpp"
 #include "sdf/graph.hpp"
 #include "state/simd_backend.hpp"
 #include "state/simd_kernel.hpp"
@@ -44,6 +45,14 @@ struct LaneBatchOptions {
   exec::CancellationToken cancel;
   /// Optional metrics sink, reported per retired candidate.
   exec::Progress* progress = nullptr;
+  /// The caller asserts every candidate of this batch lies inside the
+  /// storage budget of the certificate the solver was built with (the DSE
+  /// engines enforce this by construction — box bounds, channel ceilings
+  /// or the wave-size envelope). With a narrow-certified solver this
+  /// skips the per-batch capacity scan entirely; under BUFFY_AUDIT the
+  /// scan still runs as a cross-check and any divergence fails the
+  /// `static-narrow-certificate` audit.
+  bool within_certificate = false;
 };
 
 /// Reusable lane-batch kernel over one graph: SoA state rows for `lanes`
@@ -55,9 +64,16 @@ class LaneThroughputSolver {
  public:
   /// `lanes` in [kMinLanes, kMaxLanes]; `backend` must be Swar or Avx2
   /// and available on this host (resolve_backend first). The graph must
-  /// outlive the solver.
+  /// outlive the solver. An optional magnitude certificate
+  /// (analysis::derive_bounds) selects the narrow kernel statically: when
+  /// it matches the graph, fits i64 and its magnitude_bound is within
+  /// kNarrowLimit, batches flagged within_certificate run the i32 kernel
+  /// without re-scanning candidate capacities. The certificate (if any)
+  /// must outlive the solver.
   LaneThroughputSolver(const sdf::Graph& graph, std::size_t lanes,
-                       SimdBackend backend);
+                       SimdBackend backend,
+                       const analysis::BoundsCertificate* certificate =
+                           nullptr);
 
   /// Simulates every candidate (a bounded capacity vector, one entry per
   /// channel in channel-index order) and writes its result to the same
@@ -80,6 +96,9 @@ class LaneThroughputSolver {
   [[nodiscard]] const sdf::Graph& graph() const { return graph_; }
   [[nodiscard]] std::size_t lanes() const { return lanes_; }
   [[nodiscard]] SimdBackend backend() const { return backend_; }
+  /// True when the certificate proves the narrow kernel per graph (so
+  /// within_certificate batches skip the dynamic capacity gate).
+  [[nodiscard]] bool static_narrow() const { return static_narrow_; }
 
   /// Peak visited-table footprint across all lanes and batches.
   [[nodiscard]] std::size_t table_bytes() const;
@@ -117,6 +136,9 @@ class LaneThroughputSolver {
   std::size_t stride_ = 0;
   SimdBackend backend_ = SimdBackend::Swar;
   bool narrow_ok_ = false;  ///< graph magnitudes fit the i32 kernel
+  /// Certificate-backed per-graph narrow selection (see the constructor).
+  const analysis::BoundsCertificate* certificate_ = nullptr;
+  bool static_narrow_ = false;
   LaneStepResult (*step64_)(const LaneKernelView&) = nullptr;
   LaneStepResult (*step32_)(const LaneKernelView32&) = nullptr;
 
@@ -151,19 +173,22 @@ class LaneThroughputSolver {
 /// cache-line padded against false sharing.
 class LaneSolverBank {
  public:
-  /// The graph must outlive the bank; `lanes`/`backend` as for
-  /// LaneThroughputSolver.
+  /// The graph must outlive the bank; `lanes`/`backend`/`certificate` as
+  /// for LaneThroughputSolver (the certificate, when given, must outlive
+  /// the bank too).
   LaneSolverBank(const sdf::Graph& graph, std::size_t slots,
-                 std::size_t lanes, SimdBackend backend)
-      : graph_(graph), lanes_(lanes), backend_(backend), slots_(slots) {}
+                 std::size_t lanes, SimdBackend backend,
+                 const analysis::BoundsCertificate* certificate = nullptr)
+      : graph_(graph), lanes_(lanes), backend_(backend),
+        certificate_(certificate), slots_(slots) {}
 
   /// The solver owned by `slot`, built on first use; call only from the
   /// thread currently occupying that slot.
   [[nodiscard]] LaneThroughputSolver& at(std::size_t slot) {
     Slot& s = slots_[slot];
     if (s.solver == nullptr) {
-      s.solver =
-          std::make_unique<LaneThroughputSolver>(graph_, lanes_, backend_);
+      s.solver = std::make_unique<LaneThroughputSolver>(
+          graph_, lanes_, backend_, certificate_);
     }
     return *s.solver;
   }
@@ -191,6 +216,7 @@ class LaneSolverBank {
   const sdf::Graph& graph_;
   std::size_t lanes_;
   SimdBackend backend_;
+  const analysis::BoundsCertificate* certificate_ = nullptr;
   std::vector<Slot> slots_;
 };
 

@@ -98,6 +98,64 @@ TEST(CheckedMath, PositiveModAlwaysNonNegative) {
   EXPECT_EQ(positive_mod(0, 3), 0);
 }
 
+// Domain-extreme coverage: every helper must be well defined (or throw a
+// structured OverflowError) at INT64_MIN, where naive negation and the
+// hardware division INT64_MIN / -1 are undefined behaviour.
+TEST(CheckedMath, SubNegationAtMin) {
+  // checked_sub(0, x) is the negation path; -INT64_MIN is unrepresentable.
+  EXPECT_EQ(checked_sub(0, kMin + 1), kMax);
+  EXPECT_THROW((void)checked_sub(0, kMin), OverflowError);
+  EXPECT_THROW((void)checked_sub(-2, kMax), OverflowError);
+}
+
+TEST(CheckedMath, GcdAtMin) {
+  // |INT64_MIN| = 2^63: representable as a gcd only when paired with a
+  // value that halves it at least once.
+  EXPECT_EQ(gcd(kMin, 2), 2);
+  EXPECT_EQ(gcd(kMin, kMax), 1);
+  EXPECT_EQ(gcd(kMin, i64{1} << 62), i64{1} << 62);
+  EXPECT_THROW((void)gcd(kMin, 0), OverflowError);
+  EXPECT_THROW((void)gcd(0, kMin), OverflowError);
+}
+
+TEST(CheckedMath, LcmAtExtremes) {
+  EXPECT_EQ(lcm(kMax, kMax), kMax);
+  EXPECT_EQ(lcm(kMin + 1, 1), kMax);
+  EXPECT_THROW((void)lcm(kMin, 1), OverflowError);   // 2^63 itself
+  EXPECT_THROW((void)lcm(kMin, kMax), OverflowError);
+  EXPECT_THROW((void)lcm(kMax, kMax - 1), OverflowError);
+}
+
+TEST(CheckedMath, FloorCeilDivAtExtremes) {
+  EXPECT_EQ(floor_div(kMin, 1), kMin);
+  EXPECT_EQ(floor_div(kMin, 2), kMin / 2);
+  EXPECT_EQ(floor_div(kMax, -1), -kMax);
+  EXPECT_EQ(floor_div(kMin, kMax), -2);
+  EXPECT_EQ(floor_div(kMin, kMin), 1);
+  EXPECT_EQ(ceil_div(kMin, 1), kMin);
+  EXPECT_EQ(ceil_div(kMax, -1), -kMax);
+  EXPECT_EQ(ceil_div(kMin, kMax), -1);
+  EXPECT_EQ(ceil_div(kMin, kMin), 1);
+  EXPECT_EQ(ceil_div(kMax, kMax), 1);
+  // The single unrepresentable quotient: 2^63.
+  EXPECT_THROW((void)floor_div(kMin, -1), OverflowError);
+  EXPECT_THROW((void)ceil_div(kMin, -1), OverflowError);
+}
+
+TEST(CheckedMath, PositiveModAtExtremes) {
+  // The negation-of-b path must survive b == INT64_MIN (|b| = 2^63) and
+  // the (INT64_MIN, -1) pair that faults under hardware division.
+  EXPECT_EQ(positive_mod(kMin, -1), 0);
+  EXPECT_EQ(positive_mod(kMin, 1), 0);
+  EXPECT_EQ(positive_mod(kMin, kMin), 0);
+  EXPECT_EQ(positive_mod(-1, kMin), kMax);
+  EXPECT_EQ(positive_mod(1, kMin), 1);
+  EXPECT_EQ(positive_mod(kMax, kMin), kMax);
+  EXPECT_EQ(positive_mod(kMin, kMax), kMax - 1);
+  EXPECT_EQ(positive_mod(kMin, 2), 0);
+  EXPECT_EQ(positive_mod(kMin + 1, 2), 1);
+}
+
 // floor_div and positive_mod must satisfy the Euclidean identity
 // a == b * floor_div(a, b) + positive_mod(a, b) for positive b.
 class EuclideanIdentity : public ::testing::TestWithParam<i64> {};

@@ -10,9 +10,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <string>
 #include <vector>
 
+#include "analysis/bounds.hpp"
+#include "base/audit.hpp"
 #include "base/diagnostics.hpp"
 #include "exec/cancellation.hpp"
 #include "gen/random_graph.hpp"
@@ -336,6 +339,126 @@ TEST(LaneKernel, BackendResolutionAndNames) {
   EXPECT_EQ(resolve_lanes(0, SimdBackend::Swar),
             default_lanes(SimdBackend::Swar));
   EXPECT_EQ(resolve_lanes(200, SimdBackend::Swar), kMaxLanes);
+}
+
+// The feedback pair used by the narrow-boundary tests: tiny magnitudes,
+// so only the candidate capacities decide the width election, and the
+// back edge keeps every execution short regardless of the forward cap.
+sdf::Graph feedback_pair() {
+  sdf::GraphBuilder b("narrow_boundary");
+  const sdf::ActorId a = b.actor("a", 2);
+  const sdf::ActorId c = b.actor("c", 3);
+  b.channel("fwd", a, 1, c, 1, 0);
+  b.channel("back", c, 1, a, 1, 1);
+  return b.build();
+}
+
+TEST(LaneKernelNarrowBoundary, CapacityAtKNarrowLimitAndNeighbours) {
+  // The dynamic gate is `cap <= kNarrowLimit`: a capacity exactly at the
+  // limit still runs narrow, one above falls back to the wide tables.
+  // Results must match the scalar solver at the limit, one below, one
+  // above, and in a mixed batch whose lanes straddle the gate.
+  const sdf::Graph g = feedback_pair();
+  const sdf::ActorId target(1);
+  const std::vector<std::vector<i64>> straddle{{kNarrowLimit - 1, 1},
+                                               {kNarrowLimit, 1},
+                                               {kNarrowLimit + 1, 1},
+                                               {2, 1}};
+  for (const SimdBackend backend : lane_backends()) {
+    for (const std::vector<i64>& caps : straddle) {
+      check_batch(g, {caps}, target, 2, backend, true);
+    }
+    check_batch(g, straddle, target, 2, backend, true);
+    check_batch(g, straddle, target, 8, backend, false);
+  }
+}
+
+TEST(LaneKernelNarrowBoundary, ExecutionTimeAtGateEdgeElectsKernel) {
+  // Graph magnitudes at the gate edge: execution time == kNarrowLimit is
+  // still narrow-eligible, one above is not. Certificates mirror the
+  // election (static_narrow), and both widths match the scalar solver.
+  for (const i64 exec : {kNarrowLimit - 1, kNarrowLimit, kNarrowLimit + 1}) {
+    sdf::GraphBuilder b("edge_exec");
+    const sdf::ActorId a = b.actor("a", exec);
+    const sdf::ActorId c = b.actor("c", 3);
+    b.channel("fwd", a, 1, c, 1, 0);
+    b.channel("back", c, 1, a, 1, 1);
+    const sdf::Graph g = b.build();
+    const analysis::BoundsCertificate cert = analysis::derive_bounds(g);
+    ASSERT_TRUE(cert.fits_i64);
+    EXPECT_EQ(cert.magnitude_bound >= exec, true);
+    for (const SimdBackend backend : lane_backends()) {
+      LaneThroughputSolver solver(g, 4, backend, &cert);
+      EXPECT_EQ(solver.static_narrow(), exec <= kNarrowLimit)
+          << "exec=" << exec << " backend=" << backend_name(backend);
+      check_batch(g, {{1, 1}, {2, 1}, {3, 2}}, c, 4, backend, true);
+    }
+  }
+}
+
+TEST(LaneKernelNarrowBoundary, CertificateSkipsGateWithIdenticalResults) {
+  // A certified solver running a within_certificate batch must produce
+  // exactly what the uncertified solver (dynamic gate) produces on the
+  // same candidates — the certificate is a pure gating shortcut.
+  const sdf::Graph g = feedback_pair();
+  const sdf::ActorId target(1);
+  const analysis::BoundsCertificate cert = analysis::derive_bounds(g);
+  ASSERT_TRUE(cert.fits_i64);
+  // Candidates inside the certified budget, in channel-index order.
+  std::vector<std::vector<i64>> batch;
+  for (i64 fwd = 0; fwd <= std::min<i64>(3, cert.storage_budget[0]); ++fwd) {
+    batch.push_back({fwd, std::min<i64>(2, cert.storage_budget[1])});
+  }
+  for (const SimdBackend backend : lane_backends()) {
+    LaneThroughputSolver certified(g, 4, backend, &cert);
+    ASSERT_TRUE(certified.static_narrow()) << backend_name(backend);
+    LaneThroughputSolver dynamic(g, 4, backend);
+    EXPECT_FALSE(dynamic.static_narrow());
+    LaneBatchOptions opts{.target = target};
+    opts.collect_storage_deps = true;
+    opts.within_certificate = true;
+    const std::vector<ThroughputResult> certified_results =
+        certified.compute_batch(batch, opts);
+    LaneBatchOptions plain{.target = target};
+    plain.collect_storage_deps = true;
+    const std::vector<ThroughputResult> dynamic_results =
+        dynamic.compute_batch(batch, plain);
+    ASSERT_EQ(certified_results.size(), dynamic_results.size());
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      expect_same(dynamic_results[i], certified_results[i],
+                  "certified vs dynamic, candidate " + std::to_string(i) +
+                      " backend " + backend_name(backend));
+    }
+  }
+}
+
+TEST(LaneKernelNarrowBoundary, AuditCatchesFalseWithinCertificateClaims) {
+  // BUFFY_AUDIT re-runs the retired dynamic gate against the caller's
+  // within_certificate claim: a candidate outside the certified budget
+  // (but still narrow-safe) and a candidate beyond kNarrowLimit must
+  // both fail the `static-narrow-certificate` audit instead of running
+  // on envelopes the certificate never proved.
+  const sdf::Graph g = feedback_pair();
+  const sdf::ActorId target(1);
+  const analysis::BoundsCertificate cert = analysis::derive_bounds(g);
+  LaneThroughputSolver solver(g, 4, SimdBackend::Swar, &cert);
+  ASSERT_TRUE(solver.static_narrow());
+  LaneBatchOptions opts{.target = target};
+  opts.within_certificate = true;
+
+  const audit::ScopedAudit audit_on(/*denominator=*/1);
+  // Outside the budget box, inside the narrow envelope: only the
+  // covers() cross-check can catch it.
+  const std::vector<std::vector<i64>> outside_budget{
+      {cert.storage_budget[0] + 1, 1}};
+  EXPECT_THROW(solver.compute_batch(outside_budget, opts), audit::AuditError);
+  // Beyond the narrow envelope itself: the width recheck catches it.
+  const std::vector<std::vector<i64>> beyond_narrow{{kNarrowLimit + 1, 1}};
+  EXPECT_THROW(solver.compute_batch(beyond_narrow, opts), audit::AuditError);
+  // The same batches without the claim run fine (wide tables), audited.
+  LaneBatchOptions honest{.target = target};
+  EXPECT_NO_THROW(solver.compute_batch(outside_budget, honest));
+  EXPECT_NO_THROW(solver.compute_batch(beyond_narrow, honest));
 }
 
 }  // namespace

@@ -257,4 +257,108 @@ TEST(LayerLint, SimdFilesAndProseIntrinsicsAreFine) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(LayerLint, RejectsRangeForOverUnorderedMapInBuffer) {
+  LintTree tree;
+  tree.write_file("buffer/cache.cpp",
+                  "#include <unordered_map>\n"
+                  "std::unordered_map<long long, long long> table;\n"
+                  "long long sum() {\n"
+                  "  long long s = 0;\n"
+                  "  for (const auto& kv : table) s += kv.second;\n"
+                  "  return s;\n"
+                  "}\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("buffer/cache.cpp") + ":5: L7"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("table"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("nondeterministic"), std::string::npos) << r.output;
+}
+
+TEST(LayerLint, RejectsUnorderedBeginInState) {
+  LintTree tree;
+  // .begin() starts an iteration even without a range-for; std::int64_t
+  // keeps L3 quiet in the synthetic state/ file.
+  tree.write_file("state/space.cpp",
+                  "#include <cstdint>\n#include <unordered_set>\n"
+                  "std::unordered_set<std::int64_t> seen;\n"
+                  "auto first() { return seen.begin(); }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("state/space.cpp") + ":4: L7"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("seen.begin()"), std::string::npos) << r.output;
+}
+
+TEST(LayerLint, RejectsIterationOverMemberDeclaredInHeader) {
+  LintTree tree;
+  // Declarations are collected across buffer/ + state/ before scanning,
+  // so a .cpp iterating a member its header declares is caught.
+  tree.write_file("buffer/cache.hpp",
+                  "#pragma once\n#include <unordered_map>\n"
+                  "struct Cache {\n"
+                  "  std::unordered_map<long long, long long> map;\n"
+                  "};\n");
+  tree.write_file("buffer/cache.cpp",
+                  "#include \"buffer/cache.hpp\"\n"
+                  "long long sum(const Cache& c) {\n"
+                  "  long long s = 0;\n"
+                  "  for (const auto& kv : c.map) s += kv.second;\n"
+                  "  return s;\n"
+                  "}\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("buffer/cache.cpp") + ":4: L7"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LayerLint, RejectsPointerKeyedOrderedContainers) {
+  LintTree tree;
+  tree.write_file("buffer/order.cpp",
+                  "#include <map>\n#include <set>\n"
+                  "struct Actor {};\n"
+                  "std::map<Actor*, long long> rank_by_ptr;\n"
+                  "std::set<const Actor*> members;\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("buffer/order.cpp") + ":4: L7"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find(tree.path_of("buffer/order.cpp") + ":5: L7"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("pointer"), std::string::npos) << r.output;
+}
+
+TEST(LayerLint, UnorderedLookupsAndOtherModulesAreFine) {
+  LintTree tree;
+  // Point lookups and `== x.end()` find-comparisons are deterministic;
+  // modules outside buffer/ + state/ may iterate freely.
+  tree.write_file("buffer/cache.cpp",
+                  "#include <unordered_map>\n"
+                  "std::unordered_map<long long, long long> table;\n"
+                  "bool has(long long k) {\n"
+                  "  return table.find(k) != table.end();\n"
+                  "}\n"
+                  "void put(long long k) { table.emplace(k, k); }\n");
+  tree.write_file("analysis/scan.cpp",
+                  "#include <unordered_map>\n"
+                  "std::unordered_map<int, int> histogram;\n"
+                  "int total() {\n"
+                  "  int t = 0;\n"
+                  "  for (const auto& kv : histogram) t += kv.second;\n"
+                  "  return t;\n"
+                  "}\n");
+  // Integer-keyed ordered containers order deterministically.
+  tree.write_file("buffer/slices.cpp",
+                  "#include <map>\n"
+                  "std::map<long long, long long> evaluated;\n"
+                  "void mark(long long s) { evaluated[s] = 1; }\n");
+  const RunResult r = tree.lint();
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
 }  // namespace

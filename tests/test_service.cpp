@@ -402,6 +402,79 @@ TEST(Service, FastQualityServesLpFrontWithoutSeedingTheWarmCache) {
   server.wait();
 }
 
+TEST(Service, AdmissionRejectsMagnitudeOverflowGraphs) {
+  // A consistent graph whose magnitude certificate (DESIGN.md §16)
+  // saturates: the timestamp envelope max_steps * max_execution_time
+  // leaves i64, so every engine downstream could only fail mid-analysis
+  // with an OverflowError. Admission answers the structured code up
+  // front, naming the escaped envelope.
+  constexpr const char* kHugeDsl =
+      "graph huge\n"
+      "actor a 4611686018427387903\n"
+      "actor b 1\n"
+      "channel ab a 1 b 1\n"
+      "channel ba b 1 a 1 tokens 1\n";
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  const service::JsonValue resp = client.call(explore_request(1, kHugeDsl));
+  EXPECT_EQ(error_code(resp), "magnitude_overflow");
+  EXPECT_NE(resp.find("error")->find("message")->as_string().find("huge"),
+            std::string::npos)
+      << resp.dump();
+  // The fast tier sits behind the same admission gate.
+  EXPECT_EQ(error_code(client.call(
+                explore_request(2, kHugeDsl, ",\"quality\":\"fast\""))),
+            "magnitude_overflow");
+  // The ordinary analyze path too.
+  EXPECT_EQ(error_code(client.call(
+                "{\"id\":3,\"method\":\"analyze_throughput\",\"graph\":" +
+                service::json_quote(kHugeDsl) + "}")),
+            "magnitude_overflow");
+
+  server.shutdown();
+  server.wait();
+}
+
+TEST(Service, FastQualityDowngradesWhenEveryLpSolveOverflows) {
+  // Execution time 3e9 pushes every periodic-LP coefficient denominator
+  // (throughput rationals ~ 1/period) past the simplex's 2^31 safe pivot
+  // bound, so all grid solves answer numeric_overflow and the fast front
+  // degenerates to the bare max-throughput anchor. The daemon must serve
+  // the exact engine instead and mark the response downgraded. The i64
+  // envelopes still fit (admission passes) and the exploration itself is
+  // tiny, so the exact answer is instant.
+  constexpr const char* kBigExecDsl =
+      "graph bigexec\n"
+      "actor a 3000000000\n"
+      "actor b 1\n"
+      "channel ab a 1 b 1\n"
+      "channel ba b 1 a 1 tokens 1\n";
+  service::Server server(tcp_options());
+  server.start();
+  Client client = Client::tcp(server.tcp_port());
+
+  const service::JsonValue resp = client.call(
+      explore_request(1, kBigExecDsl, ",\"quality\":\"fast\""));
+  ASSERT_TRUE(response_ok(resp));
+  const service::JsonValue& result = result_of(resp);
+  EXPECT_EQ(result.find("quality")->as_string(), "exact");
+  ASSERT_NE(result.find("downgraded"), nullptr) << resp.dump();
+  EXPECT_TRUE(result.find("downgraded")->as_bool());
+  EXPECT_FALSE(result.find("front")->as_string().empty());
+
+  // An un-degenerate fast answer carries no downgrade marker at all.
+  const service::JsonValue fast = client.call(
+      explore_request(2, kTinyDsl, ",\"quality\":\"fast\""));
+  ASSERT_TRUE(response_ok(fast));
+  EXPECT_EQ(result_of(fast).find("quality")->as_string(), "fast");
+  EXPECT_EQ(result_of(fast).find("downgraded"), nullptr);
+
+  server.shutdown();
+  server.wait();
+}
+
 TEST(Service, QualityMemberIsValidated) {
   service::Server server(tcp_options());
   server.start();

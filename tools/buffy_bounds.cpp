@@ -1,0 +1,169 @@
+// buffy_bounds — derive and check static magnitude certificates
+// (DESIGN.md §16) from the command line.
+//
+//   buffy_bounds --models            all bundled benchmark models
+//   buffy_bounds FILE...             graph files (XML or DSL, sniffed the
+//                                    same way buffyd sniffs payloads: the
+//                                    first non-whitespace '<' means XML)
+//
+// For every graph the tool prints one JSON object per line: the full
+// certificate (envelopes, budget, repetition vector) plus the verdict of
+// verify_certificate(), the independent overflow-checked re-derivation.
+// Malformed inputs produce a structured JSON diagnostic on stdout and an
+// explanatory line on stderr — never a crash; the CI bounds job drives
+// the tool over the parser fuzz corpus and asserts exactly that.
+//
+// Exit code is the worst outcome across all inputs:
+//   0  every certificate exact (fits_i64) and independently verified
+//   1  some graph's envelopes left i64, was inconsistent, or failed the
+//      independent verification
+//   2  usage error, unreadable file, or graph parse error
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "analysis/bounds.hpp"
+#include "io/dsl.hpp"
+#include "io/sdf_xml.hpp"
+#include "models/models.hpp"
+#include "sdf/graph.hpp"
+#include "service/json.hpp"
+
+namespace {
+
+using buffy::i64;
+using buffy::service::JsonValue;
+
+JsonValue int_array(const std::vector<i64>& values) {
+  JsonValue arr = JsonValue::array();
+  for (const i64 v : values) arr.push_back(JsonValue::integer(v));
+  return arr;
+}
+
+// Certificate + verification verdict as one JSON object. Returns the
+// per-graph exit code (0 exact and verified, 1 otherwise).
+int report(const std::string& source, const buffy::sdf::Graph& graph) {
+  const buffy::analysis::BoundsCertificate cert =
+      buffy::analysis::derive_bounds(graph);
+  const std::vector<std::string> violations =
+      buffy::analysis::verify_certificate(graph, cert);
+
+  JsonValue out = JsonValue::object();
+  out.set("source", JsonValue::string(source));
+  out.set("graph", JsonValue::string(cert.graph_name));
+  out.set("actors", JsonValue::integer(static_cast<i64>(cert.num_actors)));
+  out.set("channels", JsonValue::integer(static_cast<i64>(cert.num_channels)));
+  out.set("consistent", JsonValue::boolean(cert.consistent));
+  out.set("fits_i64", JsonValue::boolean(cert.fits_i64));
+  if (!cert.overflow_detail.empty()) {
+    out.set("overflow_detail", JsonValue::string(cert.overflow_detail));
+  }
+  out.set("repetitions", int_array(cert.repetitions));
+  out.set("storage_budget", int_array(cert.storage_budget));
+  out.set("max_execution_time", JsonValue::integer(cert.max_execution_time));
+  out.set("max_rate", JsonValue::integer(cert.max_rate));
+  out.set("max_initial_tokens", JsonValue::integer(cert.max_initial_tokens));
+  out.set("total_initial_tokens",
+          JsonValue::integer(cert.total_initial_tokens));
+  out.set("magnitude_bound", JsonValue::integer(cert.magnitude_bound));
+  out.set("step_sum_bound", JsonValue::integer(cert.step_sum_bound));
+  out.set("period_work", JsonValue::integer(cert.period_work));
+  out.set("max_steps", JsonValue::integer(static_cast<i64>(cert.max_steps)));
+  out.set("timestamp_bound", JsonValue::integer(cert.timestamp_bound));
+  out.set("lp_coeff_bound", JsonValue::integer(cert.lp_coeff_bound));
+  out.set("verified", JsonValue::boolean(violations.empty()));
+  if (!violations.empty()) {
+    JsonValue arr = JsonValue::array();
+    for (const std::string& v : violations) arr.push_back(JsonValue::string(v));
+    out.set("violations", arr);
+  }
+  std::printf("%s\n", out.dump().c_str());
+  return (cert.fits_i64 && violations.empty()) ? 0 : 1;
+}
+
+// Structured diagnostic for an input that never produced a graph.
+int report_error(const std::string& source, const char* kind,
+                 const std::string& message) {
+  JsonValue out = JsonValue::object();
+  out.set("source", JsonValue::string(source));
+  out.set("error", JsonValue::string(kind));
+  out.set("message", JsonValue::string(message));
+  std::printf("%s\n", out.dump().c_str());
+  std::fprintf(stderr, "buffy_bounds: %s: %s: %s\n", source.c_str(), kind,
+               message.c_str());
+  return 2;
+}
+
+// The buffyd payload sniff (service/server.cpp): first non-whitespace
+// '<' selects the XML reader, anything else the DSL reader.
+buffy::sdf::Graph parse_text(const std::string& text) {
+  bool xml = false;
+  for (const char c : text) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') continue;
+    xml = c == '<';
+    break;
+  }
+  return xml ? buffy::io::read_sdf_xml(text) : buffy::io::read_dsl(text);
+}
+
+int run_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return report_error(path, "io_error", "cannot open file");
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  try {
+    return report(path, parse_text(text));
+  } catch (const std::exception& e) {
+    return report_error(path, "parse_error", e.what());
+  }
+}
+
+int run_models() {
+  int worst = 0;
+  std::vector<buffy::models::NamedModel> all = buffy::models::table2_models();
+  std::vector<buffy::models::NamedModel> extended =
+      buffy::models::extended_models();
+  for (buffy::models::NamedModel& m : extended) all.push_back(std::move(m));
+  for (const buffy::models::NamedModel& m : all) {
+    worst = std::max(worst, report(m.display_name, m.graph));
+  }
+  return worst;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> files;
+  bool models = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--models") {
+      models = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: buffy_bounds --models | FILE...\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "buffy_bounds: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (!models && files.empty()) {
+    std::fprintf(stderr, "usage: buffy_bounds --models | FILE...\n");
+    return 2;
+  }
+  try {
+    int worst = 0;
+    if (models) worst = std::max(worst, run_models());
+    for (const std::string& f : files) worst = std::max(worst, run_file(f));
+    return worst;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "buffy_bounds: internal error: %s\n", e.what());
+    return 2;
+  }
+}
