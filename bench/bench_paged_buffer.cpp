@@ -1,0 +1,246 @@
+// A/B micro-benchmark of the service wire path: PagedBuffer (paged
+// chain, zero-copy adoption, vectored flush) against the seed's
+// contiguous std::string assembly, on both directions of a connection:
+//
+//  * outbound: assemble a response payload + newline and write it to a
+//    socketpair peer (seed: string copy + append + send loop; paged:
+//    add_reference + flush_to);
+//  * inbound: accumulate received bytes and extract newline-delimited
+//    frames (seed: string append + find + front-erase; paged: LineFramer
+//    over peek_space/commit_space).
+//
+// Payload sizes bracket the protocol's reality: small status responses,
+// mid-size fronts, and multi-page scatter responses. A drain thread on
+// the peer socket keeps the kernel buffer from becoming the bottleneck.
+//
+// Usage: bench_paged_buffer [--iters N] [--json FILE]
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/diagnostics.hpp"
+#include "base/string_util.hpp"
+#include "bench_util.hpp"
+#include "service/paged_buffer.hpp"
+
+using namespace buffy;
+using service::LineFramer;
+using service::PagedBuffer;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// The seed outbound path: copy the payload into a fresh string, append
+/// the terminator, loop over send() until drained.
+double run_string_outbound(int fd, const std::string& payload, int iters) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    std::string line = payload;  // the seed's per-message copy
+    line += '\n';
+    std::size_t off = 0;
+    while (off < line.size()) {
+      const ssize_t n = ::send(fd, line.data() + off, line.size() - off,
+                               MSG_NOSIGNAL);
+      BUFFY_REQUIRE(n > 0, "send failed");
+      off += static_cast<std::size_t>(n);
+    }
+  }
+  return seconds_since(t0);
+}
+
+/// The paged outbound path: adopt a copy of the payload as a page (the
+/// daemon adopts the dumper's string; the copy here keeps the per-iter
+/// allocation comparable), append the terminator, vectored flush.
+double run_paged_outbound(int fd, const std::string& payload, int iters) {
+  const auto t0 = Clock::now();
+  for (int i = 0; i < iters; ++i) {
+    std::string line = payload;
+    PagedBuffer out;
+    out.add_reference(std::move(line));
+    out.append("\n");
+    while (!out.empty()) {
+      BUFFY_REQUIRE(out.flush_to(fd) > 0, "flush failed");
+    }
+  }
+  return seconds_since(t0);
+}
+
+/// The seed inbound path: append every chunk to one contiguous string,
+/// scan for '\n', erase the consumed prefix from the front.
+double run_string_inbound(const std::string& stream, std::size_t chunk,
+                          u64* frames_out) {
+  const auto t0 = Clock::now();
+  std::string buf;
+  u64 frames = 0;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    const std::size_t n = std::min(chunk, stream.size() - off);
+    buf.append(stream.data() + off, n);
+    off += n;
+    for (;;) {
+      const std::size_t pos = buf.find('\n');
+      if (pos == std::string::npos) break;
+      ++frames;
+      buf.erase(0, pos + 1);  // the seed's front erasure
+    }
+  }
+  *frames_out = frames;
+  return seconds_since(t0);
+}
+
+/// The paged inbound path: recv-style peek/commit into the framer.
+double run_paged_inbound(const std::string& stream, std::size_t chunk,
+                         u64* frames_out) {
+  const auto t0 = Clock::now();
+  LineFramer framer(stream.size() + 1);
+  u64 frames = 0;
+  std::string line;
+  std::size_t off = 0;
+  while (off < stream.size()) {
+    const std::size_t n = std::min(chunk, stream.size() - off);
+    const std::span<char> space = framer.buffer().peek_space(n);
+    std::memcpy(space.data(), stream.data() + off, n);
+    framer.buffer().commit_space(n);
+    off += n;
+    while (framer.next_line(line) == LineFramer::Status::Line) ++frames;
+  }
+  *frames_out = frames;
+  return seconds_since(t0);
+}
+
+struct Row {
+  std::string scenario;
+  u64 bytes = 0;
+  double string_s = 0;
+  double paged_s = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int iters = 20000;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--iters" && i + 1 < argc) {
+      iters = static_cast<int>(parse_i64(argv[++i]));
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_paged_buffer [--iters N] [--json FILE]\n");
+      return 2;
+    }
+  }
+
+  std::vector<Row> rows;
+
+  // --- outbound: socketpair with a drain thread on the peer ------------
+  for (const std::size_t payload_size :
+       {std::size_t{120}, std::size_t{4096}, std::size_t{64 * 1024}}) {
+    int fds[2];
+    BUFFY_REQUIRE(
+        ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+        "socketpair failed");
+    std::atomic<bool> done{false};
+    std::thread drain([&] {
+      std::vector<char> sink(1 << 16);
+      while (!done.load(std::memory_order_relaxed)) {
+        const ssize_t n = ::recv(fds[1], sink.data(), sink.size(), 0);
+        if (n <= 0) break;
+      }
+    });
+
+    const std::string payload(payload_size, 'x');
+    Row row;
+    row.scenario = "outbound " + std::to_string(payload_size) + "B";
+    row.bytes = static_cast<u64>(iters) * (payload_size + 1);
+    // Interleave a warmup of each path before timing.
+    (void)run_string_outbound(fds[0], payload, iters / 10 + 1);
+    (void)run_paged_outbound(fds[0], payload, iters / 10 + 1);
+    row.string_s = run_string_outbound(fds[0], payload, iters);
+    row.paged_s = run_paged_outbound(fds[0], payload, iters);
+    rows.push_back(row);
+
+    done.store(true);
+    ::shutdown(fds[0], SHUT_RDWR);
+    ::close(fds[0]);
+    drain.join();
+    ::close(fds[1]);
+  }
+
+  // --- inbound: one long frame stream, replayed at recv-ish chunks -----
+  for (const std::size_t frame_size :
+       {std::size_t{120}, std::size_t{4096}, std::size_t{64 * 1024}}) {
+    std::string stream;
+    const int frames = static_cast<int>(
+        std::max<u64>(1, static_cast<u64>(iters) / 8));
+    for (int i = 0; i < frames; ++i) {
+      stream.append(frame_size, 'y');
+      stream += '\n';
+    }
+    Row row;
+    row.scenario = "inbound " + std::to_string(frame_size) + "B";
+    row.bytes = static_cast<u64>(stream.size());
+    u64 got_string = 0;
+    u64 got_paged = 0;
+    (void)run_string_inbound(stream, 4096, &got_string);
+    (void)run_paged_inbound(stream, 4096, &got_paged);
+    row.string_s = run_string_inbound(stream, 4096, &got_string);
+    row.paged_s = run_paged_inbound(stream, 4096, &got_paged);
+    BUFFY_REQUIRE(got_string == static_cast<u64>(frames) &&
+                      got_paged == static_cast<u64>(frames),
+                  "frame counts disagree");
+    rows.push_back(row);
+  }
+
+  std::printf("wire path: contiguous std::string vs PagedBuffer "
+              "(%d iters)\n\n", iters);
+  const std::vector<int> widths{16, 12, 12, 12, 10};
+  bench::print_row({"scenario", "MB moved", "string s", "paged s", "speedup"},
+                   widths);
+  bench::print_rule(widths);
+  for (const Row& row : rows) {
+    char mb[32], ss[32], ps[32], sp[32];
+    std::snprintf(mb, sizeof mb, "%.1f",
+                  static_cast<double>(row.bytes) / 1e6);
+    std::snprintf(ss, sizeof ss, "%.4f", row.string_s);
+    std::snprintf(ps, sizeof ps, "%.4f", row.paged_s);
+    std::snprintf(sp, sizeof sp, "%.2fx", row.string_s / row.paged_s);
+    bench::print_row({row.scenario, mb, ss, ps, sp}, widths);
+  }
+
+  if (!json_path.empty()) {
+    std::vector<std::string> elems;
+    for (const Row& row : rows) {
+      elems.push_back(bench::json_obj({
+          bench::json_field("scenario", bench::json_str(row.scenario)),
+          bench::json_field("bytes", bench::json_num(row.bytes)),
+          bench::json_field("string_seconds", bench::json_num(row.string_s)),
+          bench::json_field("paged_seconds", bench::json_num(row.paged_s)),
+      }));
+    }
+    std::ofstream out(json_path);
+    BUFFY_REQUIRE(out.good(), "cannot write " + json_path);
+    out << bench::json_obj(
+               {bench::json_field("bench", bench::json_str("paged_buffer")),
+                bench::json_field("iters",
+                                  bench::json_num(static_cast<u64>(iters))),
+                bench::json_field("rows", bench::json_arr(elems))})
+        << "\n";
+  }
+  return 0;
+}

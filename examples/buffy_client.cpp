@@ -25,6 +25,9 @@
 //   --goal <rational>      stop once this throughput is reached
 //   --min-tput <rational>  report only points at or above this throughput
 //   --caps <a,b,c>         analyze: simulate this storage distribution
+//   --scatter              explore: ask a buffyd-router to scatter the
+//                          exploration across its worker fleet (workers
+//                          and single daemons ignore the hint)
 //   --no-cache             bypass the daemon's warm caches
 //   --deadline-ms <n>      per-request deadline
 //   --id <n>               request id (default 1)
@@ -63,7 +66,8 @@ void usage(std::FILE* out) {
       "options:  [--target ACTOR] [--engine inc|exh] [--quality fast|exact]\n"
       "          [--levels N]\n"
       "          [--max-size N] [--goal R] [--min-tput R] [--caps a,b,c]\n"
-      "          [--no-cache] [--deadline-ms N] [--id N] [--json]\n");
+      "          [--scatter] [--no-cache] [--deadline-ms N] [--id N] "
+      "[--json]\n");
 }
 
 struct CliArgs {
@@ -79,6 +83,7 @@ struct CliArgs {
   std::optional<std::string> goal;
   std::optional<std::string> min_tput;
   std::optional<std::string> caps;
+  bool scatter = false;
   bool no_cache = false;
   std::optional<i64> deadline_ms;
   i64 id = 1;
@@ -113,6 +118,8 @@ std::optional<CliArgs> parse_args(int argc, char** argv) {
       args.min_tput = value();
     } else if (arg == "--caps") {
       args.caps = value();
+    } else if (arg == "--scatter") {
+      args.scatter = true;
     } else if (arg == "--no-cache") {
       args.no_cache = true;
     } else if (arg == "--deadline-ms") {
@@ -247,6 +254,7 @@ JsonValue build_request(const CliArgs& args) {
   if (args.min_tput.has_value()) {
     req.set("min_throughput", JsonValue::string(*args.min_tput));
   }
+  if (args.scatter) req.set("scatter", JsonValue::boolean(true));
   if (args.no_cache) req.set("cache", JsonValue::boolean(false));
   return req;
 }

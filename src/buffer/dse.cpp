@@ -51,6 +51,26 @@ std::vector<std::optional<i64>> constrained_ceiling(const DseOptions& options,
   return ceiling;
 }
 
+void apply_quantization_levels(DseOptions& options,
+                               const DesignSpaceBounds& bounds) {
+  if (options.quantization.has_value() ||
+      !options.quantization_levels.has_value()) {
+    return;
+  }
+  const i64 levels = *options.quantization_levels;
+  BUFFY_REQUIRE(levels > 0, "quantization_levels must be positive");
+  options.quantization = bounds.max_throughput / Rational(levels);
+  // On an N-level grid anything within one step of the maximum is
+  // indistinguishable from it, so the exploration may stop one grid level
+  // early — this is where the quantised search gains its speed (Sec. 11):
+  // the expensive tail of the climb towards the exact maximum is skipped.
+  const Rational near_max = bounds.max_throughput * Rational(levels - 1, levels);
+  if (!options.throughput_goal.has_value() ||
+      near_max < *options.throughput_goal) {
+    options.throughput_goal = near_max;
+  }
+}
+
 DseResult explore(const sdf::Graph& graph, const DseOptions& options) {
   BUFFY_REQUIRE(options.target.valid() &&
                     options.target.index() < graph.num_actors(),
@@ -147,22 +167,7 @@ DseResult explore(const sdf::Graph& graph, const DseOptions& options) {
       effective.throughput_goal = bound_max;
     }
   }
-  if (!effective.quantization.has_value() &&
-      effective.quantization_levels.has_value()) {
-    const i64 levels = *effective.quantization_levels;
-    BUFFY_REQUIRE(levels > 0, "quantization_levels must be positive");
-    effective.quantization = bounds.max_throughput / Rational(levels);
-    // On an N-level grid anything within one step of the maximum is
-    // indistinguishable from it, so the exploration may stop one grid level
-    // early — this is where the quantised search gains its speed (Sec. 11):
-    // the expensive tail of the climb towards the exact maximum is skipped.
-    const Rational near_max =
-        bounds.max_throughput * Rational(levels - 1, levels);
-    if (!effective.throughput_goal.has_value() ||
-        near_max < *effective.throughput_goal) {
-      effective.throughput_goal = near_max;
-    }
-  }
+  apply_quantization_levels(effective, bounds);
   DseResult result;
   switch (effective.engine) {
     case DseEngine::Exhaustive:

@@ -247,6 +247,16 @@ struct DseResult {
 [[nodiscard]] Rational quantize_down(const Rational& value,
                                      const std::optional<Rational>& step);
 
+/// Resolves `quantization_levels` into a concrete quantisation step and
+/// tightens the throughput goal to the near-max grid level (Sec. 11) —
+/// exactly the preprocessing explore() applies before dispatching to an
+/// engine. Exposed so out-of-process drivers (the fleet router and its
+/// explore_slice workers) reproduce the engine-effective options
+/// bit-for-bit; no-op when `quantization` is already set or no level count
+/// was requested.
+void apply_quantization_levels(DseOptions& options,
+                               const DesignSpaceBounds& bounds);
+
 /// Per-channel exploration floor: the analytic lower bound raised to any
 /// user minimum. Used by both engines.
 [[nodiscard]] std::vector<i64> constrained_floor(const DseOptions& options,

@@ -801,6 +801,150 @@ void lift_estimation_floors(Sweep& sweep) {
   }
 }
 
+// The exploration's global goal: the maximal throughput quantised down to
+// the grid, lowered to any explicit throughput goal.
+Rational global_goal(const DseOptions& options,
+                     const DesignSpaceBounds& bounds) {
+  Rational goal = quantize_down(bounds.max_throughput, options.quantization);
+  if (options.throughput_goal.has_value() &&
+      *options.throughput_goal < goal) {
+    goal = *options.throughput_goal;
+  }
+  return goal;
+}
+
+// The meaningful size interval of the divide and conquer. Sizes beyond the
+// max-throughput distribution's cannot improve anything (Sec. 8), so the
+// interval is [lb, sz(mtd)] — unless user constraints reshape the box, in
+// which case the whole (pre-widening) box is covered.
+struct SizeInterval {
+  i64 lo = 0;
+  i64 hi = 0;
+};
+
+SizeInterval size_interval(const Sweep& sweep) {
+  SizeInterval sizes;
+  sizes.lo = sweep.lb_suffix[0];
+  sizes.hi = sweep.options.channel_constraints.empty()
+                 ? std::max(sweep.bounds.ub_size, sizes.lo)
+                 : sweep.ub_suffix[0];
+  if (sweep.options.max_distribution_size.has_value()) {
+    sizes.hi = std::min(sizes.hi, *sweep.options.max_distribution_size);
+  }
+  return sizes;
+}
+
+// Completeness of the per-size slices: a minimal distribution may exceed
+// the max-throughput distribution on individual channels (one big buffer
+// traded for a smaller total), so clamping each channel to the Fig. 7
+// witness would miss genuine Pareto points. Widen every channel so any
+// composition of `target_size` above the floors is reachable, honouring
+// only the user's explicit ceilings, and rebuild the suffix sums. The
+// budget window in enumerate() keeps the per-size work finite.
+void widen_box_to(Sweep& sweep, i64 target_size) {
+  const std::size_t m = sweep.lb.size();
+  const auto ceiling = constrained_ceiling(sweep.options, m);
+  const i64 lb_total = sweep.lb_suffix[0];
+  for (std::size_t c = 0; c < m; ++c) {
+    i64 widened =
+        std::max(sweep.ub[c], target_size - (lb_total - sweep.lb[c]));
+    if (ceiling[c].has_value()) widened = std::min(widened, *ceiling[c]);
+    sweep.ub[c] = std::max(sweep.lb[c], widened);
+  }
+  for (std::size_t c = m; c-- > 0;) {
+    sweep.ub_suffix[c] = checked_add(sweep.ub_suffix[c + 1], sweep.ub[c]);
+  }
+}
+
+// Pads a witness from a smaller slice up to `size` by topping channels up
+// toward their ceilings left to right; the result is a valid distribution
+// of the target size whose throughput floors the slice.
+std::vector<i64> pad_caps(const std::vector<i64>& ub,
+                          const std::vector<i64>& witness, i64 size) {
+  std::vector<i64> caps = witness;
+  i64 extra = size;
+  for (const i64 c : caps) extra -= c;
+  for (std::size_t c = 0; c < caps.size() && extra > 0; ++c) {
+    const i64 add = std::min(ub[c] - caps[c], extra);
+    caps[c] += add;
+    extra -= add;
+  }
+  BUFFY_ASSERT(extra == 0, "padded distribution does not fit the box");
+  return caps;
+}
+
+// Owning storage for the engines a sweep borrows (LP cuts, cache, per-slot
+// solvers, lane bank + magnitude certificate).
+struct SweepEngines {
+  std::optional<lp::ThroughputCuts> cuts;
+  std::optional<ThroughputCache> cache;
+  std::optional<state::WorkerSolvers> solvers;
+  std::optional<analysis::BoundsCertificate> cert;
+  std::optional<state::LaneSolverBank> lane_bank;
+  bool static_narrow = false;
+};
+
+// Wires the engines into the sweep. Call only once the enumeration box is
+// final (after widen_box_to): the magnitude certificate's storage budget
+// is sweep.ub itself, so lane batches carry the within-certificate
+// assertion and the narrow kernel is selected once per graph instead of
+// per batch (DESIGN.md §16).
+void attach_engines(Sweep& sweep, SweepEngines& eng, std::size_t slots) {
+  const DseOptions& options = sweep.options;
+  if (options.use_lp_bounds) {
+    eng.cuts.emplace(lp::ThroughputCuts::derive(
+        sweep.graph, analysis::repetition_vector(sweep.graph).counts(),
+        options.target));
+    if (!eng.cuts->empty()) sweep.cuts = &*eng.cuts;
+  }
+  lift_estimation_floors(sweep);
+  // The exhaustive engine never applies a processor binding, so Sec. 8
+  // monotonicity holds and both dominance rules are sound.
+  if (options.use_throughput_cache) {
+    if (options.shared_cache != nullptr) {
+      BUFFY_REQUIRE(
+          options.shared_cache->max_throughput() ==
+              sweep.bounds.max_throughput,
+          "shared throughput cache was built for a different graph/target "
+          "(maximal throughput mismatch)");
+      sweep.cache = options.shared_cache;
+    } else {
+      eng.cache.emplace(sweep.bounds.max_throughput, options.cache_capacity);
+      sweep.cache = &*eng.cache;
+    }
+    // The Fig. 7 max-throughput distribution is a known witness before the
+    // first candidate runs: anything pointwise above it attains the
+    // maximal throughput. (Re-seeding a shared cache is a no-op: the
+    // witness antichain deduplicates.)
+    sweep.cache->add_max_witness(
+        sweep.bounds.max_throughput_distribution.capacities());
+  }
+  if (options.reuse_engines) {
+    eng.solvers.emplace(sweep.graph, slots);
+    sweep.solvers = &*eng.solvers;
+    const state::SimdBackend lane_backend =
+        state::resolve_backend(options.simd);
+    if (lane_backend != state::SimdBackend::Scalar) {
+      if (options.use_bounds_certificate) {
+        analysis::BoundsOptions cert_opts;
+        cert_opts.max_steps = options.max_steps_per_run;
+        cert_opts.storage_budget = sweep.ub;
+        eng.cert = analysis::derive_bounds(sweep.graph, cert_opts);
+        sweep.lanes_within_certificate = true;
+        eng.static_narrow =
+            eng.cert->fits_i64 &&
+            eng.cert->magnitude_bound <= state::kNarrowLimit;
+      }
+      eng.lane_bank.emplace(
+          sweep.graph, slots,
+          state::resolve_lanes(options.simd_lanes, lane_backend),
+          lane_backend, eng.cert.has_value() ? &*eng.cert : nullptr);
+      sweep.lane_bank = &*eng.lane_bank;
+    }
+  }
+  sweep.init_slots(slots);
+}
+
 }  // namespace
 
 DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
@@ -817,109 +961,14 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
   sweep.lazy = &lazy;
   init_box(sweep);
-  std::optional<lp::ThroughputCuts> cuts;
-  if (options.use_lp_bounds) {
-    cuts.emplace(lp::ThroughputCuts::derive(
-        graph, analysis::repetition_vector(graph).counts(), options.target));
-    if (!cuts->empty()) sweep.cuts = &*cuts;
-  }
-  sweep.goal = quantize_down(bounds.max_throughput, options.quantization);
-  if (options.throughput_goal.has_value() &&
-      *options.throughput_goal < sweep.goal) {
-    sweep.goal = *options.throughput_goal;
-  }
-
-  // The exhaustive engine never applies a processor binding, so Sec. 8
-  // monotonicity holds and both dominance rules are sound.
-  std::optional<ThroughputCache> cache;
-  if (options.use_throughput_cache) {
-    if (options.shared_cache != nullptr) {
-      BUFFY_REQUIRE(
-          options.shared_cache->max_throughput() == bounds.max_throughput,
-          "shared throughput cache was built for a different graph/target "
-          "(maximal throughput mismatch)");
-      sweep.cache = options.shared_cache;
-    } else {
-      cache.emplace(bounds.max_throughput, options.cache_capacity);
-      sweep.cache = &*cache;
-    }
-    // The Fig. 7 max-throughput distribution is a known witness before the
-    // first candidate runs: anything pointwise above it attains the
-    // maximal throughput. (Re-seeding a shared cache is a no-op: the
-    // witness antichain deduplicates.)
-    sweep.cache->add_max_witness(
-        bounds.max_throughput_distribution.capacities());
-  }
-  std::optional<state::WorkerSolvers> solvers;
-  std::optional<analysis::BoundsCertificate> cert;
-  std::optional<state::LaneSolverBank> lane_bank;
-  if (options.reuse_engines) {
-    solvers.emplace(graph, lazy.num_slots());
-    sweep.solvers = &*solvers;
-  }
-  sweep.init_slots(lazy.num_slots());
-
-  // Sizes beyond the max-throughput distribution's cannot improve anything
-  // (Sec. 8), so the meaningful size interval is [lb, sz(mtd)] — unless
-  // user constraints reshape the box, in which case the whole box is
-  // covered.
-  const i64 lo_size = sweep.lb_suffix[0];
-  i64 hi_size = options.channel_constraints.empty()
-                    ? std::max(bounds.ub_size, lo_size)
-                    : sweep.ub_suffix[0];
-  if (options.max_distribution_size.has_value()) {
-    hi_size = std::min(hi_size, *options.max_distribution_size);
-  }
-
-  // Completeness of the per-size slices: a minimal distribution may exceed
-  // the max-throughput distribution on individual channels (one big buffer
-  // traded for a smaller total), so clamping each channel to the Fig. 7
-  // witness would miss genuine Pareto points. Widen every channel so any
-  // composition of the covered sizes above the floors is reachable,
-  // honouring only the user's explicit ceilings — the same widening the
-  // tie enumeration below applies. The budget window in enumerate() keeps
-  // the per-size work finite.
-  {
-    const std::size_t m = graph.num_channels();
-    const auto ceiling = constrained_ceiling(options, m);
-    const i64 lb_total = sweep.lb_suffix[0];
-    for (std::size_t c = 0; c < m; ++c) {
-      i64 widened =
-          std::max(sweep.ub[c], hi_size - (lb_total - sweep.lb[c]));
-      if (ceiling[c].has_value()) widened = std::min(widened, *ceiling[c]);
-      sweep.ub[c] = std::max(sweep.lb[c], widened);
-    }
-    for (std::size_t c = m; c-- > 0;) {
-      sweep.ub_suffix[c] = checked_add(sweep.ub_suffix[c + 1], sweep.ub[c]);
-    }
-  }
-  lift_estimation_floors(sweep);
-
-  // Lane bank, built only now that the enumeration box is final: its
-  // per-channel maxima are the storage budget of the magnitude
-  // certificate (DESIGN.md §16), and every enumerated candidate lies
-  // inside the box by construction — so lane batches carry the
-  // within-certificate assertion and the narrow kernel is selected once
-  // per graph instead of per batch.
-  if (options.reuse_engines) {
-    const state::SimdBackend lane_backend =
-        state::resolve_backend(options.simd);
-    if (lane_backend != state::SimdBackend::Scalar) {
-      if (options.use_bounds_certificate) {
-        analysis::BoundsOptions cert_opts;
-        cert_opts.max_steps = options.max_steps_per_run;
-        cert_opts.storage_budget = sweep.ub;
-        cert = analysis::derive_bounds(graph, cert_opts);
-        sweep.lanes_within_certificate = true;
-        result.static_narrow = cert->fits_i64 &&
-                               cert->magnitude_bound <= state::kNarrowLimit;
-      }
-      lane_bank.emplace(graph, lazy.num_slots(),
-                        state::resolve_lanes(options.simd_lanes, lane_backend),
-                        lane_backend, cert.has_value() ? &*cert : nullptr);
-      sweep.lane_bank = &*lane_bank;
-    }
-  }
+  sweep.goal = global_goal(options, bounds);
+  const SizeInterval sizes = size_interval(sweep);
+  const i64 lo_size = sizes.lo;
+  const i64 hi_size = sizes.hi;
+  widen_box_to(sweep, hi_size);
+  SweepEngines eng;
+  attach_engines(sweep, eng, lazy.num_slots());
+  result.static_narrow = eng.static_narrow;
 
   // Divide and conquer over the size dimension (Sec. 9): throughput is
   // monotonic in the size, so an interval whose endpoints agree contains no
@@ -927,19 +976,8 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   // are genuine (size, max throughput) points, so a cancelled exploration
   // still returns a verified partial front.
   std::map<i64, SizeOutcome> evaluated;
-  // Pads a witness from a smaller slice up to `size` by topping channels
-  // up toward their ceilings left to right; the result is a valid
-  // distribution of the target size whose throughput floors the slice.
   const auto pad_to = [&](const StorageDistribution& witness, i64 size) {
-    std::vector<i64> caps = witness.capacities();
-    i64 extra = size - witness.size();
-    for (std::size_t c = 0; c < caps.size() && extra > 0; ++c) {
-      const i64 add = std::min(sweep.ub[c] - caps[c], extra);
-      caps[c] += add;
-      extra -= add;
-    }
-    BUFFY_ASSERT(extra == 0, "padded distribution does not fit the box");
-    return caps;
+    return pad_caps(sweep.ub, witness.capacities(), size);
   };
   const auto eval = [&](i64 size, const std::vector<i64>* seed,
                         const Rational& slice_goal) -> const SizeOutcome& {
@@ -1016,11 +1054,102 @@ DseResult explore_exhaustive(const sdf::Graph& graph, const DseOptions& options,
   result.dominance_skips =
       sweep.dominance_skips.load(std::memory_order_relaxed);
   result.lp_prunes = sweep.lp_prunes.load(std::memory_order_relaxed);
-  result.lp_cuts = cuts.has_value() ? cuts->size() : 0;
+  result.lp_cuts = eng.cuts.has_value() ? eng.cuts->size() : 0;
   result.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return result;
+}
+
+SlicePlan exhaustive_slice_plan(const sdf::Graph& graph,
+                                const DseOptions& options,
+                                const DesignSpaceBounds& bounds) {
+  Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
+  init_box(sweep);
+  SlicePlan plan;
+  plan.goal = global_goal(options, bounds);
+  const SizeInterval sizes = size_interval(sweep);
+  plan.lo_size = sizes.lo;
+  plan.hi_size = sizes.hi;
+  widen_box_to(sweep, sizes.hi);
+  plan.box_lb = sweep.lb;
+  plan.box_ub = sweep.ub;
+  // The max-throughput distribution itself seeds the top slice when it
+  // fits (no user constraints reshaping the box, no size cap below it):
+  // its throughput is the global goal, so the slice resolves without a
+  // scan.
+  if (options.channel_constraints.empty() && bounds.ub_size <= sizes.hi) {
+    plan.top_seed = pad_caps(
+        sweep.ub, bounds.max_throughput_distribution.capacities(), sizes.hi);
+  }
+  return plan;
+}
+
+std::vector<i64> pad_to_size(const SlicePlan& plan,
+                             const std::vector<i64>& witness, i64 size) {
+  return pad_caps(plan.box_ub, witness, size);
+}
+
+SliceOutcome explore_size_slice(const sdf::Graph& graph,
+                                const DseOptions& options,
+                                const DesignSpaceBounds& bounds,
+                                const SliceRequest& request) {
+  exec::LazyThreadPool lazy(options.threads);
+  Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
+  sweep.op_name = "slice evaluation";
+  sweep.lazy = &lazy;
+  init_box(sweep);
+  sweep.goal = global_goal(options, bounds);
+  const SizeInterval sizes = size_interval(sweep);
+  widen_box_to(sweep, sizes.hi);
+  if (request.size < sweep.lb_suffix[0] ||
+      request.size > sweep.ub_suffix[0]) {
+    throw Error("explore_size_slice: size " + std::to_string(request.size) +
+                " lies outside the enumeration box [" +
+                std::to_string(sweep.lb_suffix[0]) + ", " +
+                std::to_string(sweep.ub_suffix[0]) + "]");
+  }
+  if (request.seed.has_value()) {
+    if (request.seed->size() != graph.num_channels()) {
+      throw Error("explore_size_slice: seed must have one capacity per "
+                  "channel");
+    }
+    i64 total = 0;
+    for (std::size_t c = 0; c < request.seed->size(); ++c) {
+      const i64 cap = (*request.seed)[c];
+      if (cap < sweep.lb[c] || cap > sweep.ub[c]) {
+        throw Error("explore_size_slice: seed leaves the enumeration box "
+                    "on channel " +
+                    std::to_string(c));
+      }
+      total = checked_add(total, cap);
+    }
+    if (total != request.size) {
+      throw Error("explore_size_slice: seed is not a distribution of the "
+                  "requested size");
+    }
+  }
+  SweepEngines eng;
+  attach_engines(sweep, eng, lazy.num_slots());
+  // The router hands the d&c's slice goal; min with the global goal keeps
+  // a malformed request from pushing the scan past it.
+  const Rational slice_goal = std::min(sweep.goal, request.slice_goal);
+  SizeOutcome best = max_throughput_for_size(
+      sweep, request.size,
+      request.seed.has_value() ? &*request.seed : nullptr, slice_goal);
+  SliceOutcome out;
+  out.throughput = best.throughput;
+  out.witness = std::move(best.witness);
+  out.distributions_explored =
+      sweep.explored.load(std::memory_order_relaxed);
+  out.max_states_stored = sweep.max_states.load(std::memory_order_relaxed);
+  out.simulations_run = sweep.simulations.load(std::memory_order_relaxed);
+  out.cache_hits = sweep.cache_hits.load(std::memory_order_relaxed);
+  out.dominance_skips = sweep.dominance_skips.load(std::memory_order_relaxed);
+  out.lp_prunes = sweep.lp_prunes.load(std::memory_order_relaxed);
+  out.lp_cuts = eng.cuts.has_value() ? eng.cuts->size() : 0;
+  out.static_narrow = eng.static_narrow;
+  return out;
 }
 
 std::vector<StorageDistribution> equivalent_minimal_distributions(
@@ -1034,73 +1163,17 @@ std::vector<StorageDistribution> equivalent_minimal_distributions(
   Sweep sweep{.graph = graph, .options = options, .bounds = bounds};
   sweep.op_name = "tie enumeration";  // names the operation in diagnostics
   init_box(sweep);
-  std::optional<lp::ThroughputCuts> cuts;
-  if (options.use_lp_bounds) {
-    cuts.emplace(lp::ThroughputCuts::derive(
-        graph, analysis::repetition_vector(graph).counts(), options.target));
-    if (!cuts->empty()) sweep.cuts = &*cuts;
-  }
   sweep.goal = bounds.max_throughput + Rational(1);  // never early-exit
 
   // Unlike the Pareto search, tie enumeration must see shapes outside the
   // Fig. 7 box (e.g. Fig. 6's <1,2,3,3> puts 3 tokens where the
-  // max-throughput distribution needs fewer): widen every channel so any
-  // composition of `size` above the floors is reachable, honouring only
-  // the user's ceilings.
-  const std::size_t m = graph.num_channels();
-  const auto ceiling = constrained_ceiling(options, m);
-  const i64 lb_total = sweep.lb_suffix[0];
-  for (std::size_t c = 0; c < m; ++c) {
-    i64 widened = std::max(sweep.ub[c], size - (lb_total - sweep.lb[c]));
-    if (ceiling[c].has_value()) widened = std::min(widened, *ceiling[c]);
-    sweep.ub[c] = std::max(sweep.lb[c], widened);
-  }
-  for (std::size_t c = m; c-- > 0;) {
-    sweep.ub_suffix[c] = checked_add(sweep.ub_suffix[c + 1], sweep.ub[c]);
-  }
+  // max-throughput distribution needs fewer): widen to `size` itself.
+  widen_box_to(sweep, size);
   if (size < sweep.lb_suffix[0] || size > sweep.ub_suffix[0]) return found;
 
-  std::optional<ThroughputCache> cache;
-  if (options.use_throughput_cache) {
-    if (options.shared_cache != nullptr) {
-      BUFFY_REQUIRE(
-          options.shared_cache->max_throughput() == bounds.max_throughput,
-          "shared throughput cache was built for a different graph/target "
-          "(maximal throughput mismatch)");
-      sweep.cache = options.shared_cache;
-    } else {
-      cache.emplace(bounds.max_throughput, options.cache_capacity);
-      sweep.cache = &*cache;
-    }
-    sweep.cache->add_max_witness(
-        bounds.max_throughput_distribution.capacities());
-  }
-  std::optional<state::WorkerSolvers> solvers;
-  std::optional<analysis::BoundsCertificate> cert;
-  std::optional<state::LaneSolverBank> lane_bank;
-  if (options.reuse_engines) {
-    // Tie enumeration is sequential: one caller slot, one solver.
-    solvers.emplace(graph, 1);
-    sweep.solvers = &*solvers;
-    const state::SimdBackend lane_backend =
-        state::resolve_backend(options.simd);
-    if (lane_backend != state::SimdBackend::Scalar) {
-      // Same certificate contract as the main sweep: the widened box
-      // above is the budget, and enumeration never leaves it.
-      if (options.use_bounds_certificate) {
-        analysis::BoundsOptions cert_opts;
-        cert_opts.max_steps = options.max_steps_per_run;
-        cert_opts.storage_budget = sweep.ub;
-        cert = analysis::derive_bounds(graph, cert_opts);
-        sweep.lanes_within_certificate = true;
-      }
-      lane_bank.emplace(graph, 1,
-                        state::resolve_lanes(options.simd_lanes, lane_backend),
-                        lane_backend, cert.has_value() ? &*cert : nullptr);
-      sweep.lane_bank = &*lane_bank;
-    }
-  }
-  sweep.init_slots(1);
+  // Tie enumeration is sequential: one caller slot, one solver.
+  SweepEngines eng;
+  attach_engines(sweep, eng, 1);
   sweep.begin_slice();
   std::vector<i64> caps(sweep.lb.size(), 0);
   scan_leaves(

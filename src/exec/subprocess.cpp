@@ -1,0 +1,76 @@
+#include "exec/subprocess.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "base/diagnostics.hpp"
+
+namespace buffy::exec {
+
+Subprocess::Subprocess(Subprocess&& other) noexcept
+    : pid_(std::exchange(other.pid_, -1)) {}
+
+Subprocess& Subprocess::operator=(Subprocess&& other) noexcept {
+  pid_ = std::exchange(other.pid_, -1);
+  return *this;
+}
+
+Subprocess Subprocess::spawn(const std::vector<std::string>& argv) {
+  BUFFY_REQUIRE(!argv.empty(), "spawn needs at least argv[0]");
+  std::vector<char*> args;
+  args.reserve(argv.size() + 1);
+  for (const std::string& a : argv) args.push_back(const_cast<char*>(a.c_str()));
+  args.push_back(nullptr);
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    throw Error(std::string("fork failed: ") + std::strerror(errno));
+  }
+  if (pid == 0) {
+    // Child: drop every inherited descriptor above stderr (listening
+    // sockets, sibling connections), reset the signal mask the parent may
+    // have blocked for its own sigwait loop, then exec.
+    const long max_fd = ::sysconf(_SC_OPEN_MAX);
+    for (int fd = 3; fd < (max_fd > 0 ? static_cast<int>(max_fd) : 1024);
+         ++fd) {
+      ::close(fd);
+    }
+    sigset_t none;
+    sigemptyset(&none);
+    pthread_sigmask(SIG_SETMASK, &none, nullptr);
+    ::execvp(args[0], args.data());
+    ::_exit(127);
+  }
+  return Subprocess(pid);
+}
+
+std::optional<int> Subprocess::try_wait() {
+  if (pid_ <= 0) return std::nullopt;
+  int status = 0;
+  const pid_t reaped = ::waitpid(pid_, &status, WNOHANG);
+  if (reaped == pid_) {
+    pid_ = -1;
+    return status;
+  }
+  return std::nullopt;
+}
+
+int Subprocess::wait() {
+  if (pid_ <= 0) return 0;
+  int status = 0;
+  while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+  }
+  pid_ = -1;
+  return status;
+}
+
+void Subprocess::kill(int sig) const {
+  if (pid_ > 0) ::kill(pid_, sig);
+}
+
+}  // namespace buffy::exec

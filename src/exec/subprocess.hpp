@@ -1,0 +1,80 @@
+// Child-process supervision primitives for the fleet router.
+//
+// Subprocess wraps fork/exec of one worker binary: non-blocking reaping
+// (try_wait) for the supervisor's health loop, blocking wait for drains,
+// and signal delivery for fault injection and stall recovery. Ownership is
+// move-only; destroying a still-running handle deliberately leaks the pid
+// to the caller's wait discipline rather than killing silently — the
+// router always reaps explicitly.
+//
+// ExponentialBackoff paces crash-loop restarts: next_ms() doubles from the
+// base toward the cap, reset() on a healthy run.
+#pragma once
+
+#include <sys/types.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "base/checked_math.hpp"
+
+namespace buffy::exec {
+
+class Subprocess {
+ public:
+  Subprocess() = default;
+  Subprocess(const Subprocess&) = delete;
+  Subprocess& operator=(const Subprocess&) = delete;
+  Subprocess(Subprocess&& other) noexcept;
+  Subprocess& operator=(Subprocess&& other) noexcept;
+  ~Subprocess() = default;
+
+  /// Forks and execs `argv` (argv[0] is the binary path, resolved via
+  /// PATH when relative). Inherited descriptors above stderr are closed
+  /// in the child. Throws Error when the fork fails; a failed exec makes
+  /// the child exit 127 (observed by wait).
+  [[nodiscard]] static Subprocess spawn(const std::vector<std::string>& argv);
+
+  [[nodiscard]] pid_t pid() const { return pid_; }
+  [[nodiscard]] bool valid() const { return pid_ > 0; }
+
+  /// Non-blocking reap: the raw wait status when the child has exited
+  /// (the handle becomes invalid), nullopt while it is still running.
+  [[nodiscard]] std::optional<int> try_wait();
+
+  /// Blocking reap; returns the raw wait status (0 when already reaped).
+  int wait();
+
+  /// Delivers `sig` (no-op on an invalid handle).
+  void kill(int sig) const;
+
+ private:
+  explicit Subprocess(pid_t pid) : pid_(pid) {}
+
+  pid_t pid_ = -1;
+};
+
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(i64 base_ms, i64 max_ms)
+      : base_ms_(base_ms), max_ms_(max_ms), next_(base_ms) {}
+
+  /// The delay to apply before the next restart; doubles per call up to
+  /// the cap.
+  [[nodiscard]] i64 next_ms() {
+    const i64 delay = next_;
+    next_ = next_ > max_ms_ / 2 ? max_ms_ : next_ * 2;
+    return delay;
+  }
+
+  /// Back to the base delay (call after a healthy run).
+  void reset() { next_ = base_ms_; }
+
+ private:
+  i64 base_ms_;
+  i64 max_ms_;
+  i64 next_;
+};
+
+}  // namespace buffy::exec

@@ -85,6 +85,8 @@ Request parse_request(const std::string& line) {
     req.method = Method::AnalyzeThroughput;
   } else if (*method == "explore_pareto") {
     req.method = Method::ExplorePareto;
+  } else if (*method == "explore_slice") {
+    req.method = Method::ExploreSlice;
   } else if (*method == "status") {
     req.method = Method::Status;
   } else if (*method == "cancel") {
@@ -96,7 +98,8 @@ Request parse_request(const std::string& line) {
   }
 
   if (req.method == Method::AnalyzeThroughput ||
-      req.method == Method::ExplorePareto) {
+      req.method == Method::ExplorePareto ||
+      req.method == Method::ExploreSlice) {
     const std::optional<std::string> graph = opt_string(doc, "graph");
     if (!graph.has_value() || graph->empty()) {
       bad("missing member 'graph' (inline XML or DSL payload)");
@@ -133,7 +136,8 @@ Request parse_request(const std::string& line) {
     }
   }
 
-  if (req.method == Method::ExplorePareto) {
+  if (req.method == Method::ExplorePareto ||
+      req.method == Method::ExploreSlice) {
     req.engine = opt_string(doc, "engine");
     if (req.engine.has_value() && *req.engine != "inc" &&
         *req.engine != "exh") {
@@ -156,6 +160,31 @@ Request parse_request(const std::string& line) {
       bad("member 'threads' must be >= 1");
     }
     req.use_cache = opt_bool(doc, "cache").value_or(true);
+  }
+
+  if (req.method == Method::ExplorePareto) {
+    req.scatter = opt_bool(doc, "scatter").value_or(false);
+  }
+
+  if (req.method == Method::ExploreSlice) {
+    req.slice_size = opt_int(doc, "size");
+    if (!req.slice_size.has_value()) {
+      bad("explore_slice requires member 'size'");
+    }
+    req.slice_goal = opt_rational(doc, "slice_goal");
+    if (!req.slice_goal.has_value()) {
+      bad("explore_slice requires member 'slice_goal'");
+    }
+    if (const JsonValue* seed = doc.find("seed")) {
+      if (!seed->is_array()) bad("member 'seed' must be an array");
+      for (const JsonValue& c : seed->as_array()) {
+        if (!c.is_int()) bad("member 'seed' must hold integers");
+        req.slice_seed.push_back(c.as_int());
+      }
+      if (req.slice_seed.empty()) {
+        bad("member 'seed' must not be an empty array");
+      }
+    }
   }
 
   if (req.method == Method::Cancel) {

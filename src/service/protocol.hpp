@@ -77,6 +77,12 @@ enum class Method {
   AnalyzeThroughput,
   /// Full storage/throughput design-space exploration (the Pareto front).
   ExplorePareto,
+  /// One per-size evaluation of the exhaustive engine's divide and
+  /// conquer (buffer::explore_size_slice) — the unit the fleet router
+  /// scatters across worker processes (DESIGN.md §17). Carries the graph
+  /// plus the engine-effective exploration options so the outcome is a
+  /// pure function of the request.
+  ExploreSlice,
   /// Daemon metrics: request counters, job queue, cache state.
   Status,
   /// Cancels an in-flight request of this connection by id.
@@ -118,8 +124,17 @@ struct Request {
   std::optional<Rational> min_throughput;
   std::optional<i64> threads;
   bool use_cache = true;
+  /// Router-only hint on explore_pareto: scatter the exhaustive d&c
+  /// across the worker fleet instead of routing the whole request to the
+  /// graph's home shard. Workers ignore it.
+  bool scatter = false;
 
-  // analyze_throughput / explore_pareto
+  // explore_slice
+  std::optional<i64> slice_size;
+  std::optional<Rational> slice_goal;
+  std::vector<i64> slice_seed;  ///< Empty = unseeded slice.
+
+  // analyze_throughput / explore_pareto / explore_slice
   std::optional<i64> deadline_ms;
 
   // cancel

@@ -16,9 +16,11 @@
 #include "analysis/max_throughput.hpp"
 #include "base/diagnostics.hpp"
 #include "buffer/dse.hpp"
+#include "buffer/dse_exact.hpp"
 #include "buffer/fast_front.hpp"
 #include "io/dsl.hpp"
 #include "io/sdf_xml.hpp"
+#include "service/paged_buffer.hpp"
 #include "state/throughput.hpp"
 
 namespace buffy::service {
@@ -276,31 +278,36 @@ void Server::reap_finished_locked() {
 }
 
 void Server::reader_loop(Connection* conn) {
-  std::string buffer;
-  char chunk[4096];
-  for (;;) {
-    const ssize_t n = ::recv(conn->fd, chunk, sizeof(chunk), 0);
+  // Paged inbound path: recv() lands directly in the framer's tail page
+  // (peek_space/commit_space), and line extraction drains pages instead
+  // of erasing a contiguous string's front — O(new bytes) per read
+  // regardless of how many requests are pipelined on the connection.
+  LineFramer framer(options_.max_request_bytes);
+  std::string line;
+  bool overflowed = false;
+  while (!overflowed) {
+    const std::span<char> space = framer.buffer().peek_space(4096);
+    const ssize_t n = ::recv(conn->fd, space.data(), space.size(), 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
       break;
     }
-    buffer.append(chunk, static_cast<std::size_t>(n));
-    std::size_t pos;
-    while ((pos = buffer.find('\n')) != std::string::npos) {
-      std::string line = buffer.substr(0, pos);
-      buffer.erase(0, pos + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
+    framer.buffer().commit_space(static_cast<std::size_t>(n));
+    for (;;) {
+      const LineFramer::Status status = framer.next_line(line);
+      if (status == LineFramer::Status::NeedMore) break;
+      if (status == LineFramer::Status::Overflow) {
+        respond(conn,
+                error_response(std::nullopt, ErrorCode::BadRequest,
+                               "request line exceeds " +
+                                   std::to_string(options_.max_request_bytes) +
+                                   " bytes"),
+                /*ok=*/false);
+        overflowed = true;
+        break;
+      }
       if (line.find_first_not_of(" \t") == std::string::npos) continue;
       handle_line(conn, line);
-    }
-    if (buffer.size() > options_.max_request_bytes) {
-      respond(conn,
-              error_response(std::nullopt, ErrorCode::BadRequest,
-                             "request line exceeds " +
-                                 std::to_string(options_.max_request_bytes) +
-                                 " bytes"),
-              /*ok=*/false);
-      break;
     }
   }
   conn->open.store(false, std::memory_order_relaxed);
@@ -315,24 +322,23 @@ void Server::reader_loop(Connection* conn) {
   conn->done.store(true, std::memory_order_release);
 }
 
-void Server::respond(Connection* conn, const std::string& line, bool ok) {
+void Server::respond(Connection* conn, std::string line, bool ok) {
   (ok ? responses_ok_ : responses_error_)
       .fetch_add(1, std::memory_order_relaxed);
   if (!conn->open.load(std::memory_order_relaxed)) return;
   const std::lock_guard<std::mutex> lock(conn->write_mu);
-  std::string framed = line;
-  framed.push_back('\n');
-  const char* data = framed.data();
-  std::size_t left = framed.size();
-  while (left > 0) {
-    const ssize_t n = ::send(conn->fd, data, left, MSG_NOSIGNAL);
-    if (n <= 0) {
-      if (n < 0 && errno == EINTR) continue;
+  // Zero-copy outbound path: the already-materialised response line is
+  // adopted as a page (add_reference) and the newline rides in the page
+  // chain's tail — no per-message reassembly into a fresh string.
+  PagedBuffer out;
+  out.add_reference(std::move(line));
+  out.append("\n");
+  while (!out.empty()) {
+    if (out.flush_to(conn->fd) < 0) {
+      if (errno == EINTR) continue;
       conn->open.store(false, std::memory_order_relaxed);
       return;
     }
-    data += n;
-    left -= static_cast<std::size_t>(n);
   }
 }
 
@@ -396,11 +402,14 @@ void Server::handle_line(Connection* conn, const std::string& line) {
     }
     case Method::AnalyzeThroughput:
     case Method::ExplorePareto:
+    case Method::ExploreSlice:
       break;
   }
 
-  (req.method == Method::AnalyzeThroughput ? analyze_requests_
-                                           : explore_requests_)
+  (req.method == Method::AnalyzeThroughput
+       ? analyze_requests_
+       : req.method == Method::ExploreSlice ? slice_requests_
+                                            : explore_requests_)
       .fetch_add(1, std::memory_order_relaxed);
 
   // Admission control: bounded jobs in the system; over the bound the
@@ -464,9 +473,12 @@ void Server::run_job(Connection* conn, const Request& req,
       token = parent.with_deadline(options_.default_deadline_ms);
     }
     try {
-      const JsonValue result = req.method == Method::AnalyzeThroughput
-                                   ? handle_analyze(req, token)
-                                   : handle_explore(req, token);
+      const JsonValue result =
+          req.method == Method::AnalyzeThroughput
+              ? handle_analyze(req, token)
+              : req.method == Method::ExploreSlice
+                    ? handle_explore_slice(req, token)
+                    : handle_explore(req, token);
       response = ok_response(req.id, result);
       ok = true;
     } catch (const exec::Cancelled&) {
@@ -729,6 +741,93 @@ JsonValue Server::handle_explore(const Request& req,
   return res;
 }
 
+JsonValue Server::handle_explore_slice(const Request& req,
+                                       const exec::CancellationToken& token) {
+  token.checkpoint();
+  const sdf::Graph graph = parse_graph(req);
+  const sdf::ActorId target = resolve_target(graph, req.target);
+  admit_magnitudes(graph);
+  token.checkpoint();
+
+  buffer::DseOptions opts;
+  opts.target = target;
+  opts.engine = buffer::DseEngine::Exhaustive;
+  opts.quantization_levels = req.levels;
+  opts.max_distribution_size = req.max_size;
+  opts.throughput_goal = req.goal;
+  {
+    const unsigned cap = options_.max_threads_per_request == 0
+                             ? 1
+                             : options_.max_threads_per_request;
+    opts.threads = req.threads.has_value()
+                       ? static_cast<unsigned>(std::min<i64>(
+                             *req.threads, static_cast<i64>(cap)))
+                       : cap;
+  }
+  opts.use_throughput_cache = req.use_cache;
+  opts.cancel = token;
+  opts.progress = &progress_;
+
+  std::optional<state::ThroughputSolver> setup_solver;
+  if (opts.reuse_engines) setup_solver.emplace(graph);
+  const buffer::DesignSpaceBounds bounds = buffer::design_space_bounds(
+      graph, target, opts.max_steps_per_run,
+      setup_solver.has_value() ? &*setup_solver : nullptr);
+  if (bounds.deadlock) {
+    throw ProtocolError(ErrorCode::GraphInvalid,
+                        "the graph deadlocks for every storage "
+                        "distribution; there is no slice to evaluate");
+  }
+  // The router replicates this exact preprocessing before planning the
+  // d&c, so both sides evaluate the slice under identical engine-effective
+  // options — the byte-identity contract of the scattered front.
+  buffer::apply_quantization_levels(opts, bounds);
+
+  // Fingerprint-affine warm state: the router routes every slice of a
+  // graph to its home shard, so repeated waves hit this lease warm.
+  CacheRegistry::Lease lease;
+  if (req.use_cache) {
+    token.checkpoint();
+    const u64 fingerprint =
+        graph_fingerprint(graph, graph.actor(target).name);
+    lease = registry_.get_or_create(fingerprint, bounds.max_throughput);
+    opts.shared_cache = lease.cache.get();
+  }
+
+  buffer::SliceRequest slice;
+  slice.size = *req.slice_size;
+  if (!req.slice_seed.empty()) slice.seed = req.slice_seed;
+  slice.slice_goal = *req.slice_goal;
+  const buffer::SliceOutcome outcome =
+      buffer::explore_size_slice(graph, opts, bounds, slice);
+
+  JsonValue res = JsonValue::object();
+  res.set("target", JsonValue::string(graph.actor(target).name));
+  res.set("size", JsonValue::integer(slice.size));
+  res.set("throughput", JsonValue::string(outcome.throughput.str()));
+  JsonValue caps = JsonValue::array();
+  for (const i64 c : outcome.witness.capacities()) {
+    caps.push_back(JsonValue::integer(c));
+  }
+  res.set("capacities", caps);
+  res.set("distributions_explored",
+          JsonValue::integer(static_cast<i64>(outcome.distributions_explored)));
+  res.set("simulations_run",
+          JsonValue::integer(static_cast<i64>(outcome.simulations_run)));
+  res.set("cache_hits",
+          JsonValue::integer(static_cast<i64>(outcome.cache_hits)));
+  res.set("dominance_skips",
+          JsonValue::integer(static_cast<i64>(outcome.dominance_skips)));
+  res.set("lp_prunes",
+          JsonValue::integer(static_cast<i64>(outcome.lp_prunes)));
+  res.set("lp_cuts", JsonValue::integer(static_cast<i64>(outcome.lp_cuts)));
+  res.set("static_narrow", JsonValue::boolean(outcome.static_narrow));
+  res.set("max_states_stored",
+          JsonValue::integer(static_cast<i64>(outcome.max_states_stored)));
+  res.set("cached_graph", JsonValue::boolean(lease.warm));
+  return res;
+}
+
 ServerStatus Server::status() const {
   ServerStatus s;
   s.draining = draining_.load(std::memory_order_relaxed);
@@ -739,6 +838,7 @@ ServerStatus Server::status() const {
   s.requests_total = requests_total_.load(std::memory_order_relaxed);
   s.analyze_requests = analyze_requests_.load(std::memory_order_relaxed);
   s.explore_requests = explore_requests_.load(std::memory_order_relaxed);
+  s.slice_requests = slice_requests_.load(std::memory_order_relaxed);
   s.status_requests = status_requests_.load(std::memory_order_relaxed);
   s.cancel_requests = cancel_requests_.load(std::memory_order_relaxed);
   s.shutdown_requests = shutdown_requests_.load(std::memory_order_relaxed);
@@ -772,6 +872,7 @@ JsonValue ServerStatus::json() const {
   requests.set("total", u(requests_total));
   requests.set("analyze_throughput", u(analyze_requests));
   requests.set("explore_pareto", u(explore_requests));
+  requests.set("explore_slice", u(slice_requests));
   requests.set("status", u(status_requests));
   requests.set("cancel", u(cancel_requests));
   requests.set("shutdown", u(shutdown_requests));

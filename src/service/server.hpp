@@ -82,6 +82,7 @@ struct ServerStatus {
   u64 requests_total = 0;
   u64 analyze_requests = 0;
   u64 explore_requests = 0;
+  u64 slice_requests = 0;
   u64 status_requests = 0;
   u64 cancel_requests = 0;
   u64 shutdown_requests = 0;
@@ -142,7 +143,7 @@ class Server {
   void handle_line(Connection* conn, const std::string& line);
   void run_job(Connection* conn, const Request& req,
                const exec::CancellationToken& parent);
-  void respond(Connection* conn, const std::string& line, bool ok);
+  void respond(Connection* conn, std::string line, bool ok);
 
   // Request handlers (worker threads). Each returns the "result" object
   // or throws ProtocolError / buffy errors mapped by run_job.
@@ -150,6 +151,8 @@ class Server {
                                          const exec::CancellationToken& tok);
   [[nodiscard]] JsonValue handle_explore(const Request& req,
                                          const exec::CancellationToken& tok);
+  [[nodiscard]] JsonValue handle_explore_slice(
+      const Request& req, const exec::CancellationToken& tok);
 
   ServerOptions options_;
   std::unique_ptr<exec::ThreadPool> pool_;
@@ -180,6 +183,7 @@ class Server {
   std::atomic<u64> requests_total_{0};
   std::atomic<u64> analyze_requests_{0};
   std::atomic<u64> explore_requests_{0};
+  std::atomic<u64> slice_requests_{0};
   std::atomic<u64> status_requests_{0};
   std::atomic<u64> cancel_requests_{0};
   std::atomic<u64> shutdown_requests_{0};

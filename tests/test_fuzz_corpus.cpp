@@ -11,9 +11,12 @@
 //
 // File prefixes route to parsers: xml_* -> io::read_sdf_xml, dsl_* ->
 // io::read_dsl, json_* -> service::JsonValue::parse and, when that
-// yields an object, service::parse_request.
+// yields an object, service::parse_request, wire_* -> raw byte streams
+// for the service wire layer (LineFramer over a PagedBuffer, then
+// parse_request on every complete frame).
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -24,6 +27,7 @@
 #include "io/dsl.hpp"
 #include "io/sdf_xml.hpp"
 #include "service/json.hpp"
+#include "service/paged_buffer.hpp"
 #include "service/protocol.hpp"
 
 namespace buffy {
@@ -96,11 +100,79 @@ TEST(FuzzCorpus, ServiceJsonInputsParseOrDiagnose) {
   }
 }
 
+// One pass of a wire stream through the framing layer at a fixed chunk
+// size. Returns the frames extracted (for cross-chunk-size comparison)
+// and asserts the wire contract along the way: buffered bytes stay
+// bounded by max_line_bytes plus one inbound chunk, an over-long
+// unterminated prefix reports Overflow (never silent growth), and every
+// complete frame either parses as a request or raises a structured
+// buffy::Error.
+std::vector<std::string> run_wire(const fs::path& file,
+                                  const std::string& stream,
+                                  std::size_t chunk_size,
+                                  std::size_t max_line_bytes,
+                                  bool* overflowed) {
+  service::LineFramer framer(max_line_bytes);
+  std::vector<std::string> frames;
+  *overflowed = false;
+  std::size_t off = 0;
+  while (off < stream.size() && !*overflowed) {
+    const std::size_t n =
+        std::min(chunk_size, stream.size() - off);
+    const std::span<char> space = framer.buffer().peek_space(n);
+    std::memcpy(space.data(), stream.data() + off, n);
+    framer.buffer().commit_space(n);
+    off += n;
+    std::string line;
+    for (;;) {
+      const service::LineFramer::Status status = framer.next_line(line);
+      if (status == service::LineFramer::Status::NeedMore) break;
+      if (status == service::LineFramer::Status::Overflow) {
+        // The daemon closes the connection here; the stream is dead.
+        *overflowed = true;
+        break;
+      }
+      frames.push_back(line);
+      expect_structured(
+          [](const std::string& text) {
+            (void)service::parse_request(text);
+          },
+          file, line);
+    }
+    // Growth bound: nothing beyond the unterminated-prefix cap plus the
+    // chunk that tripped it may accumulate.
+    EXPECT_LE(framer.buffer().size(), max_line_bytes + chunk_size)
+        << file.filename() << " chunk=" << chunk_size;
+  }
+  return frames;
+}
+
+TEST(FuzzCorpus, WireStreamsFrameOrDiagnoseAtEveryChunkSize) {
+  for (const fs::path& file : corpus_files("wire_")) {
+    const std::string stream = slurp(file);
+    // A deliberately small bound so the corpus exercises Overflow.
+    const std::size_t max_line_bytes = 2048;
+    bool base_overflow = false;
+    const std::vector<std::string> base =
+        run_wire(file, stream, 4096, max_line_bytes, &base_overflow);
+    for (const std::size_t chunk : {std::size_t{1}, std::size_t{7}}) {
+      bool overflow = false;
+      const std::vector<std::string> frames =
+          run_wire(file, stream, chunk, max_line_bytes, &overflow);
+      // Framing must be chunking-invariant: same frames, same verdict.
+      EXPECT_EQ(frames, base) << file.filename() << " chunk=" << chunk;
+      EXPECT_EQ(overflow, base_overflow)
+          << file.filename() << " chunk=" << chunk;
+    }
+  }
+}
+
 // The corpus itself: shrinking it would silently weaken the sweep.
 TEST(FuzzCorpus, CorpusHoldsPinnedInputs) {
   EXPECT_GE(corpus_files("xml_").size(), 15u);
   EXPECT_GE(corpus_files("dsl_").size(), 12u);
   EXPECT_GE(corpus_files("json_").size(), 10u);
+  EXPECT_GE(corpus_files("wire_").size(), 10u);
 }
 
 }  // namespace
